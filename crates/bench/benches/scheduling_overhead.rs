@@ -1,0 +1,89 @@
+//! Section VI-D: scheduling overhead.
+//!
+//! The paper reports that the scheduling algorithm costs less than 0.1% of
+//! the makespan thanks to its linear structure. These benches time HCS,
+//! HCS+ refinement, and the lower-bound computation on synthetic batches of
+//! increasing size; with makespans in the hundreds of seconds and schedule
+//! computation in the microsecond-to-millisecond range, the overhead ratio
+//! is far below the paper's 0.1% budget.
+
+use corun_core::{hcs, lower_bound, refine, HcsConfig, RefineConfig, TableModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Synthetic dense model mirroring corun_core's internal test model.
+fn synthetic(n: usize, kc: usize, kg: usize) -> TableModel {
+    let base: Vec<(f64, f64, f64)> = (0..n)
+        .map(|i| {
+            let phase = i as f64 * 0.7;
+            (
+                30.0 + 25.0 * (phase.sin() + 1.0),
+                25.0 + 20.0 * (phase.cos() + 1.0),
+                0.15 + 0.8 * ((i * 37 % 10) as f64 / 10.0),
+            )
+        })
+        .collect();
+    let names = (0..n).map(|i| format!("job{i}")).collect();
+    let b2 = base.clone();
+    let b3 = base.clone();
+    TableModel::build(
+        names,
+        kc,
+        kg,
+        5.0,
+        move |i, d, f| {
+            let (tc, tg, _) = base[i];
+            let (t, k) = match d {
+                apu_sim::Device::Cpu => (tc, kc),
+                apu_sim::Device::Gpu => (tg, kg),
+            };
+            t / (0.45 + 0.55 * f as f64 / (k - 1) as f64)
+        },
+        move |i, _d, _f, j, _g| (b2[i].2 * b2[j].2 * 0.6).min(0.9),
+        move |i, d, f| {
+            let w = b3[i].2;
+            let k = match d {
+                apu_sim::Device::Cpu => kc,
+                apu_sim::Device::Gpu => kg,
+            };
+            let rel = (f as f64 + 1.0) / k as f64;
+            5.0 + (3.0 + 6.0 * w) * rel * rel + 4.0 * rel
+        },
+    )
+}
+
+fn bench_hcs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hcs");
+    for n in [4usize, 8, 16, 32] {
+        let model = synthetic(n, 16, 10);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| hcs(&model, &HcsConfig::with_cap(15.0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_refine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hcs_plus_refine");
+    for n in [8usize, 16] {
+        let model = synthetic(n, 16, 10);
+        let out = hcs(&model, &HcsConfig::with_cap(15.0));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| refine(&model, &out.schedule, &RefineConfig::new(15.0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lower_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lower_bound");
+    for n in [8usize, 16] {
+        let model = synthetic(n, 16, 10);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| lower_bound(&model, 15.0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hcs, bench_refine, bench_lower_bound);
+criterion_main!(benches);

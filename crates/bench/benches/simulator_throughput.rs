@@ -1,0 +1,41 @@
+//! Raw engine throughput: how fast the discrete-time APU simulator runs
+//! solo and co-run workloads (simulated seconds per wall second governs how
+//! expensive profiling, characterization, and ground-truth evaluation are).
+
+use apu_sim::{run_pair, run_solo, Device, MachineConfig, NullGovernor};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_solo(c: &mut Criterion) {
+    let cfg = MachineConfig::ivy_bridge();
+    let job = kernels::with_input_scale(&kernels::by_name(&cfg, "lud").unwrap(), 0.2);
+    c.bench_function("engine_solo_5s_job", |b| {
+        b.iter(|| run_solo(&cfg, &job, Device::Gpu, cfg.freqs.max_setting()).unwrap())
+    });
+}
+
+fn bench_pair(c: &mut Criterion) {
+    let cfg = MachineConfig::ivy_bridge();
+    let a = kernels::with_input_scale(&kernels::by_name(&cfg, "cfd").unwrap(), 0.2);
+    let b_job = kernels::with_input_scale(&kernels::by_name(&cfg, "srad").unwrap(), 0.2);
+    c.bench_function("engine_pair_5s_jobs", |b| {
+        b.iter(|| {
+            let mut gov = NullGovernor;
+            run_pair(&cfg, &a, &b_job, cfg.freqs.max_setting(), &mut gov).unwrap()
+        })
+    });
+}
+
+fn bench_governed_pair(c: &mut Criterion) {
+    let cfg = MachineConfig::ivy_bridge();
+    let a = kernels::with_input_scale(&kernels::by_name(&cfg, "heartwall").unwrap(), 0.2);
+    let b_job = kernels::with_input_scale(&kernels::by_name(&cfg, "hotspot").unwrap(), 0.2);
+    c.bench_function("engine_pair_governed", |b| {
+        b.iter(|| {
+            let mut gov = apu_sim::BiasedGovernor::gpu_biased(15.0);
+            run_pair(&cfg, &a, &b_job, cfg.freqs.max_setting(), &mut gov).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_solo, bench_pair, bench_governed_pair);
+criterion_main!(benches);

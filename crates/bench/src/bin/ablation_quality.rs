@@ -1,0 +1,93 @@
+//! Quality ablations over the design choices DESIGN.md calls out:
+//!
+//! * preference threshold `D` (paper picks 20%),
+//! * the HCS+ refinement passes,
+//! * the LLC-vulnerability probe (our extension),
+//! * governor bias for the baselines,
+//! * characterization grid resolution (model error vs cost).
+
+use apu_sim::{Bias, MachineConfig};
+use bench::{banner, fast_runtime, pct, row};
+use corun_core::{evaluate, hcs, refine, HcsConfig, RefineConfig};
+use kernels::rodinia8;
+use runtime::{CoScheduleRuntime, RuntimeConfig};
+
+fn main() {
+    banner(
+        "Ablations",
+        "design-choice sensitivity on the 8-program batch, 15 W cap",
+        "DESIGN.md section 3 (ablation benches)",
+    );
+    let cap = 15.0;
+    let machine = MachineConfig::ivy_bridge();
+    let rt = fast_runtime(rodinia8(&machine), cap);
+    let random_avg = rt.random_avg_makespan(0..5);
+    println!("random baseline: {random_avg:.1}s");
+
+    // --- preference threshold D -------------------------------------
+    println!();
+    println!("{}", row("threshold D", &["makespan".into(), "speedup".into()]));
+    for d in [0.0, 0.10, 0.20, 0.40, 1.0] {
+        let cfg = HcsConfig { cap_w: cap, preference_threshold: d };
+        let out = hcs(rt.model(), &cfg);
+        let span = rt.execute_planned(&out.schedule).makespan_s;
+        println!(
+            "{}",
+            row(&format!("D = {d:.2}"), &[format!("{span:.1}s"), pct(random_avg / span - 1.0)])
+        );
+    }
+
+    // --- refinement budget -------------------------------------------
+    println!();
+    println!("{}", row("refinement", &["model".into(), "truth".into()]));
+    let base = hcs(rt.model(), &HcsConfig::with_cap(cap));
+    for (label, swaps) in [("none", 0usize), ("paper (32)", 32), ("heavy (128)", 128)] {
+        let mut rc = RefineConfig::new(cap);
+        rc.random_swaps = swaps;
+        rc.cross_swaps = swaps;
+        let r = refine(rt.model(), &base.schedule, &rc);
+        let truth = rt.execute_planned(&r.schedule).makespan_s;
+        println!(
+            "{}",
+            row(label, &[format!("{:.1}s", r.after_s), format!("{truth:.1}s")])
+        );
+    }
+
+    // --- LLC probe on/off ---------------------------------------------
+    println!();
+    println!("{}", row("llc probe", &["truth".into(), "speedup".into()]));
+    for (label, probe) in [("off (paper model)", false), ("on (extension)", true)] {
+        let machine = MachineConfig::ivy_bridge();
+        let mut cfg = RuntimeConfig::fast(&machine);
+        cfg.cap_w = cap;
+        cfg.llc_probe = probe;
+        let rt2 = CoScheduleRuntime::new(machine, rodinia8(&rt.machine().clone()).jobs, cfg);
+        let span = rt2.execute_planned(&rt2.schedule_hcs_plus()).makespan_s;
+        println!(
+            "{}",
+            row(label, &[format!("{span:.1}s"), pct(random_avg / span - 1.0)])
+        );
+    }
+
+    // --- governor bias for the Default baseline ------------------------
+    println!();
+    println!("{}", row("default governor", &["truth".into(), "speedup".into()]));
+    let part = rt.schedule_default();
+    for (label, bias) in [("gpu-biased", Bias::Gpu), ("cpu-biased", Bias::Cpu)] {
+        let span = rt.execute_default(&part, bias).makespan_s;
+        println!(
+            "{}",
+            row(label, &[format!("{span:.1}s"), pct(random_avg / span - 1.0)])
+        );
+    }
+
+    // --- model-predicted vs ground truth for the chosen schedule --------
+    println!();
+    let s = rt.schedule_hcs_plus();
+    let predicted = evaluate(rt.model(), &s, Some(cap)).makespan_s;
+    let truth = rt.execute_planned(&s).makespan_s;
+    println!(
+        "model fidelity on the final schedule: predicted {predicted:.1}s vs measured {truth:.1}s ({})",
+        pct((predicted - truth).abs() / truth)
+    );
+}

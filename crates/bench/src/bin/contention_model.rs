@@ -1,0 +1,67 @@
+//! Contention-model robustness ablation (extension): do the paper's
+//! conclusions survive swapping the calibrated two-stage contention law for
+//! a textbook fair-share controller?
+//!
+//! Everything else (workloads, power, schedulers, characterization) is held
+//! fixed; only `MemoryParams::kind` changes, for both ground truth and the
+//! model (the runtime re-characterizes the altered machine, as it would on
+//! real hardware).
+
+use apu_sim::{ContentionKind, MachineConfig};
+use bench::{banner, fast_flag, pct, row};
+use kernels::rodinia8;
+use perf_model::{characterize_stage, CharacterizeConfig};
+use runtime::{speedup_study, CoScheduleRuntime, RuntimeConfig};
+
+fn main() {
+    banner(
+        "Contention model",
+        "two-stage (calibrated) vs fair-share arbitration, 8 jobs, 15 W",
+        "extension; DESIGN.md section 7.6 motivates the two-stage law",
+    );
+    let fast = fast_flag();
+    for kind in [ContentionKind::TwoStage, ContentionKind::FairShare] {
+        let mut machine = MachineConfig::ivy_bridge();
+        machine.memory.kind = kind;
+
+        // Surface shape under this law.
+        let mut ccfg = CharacterizeConfig::fast(&machine);
+        ccfg.grid_points = 6;
+        let stage = characterize_stage(&machine, &ccfg, machine.freqs.max_setting());
+        let cpu_max = stage.surface.deg.cpu.max_value();
+        let gpu_max = stage.surface.deg.gpu.max_value();
+
+        let wl = rodinia8(&machine);
+        let mut cfg = if fast {
+            RuntimeConfig::fast(&machine)
+        } else {
+            RuntimeConfig::paper(&machine)
+        };
+        cfg.cap_w = 15.0;
+        let rt = CoScheduleRuntime::new(machine, wl.jobs, cfg);
+        let study = speedup_study(&rt, 0..if fast { 3 } else { 10 });
+
+        println!();
+        println!(
+            "{kind:?}: surface maxima cpu {:.0}% / gpu {:.0}%",
+            cpu_max * 100.0,
+            gpu_max * 100.0
+        );
+        println!("{}", row("method", &["makespan".into(), "speedup".into()]));
+        for (name, span) in [
+            ("Random (avg)", study.random_avg_s),
+            ("Default_G", study.default_g_s),
+            ("HCS+", study.hcs_plus_s),
+        ] {
+            println!(
+                "{}",
+                row(name, &[format!("{span:.1}s"), pct(study.speedup_over_random(span))])
+            );
+        }
+    }
+    println!();
+    println!(
+        "if HCS+ leads under both laws, the method's benefit does not hinge on \
+         the calibrated asymmetries"
+    );
+}

@@ -1,0 +1,51 @@
+//! Figure 2: standalone performance of streamcluster, cfd, dwt2d and
+//! hotspot on the CPU vs the GPU (no cap, highest frequencies).
+//!
+//! Paper: streamcluster, cfd and hotspot prefer the GPU (2.5x, 1.8x and
+//! 2.4x over their CPU runs); dwt2d prefers the CPU (2.5x over its GPU
+//! run).
+
+use apu_sim::{Device, MachineConfig};
+use bench::{banner, row};
+use kernels::section3_four;
+use runtime::measure_solo;
+
+fn main() {
+    banner(
+        "Figure 2",
+        "standalone CPU vs GPU performance of four programs",
+        "GPU 2.5x / 1.8x / 2.4x for streamcluster/cfd/hotspot; CPU 2.5x for dwt2d",
+    );
+    let cfg = MachineConfig::ivy_bridge();
+    let wl = section3_four(&cfg);
+    let s = cfg.freqs.max_setting();
+
+    println!(
+        "{}",
+        row(
+            "program",
+            &["cpu (s)".into(), "gpu (s)".into(), "winner".into(), "factor".into()]
+        )
+    );
+    for job in &wl.jobs {
+        let t_cpu = measure_solo(&cfg, job, Device::Cpu, s);
+        let t_gpu = measure_solo(&cfg, job, Device::Gpu, s);
+        let (winner, factor) = if t_gpu < t_cpu {
+            ("GPU", t_cpu / t_gpu)
+        } else {
+            ("CPU", t_gpu / t_cpu)
+        };
+        println!(
+            "{}",
+            row(
+                &job.name,
+                &[
+                    format!("{t_cpu:.2}"),
+                    format!("{t_gpu:.2}"),
+                    winner.into(),
+                    format!("{factor:.2}x"),
+                ]
+            )
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Figure 5: spectrum of CPU program degradation due to memory contention —
+//! the micro-benchmark co-run degradation surface over (CPU demand, GPU
+//! demand) at the highest frequencies.
+//!
+//! Paper shape: CPU degradations are <= 20% in about half the cases, rise
+//! steeply when both demands exceed ~8.5 GB/s, and peak around 65%.
+
+use apu_sim::{Device, MachineConfig};
+use bench::{banner, fast_flag};
+use perf_model::{characterize_stage, CharacterizeConfig};
+
+fn main() {
+    banner(
+        "Figure 5",
+        "CPU co-run degradation surface from the micro-benchmark",
+        "max ~65%, <=20% in about half the grid, steep beyond 8.5 GB/s",
+    );
+    let cfg = MachineConfig::ivy_bridge();
+    let mut ccfg = CharacterizeConfig::paper(&cfg);
+    if fast_flag() {
+        ccfg.grid_points = 6;
+        ccfg.micro_duration_s = 2.0;
+    }
+    let stage = characterize_stage(&cfg, &ccfg, cfg.freqs.max_setting());
+    let grid = &stage.surface.deg.cpu;
+
+    println!("degradation of the CPU micro-kernel (%), rows = CPU demand, cols = GPU demand");
+    print!("{:>8}", "GB/s");
+    for g in &grid.gpu_axis {
+        print!("{g:>7.1}");
+    }
+    println!();
+    for (i, c) in grid.cpu_axis.iter().enumerate() {
+        print!("{c:>8.1}");
+        for j in 0..grid.gpu_axis.len() {
+            print!("{:>7.1}", grid.at(i, j) * 100.0);
+        }
+        println!();
+    }
+    println!();
+    println!("max degradation: {:.1}%  (paper ~65%)", grid.max_value() * 100.0);
+    println!(
+        "fraction of grid <= 20%: {:.0}%  (paper: about half)",
+        grid.frac_in(0.0, 0.20) * 100.0
+    );
+    let _ = Device::Cpu;
+}

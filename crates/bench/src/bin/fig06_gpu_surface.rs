@@ -1,0 +1,52 @@
+//! Figure 6: spectrum of GPU program degradation due to memory contention.
+//!
+//! Paper shape: the GPU suffers broadly (most degradations in the 20-40%
+//! range) but its worst case (~45%) stays below the CPU's (~65%).
+
+use apu_sim::MachineConfig;
+use bench::{banner, fast_flag};
+use perf_model::{characterize_stage, CharacterizeConfig};
+
+fn main() {
+    banner(
+        "Figure 6",
+        "GPU co-run degradation surface from the micro-benchmark",
+        "broad 20-40% degradations, max ~45% (below the CPU's 65%)",
+    );
+    let cfg = MachineConfig::ivy_bridge();
+    let mut ccfg = CharacterizeConfig::paper(&cfg);
+    if fast_flag() {
+        ccfg.grid_points = 6;
+        ccfg.micro_duration_s = 2.0;
+    }
+    let stage = characterize_stage(&cfg, &ccfg, cfg.freqs.max_setting());
+    let gpu = &stage.surface.deg.gpu;
+    let cpu = &stage.surface.deg.cpu;
+
+    println!("degradation of the GPU micro-kernel (%), rows = GPU demand, cols = CPU demand");
+    print!("{:>8}", "GB/s");
+    for c in &gpu.cpu_axis {
+        print!("{c:>7.1}");
+    }
+    println!();
+    // The paper swaps the horizontal axes between Figures 5 and 6; print
+    // rows = GPU demand for the same orientation.
+    for (j, g) in gpu.gpu_axis.iter().enumerate() {
+        print!("{g:>8.1}");
+        for i in 0..gpu.cpu_axis.len() {
+            print!("{:>7.1}", gpu.at(i, j) * 100.0);
+        }
+        println!();
+    }
+    println!();
+    println!(
+        "max GPU degradation: {:.1}% (paper ~45%); max CPU degradation: {:.1}% (paper ~65%)",
+        gpu.max_value() * 100.0,
+        cpu.max_value() * 100.0
+    );
+    println!(
+        "fraction of GPU grid in 20-40%: {:.0}%  (paper: most of the high-demand region)",
+        gpu.frac_in(0.20, 0.40) * 100.0
+    );
+    assert!(gpu.max_value() < cpu.max_value(), "orientation check");
+}

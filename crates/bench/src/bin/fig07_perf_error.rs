@@ -1,0 +1,116 @@
+//! Figure 7: error-rate distribution of the co-run performance model.
+//!
+//! All 64 ordered pairs of the eight programs are co-run (one on the CPU,
+//! one on the GPU) at two frequency settings — both-maximum, and the
+//! medium setting (2.2 GHz CPU, 0.85 GHz GPU). The staged-interpolation
+//! prediction of each side's co-run time is compared against the measured
+//! (simulated) ground truth.
+//!
+//! Paper: ~half of the co-runs err below 10%, more than 70% below 20%;
+//! average error 15% at the high setting and 11% at the medium setting.
+
+use apu_sim::{Device, FreqSetting, MachineConfig};
+use bench::{banner, fast_flag};
+use crossbeam::thread;
+use kernels::rodinia8;
+use perf_model::{
+    characterize, profile_batch, relative_error, CharacterizeConfig, ErrorHistogram,
+    ProfileMethod, StagedPredictor,
+};
+use runtime::measure_pair_truth;
+
+fn main() {
+    banner(
+        "Figure 7",
+        "performance-model error over 64 pairs x 2 frequency settings",
+        "~50% below 10%, >70% below 20%; avg 15% (high), 11% (medium)",
+    );
+    let cfg = MachineConfig::ivy_bridge();
+    let wl = rodinia8(&cfg);
+    let fast = fast_flag();
+
+    let profiles = profile_batch(
+        &cfg,
+        &wl.jobs,
+        if fast { ProfileMethod::Analytic } else { ProfileMethod::Measured },
+    );
+    let mut ccfg = CharacterizeConfig::paper(&cfg);
+    if fast {
+        ccfg = CharacterizeConfig::fast(&cfg);
+        ccfg.grid_points = 5;
+    }
+    let predictor = StagedPredictor::new(&cfg, characterize(&cfg, &ccfg));
+
+    let medium = FreqSetting::new(
+        cfg.freqs.cpu.nearest_level(2.2),
+        cfg.freqs.gpu.nearest_level(0.85),
+    );
+    let settings = [("high", cfg.freqs.max_setting()), ("medium", medium)];
+
+    for (label, setting) in settings {
+        let mut hist = ErrorHistogram::paper_buckets();
+        // Fan the 64 ground-truth co-runs out over worker threads.
+        let pairs: Vec<(usize, usize)> =
+            (0..8).flat_map(|i| (0..8).map(move |j| (i, j))).collect();
+        let jobs = &wl.jobs;
+        let n_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+        let chunk = pairs.len().div_ceil(n_threads);
+        let errors: Vec<Vec<f64>> = thread::scope(|s| {
+            pairs
+                .chunks(chunk)
+                .map(|ch| {
+                    let profiles = &profiles;
+                    let predictor = &predictor;
+                    let cfg = &cfg;
+                    s.spawn(move |_| {
+                        ch.iter()
+                            .flat_map(|&(ci, gi)| {
+                                let truth =
+                                    measure_pair_truth(cfg, &jobs[ci], &jobs[gi], setting);
+                                let pred = predictor.predict_pair_times(
+                                    cfg,
+                                    &profiles[ci],
+                                    setting.cpu,
+                                    &profiles[gi],
+                                    setting.gpu,
+                                );
+                                [
+                                    relative_error(pred.cpu, truth.cpu_time_s),
+                                    relative_error(pred.gpu, truth.gpu_time_s),
+                                ]
+                            })
+                            .collect::<Vec<f64>>()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
+        })
+        .expect("scope");
+        for e in errors.into_iter().flatten() {
+            hist.add(e);
+        }
+
+        println!();
+        println!(
+            "setting: {label} (cpu {:.2} GHz, gpu {:.2} GHz), {} predictions",
+            cfg.freqs.ghz(Device::Cpu, setting),
+            cfg.freqs.ghz(Device::Gpu, setting),
+            hist.len()
+        );
+        for (bucket, frac) in hist.rows() {
+            println!("  {bucket:>8}: {:>5.1}%  {}", frac * 100.0, bar(frac));
+        }
+        println!(
+            "  mean error {:.1}%, <10%: {:.0}% of pairs, <20%: {:.0}% of pairs",
+            hist.mean() * 100.0,
+            hist.frac_below(0.10) * 100.0,
+            hist.frac_below(0.20) * 100.0
+        );
+    }
+}
+
+fn bar(frac: f64) -> String {
+    "#".repeat((frac * 50.0).round() as usize)
+}

@@ -1,0 +1,96 @@
+//! Figure 8: error-rate distribution of the co-run power model.
+//!
+//! For each of the 64 ordered pairs, the frequencies are chosen to meet a
+//! 16 W power cap with the best predicted performance; the predicted co-run
+//! power (sum of standalone powers minus idle) is compared to the measured
+//! co-run power.
+//!
+//! Paper: no error above 8%; 69% of pairs below 2%; average error 1.92%.
+
+use apu_sim::{Device, MachineConfig};
+use bench::{banner, fast_flag};
+use crossbeam::thread;
+use kernels::rodinia8;
+use perf_model::{
+    characterize, profile_batch, relative_error, CharacterizeConfig, ErrorHistogram,
+    ProfileMethod, StagedPredictor,
+};
+use runtime::measure_pair_truth;
+
+fn main() {
+    banner(
+        "Figure 8",
+        "power-model error over 64 pairs at best 16 W-feasible settings",
+        "max < 8%, 69% < 2%, average 1.92%",
+    );
+    let cap = 16.0;
+    let cfg = MachineConfig::ivy_bridge();
+    let wl = rodinia8(&cfg);
+    let fast = fast_flag();
+
+    let profiles = profile_batch(
+        &cfg,
+        &wl.jobs,
+        if fast { ProfileMethod::Analytic } else { ProfileMethod::Measured },
+    );
+    let mut ccfg = CharacterizeConfig::paper(&cfg);
+    if fast {
+        ccfg = CharacterizeConfig::fast(&cfg);
+        ccfg.grid_points = 5;
+    }
+    let predictor = StagedPredictor::new(&cfg, characterize(&cfg, &ccfg));
+
+    let best_setting = |ci: usize, gi: usize| -> Option<apu_sim::FreqSetting> {
+        runtime::best_pair_setting(&cfg, &profiles, &predictor, ci, gi, cap)
+    };
+
+    let pairs: Vec<(usize, usize)> = (0..8).flat_map(|i| (0..8).map(move |j| (i, j))).collect();
+    let jobs = &wl.jobs;
+    let n_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let chunk = pairs.len().div_ceil(n_threads);
+    let errors: Vec<Vec<f64>> = thread::scope(|s| {
+        pairs
+            .chunks(chunk)
+            .map(|ch| {
+                let profiles = &profiles;
+                let predictor = &predictor;
+                let cfg = &cfg;
+                let best_setting = &best_setting;
+                s.spawn(move |_| {
+                    ch.iter()
+                        .filter_map(|&(ci, gi)| {
+                            let setting = best_setting(ci, gi)?;
+                            let truth = measure_pair_truth(cfg, &jobs[ci], &jobs[gi], setting);
+                            let pred = predictor.predict_power(
+                                Some((&profiles[ci], setting.cpu)),
+                                Some((&profiles[gi], setting.gpu)),
+                            );
+                            Some(relative_error(pred, truth.corun_power_w))
+                        })
+                        .collect::<Vec<f64>>()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    })
+    .expect("scope");
+
+    let mut hist = ErrorHistogram::power_buckets();
+    for e in errors.into_iter().flatten() {
+        hist.add(e);
+    }
+    println!();
+    println!("{} pairs evaluated under the {cap} W cap", hist.len());
+    for (bucket, frac) in hist.rows() {
+        println!("  {bucket:>6}: {:>5.1}%  {}", frac * 100.0, "#".repeat((frac * 50.0) as usize));
+    }
+    println!(
+        "  mean error {:.2}%  max {:.2}%  <2%: {:.0}% of pairs",
+        hist.mean() * 100.0,
+        hist.max() * 100.0,
+        hist.frac_below(0.02) * 100.0
+    );
+    let _ = Device::Cpu;
+}

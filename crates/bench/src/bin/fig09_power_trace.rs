@@ -1,0 +1,63 @@
+//! Figure 9: package-power samples of four random co-run pairs under a
+//! 16 W cap, one sample per interval.
+//!
+//! Paper: power stays below the cap most of the time; when it exceeds the
+//! cap, the overshoot is typically below 2 W (the governor reacts at the
+//! next sample).
+
+use apu_sim::{run_pair, BiasedGovernor, MachineConfig};
+use bench::banner;
+use kernels::rodinia8;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    banner(
+        "Figure 9",
+        "power traces of four random co-run pairs, 16 W cap",
+        "below the cap most of the time; overshoot typically < 2 W",
+    );
+    let cap = 16.0;
+    let cfg = MachineConfig::ivy_bridge();
+    let wl = rodinia8(&cfg);
+    let mut rng = StdRng::seed_from_u64(9);
+
+    for k in 0..4 {
+        let ci = rng.gen_range(0..wl.jobs.len());
+        let gi = rng.gen_range(0..wl.jobs.len());
+        let cpu_job = &wl.jobs[ci];
+        let gpu_job = &wl.jobs[gi];
+        let mut gov = BiasedGovernor::gpu_biased(cap);
+        let pair =
+            run_pair(&cfg, cpu_job, gpu_job, cfg.freqs.max_setting(), &mut gov).unwrap();
+        println!();
+        println!(
+            "pair {}: {}(CPU) + {}(GPU), makespan {:.1}s",
+            k + 1,
+            cpu_job.name,
+            gpu_job.name,
+            pair.makespan_s
+        );
+        // One printed sample per simulated second (the paper's rate).
+        let per_second = (1.0 / pair.trace.interval_s).round() as usize;
+        let samples: Vec<f64> = pair
+            .trace
+            .samples_w
+            .chunks(per_second.max(1))
+            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+            .collect();
+        print!("  power (W):");
+        for (t, w) in samples.iter().enumerate() {
+            if t % 5 == 0 {
+                print!(" {w:.1}");
+            }
+        }
+        println!("  [every 5th second shown]");
+        println!(
+            "  above cap: {:.0}% of samples, max overshoot {:.2} W, mean {:.1} W",
+            pair.trace.frac_above(cap) * 100.0,
+            pair.trace.max_overshoot(cap),
+            pair.trace.mean_w()
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 10: speedup over Random for the 8-program-instance study at a
+//! 15 W power cap.
+//!
+//! Paper results: Default_C +9%, Default_G +32%, HCS ~ +38% (6% over
+//! Default_G), HCS+ ~ +41%, with the lower bound above HCS+.
+
+use bench::{banner, fast_flag, fast_runtime, paper_runtime, pct, row};
+use kernels::rodinia8;
+use runtime::speedup_study;
+
+fn main() {
+    banner(
+        "Figure 10",
+        "speedup over Random, 8 program instances, 15 W cap",
+        "Default_C +9%, Default_G +32%, HCS ~+38%, HCS+ ~+41%, bound above",
+    );
+    let cap = 15.0;
+    let machine = apu_sim::MachineConfig::ivy_bridge();
+    let wl = rodinia8(&machine);
+    let rt = if fast_flag() { fast_runtime(wl, cap) } else { paper_runtime(wl, cap) };
+
+    let seeds = if fast_flag() { 0..5u64 } else { 0..20u64 };
+    let study = speedup_study(&rt, seeds);
+    let (random_avg, default_c, default_g, hcs, hcs_plus, bound) = (
+        study.random_avg_s,
+        study.default_c_s,
+        study.default_g_s,
+        study.hcs_s,
+        study.hcs_plus_s,
+        study.bound_s,
+    );
+
+    println!("{}", row("method", &["makespan".into(), "speedup".into()]));
+    let print = |name: &str, span: f64| {
+        println!(
+            "{}",
+            row(name, &[format!("{span:.1}s"), pct(random_avg / span - 1.0)])
+        );
+    };
+    print("Random (avg)", random_avg);
+    print("Default_C", default_c);
+    print("Default_G", default_g);
+    print("HCS", hcs);
+    print("HCS+", hcs_plus);
+    print("LowerBound", bound);
+
+    println!();
+    println!(
+        "HCS over Default_G: {}   HCS+ over HCS: {}",
+        pct(default_g / hcs - 1.0),
+        pct(hcs / hcs_plus - 1.0)
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 11: the 16-program-instance scalability study at a 15 W cap.
+//!
+//! Paper: HCS +35% and HCS+ +37% over Random (HCS+ about 15% away from the
+//! lower bound); both Default variants fall *below* Random (Default_G −9%,
+//! Default_C −21%) because the Linux-style Default launches the whole CPU
+//! partition at once and the context switching + locality loss bite; HCS+
+//! exceeds the default schedules by over 46%.
+
+use bench::{banner, fast_flag, fast_runtime, paper_runtime, pct, row};
+use kernels::rodinia16;
+use runtime::speedup_study;
+
+fn main() {
+    banner(
+        "Figure 11",
+        "speedup over Random, 16 program instances, 15 W cap",
+        "Default_G -9%, Default_C -21%, HCS +35%, HCS+ +37% (>46% over defaults)",
+    );
+    let cap = 15.0;
+    let machine = apu_sim::MachineConfig::ivy_bridge();
+    let wl = rodinia16(&machine, 2024);
+    let rt = if fast_flag() { fast_runtime(wl, cap) } else { paper_runtime(wl, cap) };
+
+    let seeds = if fast_flag() { 0..5u64 } else { 0..20u64 };
+    let study = speedup_study(&rt, seeds);
+    let (random_avg, default_c, default_g, hcs, hcs_plus, bound) = (
+        study.random_avg_s,
+        study.default_c_s,
+        study.default_g_s,
+        study.hcs_s,
+        study.hcs_plus_s,
+        study.bound_s,
+    );
+
+    println!("{}", row("method", &["makespan".into(), "speedup".into()]));
+    let print = |name: &str, span: f64| {
+        println!(
+            "{}",
+            row(name, &[format!("{span:.1}s"), pct(random_avg / span - 1.0)])
+        );
+    };
+    print("Random (avg)", random_avg);
+    print("Default_C", default_c);
+    print("Default_G", default_g);
+    print("HCS", hcs);
+    print("HCS+", hcs_plus);
+    print("LowerBound", bound);
+
+    println!();
+    println!(
+        "HCS+ over Default_G: {}   HCS+ over Default_C: {}   gap to bound: {}",
+        pct(default_g / hcs_plus - 1.0),
+        pct(default_c / hcs_plus - 1.0),
+        pct(hcs_plus / bound - 1.0)
+    );
+}

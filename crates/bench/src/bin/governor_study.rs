@@ -1,0 +1,70 @@
+//! Governor comparison (extension): the paper's GPU-/CPU-biased reactive
+//! policies versus a utilization-driven ondemand governor, each executing
+//! the same Default-partition workload under a 15 W cap.
+
+use apu_sim::{Bias, MachineConfig, OndemandGovernor};
+use bench::{banner, fast_flag, fast_runtime, paper_runtime, row};
+use kernels::rodinia8;
+use runtime::{execute_default, LevelPolicy};
+
+fn main() {
+    banner(
+        "Governor study",
+        "GPU-biased vs CPU-biased vs ondemand on the Default baseline, 15 W",
+        "extension; paper evaluates only the two biased policies",
+    );
+    let cap = 15.0;
+    let machine = MachineConfig::ivy_bridge();
+    let wl = rodinia8(&machine);
+    let rt = if fast_flag() {
+        fast_runtime(wl, cap)
+    } else {
+        paper_runtime(wl, cap)
+    };
+    let part = rt.schedule_default();
+
+    println!(
+        "{}",
+        row(
+            "governor",
+            &["makespan".into(), "energy".into(), "peak W".into(), ">cap %".into()],
+        )
+    );
+    let mut show = |name: &str, report: apu_sim::RunReport| {
+        println!(
+            "{}",
+            row(
+                name,
+                &[
+                    format!("{:.1}s", report.makespan_s),
+                    format!("{:.0}J", report.trace.energy_j()),
+                    format!("{:.1}", report.trace.max_w()),
+                    format!("{:.1}%", report.trace.frac_above(cap) * 100.0),
+                ],
+            )
+        );
+    };
+    show("gpu-biased", rt.execute_default(&part, Bias::Gpu));
+    show("cpu-biased", rt.execute_default(&part, Bias::Cpu));
+    let mut ondemand = OndemandGovernor::new(cap);
+    let r = execute_default(rt.machine(), rt.jobs(), &part, &mut ondemand)
+        .expect("ondemand run");
+    show("ondemand", r);
+
+    // Same comparison for a random schedule (one seed).
+    println!();
+    println!("random schedule (seed 0):");
+    let sched = rt.schedule_random(0);
+    show("gpu-biased", rt.execute_governed(&sched, Bias::Gpu));
+    let mut ondemand2 = OndemandGovernor::new(cap);
+    let r2 = runtime::execute_schedule(
+        rt.machine(),
+        rt.jobs(),
+        &sched,
+        &mut ondemand2,
+        LevelPolicy::GovernorOwned,
+        rt.machine().freqs.max_setting(),
+    )
+    .expect("ondemand random");
+    show("ondemand", r2);
+}

@@ -1,0 +1,89 @@
+//! Characterization-resolution ablation (extension): how does the
+//! degradation-grid resolution trade characterization cost against model
+//! accuracy? The paper fixes 11 demand levels; this sweep measures, per
+//! resolution: number of micro co-runs, leave-one-out smoothness of the
+//! measured surface, and end-to-end prediction error over a sample of real
+//! program pairs.
+
+use apu_sim::{Device, MachineConfig};
+use bench::{banner, fast_flag, row};
+use kernels::rodinia8;
+use perf_model::{
+    characterize, leave_one_out, profile_batch, relative_error, CharacterizeConfig,
+    ProfileMethod, StagedPredictor,
+};
+use runtime::measure_pair_truth;
+
+fn main() {
+    banner(
+        "Grid resolution",
+        "characterization cost vs model accuracy per demand-grid size",
+        "extension; the paper fixes 11 levels (DESIGN.md section 3)",
+    );
+    let cfg = MachineConfig::ivy_bridge();
+    let wl = rodinia8(&cfg);
+    let fast = fast_flag();
+    let profiles = profile_batch(
+        &cfg,
+        &wl.jobs,
+        if fast { ProfileMethod::Analytic } else { ProfileMethod::Measured },
+    );
+
+    // A fixed sample of real pairs for end-to-end error.
+    let pairs: &[(usize, usize)] = &[(0, 1), (1, 0), (3, 4), (5, 6), (7, 0), (2, 3)];
+    let setting = cfg.freqs.max_setting();
+    let truths: Vec<(f64, f64)> = pairs
+        .iter()
+        .map(|&(ci, gi)| {
+            let t = measure_pair_truth(&cfg, &wl.jobs[ci], &wl.jobs[gi], setting);
+            (t.cpu_time_s, t.gpu_time_s)
+        })
+        .collect();
+
+    println!(
+        "{}",
+        row(
+            "grid",
+            &["co-runs".into(), "LOO err".into(), "pair err".into()],
+        )
+    );
+    for points in [3usize, 5, 7, 11] {
+        let mut ccfg = CharacterizeConfig::fast(&cfg);
+        ccfg.grid_points = points;
+        ccfg.micro_duration_s = if fast { 1.5 } else { 3.0 };
+        let stages = characterize(&cfg, &ccfg);
+        let co_runs = stages.len() * points * points * 2;
+        let loo = stages
+            .iter()
+            .map(|st| leave_one_out(&st.surface.deg.cpu).mean_abs_err)
+            .sum::<f64>()
+            / stages.len() as f64;
+        let predictor = StagedPredictor::new(&cfg, stages);
+        let mut err = 0.0;
+        for (&(ci, gi), &(tc, tg)) in pairs.iter().zip(&truths) {
+            let pred = predictor.predict_pair_times(
+                &cfg,
+                &profiles[ci],
+                setting.cpu,
+                &profiles[gi],
+                setting.gpu,
+            );
+            err += relative_error(pred.cpu, tc) + relative_error(pred.gpu, tg);
+        }
+        err /= (pairs.len() * 2) as f64;
+        println!(
+            "{}",
+            row(
+                &format!("{points}x{points}"),
+                &[
+                    format!("{co_runs}"),
+                    format!("{:.3}", loo),
+                    format!("{:.1}%", err * 100.0),
+                ],
+            )
+        );
+    }
+    println!();
+    println!("the knee is where extra micro co-runs stop buying pair-error reduction");
+    let _ = Device::Cpu;
+}

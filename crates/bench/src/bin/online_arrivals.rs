@@ -1,0 +1,96 @@
+//! Online-arrival study (extension): jobs arrive over time instead of as a
+//! batch (the deployment scenario the paper's introduction motivates).
+//!
+//! Sixteen jobs arrive with exponential-ish inter-arrival gaps; the online
+//! HCS policy (preference + least-interference + cap-feasible levels +
+//! steal guard, decided at arrivals/completions) is compared against two
+//! naive online baselines on ground truth:
+//!
+//! * FIFO onto the GPU only,
+//! * random device choice at dispatch time (governed).
+
+use apu_sim::NullGovernor;
+use bench::{banner, fast_flag, fast_runtime, paper_runtime, pct, row};
+use corun_core::{Arrival, Assignment, HcsConfig, OnlinePolicy, Schedule};
+use kernels::rodinia16;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    banner(
+        "Online arrivals",
+        "16 jobs arriving over time; online HCS vs naive online baselines",
+        "extension (no paper counterpart); DESIGN.md section 7.7",
+    );
+    let cap = 15.0;
+    let machine = apu_sim::MachineConfig::ivy_bridge();
+    let wl = rodinia16(&machine, 2024);
+    let n = wl.jobs.len();
+    let rt = if fast_flag() { fast_runtime(wl, cap) } else { paper_runtime(wl, cap) };
+
+    // Arrival trace: mean gap 12 s (the machine is kept busy but not
+    // saturated from t=0).
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut t = 0.0;
+    let arrivals: Vec<Arrival> = (0..n)
+        .map(|job| {
+            let gap: f64 = -12.0 * (1.0 - rng.gen::<f64>()).ln();
+            t += gap.min(40.0);
+            Arrival { job, at_s: t }
+        })
+        .collect();
+    println!(
+        "arrivals span 0..{:.0}s (mean gap {:.1}s)",
+        arrivals.last().unwrap().at_s,
+        arrivals.last().unwrap().at_s / n as f64
+    );
+
+    // Online HCS.
+    let policy = OnlinePolicy::new(rt.model(), HcsConfig::with_cap(cap));
+    let mut gov = NullGovernor;
+    let online = runtime::execute_online(
+        rt.machine(),
+        rt.jobs(),
+        rt.model(),
+        &policy,
+        &arrivals,
+        &mut gov,
+        rt.machine().freqs.min_setting(),
+    )
+    .expect("online run");
+
+    // FIFO-on-GPU baseline (arrival order; starts as soon as the GPU frees;
+    // approximated by the sequential schedule — the GPU is the bottleneck
+    // so arrival gaps are absorbed).
+    let kg = rt.machine().freqs.gpu.max_level();
+    let mut fifo = Schedule::new();
+    for a in &arrivals {
+        fifo.gpu.push(Assignment { job: a.job, level: kg });
+    }
+    let fifo_run = rt.execute_governed(&fifo, apu_sim::Bias::Gpu);
+
+    // Random placement baseline (batch random schedule, governed).
+    let random = rt.random_avg_makespan(0..if fast_flag() { 3 } else { 10 });
+
+    println!();
+    println!("{}", row("method", &["makespan".into(), "vs online".into()]));
+    for (label, span) in [
+        ("online HCS", online.makespan_s),
+        ("GPU FIFO", fifo_run.makespan_s),
+        ("random (no arrivals)", random),
+    ] {
+        println!(
+            "{}",
+            row(label, &[format!("{span:.1}s"), pct(span / online.makespan_s - 1.0)])
+        );
+    }
+    // Flow-time view (online metric the batch formulation has no word for).
+    let mean_flow: f64 = online
+        .records
+        .iter()
+        .map(|r| r.end_s - arrivals.iter().find(|a| a.job == r.tag).unwrap().at_s)
+        .sum::<f64>()
+        / online.records.len() as f64;
+    println!();
+    println!("online HCS mean flow time: {mean_flow:.1}s");
+}

@@ -1,0 +1,76 @@
+//! Optimality-gap study (extension): how far do HCS and HCS+ sit from the
+//! constrained optimum? Compares, in the *model* (where the optimizers
+//! operate) and on ground truth:
+//!
+//! * HCS, HCS+ (the paper's schedulers),
+//! * simulated annealing seeded with HCS+ (stronger offline search),
+//! * branch-and-bound (exact over its level rule; n <= 8),
+//! * the paper's lower bound T_low.
+
+use bench::{banner, fast_flag, fast_runtime, paper_runtime, row};
+use corun_core::{
+    anneal, branch_and_bound, evaluate, fairness, AnnealConfig, BnbConfig,
+};
+use kernels::rodinia8;
+
+fn main() {
+    banner(
+        "Optimality gap",
+        "HCS/HCS+ vs annealing vs branch-and-bound vs T_low, 8 jobs, 15 W",
+        "extension (no paper counterpart); DESIGN.md section 7.7",
+    );
+    let cap = 15.0;
+    let machine = apu_sim::MachineConfig::ivy_bridge();
+    let wl = rodinia8(&machine);
+    let rt = if fast_flag() { fast_runtime(wl, cap) } else { paper_runtime(wl, cap) };
+    let m = rt.model();
+
+    let hcs = rt.schedule_hcs().schedule;
+    let hcs_plus = rt.schedule_hcs_plus();
+    let annealed = anneal(m, &hcs_plus, &AnnealConfig::new(cap)).schedule;
+    let bnb = branch_and_bound(m, &BnbConfig::new(cap));
+    println!(
+        "branch-and-bound: {} nodes expanded, {} pruned",
+        bnb.expanded, bnb.pruned
+    );
+
+    println!();
+    println!(
+        "{}",
+        row("method", &["model".into(), "truth".into(), "jain".into()])
+    );
+    for (name, sched) in [
+        ("HCS", &hcs),
+        ("HCS+", &hcs_plus),
+        ("anneal", &annealed),
+        ("bnb", &bnb.schedule),
+    ] {
+        let ev = evaluate(m, sched, Some(cap));
+        let truth = rt.execute_planned(sched).makespan_s;
+        let fair = fairness(m, &ev, cap);
+        println!(
+            "{}",
+            row(
+                name,
+                &[
+                    format!("{:.1}s", ev.makespan_s),
+                    format!("{truth:.1}s"),
+                    format!("{:.3}", fair.jain_index),
+                ],
+            )
+        );
+    }
+    let bound = rt.lower_bound();
+    println!(
+        "{}",
+        row("T_low", &[format!("{:.1}s", bound.t_low_s), "-".into(), "-".into()])
+    );
+    println!();
+    let ev_plus = evaluate(m, &hcs_plus, Some(cap)).makespan_s;
+    let ev_bnb = evaluate(m, &bnb.schedule, Some(cap)).makespan_s;
+    println!(
+        "HCS+ is {:.1}% above branch-and-bound in the model; T_low leaves {:.1}% slack below bnb",
+        (ev_plus / ev_bnb - 1.0) * 100.0,
+        (ev_bnb / bound.t_low_s - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,45 @@
+//! Section VI-D: scheduling overhead.
+//!
+//! The paper: "The scheduling algorithm takes almost no time to run (less
+//! than 0.1% of the makespan) for its linear computational complexity."
+//! This binary times the full scheduling path (HCS + HCS+ refinement +
+//! lower bound) against the executed makespan for the 8- and 16-job
+//! workloads.
+
+use bench::{banner, fast_flag, fast_runtime, paper_runtime};
+use corun_core::{hcs, lower_bound, refine, HcsConfig, RefineConfig};
+use kernels::{rodinia16, rodinia8};
+use std::time::Instant;
+
+fn main() {
+    banner(
+        "Section VI-D",
+        "scheduling overhead relative to the makespan",
+        "less than 0.1% of the makespan",
+    );
+    let machine = apu_sim::MachineConfig::ivy_bridge();
+    for (label, wl) in
+        [("8 jobs", rodinia8(&machine)), ("16 jobs", rodinia16(&machine, 2024))]
+    {
+        let rt = if fast_flag() {
+            fast_runtime(wl, 15.0)
+        } else {
+            paper_runtime(wl, 15.0)
+        };
+        let t0 = Instant::now();
+        let out = hcs(rt.model(), &HcsConfig::with_cap(15.0));
+        let refined = refine(rt.model(), &out.schedule, &RefineConfig::new(15.0));
+        let _ = lower_bound(rt.model(), 15.0);
+        let sched_time = t0.elapsed().as_secs_f64();
+        let makespan = rt.execute_planned(&refined.schedule).makespan_s;
+        println!(
+            "{label}: scheduling {:.3} ms vs makespan {makespan:.1}s -> {:.5}% of the makespan",
+            sched_time * 1e3,
+            sched_time / makespan * 100.0
+        );
+        assert!(
+            sched_time / makespan < 0.001,
+            "overhead exceeds the paper's 0.1% budget"
+        );
+    }
+}

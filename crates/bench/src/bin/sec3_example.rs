@@ -1,0 +1,72 @@
+//! Section III example: the four-program motivation study.
+//!
+//! Paper observations reproduced here:
+//! * dwt2d (CPU) + streamcluster (GPU): 81% / 5% slowdowns;
+//! * dwt2d (CPU) + hotspot (GPU): ~17% / ~5% slowdowns;
+//! * under a 15 W cap, the best co-schedule of the four programs is ~2.3x
+//!   faster than the worst.
+
+use apu_sim::{Device, MachineConfig, NullGovernor};
+use bench::{banner, fast_flag, fast_runtime, paper_runtime, pct};
+use corun_core::{evaluate, exhaustive_uniform_opts, CoRunModel};
+use kernels::{by_name, section3_four};
+
+fn main() {
+    banner(
+        "Section III",
+        "pairing sensitivity and best-vs-worst co-schedule under 15 W",
+        "81%/5% vs 17%/5% pair slowdowns; optimal 2.3x over worst",
+    );
+    let cfg = MachineConfig::ivy_bridge();
+    let s = cfg.freqs.max_setting();
+
+    // Pair slowdowns (ground truth co-runs at max frequency).
+    let sc = by_name(&cfg, "streamcluster").unwrap();
+    let dwt = by_name(&cfg, "dwt2d").unwrap();
+    let hot = by_name(&cfg, "hotspot").unwrap();
+    let dwt_solo = apu_sim::run_solo(&cfg, &dwt, Device::Cpu, s).unwrap().time_s;
+    let sc_solo = apu_sim::run_solo(&cfg, &sc, Device::Gpu, s).unwrap().time_s;
+    let hot_solo = apu_sim::run_solo(&cfg, &hot, Device::Gpu, s).unwrap().time_s;
+    let mut gov = NullGovernor;
+    let p1 = apu_sim::run_pair(&cfg, &dwt, &sc, s, &mut gov).unwrap();
+    let p2 = apu_sim::run_pair(&cfg, &dwt, &hot, s, &mut gov).unwrap();
+    println!(
+        "dwt2d(CPU) + streamcluster(GPU): dwt2d {} slower, streamcluster {} slower",
+        pct(p1.cpu_time_s / dwt_solo - 1.0),
+        pct(p1.gpu_time_s / sc_solo - 1.0)
+    );
+    println!(
+        "dwt2d(CPU) + hotspot(GPU):       dwt2d {} slower, hotspot {} slower",
+        pct(p2.cpu_time_s / dwt_solo - 1.0),
+        pct(p2.gpu_time_s / hot_solo - 1.0)
+    );
+
+    // Best vs worst co-schedule under the cap (exhaustive enumeration of
+    // partitions, orders and uniform frequency settings).
+    let cap = 15.0;
+    let wl = section3_four(&cfg);
+    let rt = if fast_flag() { fast_runtime(wl, cap) } else { paper_runtime(wl, cap) };
+    let ex = exhaustive_uniform_opts(rt.model(), cap, true);
+    println!();
+    println!(
+        "exhaustive search over {} schedules ({} cap-feasible):",
+        ex.evaluated, ex.feasible
+    );
+    println!("  best  co-schedule: {:.1}s  ({})", ex.best.1, ex.best.0);
+    println!("  worst co-schedule: {:.1}s  ({})", ex.worst.1, ex.worst.0);
+    println!(
+        "  worst/best ratio:  {:.2}x   (paper: ~2.3x)",
+        ex.worst.1 / ex.best.1
+    );
+
+    // Sanity: the heuristic lands near the exhaustive best.
+    let hcs = rt.schedule_hcs_plus();
+    let hcs_span = evaluate(rt.model(), &hcs, Some(cap)).makespan_s;
+    println!(
+        "  HCS+ predicted makespan: {:.1}s ({} from exhaustive best; may be \
+         better thanks to per-job levels)",
+        hcs_span,
+        pct(hcs_span / ex.best.1 - 1.0)
+    );
+    let _ = rt.model().len();
+}

@@ -1,0 +1,91 @@
+//! Table I: standalone execution times (profiled offline) and the minimal
+//! predicted co-run time against the least-degrading co-runner, plus the
+//! processor-preference classification.
+//!
+//! Paper: six programs prefer the GPU, dwt2d prefers the CPU, lud is
+//! non-preferred.
+
+use apu_sim::{Device, MachineConfig};
+use bench::{banner, fast_flag, fast_runtime, paper_runtime, row};
+use corun_core::{categorize, feasible_pair_settings, CoRunModel, HcsConfig, Preference};
+use kernels::rodinia8;
+
+fn main() {
+    banner(
+        "Table I",
+        "standalone + min predicted co-run times, preference per program",
+        "6x GPU-preferred, dwt2d CPU-preferred, lud non-preferred",
+    );
+    let cap = 16.0;
+    let machine = MachineConfig::ivy_bridge();
+    let wl = rodinia8(&machine);
+    let names: Vec<String> = wl.jobs.iter().map(|j| j.name.clone()).collect();
+    let rt = if fast_flag() { fast_runtime(wl, cap) } else { paper_runtime(wl, cap) };
+    let m = rt.model();
+    let kc = m.levels(Device::Cpu) - 1;
+    let kg = m.levels(Device::Gpu) - 1;
+    let hcfg = HcsConfig::with_cap(cap);
+
+    // Minimal co-run time of job i on device p: over partners and
+    // cap-feasible frequency pairs (the paper's "co-runner that introduces
+    // the smallest performance degradation predicted by the model").
+    let min_corun = |i: usize, device: Device| -> f64 {
+        let mut best = f64::INFINITY;
+        for j in 0..m.len() {
+            if i == j {
+                continue;
+            }
+            let (cj, gj) = match device {
+                Device::Cpu => (i, j),
+                Device::Gpu => (j, i),
+            };
+            for (f, g) in feasible_pair_settings(m, cj, gj, cap) {
+                let own = match device {
+                    Device::Cpu => f,
+                    Device::Gpu => g,
+                };
+                let co = match device {
+                    Device::Cpu => g,
+                    Device::Gpu => f,
+                };
+                let t = m.corun_time(i, device, own, j, co);
+                best = best.min(t);
+            }
+        }
+        best
+    };
+
+    println!(
+        "{}",
+        row(
+            "job",
+            &[
+                "min co(CPU)".into(),
+                "min co(GPU)".into(),
+                "solo CPU".into(),
+                "solo GPU".into(),
+                "preferred".into(),
+            ],
+        )
+    );
+    for i in 0..m.len() {
+        let pref = match categorize(m, &hcfg, i) {
+            Preference::Cpu => "CPU",
+            Preference::Gpu => "GPU",
+            Preference::Non => "Non",
+        };
+        println!(
+            "{}",
+            row(
+                &names[i],
+                &[
+                    format!("{:.2}", min_corun(i, Device::Cpu)),
+                    format!("{:.2}", min_corun(i, Device::Gpu)),
+                    format!("{:.2}", m.standalone(i, Device::Cpu, kc)),
+                    format!("{:.2}", m.standalone(i, Device::Gpu, kg)),
+                    pref.into(),
+                ],
+            )
+        );
+    }
+}

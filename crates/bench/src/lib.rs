@@ -1,0 +1,56 @@
+//! Shared helpers for the experiment regenerators (one binary per paper
+//! table/figure) and the criterion benchmarks.
+
+use apu_sim::MachineConfig;
+use kernels::Workload;
+use runtime::{CoScheduleRuntime, RuntimeConfig};
+
+/// Paper-fidelity runtime: measured profiles, 3x3-stage 11-point
+/// characterization, the given power cap.
+pub fn paper_runtime(workload: Workload, cap_w: f64) -> CoScheduleRuntime {
+    let machine = MachineConfig::ivy_bridge();
+    let mut cfg = RuntimeConfig::paper(&machine);
+    cfg.cap_w = cap_w;
+    CoScheduleRuntime::new(machine, workload.jobs, cfg)
+}
+
+/// Quick runtime for smoke-testing binaries (analytic profiles, coarse
+/// characterization). Shapes hold; absolute numbers are rougher.
+pub fn fast_runtime(workload: Workload, cap_w: f64) -> CoScheduleRuntime {
+    let machine = MachineConfig::ivy_bridge();
+    let mut cfg = RuntimeConfig::fast(&machine);
+    cfg.cap_w = cap_w;
+    CoScheduleRuntime::new(machine, workload.jobs, cfg)
+}
+
+/// Render one row of a fixed-width table.
+pub fn row(label: &str, cells: &[String]) -> String {
+    let mut s = format!("{label:<22}");
+    for c in cells {
+        s.push_str(&format!("{c:>12}"));
+    }
+    s
+}
+
+/// Format a float cell.
+pub fn f(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a percentage cell.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Standard experiment banner.
+pub fn banner(id: &str, what: &str, paper: &str) {
+    println!("================================================================");
+    println!("{id}: {what}");
+    println!("paper reference: {paper}");
+    println!("================================================================");
+}
+
+/// `--fast` flag: binaries accept it to run the coarse pipeline.
+pub fn fast_flag() -> bool {
+    std::env::args().any(|a| a == "--fast")
+}

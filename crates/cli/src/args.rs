@@ -1,0 +1,136 @@
+//! Minimal flag parsing (no external dependencies): `--key value` pairs,
+//! `--flag` booleans, and positional arguments.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    /// `--key value` options.
+    options: BTreeMap<String, String>,
+    /// Bare `--flag`s.
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse an iterator of arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut it = args.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err("empty flag `--`".into());
+                }
+                // a value follows unless the next token is another flag
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = it.next().expect("peeked");
+                        out.options.insert(key.to_owned(), v);
+                    }
+                    _ => out.flags.push(key.to_owned()),
+                }
+            } else {
+                out.positional.push(a);
+            }
+        }
+        Ok(out)
+    }
+
+    /// String option.
+    pub fn opt(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// String option with default.
+    pub fn opt_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.opt(key).unwrap_or(default)
+    }
+
+    /// Numeric option.
+    pub fn num<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.opt(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| format!("--{key}: `{v}` is not a valid number")),
+        }
+    }
+
+    /// Numeric option with default.
+    pub fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        Ok(self.num(key)?.unwrap_or(default))
+    }
+
+    /// Boolean flag.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// All option keys plus flags, for unknown-argument detection.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.options
+            .keys()
+            .map(String::as_str)
+            .chain(self.flags.iter().map(String::as_str))
+    }
+
+    /// Error if any provided key is not in `allowed`.
+    pub fn reject_unknown(&self, allowed: &[&str]) -> Result<(), String> {
+        for k in self.keys() {
+            if !allowed.contains(&k) {
+                return Err(format!("unknown option --{k} (allowed: {allowed:?})"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn positional_and_options() {
+        let a = parse("schedule --cap 15 --machine ivy rodinia8");
+        assert_eq!(a.positional, vec!["schedule", "rodinia8"]);
+        assert_eq!(a.opt("cap"), Some("15"));
+        assert_eq!(a.opt_or("machine", "x"), "ivy");
+        assert_eq!(a.opt_or("missing", "dflt"), "dflt");
+    }
+
+    #[test]
+    fn flags_without_values() {
+        let a = parse("run --fast --cap 12");
+        assert!(a.flag("fast"));
+        assert!(!a.flag("slow"));
+        assert_eq!(a.num::<f64>("cap").unwrap(), Some(12.0));
+    }
+
+    #[test]
+    fn flag_followed_by_flag() {
+        let a = parse("--fast --verbose");
+        assert!(a.flag("fast") && a.flag("verbose"));
+    }
+
+    #[test]
+    fn numeric_errors() {
+        let a = parse("--cap banana");
+        assert!(a.num::<f64>("cap").is_err());
+        assert_eq!(a.num_or("seed", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn unknown_rejection() {
+        let a = parse("--cap 15 --bogus x");
+        assert!(a.reject_unknown(&["cap"]).is_err());
+        assert!(a.reject_unknown(&["cap", "bogus"]).is_ok());
+    }
+}

@@ -1,0 +1,412 @@
+//! `corun` — co-run scheduling for power-capped integrated CPU-GPU packages.
+//!
+//! ```text
+//! corun machines
+//! corun programs   [--machine ivy|kaveri]
+//! corun schedule   [--workload rodinia8|rodinia16|sec3] [--spec FILE]
+//!                  [--method hcs+|hcs|random|default|bnb] [--cap W]
+//!                  [--machine ivy|kaveri] [--seed N] [--fast]
+//! corun predict    --cpu PROG --gpu PROG [--machine ivy|kaveri] [--fast]
+//! corun characterize --out FILE [--machine ivy|kaveri] [--fast]
+//! ```
+
+mod args;
+mod spec;
+
+use apu_sim::{Bias, Device, MachineConfig};
+use args::Args;
+use corun_core::{branch_and_bound, BnbConfig, CoRunModel};
+use runtime::{CoScheduleRuntime, RuntimeConfig};
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        print_help();
+        std::process::exit(2);
+    }
+    match run(raw) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run(raw: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let cmd = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .ok_or("missing subcommand")?;
+    match cmd {
+        "machines" => cmd_machines(),
+        "programs" => cmd_programs(&args),
+        "schedule" => cmd_schedule(&args),
+        "compare" => cmd_compare(&args),
+        "sweep" => cmd_sweep(&args),
+        "online" => cmd_online(&args),
+        "predict" => cmd_predict(&args),
+        "characterize" => cmd_characterize(&args),
+        "help" | "--help" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}` (try `corun help`)")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "corun — co-run scheduling for power-capped integrated CPU-GPU packages\n\n\
+         subcommands:\n\
+         \x20 machines                      list machine presets\n\
+         \x20 programs                      list calibrated programs (Table I)\n\
+         \x20 schedule                      schedule and execute a workload\n\
+         \x20 compare                       run every scheduler on one workload\n\
+         \x20 sweep                         sweep power caps x methods\n\
+         \x20 online                        online scheduling with job arrivals\n\
+         \x20 predict --cpu A --gpu B       predict one pair's co-run behaviour\n\
+         \x20 characterize --out FILE      cache the degradation space to disk\n\n\
+         common options: --machine ivy|kaveri  --cap WATTS  --fast"
+    );
+}
+
+fn machine_for(args: &Args) -> Result<MachineConfig, String> {
+    match args.opt_or("machine", "ivy") {
+        "ivy" | "ivy-bridge" => Ok(MachineConfig::ivy_bridge()),
+        "kaveri" => Ok(MachineConfig::kaveri()),
+        other => Err(format!("unknown machine `{other}` (ivy, kaveri)")),
+    }
+}
+
+fn cmd_machines() -> Result<(), String> {
+    for (name, m) in [("ivy", MachineConfig::ivy_bridge()), ("kaveri", MachineConfig::kaveri())] {
+        let busy = m.power_model().package_power_busy(m.freqs.max_setting());
+        println!(
+            "{name:<8} cpu {:>4.1}-{:.1} GHz x{} levels, {:.0} GFLOP/s peak | \
+             gpu {:.2}-{:.2} GHz x{} levels, {:.0} GFLOP/s peak | \
+             DRAM {:.1} GB/s | busy power {:.1} W",
+            m.freqs.cpu.min_ghz(),
+            m.freqs.cpu.max_ghz(),
+            m.freqs.cpu.len(),
+            m.cpu.compute_rate(m.f_max(Device::Cpu)),
+            m.freqs.gpu.min_ghz(),
+            m.freqs.gpu.max_ghz(),
+            m.freqs.gpu.len(),
+            m.gpu.compute_rate(m.f_max(Device::Gpu)),
+            m.memory.total_bw_gbps,
+            busy,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_programs(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["machine"])?;
+    let machine = machine_for(args)?;
+    println!(
+        "{:<15} {:>9} {:>9} {:>9} {:>7}",
+        "program", "cpu (s)", "gpu (s)", "demand", "prefers"
+    );
+    for def in kernels::program_defs() {
+        let job = kernels::build_program(&machine, &def);
+        let t_cpu = job.solo_time(
+            &machine.cpu,
+            Device::Cpu,
+            machine.f_max(Device::Cpu),
+            machine.f_max(Device::Cpu),
+        );
+        let t_gpu = job.solo_time(
+            &machine.gpu,
+            Device::Gpu,
+            machine.f_max(Device::Gpu),
+            machine.f_max(Device::Gpu),
+        );
+        let demand = job.avg_demand(
+            &machine.gpu,
+            Device::Gpu,
+            machine.f_max(Device::Gpu),
+            machine.f_max(Device::Gpu),
+        );
+        let pref = if t_cpu < t_gpu * 0.8 {
+            "CPU"
+        } else if t_gpu < t_cpu * 0.8 {
+            "GPU"
+        } else {
+            "-"
+        };
+        println!(
+            "{:<15} {:>9.2} {:>9.2} {:>7.1}GB/s {:>6}",
+            def.name, t_cpu, t_gpu, demand, pref
+        );
+    }
+    Ok(())
+}
+
+fn runtime_for(args: &Args, jobs: Vec<apu_sim::JobSpec>) -> Result<CoScheduleRuntime, String> {
+    let machine = machine_for(args)?;
+    let mut cfg = if args.flag("fast") {
+        RuntimeConfig::fast(&machine)
+    } else {
+        RuntimeConfig::paper(&machine)
+    };
+    cfg.cap_w = args.num_or("cap", 15.0)?;
+    if let Some(dir) = args.opt("cache") {
+        cfg.cache_dir = Some(std::path::PathBuf::from(dir));
+    }
+    Ok(CoScheduleRuntime::new(machine, jobs, cfg))
+}
+
+fn workload_for(args: &Args, machine: &MachineConfig) -> Result<Vec<apu_sim::JobSpec>, String> {
+    if let Some(path) = args.opt("spec") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("--spec {path}: {e}"))?;
+        return spec::build_jobs(machine, &spec::parse_spec(&text)?);
+    }
+    Ok(match args.opt_or("workload", "rodinia8") {
+        "rodinia8" => kernels::rodinia8(machine).jobs,
+        "rodinia16" => kernels::rodinia16(machine, args.num_or("seed", 2024)?).jobs,
+        "sec3" => kernels::section3_four(machine).jobs,
+        other => return Err(format!("unknown workload `{other}`")),
+    })
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["machine", "cap", "workload", "spec", "seed", "fast", "cache"])?;
+    let machine = machine_for(args)?;
+    let jobs = workload_for(args, &machine)?;
+    let n = jobs.len();
+    println!("offline stage: profiling {n} jobs + characterizing the machine ...");
+    let rt = runtime_for(args, jobs)?;
+    let cap = rt.config().cap_w;
+
+    let random = rt.random_avg_makespan(0..10);
+    let default_g = rt.execute_default(&rt.schedule_default(), Bias::Gpu).makespan_s;
+    let hcs = rt.execute_planned(&rt.schedule_hcs().schedule).makespan_s;
+    let hcs_plus_sched = rt.schedule_hcs_plus();
+    let hcs_plus = rt.execute_planned(&hcs_plus_sched).makespan_s;
+    let annealed = corun_core::anneal(
+        rt.model(),
+        &hcs_plus_sched,
+        &corun_core::AnnealConfig::new(cap),
+    );
+    let anneal_truth = rt.execute_planned(&annealed.schedule).makespan_s;
+    let bound = rt.lower_bound().t_low_s;
+
+    println!();
+    println!("{:<16} {:>10} {:>10}", "method", "makespan", "vs random");
+    let mut show = |name: &str, span: f64| {
+        println!(
+            "{name:<16} {span:>9.1}s {:>9.1}%",
+            (random / span - 1.0) * 100.0
+        );
+    };
+    show("random (avg)", random);
+    show("default_g", default_g);
+    show("hcs", hcs);
+    show("hcs+", hcs_plus);
+    show("anneal", anneal_truth);
+    if n <= 8 {
+        let bnb = branch_and_bound(rt.model(), &BnbConfig::new(cap));
+        let bnb_truth = rt.execute_planned(&bnb.schedule).makespan_s;
+        show("bnb (oracle)", bnb_truth);
+    }
+    show("lower bound", bound);
+    Ok(())
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["machine", "workload", "spec", "seed", "fast", "cache", "caps"])?;
+    let machine = machine_for(args)?;
+    let jobs = workload_for(args, &machine)?;
+    let caps: Vec<f64> = args
+        .opt_or("caps", "18,15,12")
+        .split(',')
+        .map(|t| t.trim().parse::<f64>().map_err(|_| format!("bad cap `{t}`")))
+        .collect::<Result<_, _>>()?;
+    let mut base = if args.flag("fast") {
+        RuntimeConfig::fast(&machine)
+    } else {
+        RuntimeConfig::paper(&machine)
+    };
+    if let Some(dir) = args.opt("cache") {
+        base.cache_dir = Some(std::path::PathBuf::from(dir));
+    }
+    println!("sweeping {} caps x 4 methods over {} jobs ...", caps.len(), jobs.len());
+    let r = runtime::cap_sweep(&machine, &jobs, &base, &caps, &runtime::Method::ALL, 5);
+    println!();
+    println!("{}", r.render());
+    Ok(())
+}
+
+fn cmd_online(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&[
+        "machine", "cap", "workload", "spec", "seed", "fast", "cache", "trace", "gap",
+    ])?;
+    let machine = machine_for(args)?;
+    let jobs = workload_for(args, &machine)?;
+    let n = jobs.len();
+    let seed = args.num_or("seed", 7u64)?;
+    let gap = args.num_or("gap", 10.0)?;
+    let arrivals: Vec<corun_core::Arrival> = match args.opt_or("trace", "poisson") {
+        "batch" => kernels::batch_arrivals(n),
+        "poisson" => kernels::poisson(n, gap, gap * 4.0, seed),
+        "bursty" => kernels::bursty(n, 3, gap * 6.0, gap, seed),
+        "staircase" => kernels::staircase(n, gap),
+        other => return Err(format!("unknown trace `{other}`")),
+    }
+    .into_iter()
+    .map(|a| corun_core::Arrival { job: a.job, at_s: a.at_s })
+    .collect();
+
+    println!("offline stage: profiling {n} jobs + characterizing the machine ...");
+    let rt = runtime_for(args, jobs)?;
+    let policy =
+        corun_core::OnlinePolicy::new(rt.model(), corun_core::HcsConfig::with_cap(rt.config().cap_w));
+    let mut gov = apu_sim::NullGovernor;
+    let report = runtime::execute_online(
+        rt.machine(),
+        rt.jobs(),
+        rt.model(),
+        &policy,
+        &arrivals,
+        &mut gov,
+        rt.machine().freqs.min_setting(),
+    )
+    .map_err(|e| e.to_string())?;
+    println!();
+    println!(
+        "arrivals 0..{:.0}s | {}",
+        arrivals.iter().map(|a| a.at_s).fold(0.0, f64::max),
+        runtime::summary(&report)
+    );
+    println!("{}", runtime::gantt(&report, 64));
+    Ok(())
+}
+
+fn cmd_schedule(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["machine", "cap", "workload", "spec", "method", "seed", "fast", "cache"])?;
+    let machine = machine_for(args)?;
+    let jobs = workload_for(args, &machine)?;
+    let n = jobs.len();
+    println!("offline stage: profiling {n} jobs + characterizing the machine ...");
+    let rt = runtime_for(args, jobs)?;
+    let cap = rt.config().cap_w;
+
+    let method = args.opt_or("method", "hcs+");
+    let seed = args.num_or("seed", 0u64)?;
+    let (label, report) = match method {
+        "hcs" => ("HCS", rt.execute_planned(&rt.schedule_hcs().schedule)),
+        "hcs+" => ("HCS+", rt.execute_planned(&rt.schedule_hcs_plus())),
+        "random" => ("Random", rt.execute_governed(&rt.schedule_random(seed), Bias::Gpu)),
+        "default" => ("Default", rt.execute_default(&rt.schedule_default(), Bias::Gpu)),
+        "bnb" => {
+            if n > 9 {
+                return Err(format!("bnb is exponential; {n} jobs is too many (max 9)"));
+            }
+            let r = branch_and_bound(rt.model(), &BnbConfig::new(cap));
+            println!(
+                "branch-and-bound: expanded {} nodes, pruned {}",
+                r.expanded, r.pruned
+            );
+            ("BnB", rt.execute_planned(&r.schedule))
+        }
+        other => return Err(format!("unknown method `{other}`")),
+    };
+
+    println!();
+    println!("{label} | peak power {:.1} W (cap {cap} W)", report.trace.max_w());
+    println!("{}", runtime::full_report(&report, 64));
+    let bound = rt.lower_bound();
+    println!(
+        "lower bound on the optimal makespan: {:.1}s (achieved is {:.0}% above)",
+        bound.t_low_s,
+        (report.makespan_s / bound.t_low_s - 1.0) * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_predict(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["machine", "cap", "cpu", "gpu", "fast"])?;
+    let cpu_name = args.opt("cpu").ok_or("--cpu PROG is required")?.to_owned();
+    let gpu_name = args.opt("gpu").ok_or("--gpu PROG is required")?.to_owned();
+    let machine = machine_for(args)?;
+    let jobs = vec![
+        kernels::by_name(&machine, &cpu_name).ok_or(format!("unknown program {cpu_name}"))?,
+        kernels::by_name(&machine, &gpu_name).ok_or(format!("unknown program {gpu_name}"))?,
+    ];
+    let rt = runtime_for(args, jobs)?;
+    let m = rt.model();
+    let cap = rt.config().cap_w;
+    let feas = corun_core::feasible_pair_settings(m, 0, 1, cap);
+    if feas.is_empty() {
+        return Err(format!("no frequency setting fits the {cap} W cap for this pair"));
+    }
+    let (f, g) = feas
+        .iter()
+        .copied()
+        .min_by(|&(f1, g1), &(f2, g2)| {
+            let t1 = m.corun_time(0, Device::Cpu, f1, 1, g1)
+                .max(m.corun_time(1, Device::Gpu, g1, 0, f1));
+            let t2 = m.corun_time(0, Device::Cpu, f2, 1, g2)
+                .max(m.corun_time(1, Device::Gpu, g2, 0, f2));
+            t1.total_cmp(&t2)
+        })
+        .expect("non-empty");
+    println!(
+        "best cap-feasible setting: CPU level {f} ({:.2} GHz), GPU level {g} ({:.2} GHz)",
+        rt.machine().freqs.cpu.ghz(f),
+        rt.machine().freqs.gpu.ghz(g)
+    );
+    let d_cpu = m.degradation(0, Device::Cpu, f, 1, g);
+    let d_gpu = m.degradation(1, Device::Gpu, g, 0, f);
+    println!(
+        "{cpu_name}(CPU): {:.1}s solo -> {:.1}s co-run (+{:.0}%)",
+        m.standalone(0, Device::Cpu, f),
+        m.corun_time(0, Device::Cpu, f, 1, g),
+        d_cpu * 100.0
+    );
+    println!(
+        "{gpu_name}(GPU): {:.1}s solo -> {:.1}s co-run (+{:.0}%)",
+        m.standalone(1, Device::Gpu, g),
+        m.corun_time(1, Device::Gpu, g, 0, f),
+        d_gpu * 100.0
+    );
+    println!(
+        "predicted pair power: {:.1} W (cap {cap} W)",
+        m.corun_power(Some((0, f)), Some((1, g)))
+    );
+    println!(
+        "co-run beneficial vs sequential: {}",
+        corun_core::corun_beneficial(
+            m.standalone(0, Device::Cpu, f),
+            d_cpu,
+            m.standalone(1, Device::Gpu, g),
+            d_gpu
+        )
+    );
+    Ok(())
+}
+
+fn cmd_characterize(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["machine", "out", "fast"])?;
+    let out = args.opt("out").ok_or("--out FILE is required")?;
+    let machine = machine_for(args)?;
+    let ccfg = if args.flag("fast") {
+        perf_model::CharacterizeConfig::fast(&machine)
+    } else {
+        perf_model::CharacterizeConfig::paper(&machine)
+    };
+    println!(
+        "characterizing {} stages x {}x{} demand grid ...",
+        ccfg.cpu_stage_levels.len() * ccfg.gpu_stage_levels.len(),
+        ccfg.grid_points,
+        ccfg.grid_points
+    );
+    let stages = perf_model::characterize(&machine, &ccfg);
+    perf_model::save_stages(std::path::Path::new(out), &stages)
+        .map_err(|e| format!("saving {out}: {e}"))?;
+    println!("wrote {} stages to {out}", stages.len());
+    Ok(())
+}

@@ -1,0 +1,131 @@
+//! Workload specification files.
+//!
+//! A spec is a plain text file, one job per line:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! streamcluster            # one instance, default input
+//! dwt2d x1.5               # one instance, input scaled 1.5x
+//! lud x0.8 *3              # three instances at 0.8x input
+//! ```
+
+use apu_sim::{JobSpec, MachineConfig};
+use kernels::{by_name, with_input_scale};
+
+/// One parsed spec line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecLine {
+    /// Program name (must exist in the calibrated suite).
+    pub name: String,
+    /// Input scale.
+    pub scale: f64,
+    /// Instance count.
+    pub count: usize,
+}
+
+/// Parse a workload spec.
+pub fn parse_spec(text: &str) -> Result<Vec<SpecLine>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut name = None;
+        let mut scale = 1.0;
+        let mut count = 1usize;
+        for tok in line.split_whitespace() {
+            if let Some(s) = tok.strip_prefix('x') {
+                scale = s
+                    .parse()
+                    .map_err(|_| format!("line {}: bad scale `{tok}`", lineno + 1))?;
+                if scale <= 0.0 {
+                    return Err(format!("line {}: scale must be positive", lineno + 1));
+                }
+            } else if let Some(c) = tok.strip_prefix('*') {
+                count = c
+                    .parse()
+                    .map_err(|_| format!("line {}: bad count `{tok}`", lineno + 1))?;
+                if count == 0 {
+                    return Err(format!("line {}: count must be at least 1", lineno + 1));
+                }
+            } else if name.is_none() {
+                name = Some(tok.to_owned());
+            } else {
+                return Err(format!("line {}: unexpected token `{tok}`", lineno + 1));
+            }
+        }
+        let name = name.ok_or_else(|| format!("line {}: missing program name", lineno + 1))?;
+        out.push(SpecLine { name, scale, count });
+    }
+    if out.is_empty() {
+        return Err("spec contains no jobs".into());
+    }
+    Ok(out)
+}
+
+/// Materialize a parsed spec into jobs on `machine`.
+pub fn build_jobs(machine: &MachineConfig, spec: &[SpecLine]) -> Result<Vec<JobSpec>, String> {
+    let mut jobs = Vec::new();
+    for line in spec {
+        let base = by_name(machine, &line.name)
+            .ok_or_else(|| format!("unknown program `{}`", line.name))?;
+        for k in 0..line.count {
+            let mut j = if (line.scale - 1.0).abs() < 1e-12 {
+                base.clone()
+            } else {
+                with_input_scale(&base, line.scale)
+            };
+            if line.count > 1 {
+                j.name = format!("{}@{k}", j.name);
+            }
+            jobs.push(j);
+        }
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_grammar() {
+        let spec = parse_spec(
+            "# batch\nstreamcluster\ndwt2d x1.5\nlud x0.8 *3\n\nhotspot *2 # trailing\n",
+        )
+        .unwrap();
+        assert_eq!(spec.len(), 4);
+        assert_eq!(spec[0], SpecLine { name: "streamcluster".into(), scale: 1.0, count: 1 });
+        assert_eq!(spec[1], SpecLine { name: "dwt2d".into(), scale: 1.5, count: 1 });
+        assert_eq!(spec[2], SpecLine { name: "lud".into(), scale: 0.8, count: 3 });
+        assert_eq!(spec[3], SpecLine { name: "hotspot".into(), scale: 1.0, count: 2 });
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_spec("").is_err());
+        assert!(parse_spec("lud xbad").is_err());
+        assert!(parse_spec("lud *0").is_err());
+        assert!(parse_spec("lud extra tokens").is_err());
+        assert!(parse_spec("x1.5").is_err());
+    }
+
+    #[test]
+    fn builds_jobs_with_instancing() {
+        let machine = MachineConfig::ivy_bridge();
+        let spec = parse_spec("lud x0.5 *2\ndwt2d").unwrap();
+        let jobs = build_jobs(&machine, &spec).unwrap();
+        assert_eq!(jobs.len(), 3);
+        assert!(jobs[0].name.contains("@0"));
+        assert!(jobs[1].name.contains("@1"));
+        assert_eq!(jobs[2].name, "dwt2d");
+    }
+
+    #[test]
+    fn unknown_program_is_an_error() {
+        let machine = MachineConfig::ivy_bridge();
+        let spec = parse_spec("doesnotexist").unwrap();
+        assert!(build_jobs(&machine, &spec).is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! # corun-core — co-scheduling algorithms for power-capped CPU-GPU packages
+//!
+//! The algorithmic contribution of *"Co-Run Scheduling with Power Cap on
+//! Integrated CPU-GPU Systems"* (Zhu et al., IPDPS 2017), implemented over
+//! an abstract [`CoRunModel`]:
+//!
+//! * [`theorem`] — the Co-Run Theorem and partial-overlap co-run arithmetic;
+//! * [`hcs`] — the three-step heuristic co-scheduling algorithm with its
+//!   power-cap adaptations;
+//! * [`refine`] — the HCS+ three-pass local refinement;
+//! * [`bound`] — the lower bound `T_low` on the optimal makespan;
+//! * [`baselines`] — Random and Default comparison schedulers;
+//! * [`exhaustive`] — small-batch exhaustive search (Section III example);
+//! * [`evaluate`] — model-based schedule evaluation (makespan, power, cap);
+//! * [`freqgrid`] — cap-feasible frequency enumeration;
+//! * [`model`], [`schedule`] — the data model.
+//!
+//! Extensions beyond the paper:
+//!
+//! * [`bnb`] — branch-and-bound optimal search (small batches);
+//! * [`anneal`] — simulated-annealing schedule search;
+//! * [`online`] — arrival-driven online policy and model-level replay;
+//! * [`chains`] — long-job / short-job-sequence arithmetic and solver;
+//! * [`objective`] — energy and energy-delay-product objectives;
+//! * [`fairness`] — per-job slowdown and Jain-index metrics.
+
+pub mod anneal;
+pub mod baselines;
+pub mod bnb;
+pub mod chains;
+pub mod fairness;
+pub mod bound;
+pub mod evaluate;
+pub mod exhaustive;
+pub mod freqgrid;
+pub mod hcs;
+pub mod model;
+pub mod objective;
+pub mod online;
+pub mod refine;
+pub mod schedule;
+pub mod theorem;
+
+pub use baselines::{default_partition, random_schedule, DefaultPartition};
+pub use anneal::{anneal, AnnealConfig, AnnealOutcome};
+pub use bnb::{branch_and_bound, BnbConfig, BnbResult};
+pub use fairness::{fairness, FairnessReport};
+pub use bound::{lower_bound, BoundReport};
+pub use chains::{best_sequence, chain_completion, ChainOutcome};
+pub use evaluate::{evaluate, EvalReport, Segment};
+pub use exhaustive::{exhaustive_uniform, exhaustive_uniform_opts, ExhaustiveResult};
+pub use freqgrid::{
+    best_level_against, best_solo_level, best_solo_placement, best_solo_run,
+    feasible_pair_settings,
+};
+pub use hcs::{categorize, hcs, partition, HcsConfig, HcsOutcome, Preference};
+pub use model::{CoRunModel, JobId, TableModel};
+pub use objective::{edp_js, energy_j, objective_value, Objective};
+pub use online::{evaluate_online, Arrival, OnlinePick, OnlinePolicy, OnlineReport};
+pub use refine::{refine, RefineConfig, RefineOutcome};
+pub use schedule::{Assignment, Schedule, SoloRun};
+pub use theorem::{corun_beneficial, corun_makespan_conservative, pair_completion};

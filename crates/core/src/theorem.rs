@@ -1,0 +1,164 @@
+//! The Co-Run Theorem (paper Section IV-A) and the paper's partial-overlap
+//! co-run-length arithmetic (the "side note" of Section IV-B).
+
+/// Co-Run Theorem: for two jobs with standalone lengths `l1`, `l2` and
+/// fractional co-run degradations `d1`, `d2`, the co-run produces higher
+/// throughput than running them sequentially **iff** `l_a * d_a < l_b`,
+/// where `a` is the job whose co-run length `l * (1 + d)` is the larger.
+///
+/// Proof (paper): the co-run makespan is `T_c = l_a (1 + d_a)`, the
+/// sequential makespan is `T_s = l_a + l_b`, and
+/// `(l_a d_a < l_b) == (T_c < T_s)`.
+pub fn corun_beneficial(l1: f64, d1: f64, l2: f64, d2: f64) -> bool {
+    debug_assert!(l1 >= 0.0 && l2 >= 0.0 && d1 >= 0.0 && d2 >= 0.0);
+    let c1 = l1 * (1.0 + d1);
+    let c2 = l2 * (1.0 + d2);
+    if c1 >= c2 {
+        l1 * d1 < l2
+    } else {
+        l2 * d2 < l1
+    }
+}
+
+/// Makespan of co-running the pair (the longer co-run length), assuming
+/// both are degraded for their entire execution — the conservative figure
+/// the theorem reasons about.
+pub fn corun_makespan_conservative(l1: f64, d1: f64, l2: f64, d2: f64) -> f64 {
+    (l1 * (1.0 + d1)).max(l2 * (1.0 + d2))
+}
+
+/// Completion times of two jobs started together, accounting for partial
+/// overlap (paper Section IV-B side note): once the shorter job finishes,
+/// the survivor's remaining work proceeds un-degraded.
+///
+/// With slowdown factors `s = 1 + d`: if job 1 finishes first
+/// (`l1 s1 <= l2 s2`), it completes at `t1 = l1 s1`; job 2 then has
+/// `l2 - t1 / s2` standalone work left, so `t2 = t1 + l2 - t1 / s2` —
+/// exactly the paper's `l1 d1 + l2 - l1 d1 / d2` with `d` as slowdown
+/// factors.
+pub fn pair_completion(l1: f64, d1: f64, l2: f64, d2: f64) -> (f64, f64) {
+    debug_assert!(l1 >= 0.0 && l2 >= 0.0 && d1 >= 0.0 && d2 >= 0.0);
+    if l1 <= 0.0 {
+        return (0.0, l2);
+    }
+    if l2 <= 0.0 {
+        return (l1, 0.0);
+    }
+    let s1 = 1.0 + d1;
+    let s2 = 1.0 + d2;
+    let c1 = l1 * s1;
+    let c2 = l2 * s2;
+    if c1 <= c2 {
+        let t1 = c1;
+        let t2 = t1 + (l2 - t1 / s2);
+        (t1, t2)
+    } else {
+        let t2 = c2;
+        let t1 = t2 + (l1 - t2 / s1);
+        (t1, t2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beneficial_when_interference_small() {
+        // 10s and 8s jobs with 10% mutual degradation: co-run makespan 11
+        // vs sequential 18.
+        assert!(corun_beneficial(10.0, 0.1, 8.0, 0.1));
+    }
+
+    #[test]
+    fn not_beneficial_when_interference_huge() {
+        // Degradation so large that the longer co-run exceeds the sum:
+        // l1*d1 = 10*1.5 = 15 > l2 = 8.
+        assert!(!corun_beneficial(10.0, 1.5, 8.0, 0.2));
+    }
+
+    #[test]
+    fn boundary_case_equality_is_not_beneficial() {
+        // l1*d1 == l2 exactly: T_c == T_s, strict inequality fails.
+        assert!(!corun_beneficial(10.0, 0.8, 8.0, 0.0));
+    }
+
+    #[test]
+    fn theorem_is_symmetric_in_argument_order() {
+        for (l1, d1, l2, d2) in [
+            (10.0, 0.3, 7.0, 0.6),
+            (5.0, 0.05, 50.0, 0.4),
+            (20.0, 1.2, 3.0, 0.0),
+        ] {
+            assert_eq!(
+                corun_beneficial(l1, d1, l2, d2),
+                corun_beneficial(l2, d2, l1, d1)
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_agrees_with_direct_makespan_comparison() {
+        // Exhaustive sweep: the predicate must equal T_c < T_s.
+        for li in 1..20 {
+            for lj in 1..20 {
+                for di in 0..10 {
+                    for dj in 0..10 {
+                        let (l1, l2) = (li as f64, lj as f64);
+                        let (d1, d2) = (di as f64 * 0.15, dj as f64 * 0.15);
+                        let tc = corun_makespan_conservative(l1, d1, l2, d2);
+                        let ts = l1 + l2;
+                        assert_eq!(
+                            corun_beneficial(l1, d1, l2, d2),
+                            tc < ts,
+                            "l1={l1} d1={d1} l2={l2} d2={d2}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_completion_equal_jobs() {
+        let (t1, t2) = pair_completion(10.0, 0.2, 10.0, 0.2);
+        assert!((t1 - 12.0).abs() < 1e-12);
+        assert!((t2 - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_completion_short_long() {
+        // short job (5s, 10% deg) finishes at 5.5; long job (20s, 25% deg)
+        // covered 5.5/1.25 = 4.4s of standalone work, then runs clean.
+        let (ts, tl) = pair_completion(5.0, 0.1, 20.0, 0.25);
+        assert!((ts - 5.5).abs() < 1e-12);
+        assert!((tl - (5.5 + 20.0 - 4.4)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pair_completion_survivor_faster_than_conservative() {
+        let (_, t2) = pair_completion(5.0, 0.1, 20.0, 0.25);
+        assert!(t2 < 20.0 * 1.25);
+        assert!(t2 > 20.0, "still slower than fully solo");
+    }
+
+    #[test]
+    fn pair_completion_zero_length_jobs() {
+        assert_eq!(pair_completion(0.0, 0.5, 7.0, 0.5), (0.0, 7.0));
+        assert_eq!(pair_completion(7.0, 0.5, 0.0, 0.5), (7.0, 0.0));
+    }
+
+    #[test]
+    fn pair_completion_no_degradation() {
+        let (t1, t2) = pair_completion(8.0, 0.0, 3.0, 0.0);
+        assert_eq!((t1, t2), (8.0, 3.0));
+    }
+
+    #[test]
+    fn pair_completion_symmetric() {
+        let (a1, a2) = pair_completion(9.0, 0.3, 14.0, 0.45);
+        let (b2, b1) = pair_completion(14.0, 0.45, 9.0, 0.3);
+        assert!((a1 - b1).abs() < 1e-12);
+        assert!((a2 - b2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,29 @@
+//! # kernels — synthetic OpenCL-like workloads
+//!
+//! Two workload families used throughout the reproduction of
+//! *"Co-Run Scheduling with Power Cap on Integrated CPU-GPU Systems"*:
+//!
+//! * [`micro`] — the paper's Figure-4 micro-benchmark: a controllable
+//!   memory-system stressor whose DRAM demand can be dialed from 0 to the
+//!   device peak. Used to characterize the co-run degradation space.
+//! * [`rodinia`] — eight multi-phase programs calibrated so that their
+//!   standalone CPU/GPU run times at the highest frequency match the
+//!   paper's Table I.
+//! * [`workload`] — batch builders for the paper's 8- and 16-instance
+//!   studies and the Section III example.
+//! * [`synthetic`] — parameterized random program generation.
+//! * [`traces`] — arrival-trace generators for online studies.
+
+pub mod micro;
+pub mod rodinia;
+pub mod synthetic;
+pub mod traces;
+pub mod workload;
+
+pub use micro::{paper_bandwidth_levels, MicroKernel, MicroParams};
+pub use rodinia::{
+    build_program, by_name, program_defs, rodinia_suite, with_input_scale, LlcProfile, ProgramDef,
+};
+pub use synthetic::{synthetic_batch, synthetic_program, SyntheticSpace};
+pub use traces::{batch as batch_arrivals, bursty, poisson, staircase, ArrivalSpec};
+pub use workload::{random_batch, rodinia16, rodinia8, section3_four, Workload};

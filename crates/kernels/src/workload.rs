@@ -1,0 +1,139 @@
+//! Workload (job batch) construction for the paper's experiments.
+
+use crate::rodinia::{rodinia_suite, with_input_scale};
+use apu_sim::{JobSpec, MachineConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A batch of independent jobs to co-schedule, with stable indices.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The jobs; a job's index in this vector is its id everywhere else.
+    pub jobs: Vec<JobSpec>,
+    /// Human-readable label ("rodinia-8", "rodinia-16", ...).
+    pub label: String,
+}
+
+impl Workload {
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Job names in index order.
+    pub fn names(&self) -> Vec<&str> {
+        self.jobs.iter().map(|j| j.name.as_str()).collect()
+    }
+}
+
+/// The paper's 8-instance study: one instance of each Rodinia program
+/// (Figure 10).
+pub fn rodinia8(cfg: &MachineConfig) -> Workload {
+    Workload { jobs: rodinia_suite(cfg), label: "rodinia-8".into() }
+}
+
+/// The paper's 16-instance scalability study: two instances of each program
+/// with different inputs (Figure 11). Input scales are drawn
+/// deterministically from `seed` in `[0.8, 1.25]`.
+pub fn rodinia16(cfg: &MachineConfig, seed: u64) -> Workload {
+    let base = rodinia_suite(cfg);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut jobs = Vec::with_capacity(16);
+    for j in &base {
+        jobs.push(j.clone());
+        let scale = rng.gen_range(0.8..1.25);
+        jobs.push(with_input_scale(j, scale));
+    }
+    Workload { jobs, label: "rodinia-16".into() }
+}
+
+/// The four-program example of the paper's Section III: streamcluster, cfd,
+/// dwt2d and hotspot.
+pub fn section3_four(cfg: &MachineConfig) -> Workload {
+    let names = ["streamcluster", "cfd", "dwt2d", "hotspot"];
+    let jobs = names
+        .iter()
+        .map(|n| crate::rodinia::by_name(cfg, n).expect("known program"))
+        .collect();
+    Workload { jobs, label: "section3-4".into() }
+}
+
+/// A randomized subset of `n` jobs drawn (with replacement, varied inputs)
+/// from the suite — handy for stress and property tests.
+pub fn random_batch(cfg: &MachineConfig, n: usize, seed: u64) -> Workload {
+    let base = rodinia_suite(cfg);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let jobs = (0..n)
+        .map(|_| {
+            let j = &base[rng.gen_range(0..base.len())];
+            let scale = rng.gen_range(0.7..1.4);
+            with_input_scale(j, scale)
+        })
+        .collect();
+    Workload { jobs, label: format!("random-{n}-s{seed}") }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::ivy_bridge()
+    }
+
+    #[test]
+    fn rodinia8_has_one_of_each() {
+        let w = rodinia8(&cfg());
+        assert_eq!(w.len(), 8);
+        let mut names = w.names();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8, "all names distinct");
+    }
+
+    #[test]
+    fn rodinia16_has_two_of_each() {
+        let w = rodinia16(&cfg(), 7);
+        assert_eq!(w.len(), 16);
+        let base_count = w
+            .jobs
+            .iter()
+            .filter(|j| !j.name.contains('#'))
+            .count();
+        assert_eq!(base_count, 8);
+    }
+
+    #[test]
+    fn rodinia16_deterministic_per_seed() {
+        let cfg = cfg();
+        let a = rodinia16(&cfg, 42);
+        let b = rodinia16(&cfg, 42);
+        let c = rodinia16(&cfg, 43);
+        assert_eq!(a.names(), b.names());
+        assert_ne!(
+            a.jobs.iter().map(|j| j.total_flops()).collect::<Vec<_>>(),
+            c.jobs.iter().map(|j| j.total_flops()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn section3_matches_paper_example() {
+        let w = section3_four(&cfg());
+        assert_eq!(w.names(), vec!["streamcluster", "cfd", "dwt2d", "hotspot"]);
+    }
+
+    #[test]
+    fn random_batch_sized_and_seeded() {
+        let cfg = cfg();
+        let a = random_batch(&cfg, 5, 1);
+        let b = random_batch(&cfg, 5, 1);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.names(), b.names());
+        assert!(!a.is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! Property tests for the micro-benchmark synthesizer: any reachable target
+//! bandwidth is hit within tolerance, at any frequency setting, on both
+//! machine presets.
+
+use apu_sim::{Device, FreqSetting, MachineConfig};
+use kernels::MicroKernel;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn solver_hits_reachable_targets(
+        target in 0.5f64..10.5,
+        duration in 1.0f64..8.0,
+        cpu_level in 0usize..16,
+        gpu_level in 0usize..10,
+        on_gpu in any::<bool>(),
+    ) {
+        let cfg = MachineConfig::ivy_bridge();
+        let setting = FreqSetting::new(cpu_level, gpu_level);
+        let device = if on_gpu { Device::Gpu } else { Device::Cpu };
+        let dev = cfg.device(device);
+        let f = cfg.freqs.ghz(device, setting);
+        let bw = dev.solo_bandwidth(f, cfg.f_max(device));
+        let reachable = target.min(bw * 0.999);
+
+        let mk = MicroKernel::for_bandwidth(&cfg, device, setting, reachable, duration);
+        let job = mk.to_job(&cfg);
+        let d = job.avg_demand(dev, device, f, cfg.f_max(device));
+        // Within 10% (integer i_max rounding dominates at short durations).
+        prop_assert!(
+            (d - reachable).abs() <= reachable.max(0.8) * 0.10 + 0.05,
+            "target {reachable} got {d} at {setting} on {device}"
+        );
+        let t = job.solo_time(dev, device, f, cfg.f_max(device));
+        prop_assert!((t - duration).abs() / duration < 0.25, "duration {t} vs {duration}");
+    }
+
+    #[test]
+    fn pressure_monotone_in_target(a in 0.5f64..5.0, delta in 0.5f64..5.0) {
+        let cfg = MachineConfig::ivy_bridge();
+        let s = cfg.freqs.max_setting();
+        let lo = MicroKernel::for_bandwidth(&cfg, Device::Gpu, s, a, 4.0).to_job(&cfg);
+        let hi = MicroKernel::for_bandwidth(&cfg, Device::Gpu, s, a + delta, 4.0).to_job(&cfg);
+        prop_assert!(hi.max_llc_pressure() + 1e-9 >= lo.max_llc_pressure());
+    }
+
+    #[test]
+    fn kaveri_targets_also_work(target in 0.5f64..9.0) {
+        let cfg = MachineConfig::kaveri();
+        let s = cfg.freqs.max_setting();
+        let mk = MicroKernel::for_bandwidth(&cfg, Device::Gpu, s, target, 4.0);
+        let job = mk.to_job(&cfg);
+        let f = cfg.freqs.ghz(Device::Gpu, s);
+        let d = job.avg_demand(&cfg.gpu, Device::Gpu, f, cfg.f_max(Device::Gpu));
+        prop_assert!((d - target).abs() <= target.max(0.8) * 0.12 + 0.05,
+            "target {target} got {d}");
+    }
+}

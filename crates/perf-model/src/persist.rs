@@ -1,0 +1,524 @@
+//! Persistence for the offline artifacts: standalone profiles and
+//! characterization stages.
+//!
+//! Characterization is a property of the *machine*, not of any particular
+//! batch, so a deployed runtime measures it once and caches it. The format
+//! is a small, versioned, line-oriented text format (no external parser
+//! dependencies): `key = value` scalars and whitespace-separated `f64`
+//! vectors, grouped in `[section]` blocks.
+
+use crate::characterize::Stage;
+use crate::probe::LlcVulnerability;
+use crate::profile::{DeviceProfile, JobProfile};
+use crate::surface::{DegradationSurface, Grid2D};
+use apu_sim::{FreqSetting, PerDevice};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Format version written to every file.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Errors from loading persisted artifacts.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is structurally invalid.
+    Malformed(String),
+    /// The file has an unsupported version.
+    Version(u32),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Malformed(m) => write!(f, "malformed file: {m}"),
+            PersistError::Version(v) => write!(f, "unsupported format version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn malformed(msg: impl Into<String>) -> PersistError {
+    PersistError::Malformed(msg.into())
+}
+
+// ---------------------------------------------------------------------------
+// encoding
+// ---------------------------------------------------------------------------
+
+fn write_vec(out: &mut String, key: &str, v: &[f64]) {
+    let _ = write!(out, "{key} =");
+    for x in v {
+        let _ = write!(out, " {x:e}");
+    }
+    out.push('\n');
+}
+
+/// Serialize characterization stages.
+pub fn stages_to_string(stages: &[Stage]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "format = corun-stages");
+    let _ = writeln!(out, "version = {FORMAT_VERSION}");
+    let _ = writeln!(out, "stages = {}", stages.len());
+    for (k, s) in stages.iter().enumerate() {
+        let _ = writeln!(out, "[stage {k}]");
+        let _ = writeln!(out, "cpu_level = {}", s.setting.cpu);
+        let _ = writeln!(out, "gpu_level = {}", s.setting.gpu);
+        let _ = writeln!(out, "cpu_ghz = {:e}", s.cpu_ghz);
+        let _ = writeln!(out, "gpu_ghz = {:e}", s.gpu_ghz);
+        for (label, grid) in
+            [("cpu", &s.surface.deg.cpu), ("gpu", &s.surface.deg.gpu)]
+        {
+            write_vec(&mut out, &format!("{label}_axis_cpu"), &grid.cpu_axis);
+            write_vec(&mut out, &format!("{label}_axis_gpu"), &grid.gpu_axis);
+            write_vec(&mut out, &format!("{label}_values"), &grid.values);
+        }
+    }
+    out
+}
+
+/// Serialize standalone profiles.
+pub fn profiles_to_string(profiles: &[JobProfile]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "format = corun-profiles");
+    let _ = writeln!(out, "version = {FORMAT_VERSION}");
+    let _ = writeln!(out, "jobs = {}", profiles.len());
+    for (k, p) in profiles.iter().enumerate() {
+        let _ = writeln!(out, "[job {k}]");
+        let _ = writeln!(out, "name = {}", p.name);
+        for (label, d) in [("cpu", &p.per_device.cpu), ("gpu", &p.per_device.gpu)] {
+            write_vec(&mut out, &format!("{label}_time"), &d.time_s);
+            write_vec(&mut out, &format!("{label}_demand"), &d.demand_gbps);
+            write_vec(&mut out, &format!("{label}_power"), &d.power_w);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// decoding
+// ---------------------------------------------------------------------------
+
+/// A parsed `key = value` stream with section markers flattened out.
+struct Fields<'a> {
+    entries: Vec<(&'a str, &'a str)>,
+    pos: usize,
+}
+
+impl<'a> Fields<'a> {
+    fn parse(text: &'a str) -> Self {
+        let entries = text
+            .lines()
+            .filter_map(|l| {
+                let l = l.trim();
+                if l.is_empty() || l.starts_with('#') || l.starts_with('[') {
+                    return None;
+                }
+                let (k, v) = l.split_once('=')?;
+                Some((k.trim(), v.trim()))
+            })
+            .collect();
+        Fields { entries, pos: 0 }
+    }
+
+    fn expect(&mut self, key: &str) -> Result<&'a str, PersistError> {
+        let (k, v) = self
+            .entries
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| malformed(format!("unexpected end of file, wanted `{key}`")))?;
+        if k != key {
+            return Err(malformed(format!("expected `{key}`, found `{k}`")));
+        }
+        self.pos += 1;
+        Ok(v)
+    }
+
+    fn expect_num<T: std::str::FromStr>(&mut self, key: &str) -> Result<T, PersistError> {
+        self.expect(key)?
+            .parse::<T>()
+            .map_err(|_| malformed(format!("`{key}` is not a number")))
+    }
+
+    fn expect_vec(&mut self, key: &str) -> Result<Vec<f64>, PersistError> {
+        self.expect(key)?
+            .split_whitespace()
+            .map(|t| {
+                t.parse::<f64>()
+                    .map_err(|_| malformed(format!("bad float in `{key}`")))
+            })
+            .collect()
+    }
+}
+
+fn check_header(fields: &mut Fields<'_>, format: &str) -> Result<(), PersistError> {
+    let f = fields.expect("format")?;
+    if f != format {
+        return Err(malformed(format!("wrong format: `{f}` (wanted `{format}`)")));
+    }
+    let v: u32 = fields.expect_num("version")?;
+    if v != FORMAT_VERSION {
+        return Err(PersistError::Version(v));
+    }
+    Ok(())
+}
+
+/// Deserialize characterization stages.
+pub fn stages_from_string(text: &str) -> Result<Vec<Stage>, PersistError> {
+    let mut f = Fields::parse(text);
+    check_header(&mut f, "corun-stages")?;
+    let n: usize = f.expect_num("stages")?;
+    let mut stages = Vec::with_capacity(n);
+    for _ in 0..n {
+        let cpu_level: usize = f.expect_num("cpu_level")?;
+        let gpu_level: usize = f.expect_num("gpu_level")?;
+        let cpu_ghz: f64 = f.expect_num("cpu_ghz")?;
+        let gpu_ghz: f64 = f.expect_num("gpu_ghz")?;
+        let mut grids = Vec::with_capacity(2);
+        for label in ["cpu", "gpu"] {
+            let ax_c = f.expect_vec(&format!("{label}_axis_cpu"))?;
+            let ax_g = f.expect_vec(&format!("{label}_axis_gpu"))?;
+            let vals = f.expect_vec(&format!("{label}_values"))?;
+            if vals.len() != ax_c.len() * ax_g.len() {
+                return Err(malformed("grid dimension mismatch"));
+            }
+            grids.push(Grid2D::new(ax_c, ax_g, vals));
+        }
+        let gpu_grid = grids.pop().expect("two grids");
+        let cpu_grid = grids.pop().expect("two grids");
+        stages.push(Stage {
+            setting: FreqSetting::new(cpu_level, gpu_level),
+            cpu_ghz,
+            gpu_ghz,
+            surface: DegradationSurface { deg: PerDevice::new(cpu_grid, gpu_grid) },
+        });
+    }
+    Ok(stages)
+}
+
+/// Deserialize standalone profiles.
+pub fn profiles_from_string(text: &str) -> Result<Vec<JobProfile>, PersistError> {
+    let mut f = Fields::parse(text);
+    check_header(&mut f, "corun-profiles")?;
+    let n: usize = f.expect_num("jobs")?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = f.expect("name")?.to_owned();
+        let mut devs = Vec::with_capacity(2);
+        for label in ["cpu", "gpu"] {
+            let time_s = f.expect_vec(&format!("{label}_time"))?;
+            let demand = f.expect_vec(&format!("{label}_demand"))?;
+            let power = f.expect_vec(&format!("{label}_power"))?;
+            if time_s.len() != demand.len() || time_s.len() != power.len() {
+                return Err(malformed("profile ladder length mismatch"));
+            }
+            devs.push(DeviceProfile { time_s, demand_gbps: demand, power_w: power });
+        }
+        let gpu = devs.pop().expect("two devices");
+        let cpu = devs.pop().expect("two devices");
+        out.push(JobProfile { name, per_device: PerDevice::new(cpu, gpu) });
+    }
+    Ok(out)
+}
+
+/// The complete offline artifact of a runtime: profiles, stages, and (when
+/// probed) LLC vulnerabilities, serialized together.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelBundle {
+    /// Standalone profiles of the batch.
+    pub profiles: Vec<JobProfile>,
+    /// Characterization stages of the machine.
+    pub stages: Vec<Stage>,
+    /// Per-job LLC vulnerabilities, if the probe ran.
+    pub vulnerabilities: Option<Vec<LlcVulnerability>>,
+}
+
+/// Serialize a full bundle.
+pub fn bundle_to_string(bundle: &ModelBundle) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "format = corun-bundle");
+    let _ = writeln!(out, "version = {FORMAT_VERSION}");
+    let _ = writeln!(out, "[profiles]");
+    out.push_str(&profiles_to_string(&bundle.profiles));
+    let _ = writeln!(out, "[stages]");
+    out.push_str(&stages_to_string(&bundle.stages));
+    match &bundle.vulnerabilities {
+        Some(v) => {
+            let _ = writeln!(out, "vulns = {}", v.len());
+            for (k, vv) in v.iter().enumerate() {
+                let _ = writeln!(out, "[vuln {k}]");
+                for (label, knots) in [("cpu", &vv.curve.cpu), ("gpu", &vv.curve.gpu)] {
+                    let flat: Vec<f64> =
+                        knots.iter().flat_map(|&(d, e)| [d, e]).collect();
+                    write_vec(&mut out, &format!("{label}_knots"), &flat);
+                }
+            }
+        }
+        None => {
+            let _ = writeln!(out, "vulns = none");
+        }
+    }
+    out
+}
+
+/// Deserialize a full bundle.
+pub fn bundle_from_string(text: &str) -> Result<ModelBundle, PersistError> {
+    let mut f = Fields::parse(text);
+    check_header(&mut f, "corun-bundle")?;
+    // Profiles and stages re-declare their own headers inline.
+    check_header(&mut f, "corun-profiles")?;
+    let n: usize = f.expect_num("jobs")?;
+    let mut profiles = Vec::with_capacity(n);
+    for _ in 0..n {
+        profiles.push(read_profile(&mut f)?);
+    }
+    check_header(&mut f, "corun-stages")?;
+    let ns: usize = f.expect_num("stages")?;
+    let mut stages = Vec::with_capacity(ns);
+    for _ in 0..ns {
+        stages.push(read_stage(&mut f)?);
+    }
+    let vulnerabilities = match f.expect("vulns")? {
+        "none" => None,
+        count => {
+            let nv: usize = count
+                .parse()
+                .map_err(|_| malformed("bad vulnerability count"))?;
+            let mut out = Vec::with_capacity(nv);
+            for _ in 0..nv {
+                let mut curves = Vec::with_capacity(2);
+                for label in ["cpu", "gpu"] {
+                    let flat = f.expect_vec(&format!("{label}_knots"))?;
+                    if flat.len() % 2 != 0 {
+                        return Err(malformed("odd knot vector"));
+                    }
+                    curves.push(
+                        flat.chunks(2).map(|c| (c[0], c[1])).collect::<Vec<(f64, f64)>>(),
+                    );
+                }
+                let gpu = curves.pop().expect("two curves");
+                let cpu = curves.pop().expect("two curves");
+                out.push(LlcVulnerability { curve: PerDevice::new(cpu, gpu) });
+            }
+            Some(out)
+        }
+    };
+    Ok(ModelBundle { profiles, stages, vulnerabilities })
+}
+
+fn read_profile(f: &mut Fields<'_>) -> Result<JobProfile, PersistError> {
+    let name = f.expect("name")?.to_owned();
+    let mut devs = Vec::with_capacity(2);
+    for label in ["cpu", "gpu"] {
+        let time_s = f.expect_vec(&format!("{label}_time"))?;
+        let demand = f.expect_vec(&format!("{label}_demand"))?;
+        let power = f.expect_vec(&format!("{label}_power"))?;
+        if time_s.len() != demand.len() || time_s.len() != power.len() {
+            return Err(malformed("profile ladder length mismatch"));
+        }
+        devs.push(DeviceProfile { time_s, demand_gbps: demand, power_w: power });
+    }
+    let gpu = devs.pop().expect("two devices");
+    let cpu = devs.pop().expect("two devices");
+    Ok(JobProfile { name, per_device: PerDevice::new(cpu, gpu) })
+}
+
+fn read_stage(f: &mut Fields<'_>) -> Result<Stage, PersistError> {
+    let cpu_level: usize = f.expect_num("cpu_level")?;
+    let gpu_level: usize = f.expect_num("gpu_level")?;
+    let cpu_ghz: f64 = f.expect_num("cpu_ghz")?;
+    let gpu_ghz: f64 = f.expect_num("gpu_ghz")?;
+    let mut grids = Vec::with_capacity(2);
+    for label in ["cpu", "gpu"] {
+        let ax_c = f.expect_vec(&format!("{label}_axis_cpu"))?;
+        let ax_g = f.expect_vec(&format!("{label}_axis_gpu"))?;
+        let vals = f.expect_vec(&format!("{label}_values"))?;
+        if vals.len() != ax_c.len() * ax_g.len() {
+            return Err(malformed("grid dimension mismatch"));
+        }
+        grids.push(Grid2D::new(ax_c, ax_g, vals));
+    }
+    let gpu_grid = grids.pop().expect("two grids");
+    let cpu_grid = grids.pop().expect("two grids");
+    Ok(Stage {
+        setting: FreqSetting::new(cpu_level, gpu_level),
+        cpu_ghz,
+        gpu_ghz,
+        surface: DegradationSurface { deg: PerDevice::new(cpu_grid, gpu_grid) },
+    })
+}
+
+/// Save a bundle to `path`.
+pub fn save_bundle(path: &Path, bundle: &ModelBundle) -> Result<(), PersistError> {
+    std::fs::write(path, bundle_to_string(bundle))?;
+    Ok(())
+}
+
+/// Load a bundle from `path`.
+pub fn load_bundle(path: &Path) -> Result<ModelBundle, PersistError> {
+    bundle_from_string(&std::fs::read_to_string(path)?)
+}
+
+// ---------------------------------------------------------------------------
+// file helpers
+// ---------------------------------------------------------------------------
+
+/// Save stages to `path`.
+pub fn save_stages(path: &Path, stages: &[Stage]) -> Result<(), PersistError> {
+    std::fs::write(path, stages_to_string(stages))?;
+    Ok(())
+}
+
+/// Load stages from `path`.
+pub fn load_stages(path: &Path) -> Result<Vec<Stage>, PersistError> {
+    stages_from_string(&std::fs::read_to_string(path)?)
+}
+
+/// Save profiles to `path`.
+pub fn save_profiles(path: &Path, profiles: &[JobProfile]) -> Result<(), PersistError> {
+    std::fs::write(path, profiles_to_string(profiles))?;
+    Ok(())
+}
+
+/// Load profiles from `path`.
+pub fn load_profiles(path: &Path) -> Result<Vec<JobProfile>, PersistError> {
+    profiles_from_string(&std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::{characterize, CharacterizeConfig};
+    use crate::profile::{profile_batch, ProfileMethod};
+    use apu_sim::MachineConfig;
+
+    fn sample_stages() -> Vec<Stage> {
+        let cfg = MachineConfig::ivy_bridge();
+        let mut ccfg = CharacterizeConfig::fast(&cfg);
+        ccfg.grid_points = 3;
+        ccfg.micro_duration_s = 1.0;
+        characterize(&cfg, &ccfg)
+    }
+
+    #[test]
+    fn stages_roundtrip() {
+        let stages = sample_stages();
+        let text = stages_to_string(&stages);
+        let back = stages_from_string(&text).expect("roundtrip");
+        assert_eq!(stages.len(), back.len());
+        for (a, b) in stages.iter().zip(&back) {
+            assert_eq!(a.setting, b.setting);
+            assert!((a.cpu_ghz - b.cpu_ghz).abs() < 1e-12);
+            assert_eq!(a.surface, b.surface);
+        }
+    }
+
+    #[test]
+    fn profiles_roundtrip() {
+        let cfg = MachineConfig::ivy_bridge();
+        let jobs: Vec<_> = kernels::rodinia_suite(&cfg).into_iter().take(3).collect();
+        let profiles = profile_batch(&cfg, &jobs, ProfileMethod::Analytic);
+        let text = profiles_to_string(&profiles);
+        let back = profiles_from_string(&text).expect("roundtrip");
+        assert_eq!(profiles, back);
+    }
+
+    #[test]
+    fn rejects_wrong_format() {
+        let err = stages_from_string("format = bogus\nversion = 1\n").unwrap_err();
+        assert!(matches!(err, PersistError::Malformed(_)));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let err = stages_from_string("format = corun-stages\nversion = 99\n").unwrap_err();
+        assert!(matches!(err, PersistError::Version(99)));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let stages = sample_stages();
+        let text = stages_to_string(&stages);
+        let cut = &text[..text.len() / 2];
+        assert!(stages_from_string(cut).is_err());
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let text = "format = corun-stages\nversion = 1\nstages = 1\n[stage 0]\n\
+                    cpu_level = 0\ngpu_level = 0\ncpu_ghz = 1.2\ngpu_ghz = 0.35\n\
+                    cpu_axis_cpu = 0 1\ncpu_axis_gpu = 0 1\ncpu_values = 1 2 3\n";
+        assert!(stages_from_string(text).is_err());
+    }
+
+    #[test]
+    fn file_helpers_roundtrip() {
+        let dir = std::env::temp_dir().join("corun_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stages.txt");
+        let stages = sample_stages();
+        save_stages(&path, &stages).unwrap();
+        let back = load_stages(&path).unwrap();
+        assert_eq!(stages.len(), back.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bundle_roundtrip_with_vulnerabilities() {
+        let cfg = MachineConfig::ivy_bridge();
+        let jobs: Vec<_> = kernels::rodinia_suite(&cfg).into_iter().take(2).collect();
+        let profiles = profile_batch(&cfg, &jobs, ProfileMethod::Analytic);
+        let bundle = ModelBundle {
+            profiles,
+            stages: sample_stages(),
+            vulnerabilities: Some(vec![
+                crate::probe::LlcVulnerability::none(),
+                crate::probe::LlcVulnerability {
+                    curve: apu_sim::PerDevice::new(
+                        vec![(2.25, 0.1), (4.5, 0.6), (9.0, 2.2)],
+                        vec![(2.25, 0.0), (4.5, 0.1), (9.0, 0.3)],
+                    ),
+                },
+            ]),
+        };
+        let text = bundle_to_string(&bundle);
+        let back = bundle_from_string(&text).expect("roundtrip");
+        assert_eq!(bundle, back);
+    }
+
+    #[test]
+    fn bundle_roundtrip_without_vulnerabilities() {
+        let bundle = ModelBundle {
+            profiles: vec![],
+            stages: sample_stages(),
+            vulnerabilities: None,
+        };
+        let text = bundle_to_string(&bundle);
+        let back = bundle_from_string(&text).expect("roundtrip");
+        assert_eq!(bundle, back);
+    }
+
+    #[test]
+    fn predictor_from_loaded_stages_matches() {
+        let cfg = MachineConfig::ivy_bridge();
+        let stages = sample_stages();
+        let text = stages_to_string(&stages);
+        let loaded = stages_from_string(&text).unwrap();
+        let a = crate::predictor::StagedPredictor::new(&cfg, stages);
+        let b = crate::predictor::StagedPredictor::new(&cfg, loaded);
+        for (own, co) in [(2.0, 8.0), (9.0, 9.0), (0.5, 3.0)] {
+            let da = a.degradation_at(apu_sim::Device::Cpu, own, co, 2.8, 0.9);
+            let db = b.degradation_at(apu_sim::Device::Cpu, own, co, 2.8, 0.9);
+            assert!((da - db).abs() < 1e-12);
+        }
+    }
+}

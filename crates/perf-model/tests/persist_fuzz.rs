@@ -1,0 +1,104 @@
+//! Fuzz-style property tests for the persistence format: arbitrary valid
+//! data round-trips exactly; arbitrary mutations of a valid file never
+//! panic (they either parse to something or error cleanly).
+
+use apu_sim::{FreqSetting, PerDevice};
+use perf_model::{
+    profiles_from_string, profiles_to_string, stages_from_string, stages_to_string,
+    DegradationSurface, DeviceProfile, Grid2D, JobProfile, Stage,
+};
+use proptest::prelude::*;
+
+fn arb_grid() -> impl Strategy<Value = Grid2D> {
+    (2usize..6, 2usize..6).prop_flat_map(|(nc, ng)| {
+        let axes = (
+            proptest::collection::vec(0.01f64..20.0, nc),
+            proptest::collection::vec(0.01f64..20.0, ng),
+            proptest::collection::vec(-0.1f64..2.0, nc * ng),
+        );
+        axes.prop_filter_map("axes must be strictly increasing", |(mut a, mut b, v)| {
+            a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            a.dedup_by(|x, y| (*x - *y).abs() < 1e-6);
+            b.dedup_by(|x, y| (*x - *y).abs() < 1e-6);
+            if a.len() < 2 || b.len() < 2 {
+                return None;
+            }
+            let v = v[..a.len() * b.len()].to_vec();
+            Some(Grid2D::new(a, b, v))
+        })
+    })
+}
+
+fn arb_stage() -> impl Strategy<Value = Stage> {
+    (arb_grid(), arb_grid(), 0usize..16, 0usize..10).prop_map(|(c, g, cl, gl)| Stage {
+        setting: FreqSetting::new(cl, gl),
+        cpu_ghz: 1.2 + cl as f64 * 0.16,
+        gpu_ghz: 0.35 + gl as f64 * 0.1,
+        surface: DegradationSurface { deg: PerDevice::new(c, g) },
+    })
+}
+
+fn arb_profile() -> impl Strategy<Value = JobProfile> {
+    ("[a-z]{1,12}", 2usize..20).prop_flat_map(|(name, k)| {
+        proptest::collection::vec(0.01f64..500.0, k * 6).prop_map(move |v| {
+            let dev = |o: usize| DeviceProfile {
+                time_s: v[o * k..(o + 1) * k].to_vec(),
+                demand_gbps: v[(o + 1) * k..(o + 2) * k].to_vec(),
+                power_w: v[(o + 2) * k..(o + 3) * k].to_vec(),
+            };
+            JobProfile {
+                name: name.clone(),
+                per_device: PerDevice::new(dev(0), dev(3)),
+            }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stages_roundtrip_exactly(stages in proptest::collection::vec(arb_stage(), 1..4)) {
+        let text = stages_to_string(&stages);
+        let back = stages_from_string(&text).expect("roundtrip");
+        prop_assert_eq!(stages, back);
+    }
+
+    #[test]
+    fn profiles_roundtrip_exactly(profiles in proptest::collection::vec(arb_profile(), 1..4)) {
+        let text = profiles_to_string(&profiles);
+        let back = profiles_from_string(&text).expect("roundtrip");
+        prop_assert_eq!(profiles, back);
+    }
+
+    #[test]
+    fn truncation_never_panics(stages in proptest::collection::vec(arb_stage(), 1..3),
+                               cut in 0.0f64..1.0) {
+        let text = stages_to_string(&stages);
+        let n = (text.len() as f64 * cut) as usize;
+        let _ = stages_from_string(&text[..n]); // must not panic
+    }
+
+    #[test]
+    fn line_deletion_never_panics(stages in proptest::collection::vec(arb_stage(), 1..3),
+                                  victim in 0usize..200) {
+        let text = stages_to_string(&stages);
+        let lines: Vec<&str> = text.lines().collect();
+        if lines.is_empty() { return Ok(()); }
+        let k = victim % lines.len();
+        let mutated: String = lines
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != k)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        let _ = stages_from_string(&mutated); // must not panic
+    }
+
+    #[test]
+    fn garbage_never_panics(garbage in "[ -~\n]{0,400}") {
+        let _ = stages_from_string(&garbage);
+        let _ = profiles_from_string(&garbage);
+    }
+}

@@ -1,0 +1,120 @@
+//! On-disk caching of the per-machine characterization.
+//!
+//! Characterizing the co-run degradation space costs hundreds of
+//! micro-benchmark co-runs, but depends only on the *machine* — not on the
+//! batch. A deployed runtime therefore measures it once and reuses it; this
+//! module keys the cached stages by a fingerprint of the machine
+//! configuration and the characterization parameters, so any change to
+//! either invalidates the cache.
+
+use apu_sim::MachineConfig;
+use perf_model::{characterize, load_stages, save_stages, CharacterizeConfig, Stage};
+use std::path::{Path, PathBuf};
+
+/// A stable fingerprint of the machine + characterization parameters.
+///
+/// FNV-1a over the serde-debug rendering of both structures: not
+/// cryptographic, just collision-resistant enough to key cache files.
+pub fn fingerprint(cfg: &MachineConfig, ccfg: &CharacterizeConfig) -> u64 {
+    let text = format!("{cfg:?}|{ccfg:?}");
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Cache file path for a fingerprint inside `dir`.
+pub fn cache_path(dir: &Path, fp: u64) -> PathBuf {
+    dir.join(format!("corun-stages-{fp:016x}.txt"))
+}
+
+/// Load the characterization from `dir` if a valid cache exists; otherwise
+/// characterize and write the cache. Returns the stages and whether they
+/// came from the cache.
+pub fn characterize_cached(
+    cfg: &MachineConfig,
+    ccfg: &CharacterizeConfig,
+    dir: &Path,
+) -> (Vec<Stage>, bool) {
+    let fp = fingerprint(cfg, ccfg);
+    let path = cache_path(dir, fp);
+    if let Ok(stages) = load_stages(&path) {
+        let expected = ccfg.cpu_stage_levels.len() * ccfg.gpu_stage_levels.len();
+        if stages.len() == expected {
+            return (stages, true);
+        }
+    }
+    let stages = characterize(cfg, ccfg);
+    if std::fs::create_dir_all(dir).is_ok() {
+        // Caching is best-effort: failure to persist must not fail the run.
+        let _ = save_stages(&path, &stages);
+    }
+    (stages, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("corun-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn fast_cfg(cfg: &MachineConfig) -> CharacterizeConfig {
+        let mut c = CharacterizeConfig::fast(cfg);
+        c.grid_points = 3;
+        c.micro_duration_s = 1.0;
+        c
+    }
+
+    #[test]
+    fn second_call_hits_the_cache() {
+        let cfg = MachineConfig::ivy_bridge();
+        let ccfg = fast_cfg(&cfg);
+        let dir = tmpdir("hit");
+        let (a, cached_a) = characterize_cached(&cfg, &ccfg, &dir);
+        assert!(!cached_a, "first call must measure");
+        let (b, cached_b) = characterize_cached(&cfg, &ccfg, &dir);
+        assert!(cached_b, "second call must hit the cache");
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.setting, y.setting);
+            assert_eq!(x.surface, y.surface);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn different_machine_different_fingerprint() {
+        let ivy = MachineConfig::ivy_bridge();
+        let kav = MachineConfig::kaveri();
+        let c1 = fast_cfg(&ivy);
+        let c2 = fast_cfg(&kav);
+        assert_ne!(fingerprint(&ivy, &c1), fingerprint(&kav, &c2));
+        // parameter changes also invalidate
+        let mut c3 = c1.clone();
+        c3.grid_points = 4;
+        assert_ne!(fingerprint(&ivy, &c1), fingerprint(&ivy, &c3));
+    }
+
+    #[test]
+    fn corrupt_cache_is_remeasured() {
+        let cfg = MachineConfig::ivy_bridge();
+        let ccfg = fast_cfg(&cfg);
+        let dir = tmpdir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = cache_path(&dir, fingerprint(&cfg, &ccfg));
+        std::fs::write(&path, "format = corun-stages\nversion = 1\nstages = garbage\n").unwrap();
+        let (stages, cached) = characterize_cached(&cfg, &ccfg, &dir);
+        assert!(!cached, "corrupt cache must be ignored");
+        assert_eq!(stages.len(), 4);
+        // and the rewrite fixed the file
+        let (_, cached2) = characterize_cached(&cfg, &ccfg, &dir);
+        assert!(cached2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

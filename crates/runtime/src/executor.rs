@@ -1,0 +1,315 @@
+//! Execute schedules on the simulator — the ground-truth side of every
+//! experiment.
+//!
+//! Three execution shapes cover all the paper's scenarios:
+//!
+//! * [`execute_schedule`] — replay a [`Schedule`] (HCS/HCS+/Random): one
+//!   job per device, queues in order, then the solo tail strictly alone.
+//!   Planned frequency levels are applied at dispatch when `set_levels` is
+//!   on (HCS); otherwise the reactive governor owns the clocks (baselines).
+//! * [`execute_default`] — the Default baseline: the GPU partition runs in
+//!   order, the whole CPU partition is launched at t=0 and time-shared by
+//!   the OS (the paper's Fig 11 explanation for why Default collapses at
+//!   16 jobs).
+//! * plain solo/pair helpers re-exported from `apu-sim`.
+
+use apu_sim::{
+    Device, Dispatch, DispatchCtx, DispatchJob, Dispatcher, Engine, FreqSetting, Governor,
+    JobSpec, MachineConfig, RunOptions, RunReport, SimError,
+};
+use corun_core::{DefaultPartition, Schedule};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// How the executor treats the schedule's frequency levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LevelPolicy {
+    /// Apply each assignment's level at dispatch (planned schedules).
+    Planned,
+    /// Ignore planned levels; clocks start at maximum and only the
+    /// governor moves them (baselines).
+    GovernorOwned,
+}
+
+struct ScheduleDispatcher {
+    jobs: Vec<Arc<JobSpec>>,
+    cpu: VecDeque<corun_core::Assignment>,
+    gpu: VecDeque<corun_core::Assignment>,
+    solo: VecDeque<corun_core::SoloRun>,
+    policy: LevelPolicy,
+}
+
+impl ScheduleDispatcher {
+    fn corun_drained(&self) -> bool {
+        self.cpu.is_empty() && self.gpu.is_empty()
+    }
+}
+
+impl Dispatcher for ScheduleDispatcher {
+    fn next(&mut self, device: Device, _now: f64, ctx: &DispatchCtx) -> Dispatch {
+        let q = match device {
+            Device::Cpu => &mut self.cpu,
+            Device::Gpu => &mut self.gpu,
+        };
+        if let Some(a) = q.pop_front() {
+            let set_freq = match self.policy {
+                LevelPolicy::Planned => Some(ctx.setting.with_level(device, a.level)),
+                LevelPolicy::GovernorOwned => None,
+            };
+            return Dispatch::Run(DispatchJob {
+                job: self.jobs[a.job].clone(),
+                tag: a.job,
+                set_freq,
+            });
+        }
+        if !self.corun_drained() {
+            return Dispatch::Idle; // other queue still owns its device
+        }
+        // Solo tail: strictly one at a time — only dispatch when nothing
+        // else is running anywhere.
+        if ctx.running.cpu + ctx.running.gpu > 0 {
+            return Dispatch::Idle;
+        }
+        match self.solo.front().copied() {
+            Some(s) if s.device == device => {
+                self.solo.pop_front();
+                let set_freq = match self.policy {
+                    LevelPolicy::Planned => Some(ctx.setting.with_level(device, s.level)),
+                    LevelPolicy::GovernorOwned => None,
+                };
+                Dispatch::Run(DispatchJob {
+                    job: self.jobs[s.job].clone(),
+                    tag: s.job,
+                    set_freq,
+                })
+            }
+            Some(_) => Dispatch::Idle, // next solo job belongs to the other device
+            None => Dispatch::Drained,
+        }
+    }
+}
+
+/// Execute `schedule` over `jobs` on the machine.
+pub fn execute_schedule(
+    cfg: &MachineConfig,
+    jobs: &[JobSpec],
+    schedule: &Schedule,
+    governor: &mut dyn Governor,
+    policy: LevelPolicy,
+    initial: FreqSetting,
+) -> Result<RunReport, SimError> {
+    let engine = Engine::new(cfg);
+    let mut disp = ScheduleDispatcher {
+        jobs: jobs.iter().cloned().map(Arc::new).collect(),
+        cpu: schedule.cpu.iter().copied().collect(),
+        gpu: schedule.gpu.iter().copied().collect(),
+        solo: schedule.solo_tail.iter().copied().collect(),
+        policy,
+    };
+    engine.run(&mut disp, governor, &RunOptions::new(initial))
+}
+
+struct DefaultDispatcher {
+    jobs: Vec<Arc<JobSpec>>,
+    cpu_all: Vec<corun_core::JobId>,
+    cpu_issued: usize,
+    gpu: VecDeque<corun_core::JobId>,
+}
+
+impl Dispatcher for DefaultDispatcher {
+    fn next(&mut self, device: Device, _now: f64, _ctx: &DispatchCtx) -> Dispatch {
+        match device {
+            Device::Cpu => {
+                if self.cpu_issued < self.cpu_all.len() {
+                    let id = self.cpu_all[self.cpu_issued];
+                    self.cpu_issued += 1;
+                    Dispatch::Run(DispatchJob { job: self.jobs[id].clone(), tag: id, set_freq: None })
+                } else if self.gpu.is_empty() {
+                    Dispatch::Drained
+                } else {
+                    Dispatch::Idle
+                }
+            }
+            Device::Gpu => match self.gpu.pop_front() {
+                Some(id) => {
+                    Dispatch::Run(DispatchJob { job: self.jobs[id].clone(), tag: id, set_freq: None })
+                }
+                None => {
+                    if self.cpu_issued >= self.cpu_all.len() {
+                        Dispatch::Drained
+                    } else {
+                        Dispatch::Idle
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// Execute the Default baseline: GPU partition sequential, CPU partition
+/// launched all at once and time-shared (multiprogrammed).
+pub fn execute_default(
+    cfg: &MachineConfig,
+    jobs: &[JobSpec],
+    partition: &DefaultPartition,
+    governor: &mut dyn Governor,
+) -> Result<RunReport, SimError> {
+    let engine = Engine::new(cfg);
+    let mut disp = DefaultDispatcher {
+        jobs: jobs.iter().cloned().map(Arc::new).collect(),
+        cpu_all: partition.cpu.clone(),
+        cpu_issued: 0,
+        gpu: partition.gpu.iter().copied().collect(),
+    };
+    let mut opts = RunOptions::new(cfg.freqs.max_setting());
+    opts.cpu_slots = partition.cpu.len().max(1);
+    engine.run(&mut disp, governor, &opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apu_sim::{BiasedGovernor, NullGovernor};
+    use corun_core::{Assignment, SoloRun};
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::ivy_bridge()
+    }
+
+    fn small_jobs(cfg: &MachineConfig) -> Vec<JobSpec> {
+        // Scale the suite down so tests run fast.
+        kernels::rodinia_suite(cfg)
+            .iter()
+            .map(|j| kernels::with_input_scale(j, 0.12))
+            .collect()
+    }
+
+    #[test]
+    fn executes_simple_schedule_completely() {
+        let cfg = cfg();
+        let jobs = small_jobs(&cfg);
+        let mut s = Schedule::new();
+        s.cpu.push(Assignment { job: 2, level: 15 }); // dwt2d on CPU
+        s.gpu.push(Assignment { job: 0, level: 9 }); // streamcluster on GPU
+        s.gpu.push(Assignment { job: 3, level: 9 });
+        s.solo_tail.push(SoloRun { job: 1, device: Device::Gpu, level: 9 });
+        let mut gov = NullGovernor;
+        let r = execute_schedule(&cfg, &jobs, &s, &mut gov, LevelPolicy::Planned,
+            cfg.freqs.max_setting()).unwrap();
+        assert_eq!(r.records.len(), 4);
+        assert!(r.makespan_s > 0.0);
+    }
+
+    #[test]
+    fn solo_tail_runs_alone() {
+        let cfg = cfg();
+        let jobs = small_jobs(&cfg);
+        let mut s = Schedule::new();
+        s.cpu.push(Assignment { job: 2, level: 15 });
+        s.gpu.push(Assignment { job: 0, level: 9 });
+        s.solo_tail.push(SoloRun { job: 1, device: Device::Gpu, level: 9 });
+        s.solo_tail.push(SoloRun { job: 3, device: Device::Cpu, level: 15 });
+        let mut gov = NullGovernor;
+        let r = execute_schedule(&cfg, &jobs, &s, &mut gov, LevelPolicy::Planned,
+            cfg.freqs.max_setting()).unwrap();
+        // Solo jobs must start only after every co-run job ended, and must
+        // not overlap each other.
+        let co_end = r
+            .records
+            .iter()
+            .filter(|rec| rec.tag == 0 || rec.tag == 2)
+            .map(|rec| rec.end_s)
+            .fold(0.0, f64::max);
+        let solo1 = r.record(1).unwrap();
+        let solo3 = r.record(3).unwrap();
+        assert!(solo1.start_s >= co_end - 1e-6);
+        assert!(
+            solo3.start_s >= solo1.end_s - 1e-6 || solo1.start_s >= solo3.end_s - 1e-6,
+            "solo jobs must be disjoint"
+        );
+    }
+
+    #[test]
+    fn planned_levels_change_speed() {
+        let cfg = cfg();
+        let jobs = small_jobs(&cfg);
+        let mut fast = Schedule::new();
+        fast.gpu.push(Assignment { job: 0, level: 9 });
+        let mut slow = Schedule::new();
+        slow.gpu.push(Assignment { job: 0, level: 0 });
+        let mut gov = NullGovernor;
+        let rf = execute_schedule(&cfg, &jobs, &fast, &mut gov, LevelPolicy::Planned,
+            cfg.freqs.max_setting()).unwrap();
+        let rs = execute_schedule(&cfg, &jobs, &slow, &mut gov, LevelPolicy::Planned,
+            cfg.freqs.max_setting()).unwrap();
+        assert!(rs.makespan_s > rf.makespan_s * 1.3);
+    }
+
+    #[test]
+    fn governor_owned_ignores_levels() {
+        let cfg = cfg();
+        let jobs = small_jobs(&cfg);
+        let mut s = Schedule::new();
+        s.gpu.push(Assignment { job: 0, level: 0 }); // planned slow...
+        let mut gov = NullGovernor;
+        let r = execute_schedule(&cfg, &jobs, &s, &mut gov, LevelPolicy::GovernorOwned,
+            cfg.freqs.max_setting()).unwrap();
+        let mut s2 = Schedule::new();
+        s2.gpu.push(Assignment { job: 0, level: 9 });
+        let r2 = execute_schedule(&cfg, &jobs, &s2, &mut gov, LevelPolicy::Planned,
+            cfg.freqs.max_setting()).unwrap();
+        // ...but governor-owned execution stays at max: same time.
+        assert!((r.makespan_s - r2.makespan_s).abs() / r2.makespan_s < 0.02);
+    }
+
+    #[test]
+    fn default_multiprogram_launches_cpu_jobs_together() {
+        let cfg = cfg();
+        let jobs = small_jobs(&cfg);
+        let part = DefaultPartition { gpu: vec![0, 3], cpu: vec![1, 2, 4] };
+        let mut gov = BiasedGovernor::gpu_biased(15.0);
+        let r = execute_default(&cfg, &jobs, &part, &mut gov).unwrap();
+        assert_eq!(r.records.len(), 5);
+        // All CPU jobs start at t=0 (time-shared), unlike sequential queues.
+        for id in [1, 2, 4] {
+            assert!(r.record(id).unwrap().start_s < 1e-6, "job {id} must start at 0");
+        }
+    }
+
+    #[test]
+    fn default_time_sharing_slower_than_sequential_cpu() {
+        let cfg = cfg();
+        let jobs = small_jobs(&cfg);
+        let part = DefaultPartition { gpu: vec![], cpu: vec![1, 2, 4, 5] };
+        let mut gov = NullGovernor;
+        let shared = execute_default(&cfg, &jobs, &part, &mut gov).unwrap();
+        let mut seq = Schedule::new();
+        for id in [1, 2, 4, 5] {
+            seq.cpu.push(Assignment { job: id, level: 15 });
+        }
+        let sequential = execute_schedule(&cfg, &jobs, &seq, &mut gov, LevelPolicy::Planned,
+            cfg.freqs.max_setting()).unwrap();
+        assert!(
+            shared.makespan_s > sequential.makespan_s * 1.1,
+            "context switching + locality loss must cost: {} vs {}",
+            shared.makespan_s,
+            sequential.makespan_s
+        );
+    }
+
+    #[test]
+    fn governed_execution_respects_cap_after_settling() {
+        let cfg = cfg();
+        let jobs = small_jobs(&cfg);
+        let mut s = Schedule::new();
+        s.cpu.push(Assignment { job: 6, level: 15 });
+        s.gpu.push(Assignment { job: 7, level: 9 });
+        let cap = 15.0;
+        let mut gov = BiasedGovernor::gpu_biased(cap);
+        let r = execute_schedule(&cfg, &jobs, &s, &mut gov, LevelPolicy::GovernorOwned,
+            cfg.freqs.max_setting()).unwrap();
+        let n = r.trace.len();
+        let late_max = r.trace.samples_w[n / 2..].iter().copied().fold(0.0, f64::max);
+        assert!(late_max <= cap + 2.0, "late overshoot {late_max} too large");
+    }
+}

@@ -1,0 +1,326 @@
+//! The integrated co-scheduling runtime — the paper's prototype.
+//!
+//! `CoScheduleRuntime::new` performs the offline stage (standalone
+//! profiling, micro-benchmark characterization, model materialization);
+//! the scheduling methods then produce schedules in microseconds; the
+//! execute methods run them on the simulator for ground-truth makespans
+//! and power traces.
+
+use crate::executor::{execute_default, execute_schedule, LevelPolicy};
+use crate::modelbuild::build_table_model;
+use apu_sim::{
+    Bias, BiasedGovernor, FreqSetting, JobSpec, MachineConfig, NullGovernor, RunReport,
+};
+use corun_core::{
+    default_partition, hcs, lower_bound, random_schedule, refine, BoundReport,
+    DefaultPartition, HcsConfig, HcsOutcome, RefineConfig, Schedule, TableModel,
+};
+use perf_model::{
+    characterize, probe_batch, profile_batch, CharacterizeConfig, JobProfile, LlcVulnerability,
+    ProfileMethod, StagedPredictor,
+};
+
+/// Configuration of the runtime's offline stage and policies.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Package power cap, watts.
+    pub cap_w: f64,
+    /// How standalone profiles are collected.
+    pub profile_method: ProfileMethod,
+    /// Micro-benchmark characterization setup.
+    pub characterization: CharacterizeConfig,
+    /// Probability that the Random baseline leaves a job to run alone.
+    pub random_solo_prob: f64,
+    /// HCS+ refinement parameters (cap is filled in from `cap_w`).
+    pub refine_random_swaps: usize,
+    /// HCS+ cross-device swap samples.
+    pub refine_cross_swaps: usize,
+    /// Refinement RNG seed.
+    pub refine_seed: u64,
+    /// Run the O(N) LLC-vulnerability probe and fold its correction into
+    /// the scheduler's model (our extension; the paper's model is
+    /// bandwidth-only and blind to dwt2d-style LLC thrashing).
+    pub llc_probe: bool,
+    /// If set, cache the machine characterization under this directory
+    /// (keyed by a machine+parameters fingerprint).
+    pub cache_dir: Option<std::path::PathBuf>,
+}
+
+impl RuntimeConfig {
+    /// The paper's setup: 15 W cap, measured profiles, 3x3-stage 11-point
+    /// characterization.
+    pub fn paper(cfg: &MachineConfig) -> Self {
+        RuntimeConfig {
+            cap_w: 15.0,
+            profile_method: ProfileMethod::Measured,
+            characterization: CharacterizeConfig::paper(cfg),
+            random_solo_prob: 0.05,
+            refine_random_swaps: 32,
+            refine_cross_swaps: 32,
+            refine_seed: 0x5eed,
+            llc_probe: true,
+            cache_dir: None,
+        }
+    }
+
+    /// Coarse, fast setup for tests.
+    pub fn fast(cfg: &MachineConfig) -> Self {
+        let mut c = Self::paper(cfg);
+        c.profile_method = ProfileMethod::Analytic;
+        c.characterization = CharacterizeConfig::fast(cfg);
+        c.characterization.grid_points = 4;
+        c.characterization.micro_duration_s = 1.5;
+        c.refine_random_swaps = 16;
+        c.refine_cross_swaps = 16;
+        c
+    }
+}
+
+/// The assembled runtime for one machine and one batch of jobs.
+pub struct CoScheduleRuntime {
+    machine: MachineConfig,
+    jobs: Vec<JobSpec>,
+    config: RuntimeConfig,
+    profiles: Vec<JobProfile>,
+    predictor: StagedPredictor,
+    vulnerabilities: Option<Vec<LlcVulnerability>>,
+    model: TableModel,
+}
+
+impl CoScheduleRuntime {
+    /// Run the offline stage and assemble the runtime.
+    pub fn new(machine: MachineConfig, jobs: Vec<JobSpec>, config: RuntimeConfig) -> Self {
+        let profiles = profile_batch(&machine, &jobs, config.profile_method);
+        let stages = match &config.cache_dir {
+            Some(dir) => crate::cache::characterize_cached(&machine, &config.characterization, dir).0,
+            None => characterize(&machine, &config.characterization),
+        };
+        let predictor = StagedPredictor::new(&machine, stages);
+        let vulnerabilities = config
+            .llc_probe
+            .then(|| probe_batch(&machine, &predictor, &jobs, &profiles));
+        let model =
+            build_table_model(&machine, &profiles, &predictor, vulnerabilities.as_deref());
+        CoScheduleRuntime { machine, jobs, config, profiles, predictor, vulnerabilities, model }
+    }
+
+    /// The probed LLC vulnerabilities, if the probe ran.
+    pub fn vulnerabilities(&self) -> Option<&[LlcVulnerability]> {
+        self.vulnerabilities.as_deref()
+    }
+
+    /// The machine description.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// The job batch.
+    pub fn jobs(&self) -> &[JobSpec] {
+        &self.jobs
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Standalone profiles (Table I data).
+    pub fn profiles(&self) -> &[JobProfile] {
+        &self.profiles
+    }
+
+    /// The staged-interpolation predictor.
+    pub fn predictor(&self) -> &StagedPredictor {
+        &self.predictor
+    }
+
+    /// The materialized scheduler-facing model.
+    pub fn model(&self) -> &TableModel {
+        &self.model
+    }
+
+    /// Run HCS.
+    pub fn schedule_hcs(&self) -> HcsOutcome {
+        hcs(&self.model, &HcsConfig::with_cap(self.config.cap_w))
+    }
+
+    /// Run HCS followed by the HCS+ refinement; returns the refined
+    /// schedule.
+    pub fn schedule_hcs_plus(&self) -> Schedule {
+        let out = self.schedule_hcs();
+        let rc = RefineConfig {
+            cap_w: self.config.cap_w,
+            random_swaps: self.config.refine_random_swaps,
+            cross_swaps: self.config.refine_cross_swaps,
+            seed: self.config.refine_seed,
+            objective: corun_core::Objective::Makespan,
+        };
+        refine(&self.model, &out.schedule, &rc).schedule
+    }
+
+    /// One Random-baseline schedule.
+    pub fn schedule_random(&self, seed: u64) -> Schedule {
+        random_schedule(&self.model, seed, self.config.random_solo_prob)
+    }
+
+    /// The Default baseline's partition.
+    pub fn schedule_default(&self) -> DefaultPartition {
+        default_partition(&self.model)
+    }
+
+    /// The lower bound on the optimal makespan.
+    pub fn lower_bound(&self) -> BoundReport {
+        lower_bound(&self.model, self.config.cap_w)
+    }
+
+    /// Execute a planned schedule (HCS/HCS+): levels applied from the
+    /// schedule, no reactive governor.
+    pub fn execute_planned(&self, schedule: &Schedule) -> RunReport {
+        let mut gov = NullGovernor;
+        execute_schedule(
+            &self.machine,
+            &self.jobs,
+            schedule,
+            &mut gov,
+            LevelPolicy::Planned,
+            self.initial_setting(),
+        )
+        .expect("planned execution cannot stall")
+    }
+
+    /// Execute a schedule with a reactive biased governor owning the clocks
+    /// (the Random baseline's execution mode).
+    pub fn execute_governed(&self, schedule: &Schedule, bias: Bias) -> RunReport {
+        let mut gov = self.governor(bias);
+        execute_schedule(
+            &self.machine,
+            &self.jobs,
+            schedule,
+            &mut gov,
+            LevelPolicy::GovernorOwned,
+            self.machine.freqs.max_setting(),
+        )
+        .expect("governed execution cannot stall")
+    }
+
+    /// Execute the Default baseline (multiprogrammed CPU partition) with a
+    /// biased governor.
+    pub fn execute_default(&self, partition: &DefaultPartition, bias: Bias) -> RunReport {
+        let mut gov = self.governor(bias);
+        execute_default(&self.machine, &self.jobs, partition, &mut gov)
+            .expect("default execution cannot stall")
+    }
+
+    /// Average ground-truth makespan of the Random baseline over `seeds`
+    /// (the paper averages 20 seeds), executed with a GPU-biased governor.
+    pub fn random_avg_makespan(&self, seeds: std::ops::Range<u64>) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0;
+        for seed in seeds {
+            let s = self.schedule_random(seed);
+            total += self.execute_governed(&s, Bias::Gpu).makespan_s;
+            count += 1;
+        }
+        total / count as f64
+    }
+
+    fn governor(&self, bias: Bias) -> BiasedGovernor {
+        match bias {
+            Bias::Gpu => BiasedGovernor::gpu_biased(self.config.cap_w),
+            Bias::Cpu => BiasedGovernor::cpu_biased(self.config.cap_w),
+        }
+    }
+
+    fn initial_setting(&self) -> FreqSetting {
+        // Planned schedules set per-dispatch levels; start from the floor so
+        // the brief pre-dispatch instant cannot violate the cap.
+        self.machine.freqs.min_setting()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corun_core::{evaluate, CoRunModel};
+
+    fn small_runtime() -> CoScheduleRuntime {
+        let machine = MachineConfig::ivy_bridge();
+        let jobs: Vec<JobSpec> = kernels::rodinia_suite(&machine)
+            .iter()
+            .map(|j| kernels::with_input_scale(j, 0.12))
+            .collect();
+        let cfg = RuntimeConfig::fast(&machine);
+        CoScheduleRuntime::new(machine, jobs, cfg)
+    }
+
+    #[test]
+    fn pipeline_builds_and_schedules() {
+        let rt = small_runtime();
+        assert_eq!(rt.model().len(), 8);
+        let out = rt.schedule_hcs();
+        assert!(out.schedule.is_complete_for(8), "{}", out.schedule);
+        let plus = rt.schedule_hcs_plus();
+        assert!(plus.is_complete_for(8));
+    }
+
+    #[test]
+    fn hcs_plus_not_worse_than_hcs_in_model() {
+        let rt = small_runtime();
+        let h = rt.schedule_hcs().schedule;
+        let hp = rt.schedule_hcs_plus();
+        let cap = Some(rt.config().cap_w);
+        let mh = evaluate(rt.model(), &h, cap).makespan_s;
+        let mhp = evaluate(rt.model(), &hp, cap).makespan_s;
+        assert!(mhp <= mh + 1e-9);
+    }
+
+    #[test]
+    fn planned_execution_completes_all_jobs() {
+        let rt = small_runtime();
+        let s = rt.schedule_hcs_plus();
+        let r = rt.execute_planned(&s);
+        assert_eq!(r.records.len(), 8);
+    }
+
+    #[test]
+    fn hcs_beats_random_average_in_ground_truth() {
+        let rt = small_runtime();
+        let rand_avg = rt.random_avg_makespan(0..5);
+        let hcs_span = rt.execute_planned(&rt.schedule_hcs_plus()).makespan_s;
+        assert!(
+            hcs_span < rand_avg,
+            "HCS+ {hcs_span} must beat random average {rand_avg}"
+        );
+    }
+
+    #[test]
+    fn lower_bound_below_all_achieved_makespans() {
+        let rt = small_runtime();
+        let b = rt.lower_bound();
+        let hcs_span = rt.execute_planned(&rt.schedule_hcs_plus()).makespan_s;
+        assert!(b.t_low_s <= hcs_span * 1.05, "bound {} vs {}", b.t_low_s, hcs_span);
+    }
+
+    #[test]
+    fn default_partition_executes() {
+        let rt = small_runtime();
+        let p = rt.schedule_default();
+        let r = rt.execute_default(&p, Bias::Gpu);
+        assert_eq!(r.records.len(), 8);
+    }
+
+    #[test]
+    fn planned_execution_power_stays_near_cap() {
+        let rt = small_runtime();
+        let s = rt.schedule_hcs_plus();
+        let r = rt.execute_planned(&s);
+        let cap = rt.config().cap_w;
+        // Planned levels are model-feasible; ground-truth power may exceed
+        // the cap only slightly (model error), as in the paper's Figure 9.
+        assert!(
+            r.trace.max_w() <= cap + 2.5,
+            "peak {} too far above cap {cap}",
+            r.trace.max_w()
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Human-readable rendering of execution results: per-job tables, ASCII
+//! Gantt timelines, and power summaries. Shared by the CLI, the examples,
+//! and the experiment binaries.
+
+use apu_sim::{run_stats, Device, RunReport};
+use std::fmt::Write as _;
+
+/// Render a per-job table sorted by start time.
+pub fn job_table(report: &RunReport) -> String {
+    let mut out = String::new();
+    let mut recs = report.records.clone();
+    recs.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
+    let _ = writeln!(
+        out,
+        "{:<22} {:>4} {:>9} {:>9} {:>9}",
+        "job", "dev", "start", "end", "duration"
+    );
+    for r in &recs {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>4} {:>8.1}s {:>8.1}s {:>8.1}s",
+            r.name,
+            r.device.name(),
+            r.start_s,
+            r.end_s,
+            r.duration_s()
+        );
+    }
+    out
+}
+
+/// Render a two-row ASCII Gantt chart (`width` columns). Each job's window
+/// is filled with the first letter of its name; gaps are dots.
+pub fn gantt(report: &RunReport, width: usize) -> String {
+    let mut out = String::new();
+    let span = report.makespan_s.max(1e-9);
+    for device in Device::ALL {
+        let mut line = vec![b'.'; width];
+        for rec in report.records.iter().filter(|r| r.device == device) {
+            let a = ((rec.start_s / span) * width as f64) as usize;
+            let b = (((rec.end_s / span) * width as f64) as usize).min(width);
+            let ch = rec
+                .name
+                .bytes()
+                .next()
+                .filter(u8::is_ascii_graphic)
+                .unwrap_or(b'#');
+            for c in line.iter_mut().take(b).skip(a) {
+                *c = ch;
+            }
+        }
+        let _ = writeln!(out, "{:>4} |{}|", device.name(), String::from_utf8_lossy(&line));
+    }
+    let _ = writeln!(out, "      0s{:>width$.1}s", span, width = width - 1);
+    out
+}
+
+/// One-line summary: makespan, utilization, power.
+pub fn summary(report: &RunReport) -> String {
+    run_stats(report).to_string()
+}
+
+/// Full report: summary + gantt + table.
+pub fn full_report(report: &RunReport, width: usize) -> String {
+    format!("{}\n{}\n{}", summary(report), gantt(report, width), job_table(report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apu_sim::{FreqSetting, JobRecord, PowerTrace};
+
+    fn sample() -> RunReport {
+        let mut trace = PowerTrace::new(1.0);
+        for w in [12.0, 14.0, 13.0] {
+            trace.push(w);
+        }
+        RunReport {
+            makespan_s: 30.0,
+            records: vec![
+                JobRecord {
+                    tag: 0,
+                    name: "alpha".into(),
+                    device: Device::Cpu,
+                    start_s: 0.0,
+                    end_s: 12.0,
+                },
+                JobRecord {
+                    tag: 1,
+                    name: "beta".into(),
+                    device: Device::Gpu,
+                    start_s: 0.0,
+                    end_s: 30.0,
+                },
+                JobRecord {
+                    tag: 2,
+                    name: "gamma".into(),
+                    device: Device::Cpu,
+                    start_s: 12.0,
+                    end_s: 20.0,
+                },
+            ],
+            trace,
+            final_setting: FreqSetting::new(0, 0),
+        }
+    }
+
+    #[test]
+    fn table_lists_jobs_in_start_order() {
+        let t = job_table(&sample());
+        let alpha = t.find("alpha").unwrap();
+        let gamma = t.find("gamma").unwrap();
+        assert!(alpha < gamma);
+        assert!(t.contains("beta"));
+        assert!(t.contains("12.0s"));
+    }
+
+    #[test]
+    fn gantt_marks_windows() {
+        let g = gantt(&sample(), 30);
+        let lines: Vec<&str> = g.lines().collect();
+        assert!(lines[0].starts_with(" cpu"));
+        // alpha occupies the first ~40% of the CPU row
+        assert!(lines[0].contains("aaaa"));
+        assert!(lines[0].contains("ggg"));
+        assert!(lines[0].contains('.'), "idle tail dotted");
+        // beta fills the whole GPU row
+        assert!(lines[1].matches('b').count() >= 28);
+    }
+
+    #[test]
+    fn gantt_handles_empty_report() {
+        let r = RunReport {
+            makespan_s: 0.0,
+            records: vec![],
+            trace: PowerTrace::new(1.0),
+            final_setting: FreqSetting::new(0, 0),
+        };
+        let g = gantt(&r, 20);
+        assert!(g.contains("...."));
+    }
+
+    #[test]
+    fn full_report_composes() {
+        let f = full_report(&sample(), 40);
+        assert!(f.contains("makespan"));
+        assert!(f.contains("cpu |"));
+        assert!(f.contains("alpha"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Model explorer: inspect the co-run degradation space and query the
+//! staged-interpolation predictor for arbitrary program pairs.
+//!
+//! ```text
+//! cargo run --release --example model_explorer [-- <cpu_prog> <gpu_prog>]
+//! ```
+
+use apu_sim::MachineConfig;
+use kernels::rodinia_suite;
+use perf_model::{
+    characterize, profile_batch, CharacterizeConfig, ProfileMethod, StagedPredictor,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cpu_prog = args.first().map(String::as_str).unwrap_or("dwt2d");
+    let gpu_prog = args.get(1).map(String::as_str).unwrap_or("streamcluster");
+
+    let cfg = MachineConfig::ivy_bridge();
+    let jobs = rodinia_suite(&cfg);
+    let mut ccfg = CharacterizeConfig::fast(&cfg);
+    ccfg.grid_points = 6;
+    println!("characterizing the degradation space...");
+    let stages = characterize(&cfg, &ccfg);
+    let predictor = StagedPredictor::new(&cfg, stages);
+    let profiles = profile_batch(&cfg, &jobs, ProfileMethod::Analytic);
+
+    // Show the max-frequency CPU surface.
+    let stage = predictor
+        .stages()
+        .iter()
+        .max_by(|a, b| (a.cpu_ghz + a.gpu_ghz).total_cmp(&(b.cpu_ghz + b.gpu_ghz)))
+        .expect("stages");
+    println!();
+    println!(
+        "CPU degradation surface at {:.2}/{:.2} GHz (% slower; rows CPU demand, cols GPU demand):",
+        stage.cpu_ghz, stage.gpu_ghz
+    );
+    let grid = &stage.surface.deg.cpu;
+    print!("{:>7}", "");
+    for g in &grid.gpu_axis {
+        print!("{g:>6.1}");
+    }
+    println!();
+    for (i, c) in grid.cpu_axis.iter().enumerate() {
+        print!("{c:>7.1}");
+        for j in 0..grid.gpu_axis.len() {
+            print!("{:>6.0}", grid.at(i, j) * 100.0);
+        }
+        println!();
+    }
+
+    // Predict the requested pair at three frequency settings.
+    let find = |name: &str| {
+        profiles
+            .iter()
+            .position(|p| p.name == name)
+            .unwrap_or_else(|| {
+                panic!(
+                    "unknown program {name}; options: {:?}",
+                    profiles.iter().map(|p| &p.name).collect::<Vec<_>>()
+                )
+            })
+    };
+    let ci = find(cpu_prog);
+    let gi = find(gpu_prog);
+    println!();
+    println!("predictions for {cpu_prog}(CPU) + {gpu_prog}(GPU):");
+    let kc = cfg.freqs.cpu.max_level();
+    let kg = cfg.freqs.gpu.max_level();
+    for (label, f, g) in [("max freq", kc, kg), ("medium", kc / 2, kg / 2), ("floor", 0, 0)] {
+        let d = predictor.predict_pair_degradation(&cfg, &profiles[ci], f, &profiles[gi], g);
+        let t = predictor.predict_pair_times(&cfg, &profiles[ci], f, &profiles[gi], g);
+        let p = predictor.predict_power(Some((&profiles[ci], f)), Some((&profiles[gi], g)));
+        println!(
+            "  {label:<9} cpu: {:>6.1}s (+{:.0}%)   gpu: {:>6.1}s (+{:.0}%)   power {:>5.1} W",
+            t.cpu,
+            d.cpu * 100.0,
+            t.gpu,
+            d.gpu * 100.0,
+            p
+        );
+    }
+    println!();
+    println!(
+        "note: the bandwidth-only model cannot see LLC thrashing; the runtime's \
+         O(N) probe corrects that (see perf_model::probe)"
+    );
+}

@@ -1,0 +1,64 @@
+//! Online stream scenario: jobs arrive over time (a shared workstation's
+//! submission queue) and the online HCS policy decides placement,
+//! frequency, and co-runner at every arrival/completion — without knowing
+//! the future.
+//!
+//! ```text
+//! cargo run --release --example online_stream
+//! ```
+
+use apu_sim::{MachineConfig, NullGovernor};
+use corun_core::{Arrival, HcsConfig, OnlinePolicy};
+use kernels::{poisson, random_batch};
+use runtime::{execute_online, full_report, CoScheduleRuntime, RuntimeConfig};
+
+fn main() {
+    let machine = MachineConfig::ivy_bridge();
+    let workload = random_batch(&machine, 10, 77);
+    let n = workload.len();
+    println!("submission stream ({n} jobs): {:?}", workload.names());
+
+    let mut cfg = RuntimeConfig::fast(&machine);
+    cfg.cap_w = 15.0;
+    let rt = CoScheduleRuntime::new(machine, workload.jobs, cfg);
+
+    // Jobs arrive with a mean gap of 8 seconds.
+    let arrivals: Vec<Arrival> = poisson(n, 8.0, 30.0, 4)
+        .into_iter()
+        .map(|a| Arrival { job: a.job, at_s: a.at_s })
+        .collect();
+    for a in &arrivals {
+        println!("  t={:>5.1}s  job {} arrives", a.at_s, rt.jobs()[a.job].name);
+    }
+
+    let policy = OnlinePolicy::new(rt.model(), HcsConfig::with_cap(15.0));
+    let mut gov = NullGovernor;
+    let report = execute_online(
+        rt.machine(),
+        rt.jobs(),
+        rt.model(),
+        &policy,
+        &arrivals,
+        &mut gov,
+        rt.machine().freqs.min_setting(),
+    )
+    .expect("online run");
+
+    println!();
+    println!("{}", full_report(&report, 64));
+
+    // Flow time: the latency each submitter actually experienced.
+    let mut flows: Vec<(String, f64)> = report
+        .records
+        .iter()
+        .map(|r| {
+            let at = arrivals.iter().find(|a| a.job == r.tag).unwrap().at_s;
+            (r.name.clone(), r.end_s - at)
+        })
+        .collect();
+    flows.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("worst flow times:");
+    for (name, flow) in flows.iter().take(3) {
+        println!("  {name:<20} {flow:>6.1}s");
+    }
+}

@@ -1,0 +1,41 @@
+//! Power-cap sweep: how the achievable batch makespan degrades as the
+//! package budget tightens, and how much co-scheduling buys at each cap.
+//!
+//! Sweeps the cap from 20 W down to 10 W on the 8-program batch and prints
+//! makespan and energy for HCS+ versus the governed Default baseline.
+//!
+//! ```text
+//! cargo run --release --example power_cap_sweep
+//! ```
+
+use apu_sim::{Bias, MachineConfig};
+use kernels::rodinia8;
+use runtime::{CoScheduleRuntime, RuntimeConfig};
+
+fn main() {
+    println!(
+        "{:>6} {:>12} {:>12} {:>13} {:>13} {:>8}",
+        "cap", "HCS+ (s)", "HCS+ E (J)", "Default (s)", "Default E (J)", "gain"
+    );
+    for cap in [20.0, 18.0, 16.0, 14.0, 12.0, 10.0] {
+        let machine = MachineConfig::ivy_bridge();
+        let workload = rodinia8(&machine);
+        let mut cfg = RuntimeConfig::fast(&machine);
+        cfg.cap_w = cap;
+        let rt = CoScheduleRuntime::new(machine, workload.jobs, cfg);
+
+        let hcs = rt.execute_planned(&rt.schedule_hcs_plus());
+        let def = rt.execute_default(&rt.schedule_default(), Bias::Gpu);
+        println!(
+            "{:>5}W {:>12.1} {:>12.0} {:>13.1} {:>13.0} {:>7.0}%",
+            cap,
+            hcs.makespan_s,
+            hcs.trace.energy_j(),
+            def.makespan_s,
+            def.trace.energy_j(),
+            (def.makespan_s / hcs.makespan_s - 1.0) * 100.0
+        );
+    }
+    println!();
+    println!("tighter caps stretch makespans; co-scheduling holds its advantage across the range");
+}

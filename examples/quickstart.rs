@@ -1,0 +1,58 @@
+//! Quickstart: schedule a small batch of OpenCL-like jobs on the simulated
+//! integrated CPU-GPU package under a 15 W power cap.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use apu_sim::MachineConfig;
+use kernels::section3_four;
+use runtime::{CoScheduleRuntime, RuntimeConfig};
+
+fn main() {
+    // 1. A machine: the calibrated Ivy Bridge preset (4-core CPU +
+    //    integrated GPU, shared LLC and DRAM, 16/10 DVFS levels).
+    let machine = MachineConfig::ivy_bridge();
+
+    // 2. A workload: the paper's four motivation programs.
+    let workload = section3_four(&machine);
+    println!("jobs: {:?}", workload.names());
+
+    // 3. The runtime profiles the jobs, characterizes the co-run
+    //    degradation space with the micro-benchmark, and builds the
+    //    predictive model. (`fast` keeps this example snappy; use
+    //    `RuntimeConfig::paper` for full fidelity.)
+    let mut cfg = RuntimeConfig::fast(&machine);
+    cfg.cap_w = 15.0;
+    let rt = CoScheduleRuntime::new(machine, workload.jobs, cfg);
+
+    // 4. Schedule with the heuristic + local refinement (HCS+)...
+    let schedule = rt.schedule_hcs_plus();
+    println!("schedule: {schedule}");
+
+    // 5. ...and execute on the simulator for the ground-truth makespan.
+    let report = rt.execute_planned(&schedule);
+    println!("makespan: {:.1}s", report.makespan_s);
+    println!(
+        "power: mean {:.1} W, peak {:.1} W (cap 15 W)",
+        report.trace.mean_w(),
+        report.trace.max_w()
+    );
+    for rec in &report.records {
+        println!(
+            "  {:<16} on {}: {:>6.1}s .. {:>6.1}s",
+            rec.name, rec.device, rec.start_s, rec.end_s
+        );
+    }
+
+    // 6. Compare against the random baseline and the lower bound.
+    let random = rt.random_avg_makespan(0..5);
+    let bound = rt.lower_bound();
+    println!();
+    println!(
+        "random baseline: {:.1}s  ->  HCS+ speedup {:.0}%",
+        random,
+        (random / report.makespan_s - 1.0) * 100.0
+    );
+    println!("optimal-makespan lower bound: {:.1}s", bound.t_low_s);
+}

@@ -1,0 +1,189 @@
+//! Scaled-down versions of the paper's experiment claims, as regression
+//! tests (the full-fidelity numbers live in the bench binaries and
+//! EXPERIMENTS.md).
+
+use apu_sim::{Bias, Device, FreqSetting, MachineConfig, NullGovernor};
+use kernels::{by_name, rodinia16, rodinia8, with_input_scale};
+use perf_model::{characterize_stage, CharacterizeConfig};
+use runtime::{CoScheduleRuntime, RuntimeConfig};
+
+#[test]
+fn fig2_standalone_preferences() {
+    // streamcluster/cfd/hotspot prefer the GPU by 1.8-2.5x; dwt2d prefers
+    // the CPU by ~2.5x.
+    let cfg = MachineConfig::ivy_bridge();
+    let s = cfg.freqs.max_setting();
+    let factor = |name: &str| {
+        let j = with_input_scale(&by_name(&cfg, name).unwrap(), 0.15);
+        let c = apu_sim::run_solo(&cfg, &j, Device::Cpu, s).unwrap().time_s;
+        let g = apu_sim::run_solo(&cfg, &j, Device::Gpu, s).unwrap().time_s;
+        c / g
+    };
+    assert!((2.0..3.0).contains(&factor("streamcluster")));
+    assert!((1.5..2.3).contains(&factor("cfd")));
+    assert!((2.0..3.0).contains(&factor("hotspot")));
+    assert!((0.25..0.55).contains(&factor("dwt2d")));
+}
+
+#[test]
+fn fig5_fig6_surface_shape() {
+    let cfg = MachineConfig::ivy_bridge();
+    let mut ccfg = CharacterizeConfig::fast(&cfg);
+    ccfg.grid_points = 5;
+    ccfg.micro_duration_s = 2.0;
+    let stage = characterize_stage(&cfg, &ccfg, cfg.freqs.max_setting());
+    let cpu = &stage.surface.deg.cpu;
+    let gpu = &stage.surface.deg.gpu;
+    // CPU peaks higher than GPU but suffers less over most of the grid.
+    assert!(cpu.max_value() > gpu.max_value());
+    assert!(cpu.frac_in(0.0, 0.20) + 1e-9 >= gpu.frac_in(0.0, 0.20));
+    assert!((0.45..0.90).contains(&cpu.max_value()));
+    assert!((0.25..0.60).contains(&gpu.max_value()));
+}
+
+#[test]
+fn fig9_power_overshoot_bounded() {
+    // Under a reactive governor, overshoot above the cap is transient and
+    // bounded (paper: typically < 2 W).
+    let cfg = MachineConfig::ivy_bridge();
+    let a = with_input_scale(&by_name(&cfg, "srad").unwrap(), 0.2);
+    let b = with_input_scale(&by_name(&cfg, "leukocyte").unwrap(), 0.2);
+    let cap = 16.0;
+    let mut gov = apu_sim::BiasedGovernor::gpu_biased(cap);
+    let pair = apu_sim::run_pair(&cfg, &a, &b, cfg.freqs.max_setting(), &mut gov).unwrap();
+    let n = pair.trace.len();
+    let late = &pair.trace.samples_w[n / 3..];
+    let late_max = late.iter().copied().fold(0.0, f64::max);
+    assert!(late_max <= cap + 2.0, "settled overshoot {late_max} too large");
+}
+
+#[test]
+fn fig10_ordering_at_8_jobs() {
+    let machine = MachineConfig::ivy_bridge();
+    let jobs = rodinia8(&machine)
+        .jobs
+        .iter()
+        .map(|j| with_input_scale(j, 0.12))
+        .collect();
+    let mut cfg = RuntimeConfig::fast(&machine);
+    cfg.cap_w = 15.0;
+    let rt = CoScheduleRuntime::new(machine, jobs, cfg);
+    let random = rt.random_avg_makespan(0..4);
+    let default_g = rt.execute_default(&rt.schedule_default(), Bias::Gpu).makespan_s;
+    let hcs_plus = rt.execute_planned(&rt.schedule_hcs_plus()).makespan_s;
+    // Paper Fig 10 ordering: Random > Default_G > HCS+.
+    assert!(default_g < random, "default beats random at 8 jobs");
+    assert!(hcs_plus < default_g, "HCS+ beats default");
+}
+
+#[test]
+fn fig11_defaults_collapse_at_16_jobs() {
+    let machine = MachineConfig::ivy_bridge();
+    let jobs = rodinia16(&machine, 7)
+        .jobs
+        .iter()
+        .map(|j| with_input_scale(j, 0.10))
+        .collect();
+    let mut cfg = RuntimeConfig::fast(&machine);
+    cfg.cap_w = 15.0;
+    let rt = CoScheduleRuntime::new(machine, jobs, cfg);
+    let random = rt.random_avg_makespan(0..4);
+    let default_g = rt.execute_default(&rt.schedule_default(), Bias::Gpu).makespan_s;
+    let hcs_plus = rt.execute_planned(&rt.schedule_hcs_plus()).makespan_s;
+    // Paper Fig 11: the multiprogrammed Default falls behind Random, while
+    // HCS+ stays well ahead.
+    assert!(default_g > random * 0.95, "default must not beat random at 16 jobs");
+    assert!(hcs_plus < random, "HCS+ beats random");
+    assert!(hcs_plus < default_g * 0.9, "HCS+ far ahead of default");
+}
+
+#[test]
+fn sec3_frequency_enumeration_spread() {
+    // Under the cap, the best uniform co-schedule of the four programs is
+    // much faster than the worst (paper: ~2.3x).
+    let machine = MachineConfig::ivy_bridge();
+    let jobs: Vec<_> = kernels::section3_four(&machine)
+        .jobs
+        .iter()
+        .map(|j| with_input_scale(j, 0.12))
+        .collect();
+    let mut cfg = RuntimeConfig::fast(&machine);
+    cfg.cap_w = 15.0;
+    let rt = CoScheduleRuntime::new(machine, jobs, cfg);
+    let ex = corun_core::exhaustive_uniform(rt.model(), 15.0);
+    let ratio = ex.worst.1 / ex.best.1;
+    assert!(ratio > 1.6, "best-vs-worst spread {ratio} too small");
+}
+
+#[test]
+fn medium_frequency_setting_exists() {
+    // The paper's "medium" exemplar (2.2 GHz CPU, 0.85 GHz GPU) maps onto
+    // the ladders and fits the 16 W cap for a typical pair.
+    let cfg = MachineConfig::ivy_bridge();
+    let f = cfg.freqs.cpu.nearest_level(2.2);
+    let g = cfg.freqs.gpu.nearest_level(0.85);
+    let setting = FreqSetting::new(f, g);
+    assert!((cfg.freqs.ghz(Device::Cpu, setting) - 2.2).abs() < 0.1);
+    assert!((cfg.freqs.ghz(Device::Gpu, setting) - 0.85).abs() < 0.06);
+    let busy = cfg.power_model().package_power_busy(setting);
+    assert!(busy < 16.0, "medium setting busy power {busy} fits 16 W");
+    let _ = NullGovernor;
+}
+
+#[test]
+fn engine_is_deterministic() {
+    // Two identical runs must produce bit-identical traces and records —
+    // the property that makes every experiment in this repo reproducible.
+    let cfg = MachineConfig::ivy_bridge();
+    let a = with_input_scale(&by_name(&cfg, "cfd").unwrap(), 0.15);
+    let b = with_input_scale(&by_name(&cfg, "heartwall").unwrap(), 0.15);
+    let mut g1 = apu_sim::BiasedGovernor::gpu_biased(15.0);
+    let mut g2 = apu_sim::BiasedGovernor::gpu_biased(15.0);
+    let r1 = apu_sim::run_pair(&cfg, &a, &b, cfg.freqs.max_setting(), &mut g1).unwrap();
+    let r2 = apu_sim::run_pair(&cfg, &a, &b, cfg.freqs.max_setting(), &mut g2).unwrap();
+    assert_eq!(r1.trace, r2.trace);
+    assert_eq!(r1.cpu_time_s, r2.cpu_time_s);
+    assert_eq!(r1.gpu_time_s, r2.gpu_time_s);
+}
+
+#[test]
+fn table1_min_corun_exceeds_standalone() {
+    // Table I invariant: the minimal co-run time can never beat the
+    // standalone time at the same constraint set.
+    let machine = MachineConfig::ivy_bridge();
+    let jobs: Vec<_> = rodinia8(&machine)
+        .jobs
+        .iter()
+        .map(|j| with_input_scale(j, 0.1))
+        .collect();
+    let mut cfg = RuntimeConfig::fast(&machine);
+    cfg.cap_w = 16.0;
+    let rt = CoScheduleRuntime::new(machine, jobs, cfg);
+    let m = rt.model();
+    use corun_core::CoRunModel;
+    for i in 0..m.len() {
+        for dev in [Device::Cpu, Device::Gpu] {
+            let (solo_level, solo_t) =
+                corun_core::best_solo_run(m, i, dev, 16.0).expect("feasible");
+            let mut min_corun = f64::INFINITY;
+            for j in 0..m.len() {
+                if i == j {
+                    continue;
+                }
+                let (cj, gj) = match dev {
+                    Device::Cpu => (i, j),
+                    Device::Gpu => (j, i),
+                };
+                for (f, g) in corun_core::feasible_pair_settings(m, cj, gj, 16.0) {
+                    let own = if dev == Device::Cpu { f } else { g };
+                    let co = if dev == Device::Cpu { g } else { f };
+                    min_corun = min_corun.min(m.corun_time(i, dev, own, j, co));
+                }
+            }
+            assert!(
+                min_corun >= solo_t * 0.999,
+                "job {i} on {dev}: min co-run {min_corun} below solo {solo_t} (L{solo_level})"
+            );
+        }
+    }
+}

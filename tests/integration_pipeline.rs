@@ -1,0 +1,130 @@
+//! End-to-end integration: machine + workloads + models + algorithms +
+//! executor, through the public APIs only.
+
+use apu_sim::{Bias, Device, MachineConfig};
+use corun_core::{evaluate, CoRunModel};
+use kernels::{rodinia8, with_input_scale};
+use runtime::{CoScheduleRuntime, RuntimeConfig};
+
+fn small_runtime(cap_w: f64) -> CoScheduleRuntime {
+    let machine = MachineConfig::ivy_bridge();
+    let jobs = rodinia8(&machine)
+        .jobs
+        .iter()
+        .map(|j| with_input_scale(j, 0.12))
+        .collect();
+    let mut cfg = RuntimeConfig::fast(&machine);
+    cfg.cap_w = cap_w;
+    CoScheduleRuntime::new(machine, jobs, cfg)
+}
+
+#[test]
+fn full_pipeline_schedules_and_executes() {
+    let rt = small_runtime(15.0);
+    let out = rt.schedule_hcs();
+    assert!(out.schedule.is_complete_for(8), "{}", out.schedule);
+    let plus = rt.schedule_hcs_plus();
+    assert!(plus.is_complete_for(8));
+    let run = rt.execute_planned(&plus);
+    assert_eq!(run.records.len(), 8, "every job must complete");
+    assert!(run.makespan_s > 0.0);
+}
+
+#[test]
+fn hcs_plus_beats_baselines_in_ground_truth() {
+    let rt = small_runtime(15.0);
+    let random = rt.random_avg_makespan(0..5);
+    let hcs_plus = rt.execute_planned(&rt.schedule_hcs_plus()).makespan_s;
+    let default_g = rt.execute_default(&rt.schedule_default(), Bias::Gpu).makespan_s;
+    assert!(hcs_plus < random, "HCS+ {hcs_plus} vs random {random}");
+    assert!(hcs_plus < default_g, "HCS+ {hcs_plus} vs default {default_g}");
+}
+
+#[test]
+fn lower_bound_holds_for_every_scheduler() {
+    let rt = small_runtime(15.0);
+    let bound = rt.lower_bound().t_low_s;
+    for span in [
+        rt.execute_planned(&rt.schedule_hcs_plus()).makespan_s,
+        rt.execute_default(&rt.schedule_default(), Bias::Gpu).makespan_s,
+        rt.execute_governed(&rt.schedule_random(3), Bias::Gpu).makespan_s,
+    ] {
+        assert!(bound <= span * 1.02, "bound {bound} above achieved {span}");
+    }
+}
+
+#[test]
+fn planned_execution_stays_near_cap() {
+    let rt = small_runtime(15.0);
+    let run = rt.execute_planned(&rt.schedule_hcs_plus());
+    assert!(
+        run.trace.max_w() <= 15.0 + 2.5,
+        "peak power {} too far above the cap",
+        run.trace.max_w()
+    );
+}
+
+#[test]
+fn model_agrees_with_ground_truth_reasonably() {
+    let rt = small_runtime(15.0);
+    let s = rt.schedule_hcs_plus();
+    let predicted = evaluate(rt.model(), &s, Some(15.0)).makespan_s;
+    let truth = rt.execute_planned(&s).makespan_s;
+    let err = (predicted - truth).abs() / truth;
+    assert!(err < 0.25, "model error {err} too large: {predicted} vs {truth}");
+}
+
+#[test]
+fn preferences_match_paper_table1() {
+    let rt = small_runtime(16.0);
+    let m = rt.model();
+    let cfg = corun_core::HcsConfig::with_cap(16.0);
+    let mut gpu_pref = 0;
+    for i in 0..m.len() {
+        let name = m.name(i).to_owned();
+        let p = corun_core::categorize(m, &cfg, i);
+        match name.split('#').next().unwrap() {
+            "dwt2d" => assert_eq!(p, corun_core::Preference::Cpu, "dwt2d prefers the CPU"),
+            "lud" => {} // near-tied; either Non or a weak preference is fine
+            _ => {
+                if p == corun_core::Preference::Gpu {
+                    gpu_pref += 1;
+                }
+            }
+        }
+    }
+    assert!(gpu_pref >= 5, "most programs prefer the GPU, got {gpu_pref}");
+}
+
+#[test]
+fn tighter_cap_slows_schedules() {
+    let loose = small_runtime(20.0);
+    let tight = small_runtime(11.0);
+    let t_loose = loose.execute_planned(&loose.schedule_hcs_plus()).makespan_s;
+    let t_tight = tight.execute_planned(&tight.schedule_hcs_plus()).makespan_s;
+    assert!(
+        t_tight > t_loose,
+        "an 11 W cap must cost throughput: {t_tight} vs {t_loose}"
+    );
+}
+
+#[test]
+fn vulnerability_probe_flags_dwt2d() {
+    let rt = small_runtime(15.0);
+    let vulns = rt.vulnerabilities().expect("probe enabled in fast config");
+    let m = rt.model();
+    let dwt = (0..m.len()).find(|&i| m.name(i).starts_with("dwt2d")).unwrap();
+    let sc = (0..m.len()).find(|&i| m.name(i).starts_with("streamcluster")).unwrap();
+    assert!(vulns[dwt].max_excess() > 0.4, "dwt2d is LLC-fragile");
+    assert!(
+        vulns[sc].max_excess() < vulns[dwt].max_excess() / 2.0,
+        "streamcluster is not"
+    );
+    // and the scheduler's model therefore knows dwt2d + streamcluster is bad
+    let kc = m.levels(Device::Cpu) - 1;
+    let kg = m.levels(Device::Gpu) - 1;
+    let hot = (0..m.len()).find(|&i| m.name(i).starts_with("hotspot")).unwrap();
+    let d_bad = m.degradation(dwt, Device::Cpu, kc, sc, kg);
+    let d_ok = m.degradation(dwt, Device::Cpu, kc, hot, kg);
+    assert!(d_bad > 2.0 * d_ok, "model must separate the pairings: {d_bad} vs {d_ok}");
+}

@@ -1,0 +1,204 @@
+//! Cross-crate property-based tests (proptest): invariants of the
+//! scheduling stack under randomized models, schedules, and workloads.
+
+use apu_sim::Device;
+use corun_core::{
+    corun_beneficial, evaluate, hcs, lower_bound, pair_completion, random_schedule, refine,
+    Assignment, CoRunModel, HcsConfig, RefineConfig, Schedule, TableModel,
+};
+use proptest::prelude::*;
+
+/// A randomized but well-formed table model.
+fn arb_model(max_jobs: usize) -> impl Strategy<Value = TableModel> {
+    (2..=max_jobs, 2usize..=5, 2usize..=4, any::<u64>()).prop_map(|(n, kc, kg, seed)| {
+        // simple xorshift so the model is a pure function of the seed
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 1000.0
+        };
+        let times: Vec<(f64, f64)> =
+            (0..n).map(|_| (5.0 + 60.0 * next(), 5.0 + 60.0 * next())).collect();
+        let degs: Vec<f64> = (0..n * n).map(|_| next() * 0.8).collect();
+        let powers: Vec<f64> = (0..n).map(|_| 4.0 + 8.0 * next()).collect();
+        TableModel::build(
+            (0..n).map(|i| format!("j{i}")).collect(),
+            kc,
+            kg,
+            4.0,
+            move |i, d, f| {
+                let (tc, tg) = times[i];
+                let t = match d {
+                    Device::Cpu => tc,
+                    Device::Gpu => tg,
+                };
+                let k = match d {
+                    Device::Cpu => kc,
+                    Device::Gpu => kg,
+                };
+                t / (0.4 + 0.6 * f as f64 / (k - 1) as f64)
+            },
+            move |i, _d, _f, j, _g| degs[i * n + j],
+            move |i, d, f| {
+                let k = match d {
+                    Device::Cpu => kc,
+                    Device::Gpu => kg,
+                };
+                4.0 + powers[i] * ((f + 1) as f64 / k as f64)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hcs_schedules_every_job_exactly_once(model in arb_model(10)) {
+        let out = hcs(&model, &HcsConfig::uncapped());
+        prop_assert!(out.schedule.is_complete_for(model.len()));
+    }
+
+    #[test]
+    fn hcs_capped_schedules_are_cap_feasible_in_model(model in arb_model(8)) {
+        // Pick a cap that is restrictive but not impossible: above the
+        // floor power of EVERY pair (a job whose floor-level power exceeds
+        // the cap can never be scheduled compliantly, and the repair pass
+        // rightly gives up on it).
+        let cap = model.corun_power(Some((0, model.levels(Device::Cpu) - 1)),
+                                    Some((1, model.levels(Device::Gpu) - 1))) * 0.8;
+        let n = model.len();
+        let max_floor = (0..n)
+            .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (i, j)))
+            .map(|(i, j)| model.corun_power(Some((i, 0)), Some((j, 0))))
+            .fold(0.0_f64, f64::max);
+        prop_assume!(cap > max_floor);
+        let out = hcs(&model, &HcsConfig::with_cap(cap));
+        prop_assert!(out.schedule.is_complete_for(model.len()));
+        let r = evaluate(&model, &out.schedule, Some(cap));
+        prop_assert!(r.cap_ok, "peak {} vs cap {}", r.peak_power_w, cap);
+    }
+
+    #[test]
+    fn refinement_never_worsens_model_makespan(model in arb_model(9), seed in any::<u64>()) {
+        let out = hcs(&model, &HcsConfig::uncapped());
+        let mut rc = RefineConfig::new(f64::INFINITY);
+        rc.seed = seed;
+        let r = refine(&model, &out.schedule, &rc);
+        prop_assert!(r.after_s <= r.before_s + 1e-9);
+        prop_assert!(r.schedule.is_complete_for(model.len()));
+    }
+
+    #[test]
+    fn lower_bound_below_any_schedule(model in arb_model(8), seed in any::<u64>()) {
+        let b = lower_bound(&model, f64::INFINITY);
+        let s = random_schedule(&model, seed, 0.2);
+        let span = evaluate(&model, &s, None).makespan_s;
+        prop_assert!(b.t_low_s <= span + 1e-6,
+            "bound {} above random schedule {}", b.t_low_s, span);
+        let out = hcs(&model, &HcsConfig::uncapped());
+        let hspan = evaluate(&model, &out.schedule, None).makespan_s;
+        prop_assert!(b.t_low_s <= hspan + 1e-6);
+    }
+
+    #[test]
+    fn evaluator_segments_tile_and_makespan_is_max_finish(
+        model in arb_model(8), seed in any::<u64>()
+    ) {
+        let s = random_schedule(&model, seed, 0.15);
+        let r = evaluate(&model, &s, None);
+        let max_finish = r.finish_s.iter().flatten().fold(0.0_f64, |a, &b| a.max(b));
+        prop_assert!((r.makespan_s - max_finish).abs() < 1e-6);
+        for w in r.segments.windows(2) {
+            prop_assert!((w[0].t1 - w[1].t0).abs() < 1e-6);
+            prop_assert!(w[0].t1 >= w[0].t0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn theorem_matches_bruteforce(l1 in 1.0..60.0_f64, d1 in 0.0..1.5_f64,
+                                  l2 in 1.0..60.0_f64, d2 in 0.0..1.5_f64) {
+        let tc = (l1 * (1.0 + d1)).max(l2 * (1.0 + d2));
+        let ts = l1 + l2;
+        prop_assert_eq!(corun_beneficial(l1, d1, l2, d2), tc < ts);
+    }
+
+    #[test]
+    fn pair_completion_bounds(l1 in 0.1..60.0_f64, d1 in 0.0..1.5_f64,
+                              l2 in 0.1..60.0_f64, d2 in 0.0..1.5_f64) {
+        let (t1, t2) = pair_completion(l1, d1, l2, d2);
+        // each job finishes no earlier than solo and no later than fully
+        // degraded
+        prop_assert!(t1 >= l1 - 1e-9 && t1 <= l1 * (1.0 + d1) + 1e-9);
+        prop_assert!(t2 >= l2 - 1e-9 && t2 <= l2 * (1.0 + d2) + 1e-9);
+        // the one that finishes first is fully degraded until then
+        let first = t1.min(t2);
+        prop_assert!(first >= (l1 * (1.0 + d1)).min(l2 * (1.0 + d2)) - 1e-9);
+    }
+
+    #[test]
+    fn random_schedule_is_complete_permutation(model in arb_model(12), seed in any::<u64>()) {
+        let s = random_schedule(&model, seed, 0.3);
+        prop_assert!(s.is_complete_for(model.len()));
+    }
+
+    #[test]
+    fn evaluate_with_solo_tail_never_overlaps(model in arb_model(6)) {
+        let n = model.len();
+        let kc = model.levels(Device::Cpu) - 1;
+        let mut s = Schedule::new();
+        for i in 0..n / 2 {
+            s.cpu.push(Assignment { job: i, level: kc });
+        }
+        for i in n / 2..n {
+            s.solo_tail.push(corun_core::SoloRun {
+                job: i,
+                device: Device::Gpu,
+                level: model.levels(Device::Gpu) - 1,
+            });
+        }
+        let r = evaluate(&model, &s, None);
+        // solo segments must come after all co-run segments and be disjoint
+        let mut prev_end = 0.0;
+        for seg in &r.segments {
+            prop_assert!(seg.t0 >= prev_end - 1e-9);
+            prev_end = seg.t1;
+        }
+    }
+}
+
+/// Workload-level properties on the real simulator (fewer cases: each runs
+/// the engine).
+mod simulator {
+    use super::*;
+    use apu_sim::{run_solo, MachineConfig};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn engine_time_scales_with_input(scale in 0.05..0.3_f64) {
+            let cfg = MachineConfig::ivy_bridge();
+            let base = kernels::by_name(&cfg, "lud").unwrap();
+            let job = kernels::with_input_scale(&base, scale);
+            let s = cfg.freqs.max_setting();
+            let t = run_solo(&cfg, &job, Device::Gpu, s).unwrap().time_s;
+            let expected = 24.83 * scale + 0.2 * (1.0 - scale); // host setup constant
+            prop_assert!((t - expected).abs() / expected < 0.1,
+                "scaled run {t} vs expected {expected}");
+        }
+
+        #[test]
+        fn frequency_monotonicity_on_engine(level in 0usize..16) {
+            let cfg = MachineConfig::ivy_bridge();
+            let job = kernels::with_input_scale(&kernels::by_name(&cfg, "leukocyte").unwrap(), 0.1);
+            let s_lo = apu_sim::FreqSetting::new(level, 5);
+            let s_hi = apu_sim::FreqSetting::new(15, 5);
+            let t_lo = run_solo(&cfg, &job, Device::Cpu, s_lo).unwrap().time_s;
+            let t_hi = run_solo(&cfg, &job, Device::Cpu, s_hi).unwrap().time_s;
+            prop_assert!(t_lo >= t_hi - 0.05);
+        }
+    }
+}
