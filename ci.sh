@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Workspace CI: formatting, lints, tests, and the `corun lint` gate over
+# the shipped example specs and fixtures.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: build + tests"
+cargo build --release
+cargo test -q
+
+echo "== sanitizer-feature tests"
+cargo test -q -p corun-verify -p apu-sim --features corun-verify/sanitize
+
+echo "== corun lint: shipped inputs must be clean"
+CORUN=target/release/corun
+cargo build --release -p corun-cli
+$CORUN lint
+$CORUN lint --machine kaveri
+$CORUN lint --spec examples/specs/rodinia_small.spec
+
+echo "== corun lint: broken fixtures must fail"
+expect_fail() {
+    if "$@" >/dev/null 2>&1; then
+        echo "FAIL: expected non-zero exit: $*" >&2
+        exit 1
+    fi
+}
+expect_fail $CORUN lint --spec examples/specs/broken.spec
+expect_fail $CORUN lint --config examples/specs/broken_machine.cfg
+expect_fail $CORUN lint --spec examples/specs/rodinia_small.spec \
+    --schedule examples/specs/broken_duplicate.sched
+expect_fail $CORUN lint --spec examples/specs/rodinia_small.spec \
+    --schedule examples/specs/broken_schedule.sched
+
+echo "CI OK"

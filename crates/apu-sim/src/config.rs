@@ -215,7 +215,10 @@ mod tests {
     fn full_speed_power_exceeds_paper_caps() {
         let m = MachineConfig::ivy_bridge();
         let p = m.power_model().package_power_busy(m.freqs.max_setting());
-        assert!(p > 16.0, "uncapped package power {p} must exceed the 16 W cap");
+        assert!(
+            p > 16.0,
+            "uncapped package power {p} must exceed the 16 W cap"
+        );
         assert!(p < 30.0, "package power {p} should stay laptop-scale");
     }
 
@@ -228,7 +231,10 @@ mod tests {
             .all_settings()
             .filter(|&s| pm.package_power_busy(s) <= 15.0)
             .count();
-        assert!(feasible > 20, "need a meaningful feasible region, got {feasible}");
+        assert!(
+            feasible > 20,
+            "need a meaningful feasible region, got {feasible}"
+        );
         assert!(
             feasible < m.freqs.setting_count(),
             "the cap must actually constrain the grid"
@@ -245,13 +251,11 @@ mod tests {
         // Wider GPU: peak GPU compute exceeds Ivy Bridge's.
         let ivy = MachineConfig::ivy_bridge();
         assert!(
-            m.gpu.compute_rate(m.f_max(Device::Gpu))
-                > ivy.gpu.compute_rate(ivy.f_max(Device::Gpu))
+            m.gpu.compute_rate(m.f_max(Device::Gpu)) > ivy.gpu.compute_rate(ivy.f_max(Device::Gpu))
         );
         // Weaker CPU.
         assert!(
-            m.cpu.compute_rate(m.f_max(Device::Cpu))
-                < ivy.cpu.compute_rate(ivy.f_max(Device::Cpu))
+            m.cpu.compute_rate(m.f_max(Device::Cpu)) < ivy.cpu.compute_rate(ivy.f_max(Device::Cpu))
         );
     }
 
@@ -261,7 +265,10 @@ mod tests {
         assert_eq!(m.multiprog_rate(1), 1.0);
         let r2 = m.multiprog_rate(2);
         let r4 = m.multiprog_rate(4);
-        assert!(r2 < 0.5 && r2 > 0.3, "2-way sharing pays context-switch cost");
+        assert!(
+            r2 < 0.5 && r2 > 0.3,
+            "2-way sharing pays context-switch cost"
+        );
         assert!(r4 < 0.25, "4-way sharing is worse than fair split");
         // The OS-style time sharing the paper blames for Default's collapse
         // at 16 jobs: with ~6 resident jobs each gets well under half its

@@ -70,7 +70,10 @@ impl<T> PerDevice<T> {
 
     /// Construct by evaluating a closure for each device.
     pub fn from_fn(mut f: impl FnMut(Device) -> T) -> Self {
-        PerDevice { cpu: f(Device::Cpu), gpu: f(Device::Gpu) }
+        PerDevice {
+            cpu: f(Device::Cpu),
+            gpu: f(Device::Gpu),
+        }
     }
 
     /// Immutable access by device.
@@ -93,7 +96,10 @@ impl<T> PerDevice<T> {
 
     /// Map both entries through a function.
     pub fn map<U>(&self, mut f: impl FnMut(&T) -> U) -> PerDevice<U> {
-        PerDevice { cpu: f(&self.cpu), gpu: f(&self.gpu) }
+        PerDevice {
+            cpu: f(&self.cpu),
+            gpu: f(&self.gpu),
+        }
     }
 }
 

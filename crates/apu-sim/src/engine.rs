@@ -156,7 +156,11 @@ impl RunOptions {
     /// Standard options: single job per device, given initial setting,
     /// generous limit.
     pub fn new(initial_setting: FreqSetting) -> Self {
-        RunOptions { initial_setting, cpu_slots: 1, limit_s: 1.0e5 }
+        RunOptions {
+            initial_setting,
+            cpu_slots: 1,
+            limit_s: 1.0e5,
+        }
     }
 }
 
@@ -251,8 +255,22 @@ impl<'a> Engine<'a> {
         let mut window_energy = 0.0_f64;
         let mut window_t = 0.0_f64;
         let mut window_util = PerDevice::new(0.0_f64, 0.0_f64);
+        #[cfg(feature = "sanitize")]
+        let mut san = crate::sanitize::RunSanitizer::new(
+            log.as_ref().and_then(|l| l.cap_of_interest_w),
+            cfg.power_sample_s,
+        );
 
-        self.refill(dispatcher, &mut jobs, &mut setting, &mut drained, &mut wake_at, now, opts, &mut log)?;
+        self.refill(
+            dispatcher,
+            &mut jobs,
+            &mut setting,
+            &mut drained,
+            &mut wake_at,
+            now,
+            opts,
+            &mut log,
+        )?;
         if jobs.is_empty() && wake_at.is_none() {
             if drained {
                 return Ok(RunReport {
@@ -303,15 +321,18 @@ impl<'a> Engine<'a> {
                 }
             }
             now += dt;
+            #[cfg(feature = "sanitize")]
+            san.on_tick(now, power);
 
             // --- power sample + governor --------------------------------
             if window_t + 1e-12 >= cfg.power_sample_s {
                 let avg = window_energy / window_t;
                 trace.push(avg);
+                #[cfg(feature = "sanitize")]
+                san.on_window(now, avg);
                 let avg_util = window_util.map(|u| u / window_t);
                 window_util = PerDevice::new(0.0, 0.0);
-                let new_setting =
-                    governor.on_sample_util(now, avg, avg_util, setting, &cfg.freqs);
+                let new_setting = governor.on_sample_util(now, avg, avg_util, setting, &cfg.freqs);
                 if let Some(l) = log.as_deref_mut() {
                     if let Some(cap) = l.cap_of_interest_w {
                         if avg > cap {
@@ -319,7 +340,13 @@ impl<'a> Engine<'a> {
                         }
                     }
                     if new_setting != setting {
-                        l.push(now, EventKind::FreqChange { from: setting, to: new_setting });
+                        l.push(
+                            now,
+                            EventKind::FreqChange {
+                                from: setting,
+                                to: new_setting,
+                            },
+                        );
                     }
                 }
                 setting = new_setting;
@@ -334,7 +361,13 @@ impl<'a> Engine<'a> {
                     if jobs[i].phase >= jobs[i].job.phases.len() {
                         let r = jobs.remove(i);
                         if let Some(l) = log.as_deref_mut() {
-                            l.push(now, EventKind::Complete { tag: r.tag, device: r.device });
+                            l.push(
+                                now,
+                                EventKind::Complete {
+                                    tag: r.tag,
+                                    device: r.device,
+                                },
+                            );
                         }
                         records.push(JobRecord {
                             tag: r.tag,
@@ -348,13 +381,25 @@ impl<'a> Engine<'a> {
                     }
                 }
                 self.refill(
-                    dispatcher, &mut jobs, &mut setting, &mut drained, &mut wake_at, now, opts,
+                    dispatcher,
+                    &mut jobs,
+                    &mut setting,
+                    &mut drained,
+                    &mut wake_at,
+                    now,
+                    opts,
                     &mut log,
                 )?;
             } else if wake_at.is_some_and(|w| now + 1e-9 >= w) {
                 // A scheduled wakeup came due while jobs were running.
                 self.refill(
-                    dispatcher, &mut jobs, &mut setting, &mut drained, &mut wake_at, now, opts,
+                    dispatcher,
+                    &mut jobs,
+                    &mut setting,
+                    &mut drained,
+                    &mut wake_at,
+                    now,
+                    opts,
                     &mut log,
                 )?;
             }
@@ -366,7 +411,13 @@ impl<'a> Engine<'a> {
                 // Nothing running: re-poll, then honour any wakeup by
                 // idling the package forward to it.
                 self.refill(
-                    dispatcher, &mut jobs, &mut setting, &mut drained, &mut wake_at, now, opts,
+                    dispatcher,
+                    &mut jobs,
+                    &mut setting,
+                    &mut drained,
+                    &mut wake_at,
+                    now,
+                    opts,
                     &mut log,
                 )?;
                 if jobs.is_empty() {
@@ -389,17 +440,27 @@ impl<'a> Engine<'a> {
                         window_energy += idle_p * step;
                         window_t += step;
                         now += step;
+                        #[cfg(feature = "sanitize")]
+                        san.on_tick(now, idle_p);
                         if window_t + 1e-12 >= cfg.power_sample_s {
                             let avg = window_energy / window_t;
                             trace.push(avg);
+                            #[cfg(feature = "sanitize")]
+                            san.on_window(now, avg);
                             setting = governor.on_sample(now, avg, setting, &cfg.freqs);
                             window_energy = 0.0;
                             window_t = 0.0;
                         }
                     }
                     self.refill(
-                        dispatcher, &mut jobs, &mut setting, &mut drained, &mut wake_at, now,
-                        opts, &mut log,
+                        dispatcher,
+                        &mut jobs,
+                        &mut setting,
+                        &mut drained,
+                        &mut wake_at,
+                        now,
+                        opts,
+                        &mut log,
                     )?;
                     if jobs.is_empty() && !drained && wake_at.is_none() {
                         return Err(SimError::Stalled { at_s: now });
@@ -411,17 +472,29 @@ impl<'a> Engine<'a> {
             }
 
             if now > opts.limit_s {
-                return Err(SimError::TimeLimit { limit_s: opts.limit_s });
+                return Err(SimError::TimeLimit {
+                    limit_s: opts.limit_s,
+                });
             }
         }
 
         // Flush a final partial power window so short runs still trace.
         if window_t > 0.0 {
-            trace.push(window_energy / window_t);
+            let avg = window_energy / window_t;
+            trace.push(avg);
+            #[cfg(feature = "sanitize")]
+            san.on_window(now, avg);
         }
+        #[cfg(feature = "sanitize")]
+        san.finish(now);
 
         let makespan = records.iter().map(|r| r.end_s).fold(0.0, f64::max);
-        Ok(RunReport { makespan_s: makespan, records, trace, final_setting: setting })
+        Ok(RunReport {
+            makespan_s: makespan,
+            records,
+            trace,
+            final_setting: setting,
+        })
     }
 
     fn slots(&self, device: Device, opts: &RunOptions) -> usize {
@@ -455,9 +528,7 @@ impl<'a> Engine<'a> {
                 }
                 let ctx = DispatchCtx {
                     setting: *setting,
-                    running: PerDevice::from_fn(|d| {
-                        jobs.iter().filter(|r| r.device == d).count()
-                    }),
+                    running: PerDevice::from_fn(|d| jobs.iter().filter(|r| r.device == d).count()),
                 };
                 match dispatcher.next(device, now, &ctx) {
                     Dispatch::Run(dj) => {
@@ -466,7 +537,10 @@ impl<'a> Engine<'a> {
                                 if let Some(l) = log.as_deref_mut() {
                                     l.push(
                                         now,
-                                        EventKind::FreqChange { from: *setting, to: fs },
+                                        EventKind::FreqChange {
+                                            from: *setting,
+                                            to: fs,
+                                        },
                                     );
                                 }
                             }
@@ -597,7 +671,11 @@ impl<'a> Engine<'a> {
             .map(|(r, p)| {
                 let Some(p) = p else {
                     // Host setup: negligible device activity.
-                    return Dynamics { rate: 0.0, util: 0.05, consumption: 0.0 };
+                    return Dynamics {
+                        rate: 0.0,
+                        util: 0.05,
+                        consumption: 0.0,
+                    };
                 };
                 let d = r.device;
                 let phase = &r.job.phases[r.phase];
@@ -615,7 +693,11 @@ impl<'a> Engine<'a> {
                 let stall = cfg.device(d).stall_power_frac;
                 let util = slice * (busy_frac + stall * (1.0 - busy_frac));
                 let consumption = p.demand0 / share.max(1e-12) * share / slow.max(1.0);
-                Dynamics { rate, util, consumption }
+                Dynamics {
+                    rate,
+                    util,
+                    consumption,
+                }
             })
             .collect()
     }
@@ -630,7 +712,10 @@ impl<'a> Engine<'a> {
                     bw += dy.consumption;
                 }
             }
-            DeviceActivity { compute_util: util.min(1.0), mem_bw_gbps: bw }
+            DeviceActivity {
+                compute_util: util.min(1.0),
+                mem_bw_gbps: bw,
+            }
         });
         self.cfg.power_model().package_power(setting, act)
     }
@@ -657,7 +742,11 @@ impl Dispatcher for SoloDispatcher {
             Some(job) => {
                 let tag = self.next_tag;
                 self.next_tag += 1;
-                Dispatch::Run(DispatchJob { job, tag, set_freq: None })
+                Dispatch::Run(DispatchJob {
+                    job,
+                    tag,
+                    set_freq: None,
+                })
             }
             None => Dispatch::Drained,
         }
@@ -791,7 +880,11 @@ impl Dispatcher for BackgroundDispatcher {
     fn next(&mut self, device: Device, _now: f64, _ctx: &DispatchCtx) -> Dispatch {
         if device == self.fore_device {
             match self.fore.take() {
-                Some(job) => Dispatch::Run(DispatchJob { job, tag: 0, set_freq: None }),
+                Some(job) => Dispatch::Run(DispatchJob {
+                    job,
+                    tag: 0,
+                    set_freq: None,
+                }),
                 None => {
                     self.fore_done = true;
                     Dispatch::Drained
@@ -801,7 +894,11 @@ impl Dispatcher for BackgroundDispatcher {
             // keep the background device busy until the engine drains
             let tag = self.next_tag;
             self.next_tag += 1;
-            Dispatch::Run(DispatchJob { job: self.back.clone(), tag: 1000 + tag, set_freq: None })
+            Dispatch::Run(DispatchJob {
+                job: self.back.clone(),
+                tag: 1000 + tag,
+                set_freq: None,
+            })
         }
     }
 }
@@ -894,10 +991,18 @@ mod tests {
         let cfg = cfg();
         let job = JobSpec::plain(
             "mix",
-            vec![compute_phase(450.0), memory_phase(55.0), compute_phase(225.0)],
+            vec![
+                compute_phase(450.0),
+                memory_phase(55.0),
+                compute_phase(225.0),
+            ],
         );
-        let analytic =
-            job.solo_time(&cfg.cpu, Device::Cpu, cfg.f_max(Device::Cpu), cfg.f_max(Device::Cpu));
+        let analytic = job.solo_time(
+            &cfg.cpu,
+            Device::Cpu,
+            cfg.f_max(Device::Cpu),
+            cfg.f_max(Device::Cpu),
+        );
         let out = run_solo(&cfg, &job, Device::Cpu, cfg.freqs.max_setting()).unwrap();
         assert!(
             (out.time_s - analytic).abs() / analytic < 0.01,
@@ -916,8 +1021,14 @@ mod tests {
         let solo_b = run_solo(&cfg, &b, Device::Gpu, s).unwrap().time_s;
         let mut gov = crate::governor::NullGovernor;
         let pair = run_pair(&cfg, &a, &b, s, &mut gov).unwrap();
-        assert!(pair.cpu_time_s > solo_a * 1.2, "CPU job must degrade under contention");
-        assert!(pair.gpu_time_s > solo_b * 1.2, "GPU job must degrade under contention");
+        assert!(
+            pair.cpu_time_s > solo_a * 1.2,
+            "CPU job must degrade under contention"
+        );
+        assert!(
+            pair.gpu_time_s > solo_b * 1.2,
+            "GPU job must degrade under contention"
+        );
     }
 
     #[test]
@@ -946,8 +1057,14 @@ mod tests {
         // The long job is only contended while the short one runs; its total
         // slowdown must be well below the steady-state degradation.
         let steady = run_with_background(&cfg, &long, Device::Cpu, &short, s).unwrap();
-        assert!(pair.cpu_time_s < steady, "partial overlap must beat steady-state contention");
-        assert!(pair.cpu_time_s > solo_long, "but it is still slower than solo");
+        assert!(
+            pair.cpu_time_s < steady,
+            "partial overlap must beat steady-state contention"
+        );
+        assert!(
+            pair.cpu_time_s > solo_long,
+            "but it is still slower than solo"
+        );
     }
 
     #[test]
@@ -958,7 +1075,10 @@ mod tests {
         let s = cfg.freqs.max_setting();
         let solo = run_solo(&cfg, &fore, Device::Cpu, s).unwrap().time_s;
         let co = run_with_background(&cfg, &fore, Device::Cpu, &back, s).unwrap();
-        assert!(co > solo * 1.3, "steady contention expected, solo={solo} co={co}");
+        assert!(
+            co > solo * 1.3,
+            "steady contention expected, solo={solo} co={co}"
+        );
     }
 
     #[test]
@@ -994,7 +1114,11 @@ mod tests {
         let engine = Engine::new(&cfg);
         let mut gov = crate::governor::NullGovernor;
         let r = engine
-            .run(&mut Empty, &mut gov, &RunOptions::new(cfg.freqs.max_setting()))
+            .run(
+                &mut Empty,
+                &mut gov,
+                &RunOptions::new(cfg.freqs.max_setting()),
+            )
             .unwrap();
         assert_eq!(r.makespan_s, 0.0);
         assert!(r.records.is_empty());
@@ -1011,7 +1135,11 @@ mod tests {
         }
         let engine = Engine::new(&cfg);
         let mut gov = crate::governor::NullGovernor;
-        let r = engine.run(&mut Lazy, &mut gov, &RunOptions::new(cfg.freqs.max_setting()));
+        let r = engine.run(
+            &mut Lazy,
+            &mut gov,
+            &RunOptions::new(cfg.freqs.max_setting()),
+        );
         assert!(matches!(r, Err(SimError::Stalled { .. })));
     }
 
@@ -1050,7 +1178,10 @@ mod tests {
             .skip(pair.trace.len() / 2)
             .collect();
         let late_max = late.iter().copied().fold(0.0, f64::max);
-        assert!(late_max <= cap + 2.0, "late max {late_max} too far above cap");
+        assert!(
+            late_max <= cap + 2.0,
+            "late max {late_max} too far above cap"
+        );
     }
 
     #[test]
@@ -1077,8 +1208,9 @@ mod tests {
                 }
             }
         }
-        let mut disp =
-            TwoCpu { left: vec![Arc::new(job.clone()), Arc::new(job.clone())] };
+        let mut disp = TwoCpu {
+            left: vec![Arc::new(job.clone()), Arc::new(job.clone())],
+        };
         let mut gov = crate::governor::NullGovernor;
         let mut opts = RunOptions::new(cfg.freqs.max_setting());
         opts.cpu_slots = 2;
@@ -1087,7 +1219,10 @@ mod tests {
         // and the makespan exceeds the sum of dedicated times.
         assert!(r.makespan_s > 5.0, "makespan {}", r.makespan_s);
         for rec in &r.records {
-            assert!(rec.duration_s() > 5.0, "each shared job must see >2x slowdown");
+            assert!(
+                rec.duration_s() > 5.0,
+                "each shared job must see >2x slowdown"
+            );
         }
     }
 
@@ -1105,12 +1240,19 @@ mod tests {
         };
         let mut gov = crate::governor::NullGovernor;
         let r = engine
-            .run(&mut disp, &mut gov, &RunOptions::new(cfg.freqs.max_setting()))
+            .run(
+                &mut disp,
+                &mut gov,
+                &RunOptions::new(cfg.freqs.max_setting()),
+            )
             .unwrap();
         assert_eq!(r.records.len(), 3);
         for w in r.records.windows(2) {
             assert!(w[0].end_s <= w[1].end_s + 1e-9);
-            assert!((w[1].start_s - w[0].end_s).abs() < 1e-6, "sequential dispatch");
+            assert!(
+                (w[1].start_s - w[0].end_s).abs() < 1e-6,
+                "sequential dispatch"
+            );
         }
         assert!((r.makespan_s - r.records.last().unwrap().end_s).abs() < 1e-9);
     }
@@ -1163,21 +1305,35 @@ mod tests {
                     return Dispatch::WaitUntil(3.0);
                 }
                 match self.job.take() {
-                    Some(job) => Dispatch::Run(DispatchJob { job, tag: 0, set_freq: None }),
+                    Some(job) => Dispatch::Run(DispatchJob {
+                        job,
+                        tag: 0,
+                        set_freq: None,
+                    }),
                     None => Dispatch::Drained,
                 }
             }
         }
         let job = single_phase_job("late", compute_phase(250.0)); // 1 s at max
         let engine = Engine::new(&cfg);
-        let mut disp = Delayed { job: Some(Arc::new(job)) };
+        let mut disp = Delayed {
+            job: Some(Arc::new(job)),
+        };
         let mut gov = crate::governor::NullGovernor;
         let r = engine
-            .run(&mut disp, &mut gov, &RunOptions::new(cfg.freqs.max_setting()))
+            .run(
+                &mut disp,
+                &mut gov,
+                &RunOptions::new(cfg.freqs.max_setting()),
+            )
             .unwrap();
         let rec = r.record(0).unwrap();
         assert!(rec.start_s >= 3.0 - 1e-6, "job started at {}", rec.start_s);
-        assert!((r.makespan_s - 4.0).abs() < 0.1, "makespan {}", r.makespan_s);
+        assert!(
+            (r.makespan_s - 4.0).abs() < 0.1,
+            "makespan {}",
+            r.makespan_s
+        );
         // The idle lead-in is power-traced too.
         assert!(r.trace.duration_s() >= 3.5);
     }
@@ -1190,7 +1346,9 @@ mod tests {
         let out = run_solo(&cfg, &job, Device::Gpu, cfg.freqs.max_setting()).unwrap();
         let plain = {
             let j = single_phase_job("p", compute_phase(90.0));
-            run_solo(&cfg, &j, Device::Gpu, cfg.freqs.max_setting()).unwrap().time_s
+            run_solo(&cfg, &j, Device::Gpu, cfg.freqs.max_setting())
+                .unwrap()
+                .time_s
         };
         assert!((out.time_s - plain - 2.0).abs() < 0.05);
     }
@@ -1226,6 +1384,9 @@ mod tests {
             deg_stream > 3.0 * deg_gentle.max(0.01),
             "streaming co-runner must hurt far more: {deg_stream} vs {deg_gentle}"
         );
-        assert!(deg_stream > 0.4, "thrashing must be severe, got {deg_stream}");
+        assert!(
+            deg_stream > 0.4,
+            "thrashing must be severe, got {deg_stream}"
+        );
     }
 }

@@ -67,7 +67,11 @@ pub struct EventLog {
 impl EventLog {
     /// New recorder with a default 100k-event limit.
     pub fn new(cap_of_interest_w: Option<f64>) -> Self {
-        EventLog { events: Vec::new(), cap_of_interest_w, limit: 100_000 }
+        EventLog {
+            events: Vec::new(),
+            cap_of_interest_w,
+            limit: 100_000,
+        }
     }
 
     /// Record an event (no-op past the limit).
@@ -151,7 +155,14 @@ mod tests {
     #[test]
     fn records_and_filters() {
         let mut log = EventLog::new(Some(15.0));
-        log.push(0.0, EventKind::Dispatch { tag: 0, name: "a".into(), device: Device::Cpu });
+        log.push(
+            0.0,
+            EventKind::Dispatch {
+                tag: 0,
+                name: "a".into(),
+                device: Device::Cpu,
+            },
+        );
         log.push(
             0.25,
             EventKind::FreqChange {
@@ -160,7 +171,13 @@ mod tests {
             },
         );
         log.push(0.5, EventKind::CapOvershoot { power_w: 16.2 });
-        log.push(3.0, EventKind::Complete { tag: 0, device: Device::Cpu });
+        log.push(
+            3.0,
+            EventKind::Complete {
+                tag: 0,
+                device: Device::Cpu,
+            },
+        );
         assert_eq!(log.len(), 4);
         assert_eq!(log.dispatches().count(), 1);
         assert_eq!(log.completions().count(), 1);
@@ -176,7 +193,13 @@ mod tests {
         let mut log = EventLog::new(None);
         log.limit = 3;
         for i in 0..10 {
-            log.push(i as f64, EventKind::Complete { tag: i, device: Device::Gpu });
+            log.push(
+                i as f64,
+                EventKind::Complete {
+                    tag: i,
+                    device: Device::Gpu,
+                },
+            );
         }
         assert_eq!(log.len(), 3);
     }

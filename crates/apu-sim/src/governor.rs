@@ -104,12 +104,22 @@ impl BiasedGovernor {
     /// A GPU-biased governor for the given cap with a default 1.2 W raise
     /// headroom and single-level steps.
     pub fn gpu_biased(cap_w: f64) -> Self {
-        BiasedGovernor { cap_w, headroom_w: 1.2, bias: Bias::Gpu, step: 1 }
+        BiasedGovernor {
+            cap_w,
+            headroom_w: 1.2,
+            bias: Bias::Gpu,
+            step: 1,
+        }
     }
 
     /// A CPU-biased governor with the same defaults.
     pub fn cpu_biased(cap_w: f64) -> Self {
-        BiasedGovernor { cap_w, headroom_w: 1.2, bias: Bias::Cpu, step: 1 }
+        BiasedGovernor {
+            cap_w,
+            headroom_w: 1.2,
+            bias: Bias::Cpu,
+            step: 1,
+        }
     }
 
     fn lower(&self, setting: FreqSetting, freqs: &PackageFreqs) -> FreqSetting {
@@ -200,7 +210,11 @@ impl OndemandGovernor {
     /// Defaults mirroring the Linux governor's spirit: raise above 80%,
     /// lower below 30%.
     pub fn new(cap_w: f64) -> Self {
-        OndemandGovernor { cap_w, up_threshold: 0.8, down_threshold: 0.3 }
+        OndemandGovernor {
+            cap_w,
+            up_threshold: 0.8,
+            down_threshold: 0.3,
+        }
     }
 }
 
@@ -238,7 +252,11 @@ impl Governor for OndemandGovernor {
     ) -> FreqSetting {
         if avg_power_w > self.cap_w {
             // Shed from the *less* utilized device first.
-            let victim = if util.cpu <= util.gpu { Device::Cpu } else { Device::Gpu };
+            let victim = if util.cpu <= util.gpu {
+                Device::Cpu
+            } else {
+                Device::Gpu
+            };
             let order = [victim, victim.other()];
             for d in order {
                 let lvl = setting.level(d);
@@ -325,9 +343,18 @@ mod tests {
     fn cpu_biased_mirrors() {
         let f = freqs();
         let mut g = BiasedGovernor::cpu_biased(15.0);
-        assert_eq!(g.on_sample(0.0, 20.0, FreqSetting::new(10, 5), &f), FreqSetting::new(10, 4));
-        assert_eq!(g.on_sample(0.0, 10.0, FreqSetting::new(10, 5), &f), FreqSetting::new(11, 5));
-        assert_eq!(g.on_sample(0.0, 20.0, FreqSetting::new(10, 0), &f), FreqSetting::new(9, 0));
+        assert_eq!(
+            g.on_sample(0.0, 20.0, FreqSetting::new(10, 5), &f),
+            FreqSetting::new(10, 4)
+        );
+        assert_eq!(
+            g.on_sample(0.0, 10.0, FreqSetting::new(10, 5), &f),
+            FreqSetting::new(11, 5)
+        );
+        assert_eq!(
+            g.on_sample(0.0, 20.0, FreqSetting::new(10, 0), &f),
+            FreqSetting::new(9, 0)
+        );
     }
 
     #[test]
@@ -343,7 +370,11 @@ mod tests {
         let f = freqs();
         let mut g = BiasedGovernor::gpu_biased(15.0);
         let s = FreqSetting::new(0, 0);
-        assert_eq!(g.on_sample(0.0, 40.0, s, &f), s, "cannot go below the floor");
+        assert_eq!(
+            g.on_sample(0.0, 40.0, s, &f),
+            s,
+            "cannot go below the floor"
+        );
     }
 
     #[test]
@@ -351,7 +382,11 @@ mod tests {
         let f = freqs();
         let mut g = BiasedGovernor::gpu_biased(15.0);
         let s = FreqSetting::new(15, 9);
-        assert_eq!(g.on_sample(0.0, 1.0, s, &f), s, "cannot go above the ceiling");
+        assert_eq!(
+            g.on_sample(0.0, 1.0, s, &f),
+            s,
+            "cannot go above the ceiling"
+        );
     }
 
     #[test]
@@ -360,7 +395,11 @@ mod tests {
         let mut g = OndemandGovernor::new(15.0);
         let s = FreqSetting::new(5, 5);
         let out = g.on_sample_util(0.0, 10.0, PerDevice::new(0.95, 0.1), s, &f);
-        assert_eq!(out, FreqSetting::new(6, 4), "raise busy CPU, lower idle GPU");
+        assert_eq!(
+            out,
+            FreqSetting::new(6, 4),
+            "raise busy CPU, lower idle GPU"
+        );
     }
 
     #[test]

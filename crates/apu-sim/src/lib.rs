@@ -44,6 +44,8 @@ pub mod freq;
 pub mod governor;
 pub mod memory;
 pub mod power;
+#[cfg(feature = "sanitize")]
+pub mod sanitize;
 pub mod stats;
 pub mod validate;
 pub mod work;

@@ -134,7 +134,11 @@ impl MemoryParams {
             }
         });
 
-        Arbitration { achieved, mem_slowdown, saturated }
+        Arbitration {
+            achieved,
+            mem_slowdown,
+            saturated,
+        }
     }
 
     /// Unweighted max-min fair sharing with no latency term.
@@ -143,9 +147,15 @@ impl MemoryParams {
         let (achieved, saturated) = if total > self.total_bw_gbps && total > 0.0 {
             let half = self.total_bw_gbps / 2.0;
             let a = if demand.cpu <= half {
-                PerDevice::new(demand.cpu, (self.total_bw_gbps - demand.cpu).min(demand.gpu))
+                PerDevice::new(
+                    demand.cpu,
+                    (self.total_bw_gbps - demand.cpu).min(demand.gpu),
+                )
             } else if demand.gpu <= half {
-                PerDevice::new((self.total_bw_gbps - demand.gpu).min(demand.cpu), demand.gpu)
+                PerDevice::new(
+                    (self.total_bw_gbps - demand.gpu).min(demand.cpu),
+                    demand.gpu,
+                )
             } else {
                 PerDevice::new(half, half)
             };
@@ -162,7 +172,11 @@ impl MemoryParams {
                 (own / got).max(1.0)
             }
         });
-        Arbitration { achieved, mem_slowdown, saturated }
+        Arbitration {
+            achieved,
+            mem_slowdown,
+            saturated,
+        }
     }
 
     /// Solo achieved bandwidth: a single device with no co-runner simply
@@ -243,7 +257,10 @@ mod tests {
         let a = m.arbitrate(PerDevice::new(5.0, 5.0));
         let cpu_deg = a.mem_slowdown.cpu - 1.0;
         let gpu_deg = a.mem_slowdown.gpu - 1.0;
-        assert!(cpu_deg < 0.10, "cpu deg {cpu_deg} too high at moderate load");
+        assert!(
+            cpu_deg < 0.10,
+            "cpu deg {cpu_deg} too high at moderate load"
+        );
         assert!(gpu_deg > cpu_deg, "gpu should suffer more at moderate load");
         assert!(gpu_deg > 0.08 && gpu_deg < 0.40);
     }
@@ -257,7 +274,10 @@ mod tests {
         let cpu_deg = a.mem_slowdown.cpu - 1.0;
         let gpu_deg = a.mem_slowdown.gpu - 1.0;
         assert!(a.saturated);
-        assert!(cpu_deg > gpu_deg, "cpu {cpu_deg} should exceed gpu {gpu_deg}");
+        assert!(
+            cpu_deg > gpu_deg,
+            "cpu {cpu_deg} should exceed gpu {gpu_deg}"
+        );
         // Largest CPU degradation about 65%, GPU about 45% (pure-memory phase).
         assert!(cpu_deg > 0.50 && cpu_deg < 0.85, "cpu corner deg {cpu_deg}");
         assert!(gpu_deg > 0.30 && gpu_deg < 0.60, "gpu corner deg {gpu_deg}");
@@ -351,6 +371,9 @@ mod tests {
         let big = m.llc_traffic_multiplier(16.0, 8.0, 1.0);
         let huge = m.llc_traffic_multiplier(64.0, 8.0, 1.0);
         assert!(fits > big && big > huge);
-        assert!(huge < 1.05, "a streaming working set is barely LLC-sensitive");
+        assert!(
+            huge < 1.05,
+            "a streaming working set is barely LLC-sensitive"
+        );
     }
 }

@@ -22,7 +22,10 @@ pub struct DeviceActivity {
 
 impl DeviceActivity {
     /// A fully idle device.
-    pub const IDLE: DeviceActivity = DeviceActivity { compute_util: 0.0, mem_bw_gbps: 0.0 };
+    pub const IDLE: DeviceActivity = DeviceActivity {
+        compute_util: 0.0,
+        mem_bw_gbps: 0.0,
+    };
 }
 
 /// Package-level power parameters beyond the per-device ones.
@@ -66,21 +69,25 @@ impl<'a> PowerModel<'a> {
     }
 
     /// Total package power for the given per-device activities.
-    pub fn package_power(
-        &self,
-        setting: FreqSetting,
-        activity: PerDevice<DeviceActivity>,
-    ) -> f64 {
-        self.pkg.uncore_w
+    pub fn package_power(&self, setting: FreqSetting, activity: PerDevice<DeviceActivity>) -> f64 {
+        let p = self.pkg.uncore_w
             + self.device_power(Device::Cpu, setting, activity.cpu)
-            + self.device_power(Device::Gpu, setting, activity.gpu)
+            + self.device_power(Device::Gpu, setting, activity.gpu);
+        #[cfg(feature = "sanitize")]
+        if !p.is_finite() || p < 0.0 {
+            crate::sanitize::record(crate::sanitize::Violation::NonPhysicalPower { power_w: p });
+        }
+        p
     }
 
     /// Package power with both devices fully busy (compute_util = 1) and no
     /// memory traffic: the pessimistic static estimate schedulers use when
     /// they must guarantee a cap without a measured activity profile.
     pub fn package_power_busy(&self, setting: FreqSetting) -> f64 {
-        let busy = DeviceActivity { compute_util: 1.0, mem_bw_gbps: 0.0 };
+        let busy = DeviceActivity {
+            compute_util: 1.0,
+            mem_bw_gbps: 0.0,
+        };
         self.package_power(setting, PerDevice::new(busy, busy))
     }
 }
@@ -98,7 +105,10 @@ impl PowerTrace {
     /// New empty trace with the given sampling interval.
     pub fn new(interval_s: f64) -> Self {
         assert!(interval_s > 0.0);
-        PowerTrace { interval_s, samples_w: Vec::new() }
+        PowerTrace {
+            interval_s,
+            samples_w: Vec::new(),
+        }
     }
 
     /// Append one sample.
@@ -151,7 +161,10 @@ impl PowerTrace {
 
     /// Largest overshoot above `cap_w`, watts (0 if never above).
     pub fn max_overshoot(&self, cap_w: f64) -> f64 {
-        self.samples_w.iter().map(|w| (w - cap_w).max(0.0)).fold(0.0, f64::max)
+        self.samples_w
+            .iter()
+            .map(|w| (w - cap_w).max(0.0))
+            .fold(0.0, f64::max)
     }
 
     /// Iterate `(time_s, watts)` pairs.
@@ -201,9 +214,17 @@ mod tests {
     #[test]
     fn idle_power_is_floor() {
         let (freqs, cpu, gpu, pkg) = fixture();
-        let m = PowerModel { freqs: &freqs, cpu: &cpu, gpu: &gpu, pkg: &pkg };
+        let m = PowerModel {
+            freqs: &freqs,
+            cpu: &cpu,
+            gpu: &gpu,
+            pkg: &pkg,
+        };
         let s = freqs.max_setting();
-        let p = m.package_power(s, PerDevice::new(DeviceActivity::IDLE, DeviceActivity::IDLE));
+        let p = m.package_power(
+            s,
+            PerDevice::new(DeviceActivity::IDLE, DeviceActivity::IDLE),
+        );
         assert!((p - (2.0 + 1.5 + 1.0)).abs() < 1e-9);
     }
 
@@ -212,7 +233,12 @@ mod tests {
         // The unconstrained package must exceed the paper's 15/16 W caps so
         // that capped runs force genuine DVFS trade-offs.
         let (freqs, cpu, gpu, pkg) = fixture();
-        let m = PowerModel { freqs: &freqs, cpu: &cpu, gpu: &gpu, pkg: &pkg };
+        let m = PowerModel {
+            freqs: &freqs,
+            cpu: &cpu,
+            gpu: &gpu,
+            pkg: &pkg,
+        };
         let p = m.package_power_busy(freqs.max_setting());
         assert!(p > 16.0, "full-speed package power {p} should exceed 16 W");
     }
@@ -220,7 +246,12 @@ mod tests {
     #[test]
     fn power_monotone_in_frequency() {
         let (freqs, cpu, gpu, pkg) = fixture();
-        let m = PowerModel { freqs: &freqs, cpu: &cpu, gpu: &gpu, pkg: &pkg };
+        let m = PowerModel {
+            freqs: &freqs,
+            cpu: &cpu,
+            gpu: &gpu,
+            pkg: &pkg,
+        };
         let mut prev = 0.0;
         for c in 0..16 {
             let p = m.package_power_busy(FreqSetting::new(c, 5));
@@ -232,10 +263,21 @@ mod tests {
     #[test]
     fn memory_traffic_adds_power() {
         let (freqs, cpu, gpu, pkg) = fixture();
-        let m = PowerModel { freqs: &freqs, cpu: &cpu, gpu: &gpu, pkg: &pkg };
+        let m = PowerModel {
+            freqs: &freqs,
+            cpu: &cpu,
+            gpu: &gpu,
+            pkg: &pkg,
+        };
         let s = freqs.max_setting();
-        let a0 = DeviceActivity { compute_util: 0.5, mem_bw_gbps: 0.0 };
-        let a1 = DeviceActivity { compute_util: 0.5, mem_bw_gbps: 10.0 };
+        let a0 = DeviceActivity {
+            compute_util: 0.5,
+            mem_bw_gbps: 0.0,
+        };
+        let a1 = DeviceActivity {
+            compute_util: 0.5,
+            mem_bw_gbps: 10.0,
+        };
         let p0 = m.device_power(Device::Cpu, s, a0);
         let p1 = m.device_power(Device::Cpu, s, a1);
         assert!((p1 - p0 - 1.0).abs() < 1e-9);

@@ -1,0 +1,330 @@
+//! Runtime sanitizer (feature `sanitize`).
+//!
+//! With the feature on, the engine and power model record structured
+//! [`Violation`]s into a thread-local store whenever a physical
+//! invariant breaks mid-run: the event clock moving backwards, a power
+//! window's average escaping its instantaneous min/max envelope
+//! (energy-conservation accounting), package power staying above the
+//! cap of interest longer than the governor's reaction tolerance, or a
+//! non-finite/negative package power. The checks are observational —
+//! they never change simulation results — and compile away entirely
+//! without the feature.
+//!
+//! Usage: call [`reset`] before a run, run, then [`take`] the records.
+//! `corun-verify` converts them into `SIM0xx` diagnostics.
+
+use std::cell::RefCell;
+
+/// One recorded invariant violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// The simulation clock did not advance monotonically.
+    ClockWentBackwards {
+        /// Clock before the faulty step, seconds.
+        from_s: f64,
+        /// Clock after it, seconds.
+        to_s: f64,
+    },
+    /// A power window's average left the [min, max] envelope of the
+    /// instantaneous samples it integrates — energy appeared or vanished.
+    EnergyMismatch {
+        /// End of the window, seconds.
+        at_s: f64,
+        /// The window average, watts.
+        avg_w: f64,
+        /// Minimum instantaneous power in the window, watts.
+        min_w: f64,
+        /// Maximum instantaneous power in the window, watts.
+        max_w: f64,
+    },
+    /// Instantaneous package power stayed above the cap (beyond
+    /// tolerance) for longer than the governor reaction allowance.
+    CapExcursion {
+        /// When power first exceeded cap + tolerance, seconds.
+        start_s: f64,
+        /// When the excursion ended (or the run ended), seconds.
+        end_s: f64,
+        /// The cap of interest, watts.
+        cap_w: f64,
+        /// Peak power during the excursion, watts.
+        peak_w: f64,
+    },
+    /// Package power was negative or non-finite.
+    NonPhysicalPower {
+        /// The offending value, watts.
+        power_w: f64,
+    },
+}
+
+thread_local! {
+    static VIOLATIONS: RefCell<Vec<Violation>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Clear the thread-local violation store (call before a run).
+pub fn reset() {
+    VIOLATIONS.with(|v| v.borrow_mut().clear());
+}
+
+/// Record one violation.
+pub fn record(v: Violation) {
+    VIOLATIONS.with(|s| s.borrow_mut().push(v));
+}
+
+/// Drain and return everything recorded on this thread since [`reset`].
+pub fn take() -> Vec<Violation> {
+    VIOLATIONS.with(|v| std::mem::take(&mut *v.borrow_mut()))
+}
+
+/// Number of violations currently recorded on this thread.
+pub fn count() -> usize {
+    VIOLATIONS.with(|v| v.borrow().len())
+}
+
+/// Transient overshoot the sanitizer tolerates before calling a cap
+/// excursion sustained: the governor reacts at power-sample granularity
+/// and its own tests allow ~2 W of late overshoot, so the sanitizer only
+/// fires well beyond that.
+pub const CAP_TOLERANCE_W: f64 = 3.0;
+
+/// Per-run sanitizer state the engine threads through its tick loop.
+#[derive(Debug)]
+pub struct RunSanitizer {
+    cap_w: Option<f64>,
+    /// Seconds above cap+tolerance the governor is allowed before the
+    /// excursion counts as sustained (four power samples: governors step
+    /// the ladder once per sample, so walking down from max takes a few).
+    reaction_s: f64,
+    last_now: f64,
+    win_min: f64,
+    win_max: f64,
+    exc_start: Option<f64>,
+    exc_peak: f64,
+}
+
+impl RunSanitizer {
+    /// New sanitizer; `cap_w = None` disables the cap-excursion check.
+    pub fn new(cap_w: Option<f64>, power_sample_s: f64) -> Self {
+        RunSanitizer {
+            cap_w,
+            reaction_s: 4.0 * power_sample_s,
+            last_now: 0.0,
+            win_min: f64::INFINITY,
+            win_max: f64::NEG_INFINITY,
+            exc_start: None,
+            exc_peak: 0.0,
+        }
+    }
+
+    /// Observe one tick: `now` is the clock *after* the step, `power_w`
+    /// the instantaneous package power during it.
+    pub fn on_tick(&mut self, now: f64, power_w: f64) {
+        if now < self.last_now {
+            record(Violation::ClockWentBackwards {
+                from_s: self.last_now,
+                to_s: now,
+            });
+        }
+        self.last_now = now;
+        self.win_min = self.win_min.min(power_w);
+        self.win_max = self.win_max.max(power_w);
+        if let Some(cap) = self.cap_w {
+            if power_w > cap + CAP_TOLERANCE_W {
+                self.exc_start.get_or_insert(now);
+                self.exc_peak = self.exc_peak.max(power_w);
+            } else if let Some(start) = self.exc_start.take() {
+                if now - start > self.reaction_s {
+                    record(Violation::CapExcursion {
+                        start_s: start,
+                        end_s: now,
+                        cap_w: cap,
+                        peak_w: self.exc_peak,
+                    });
+                }
+                self.exc_peak = 0.0;
+            }
+        }
+    }
+
+    /// Observe a power-window flush: `avg_w` must lie inside the
+    /// envelope of the instantaneous powers integrated into it.
+    pub fn on_window(&mut self, now: f64, avg_w: f64) {
+        if self.win_min.is_finite() {
+            let slack = 1e-6 * self.win_max.abs().max(1.0);
+            if avg_w < self.win_min - slack || avg_w > self.win_max + slack {
+                record(Violation::EnergyMismatch {
+                    at_s: now,
+                    avg_w,
+                    min_w: self.win_min,
+                    max_w: self.win_max,
+                });
+            }
+        }
+        self.win_min = f64::INFINITY;
+        self.win_max = f64::NEG_INFINITY;
+    }
+
+    /// Close out the run: a still-open excursion longer than the
+    /// reaction allowance is reported.
+    pub fn finish(&mut self, now: f64) {
+        if let (Some(start), Some(cap)) = (self.exc_start.take(), self.cap_w) {
+            if now - start > self.reaction_s {
+                record(Violation::CapExcursion {
+                    start_s: start,
+                    end_s: now,
+                    cap_w: cap,
+                    peak_w: self.exc_peak,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use crate::device::Device;
+    use crate::engine::run_solo;
+    use crate::work::{single_phase_job, PhaseWork};
+
+    fn busy_phase(flops: f64) -> PhaseWork {
+        PhaseWork {
+            flops,
+            bytes: 0.0,
+            cpu_eff: 1.0,
+            gpu_eff: 1.0,
+            llc_footprint_mib: 64.0,
+            llc_sensitivity: 0.0,
+            llc_pressure: 0.0,
+            llc_miss_bw_gbps: 0.0,
+            overlap: 0.2,
+        }
+    }
+
+    #[test]
+    fn clean_run_records_nothing() {
+        reset();
+        let cfg = MachineConfig::ivy_bridge();
+        let job = single_phase_job("c", busy_phase(450.0));
+        run_solo(&cfg, &job, Device::Cpu, cfg.freqs.max_setting()).unwrap();
+        assert_eq!(take(), Vec::new());
+    }
+
+    #[test]
+    fn sustained_cap_excursion_is_recorded() {
+        reset();
+        // NullGovernor + low cap of interest: nothing clips power, so a
+        // compute pair at max frequency overshoots for the whole run.
+        let cfg = MachineConfig::ivy_bridge();
+        let a = single_phase_job("a", busy_phase(900.0));
+        let b = single_phase_job("b", busy_phase(2500.0));
+        let mut log = crate::events::EventLog::new(Some(8.0));
+        let engine = crate::engine::Engine::new(&cfg);
+        let mut disp = pair_dispatcher(a, b);
+        let mut gov = crate::governor::NullGovernor;
+        engine
+            .run_recorded(
+                &mut disp,
+                &mut gov,
+                &crate::engine::RunOptions::new(cfg.freqs.max_setting()),
+                Some(&mut log),
+            )
+            .unwrap();
+        let violations = take();
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::CapExcursion { .. })),
+            "ungoverned overshoot must be flagged: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn governed_run_stays_within_tolerance() {
+        reset();
+        let cfg = MachineConfig::ivy_bridge();
+        let a = single_phase_job("a", busy_phase(900.0));
+        let b = single_phase_job("b", busy_phase(2500.0));
+        let cap = 15.0;
+        let mut gov = crate::governor::BiasedGovernor::gpu_biased(cap);
+        let mut log = crate::events::EventLog::new(Some(cap));
+        let engine = crate::engine::Engine::new(&cfg);
+        let mut disp = pair_dispatcher(a, b);
+        engine
+            .run_recorded(
+                &mut disp,
+                &mut gov,
+                &crate::engine::RunOptions::new(cfg.freqs.max_setting()),
+                Some(&mut log),
+            )
+            .unwrap();
+        let violations = take();
+        assert!(
+            !violations
+                .iter()
+                .any(|v| matches!(v, Violation::CapExcursion { .. })),
+            "governed run must not trip the sanitizer: {violations:?}"
+        );
+    }
+
+    fn pair_dispatcher(
+        a: crate::work::JobSpec,
+        b: crate::work::JobSpec,
+    ) -> impl crate::engine::Dispatcher {
+        struct Pair {
+            cpu: Option<std::sync::Arc<crate::work::JobSpec>>,
+            gpu: Option<std::sync::Arc<crate::work::JobSpec>>,
+        }
+        impl crate::engine::Dispatcher for Pair {
+            fn next(
+                &mut self,
+                d: Device,
+                _n: f64,
+                _c: &crate::engine::DispatchCtx,
+            ) -> crate::engine::Dispatch {
+                let slot = match d {
+                    Device::Cpu => &mut self.cpu,
+                    Device::Gpu => &mut self.gpu,
+                };
+                match slot.take() {
+                    Some(job) => crate::engine::Dispatch::Run(crate::engine::DispatchJob {
+                        job,
+                        tag: d.index(),
+                        set_freq: None,
+                    }),
+                    None if self.cpu.is_none() && self.gpu.is_none() => {
+                        crate::engine::Dispatch::Drained
+                    }
+                    None => crate::engine::Dispatch::Idle,
+                }
+            }
+        }
+        Pair {
+            cpu: Some(std::sync::Arc::new(a)),
+            gpu: Some(std::sync::Arc::new(b)),
+        }
+    }
+
+    #[test]
+    fn unit_checks_fire_directly() {
+        reset();
+        let mut san = RunSanitizer::new(Some(10.0), 0.25);
+        san.on_tick(0.1, 5.0);
+        san.on_tick(0.05, 5.0); // clock went backwards
+        san.on_window(0.2, 99.0); // avg outside [5, 5]
+        for i in 0..100 {
+            san.on_tick(0.2 + i as f64 * 0.01, 20.0); // sustained overshoot
+        }
+        san.finish(1.3);
+        let v = take();
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::ClockWentBackwards { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::EnergyMismatch { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::CapExcursion { .. })));
+    }
+}

@@ -70,7 +70,11 @@ pub fn run_stats(report: &RunReport) -> RunStats {
         busy_s: busy,
         utilization,
         corun_s: corun,
-        corun_frac: if makespan > 0.0 { corun / makespan } else { 0.0 },
+        corun_frac: if makespan > 0.0 {
+            corun / makespan
+        } else {
+            0.0
+        },
         energy_j: report.trace.energy_j(),
         mean_power_w: report.trace.mean_w(),
         jobs: report.records.len(),
@@ -182,7 +186,11 @@ mod tests {
         let stats = run_stats(&report);
         assert_eq!(stats.jobs, 2);
         // CPU job ends around 5 s, GPU around 10 s: co-run ~5 s, makespan ~10.
-        assert!((stats.makespan_s - 10.0).abs() < 0.3, "{}", stats.makespan_s);
+        assert!(
+            (stats.makespan_s - 10.0).abs() < 0.3,
+            "{}",
+            stats.makespan_s
+        );
         assert!((stats.corun_s - 5.0).abs() < 0.4, "{}", stats.corun_s);
         assert!(stats.utilization.gpu > 0.95);
         assert!((stats.utilization.cpu - 0.5).abs() < 0.1);

@@ -28,7 +28,10 @@ impl std::fmt::Display for ConfigIssue {
 pub fn validate(cfg: &MachineConfig) -> Vec<ConfigIssue> {
     let mut issues = Vec::new();
     let mut bad = |field: &str, problem: String| {
-        issues.push(ConfigIssue { field: field.into(), problem });
+        issues.push(ConfigIssue {
+            field: field.into(),
+            problem,
+        });
     };
 
     for d in Device::ALL {
@@ -38,7 +41,10 @@ pub fn validate(cfg: &MachineConfig) -> Vec<ConfigIssue> {
             bad(&name, "needs at least two DVFS levels".into());
         }
         if t.min_ghz() <= 0.0 {
-            bad(&name, format!("non-positive base frequency {}", t.min_ghz()));
+            bad(
+                &name,
+                format!("non-positive base frequency {}", t.min_ghz()),
+            );
         }
         let dev = cfg.device(d);
         let dn = format!("{d} params");
@@ -49,7 +55,10 @@ pub fn validate(cfg: &MachineConfig) -> Vec<ConfigIssue> {
             bad(&dn, "peak bandwidth must be positive".into());
         }
         if !(0.0..=1.0).contains(&dev.bw_freq_floor) {
-            bad(&dn, format!("bw_freq_floor {} outside [0, 1]", dev.bw_freq_floor));
+            bad(
+                &dn,
+                format!("bw_freq_floor {} outside [0, 1]", dev.bw_freq_floor),
+            );
         }
         if dev.idle_power_w < 0.0 || dev.dyn_power_w < 0.0 {
             bad(&dn, "negative power coefficient".into());
@@ -57,11 +66,17 @@ pub fn validate(cfg: &MachineConfig) -> Vec<ConfigIssue> {
         if dev.dyn_power_exp < 1.0 || dev.dyn_power_exp > 4.0 {
             bad(
                 &dn,
-                format!("dyn_power_exp {} outside the plausible 1..4", dev.dyn_power_exp),
+                format!(
+                    "dyn_power_exp {} outside the plausible 1..4",
+                    dev.dyn_power_exp
+                ),
             );
         }
         if !(0.0..=1.0).contains(&dev.stall_power_frac) {
-            bad(&dn, format!("stall_power_frac {} outside [0, 1]", dev.stall_power_frac));
+            bad(
+                &dn,
+                format!("stall_power_frac {} outside [0, 1]", dev.stall_power_frac),
+            );
         }
         if dev.bw_peak_gbps > cfg.memory.total_bw_gbps {
             bad(
@@ -89,7 +104,10 @@ pub fn validate(cfg: &MachineConfig) -> Vec<ConfigIssue> {
             bad("memory.inflation_exp", format!("non-positive for {d}"));
         }
         if *m.arb_weight.get(d) <= 0.0 {
-            bad("memory.arb_weight", format!("non-positive for {d} (would starve it)"));
+            bad(
+                "memory.arb_weight",
+                format!("non-positive for {d} (would starve it)"),
+            );
         }
     }
     if m.llc_mib <= 0.0 {
@@ -103,7 +121,10 @@ pub fn validate(cfg: &MachineConfig) -> Vec<ConfigIssue> {
         bad("multiprog", "negative overhead".into());
     }
     if cfg.multiprog.max_cpu_slots == 0 {
-        bad("multiprog.max_cpu_slots", "must allow at least one job".into());
+        bad(
+            "multiprog.max_cpu_slots",
+            "must allow at least one job".into(),
+        );
     }
     if cfg.tick_s <= 0.0 {
         bad("tick_s", "must be positive".into());
@@ -111,7 +132,10 @@ pub fn validate(cfg: &MachineConfig) -> Vec<ConfigIssue> {
     if cfg.power_sample_s < cfg.tick_s {
         bad(
             "power_sample_s",
-            format!("sample interval {} below tick {}", cfg.power_sample_s, cfg.tick_s),
+            format!(
+                "sample interval {} below tick {}",
+                cfg.power_sample_s, cfg.tick_s
+            ),
         );
     }
 
@@ -148,7 +172,10 @@ mod tests {
         assert!(issues.iter().any(|i| i.field == "memory.total_bw_gbps"));
         assert!(issues.iter().any(|i| i.field == "memory.arb_weight"));
         // device peak now exceeds the (negative) capacity too
-        assert!(issues.len() >= 3, "all problems reported at once: {issues:?}");
+        assert!(
+            issues.len() >= 3,
+            "all problems reported at once: {issues:?}"
+        );
         assert!(validated(cfg).is_err());
     }
 
@@ -158,7 +185,9 @@ mod tests {
         cfg.cpu.stall_power_frac = 1.5;
         cfg.gpu.dyn_power_exp = 0.5;
         let issues = validate(&cfg);
-        assert!(issues.iter().any(|i| i.problem.contains("stall_power_frac")));
+        assert!(issues
+            .iter()
+            .any(|i| i.problem.contains("stall_power_frac")));
         assert!(issues.iter().any(|i| i.problem.contains("dyn_power_exp")));
     }
 
@@ -172,7 +201,10 @@ mod tests {
 
     #[test]
     fn issue_renders() {
-        let i = ConfigIssue { field: "x".into(), problem: "broken".into() };
+        let i = ConfigIssue {
+            field: "x".into(),
+            problem: "broken".into(),
+        };
         assert_eq!(i.to_string(), "x: broken");
     }
 }

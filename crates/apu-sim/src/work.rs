@@ -73,7 +73,11 @@ impl PhaseWork {
     pub fn solo_time(&self, dev: &DeviceParams, device: Device, f_ghz: f64, f_max: f64) -> f64 {
         let tc = self.compute_time(dev, device, f_ghz);
         let bw = dev.solo_bandwidth(f_ghz, f_max);
-        let tm = if self.bytes <= 0.0 { 0.0 } else { self.bytes / bw };
+        let tm = if self.bytes <= 0.0 {
+            0.0
+        } else {
+            self.bytes / bw
+        };
         self.combine(tc, tm)
     }
 
@@ -170,7 +174,10 @@ impl JobSpec {
 
     /// Maximum LLC pressure any phase exerts (used by coarse pair analyses).
     pub fn max_llc_pressure(&self) -> f64 {
-        self.phases.iter().map(|p| p.llc_pressure).fold(0.0, f64::max)
+        self.phases
+            .iter()
+            .map(|p| p.llc_pressure)
+            .fold(0.0, f64::max)
     }
 }
 
@@ -249,10 +256,15 @@ mod tests {
         let comp = phase(900.0, 0.0);
         let mem = phase(0.0, 110.0);
         let d = dev();
-        let rc = comp.solo_time(&d, Device::Cpu, 1.2, 3.6) / comp.solo_time(&d, Device::Cpu, 3.6, 3.6);
-        let rm = mem.solo_time(&d, Device::Cpu, 1.2, 3.6) / mem.solo_time(&d, Device::Cpu, 3.6, 3.6);
+        let rc =
+            comp.solo_time(&d, Device::Cpu, 1.2, 3.6) / comp.solo_time(&d, Device::Cpu, 3.6, 3.6);
+        let rm =
+            mem.solo_time(&d, Device::Cpu, 1.2, 3.6) / mem.solo_time(&d, Device::Cpu, 3.6, 3.6);
         assert!((rc - 3.0).abs() < 1e-9, "compute slows 3x at 1/3 clock");
-        assert!(rm < 1.5, "memory-bound work is much less frequency-sensitive");
+        assert!(
+            rm < 1.5,
+            "memory-bound work is much less frequency-sensitive"
+        );
     }
 
     #[test]
@@ -272,7 +284,7 @@ mod tests {
         j.jitter_period_s = 2.0;
         for i in 0..100 {
             let g = j.jitter(i as f64 * 0.05);
-            assert!(g >= 0.7 - 1e-9 && g <= 1.3 + 1e-9);
+            assert!((0.7 - 1e-9..=1.3 + 1e-9).contains(&g));
         }
         j.jitter_amp = 0.0;
         assert_eq!(j.jitter(1.234), 1.0);

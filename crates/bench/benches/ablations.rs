@@ -52,7 +52,10 @@ fn bench_preference_threshold(c: &mut Criterion) {
     let model = synthetic(16);
     let mut group = c.benchmark_group("hcs_threshold_D");
     for d in [0.0_f64, 0.1, 0.2, 0.4] {
-        let cfg = HcsConfig { cap_w: 15.0, preference_threshold: d };
+        let cfg = HcsConfig {
+            cap_w: 15.0,
+            preference_threshold: d,
+        };
         group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
             b.iter(|| hcs(&model, &cfg))
         });

@@ -26,14 +26,23 @@ fn main() {
 
     // --- preference threshold D -------------------------------------
     println!();
-    println!("{}", row("threshold D", &["makespan".into(), "speedup".into()]));
+    println!(
+        "{}",
+        row("threshold D", &["makespan".into(), "speedup".into()])
+    );
     for d in [0.0, 0.10, 0.20, 0.40, 1.0] {
-        let cfg = HcsConfig { cap_w: cap, preference_threshold: d };
+        let cfg = HcsConfig {
+            cap_w: cap,
+            preference_threshold: d,
+        };
         let out = hcs(rt.model(), &cfg);
         let span = rt.execute_planned(&out.schedule).makespan_s;
         println!(
             "{}",
-            row(&format!("D = {d:.2}"), &[format!("{span:.1}s"), pct(random_avg / span - 1.0)])
+            row(
+                &format!("D = {d:.2}"),
+                &[format!("{span:.1}s"), pct(random_avg / span - 1.0)]
+            )
         );
     }
 
@@ -49,7 +58,10 @@ fn main() {
         let truth = rt.execute_planned(&r.schedule).makespan_s;
         println!(
             "{}",
-            row(label, &[format!("{:.1}s", r.after_s), format!("{truth:.1}s")])
+            row(
+                label,
+                &[format!("{:.1}s", r.after_s), format!("{truth:.1}s")]
+            )
         );
     }
 
@@ -65,19 +77,28 @@ fn main() {
         let span = rt2.execute_planned(&rt2.schedule_hcs_plus()).makespan_s;
         println!(
             "{}",
-            row(label, &[format!("{span:.1}s"), pct(random_avg / span - 1.0)])
+            row(
+                label,
+                &[format!("{span:.1}s"), pct(random_avg / span - 1.0)]
+            )
         );
     }
 
     // --- governor bias for the Default baseline ------------------------
     println!();
-    println!("{}", row("default governor", &["truth".into(), "speedup".into()]));
+    println!(
+        "{}",
+        row("default governor", &["truth".into(), "speedup".into()])
+    );
     let part = rt.schedule_default();
     for (label, bias) in [("gpu-biased", Bias::Gpu), ("cpu-biased", Bias::Cpu)] {
         let span = rt.execute_default(&part, bias).makespan_s;
         println!(
             "{}",
-            row(label, &[format!("{span:.1}s"), pct(random_avg / span - 1.0)])
+            row(
+                label,
+                &[format!("{span:.1}s"), pct(random_avg / span - 1.0)]
+            )
         );
     }
 

@@ -55,7 +55,10 @@ fn main() {
         ] {
             println!(
                 "{}",
-                row(name, &[format!("{span:.1}s"), pct(study.speedup_over_random(span))])
+                row(
+                    name,
+                    &[format!("{span:.1}s"), pct(study.speedup_over_random(span))]
+                )
             );
         }
     }

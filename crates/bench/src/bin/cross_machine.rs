@@ -15,9 +15,10 @@ fn main() {
         "HCS+ vs baselines on the Ivy Bridge and Kaveri presets, 15 W cap",
         "method advantage should carry over (paper §V: Intel and AMD)",
     );
-    for (name, machine) in
-        [("ivy-bridge", MachineConfig::ivy_bridge()), ("kaveri", MachineConfig::kaveri())]
-    {
+    for (name, machine) in [
+        ("ivy-bridge", MachineConfig::ivy_bridge()),
+        ("kaveri", MachineConfig::kaveri()),
+    ] {
         let wl = rodinia8(&machine);
         let mut cfg = if fast_flag() {
             RuntimeConfig::fast(&machine)
@@ -27,7 +28,9 @@ fn main() {
         cfg.cap_w = 15.0;
         let rt = CoScheduleRuntime::new(machine, wl.jobs, cfg);
         let random = rt.random_avg_makespan(0..if fast_flag() { 5 } else { 10 });
-        let default_g = rt.execute_default(&rt.schedule_default(), Bias::Gpu).makespan_s;
+        let default_g = rt
+            .execute_default(&rt.schedule_default(), Bias::Gpu)
+            .makespan_s;
         let hcs_plus = rt.execute_planned(&rt.schedule_hcs_plus()).makespan_s;
         let bound = rt.lower_bound().t_low_s;
         println!();

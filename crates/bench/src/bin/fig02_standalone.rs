@@ -24,7 +24,12 @@ fn main() {
         "{}",
         row(
             "program",
-            &["cpu (s)".into(), "gpu (s)".into(), "winner".into(), "factor".into()]
+            &[
+                "cpu (s)".into(),
+                "gpu (s)".into(),
+                "winner".into(),
+                "factor".into()
+            ]
         )
     );
     for job in &wl.jobs {

@@ -38,7 +38,10 @@ fn main() {
         println!();
     }
     println!();
-    println!("max degradation: {:.1}%  (paper ~65%)", grid.max_value() * 100.0);
+    println!(
+        "max degradation: {:.1}%  (paper ~65%)",
+        grid.max_value() * 100.0
+    );
     println!(
         "fraction of grid <= 20%: {:.0}%  (paper: about half)",
         grid.frac_in(0.0, 0.20) * 100.0

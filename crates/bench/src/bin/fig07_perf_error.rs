@@ -14,8 +14,8 @@ use bench::{banner, fast_flag};
 use crossbeam::thread;
 use kernels::rodinia8;
 use perf_model::{
-    characterize, profile_batch, relative_error, CharacterizeConfig, ErrorHistogram,
-    ProfileMethod, StagedPredictor,
+    characterize, profile_batch, relative_error, CharacterizeConfig, ErrorHistogram, ProfileMethod,
+    StagedPredictor,
 };
 use runtime::measure_pair_truth;
 
@@ -32,7 +32,11 @@ fn main() {
     let profiles = profile_batch(
         &cfg,
         &wl.jobs,
-        if fast { ProfileMethod::Analytic } else { ProfileMethod::Measured },
+        if fast {
+            ProfileMethod::Analytic
+        } else {
+            ProfileMethod::Measured
+        },
     );
     let mut ccfg = CharacterizeConfig::paper(&cfg);
     if fast {
@@ -50,10 +54,11 @@ fn main() {
     for (label, setting) in settings {
         let mut hist = ErrorHistogram::paper_buckets();
         // Fan the 64 ground-truth co-runs out over worker threads.
-        let pairs: Vec<(usize, usize)> =
-            (0..8).flat_map(|i| (0..8).map(move |j| (i, j))).collect();
+        let pairs: Vec<(usize, usize)> = (0..8).flat_map(|i| (0..8).map(move |j| (i, j))).collect();
         let jobs = &wl.jobs;
-        let n_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+        let n_threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4);
         let chunk = pairs.len().div_ceil(n_threads);
         let errors: Vec<Vec<f64>> = thread::scope(|s| {
             pairs
@@ -65,8 +70,7 @@ fn main() {
                     s.spawn(move |_| {
                         ch.iter()
                             .flat_map(|&(ci, gi)| {
-                                let truth =
-                                    measure_pair_truth(cfg, &jobs[ci], &jobs[gi], setting);
+                                let truth = measure_pair_truth(cfg, &jobs[ci], &jobs[gi], setting);
                                 let pred = predictor.predict_pair_times(
                                     cfg,
                                     &profiles[ci],

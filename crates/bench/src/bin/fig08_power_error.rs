@@ -12,8 +12,8 @@ use bench::{banner, fast_flag};
 use crossbeam::thread;
 use kernels::rodinia8;
 use perf_model::{
-    characterize, profile_batch, relative_error, CharacterizeConfig, ErrorHistogram,
-    ProfileMethod, StagedPredictor,
+    characterize, profile_batch, relative_error, CharacterizeConfig, ErrorHistogram, ProfileMethod,
+    StagedPredictor,
 };
 use runtime::measure_pair_truth;
 
@@ -31,7 +31,11 @@ fn main() {
     let profiles = profile_batch(
         &cfg,
         &wl.jobs,
-        if fast { ProfileMethod::Analytic } else { ProfileMethod::Measured },
+        if fast {
+            ProfileMethod::Analytic
+        } else {
+            ProfileMethod::Measured
+        },
     );
     let mut ccfg = CharacterizeConfig::paper(&cfg);
     if fast {
@@ -46,7 +50,9 @@ fn main() {
 
     let pairs: Vec<(usize, usize)> = (0..8).flat_map(|i| (0..8).map(move |j| (i, j))).collect();
     let jobs = &wl.jobs;
-    let n_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let n_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
     let chunk = pairs.len().div_ceil(n_threads);
     let errors: Vec<Vec<f64>> = thread::scope(|s| {
         pairs
@@ -84,7 +90,11 @@ fn main() {
     println!();
     println!("{} pairs evaluated under the {cap} W cap", hist.len());
     for (bucket, frac) in hist.rows() {
-        println!("  {bucket:>6}: {:>5.1}%  {}", frac * 100.0, "#".repeat((frac * 50.0) as usize));
+        println!(
+            "  {bucket:>6}: {:>5.1}%  {}",
+            frac * 100.0,
+            "#".repeat((frac * 50.0) as usize)
+        );
     }
     println!(
         "  mean error {:.2}%  max {:.2}%  <2%: {:.0}% of pairs",

@@ -28,8 +28,7 @@ fn main() {
         let cpu_job = &wl.jobs[ci];
         let gpu_job = &wl.jobs[gi];
         let mut gov = BiasedGovernor::gpu_biased(cap);
-        let pair =
-            run_pair(&cfg, cpu_job, gpu_job, cfg.freqs.max_setting(), &mut gov).unwrap();
+        let pair = run_pair(&cfg, cpu_job, gpu_job, cfg.freqs.max_setting(), &mut gov).unwrap();
         println!();
         println!(
             "pair {}: {}(CPU) + {}(GPU), makespan {:.1}s",

@@ -17,7 +17,11 @@ fn main() {
     let cap = 15.0;
     let machine = apu_sim::MachineConfig::ivy_bridge();
     let wl = rodinia8(&machine);
-    let rt = if fast_flag() { fast_runtime(wl, cap) } else { paper_runtime(wl, cap) };
+    let rt = if fast_flag() {
+        fast_runtime(wl, cap)
+    } else {
+        paper_runtime(wl, cap)
+    };
 
     let seeds = if fast_flag() { 0..5u64 } else { 0..20u64 };
     let study = speedup_study(&rt, seeds);

@@ -27,10 +27,15 @@ fn main() {
         "{}",
         row(
             "governor",
-            &["makespan".into(), "energy".into(), "peak W".into(), ">cap %".into()],
+            &[
+                "makespan".into(),
+                "energy".into(),
+                "peak W".into(),
+                ">cap %".into()
+            ],
         )
     );
-    let mut show = |name: &str, report: apu_sim::RunReport| {
+    let show = |name: &str, report: apu_sim::RunReport| {
         println!(
             "{}",
             row(
@@ -47,8 +52,7 @@ fn main() {
     show("gpu-biased", rt.execute_default(&part, Bias::Gpu));
     show("cpu-biased", rt.execute_default(&part, Bias::Cpu));
     let mut ondemand = OndemandGovernor::new(cap);
-    let r = execute_default(rt.machine(), rt.jobs(), &part, &mut ondemand)
-        .expect("ondemand run");
+    let r = execute_default(rt.machine(), rt.jobs(), &part, &mut ondemand).expect("ondemand run");
     show("ondemand", r);
 
     // Same comparison for a random schedule (one seed).

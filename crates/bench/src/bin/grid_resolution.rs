@@ -9,8 +9,8 @@ use apu_sim::{Device, MachineConfig};
 use bench::{banner, fast_flag, row};
 use kernels::rodinia8;
 use perf_model::{
-    characterize, leave_one_out, profile_batch, relative_error, CharacterizeConfig,
-    ProfileMethod, StagedPredictor,
+    characterize, leave_one_out, profile_batch, relative_error, CharacterizeConfig, ProfileMethod,
+    StagedPredictor,
 };
 use runtime::measure_pair_truth;
 
@@ -26,7 +26,11 @@ fn main() {
     let profiles = profile_batch(
         &cfg,
         &wl.jobs,
-        if fast { ProfileMethod::Analytic } else { ProfileMethod::Measured },
+        if fast {
+            ProfileMethod::Analytic
+        } else {
+            ProfileMethod::Measured
+        },
     );
 
     // A fixed sample of real pairs for end-to-end error.

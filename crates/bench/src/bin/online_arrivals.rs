@@ -26,7 +26,11 @@ fn main() {
     let machine = apu_sim::MachineConfig::ivy_bridge();
     let wl = rodinia16(&machine, 2024);
     let n = wl.jobs.len();
-    let rt = if fast_flag() { fast_runtime(wl, cap) } else { paper_runtime(wl, cap) };
+    let rt = if fast_flag() {
+        fast_runtime(wl, cap)
+    } else {
+        paper_runtime(wl, cap)
+    };
 
     // Arrival trace: mean gap 12 s (the machine is kept busy but not
     // saturated from t=0).
@@ -65,7 +69,10 @@ fn main() {
     let kg = rt.machine().freqs.gpu.max_level();
     let mut fifo = Schedule::new();
     for a in &arrivals {
-        fifo.gpu.push(Assignment { job: a.job, level: kg });
+        fifo.gpu.push(Assignment {
+            job: a.job,
+            level: kg,
+        });
     }
     let fifo_run = rt.execute_governed(&fifo, apu_sim::Bias::Gpu);
 
@@ -73,7 +80,10 @@ fn main() {
     let random = rt.random_avg_makespan(0..if fast_flag() { 3 } else { 10 });
 
     println!();
-    println!("{}", row("method", &["makespan".into(), "vs online".into()]));
+    println!(
+        "{}",
+        row("method", &["makespan".into(), "vs online".into()])
+    );
     for (label, span) in [
         ("online HCS", online.makespan_s),
         ("GPU FIFO", fifo_run.makespan_s),
@@ -81,7 +91,10 @@ fn main() {
     ] {
         println!(
             "{}",
-            row(label, &[format!("{span:.1}s"), pct(span / online.makespan_s - 1.0)])
+            row(
+                label,
+                &[format!("{span:.1}s"), pct(span / online.makespan_s - 1.0)]
+            )
         );
     }
     // Flow-time view (online metric the batch formulation has no word for).

@@ -8,9 +8,7 @@
 //! * the paper's lower bound T_low.
 
 use bench::{banner, fast_flag, fast_runtime, paper_runtime, row};
-use corun_core::{
-    anneal, branch_and_bound, evaluate, fairness, AnnealConfig, BnbConfig,
-};
+use corun_core::{anneal, branch_and_bound, evaluate, fairness, AnnealConfig, BnbConfig};
 use kernels::rodinia8;
 
 fn main() {
@@ -22,7 +20,11 @@ fn main() {
     let cap = 15.0;
     let machine = apu_sim::MachineConfig::ivy_bridge();
     let wl = rodinia8(&machine);
-    let rt = if fast_flag() { fast_runtime(wl, cap) } else { paper_runtime(wl, cap) };
+    let rt = if fast_flag() {
+        fast_runtime(wl, cap)
+    } else {
+        paper_runtime(wl, cap)
+    };
     let m = rt.model();
 
     let hcs = rt.schedule_hcs().schedule;
@@ -63,7 +65,10 @@ fn main() {
     let bound = rt.lower_bound();
     println!(
         "{}",
-        row("T_low", &[format!("{:.1}s", bound.t_low_s), "-".into(), "-".into()])
+        row(
+            "T_low",
+            &[format!("{:.1}s", bound.t_low_s), "-".into(), "-".into()]
+        )
     );
     println!();
     let ev_plus = evaluate(m, &hcs_plus, Some(cap)).makespan_s;

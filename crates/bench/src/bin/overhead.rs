@@ -18,9 +18,10 @@ fn main() {
         "less than 0.1% of the makespan",
     );
     let machine = apu_sim::MachineConfig::ivy_bridge();
-    for (label, wl) in
-        [("8 jobs", rodinia8(&machine)), ("16 jobs", rodinia16(&machine, 2024))]
-    {
+    for (label, wl) in [
+        ("8 jobs", rodinia8(&machine)),
+        ("16 jobs", rodinia16(&machine, 2024)),
+    ] {
         let rt = if fast_flag() {
             fast_runtime(wl, 15.0)
         } else {

@@ -17,7 +17,12 @@ fn main() {
         "{}",
         row(
             "batch",
-            &["random".into(), "default_g".into(), "hcs+".into(), "speedup".into()],
+            &[
+                "random".into(),
+                "default_g".into(),
+                "hcs+".into(),
+                "speedup".into()
+            ],
         )
     );
     for n in [4usize, 8, 12, 16, 24] {

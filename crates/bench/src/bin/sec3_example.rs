@@ -24,9 +24,13 @@ fn main() {
     let sc = by_name(&cfg, "streamcluster").unwrap();
     let dwt = by_name(&cfg, "dwt2d").unwrap();
     let hot = by_name(&cfg, "hotspot").unwrap();
-    let dwt_solo = apu_sim::run_solo(&cfg, &dwt, Device::Cpu, s).unwrap().time_s;
+    let dwt_solo = apu_sim::run_solo(&cfg, &dwt, Device::Cpu, s)
+        .unwrap()
+        .time_s;
     let sc_solo = apu_sim::run_solo(&cfg, &sc, Device::Gpu, s).unwrap().time_s;
-    let hot_solo = apu_sim::run_solo(&cfg, &hot, Device::Gpu, s).unwrap().time_s;
+    let hot_solo = apu_sim::run_solo(&cfg, &hot, Device::Gpu, s)
+        .unwrap()
+        .time_s;
     let mut gov = NullGovernor;
     let p1 = apu_sim::run_pair(&cfg, &dwt, &sc, s, &mut gov).unwrap();
     let p2 = apu_sim::run_pair(&cfg, &dwt, &hot, s, &mut gov).unwrap();
@@ -45,7 +49,11 @@ fn main() {
     // partitions, orders and uniform frequency settings).
     let cap = 15.0;
     let wl = section3_four(&cfg);
-    let rt = if fast_flag() { fast_runtime(wl, cap) } else { paper_runtime(wl, cap) };
+    let rt = if fast_flag() {
+        fast_runtime(wl, cap)
+    } else {
+        paper_runtime(wl, cap)
+    };
     let ex = exhaustive_uniform_opts(rt.model(), cap, true);
     println!();
     println!(

@@ -20,7 +20,11 @@ fn main() {
     let machine = MachineConfig::ivy_bridge();
     let wl = rodinia8(&machine);
     let names: Vec<String> = wl.jobs.iter().map(|j| j.name.clone()).collect();
-    let rt = if fast_flag() { fast_runtime(wl, cap) } else { paper_runtime(wl, cap) };
+    let rt = if fast_flag() {
+        fast_runtime(wl, cap)
+    } else {
+        paper_runtime(wl, cap)
+    };
     let m = rt.model();
     let kc = m.levels(Device::Cpu) - 1;
     let kg = m.levels(Device::Gpu) - 1;
@@ -68,7 +72,7 @@ fn main() {
             ],
         )
     );
-    for i in 0..m.len() {
+    for (i, name) in names.iter().enumerate() {
         let pref = match categorize(m, &hcfg, i) {
             Preference::Cpu => "CPU",
             Preference::Gpu => "GPU",
@@ -77,7 +81,7 @@ fn main() {
         println!(
             "{}",
             row(
-                &names[i],
+                name,
                 &[
                     format!("{:.2}", min_corun(i, Device::Cpu)),
                     format!("{:.2}", min_corun(i, Device::Gpu)),

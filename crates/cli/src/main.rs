@@ -8,10 +8,11 @@
 //!                  [--machine ivy|kaveri] [--seed N] [--fast]
 //! corun predict    --cpu PROG --gpu PROG [--machine ivy|kaveri] [--fast]
 //! corun characterize --out FILE [--machine ivy|kaveri] [--fast]
+//! corun lint       [--machine ivy|kaveri] [--config FILE] [--spec FILE]
+//!                  [--schedule FILE] [--cap W] [--format human|json]
 //! ```
 
 mod args;
-mod spec;
 
 use apu_sim::{Bias, Device, MachineConfig};
 use args::Args;
@@ -49,6 +50,7 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         "online" => cmd_online(&args),
         "predict" => cmd_predict(&args),
         "characterize" => cmd_characterize(&args),
+        "lint" => cmd_lint(&args),
         "help" | "--help" => {
             print_help();
             Ok(())
@@ -68,7 +70,8 @@ fn print_help() {
          \x20 sweep                         sweep power caps x methods\n\
          \x20 online                        online scheduling with job arrivals\n\
          \x20 predict --cpu A --gpu B       predict one pair's co-run behaviour\n\
-         \x20 characterize --out FILE      cache the degradation space to disk\n\n\
+         \x20 characterize --out FILE      cache the degradation space to disk\n\
+         \x20 lint                          statically check configs, specs, and schedules\n\n\
          common options: --machine ivy|kaveri  --cap WATTS  --fast"
     );
 }
@@ -82,7 +85,10 @@ fn machine_for(args: &Args) -> Result<MachineConfig, String> {
 }
 
 fn cmd_machines() -> Result<(), String> {
-    for (name, m) in [("ivy", MachineConfig::ivy_bridge()), ("kaveri", MachineConfig::kaveri())] {
+    for (name, m) in [
+        ("ivy", MachineConfig::ivy_bridge()),
+        ("kaveri", MachineConfig::kaveri()),
+    ] {
         let busy = m.power_model().package_power_busy(m.freqs.max_setting());
         println!(
             "{name:<8} cpu {:>4.1}-{:.1} GHz x{} levels, {:.0} GFLOP/s peak | \
@@ -162,7 +168,7 @@ fn runtime_for(args: &Args, jobs: Vec<apu_sim::JobSpec>) -> Result<CoScheduleRun
 fn workload_for(args: &Args, machine: &MachineConfig) -> Result<Vec<apu_sim::JobSpec>, String> {
     if let Some(path) = args.opt("spec") {
         let text = std::fs::read_to_string(path).map_err(|e| format!("--spec {path}: {e}"))?;
-        return spec::build_jobs(machine, &spec::parse_spec(&text)?);
+        return corun_verify::build_jobs(machine, &corun_verify::parse_spec(&text)?);
     }
     Ok(match args.opt_or("workload", "rodinia8") {
         "rodinia8" => kernels::rodinia8(machine).jobs,
@@ -173,7 +179,9 @@ fn workload_for(args: &Args, machine: &MachineConfig) -> Result<Vec<apu_sim::Job
 }
 
 fn cmd_compare(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["machine", "cap", "workload", "spec", "seed", "fast", "cache"])?;
+    args.reject_unknown(&[
+        "machine", "cap", "workload", "spec", "seed", "fast", "cache",
+    ])?;
     let machine = machine_for(args)?;
     let jobs = workload_for(args, &machine)?;
     let n = jobs.len();
@@ -182,7 +190,9 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     let cap = rt.config().cap_w;
 
     let random = rt.random_avg_makespan(0..10);
-    let default_g = rt.execute_default(&rt.schedule_default(), Bias::Gpu).makespan_s;
+    let default_g = rt
+        .execute_default(&rt.schedule_default(), Bias::Gpu)
+        .makespan_s;
     let hcs = rt.execute_planned(&rt.schedule_hcs().schedule).makespan_s;
     let hcs_plus_sched = rt.schedule_hcs_plus();
     let hcs_plus = rt.execute_planned(&hcs_plus_sched).makespan_s;
@@ -196,7 +206,7 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
 
     println!();
     println!("{:<16} {:>10} {:>10}", "method", "makespan", "vs random");
-    let mut show = |name: &str, span: f64| {
+    let show = |name: &str, span: f64| {
         println!(
             "{name:<16} {span:>9.1}s {:>9.1}%",
             (random / span - 1.0) * 100.0
@@ -217,13 +227,19 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_sweep(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["machine", "workload", "spec", "seed", "fast", "cache", "caps"])?;
+    args.reject_unknown(&[
+        "machine", "workload", "spec", "seed", "fast", "cache", "caps",
+    ])?;
     let machine = machine_for(args)?;
     let jobs = workload_for(args, &machine)?;
     let caps: Vec<f64> = args
         .opt_or("caps", "18,15,12")
         .split(',')
-        .map(|t| t.trim().parse::<f64>().map_err(|_| format!("bad cap `{t}`")))
+        .map(|t| {
+            t.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("bad cap `{t}`"))
+        })
         .collect::<Result<_, _>>()?;
     let mut base = if args.flag("fast") {
         RuntimeConfig::fast(&machine)
@@ -233,7 +249,11 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     if let Some(dir) = args.opt("cache") {
         base.cache_dir = Some(std::path::PathBuf::from(dir));
     }
-    println!("sweeping {} caps x 4 methods over {} jobs ...", caps.len(), jobs.len());
+    println!(
+        "sweeping {} caps x 4 methods over {} jobs ...",
+        caps.len(),
+        jobs.len()
+    );
     let r = runtime::cap_sweep(&machine, &jobs, &base, &caps, &runtime::Method::ALL, 5);
     println!();
     println!("{}", r.render());
@@ -257,13 +277,18 @@ fn cmd_online(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown trace `{other}`")),
     }
     .into_iter()
-    .map(|a| corun_core::Arrival { job: a.job, at_s: a.at_s })
+    .map(|a| corun_core::Arrival {
+        job: a.job,
+        at_s: a.at_s,
+    })
     .collect();
 
     println!("offline stage: profiling {n} jobs + characterizing the machine ...");
     let rt = runtime_for(args, jobs)?;
-    let policy =
-        corun_core::OnlinePolicy::new(rt.model(), corun_core::HcsConfig::with_cap(rt.config().cap_w));
+    let policy = corun_core::OnlinePolicy::new(
+        rt.model(),
+        corun_core::HcsConfig::with_cap(rt.config().cap_w),
+    );
     let mut gov = apu_sim::NullGovernor;
     let report = runtime::execute_online(
         rt.machine(),
@@ -286,7 +311,9 @@ fn cmd_online(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_schedule(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["machine", "cap", "workload", "spec", "method", "seed", "fast", "cache"])?;
+    args.reject_unknown(&[
+        "machine", "cap", "workload", "spec", "method", "seed", "fast", "cache",
+    ])?;
     let machine = machine_for(args)?;
     let jobs = workload_for(args, &machine)?;
     let n = jobs.len();
@@ -299,8 +326,14 @@ fn cmd_schedule(args: &Args) -> Result<(), String> {
     let (label, report) = match method {
         "hcs" => ("HCS", rt.execute_planned(&rt.schedule_hcs().schedule)),
         "hcs+" => ("HCS+", rt.execute_planned(&rt.schedule_hcs_plus())),
-        "random" => ("Random", rt.execute_governed(&rt.schedule_random(seed), Bias::Gpu)),
-        "default" => ("Default", rt.execute_default(&rt.schedule_default(), Bias::Gpu)),
+        "random" => (
+            "Random",
+            rt.execute_governed(&rt.schedule_random(seed), Bias::Gpu),
+        ),
+        "default" => (
+            "Default",
+            rt.execute_default(&rt.schedule_default(), Bias::Gpu),
+        ),
         "bnb" => {
             if n > 9 {
                 return Err(format!("bnb is exponential; {n} jobs is too many (max 9)"));
@@ -316,7 +349,10 @@ fn cmd_schedule(args: &Args) -> Result<(), String> {
     };
 
     println!();
-    println!("{label} | peak power {:.1} W (cap {cap} W)", report.trace.max_w());
+    println!(
+        "{label} | peak power {:.1} W (cap {cap} W)",
+        report.trace.max_w()
+    );
     println!("{}", runtime::full_report(&report, 64));
     let bound = rt.lower_bound();
     println!(
@@ -340,20 +376,29 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
     let m = rt.model();
     let cap = rt.config().cap_w;
     let feas = corun_core::feasible_pair_settings(m, 0, 1, cap);
-    if feas.is_empty() {
-        return Err(format!("no frequency setting fits the {cap} W cap for this pair"));
-    }
     let (f, g) = feas
         .iter()
         .copied()
         .min_by(|&(f1, g1), &(f2, g2)| {
-            let t1 = m.corun_time(0, Device::Cpu, f1, 1, g1)
-                .max(m.corun_time(1, Device::Gpu, g1, 0, f1));
-            let t2 = m.corun_time(0, Device::Cpu, f2, 1, g2)
-                .max(m.corun_time(1, Device::Gpu, g2, 0, f2));
+            let t1 = m.corun_time(0, Device::Cpu, f1, 1, g1).max(m.corun_time(
+                1,
+                Device::Gpu,
+                g1,
+                0,
+                f1,
+            ));
+            let t2 = m.corun_time(0, Device::Cpu, f2, 1, g2).max(m.corun_time(
+                1,
+                Device::Gpu,
+                g2,
+                0,
+                f2,
+            ));
             t1.total_cmp(&t2)
         })
-        .expect("non-empty");
+        .ok_or(format!(
+            "no frequency setting fits the {cap} W cap for this pair"
+        ))?;
     println!(
         "best cap-feasible setting: CPU level {f} ({:.2} GHz), GPU level {g} ({:.2} GHz)",
         rt.machine().freqs.cpu.ghz(f),
@@ -387,6 +432,81 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
         )
     );
     Ok(())
+}
+
+/// `corun lint`: statically verify a machine config, a workload spec,
+/// and optionally a schedule file against that spec, without executing
+/// anything. Exit code is non-zero iff any error-severity diagnostic
+/// fires; warnings alone exit 0.
+fn cmd_lint(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&[
+        "machine", "config", "spec", "schedule", "cap", "format", "cache",
+    ])?;
+    let format = args.opt_or("format", "human");
+    if !matches!(format, "human" | "json") {
+        return Err(format!("unknown format `{format}` (human, json)"));
+    }
+
+    let mut report = corun_verify::Report::new();
+    let mut machine = machine_for(args)?;
+    if let Some(path) = args.opt("config") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("--config {path}: {e}"))?;
+        report.merge(corun_verify::Report::from_diagnostics(
+            corun_verify::apply_overrides(&mut machine, &text),
+        ));
+    }
+    report.merge(corun_verify::lint_machine(&machine));
+
+    let mut spec_lines = None;
+    if let Some(path) = args.opt("spec") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("--spec {path}: {e}"))?;
+        let (lines, spec_report) = corun_verify::lint_spec_full(&text);
+        report.merge(spec_report);
+        spec_lines = Some(lines);
+    }
+
+    if let Some(path) = args.opt("schedule") {
+        let lines = spec_lines
+            .as_ref()
+            .ok_or("--schedule needs --spec to know which jobs it schedules")?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("--schedule {path}: {e}"))?;
+        let file = corun_verify::parse_schedule_file(&text)
+            .map_err(|e| format!("--schedule {path}: {e}"))?;
+        // Semantic schedule lints need a co-run model; the fast
+        // characterization is plenty for lint fidelity and keeps the
+        // command interactive.
+        if let Ok(jobs) = corun_verify::build_jobs(&machine, lines) {
+            let mut cfg = RuntimeConfig::fast(&machine);
+            let cap = args.num::<f64>("cap")?.or(file.cap_w).unwrap_or(15.0);
+            cfg.cap_w = cap;
+            if let Some(dir) = args.opt("cache") {
+                cfg.cache_dir = Some(std::path::PathBuf::from(dir));
+            }
+            let rt = CoScheduleRuntime::new(machine, jobs, cfg);
+            report.merge(match file.makespan_s {
+                Some(ms) => {
+                    corun_verify::lint_run_report(rt.model(), &file.schedule, Some(cap), true, ms)
+                }
+                None => corun_verify::lint_schedule(rt.model(), &file.schedule, Some(cap), true),
+            });
+        }
+        // build_jobs only fails on unknown programs, which the spec
+        // lint above already reported as SPC003.
+    }
+
+    match format {
+        "json" => println!("{}", report.render_json()),
+        _ => print!("{}", report.render_human()),
+    }
+    if report.has_errors() {
+        let n = report.errors().count();
+        Err(format!(
+            "lint found {n} error{}",
+            if n == 1 { "" } else { "s" }
+        ))
+    } else {
+        Ok(())
+    }
 }
 
 fn cmd_characterize(args: &Args) -> Result<(), String> {

@@ -78,7 +78,10 @@ pub fn anneal(model: &dyn CoRunModel, start: &Schedule, cfg: &AnnealConfig) -> A
     let mut best_v = cur_v;
     let mut temp = (cur_v * cfg.t0_frac).max(1e-9);
     let mut accepted = 0;
-    debug_assert!(start_ok, "annealing must start from a cap-feasible schedule");
+    debug_assert!(
+        start_ok,
+        "annealing must start from a cap-feasible schedule"
+    );
 
     for _ in 0..cfg.iterations {
         let Some(cand) = neighbor(model, &current, cfg.cap_w, &mut rng) else {
@@ -101,7 +104,12 @@ pub fn anneal(model: &dyn CoRunModel, start: &Schedule, cfg: &AnnealConfig) -> A
         temp *= cfg.cooling;
     }
 
-    AnnealOutcome { schedule: best, value: best_v, start_value, accepted }
+    AnnealOutcome {
+        schedule: best,
+        value: best_v,
+        start_value,
+        accepted,
+    }
 }
 
 /// Generate a random neighbor; `None` when the move is inapplicable.
@@ -137,7 +145,8 @@ fn neighbor(
             let a = cand.queue_mut(device).remove(i);
             let target = device.other();
             let level = best_solo_level(model, a.job, target, cap_w)?;
-            cand.queue_mut(target).push(Assignment { job: a.job, level });
+            cand.queue_mut(target)
+                .push(Assignment { job: a.job, level });
         }
         // Nudge a job's level by +-1.
         2 => {
@@ -170,7 +179,10 @@ fn neighbor(
             let solo = cand.solo_tail.remove(i);
             let device = if rng.gen() { Device::Cpu } else { Device::Gpu };
             let level = best_solo_level(model, solo.job, device, cap_w)?;
-            cand.queue_mut(device).push(Assignment { job: solo.job, level });
+            cand.queue_mut(device).push(Assignment {
+                job: solo.job,
+                level,
+            });
         }
     }
     Some(cand)

@@ -80,12 +80,15 @@ pub fn default_partition(model: &dyn CoRunModel) -> DefaultPartition {
             .map(|&j| model.standalone(j, Device::Cpu, kc))
             .sum();
         let longer = gpu_sum.max(cpu_sum);
-        if best.map_or(true, |(_, b)| longer < b) {
+        if best.is_none_or(|(_, b)| longer < b) {
             best = Some((k, longer));
         }
     }
     let (k, _) = best.expect("at least one split exists");
-    DefaultPartition { gpu: ranked[..k].to_vec(), cpu: ranked[k..].to_vec() }
+    DefaultPartition {
+        gpu: ranked[..k].to_vec(),
+        cpu: ranked[k..].to_vec(),
+    }
 }
 
 impl DefaultPartition {
@@ -97,8 +100,16 @@ impl DefaultPartition {
         let kc = model.levels(Device::Cpu) - 1;
         let kg = model.levels(Device::Gpu) - 1;
         Schedule {
-            cpu: self.cpu.iter().map(|&job| Assignment { job, level: kc }).collect(),
-            gpu: self.gpu.iter().map(|&job| Assignment { job, level: kg }).collect(),
+            cpu: self
+                .cpu
+                .iter()
+                .map(|&job| Assignment { job, level: kc })
+                .collect(),
+            gpu: self
+                .gpu
+                .iter()
+                .map(|&job| Assignment { job, level: kg })
+                .collect(),
             solo_tail: vec![],
         }
     }
@@ -175,8 +186,16 @@ mod tests {
         assert_eq!(p.gpu.len() + p.cpu.len(), 8);
         let kg = 4;
         let kc = 5;
-        let gpu_sum: f64 = p.gpu.iter().map(|&j| m.standalone(j, Device::Gpu, kg)).sum();
-        let cpu_sum: f64 = p.cpu.iter().map(|&j| m.standalone(j, Device::Cpu, kc)).sum();
+        let gpu_sum: f64 = p
+            .gpu
+            .iter()
+            .map(|&j| m.standalone(j, Device::Gpu, kg))
+            .sum();
+        let cpu_sum: f64 = p
+            .cpu
+            .iter()
+            .map(|&j| m.standalone(j, Device::Cpu, kc))
+            .sum();
         // moving the boundary job either way must not shrink the longer side
         let longer = gpu_sum.max(cpu_sum);
         for k in 0..=8usize {
@@ -184,8 +203,16 @@ mod tests {
                 gpu: p.gpu.iter().chain(p.cpu.iter()).copied().take(k).collect(),
                 cpu: p.gpu.iter().chain(p.cpu.iter()).copied().skip(k).collect(),
             };
-            let g2: f64 = p2.gpu.iter().map(|&j| m.standalone(j, Device::Gpu, kg)).sum();
-            let c2: f64 = p2.cpu.iter().map(|&j| m.standalone(j, Device::Cpu, kc)).sum();
+            let g2: f64 = p2
+                .gpu
+                .iter()
+                .map(|&j| m.standalone(j, Device::Gpu, kg))
+                .sum();
+            let c2: f64 = p2
+                .cpu
+                .iter()
+                .map(|&j| m.standalone(j, Device::Cpu, kc))
+                .sum();
             assert!(longer <= g2.max(c2) + 1e-9, "split {k} would be better");
         }
     }

@@ -43,7 +43,10 @@ pub struct BnbConfig {
 impl BnbConfig {
     /// Default configuration for a given cap.
     pub fn new(cap_w: f64) -> Self {
-        BnbConfig { cap_w, node_limit: 2_000_000 }
+        BnbConfig {
+            cap_w,
+            node_limit: 2_000_000,
+        }
     }
 }
 
@@ -75,7 +78,14 @@ pub fn branch_and_bound(model: &dyn CoRunModel, cfg: &BnbConfig) -> BnbResult {
         })
         .collect();
 
-    let mut st = SearchState { model, cfg, min_time, best: None, expanded: 0, pruned: 0 };
+    let mut st = SearchState {
+        model,
+        cfg,
+        min_time,
+        best: None,
+        expanded: 0,
+        pruned: 0,
+    };
 
     // Seed with the refined greedy solution so pruning bites immediately
     // (and the search result is never worse than HCS+).
@@ -92,7 +102,12 @@ pub fn branch_and_bound(model: &dyn CoRunModel, cfg: &BnbConfig) -> BnbResult {
     expand(&mut st, &mut partial, &mut used, 0);
 
     let (schedule, makespan_s) = st.best.expect("seeded");
-    BnbResult { schedule, makespan_s, expanded: st.expanded, pruned: st.pruned }
+    BnbResult {
+        schedule,
+        makespan_s,
+        expanded: st.expanded,
+        pruned: st.pruned,
+    }
 }
 
 fn finite(cap: f64) -> Option<f64> {
@@ -109,7 +124,7 @@ fn expand(st: &mut SearchState<'_>, partial: &mut Schedule, used: &mut [bool], d
     if depth == n {
         let r = evaluate(st.model, partial, finite(st.cfg.cap_w));
         if r.cap_ok {
-            let better = st.best.as_ref().map_or(true, |(_, b)| r.makespan_s < *b);
+            let better = st.best.as_ref().is_none_or(|(_, b)| r.makespan_s < *b);
             if better {
                 st.best = Some((partial.clone(), r.makespan_s));
             }
@@ -185,13 +200,12 @@ fn pick_level(
                     continue; // the co-runner's level is already fixed
                 }
                 let t = model.corun_time(j, device, own, co.job, co.level);
-                if best.map_or(true, |(_, bt)| t < bt) {
+                if best.is_none_or(|(_, bt)| t < bt) {
                     best = Some((own, t));
                 }
             }
-            best.map(|(l, _)| l).or_else(|| {
-                best_solo_run(model, j, device, cap_w).map(|(l, _)| l)
-            })
+            best.map(|(l, _)| l)
+                .or_else(|| best_solo_run(model, j, device, cap_w).map(|(l, _)| l))
         }
         None => best_solo_run(model, j, device, cap_w).map(|(l, _)| l),
     }
@@ -222,7 +236,11 @@ mod tests {
         let g = hcs(&m, &HcsConfig::with_cap(cap));
         let refined = refine(&m, &g.schedule, &RefineConfig::new(cap));
         let span = evaluate(&m, &refined.schedule, Some(cap)).makespan_s;
-        assert!(r.makespan_s <= span + 1e-9, "bnb {} vs hcs+ {span}", r.makespan_s);
+        assert!(
+            r.makespan_s <= span + 1e-9,
+            "bnb {} vs hcs+ {span}",
+            r.makespan_s
+        );
     }
 
     #[test]

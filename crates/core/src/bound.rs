@@ -30,12 +30,7 @@ pub struct BoundReport {
 
 /// Best cap-feasible co-run time of job `i` on `device`: minimized over
 /// partners `j` and feasible frequency pairs.
-fn best_corun_time(
-    model: &dyn CoRunModel,
-    i: JobId,
-    device: Device,
-    cap_w: f64,
-) -> Option<f64> {
+fn best_corun_time(model: &dyn CoRunModel, i: JobId, device: Device, cap_w: f64) -> Option<f64> {
     let n = model.len();
     let mut best: Option<f64> = None;
     for j in 0..n {
@@ -57,7 +52,7 @@ fn best_corun_time(
             };
             let t = model.standalone(i, device, own_level)
                 * (1.0 + model.degradation(i, device, own_level, j, co_level));
-            if best.map_or(true, |b| t < b) {
+            if best.is_none_or(|b| t < b) {
                 best = Some(t);
             }
         }

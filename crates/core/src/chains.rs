@@ -44,10 +44,9 @@ pub fn chain_completion(
     for &(short, short_level) in sequence {
         let mut short_remaining = model.standalone(short, short_device, short_level);
         if long_remaining > 1e-12 {
-            let s_long = 1.0
-                + model.degradation(long, long_device, long_level, short, short_level);
-            let s_short = 1.0
-                + model.degradation(short, short_device, short_level, long, long_level);
+            let s_long = 1.0 + model.degradation(long, long_device, long_level, short, short_level);
+            let s_short =
+                1.0 + model.degradation(short, short_device, short_level, long, long_level);
             let t_long = long_remaining * s_long;
             let t_short = short_remaining * s_short;
             if t_short <= t_long {
@@ -90,8 +89,7 @@ pub fn chain_completion(
         let mut rem = model.standalone(long, long_device, long_level);
         let mut out = 0.0;
         for &(short, short_level) in sequence {
-            let s_long =
-                1.0 + model.degradation(long, long_device, long_level, short, short_level);
+            let s_long = 1.0 + model.degradation(long, long_device, long_level, short, short_level);
             let s_short =
                 1.0 + model.degradation(short, short_device, short_level, long, long_level);
             let t_long = rem * s_long;
@@ -108,11 +106,12 @@ pub fn chain_completion(
         long_finish
     };
 
-    let makespan = short_finish
-        .iter()
-        .copied()
-        .fold(long_finish, f64::max);
-    ChainOutcome { long_finish_s: long_finish, short_finish_s: short_finish, makespan_s: makespan }
+    let makespan = short_finish.iter().copied().fold(long_finish, f64::max);
+    ChainOutcome {
+        long_finish_s: long_finish,
+        short_finish_s: short_finish,
+        makespan_s: makespan,
+    }
 }
 
 /// Find the ordering of `shorts` (each with a fixed level) that minimizes
@@ -131,7 +130,7 @@ pub fn best_sequence(
             let out = chain_completion(model, long, long_device, long_level, perm);
             if best
                 .as_ref()
-                .map_or(true, |(_, b)| out.makespan_s < b.makespan_s)
+                .is_none_or(|(_, b)| out.makespan_s < b.makespan_s)
             {
                 best = Some((perm.to_vec(), out));
             }
@@ -190,7 +189,10 @@ mod tests {
         let seq = [(1usize, 3usize), (2, 2), (3, 3), (4, 1)];
         let chain = chain_completion(&m, long, Device::Gpu, 3, &seq);
         let mut s = Schedule::new();
-        s.gpu.push(Assignment { job: long, level: 3 });
+        s.gpu.push(Assignment {
+            job: long,
+            level: 3,
+        });
         for &(j, l) in &seq {
             s.cpu.push(Assignment { job: j, level: l });
         }

@@ -164,7 +164,13 @@ pub fn evaluate(model: &dyn CoRunModel, schedule: &Schedule, cap_w: Option<f64>)
         finish[s.job] = Some(t);
     }
 
-    EvalReport { makespan_s: t, finish_s: finish, peak_power_w: peak, cap_ok, segments }
+    EvalReport {
+        makespan_s: t,
+        finish_s: finish,
+        peak_power_w: peak,
+        cap_ok,
+        segments,
+    }
 }
 
 #[cfg(test)]
@@ -254,8 +260,16 @@ mod tests {
     fn solo_tail_is_sequential_and_uncontended() {
         let m = flat_model(2, 10.0, 0.9);
         let mut s = Schedule::new();
-        s.solo_tail.push(SoloRun { job: 0, device: Device::Cpu, level: 1 });
-        s.solo_tail.push(SoloRun { job: 1, device: Device::Gpu, level: 1 });
+        s.solo_tail.push(SoloRun {
+            job: 0,
+            device: Device::Cpu,
+            level: 1,
+        });
+        s.solo_tail.push(SoloRun {
+            job: 1,
+            device: Device::Gpu,
+            level: 1,
+        });
         let r = evaluate(&m, &s, None);
         assert!((r.makespan_s - 20.0).abs() < 1e-9);
         assert_eq!(r.finish_s[0], Some(10.0));
@@ -302,7 +316,10 @@ mod tests {
         assert!(!r.segments.is_empty());
         assert!((r.segments[0].t0 - 0.0).abs() < 1e-12);
         for w in r.segments.windows(2) {
-            assert!((w[0].t1 - w[1].t0).abs() < 1e-9, "segments must be contiguous");
+            assert!(
+                (w[0].t1 - w[1].t0).abs() < 1e-9,
+                "segments must be contiguous"
+            );
         }
         assert!((r.segments.last().unwrap().t1 - r.makespan_s).abs() < 1e-9);
     }
@@ -315,7 +332,11 @@ mod tests {
         s.cpu.push(Assignment { job: 1, level: 3 });
         s.gpu.push(Assignment { job: 2, level: 1 });
         s.gpu.push(Assignment { job: 3, level: 3 });
-        s.solo_tail.push(SoloRun { job: 4, device: Device::Gpu, level: 3 });
+        s.solo_tail.push(SoloRun {
+            job: 4,
+            device: Device::Gpu,
+            level: 3,
+        });
         let r = evaluate(&m, &s, None);
         let max_finish = r.finish_s.iter().flatten().fold(0.0_f64, |a, &b| a.max(b));
         assert!((r.makespan_s - max_finish).abs() < 1e-9);

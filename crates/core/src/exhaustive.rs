@@ -46,7 +46,10 @@ pub fn exhaustive_uniform_opts(
 ) -> ExhaustiveResult {
     const MAX_JOBS: usize = 8;
     let n = model.len();
-    assert!(n >= 1 && n <= MAX_JOBS, "exhaustive search is for small batches");
+    assert!(
+        (1..=MAX_JOBS).contains(&n),
+        "exhaustive search is for small batches"
+    );
     let kc = model.levels(Device::Cpu);
     let kg = model.levels(Device::Gpu);
     let cap = cap_w.is_finite().then_some(cap_w);
@@ -70,8 +73,14 @@ pub fn exhaustive_uniform_opts(
                 for f in 0..kc {
                     for g in 0..kg {
                         let s = Schedule {
-                            cpu: cpu_perm.iter().map(|&job| Assignment { job, level: f }).collect(),
-                            gpu: gpu_perm.iter().map(|&job| Assignment { job, level: g }).collect(),
+                            cpu: cpu_perm
+                                .iter()
+                                .map(|&job| Assignment { job, level: f })
+                                .collect(),
+                            gpu: gpu_perm
+                                .iter()
+                                .map(|&job| Assignment { job, level: g })
+                                .collect(),
                             solo_tail: vec![],
                         };
                         let r = evaluate(model, &s, cap);
@@ -80,10 +89,10 @@ pub fn exhaustive_uniform_opts(
                             continue;
                         }
                         feasible += 1;
-                        if best.as_ref().map_or(true, |(_, b)| r.makespan_s < *b) {
+                        if best.as_ref().is_none_or(|(_, b)| r.makespan_s < *b) {
                             best = Some((s.clone(), r.makespan_s));
                         }
-                        if worst.as_ref().map_or(true, |(_, w)| r.makespan_s > *w) {
+                        if worst.as_ref().is_none_or(|(_, w)| r.makespan_s > *w) {
                             worst = Some((s, r.makespan_s));
                         }
                     }

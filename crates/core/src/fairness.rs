@@ -34,7 +34,7 @@ pub struct FairnessReport {
 pub fn fairness(model: &dyn CoRunModel, report: &EvalReport, cap_w: f64) -> FairnessReport {
     let n = model.len();
     let mut slowdown: Vec<Option<f64>> = vec![None; n];
-    for i in 0..n {
+    for (i, slot) in slowdown.iter_mut().enumerate() {
         let Some(finish) = report.finish_s.get(i).copied().flatten() else {
             continue;
         };
@@ -43,7 +43,7 @@ pub fn fairness(model: &dyn CoRunModel, report: &EvalReport, cap_w: f64) -> Fair
             .filter_map(|&d| best_solo_run(model, i, d, cap_w).map(|(_, t)| t))
             .fold(f64::INFINITY, f64::min);
         if best.is_finite() && best > 0.0 {
-            slowdown[i] = Some(finish / best);
+            *slot = Some(finish / best);
         }
     }
     let vals: Vec<f64> = slowdown.iter().flatten().copied().collect();
@@ -62,7 +62,12 @@ pub fn fairness(model: &dyn CoRunModel, report: &EvalReport, cap_w: f64) -> Fair
         let sumsq: f64 = rates.iter().map(|r| r * r).sum();
         (sum * sum) / (rates.len() as f64 * sumsq)
     };
-    FairnessReport { slowdown, max_slowdown: max, mean_slowdown: mean, jain_index: jain }
+    FairnessReport {
+        slowdown,
+        max_slowdown: max,
+        mean_slowdown: mean,
+        jain_index: jain,
+    }
 }
 
 #[cfg(test)]
@@ -113,7 +118,11 @@ mod tests {
         let f = fairness(&m, &r, f64::INFINITY);
         // The last job waits for all the others: slowdown far above 1.
         assert!(f.max_slowdown > 3.0, "got {}", f.max_slowdown);
-        assert!(f.jain_index < 0.9, "serialization is unfair: {}", f.jain_index);
+        assert!(
+            f.jain_index < 0.9,
+            "serialization is unfair: {}",
+            f.jain_index
+        );
     }
 
     #[test]

@@ -36,12 +36,18 @@ pub struct HcsConfig {
 impl HcsConfig {
     /// Uncapped configuration with the paper's `D = 20%`.
     pub fn uncapped() -> Self {
-        HcsConfig { cap_w: f64::INFINITY, preference_threshold: 0.20 }
+        HcsConfig {
+            cap_w: f64::INFINITY,
+            preference_threshold: 0.20,
+        }
     }
 
     /// Capped configuration with the paper's `D = 20%`.
     pub fn with_cap(cap_w: f64) -> Self {
-        HcsConfig { cap_w, preference_threshold: 0.20 }
+        HcsConfig {
+            cap_w,
+            preference_threshold: 0.20,
+        }
     }
 }
 
@@ -71,7 +77,11 @@ pub struct HcsOutcome {
 pub fn hcs(model: &dyn CoRunModel, cfg: &HcsConfig) -> HcsOutcome {
     let n = model.len();
     if n == 0 {
-        return HcsOutcome { schedule: Schedule::new(), s_seq: vec![], preference: vec![] };
+        return HcsOutcome {
+            schedule: Schedule::new(),
+            s_seq: vec![],
+            preference: vec![],
+        };
     }
 
     // ---- Step 1: partition via the Co-Run Theorem --------------------
@@ -103,7 +113,11 @@ pub fn hcs(model: &dyn CoRunModel, cfg: &HcsConfig) -> HcsOutcome {
         repair_levels(model, &mut schedule, cfg.cap_w);
     }
 
-    HcsOutcome { schedule, s_seq, preference }
+    HcsOutcome {
+        schedule,
+        s_seq,
+        preference,
+    }
 }
 
 /// Lower frequency levels until the evaluator finds no cap-violating
@@ -113,8 +127,7 @@ pub fn hcs(model: &dyn CoRunModel, cfg: &HcsConfig) -> HcsOutcome {
 /// violates with every participant at level 0 is left as-is (nothing lower
 /// exists).
 pub fn repair_levels(model: &dyn CoRunModel, schedule: &mut Schedule, cap_w: f64) {
-    let budget =
-        (schedule.len() + 1) * (model.levels(Device::Cpu) + model.levels(Device::Gpu));
+    let budget = (schedule.len() + 1) * (model.levels(Device::Cpu) + model.levels(Device::Gpu));
     for _ in 0..budget {
         let report = crate::evaluate::evaluate(model, schedule, Some(cap_w));
         if report.cap_ok {
@@ -145,9 +158,7 @@ pub fn repair_levels(model: &dyn CoRunModel, schedule: &mut Schedule, cap_w: f64
             }
         }
         match options.iter().min_by(|a, b| a.3.total_cmp(&b.3)) {
-            Some(&(device, job, level, _)) => {
-                set_job_level(schedule, device, job, level - 1)
-            }
+            Some(&(device, job, level, _)) => set_job_level(schedule, device, job, level - 1),
             None => {
                 // Both participants are already at the floor. If this is a
                 // co-run, the pair simply cannot share the package under
@@ -155,13 +166,9 @@ pub fn repair_levels(model: &dyn CoRunModel, schedule: &mut Schedule, cap_w: f64
                 match (seg.cpu, seg.gpu) {
                     (Some((job, _)), Some(_)) => {
                         schedule.cpu.retain(|a| a.job != job);
-                        let level = crate::freqgrid::best_solo_level(
-                            model,
-                            job,
-                            Device::Cpu,
-                            cap_w,
-                        )
-                        .unwrap_or(0);
+                        let level =
+                            crate::freqgrid::best_solo_level(model, job, Device::Cpu, cap_w)
+                                .unwrap_or(0);
                         schedule.solo_tail.push(crate::schedule::SoloRun {
                             job,
                             device: Device::Cpu,
@@ -272,7 +279,7 @@ fn greedy(
 ) -> Schedule {
     let mut schedule = Schedule::new();
     let mut sets = [cpu_pref, non_pref, gpu_pref]; // indices 0,1,2
-    // preference order per device (indices into `sets`)
+                                                   // preference order per device (indices into `sets`)
     let order_cpu = [0usize, 1, 2];
     let order_gpu = [2usize, 1, 0];
 
@@ -284,8 +291,15 @@ fn greedy(
     // the preference order if that set is empty).
     if let Some(pick) = pick_longest(model, cfg, &sets, &order_gpu, Device::Gpu) {
         let job = take(&mut sets, pick.set_idx, pick.pos);
-        running[Device::Gpu.index()] = Some((job, pick.level, model.standalone(job, Device::Gpu, pick.level)));
-        schedule.gpu.push(Assignment { job, level: pick.level });
+        running[Device::Gpu.index()] = Some((
+            job,
+            pick.level,
+            model.standalone(job, Device::Gpu, pick.level),
+        ));
+        schedule.gpu.push(Assignment {
+            job,
+            level: pick.level,
+        });
     }
 
     // Fill the CPU with the least-interference candidate, choosing the pair
@@ -296,9 +310,15 @@ fn greedy(
             pick_least_interference_joint(model, cfg, &sets, &order_cpu, gjob)
         {
             let job = take(&mut sets, pick.set_idx, pick.pos);
-            running[Device::Cpu.index()] =
-                Some((job, pick.level, model.standalone(job, Device::Cpu, pick.level)));
-            schedule.cpu.push(Assignment { job, level: pick.level });
+            running[Device::Cpu.index()] = Some((
+                job,
+                pick.level,
+                model.standalone(job, Device::Cpu, pick.level),
+            ));
+            schedule.cpu.push(Assignment {
+                job,
+                level: pick.level,
+            });
             if best_g != glevel {
                 let r = running[Device::Gpu.index()].as_mut().expect("gpu running");
                 r.1 = best_g;
@@ -309,9 +329,15 @@ fn greedy(
     } else if let Some(pick) = pick_longest(model, cfg, &sets, &order_cpu, Device::Cpu) {
         // No GPU candidate at all: seed the CPU instead.
         let job = take(&mut sets, pick.set_idx, pick.pos);
-        running[Device::Cpu.index()] =
-            Some((job, pick.level, model.standalone(job, Device::Cpu, pick.level)));
-        schedule.cpu.push(Assignment { job, level: pick.level });
+        running[Device::Cpu.index()] = Some((
+            job,
+            pick.level,
+            model.standalone(job, Device::Cpu, pick.level),
+        ));
+        schedule.cpu.push(Assignment {
+            job,
+            level: pick.level,
+        });
     }
 
     // Event loop: advance to the next completion, refill the freed device.
@@ -359,7 +385,13 @@ fn greedy(
                 let co = running[device.other().index()];
                 let picked = match co {
                     Some((co_job, co_level, _)) => pick_least_interference(
-                        model, cfg, &sets, &restricted, device, co_job, co_level,
+                        model,
+                        cfg,
+                        &sets,
+                        &restricted,
+                        device,
+                        co_job,
+                        co_level,
                     ),
                     None => pick_longest(model, cfg, &sets, &restricted, device),
                 };
@@ -390,9 +422,10 @@ fn greedy(
                 let job = take(&mut sets, pick.set_idx, pick.pos);
                 running[device.index()] =
                     Some((job, pick.level, model.standalone(job, device, pick.level)));
-                schedule
-                    .queue_mut(device)
-                    .push(Assignment { job, level: pick.level });
+                schedule.queue_mut(device).push(Assignment {
+                    job,
+                    level: pick.level,
+                });
             }
         }
 
@@ -416,14 +449,17 @@ fn greedy(
         } else {
             // Nothing fits the cap even at the floor: run at the floor on
             // the faster device; the runtime governor will do what it can.
-            let device = if model.standalone(job, Device::Cpu, 0)
-                <= model.standalone(job, Device::Gpu, 0)
-            {
-                Device::Cpu
-            } else {
-                Device::Gpu
-            };
-            schedule.solo_tail.push(SoloRun { job, device, level: 0 });
+            let device =
+                if model.standalone(job, Device::Cpu, 0) <= model.standalone(job, Device::Gpu, 0) {
+                    Device::Cpu
+                } else {
+                    Device::Gpu
+                };
+            schedule.solo_tail.push(SoloRun {
+                job,
+                device,
+                level: 0,
+            });
         }
     }
 
@@ -452,12 +488,16 @@ fn pick_longest(
             let Some((level, t)) = best_solo_run(model, job, device, cfg.cap_w) else {
                 continue;
             };
-            if best.map_or(true, |(_, _, bt)| t > bt) {
+            if best.is_none_or(|(_, _, bt)| t > bt) {
                 best = Some((pos, level, t));
             }
         }
         if let Some((pos, level, _)) = best {
-            return Some(Pick { set_idx: si, pos, level });
+            return Some(Pick {
+                set_idx: si,
+                pos,
+                level,
+            });
         }
     }
     None
@@ -497,18 +537,22 @@ fn pick_least_interference(
                 let d_own = model.degradation(job, device, f, co_job, co_level);
                 let d_co = model.degradation(co_job, device.other(), co_level, job, f);
                 let t_own = model.standalone(job, device, f) * (1.0 + d_own);
-                if local.map_or(true, |(_, bt, _)| t_own < bt - 1e-12) {
+                if local.is_none_or(|(_, bt, _)| t_own < bt - 1e-12) {
                     local = Some((f, t_own, d_own + d_co));
                 }
             }
             if let Some((f, _, sum)) = local {
-                if best.map_or(true, |(_, _, bs)| sum < bs) {
+                if best.is_none_or(|(_, _, bs)| sum < bs) {
                     best = Some((pos, f, sum));
                 }
             }
         }
         if let Some((pos, level, _)) = best {
-            return Some(Pick { set_idx: si, pos, level });
+            return Some(Pick {
+                set_idx: si,
+                pos,
+                level,
+            });
         }
     }
     None
@@ -539,18 +583,25 @@ fn pick_least_interference_joint(
                 let t_c = model.standalone(job, Device::Cpu, f) * (1.0 + d_c);
                 let t_g = model.standalone(gpu_job, Device::Gpu, g) * (1.0 + d_g);
                 let span = t_c.max(t_g);
-                if local.map_or(true, |(_, _, bsp, _)| span < bsp - 1e-12) {
+                if local.is_none_or(|(_, _, bsp, _)| span < bsp - 1e-12) {
                     local = Some((f, g, span, d_c + d_g));
                 }
             }
             if let Some((f, g, _, sum)) = local {
-                if best.map_or(true, |(_, _, _, bs)| sum < bs) {
+                if best.is_none_or(|(_, _, _, bs)| sum < bs) {
                     best = Some((pos, f, g, sum));
                 }
             }
         }
         if let Some((pos, f, g, _)) = best {
-            return Some((Pick { set_idx: si, pos, level: f }, g));
+            return Some((
+                Pick {
+                    set_idx: si,
+                    pos,
+                    level: f,
+                },
+                g,
+            ));
         }
     }
     None
@@ -717,7 +768,15 @@ mod tests {
         let out = hcs(&m, &HcsConfig::uncapped());
         let cpu_jobs: Vec<JobId> = out.schedule.cpu.iter().map(|a| a.job).collect();
         let gpu_jobs: Vec<JobId> = out.schedule.gpu.iter().map(|a| a.job).collect();
-        assert!(cpu_jobs.contains(&0) && cpu_jobs.contains(&1), "{}", out.schedule);
-        assert!(gpu_jobs.contains(&2) && gpu_jobs.contains(&3), "{}", out.schedule);
+        assert!(
+            cpu_jobs.contains(&0) && cpu_jobs.contains(&1),
+            "{}",
+            out.schedule
+        );
+        assert!(
+            gpu_jobs.contains(&2) && gpu_jobs.contains(&3),
+            "{}",
+            out.schedule
+        );
     }
 }

@@ -27,11 +27,11 @@
 pub mod anneal;
 pub mod baselines;
 pub mod bnb;
-pub mod chains;
-pub mod fairness;
 pub mod bound;
+pub mod chains;
 pub mod evaluate;
 pub mod exhaustive;
+pub mod fairness;
 pub mod freqgrid;
 pub mod hcs;
 pub mod model;
@@ -41,22 +41,21 @@ pub mod refine;
 pub mod schedule;
 pub mod theorem;
 
-pub use baselines::{default_partition, random_schedule, DefaultPartition};
 pub use anneal::{anneal, AnnealConfig, AnnealOutcome};
+pub use baselines::{default_partition, random_schedule, DefaultPartition};
 pub use bnb::{branch_and_bound, BnbConfig, BnbResult};
-pub use fairness::{fairness, FairnessReport};
 pub use bound::{lower_bound, BoundReport};
 pub use chains::{best_sequence, chain_completion, ChainOutcome};
 pub use evaluate::{evaluate, EvalReport, Segment};
 pub use exhaustive::{exhaustive_uniform, exhaustive_uniform_opts, ExhaustiveResult};
+pub use fairness::{fairness, FairnessReport};
 pub use freqgrid::{
-    best_level_against, best_solo_level, best_solo_placement, best_solo_run,
-    feasible_pair_settings,
+    best_level_against, best_solo_level, best_solo_placement, best_solo_run, feasible_pair_settings,
 };
 pub use hcs::{categorize, hcs, partition, HcsConfig, HcsOutcome, Preference};
 pub use model::{CoRunModel, JobId, TableModel};
 pub use objective::{edp_js, energy_j, objective_value, Objective};
 pub use online::{evaluate_online, Arrival, OnlinePick, OnlinePolicy, OnlineReport};
 pub use refine::{refine, RefineConfig, RefineOutcome};
-pub use schedule::{Assignment, Schedule, SoloRun};
+pub use schedule::{Assignment, Coverage, Schedule, SoloRun};
 pub use theorem::{corun_beneficial, corun_makespan_conservative, pair_completion};

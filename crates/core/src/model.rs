@@ -40,8 +40,7 @@ pub trait CoRunModel {
 
     /// `d_{i,p,f}^{j,g}`: fractional degradation of job `i` on `device` at
     /// level `f_own` when job `j` runs on the other device at `g_other`.
-    fn degradation(&self, i: JobId, device: Device, f_own: usize, j: JobId, g_other: usize)
-        -> f64;
+    fn degradation(&self, i: JobId, device: Device, f_own: usize, j: JobId, g_other: usize) -> f64;
 
     /// Package power when job `i` runs alone on `device` at level `f`.
     fn solo_power(&self, i: JobId, device: Device, f: usize) -> f64;
@@ -52,11 +51,7 @@ pub trait CoRunModel {
     /// Package power for an arbitrary occupancy: an optional `(job, level)`
     /// on each device. The default composes standalone powers the way the
     /// paper's power model does (sum minus double-counted idle).
-    fn corun_power(
-        &self,
-        cpu: Option<(JobId, usize)>,
-        gpu: Option<(JobId, usize)>,
-    ) -> f64 {
+    fn corun_power(&self, cpu: Option<(JobId, usize)>, gpu: Option<(JobId, usize)>) -> f64 {
         match (cpu, gpu) {
             (Some((i, f)), Some((j, g))) => {
                 self.solo_power(i, Device::Cpu, f) + self.solo_power(j, Device::Gpu, g)
@@ -70,8 +65,7 @@ pub trait CoRunModel {
 
     /// Co-run time of job `i`: `l * (1 + d)`.
     fn corun_time(&self, i: JobId, device: Device, f_own: usize, j: JobId, g_other: usize) -> f64 {
-        self.standalone(i, device, f_own)
-            * (1.0 + self.degradation(i, device, f_own, j, g_other))
+        self.standalone(i, device, f_own) * (1.0 + self.degradation(i, device, f_own, j, g_other))
     }
 }
 
@@ -185,14 +179,7 @@ impl CoRunModel for TableModel {
         }
     }
 
-    fn degradation(
-        &self,
-        i: JobId,
-        device: Device,
-        f_own: usize,
-        j: JobId,
-        g_other: usize,
-    ) -> f64 {
+    fn degradation(&self, i: JobId, device: Device, f_own: usize, j: JobId, g_other: usize) -> f64 {
         let n = self.names.len();
         match device {
             Device::Cpu => self.deg_cpu[((i * n + j) * self.k_cpu + f_own) * self.k_gpu + g_other],
@@ -312,8 +299,8 @@ mod tests {
     fn corun_power_composition() {
         let m = synthetic(3, 4, 4);
         let p = m.corun_power(Some((0, 3)), Some((1, 2)));
-        let expect = m.solo_power(0, Device::Cpu, 3) + m.solo_power(1, Device::Gpu, 2)
-            - m.idle_power();
+        let expect =
+            m.solo_power(0, Device::Cpu, 3) + m.solo_power(1, Device::Gpu, 2) - m.idle_power();
         assert!((p - expect).abs() < 1e-12);
         assert_eq!(m.corun_power(None, None), m.idle_power());
         assert_eq!(

@@ -51,8 +51,14 @@ mod tests {
 
     fn schedule_at(level_c: usize, level_g: usize) -> Schedule {
         let mut s = Schedule::new();
-        s.cpu.push(Assignment { job: 0, level: level_c });
-        s.gpu.push(Assignment { job: 1, level: level_g });
+        s.cpu.push(Assignment {
+            job: 0,
+            level: level_c,
+        });
+        s.gpu.push(Assignment {
+            job: 1,
+            level: level_g,
+        });
         s
     }
 

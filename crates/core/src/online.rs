@@ -49,7 +49,9 @@ impl OnlinePolicy {
     /// Build the policy: preferences are precomputed per job (they depend
     /// only on standalone profiles).
     pub fn new(model: &dyn CoRunModel, cfg: HcsConfig) -> Self {
-        let preference = (0..model.len()).map(|i| categorize(model, &cfg, i)).collect();
+        let preference = (0..model.len())
+            .map(|i| categorize(model, &cfg, i))
+            .collect();
         OnlinePolicy { cfg, preference }
     }
 
@@ -124,11 +126,10 @@ impl OnlinePolicy {
                 // seeding rule) at its best solo level.
                 let mut best: Option<(JobId, usize, f64)> = None;
                 for &j in candidates {
-                    let Some((level, t)) = best_solo_run(model, j, device, self.cfg.cap_w)
-                    else {
+                    let Some((level, t)) = best_solo_run(model, j, device, self.cfg.cap_w) else {
                         continue;
                     };
-                    if best.map_or(true, |(_, _, bt)| t > bt) {
+                    if best.is_none_or(|(_, _, bt)| t > bt) {
                         best = Some((j, level, t));
                     }
                 }
@@ -145,7 +146,7 @@ impl OnlinePolicy {
                     let d_own = model.degradation(j, device, level, co_job, co_level);
                     let d_co = model.degradation(co_job, device.other(), co_level, j, level);
                     let sum = d_own + d_co;
-                    if best.map_or(true, |(_, _, bs)| sum < bs) {
+                    if best.is_none_or(|(_, _, bs)| sum < bs) {
                         best = Some((j, level, sum));
                     }
                 }
@@ -216,7 +217,10 @@ pub fn evaluate_online(
         };
         let t_cpu = running[0].map(|(_, _, r)| r * s_cpu);
         let t_gpu = running[1].map(|(_, _, r)| r * s_gpu);
-        let next_completion = [t_cpu, t_gpu].into_iter().flatten().fold(f64::INFINITY, f64::min);
+        let next_completion = [t_cpu, t_gpu]
+            .into_iter()
+            .flatten()
+            .fold(f64::INFINITY, f64::min);
         let next_arrival_dt = arrivals
             .get(next_arrival)
             .map(|a| a.at_s - t)
@@ -250,7 +254,11 @@ pub fn evaluate_online(
     } else {
         flows.iter().sum::<f64>() / flows.len() as f64
     };
-    OnlineReport { makespan_s: makespan, finish_s: finish, mean_flow_s: mean_flow }
+    OnlineReport {
+        makespan_s: makespan,
+        finish_s: finish,
+        mean_flow_s: mean_flow,
+    }
 }
 
 #[cfg(test)]
@@ -279,12 +287,20 @@ mod tests {
         let arrivals = vec![
             Arrival { job: 0, at_s: 0.0 },
             Arrival { job: 1, at_s: 5.0 },
-            Arrival { job: 2, at_s: 100.0 },
-            Arrival { job: 3, at_s: 100.0 },
+            Arrival {
+                job: 2,
+                at_s: 100.0,
+            },
+            Arrival {
+                job: 3,
+                at_s: 100.0,
+            },
         ];
         let r = evaluate_online(&m, &arrivals, &p);
         // Job 2 and 3 cannot finish before they arrive plus their best time.
-        let best2 = m.standalone(2, Device::Cpu, 3).min(m.standalone(2, Device::Gpu, 3));
+        let best2 = m
+            .standalone(2, Device::Cpu, 3)
+            .min(m.standalone(2, Device::Gpu, 3));
         assert!(r.finish_s[2].unwrap() >= 100.0 + best2 * 0.99);
         assert!(r.finish_s[1].unwrap() >= 5.0);
     }
@@ -324,10 +340,16 @@ mod tests {
         let p = OnlinePolicy::new(&m, HcsConfig::uncapped());
         let arrivals = vec![
             Arrival { job: 0, at_s: 0.0 },
-            Arrival { job: 1, at_s: 500.0 },
+            Arrival {
+                job: 1,
+                at_s: 500.0,
+            },
         ];
         let r = evaluate_online(&m, &arrivals, &p);
-        assert!(r.finish_s[0].unwrap() < 500.0, "first wave done before second");
+        assert!(
+            r.finish_s[0].unwrap() < 500.0,
+            "first wave done before second"
+        );
         assert!(r.finish_s[1].unwrap() > 500.0);
     }
 

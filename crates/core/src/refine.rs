@@ -67,7 +67,11 @@ pub struct RefineOutcome {
 
 /// Run the three refinement passes.
 pub fn refine(model: &dyn CoRunModel, schedule: &Schedule, cfg: &RefineConfig) -> RefineOutcome {
-    let cap = if cfg.cap_w.is_finite() { Some(cfg.cap_w) } else { None };
+    let cap = if cfg.cap_w.is_finite() {
+        Some(cfg.cap_w)
+    } else {
+        None
+    };
     let objective = cfg.objective;
     let mut best = schedule.clone();
     let before = objective_value(objective, &evaluate(model, &best, cap));
@@ -183,14 +187,25 @@ pub fn refine(model: &dyn CoRunModel, schedule: &Schedule, cfg: &RefineConfig) -
         else {
             continue;
         };
-        cand.cpu[i] = crate::schedule::Assignment { job: b.job, level: b_level };
-        cand.gpu[j] = crate::schedule::Assignment { job: a.job, level: a_level };
+        cand.cpu[i] = crate::schedule::Assignment {
+            job: b.job,
+            level: b_level,
+        };
+        cand.gpu[j] = crate::schedule::Assignment {
+            job: a.job,
+            level: a_level,
+        };
         if try_accept(cand, &mut best, &mut best_span) {
             accepted += 1;
         }
     }
 
-    RefineOutcome { schedule: best, before_s: before, after_s: best_span, accepted }
+    RefineOutcome {
+        schedule: best,
+        before_s: before,
+        after_s: best_span,
+        accepted,
+    }
 }
 
 /// Highest level of `job` on `device` that keeps the pair power under the

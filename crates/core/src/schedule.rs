@@ -81,14 +81,49 @@ impl Schedule {
 
     /// Check the schedule covers each of `n` jobs exactly once.
     pub fn is_complete_for(&self, n: usize) -> bool {
-        let mut seen = vec![false; n];
+        self.coverage(n).is_complete()
+    }
+
+    /// Structural analysis of job coverage against a workload of `n`
+    /// jobs: which jobs are scheduled more than once, never, or are not
+    /// jobs of the workload at all. A clean coverage is exactly
+    /// [`is_complete_for`](Self::is_complete_for).
+    pub fn coverage(&self, n: usize) -> Coverage {
+        let mut times = vec![0usize; n];
+        let mut out_of_range = Vec::new();
         for id in self.job_ids() {
-            if id >= n || seen[id] {
-                return false;
+            if id >= n {
+                out_of_range.push(id);
+            } else {
+                times[id] += 1;
             }
-            seen[id] = true;
         }
-        seen.into_iter().all(|b| b)
+        let duplicates = (0..n).filter(|&j| times[j] > 1).collect();
+        let missing = (0..n).filter(|&j| times[j] == 0).collect();
+        Coverage {
+            duplicates,
+            missing,
+            out_of_range,
+        }
+    }
+}
+
+/// Result of [`Schedule::coverage`]: how a schedule's job assignments
+/// deviate from "each of the workload's jobs exactly once".
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Coverage {
+    /// Jobs scheduled more than once, ascending.
+    pub duplicates: Vec<JobId>,
+    /// Jobs never scheduled, ascending.
+    pub missing: Vec<JobId>,
+    /// Scheduled ids outside `0..n`, in queue order.
+    pub out_of_range: Vec<JobId>,
+}
+
+impl Coverage {
+    /// Whether every job is scheduled exactly once.
+    pub fn is_complete(&self) -> bool {
+        self.duplicates.is_empty() && self.missing.is_empty() && self.out_of_range.is_empty()
     }
 }
 
@@ -116,9 +151,16 @@ mod tests {
 
     fn sample() -> Schedule {
         Schedule {
-            cpu: vec![Assignment { job: 0, level: 3 }, Assignment { job: 2, level: 1 }],
+            cpu: vec![
+                Assignment { job: 0, level: 3 },
+                Assignment { job: 2, level: 1 },
+            ],
             gpu: vec![Assignment { job: 1, level: 5 }],
-            solo_tail: vec![SoloRun { job: 3, device: Device::Gpu, level: 9 }],
+            solo_tail: vec![SoloRun {
+                job: 3,
+                device: Device::Gpu,
+                level: 9,
+            }],
         }
     }
 
@@ -136,15 +178,37 @@ mod tests {
         assert!(s.is_complete_for(4));
         assert!(!s.is_complete_for(5)); // job 4 missing
         let mut dup = s.clone();
-        dup.solo_tail.push(SoloRun { job: 0, device: Device::Cpu, level: 0 });
+        dup.solo_tail.push(SoloRun {
+            job: 0,
+            device: Device::Cpu,
+            level: 0,
+        });
         assert!(!dup.is_complete_for(4)); // duplicate job 0
+    }
+
+    #[test]
+    fn coverage_reports_each_defect_class() {
+        let mut s = sample();
+        s.solo_tail.push(SoloRun {
+            job: 0,
+            device: Device::Cpu,
+            level: 0,
+        });
+        s.gpu.push(Assignment { job: 7, level: 2 });
+        let cov = s.coverage(5);
+        assert_eq!(cov.duplicates, vec![0]);
+        assert_eq!(cov.missing, vec![4]);
+        assert_eq!(cov.out_of_range, vec![7]);
+        assert!(!cov.is_complete());
+        assert!(sample().coverage(4).is_complete());
     }
 
     #[test]
     fn queue_accessors() {
         let mut s = sample();
         assert_eq!(s.queue(Device::Cpu).len(), 2);
-        s.queue_mut(Device::Gpu).push(Assignment { job: 9, level: 0 });
+        s.queue_mut(Device::Gpu)
+            .push(Assignment { job: 9, level: 0 });
         assert_eq!(s.queue(Device::Gpu).len(), 2);
     }
 

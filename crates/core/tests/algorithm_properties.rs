@@ -4,8 +4,8 @@
 
 use apu_sim::Device;
 use corun_core::{
-    chain_completion, corun_beneficial, corun_makespan_conservative, edp_js, energy_j,
-    evaluate, fairness, pair_completion, Assignment, CoRunModel, Schedule, TableModel,
+    chain_completion, corun_beneficial, corun_makespan_conservative, edp_js, energy_j, evaluate,
+    fairness, pair_completion, Assignment, CoRunModel, Schedule, TableModel,
 };
 use proptest::prelude::*;
 
@@ -17,8 +17,9 @@ fn model_from(seed: u64, n: usize) -> TableModel {
         state ^= state << 17;
         (state % 1000) as f64 / 1000.0
     };
-    let times: Vec<(f64, f64)> =
-        (0..n).map(|_| (5.0 + 50.0 * next(), 5.0 + 50.0 * next())).collect();
+    let times: Vec<(f64, f64)> = (0..n)
+        .map(|_| (5.0 + 50.0 * next(), 5.0 + 50.0 * next()))
+        .collect();
     let degs: Vec<f64> = (0..n * n).map(|_| next() * 0.9).collect();
     TableModel::build(
         (0..n).map(|i| format!("j{i}")).collect(),

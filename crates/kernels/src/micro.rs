@@ -73,7 +73,11 @@ impl MicroKernel {
 
     /// Build a kernel directly from Figure-4 knobs.
     pub fn from_params(params: MicroParams) -> Self {
-        MicroKernel { params, cpu_eff: Self::CPU_EFF, gpu_eff: Self::GPU_EFF }
+        MicroKernel {
+            params,
+            cpu_eff: Self::CPU_EFF,
+            gpu_eff: Self::GPU_EFF,
+        }
     }
 
     /// Synthesize a kernel whose *solo* DRAM demand on `device` at `setting`
@@ -132,7 +136,11 @@ impl MicroKernel {
             ((flops_g * 1e9 / total_iters - FLOPS_PER_ITEM_FIXED) / FLOPS_PER_INNER_ITER).max(0.0);
 
         MicroKernel {
-            params: MicroParams { items, i_max, j_max },
+            params: MicroParams {
+                items,
+                i_max,
+                j_max,
+            },
             cpu_eff: Self::CPU_EFF,
             gpu_eff: Self::GPU_EFF,
         }
@@ -147,8 +155,7 @@ impl MicroKernel {
         let flops = self.params.total_flops_g();
         // Pressure scales with how hard the kernel drives DRAM relative to
         // the per-device peak.
-        let demand_scale =
-            (bytes / (bytes + flops / 40.0 + 1e-9)).clamp(0.0, 1.0); // crude intensity proxy
+        let demand_scale = (bytes / (bytes + flops / 40.0 + 1e-9)).clamp(0.0, 1.0); // crude intensity proxy
         let _ = demand_scale;
         let name = format!(
             "micro(i={},j={:.0},{}GB)",
@@ -221,7 +228,11 @@ mod tests {
 
     #[test]
     fn params_arithmetic() {
-        let p = MicroParams { items: 1_000_000, i_max: 10, j_max: 5.0 };
+        let p = MicroParams {
+            items: 1_000_000,
+            i_max: 10,
+            j_max: 5.0,
+        };
         assert!((p.total_bytes_gb() - 0.12).abs() < 1e-9);
         assert!((p.total_flops_g() - 0.13).abs() < 1e-9);
     }

@@ -66,7 +66,12 @@ pub fn program_defs() -> Vec<ProgramDef> {
             t_gpu_s: 23.72,
             tm_s: 18.0,
             splits: vec![(0.42, 0.36), (0.30, 0.38), (0.28, 0.26)],
-            llc: LlcProfile { footprint_mib: 96.0, sensitivity: 0.0, pressure: 0.90, miss_bw_gbps: 0.0 },
+            llc: LlcProfile {
+                footprint_mib: 96.0,
+                sensitivity: 0.0,
+                pressure: 0.90,
+                miss_bw_gbps: 0.0,
+            },
             jitter: (0.16, 18.0, 0.3),
             host_setup_s: 0.3,
         },
@@ -76,7 +81,12 @@ pub fn program_defs() -> Vec<ProgramDef> {
             t_gpu_s: 26.32,
             tm_s: 17.0,
             splits: vec![(0.50, 0.40), (0.25, 0.38), (0.25, 0.22)],
-            llc: LlcProfile { footprint_mib: 48.0, sensitivity: 0.3, pressure: 0.80, miss_bw_gbps: 5.5 },
+            llc: LlcProfile {
+                footprint_mib: 48.0,
+                sensitivity: 0.3,
+                pressure: 0.80,
+                miss_bw_gbps: 5.5,
+            },
             jitter: (0.20, 23.0, 1.1),
             host_setup_s: 0.4,
         },
@@ -86,7 +96,12 @@ pub fn program_defs() -> Vec<ProgramDef> {
             t_gpu_s: 61.66,
             tm_s: 2.2,
             splits: vec![(0.50, 0.30), (0.28, 0.45), (0.22, 0.25)],
-            llc: LlcProfile { footprint_mib: 3.0, sensitivity: 15.0, pressure: 0.15, miss_bw_gbps: 4.0 },
+            llc: LlcProfile {
+                footprint_mib: 3.0,
+                sensitivity: 15.0,
+                pressure: 0.15,
+                miss_bw_gbps: 4.0,
+            },
             jitter: (0.12, 9.0, 2.0),
             host_setup_s: 0.2,
         },
@@ -96,7 +111,12 @@ pub fn program_defs() -> Vec<ProgramDef> {
             t_gpu_s: 28.52,
             tm_s: 6.0,
             splits: vec![(0.40, 0.28), (0.27, 0.44), (0.33, 0.28)],
-            llc: LlcProfile { footprint_mib: 6.0, sensitivity: 1.2, pressure: 0.15, miss_bw_gbps: 5.0 },
+            llc: LlcProfile {
+                footprint_mib: 6.0,
+                sensitivity: 1.2,
+                pressure: 0.15,
+                miss_bw_gbps: 5.0,
+            },
             jitter: (0.10, 14.0, 0.0),
             host_setup_s: 0.3,
         },
@@ -106,7 +126,12 @@ pub fn program_defs() -> Vec<ProgramDef> {
             t_gpu_s: 23.71,
             tm_s: 15.0,
             splits: vec![(0.48, 0.38), (0.26, 0.40), (0.26, 0.22)],
-            llc: LlcProfile { footprint_mib: 32.0, sensitivity: 0.4, pressure: 0.75, miss_bw_gbps: 5.5 },
+            llc: LlcProfile {
+                footprint_mib: 32.0,
+                sensitivity: 0.4,
+                pressure: 0.75,
+                miss_bw_gbps: 5.5,
+            },
             jitter: (0.18, 16.0, 0.7),
             host_setup_s: 0.3,
         },
@@ -116,7 +141,12 @@ pub fn program_defs() -> Vec<ProgramDef> {
             t_gpu_s: 24.83,
             tm_s: 3.5,
             splits: vec![(0.55, 0.28), (0.22, 0.48), (0.23, 0.24)],
-            llc: LlcProfile { footprint_mib: 3.5, sensitivity: 1.5, pressure: 0.20, miss_bw_gbps: 4.5 },
+            llc: LlcProfile {
+                footprint_mib: 3.5,
+                sensitivity: 1.5,
+                pressure: 0.20,
+                miss_bw_gbps: 4.5,
+            },
             jitter: (0.08, 12.0, 1.6),
             host_setup_s: 0.2,
         },
@@ -126,7 +156,12 @@ pub fn program_defs() -> Vec<ProgramDef> {
             t_gpu_s: 23.08,
             tm_s: 4.0,
             splits: vec![(0.46, 0.20), (0.28, 0.52), (0.26, 0.28)],
-            llc: LlcProfile { footprint_mib: 5.0, sensitivity: 0.6, pressure: 0.25, miss_bw_gbps: 5.0 },
+            llc: LlcProfile {
+                footprint_mib: 5.0,
+                sensitivity: 0.6,
+                pressure: 0.25,
+                miss_bw_gbps: 5.0,
+            },
             jitter: (0.10, 21.0, 2.4),
             host_setup_s: 0.3,
         },
@@ -136,7 +171,12 @@ pub fn program_defs() -> Vec<ProgramDef> {
             t_gpu_s: 22.99,
             tm_s: 9.0,
             splits: vec![(0.44, 0.28), (0.26, 0.46), (0.30, 0.26)],
-            llc: LlcProfile { footprint_mib: 8.0, sensitivity: 0.8, pressure: 0.50, miss_bw_gbps: 5.0 },
+            llc: LlcProfile {
+                footprint_mib: 8.0,
+                sensitivity: 0.8,
+                pressure: 0.50,
+                miss_bw_gbps: 5.0,
+            },
             jitter: (0.14, 17.0, 3.0),
             host_setup_s: 0.3,
         },
@@ -163,8 +203,16 @@ pub fn build_program(cfg: &MachineConfig, def: &ProgramDef) -> JobSpec {
     assert!(!def.splits.is_empty());
     let sum_tc: f64 = def.splits.iter().map(|s| s.0).sum();
     let sum_tm: f64 = def.splits.iter().map(|s| s.1).sum();
-    assert!((sum_tc - 1.0).abs() < 1e-6, "{}: compute fractions must sum to 1", def.name);
-    assert!((sum_tm - 1.0).abs() < 1e-6, "{}: memory fractions must sum to 1", def.name);
+    assert!(
+        (sum_tc - 1.0).abs() < 1e-6,
+        "{}: compute fractions must sum to 1",
+        def.name
+    );
+    assert!(
+        (sum_tm - 1.0).abs() < 1e-6,
+        "{}: memory fractions must sum to 1",
+        def.name
+    );
 
     let bw_peak = cfg.cpu.bw_peak_gbps; // identical DRAM on both devices
     let tc_cpu_budget = solve_tc(def.t_cpu_s - def.host_setup_s, def.tm_s);
@@ -243,7 +291,12 @@ fn calibrate_efficiency(
             .collect();
         let job = JobSpec::plain("probe", probe);
         host_setup_s
-            + job.solo_time(cfg.device(device), device, cfg.f_max(device), cfg.f_max(device))
+            + job.solo_time(
+                cfg.device(device),
+                device,
+                cfg.f_max(device),
+                cfg.f_max(device),
+            )
     };
 
     let (mut lo, mut hi) = (0.02, 1.0);
@@ -264,12 +317,18 @@ fn calibrate_efficiency(
 
 /// Build the full eight-program suite.
 pub fn rodinia_suite(cfg: &MachineConfig) -> Vec<JobSpec> {
-    program_defs().iter().map(|d| build_program(cfg, d)).collect()
+    program_defs()
+        .iter()
+        .map(|d| build_program(cfg, d))
+        .collect()
 }
 
 /// Build one program by name.
 pub fn by_name(cfg: &MachineConfig, name: &str) -> Option<JobSpec> {
-    program_defs().iter().find(|d| d.name == name).map(|d| build_program(cfg, d))
+    program_defs()
+        .iter()
+        .find(|d| d.name == name)
+        .map(|d| build_program(cfg, d))
 }
 
 /// Scale a job's work (flops and traffic) by `scale`, modeling a different
@@ -308,10 +367,18 @@ mod tests {
         let cfg = cfg();
         for def in program_defs() {
             let job = build_program(&cfg, &def);
-            let t_cpu =
-                job.solo_time(&cfg.cpu, Device::Cpu, cfg.f_max(Device::Cpu), cfg.f_max(Device::Cpu));
-            let t_gpu =
-                job.solo_time(&cfg.gpu, Device::Gpu, cfg.f_max(Device::Gpu), cfg.f_max(Device::Gpu));
+            let t_cpu = job.solo_time(
+                &cfg.cpu,
+                Device::Cpu,
+                cfg.f_max(Device::Cpu),
+                cfg.f_max(Device::Cpu),
+            );
+            let t_gpu = job.solo_time(
+                &cfg.gpu,
+                Device::Gpu,
+                cfg.f_max(Device::Gpu),
+                cfg.f_max(Device::Gpu),
+            );
             assert!(
                 (t_cpu - def.t_cpu_s).abs() / def.t_cpu_s < 0.005,
                 "{}: cpu {t_cpu} vs {}",
@@ -353,12 +420,15 @@ mod tests {
     #[test]
     fn preferences_match_paper() {
         // Paper Table I: six GPU-preferred, dwt2d CPU-preferred, lud similar.
-        let cfg = cfg();
+        let _cfg = cfg();
         for def in program_defs() {
             let ratio = def.t_cpu_s / def.t_gpu_s;
             match def.name {
                 "dwt2d" => assert!(ratio < 0.8, "dwt2d strongly prefers the CPU"),
-                "lud" => assert!((0.8..=1.25).contains(&ratio), "lud has no strong preference"),
+                "lud" => assert!(
+                    (0.8..=1.25).contains(&ratio),
+                    "lud has no strong preference"
+                ),
                 _ => assert!(ratio > 1.25, "{} prefers the GPU", def.name),
             }
         }
@@ -426,9 +496,15 @@ mod tests {
         let sc_deg = p1.gpu_time_s / sc_solo - 1.0;
         let dwt_vs_hot = p2.cpu_time_s / dwt_solo - 1.0;
         let hot_deg = p2.gpu_time_s / hot_solo - 1.0;
-        assert!((0.55..=1.0).contains(&dwt_vs_sc), "dwt2d vs streamcluster: {dwt_vs_sc}");
+        assert!(
+            (0.55..=1.0).contains(&dwt_vs_sc),
+            "dwt2d vs streamcluster: {dwt_vs_sc}"
+        );
         assert!(sc_deg < 0.15, "streamcluster barely degrades: {sc_deg}");
-        assert!((0.05..=0.30).contains(&dwt_vs_hot), "dwt2d vs hotspot: {dwt_vs_hot}");
+        assert!(
+            (0.05..=0.30).contains(&dwt_vs_hot),
+            "dwt2d vs hotspot: {dwt_vs_hot}"
+        );
         assert!(hot_deg < 0.15, "hotspot barely degrades: {hot_deg}");
         assert!(
             dwt_vs_sc > 3.0 * dwt_vs_hot,

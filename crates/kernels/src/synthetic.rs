@@ -39,11 +39,7 @@ impl Default for SyntheticSpace {
 }
 
 /// Generate one synthetic program.
-pub fn synthetic_program(
-    cfg: &MachineConfig,
-    space: &SyntheticSpace,
-    seed: u64,
-) -> JobSpec {
+pub fn synthetic_program(cfg: &MachineConfig, space: &SyntheticSpace, seed: u64) -> JobSpec {
     let mut rng = StdRng::seed_from_u64(seed);
     let t_fast = rng.gen_range(space.time_s.0..space.time_s.1);
     let skew = rng.gen_range(space.device_skew.0..space.device_skew.1);
@@ -96,7 +92,7 @@ pub fn synthetic_program(
         jitter: (
             rng.gen_range(0.03..0.18),
             rng.gen_range(6.0..25.0),
-            rng.gen_range(0.0..6.28),
+            rng.gen_range(0.0..std::f64::consts::TAU),
         ),
         host_setup_s: rng.gen_range(0.1..0.5),
     };
@@ -162,12 +158,17 @@ mod tests {
     #[test]
     fn space_produces_some_cpu_preferred_jobs() {
         let cfg = MachineConfig::ivy_bridge();
-        let mut space = SyntheticSpace::default();
-        space.cpu_pref_prob = 1.0;
+        let space = SyntheticSpace {
+            cpu_pref_prob: 1.0,
+            ..Default::default()
+        };
         let job = synthetic_program(&cfg, &space, 3);
         let t_cpu = job.solo_time(&cfg.cpu, Device::Cpu, 3.6, 3.6);
         let t_gpu = job.solo_time(&cfg.gpu, Device::Gpu, 1.25, 1.25);
-        assert!(t_cpu < t_gpu, "cpu_pref_prob=1 must yield CPU-preferred jobs");
+        assert!(
+            t_cpu < t_gpu,
+            "cpu_pref_prob=1 must yield CPU-preferred jobs"
+        );
     }
 
     #[test]

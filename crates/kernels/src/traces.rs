@@ -42,7 +42,10 @@ pub fn bursty(n: usize, bursts: usize, gap_s: f64, spread_s: f64, seed: u64) -> 
         .map(|job| {
             let wave = job % bursts;
             let base = wave as f64 * gap_s;
-            ArrivalSpec { job, at_s: base + rng.gen_range(0.0..spread_s.max(1e-9)) }
+            ArrivalSpec {
+                job,
+                at_s: base + rng.gen_range(0.0..spread_s.max(1e-9)),
+            }
         })
         .collect()
 }
@@ -50,7 +53,10 @@ pub fn bursty(n: usize, bursts: usize, gap_s: f64, spread_s: f64, seed: u64) -> 
 /// Staircase arrivals: one job every `step_s` seconds, deterministic.
 pub fn staircase(n: usize, step_s: f64) -> Vec<ArrivalSpec> {
     (0..n)
-        .map(|job| ArrivalSpec { job, at_s: job as f64 * step_s })
+        .map(|job| ArrivalSpec {
+            job,
+            at_s: job as f64 * step_s,
+        })
         .collect()
 }
 
@@ -72,7 +78,7 @@ mod tests {
         assert_eq!(a.len(), 50);
         for w in a.windows(2) {
             let gap = w[1].at_s - w[0].at_s;
-            assert!(gap >= 0.0 && gap <= 40.0 + 1e-9);
+            assert!((0.0..=40.0 + 1e-9).contains(&gap));
         }
         // mean gap roughly right (loose band; 50 samples)
         let mean = a.last().unwrap().at_s / 50.0;

@@ -34,7 +34,10 @@ impl Workload {
 /// The paper's 8-instance study: one instance of each Rodinia program
 /// (Figure 10).
 pub fn rodinia8(cfg: &MachineConfig) -> Workload {
-    Workload { jobs: rodinia_suite(cfg), label: "rodinia-8".into() }
+    Workload {
+        jobs: rodinia_suite(cfg),
+        label: "rodinia-8".into(),
+    }
 }
 
 /// The paper's 16-instance scalability study: two instances of each program
@@ -49,7 +52,10 @@ pub fn rodinia16(cfg: &MachineConfig, seed: u64) -> Workload {
         let scale = rng.gen_range(0.8..1.25);
         jobs.push(with_input_scale(j, scale));
     }
-    Workload { jobs, label: "rodinia-16".into() }
+    Workload {
+        jobs,
+        label: "rodinia-16".into(),
+    }
 }
 
 /// The four-program example of the paper's Section III: streamcluster, cfd,
@@ -60,7 +66,10 @@ pub fn section3_four(cfg: &MachineConfig) -> Workload {
         .iter()
         .map(|n| crate::rodinia::by_name(cfg, n).expect("known program"))
         .collect();
-    Workload { jobs, label: "section3-4".into() }
+    Workload {
+        jobs,
+        label: "section3-4".into(),
+    }
 }
 
 /// A randomized subset of `n` jobs drawn (with replacement, varied inputs)
@@ -75,7 +84,10 @@ pub fn random_batch(cfg: &MachineConfig, n: usize, seed: u64) -> Workload {
             with_input_scale(j, scale)
         })
         .collect();
-    Workload { jobs, label: format!("random-{n}-s{seed}") }
+    Workload {
+        jobs,
+        label: format!("random-{n}-s{seed}"),
+    }
 }
 
 #[cfg(test)]
@@ -100,11 +112,7 @@ mod tests {
     fn rodinia16_has_two_of_each() {
         let w = rodinia16(&cfg(), 7);
         assert_eq!(w.len(), 16);
-        let base_count = w
-            .jobs
-            .iter()
-            .filter(|j| !j.name.contains('#'))
-            .count();
+        let base_count = w.jobs.iter().filter(|j| !j.name.contains('#')).count();
         assert_eq!(base_count, 8);
     }
 

@@ -13,9 +13,7 @@
 //! worker threads with `crossbeam::scope`.
 
 use crate::surface::{DegradationSurface, Grid2D};
-use apu_sim::{
-    run_solo, run_with_background, Device, FreqSetting, MachineConfig, PerDevice,
-};
+use apu_sim::{run_solo, run_with_background, Device, FreqSetting, MachineConfig, PerDevice};
 use kernels::MicroKernel;
 use serde::{Deserialize, Serialize};
 
@@ -107,8 +105,7 @@ pub fn characterize_stage(
 
     // Synthesize one micro-kernel per axis point and measure its solo time.
     let make = |device: Device, target: f64| {
-        MicroKernel::for_bandwidth(cfg, device, setting, target, ccfg.micro_duration_s)
-            .to_job(cfg)
+        MicroKernel::for_bandwidth(cfg, device, setting, target, ccfg.micro_duration_s).to_job(cfg)
     };
     let cpu_kernels: Vec<_> = cpu_axis.iter().map(|&d| make(Device::Cpu, d)).collect();
     let gpu_kernels: Vec<_> = gpu_axis.iter().map(|&d| make(Device::Gpu, d)).collect();
@@ -123,10 +120,11 @@ pub fn characterize_stage(
 
     // Measure every pair, fanned out over threads. Each worker owns a chunk
     // of (i, j) indices and returns (cpu_deg, gpu_deg) per pair.
-    let pairs: Vec<(usize, usize)> =
-        (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).collect();
+    let pairs: Vec<(usize, usize)> = (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).collect();
     let threads = if ccfg.threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
     } else {
         ccfg.threads
     };
@@ -160,7 +158,10 @@ pub fn characterize_stage(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
     })
     .expect("scope");
 
@@ -210,16 +211,29 @@ mod tests {
         let n = ccfg.grid_points;
         let cpu_corner = cpu.at(n - 1, n - 1);
         let gpu_corner = gpu.at(n - 1, n - 1);
-        assert!(cpu_corner > gpu_corner, "cpu {cpu_corner} vs gpu {gpu_corner}");
-        assert!((0.45..=0.90).contains(&cpu_corner), "cpu corner {cpu_corner}");
-        assert!((0.25..=0.60).contains(&gpu_corner), "gpu corner {gpu_corner}");
+        assert!(
+            cpu_corner > gpu_corner,
+            "cpu {cpu_corner} vs gpu {gpu_corner}"
+        );
+        assert!(
+            (0.45..=0.90).contains(&cpu_corner),
+            "cpu corner {cpu_corner}"
+        );
+        assert!(
+            (0.25..=0.60).contains(&gpu_corner),
+            "gpu corner {gpu_corner}"
+        );
 
         // No contention when one side is idle.
         assert!(cpu.at(n - 1, 0) < 0.05, "no co-runner, no degradation");
         assert!(gpu.at(0, n - 1) < 0.05);
 
         // CPU suffers <=20% in about half the cases; GPU suffers broadly.
-        assert!(cpu.frac_in(0.0, 0.20) >= 0.4, "cpu mostly mild: {}", cpu.frac_in(0.0, 0.20));
+        assert!(
+            cpu.frac_in(0.0, 0.20) >= 0.4,
+            "cpu mostly mild: {}",
+            cpu.frac_in(0.0, 0.20)
+        );
         assert!(
             gpu.mean_value() > cpu.mean_value() * 0.9,
             "gpu degradations are broad: {} vs {}",
@@ -270,6 +284,9 @@ mod tests {
         let hi = characterize_stage(&cfg, &ccfg, cfg.freqs.max_setting());
         let lo_max = *lo.surface.deg.cpu.cpu_axis.last().unwrap();
         let hi_max = *hi.surface.deg.cpu.cpu_axis.last().unwrap();
-        assert!(lo_max < hi_max, "axis peak shrinks with frequency: {lo_max} vs {hi_max}");
+        assert!(
+            lo_max < hi_max,
+            "axis peak shrinks with frequency: {lo_max} vs {hi_max}"
+        );
     }
 }

@@ -21,9 +21,9 @@
 //! * [`sensitivity`] — frequency-sensitivity indices from profiles.
 
 pub mod characterize;
-pub mod probe;
 pub mod persist;
 pub mod predictor;
+pub mod probe;
 pub mod profile;
 pub mod sensitivity;
 pub mod stats;

@@ -75,9 +75,7 @@ pub fn stages_to_string(stages: &[Stage]) -> String {
         let _ = writeln!(out, "gpu_level = {}", s.setting.gpu);
         let _ = writeln!(out, "cpu_ghz = {:e}", s.cpu_ghz);
         let _ = writeln!(out, "gpu_ghz = {:e}", s.gpu_ghz);
-        for (label, grid) in
-            [("cpu", &s.surface.deg.cpu), ("gpu", &s.surface.deg.gpu)]
-        {
+        for (label, grid) in [("cpu", &s.surface.deg.cpu), ("gpu", &s.surface.deg.gpu)] {
             write_vec(&mut out, &format!("{label}_axis_cpu"), &grid.cpu_axis);
             write_vec(&mut out, &format!("{label}_axis_gpu"), &grid.gpu_axis);
             write_vec(&mut out, &format!("{label}_values"), &grid.values);
@@ -163,7 +161,9 @@ impl<'a> Fields<'a> {
 fn check_header(fields: &mut Fields<'_>, format: &str) -> Result<(), PersistError> {
     let f = fields.expect("format")?;
     if f != format {
-        return Err(malformed(format!("wrong format: `{f}` (wanted `{format}`)")));
+        return Err(malformed(format!(
+            "wrong format: `{f}` (wanted `{format}`)"
+        )));
     }
     let v: u32 = fields.expect_num("version")?;
     if v != FORMAT_VERSION {
@@ -179,28 +179,7 @@ pub fn stages_from_string(text: &str) -> Result<Vec<Stage>, PersistError> {
     let n: usize = f.expect_num("stages")?;
     let mut stages = Vec::with_capacity(n);
     for _ in 0..n {
-        let cpu_level: usize = f.expect_num("cpu_level")?;
-        let gpu_level: usize = f.expect_num("gpu_level")?;
-        let cpu_ghz: f64 = f.expect_num("cpu_ghz")?;
-        let gpu_ghz: f64 = f.expect_num("gpu_ghz")?;
-        let mut grids = Vec::with_capacity(2);
-        for label in ["cpu", "gpu"] {
-            let ax_c = f.expect_vec(&format!("{label}_axis_cpu"))?;
-            let ax_g = f.expect_vec(&format!("{label}_axis_gpu"))?;
-            let vals = f.expect_vec(&format!("{label}_values"))?;
-            if vals.len() != ax_c.len() * ax_g.len() {
-                return Err(malformed("grid dimension mismatch"));
-            }
-            grids.push(Grid2D::new(ax_c, ax_g, vals));
-        }
-        let gpu_grid = grids.pop().expect("two grids");
-        let cpu_grid = grids.pop().expect("two grids");
-        stages.push(Stage {
-            setting: FreqSetting::new(cpu_level, gpu_level),
-            cpu_ghz,
-            gpu_ghz,
-            surface: DegradationSurface { deg: PerDevice::new(cpu_grid, gpu_grid) },
-        });
+        stages.push(read_stage(&mut f)?);
     }
     Ok(stages)
 }
@@ -212,20 +191,7 @@ pub fn profiles_from_string(text: &str) -> Result<Vec<JobProfile>, PersistError>
     let n: usize = f.expect_num("jobs")?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        let name = f.expect("name")?.to_owned();
-        let mut devs = Vec::with_capacity(2);
-        for label in ["cpu", "gpu"] {
-            let time_s = f.expect_vec(&format!("{label}_time"))?;
-            let demand = f.expect_vec(&format!("{label}_demand"))?;
-            let power = f.expect_vec(&format!("{label}_power"))?;
-            if time_s.len() != demand.len() || time_s.len() != power.len() {
-                return Err(malformed("profile ladder length mismatch"));
-            }
-            devs.push(DeviceProfile { time_s, demand_gbps: demand, power_w: power });
-        }
-        let gpu = devs.pop().expect("two devices");
-        let cpu = devs.pop().expect("two devices");
-        out.push(JobProfile { name, per_device: PerDevice::new(cpu, gpu) });
+        out.push(read_profile(&mut f)?);
     }
     Ok(out)
 }
@@ -257,8 +223,7 @@ pub fn bundle_to_string(bundle: &ModelBundle) -> String {
             for (k, vv) in v.iter().enumerate() {
                 let _ = writeln!(out, "[vuln {k}]");
                 for (label, knots) in [("cpu", &vv.curve.cpu), ("gpu", &vv.curve.gpu)] {
-                    let flat: Vec<f64> =
-                        knots.iter().flat_map(|&(d, e)| [d, e]).collect();
+                    let flat: Vec<f64> = knots.iter().flat_map(|&(d, e)| [d, e]).collect();
                     write_vec(&mut out, &format!("{label}_knots"), &flat);
                 }
             }
@@ -295,41 +260,78 @@ pub fn bundle_from_string(text: &str) -> Result<ModelBundle, PersistError> {
                 .map_err(|_| malformed("bad vulnerability count"))?;
             let mut out = Vec::with_capacity(nv);
             for _ in 0..nv {
-                let mut curves = Vec::with_capacity(2);
-                for label in ["cpu", "gpu"] {
-                    let flat = f.expect_vec(&format!("{label}_knots"))?;
-                    if flat.len() % 2 != 0 {
-                        return Err(malformed("odd knot vector"));
-                    }
-                    curves.push(
-                        flat.chunks(2).map(|c| (c[0], c[1])).collect::<Vec<(f64, f64)>>(),
-                    );
-                }
-                let gpu = curves.pop().expect("two curves");
-                let cpu = curves.pop().expect("two curves");
-                out.push(LlcVulnerability { curve: PerDevice::new(cpu, gpu) });
+                let cpu = read_knots(&mut f, "cpu")?;
+                let gpu = read_knots(&mut f, "gpu")?;
+                out.push(LlcVulnerability {
+                    curve: PerDevice::new(cpu, gpu),
+                });
             }
             Some(out)
         }
     };
-    Ok(ModelBundle { profiles, stages, vulnerabilities })
+    Ok(ModelBundle {
+        profiles,
+        stages,
+        vulnerabilities,
+    })
+}
+
+fn read_knots(f: &mut Fields<'_>, label: &str) -> Result<Vec<(f64, f64)>, PersistError> {
+    let flat = f.expect_vec(&format!("{label}_knots"))?;
+    if flat.len() % 2 != 0 {
+        return Err(malformed("odd knot vector"));
+    }
+    Ok(flat.chunks(2).map(|c| (c[0], c[1])).collect())
+}
+
+fn read_device(f: &mut Fields<'_>, label: &str) -> Result<DeviceProfile, PersistError> {
+    let time_s = f.expect_vec(&format!("{label}_time"))?;
+    let demand = f.expect_vec(&format!("{label}_demand"))?;
+    let power = f.expect_vec(&format!("{label}_power"))?;
+    if time_s.len() != demand.len() || time_s.len() != power.len() {
+        return Err(malformed("profile ladder length mismatch"));
+    }
+    Ok(DeviceProfile {
+        time_s,
+        demand_gbps: demand,
+        power_w: power,
+    })
 }
 
 fn read_profile(f: &mut Fields<'_>) -> Result<JobProfile, PersistError> {
     let name = f.expect("name")?.to_owned();
-    let mut devs = Vec::with_capacity(2);
-    for label in ["cpu", "gpu"] {
-        let time_s = f.expect_vec(&format!("{label}_time"))?;
-        let demand = f.expect_vec(&format!("{label}_demand"))?;
-        let power = f.expect_vec(&format!("{label}_power"))?;
-        if time_s.len() != demand.len() || time_s.len() != power.len() {
-            return Err(malformed("profile ladder length mismatch"));
-        }
-        devs.push(DeviceProfile { time_s, demand_gbps: demand, power_w: power });
+    let cpu = read_device(f, "cpu")?;
+    let gpu = read_device(f, "gpu")?;
+    Ok(JobProfile {
+        name,
+        per_device: PerDevice::new(cpu, gpu),
+    })
+}
+
+/// Read one demand grid, re-checking the `Grid2D` constructor's
+/// preconditions so a corrupt cache file comes back as
+/// [`PersistError::Malformed`] instead of a panic.
+fn read_grid(f: &mut Fields<'_>, label: &str) -> Result<Grid2D, PersistError> {
+    let ax_c = f.expect_vec(&format!("{label}_axis_cpu"))?;
+    let ax_g = f.expect_vec(&format!("{label}_axis_gpu"))?;
+    let vals = f.expect_vec(&format!("{label}_values"))?;
+    if vals.len() != ax_c.len() * ax_g.len() {
+        return Err(malformed("grid dimension mismatch"));
     }
-    let gpu = devs.pop().expect("two devices");
-    let cpu = devs.pop().expect("two devices");
-    Ok(JobProfile { name, per_device: PerDevice::new(cpu, gpu) })
+    for (axis, ax) in [("cpu", &ax_c), ("gpu", &ax_g)] {
+        if ax.len() < 2 {
+            return Err(malformed(format!(
+                "{label} grid {axis} axis needs at least 2 points, got {}",
+                ax.len()
+            )));
+        }
+        if !ax.windows(2).all(|w| w[0] < w[1]) {
+            return Err(malformed(format!(
+                "{label} grid {axis} axis is not strictly increasing"
+            )));
+        }
+    }
+    Ok(Grid2D::new(ax_c, ax_g, vals))
 }
 
 fn read_stage(f: &mut Fields<'_>) -> Result<Stage, PersistError> {
@@ -337,23 +339,15 @@ fn read_stage(f: &mut Fields<'_>) -> Result<Stage, PersistError> {
     let gpu_level: usize = f.expect_num("gpu_level")?;
     let cpu_ghz: f64 = f.expect_num("cpu_ghz")?;
     let gpu_ghz: f64 = f.expect_num("gpu_ghz")?;
-    let mut grids = Vec::with_capacity(2);
-    for label in ["cpu", "gpu"] {
-        let ax_c = f.expect_vec(&format!("{label}_axis_cpu"))?;
-        let ax_g = f.expect_vec(&format!("{label}_axis_gpu"))?;
-        let vals = f.expect_vec(&format!("{label}_values"))?;
-        if vals.len() != ax_c.len() * ax_g.len() {
-            return Err(malformed("grid dimension mismatch"));
-        }
-        grids.push(Grid2D::new(ax_c, ax_g, vals));
-    }
-    let gpu_grid = grids.pop().expect("two grids");
-    let cpu_grid = grids.pop().expect("two grids");
+    let cpu_grid = read_grid(f, "cpu")?;
+    let gpu_grid = read_grid(f, "gpu")?;
     Ok(Stage {
         setting: FreqSetting::new(cpu_level, gpu_level),
         cpu_ghz,
         gpu_ghz,
-        surface: DegradationSurface { deg: PerDevice::new(cpu_grid, gpu_grid) },
+        surface: DegradationSurface {
+            deg: PerDevice::new(cpu_grid, gpu_grid),
+        },
     })
 }
 
@@ -458,6 +452,29 @@ mod tests {
                     cpu_level = 0\ngpu_level = 0\ncpu_ghz = 1.2\ngpu_ghz = 0.35\n\
                     cpu_axis_cpu = 0 1\ncpu_axis_gpu = 0 1\ncpu_values = 1 2 3\n";
         assert!(stages_from_string(text).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_axes_without_panicking() {
+        // Non-increasing axis and a single-point axis: both used to trip
+        // Grid2D's constructor assertions; a bad cache file must be an Err.
+        for axes in [
+            "cpu_axis_cpu = 1 0\ncpu_axis_gpu = 0 1",
+            "cpu_axis_cpu = 0\ncpu_axis_gpu = 0 1",
+        ] {
+            let vals = if axes.contains("= 0\n") {
+                "1 2"
+            } else {
+                "1 2 3 4"
+            };
+            let text = format!(
+                "format = corun-stages\nversion = 1\nstages = 1\n[stage 0]\n\
+                 cpu_level = 0\ngpu_level = 0\ncpu_ghz = 1.2\ngpu_ghz = 0.35\n\
+                 {axes}\ncpu_values = {vals}\n"
+            );
+            let err = stages_from_string(&text).unwrap_err();
+            assert!(matches!(err, PersistError::Malformed(_)), "{err}");
+        }
     }
 
     #[test]

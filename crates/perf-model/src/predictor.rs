@@ -85,7 +85,9 @@ impl StagedPredictor {
         let (c0, c1, tx) = bracket(&self.cpu_ghz_axis, cpu_ghz);
         let (g0, g1, ty) = bracket(&self.gpu_ghz_axis, gpu_ghz);
         let q = |ci: usize, gi: usize| {
-            self.stage(ci, gi).surface.degradation(device, own_demand, co_demand)
+            self.stage(ci, gi)
+                .surface
+                .degradation(device, own_demand, co_demand)
         };
         let a = q(c0, g0) + (q(c0, g1) - q(c0, g0)) * ty;
         let b = q(c1, g0) + (q(c1, g1) - q(c1, g0)) * ty;
@@ -255,17 +257,26 @@ mod tests {
         let hi = p.degradation_at(Device::Cpu, 8.0, 8.0, 3.6, 1.25);
         let mid = p.degradation_at(Device::Cpu, 8.0, 8.0, 2.4, 0.8);
         let (a, b) = if lo < hi { (lo, hi) } else { (hi, lo) };
-        assert!(mid >= a - 0.05 && mid <= b + 0.05, "mid {mid} outside [{a},{b}]");
+        assert!(
+            mid >= a - 0.05 && mid <= b + 0.05,
+            "mid {mid} outside [{a},{b}]"
+        );
     }
 
     #[test]
     fn pair_prediction_reasonable_for_real_programs() {
         let cfg = MachineConfig::ivy_bridge();
         let p = predictor(&cfg);
-        let sc = profile_job(&cfg, &kernels::by_name(&cfg, "streamcluster").unwrap(),
-            ProfileMethod::Analytic);
-        let cfd = profile_job(&cfg, &kernels::by_name(&cfg, "cfd").unwrap(),
-            ProfileMethod::Analytic);
+        let sc = profile_job(
+            &cfg,
+            &kernels::by_name(&cfg, "streamcluster").unwrap(),
+            ProfileMethod::Analytic,
+        );
+        let cfd = profile_job(
+            &cfg,
+            &kernels::by_name(&cfg, "cfd").unwrap(),
+            ProfileMethod::Analytic,
+        );
         let f = cfg.freqs.cpu.max_level();
         let g = cfg.freqs.gpu.max_level();
         let d = p.predict_pair_degradation(&cfg, &cfd, f, &sc, g);
@@ -283,10 +294,16 @@ mod tests {
     fn power_prediction_composes_standalone() {
         let cfg = MachineConfig::ivy_bridge();
         let p = predictor(&cfg);
-        let a = profile_job(&cfg, &kernels::by_name(&cfg, "lud").unwrap(),
-            ProfileMethod::Analytic);
-        let b = profile_job(&cfg, &kernels::by_name(&cfg, "srad").unwrap(),
-            ProfileMethod::Analytic);
+        let a = profile_job(
+            &cfg,
+            &kernels::by_name(&cfg, "lud").unwrap(),
+            ProfileMethod::Analytic,
+        );
+        let b = profile_job(
+            &cfg,
+            &kernels::by_name(&cfg, "srad").unwrap(),
+            ProfileMethod::Analytic,
+        );
         let f = cfg.freqs.cpu.max_level();
         let g = cfg.freqs.gpu.max_level();
         let solo_a = p.predict_power(Some((&a, f)), None);
@@ -301,10 +318,16 @@ mod tests {
     fn fits_cap_consistent_with_power() {
         let cfg = MachineConfig::ivy_bridge();
         let p = predictor(&cfg);
-        let a = profile_job(&cfg, &kernels::by_name(&cfg, "heartwall").unwrap(),
-            ProfileMethod::Analytic);
-        let b = profile_job(&cfg, &kernels::by_name(&cfg, "hotspot").unwrap(),
-            ProfileMethod::Analytic);
+        let a = profile_job(
+            &cfg,
+            &kernels::by_name(&cfg, "heartwall").unwrap(),
+            ProfileMethod::Analytic,
+        );
+        let b = profile_job(
+            &cfg,
+            &kernels::by_name(&cfg, "hotspot").unwrap(),
+            ProfileMethod::Analytic,
+        );
         let f = cfg.freqs.cpu.max_level();
         let g = cfg.freqs.gpu.max_level();
         let w = p.predict_power(Some((&a, f)), Some((&b, g)));

@@ -89,16 +89,18 @@ pub fn measure_llc_vulnerability(
     let setting = cfg.freqs.max_setting();
     let curve = PerDevice::from_fn(|device| {
         let other = device.other();
-        let solo = run_solo(cfg, job, device, setting).expect("probe solo").time_s;
+        let solo = run_solo(cfg, job, device, setting)
+            .expect("probe solo")
+            .time_s;
         let own_level = cfg.freqs.table(device).max_level();
         let own_demand = profile.demand(device, own_level);
         PROBE_DEMANDS_GBPS
             .iter()
             .map(|&probe_demand| {
-                let probe = MicroKernel::for_bandwidth(cfg, other, setting, probe_demand, 4.0)
-                    .to_job(cfg);
-                let co = run_with_background(cfg, job, device, &probe, setting)
-                    .expect("probe co-run");
+                let probe =
+                    MicroKernel::for_bandwidth(cfg, other, setting, probe_demand, 4.0).to_job(cfg);
+                let co =
+                    run_with_background(cfg, job, device, &probe, setting).expect("probe co-run");
                 let measured = (co / solo - 1.0).max(0.0);
                 let predicted = predictor.degradation_at(
                     device,
@@ -145,8 +147,7 @@ mod tests {
         let cfg = MachineConfig::ivy_bridge();
         let p = predictor(&cfg);
         let dwt = kernels::with_input_scale(&kernels::by_name(&cfg, "dwt2d").unwrap(), 0.2);
-        let sc =
-            kernels::with_input_scale(&kernels::by_name(&cfg, "streamcluster").unwrap(), 0.2);
+        let sc = kernels::with_input_scale(&kernels::by_name(&cfg, "streamcluster").unwrap(), 0.2);
         let dwt_prof = profile_job(&cfg, &dwt, ProfileMethod::Analytic);
         let sc_prof = profile_job(&cfg, &sc, ProfileMethod::Analytic);
         let v_dwt = measure_llc_vulnerability(&cfg, &p, &dwt, &dwt_prof);
@@ -190,13 +191,19 @@ mod tests {
         };
         assert!((v.extra_degradation(Device::Cpu, 2.25) - 0.1).abs() < 1e-12);
         assert!((v.extra_degradation(Device::Cpu, 9.0) - 2.0).abs() < 1e-12);
-        assert!((v.extra_degradation(Device::Cpu, 20.0) - 2.0).abs() < 1e-12, "clamps");
+        assert!(
+            (v.extra_degradation(Device::Cpu, 20.0) - 2.0).abs() < 1e-12,
+            "clamps"
+        );
         // midpoint of the second segment
         let mid = v.extra_degradation(Device::Cpu, (2.25 + 4.5) / 2.0);
         assert!((mid - 0.3).abs() < 1e-12);
         // origin
         assert_eq!(v.extra_degradation(Device::Cpu, 0.0), 0.0);
         assert_eq!(v.extra_degradation(Device::Gpu, 9.0), 0.0);
-        assert_eq!(LlcVulnerability::none().extra_degradation(Device::Cpu, 9.0), 0.0);
+        assert_eq!(
+            LlcVulnerability::none().extra_degradation(Device::Cpu, 9.0),
+            0.0
+        );
     }
 }

@@ -107,8 +107,7 @@ pub fn profile_job(cfg: &MachineConfig, job: &JobSpec, method: ProfileMethod) ->
                     (out.time_s, out.mean_power_w)
                 }
                 ProfileMethod::Analytic => {
-                    let t =
-                        job.solo_time(cfg.device(device), device, f_ghz, cfg.f_max(device));
+                    let t = job.solo_time(cfg.device(device), device, f_ghz, cfg.f_max(device));
                     (t, analytic_solo_power(cfg, job, device, setting, t))
                 }
             };
@@ -116,9 +115,16 @@ pub fn profile_job(cfg: &MachineConfig, job: &JobSpec, method: ProfileMethod) ->
             demand.push(if t > 0.0 { job.total_bytes() / t } else { 0.0 });
             power.push(p);
         }
-        DeviceProfile { time_s, demand_gbps: demand, power_w: power }
+        DeviceProfile {
+            time_s,
+            demand_gbps: demand,
+            power_w: power,
+        }
     });
-    JobProfile { name: job.name.clone(), per_device }
+    JobProfile {
+        name: job.name.clone(),
+        per_device,
+    }
 }
 
 /// Analytic approximation of mean solo package power (idle co-device).
@@ -152,7 +158,10 @@ fn analytic_solo_power(
     let stall = cfg.device(device).stall_power_frac;
     let util = (busy_frac + stall * (1.0 - busy_frac)) * (busy_t / time_s);
     let bw = job.total_bytes() / time_s;
-    let act = apu_sim::DeviceActivity { compute_util: util, mem_bw_gbps: bw };
+    let act = apu_sim::DeviceActivity {
+        compute_util: util,
+        mem_bw_gbps: bw,
+    };
     let other = apu_sim::DeviceActivity::IDLE;
     let acts = match device {
         Device::Cpu => PerDevice::new(act, other),
@@ -235,7 +244,10 @@ mod tests {
         for d in Device::ALL {
             let pw = &p.per_device.get(d).power_w;
             for w in pw.windows(2) {
-                assert!(w[0] <= w[1] + 1e-9, "higher frequency must not use less power");
+                assert!(
+                    w[0] <= w[1] + 1e-9,
+                    "higher frequency must not use less power"
+                );
             }
         }
     }

@@ -24,11 +24,7 @@ pub struct Sensitivity {
 }
 
 /// Compute frequency sensitivity of a job on `device`.
-pub fn sensitivity(
-    cfg: &MachineConfig,
-    profile: &JobProfile,
-    device: Device,
-) -> Sensitivity {
+pub fn sensitivity(cfg: &MachineConfig, profile: &JobProfile, device: Device) -> Sensitivity {
     let table = cfg.freqs.table(device);
     let k = table.len();
     let t_floor = profile.time(device, 0);
@@ -40,7 +36,11 @@ pub fn sensitivity(
     } else {
         0.0
     };
-    Sensitivity { speedup_full_range: speedup, ideal_speedup: ideal, index }
+    Sensitivity {
+        speedup_full_range: speedup,
+        ideal_speedup: ideal,
+        index,
+    }
 }
 
 /// Sensitivity on both devices.
@@ -52,10 +52,7 @@ pub fn sensitivity_both(cfg: &MachineConfig, profile: &JobProfile) -> PerDevice<
 /// clocks, which device benefits more from the next watt? A simple
 /// comparator over sensitivity indices, used as a tie-breaking heuristic
 /// and in reports.
-pub fn prefers_watts(
-    cpu_sens: Sensitivity,
-    gpu_sens: Sensitivity,
-) -> Device {
+pub fn prefers_watts(cpu_sens: Sensitivity, gpu_sens: Sensitivity) -> Device {
     if cpu_sens.index >= gpu_sens.index {
         Device::Cpu
     } else {
@@ -122,8 +119,16 @@ mod tests {
 
     #[test]
     fn watt_preference_comparator() {
-        let hi = Sensitivity { speedup_full_range: 2.8, ideal_speedup: 3.0, index: 0.9 };
-        let lo = Sensitivity { speedup_full_range: 1.2, ideal_speedup: 3.0, index: 0.1 };
+        let hi = Sensitivity {
+            speedup_full_range: 2.8,
+            ideal_speedup: 3.0,
+            index: 0.9,
+        };
+        let lo = Sensitivity {
+            speedup_full_range: 1.2,
+            ideal_speedup: 3.0,
+            index: 0.1,
+        };
         assert_eq!(prefers_watts(hi, lo), Device::Cpu);
         assert_eq!(prefers_watts(lo, hi), Device::Gpu);
     }

@@ -41,7 +41,11 @@ impl ErrorHistogram {
         assert!(edges.len() >= 2);
         assert!(edges.windows(2).all(|w| w[0] < w[1]));
         let n = edges.len();
-        ErrorHistogram { edges, counts: vec![0; n], errors: Vec::new() }
+        ErrorHistogram {
+            edges,
+            counts: vec![0; n],
+            errors: Vec::new(),
+        }
     }
 
     /// Record one error value (must be >= 0).
@@ -104,7 +108,11 @@ impl ErrorHistogram {
         let mut out = Vec::new();
         for k in 0..self.edges.len() {
             let label = if k + 1 < self.edges.len() {
-                format!("{:.0}-{:.0}%", self.edges[k] * 100.0, self.edges[k + 1] * 100.0)
+                format!(
+                    "{:.0}-{:.0}%",
+                    self.edges[k] * 100.0,
+                    self.edges[k + 1] * 100.0
+                )
             } else {
                 format!(">{:.0}%", self.edges[k] * 100.0)
             };

@@ -27,7 +27,11 @@ impl Grid2D {
         assert!(cpu_axis.len() >= 2 && gpu_axis.len() >= 2);
         assert!(cpu_axis.windows(2).all(|w| w[0] < w[1]));
         assert!(gpu_axis.windows(2).all(|w| w[0] < w[1]));
-        Grid2D { cpu_axis, gpu_axis, values }
+        Grid2D {
+            cpu_axis,
+            gpu_axis,
+            values,
+        }
     }
 
     /// Value at grid node `(i, j)`.
@@ -53,7 +57,10 @@ impl Grid2D {
 
     /// Maximum grid value.
     pub fn max_value(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Mean grid value.
@@ -168,17 +175,11 @@ mod tests {
     fn surface_orients_axes_per_device() {
         // CPU grid: rows = cpu demand; GPU grid mirrors (paper swaps axes
         // between Figures 5 and 6). Use asymmetric values to verify.
-        let cpu_grid = Grid2D::new(
-            vec![0.0, 10.0],
-            vec![0.0, 10.0],
-            vec![0.0, 0.5, 0.1, 0.65],
-        );
-        let gpu_grid = Grid2D::new(
-            vec![0.0, 10.0],
-            vec![0.0, 10.0],
-            vec![0.0, 0.2, 0.3, 0.45],
-        );
-        let s = DegradationSurface { deg: PerDevice::new(cpu_grid, gpu_grid) };
+        let cpu_grid = Grid2D::new(vec![0.0, 10.0], vec![0.0, 10.0], vec![0.0, 0.5, 0.1, 0.65]);
+        let gpu_grid = Grid2D::new(vec![0.0, 10.0], vec![0.0, 10.0], vec![0.0, 0.2, 0.3, 0.45]);
+        let s = DegradationSurface {
+            deg: PerDevice::new(cpu_grid, gpu_grid),
+        };
         // CPU job with own demand 10, co-runner 0: value at (cpu=10, gpu=0)
         assert!((s.degradation(Device::Cpu, 10.0, 0.0) - 0.1).abs() < 1e-12);
         // GPU job with own demand 10, co-runner 0: grid is indexed
@@ -190,7 +191,9 @@ mod tests {
     #[test]
     fn degradation_never_negative() {
         let g = Grid2D::new(vec![0.0, 1.0], vec![0.0, 1.0], vec![-0.05, 0.0, 0.0, 0.1]);
-        let s = DegradationSurface { deg: PerDevice::new(g.clone(), g) };
+        let s = DegradationSurface {
+            deg: PerDevice::new(g.clone(), g),
+        };
         assert_eq!(s.degradation(Device::Cpu, 0.0, 0.0), 0.0);
     }
 }

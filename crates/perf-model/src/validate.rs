@@ -43,9 +43,17 @@ pub fn leave_one_out(grid: &Grid2D) -> LooReport {
         }
     }
     let nodes = errs.len();
-    let mean = if nodes > 0 { errs.iter().sum::<f64>() / nodes as f64 } else { 0.0 };
+    let mean = if nodes > 0 {
+        errs.iter().sum::<f64>() / nodes as f64
+    } else {
+        0.0
+    };
     let max = errs.iter().copied().fold(0.0, f64::max);
-    LooReport { mean_abs_err: mean, max_abs_err: max, nodes }
+    LooReport {
+        mean_abs_err: mean,
+        max_abs_err: max,
+        nodes,
+    }
 }
 
 /// Leave-one-out over both device surfaces of a stage.
@@ -87,7 +95,10 @@ mod tests {
         let g = Grid2D::new(ax.clone(), ax, vals);
         let r = leave_one_out(&g);
         assert!(r.mean_abs_err > 0.0);
-        assert!(r.max_abs_err <= 1.0 + 1e-12, "curvature of x^2 on unit grid");
+        assert!(
+            r.max_abs_err <= 1.0 + 1e-12,
+            "curvature of x^2 on unit grid"
+        );
     }
 
     #[test]

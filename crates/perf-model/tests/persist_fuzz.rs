@@ -35,7 +35,9 @@ fn arb_stage() -> impl Strategy<Value = Stage> {
         setting: FreqSetting::new(cl, gl),
         cpu_ghz: 1.2 + cl as f64 * 0.16,
         gpu_ghz: 0.35 + gl as f64 * 0.1,
-        surface: DegradationSurface { deg: PerDevice::new(c, g) },
+        surface: DegradationSurface {
+            deg: PerDevice::new(c, g),
+        },
     })
 }
 

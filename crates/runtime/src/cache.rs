@@ -108,7 +108,11 @@ mod tests {
         let dir = tmpdir("corrupt");
         std::fs::create_dir_all(&dir).unwrap();
         let path = cache_path(&dir, fingerprint(&cfg, &ccfg));
-        std::fs::write(&path, "format = corun-stages\nversion = 1\nstages = garbage\n").unwrap();
+        std::fs::write(
+            &path,
+            "format = corun-stages\nversion = 1\nstages = garbage\n",
+        )
+        .unwrap();
         let (stages, cached) = characterize_cached(&cfg, &ccfg, &dir);
         assert!(!cached, "corrupt cache must be ignored");
         assert_eq!(stages.len(), 4);

@@ -14,8 +14,8 @@
 //! * plain solo/pair helpers re-exported from `apu-sim`.
 
 use apu_sim::{
-    Device, Dispatch, DispatchCtx, DispatchJob, Dispatcher, Engine, FreqSetting, Governor,
-    JobSpec, MachineConfig, RunOptions, RunReport, SimError,
+    Device, Dispatch, DispatchCtx, DispatchJob, Dispatcher, Engine, FreqSetting, Governor, JobSpec,
+    MachineConfig, RunOptions, RunReport, SimError,
 };
 use corun_core::{DefaultPartition, Schedule};
 use std::collections::VecDeque;
@@ -123,7 +123,11 @@ impl Dispatcher for DefaultDispatcher {
                 if self.cpu_issued < self.cpu_all.len() {
                     let id = self.cpu_all[self.cpu_issued];
                     self.cpu_issued += 1;
-                    Dispatch::Run(DispatchJob { job: self.jobs[id].clone(), tag: id, set_freq: None })
+                    Dispatch::Run(DispatchJob {
+                        job: self.jobs[id].clone(),
+                        tag: id,
+                        set_freq: None,
+                    })
                 } else if self.gpu.is_empty() {
                     Dispatch::Drained
                 } else {
@@ -131,9 +135,11 @@ impl Dispatcher for DefaultDispatcher {
                 }
             }
             Device::Gpu => match self.gpu.pop_front() {
-                Some(id) => {
-                    Dispatch::Run(DispatchJob { job: self.jobs[id].clone(), tag: id, set_freq: None })
-                }
+                Some(id) => Dispatch::Run(DispatchJob {
+                    job: self.jobs[id].clone(),
+                    tag: id,
+                    set_freq: None,
+                }),
                 None => {
                     if self.cpu_issued >= self.cpu_all.len() {
                         Dispatch::Drained
@@ -192,10 +198,21 @@ mod tests {
         s.cpu.push(Assignment { job: 2, level: 15 }); // dwt2d on CPU
         s.gpu.push(Assignment { job: 0, level: 9 }); // streamcluster on GPU
         s.gpu.push(Assignment { job: 3, level: 9 });
-        s.solo_tail.push(SoloRun { job: 1, device: Device::Gpu, level: 9 });
+        s.solo_tail.push(SoloRun {
+            job: 1,
+            device: Device::Gpu,
+            level: 9,
+        });
         let mut gov = NullGovernor;
-        let r = execute_schedule(&cfg, &jobs, &s, &mut gov, LevelPolicy::Planned,
-            cfg.freqs.max_setting()).unwrap();
+        let r = execute_schedule(
+            &cfg,
+            &jobs,
+            &s,
+            &mut gov,
+            LevelPolicy::Planned,
+            cfg.freqs.max_setting(),
+        )
+        .unwrap();
         assert_eq!(r.records.len(), 4);
         assert!(r.makespan_s > 0.0);
     }
@@ -207,11 +224,26 @@ mod tests {
         let mut s = Schedule::new();
         s.cpu.push(Assignment { job: 2, level: 15 });
         s.gpu.push(Assignment { job: 0, level: 9 });
-        s.solo_tail.push(SoloRun { job: 1, device: Device::Gpu, level: 9 });
-        s.solo_tail.push(SoloRun { job: 3, device: Device::Cpu, level: 15 });
+        s.solo_tail.push(SoloRun {
+            job: 1,
+            device: Device::Gpu,
+            level: 9,
+        });
+        s.solo_tail.push(SoloRun {
+            job: 3,
+            device: Device::Cpu,
+            level: 15,
+        });
         let mut gov = NullGovernor;
-        let r = execute_schedule(&cfg, &jobs, &s, &mut gov, LevelPolicy::Planned,
-            cfg.freqs.max_setting()).unwrap();
+        let r = execute_schedule(
+            &cfg,
+            &jobs,
+            &s,
+            &mut gov,
+            LevelPolicy::Planned,
+            cfg.freqs.max_setting(),
+        )
+        .unwrap();
         // Solo jobs must start only after every co-run job ended, and must
         // not overlap each other.
         let co_end = r
@@ -238,10 +270,24 @@ mod tests {
         let mut slow = Schedule::new();
         slow.gpu.push(Assignment { job: 0, level: 0 });
         let mut gov = NullGovernor;
-        let rf = execute_schedule(&cfg, &jobs, &fast, &mut gov, LevelPolicy::Planned,
-            cfg.freqs.max_setting()).unwrap();
-        let rs = execute_schedule(&cfg, &jobs, &slow, &mut gov, LevelPolicy::Planned,
-            cfg.freqs.max_setting()).unwrap();
+        let rf = execute_schedule(
+            &cfg,
+            &jobs,
+            &fast,
+            &mut gov,
+            LevelPolicy::Planned,
+            cfg.freqs.max_setting(),
+        )
+        .unwrap();
+        let rs = execute_schedule(
+            &cfg,
+            &jobs,
+            &slow,
+            &mut gov,
+            LevelPolicy::Planned,
+            cfg.freqs.max_setting(),
+        )
+        .unwrap();
         assert!(rs.makespan_s > rf.makespan_s * 1.3);
     }
 
@@ -252,12 +298,26 @@ mod tests {
         let mut s = Schedule::new();
         s.gpu.push(Assignment { job: 0, level: 0 }); // planned slow...
         let mut gov = NullGovernor;
-        let r = execute_schedule(&cfg, &jobs, &s, &mut gov, LevelPolicy::GovernorOwned,
-            cfg.freqs.max_setting()).unwrap();
+        let r = execute_schedule(
+            &cfg,
+            &jobs,
+            &s,
+            &mut gov,
+            LevelPolicy::GovernorOwned,
+            cfg.freqs.max_setting(),
+        )
+        .unwrap();
         let mut s2 = Schedule::new();
         s2.gpu.push(Assignment { job: 0, level: 9 });
-        let r2 = execute_schedule(&cfg, &jobs, &s2, &mut gov, LevelPolicy::Planned,
-            cfg.freqs.max_setting()).unwrap();
+        let r2 = execute_schedule(
+            &cfg,
+            &jobs,
+            &s2,
+            &mut gov,
+            LevelPolicy::Planned,
+            cfg.freqs.max_setting(),
+        )
+        .unwrap();
         // ...but governor-owned execution stays at max: same time.
         assert!((r.makespan_s - r2.makespan_s).abs() / r2.makespan_s < 0.02);
     }
@@ -266,13 +326,19 @@ mod tests {
     fn default_multiprogram_launches_cpu_jobs_together() {
         let cfg = cfg();
         let jobs = small_jobs(&cfg);
-        let part = DefaultPartition { gpu: vec![0, 3], cpu: vec![1, 2, 4] };
+        let part = DefaultPartition {
+            gpu: vec![0, 3],
+            cpu: vec![1, 2, 4],
+        };
         let mut gov = BiasedGovernor::gpu_biased(15.0);
         let r = execute_default(&cfg, &jobs, &part, &mut gov).unwrap();
         assert_eq!(r.records.len(), 5);
         // All CPU jobs start at t=0 (time-shared), unlike sequential queues.
         for id in [1, 2, 4] {
-            assert!(r.record(id).unwrap().start_s < 1e-6, "job {id} must start at 0");
+            assert!(
+                r.record(id).unwrap().start_s < 1e-6,
+                "job {id} must start at 0"
+            );
         }
     }
 
@@ -280,15 +346,25 @@ mod tests {
     fn default_time_sharing_slower_than_sequential_cpu() {
         let cfg = cfg();
         let jobs = small_jobs(&cfg);
-        let part = DefaultPartition { gpu: vec![], cpu: vec![1, 2, 4, 5] };
+        let part = DefaultPartition {
+            gpu: vec![],
+            cpu: vec![1, 2, 4, 5],
+        };
         let mut gov = NullGovernor;
         let shared = execute_default(&cfg, &jobs, &part, &mut gov).unwrap();
         let mut seq = Schedule::new();
         for id in [1, 2, 4, 5] {
             seq.cpu.push(Assignment { job: id, level: 15 });
         }
-        let sequential = execute_schedule(&cfg, &jobs, &seq, &mut gov, LevelPolicy::Planned,
-            cfg.freqs.max_setting()).unwrap();
+        let sequential = execute_schedule(
+            &cfg,
+            &jobs,
+            &seq,
+            &mut gov,
+            LevelPolicy::Planned,
+            cfg.freqs.max_setting(),
+        )
+        .unwrap();
         assert!(
             shared.makespan_s > sequential.makespan_s * 1.1,
             "context switching + locality loss must cost: {} vs {}",
@@ -306,10 +382,20 @@ mod tests {
         s.gpu.push(Assignment { job: 7, level: 9 });
         let cap = 15.0;
         let mut gov = BiasedGovernor::gpu_biased(cap);
-        let r = execute_schedule(&cfg, &jobs, &s, &mut gov, LevelPolicy::GovernorOwned,
-            cfg.freqs.max_setting()).unwrap();
+        let r = execute_schedule(
+            &cfg,
+            &jobs,
+            &s,
+            &mut gov,
+            LevelPolicy::GovernorOwned,
+            cfg.freqs.max_setting(),
+        )
+        .unwrap();
         let n = r.trace.len();
-        let late_max = r.trace.samples_w[n / 2..].iter().copied().fold(0.0, f64::max);
+        let late_max = r.trace.samples_w[n / 2..]
+            .iter()
+            .copied()
+            .fold(0.0, f64::max);
         assert!(late_max <= cap + 2.0, "late overshoot {late_max} too large");
     }
 }

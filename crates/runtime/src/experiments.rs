@@ -58,7 +58,9 @@ pub fn perf_model_errors(
 ) -> ErrorHistogram {
     let n = jobs.len();
     let pairs: Vec<(usize, usize)> = (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).collect();
-    let n_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let n_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
     let chunk = pairs.len().div_ceil(n_threads);
     let errors: Vec<Vec<f64>> = thread::scope(|s| {
         pairs
@@ -114,15 +116,9 @@ pub fn best_pair_setting(
             if power > cap_w {
                 continue;
             }
-            let t = predictor.predict_pair_times(
-                cfg,
-                &profiles[cpu_job],
-                f,
-                &profiles[gpu_job],
-                g,
-            );
+            let t = predictor.predict_pair_times(cfg, &profiles[cpu_job], f, &profiles[gpu_job], g);
             let span = t.cpu.max(t.gpu);
-            if best.map_or(true, |(_, b)| span < b) {
+            if best.is_none_or(|(_, b)| span < b) {
                 best = Some((FreqSetting::new(f, g), span));
             }
         }
@@ -141,7 +137,9 @@ pub fn power_model_errors(
 ) -> ErrorHistogram {
     let n = jobs.len();
     let pairs: Vec<(usize, usize)> = (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).collect();
-    let n_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let n_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
     let chunk = pairs.len().div_ceil(n_threads);
     let errors: Vec<Vec<f64>> = thread::scope(|s| {
         pairs
@@ -222,13 +220,15 @@ mod tests {
         let rt = small_rt();
         let s = best_pair_setting(rt.machine(), rt.profiles(), rt.predictor(), 0, 1, 15.0)
             .expect("feasible setting exists");
-        let p = rt
-            .predictor()
-            .predict_power(Some((&rt.profiles()[0], s.cpu)), Some((&rt.profiles()[1], s.gpu)));
+        let p = rt.predictor().predict_power(
+            Some((&rt.profiles()[0], s.cpu)),
+            Some((&rt.profiles()[1], s.gpu)),
+        );
         assert!(p <= 15.0 + 1e-9);
         // an impossible cap yields None
-        assert!(best_pair_setting(rt.machine(), rt.profiles(), rt.predictor(), 0, 1, 0.5)
-            .is_none());
+        assert!(
+            best_pair_setting(rt.machine(), rt.profiles(), rt.predictor(), 0, 1, 0.5).is_none()
+        );
     }
 
     #[test]

@@ -29,7 +29,9 @@ pub mod sweep;
 
 pub use cache::{cache_path, characterize_cached, fingerprint};
 pub use executor::{execute_default, execute_schedule, LevelPolicy};
-pub use experiments::{best_pair_setting, perf_model_errors, power_model_errors, speedup_study, SpeedupStudy};
+pub use experiments::{
+    best_pair_setting, perf_model_errors, power_model_errors, speedup_study, SpeedupStudy,
+};
 pub use modelbuild::build_table_model;
 pub use online_exec::execute_online;
 pub use oracle::{measure_pair_truth, measure_solo, PairTruth};

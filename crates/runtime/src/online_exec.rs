@@ -4,8 +4,8 @@
 //! wakeups).
 
 use apu_sim::{
-    Device, Dispatch, DispatchCtx, DispatchJob, Dispatcher, Engine, FreqSetting, Governor,
-    JobSpec, MachineConfig, RunOptions, RunReport, SimError,
+    Device, Dispatch, DispatchCtx, DispatchJob, Dispatcher, Engine, FreqSetting, Governor, JobSpec,
+    MachineConfig, RunOptions, RunReport, SimError,
 };
 use corun_core::{Arrival, CoRunModel, OnlinePolicy};
 use std::sync::Arc;
@@ -124,8 +124,7 @@ mod tests {
     fn online_batch_completes_everything() {
         let rt = runtime();
         let policy = OnlinePolicy::new(rt.model(), HcsConfig::with_cap(15.0));
-        let arrivals: Vec<Arrival> =
-            (0..8).map(|j| Arrival { job: j, at_s: 0.0 }).collect();
+        let arrivals: Vec<Arrival> = (0..8).map(|j| Arrival { job: j, at_s: 0.0 }).collect();
         let mut gov = NullGovernor;
         let r = execute_online(
             rt.machine(),
@@ -162,7 +161,11 @@ mod tests {
         .unwrap();
         assert_eq!(r.records.len(), 3);
         let late = r.record(5).unwrap();
-        assert!(late.start_s >= 20.0 - 1e-6, "job 5 started at {}", late.start_s);
+        assert!(
+            late.start_s >= 20.0 - 1e-6,
+            "job 5 started at {}",
+            late.start_s
+        );
     }
 
     #[test]
@@ -195,8 +198,12 @@ mod tests {
     fn online_beats_gpu_fifo_in_ground_truth() {
         let rt = runtime();
         let policy = OnlinePolicy::new(rt.model(), HcsConfig::with_cap(15.0));
-        let arrivals: Vec<Arrival> =
-            (0..8).map(|j| Arrival { job: j, at_s: j as f64 * 0.5 }).collect();
+        let arrivals: Vec<Arrival> = (0..8)
+            .map(|j| Arrival {
+                job: j,
+                at_s: j as f64 * 0.5,
+            })
+            .collect();
         let mut gov = NullGovernor;
         let online = execute_online(
             rt.machine(),

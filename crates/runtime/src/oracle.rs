@@ -31,8 +31,12 @@ pub fn measure_pair_truth(
     gpu_job: &JobSpec,
     setting: FreqSetting,
 ) -> PairTruth {
-    let cpu_solo = run_solo(cfg, cpu_job, Device::Cpu, setting).expect("solo").time_s;
-    let gpu_solo = run_solo(cfg, gpu_job, Device::Gpu, setting).expect("solo").time_s;
+    let cpu_solo = run_solo(cfg, cpu_job, Device::Cpu, setting)
+        .expect("solo")
+        .time_s;
+    let gpu_solo = run_solo(cfg, gpu_job, Device::Gpu, setting)
+        .expect("solo")
+        .time_s;
     let cpu_co = run_with_background(cfg, cpu_job, Device::Cpu, gpu_job, setting).expect("co");
     let gpu_co = run_with_background(cfg, gpu_job, Device::Gpu, cpu_job, setting).expect("co");
 
@@ -40,7 +44,9 @@ pub fn measure_pair_truth(
     let mut gov = NullGovernor;
     let pair = run_pair(cfg, cpu_job, gpu_job, setting, &mut gov).expect("pair");
     let overlap_end = pair.cpu_time_s.min(pair.gpu_time_s);
-    let n = ((overlap_end / pair.trace.interval_s) as usize).max(1).min(pair.trace.len());
+    let n = ((overlap_end / pair.trace.interval_s) as usize)
+        .max(1)
+        .min(pair.trace.len());
     let corun_power_w = if n > 0 {
         pair.trace.samples_w[..n].iter().sum::<f64>() / n as f64
     } else {

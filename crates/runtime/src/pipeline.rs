@@ -9,11 +9,11 @@
 use crate::executor::{execute_default, execute_schedule, LevelPolicy};
 use crate::modelbuild::build_table_model;
 use apu_sim::{
-    Bias, BiasedGovernor, FreqSetting, JobSpec, MachineConfig, NullGovernor, RunReport,
+    Bias, BiasedGovernor, FreqSetting, JobSpec, MachineConfig, NullGovernor, RunReport, SimError,
 };
 use corun_core::{
-    default_partition, hcs, lower_bound, random_schedule, refine, BoundReport,
-    DefaultPartition, HcsConfig, HcsOutcome, RefineConfig, Schedule, TableModel,
+    default_partition, hcs, lower_bound, random_schedule, refine, BoundReport, DefaultPartition,
+    HcsConfig, HcsOutcome, RefineConfig, Schedule, TableModel,
 };
 use perf_model::{
     characterize, probe_batch, profile_batch, CharacterizeConfig, JobProfile, LlcVulnerability,
@@ -92,16 +92,25 @@ impl CoScheduleRuntime {
     pub fn new(machine: MachineConfig, jobs: Vec<JobSpec>, config: RuntimeConfig) -> Self {
         let profiles = profile_batch(&machine, &jobs, config.profile_method);
         let stages = match &config.cache_dir {
-            Some(dir) => crate::cache::characterize_cached(&machine, &config.characterization, dir).0,
+            Some(dir) => {
+                crate::cache::characterize_cached(&machine, &config.characterization, dir).0
+            }
             None => characterize(&machine, &config.characterization),
         };
         let predictor = StagedPredictor::new(&machine, stages);
         let vulnerabilities = config
             .llc_probe
             .then(|| probe_batch(&machine, &predictor, &jobs, &profiles));
-        let model =
-            build_table_model(&machine, &profiles, &predictor, vulnerabilities.as_deref());
-        CoScheduleRuntime { machine, jobs, config, profiles, predictor, vulnerabilities, model }
+        let model = build_table_model(&machine, &profiles, &predictor, vulnerabilities.as_deref());
+        CoScheduleRuntime {
+            machine,
+            jobs,
+            config,
+            profiles,
+            predictor,
+            vulnerabilities,
+            model,
+        }
     }
 
     /// The probed LLC vulnerabilities, if the probe ran.
@@ -141,7 +150,9 @@ impl CoScheduleRuntime {
 
     /// Run HCS.
     pub fn schedule_hcs(&self) -> HcsOutcome {
-        hcs(&self.model, &HcsConfig::with_cap(self.config.cap_w))
+        let out = hcs(&self.model, &HcsConfig::with_cap(self.config.cap_w));
+        self.debug_lint(&out.schedule, "hcs");
+        out
     }
 
     /// Run HCS followed by the HCS+ refinement; returns the refined
@@ -155,12 +166,16 @@ impl CoScheduleRuntime {
             seed: self.config.refine_seed,
             objective: corun_core::Objective::Makespan,
         };
-        refine(&self.model, &out.schedule, &rc).schedule
+        let s = refine(&self.model, &out.schedule, &rc).schedule;
+        self.debug_lint(&s, "hcs+");
+        s
     }
 
     /// One Random-baseline schedule.
     pub fn schedule_random(&self, seed: u64) -> Schedule {
-        random_schedule(&self.model, seed, self.config.random_solo_prob)
+        let s = random_schedule(&self.model, seed, self.config.random_solo_prob);
+        self.debug_lint(&s, "random");
+        s
     }
 
     /// The Default baseline's partition.
@@ -173,9 +188,48 @@ impl CoScheduleRuntime {
         lower_bound(&self.model, self.config.cap_w)
     }
 
+    /// Lint a schedule against this runtime's model and cap.
+    ///
+    /// `levels_planned` follows [`corun_verify::lint_schedule`]: pass
+    /// `true` for HCS/HCS+ output (the scheduler owns cap feasibility)
+    /// and `false` for Random/Default schedules executed under a
+    /// reactive governor.
+    pub fn lint_schedule(&self, schedule: &Schedule, levels_planned: bool) -> corun_verify::Report {
+        corun_verify::lint_schedule(
+            &self.model,
+            schedule,
+            Some(self.config.cap_w),
+            levels_planned,
+        )
+    }
+
+    /// In debug builds, panic if a scheduler emitted a structurally
+    /// broken schedule (SCH001/SCH005) — always a bug in the algorithm,
+    /// never a property of the workload.
+    fn debug_lint(&self, schedule: &Schedule, who: &str) {
+        if cfg!(debug_assertions) {
+            let report = corun_verify::lint_schedule_structure(&self.model, schedule);
+            debug_assert!(
+                report.is_clean(),
+                "{who} produced a structurally invalid schedule:\n{}",
+                report.render_human()
+            );
+        }
+    }
+
     /// Execute a planned schedule (HCS/HCS+): levels applied from the
     /// schedule, no reactive governor.
+    ///
+    /// Panics if the simulation stalls; use
+    /// [`try_execute_planned`](Self::try_execute_planned) to surface
+    /// the error instead.
     pub fn execute_planned(&self, schedule: &Schedule) -> RunReport {
+        self.try_execute_planned(schedule)
+            .expect("planned execution cannot stall")
+    }
+
+    /// Fallible variant of [`execute_planned`](Self::execute_planned).
+    pub fn try_execute_planned(&self, schedule: &Schedule) -> Result<RunReport, SimError> {
         let mut gov = NullGovernor;
         execute_schedule(
             &self.machine,
@@ -185,12 +239,25 @@ impl CoScheduleRuntime {
             LevelPolicy::Planned,
             self.initial_setting(),
         )
-        .expect("planned execution cannot stall")
     }
 
     /// Execute a schedule with a reactive biased governor owning the clocks
     /// (the Random baseline's execution mode).
+    ///
+    /// Panics if the simulation stalls; use
+    /// [`try_execute_governed`](Self::try_execute_governed) to surface
+    /// the error instead.
     pub fn execute_governed(&self, schedule: &Schedule, bias: Bias) -> RunReport {
+        self.try_execute_governed(schedule, bias)
+            .expect("governed execution cannot stall")
+    }
+
+    /// Fallible variant of [`execute_governed`](Self::execute_governed).
+    pub fn try_execute_governed(
+        &self,
+        schedule: &Schedule,
+        bias: Bias,
+    ) -> Result<RunReport, SimError> {
         let mut gov = self.governor(bias);
         execute_schedule(
             &self.machine,
@@ -200,15 +267,27 @@ impl CoScheduleRuntime {
             LevelPolicy::GovernorOwned,
             self.machine.freqs.max_setting(),
         )
-        .expect("governed execution cannot stall")
     }
 
     /// Execute the Default baseline (multiprogrammed CPU partition) with a
     /// biased governor.
+    ///
+    /// Panics if the simulation stalls; use
+    /// [`try_execute_default`](Self::try_execute_default) to surface
+    /// the error instead.
     pub fn execute_default(&self, partition: &DefaultPartition, bias: Bias) -> RunReport {
+        self.try_execute_default(partition, bias)
+            .expect("default execution cannot stall")
+    }
+
+    /// Fallible variant of [`execute_default`](Self::execute_default).
+    pub fn try_execute_default(
+        &self,
+        partition: &DefaultPartition,
+        bias: Bias,
+    ) -> Result<RunReport, SimError> {
         let mut gov = self.governor(bias);
         execute_default(&self.machine, &self.jobs, partition, &mut gov)
-            .expect("default execution cannot stall")
     }
 
     /// Average ground-truth makespan of the Random baseline over `seeds`
@@ -298,7 +377,12 @@ mod tests {
         let rt = small_runtime();
         let b = rt.lower_bound();
         let hcs_span = rt.execute_planned(&rt.schedule_hcs_plus()).makespan_s;
-        assert!(b.t_low_s <= hcs_span * 1.05, "bound {} vs {}", b.t_low_s, hcs_span);
+        assert!(
+            b.t_low_s <= hcs_span * 1.05,
+            "bound {} vs {}",
+            b.t_low_s,
+            hcs_span
+        );
     }
 
     #[test]
@@ -306,6 +390,33 @@ mod tests {
         let rt = small_runtime();
         let p = rt.schedule_default();
         let r = rt.execute_default(&p, Bias::Gpu);
+        assert_eq!(r.records.len(), 8);
+    }
+
+    #[test]
+    fn scheduler_outputs_lint_clean() {
+        let rt = small_runtime();
+        let hcs = rt.lint_schedule(&rt.schedule_hcs().schedule, true);
+        assert!(hcs.is_clean(), "{}", hcs.render_human());
+        let plus = rt.lint_schedule(&rt.schedule_hcs_plus(), true);
+        assert!(plus.is_clean(), "{}", plus.render_human());
+        let random = rt.lint_schedule(&rt.schedule_random(7), false);
+        assert!(random.is_clean(), "{}", random.render_human());
+        let default = rt.schedule_default().to_schedule(rt.model());
+        let default = rt.lint_schedule(&default, false);
+        assert!(default.is_clean(), "{}", default.render_human());
+    }
+
+    #[test]
+    fn try_execute_variants_agree_with_panicking_ones() {
+        let rt = small_runtime();
+        let s = rt.schedule_hcs_plus();
+        let r = rt.try_execute_planned(&s).unwrap();
+        assert_eq!(r.records.len(), 8);
+        let r = rt.try_execute_governed(&s, Bias::Gpu).unwrap();
+        assert_eq!(r.records.len(), 8);
+        let p = rt.schedule_default();
+        let r = rt.try_execute_default(&p, Bias::Gpu).unwrap();
         assert_eq!(r.records.len(), 8);
     }
 

@@ -49,7 +49,12 @@ pub fn gantt(report: &RunReport, width: usize) -> String {
                 *c = ch;
             }
         }
-        let _ = writeln!(out, "{:>4} |{}|", device.name(), String::from_utf8_lossy(&line));
+        let _ = writeln!(
+            out,
+            "{:>4} |{}|",
+            device.name(),
+            String::from_utf8_lossy(&line)
+        );
     }
     let _ = writeln!(out, "      0s{:>width$.1}s", span, width = width - 1);
     out
@@ -62,7 +67,12 @@ pub fn summary(report: &RunReport) -> String {
 
 /// Full report: summary + gantt + table.
 pub fn full_report(report: &RunReport, width: usize) -> String {
-    format!("{}\n{}\n{}", summary(report), gantt(report, width), job_table(report))
+    format!(
+        "{}\n{}\n{}",
+        summary(report),
+        gantt(report, width),
+        job_table(report)
+    )
 }
 
 #[cfg(test)]

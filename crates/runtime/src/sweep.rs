@@ -34,7 +34,12 @@ impl Method {
     }
 
     /// All methods in canonical order.
-    pub const ALL: [Method; 4] = [Method::Random, Method::DefaultG, Method::Hcs, Method::HcsPlus];
+    pub const ALL: [Method; 4] = [
+        Method::Random,
+        Method::DefaultG,
+        Method::Hcs,
+        Method::HcsPlus,
+    ];
 }
 
 /// One sweep cell: a method at a cap.

@@ -1,0 +1,254 @@
+//! `CFG0xx` — machine-configuration and model-quality lints.
+//!
+//! This module absorbs `apu_sim::validate` and `perf_model::validate`
+//! behind the shared [`Diagnostic`] type: config issues map onto stable
+//! `CFG001`–`CFG005` codes by the subsystem they touch, leave-one-out
+//! model validation reports as `CFG006`, and the `key = value` override
+//! files accepted by the CLI lint as `CFG007`.
+
+use apu_sim::{validate::ConfigIssue, MachineConfig, PerDevice};
+use perf_model::LooReport;
+
+use crate::diag::{Code, Diagnostic, Report};
+use crate::pass::{LintContext, LintPass};
+
+/// LOO mean-absolute-error above which a degradation surface is
+/// considered too coarse to trust (matches the acceptance threshold in
+/// `perf-model`'s own validation tests).
+pub const LOO_MEAN_ERR_THRESHOLD: f64 = 0.10;
+
+/// Map one `apu_sim` validation issue onto the stable code space.
+pub fn diagnostic_from_issue(issue: &ConfigIssue) -> Diagnostic {
+    let code = if issue.field.starts_with("freqs.") {
+        Code::Cfg001
+    } else if issue.field.ends_with("params") {
+        Code::Cfg002
+    } else if issue.field.starts_with("memory.") {
+        Code::Cfg003
+    } else if issue.field.starts_with("package.") || issue.field.starts_with("multiprog") {
+        Code::Cfg004
+    } else {
+        // tick_s, power_sample_s, and anything a future validator adds
+        Code::Cfg005
+    };
+    Diagnostic::new(
+        code,
+        format!("machine.{}", issue.field),
+        issue.problem.clone(),
+    )
+}
+
+/// CFG001–CFG005: the absorbed `apu_sim::validate` checks.
+pub struct MachineConfigPass;
+
+impl LintPass for MachineConfigPass {
+    fn name(&self) -> &'static str {
+        "machine-config"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(machine) = ctx.machine else { return };
+        for issue in apu_sim::validate::validate(machine) {
+            out.push(diagnostic_from_issue(&issue));
+        }
+    }
+}
+
+/// Lint a machine configuration.
+pub fn lint_machine(machine: &MachineConfig) -> Report {
+    let mut out = Vec::new();
+    MachineConfigPass.run(&LintContext::for_machine(machine), &mut out);
+    Report::from_diagnostics(out)
+}
+
+/// CFG006: check a pair of leave-one-out reports (one degradation
+/// surface per device) against [`LOO_MEAN_ERR_THRESHOLD`].
+pub fn lint_loo(loo: &PerDevice<LooReport>, stage: &str) -> Report {
+    let mut out = Vec::new();
+    for (dev, rep) in [("cpu", &loo.cpu), ("gpu", &loo.gpu)] {
+        if rep.nodes > 0 && rep.mean_abs_err > LOO_MEAN_ERR_THRESHOLD {
+            out.push(
+                Diagnostic::new(
+                    Code::Cfg006,
+                    format!("{stage}.{dev}"),
+                    format!(
+                        "degradation surface fails leave-one-out validation: mean error {:.3} \
+                         over {} interior nodes (threshold {LOO_MEAN_ERR_THRESHOLD})",
+                        rep.mean_abs_err, rep.nodes
+                    ),
+                )
+                .with_help("re-characterize with a finer grid (more demand levels per axis)"),
+            );
+        }
+    }
+    Report::from_diagnostics(out)
+}
+
+/// Apply a `key = value` override file to `cfg`, collecting `CFG007`
+/// diagnostics for unknown keys and unparseable values. `#` starts a
+/// comment; blank lines are ignored. Keys mirror the `MachineConfig`
+/// field paths, e.g. `cpu.dyn_power_w = 9.5` or
+/// `memory.arb_weight.gpu = 1.2`.
+pub fn apply_overrides(cfg: &mut MachineConfig, text: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let loc = format!("config:{}", idx + 1);
+        let Some((key, value)) = line.split_once('=') else {
+            out.push(
+                Diagnostic::new(
+                    Code::Cfg007,
+                    loc,
+                    format!("expected `key = value`, got `{line}`"),
+                )
+                .with_help("one override per line, e.g. `cpu.dyn_power_w = 9.5`"),
+            );
+            continue;
+        };
+        let (key, value) = (key.trim(), value.trim());
+        match apply_one(cfg, key, value) {
+            Ok(()) => {}
+            Err(problem) => {
+                out.push(
+                    Diagnostic::new(Code::Cfg007, loc, problem)
+                        .with_help("see docs/DIAGNOSTICS.md for the list of override keys"),
+                );
+            }
+        }
+    }
+    out
+}
+
+fn apply_one(cfg: &mut MachineConfig, key: &str, value: &str) -> Result<(), String> {
+    let parse = || -> Result<f64, String> {
+        value
+            .parse::<f64>()
+            .map_err(|_| format!("cannot parse `{value}` as a number for `{key}`"))
+    };
+    let slot: &mut f64 = match key {
+        "cpu.gflops_per_ghz" => &mut cfg.cpu.gflops_per_ghz,
+        "cpu.bw_peak_gbps" => &mut cfg.cpu.bw_peak_gbps,
+        "cpu.bw_freq_floor" => &mut cfg.cpu.bw_freq_floor,
+        "cpu.idle_power_w" => &mut cfg.cpu.idle_power_w,
+        "cpu.dyn_power_w" => &mut cfg.cpu.dyn_power_w,
+        "cpu.dyn_power_exp" => &mut cfg.cpu.dyn_power_exp,
+        "cpu.mem_power_w_per_gbps" => &mut cfg.cpu.mem_power_w_per_gbps,
+        "cpu.stall_power_frac" => &mut cfg.cpu.stall_power_frac,
+        "gpu.gflops_per_ghz" => &mut cfg.gpu.gflops_per_ghz,
+        "gpu.bw_peak_gbps" => &mut cfg.gpu.bw_peak_gbps,
+        "gpu.bw_freq_floor" => &mut cfg.gpu.bw_freq_floor,
+        "gpu.idle_power_w" => &mut cfg.gpu.idle_power_w,
+        "gpu.dyn_power_w" => &mut cfg.gpu.dyn_power_w,
+        "gpu.dyn_power_exp" => &mut cfg.gpu.dyn_power_exp,
+        "gpu.mem_power_w_per_gbps" => &mut cfg.gpu.mem_power_w_per_gbps,
+        "gpu.stall_power_frac" => &mut cfg.gpu.stall_power_frac,
+        "memory.total_bw_gbps" => &mut cfg.memory.total_bw_gbps,
+        "memory.pressure_ref_gbps" => &mut cfg.memory.pressure_ref_gbps,
+        "memory.llc_mib" => &mut cfg.memory.llc_mib,
+        "memory.inflation_coeff.cpu" => &mut cfg.memory.inflation_coeff.cpu,
+        "memory.inflation_coeff.gpu" => &mut cfg.memory.inflation_coeff.gpu,
+        "memory.inflation_exp.cpu" => &mut cfg.memory.inflation_exp.cpu,
+        "memory.inflation_exp.gpu" => &mut cfg.memory.inflation_exp.gpu,
+        "memory.arb_weight.cpu" => &mut cfg.memory.arb_weight.cpu,
+        "memory.arb_weight.gpu" => &mut cfg.memory.arb_weight.gpu,
+        "package.uncore_w" => &mut cfg.package.uncore_w,
+        "multiprog.cs_overhead" => &mut cfg.multiprog.cs_overhead,
+        "multiprog.locality_penalty" => &mut cfg.multiprog.locality_penalty,
+        "tick_s" => &mut cfg.tick_s,
+        "power_sample_s" => &mut cfg.power_sample_s,
+        "multiprog.max_cpu_slots" => {
+            cfg.multiprog.max_cpu_slots = value
+                .parse::<usize>()
+                .map_err(|_| format!("cannot parse `{value}` as an integer for `{key}`"))?;
+            return Ok(());
+        }
+        _ => return Err(format!("unknown machine-config key `{key}`")),
+    };
+    *slot = parse()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perf_model::leave_one_out;
+
+    #[test]
+    fn presets_lint_clean() {
+        assert!(lint_machine(&MachineConfig::ivy_bridge()).is_empty());
+        assert!(lint_machine(&MachineConfig::kaveri()).is_empty());
+    }
+
+    #[test]
+    fn issue_mapping_covers_every_subsystem() {
+        let mut cfg = MachineConfig::ivy_bridge();
+        cfg.memory.total_bw_gbps = -1.0; // CFG003 + cascading CFG002
+        cfg.cpu.dyn_power_exp = 9.0; // CFG002
+        cfg.package.uncore_w = -2.0; // CFG004
+        cfg.tick_s = -0.5; // CFG005
+        let report = lint_machine(&cfg);
+        for code in [Code::Cfg002, Code::Cfg003, Code::Cfg004, Code::Cfg005] {
+            assert!(
+                report.has(code),
+                "missing {code}: {}",
+                report.render_human()
+            );
+        }
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn freq_ladder_issue_maps_to_cfg001() {
+        let issue = ConfigIssue {
+            field: "freqs.cpu".into(),
+            problem: "needs at least two DVFS levels".into(),
+        };
+        assert_eq!(diagnostic_from_issue(&issue).code, Code::Cfg001);
+    }
+
+    #[test]
+    fn loo_threshold_flags_coarse_surface() {
+        // Steep non-linear surface on a coarse grid: LOO error is large.
+        let ax: Vec<f64> = (0..4).map(|i| i as f64).collect();
+        let vals: Vec<f64> = (0..4)
+            .flat_map(|i| (0..4).map(move |j| if (i + j) % 2 == 0 { 1.0 } else { 0.0 }))
+            .collect();
+        let bad = leave_one_out(&perf_model::Grid2D::new(ax.clone(), ax.clone(), vals));
+        let good = leave_one_out(&perf_model::Grid2D::new(
+            ax.clone(),
+            ax,
+            (0..16).map(|k| k as f64 * 0.001).collect(),
+        ));
+        let report = lint_loo(&PerDevice::new(bad, good), "stage0");
+        assert_eq!(report.count(Code::Cfg006), 1, "{}", report.render_human());
+        assert!(report.is_clean(), "CFG006 is a warning");
+    }
+
+    #[test]
+    fn overrides_apply_and_lint() {
+        let mut cfg = MachineConfig::ivy_bridge();
+        let diags = apply_overrides(
+            &mut cfg,
+            "# tuning\ncpu.dyn_power_w = 9.5\nmemory.arb_weight.gpu = 1.25\n\
+             multiprog.max_cpu_slots = 3\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(cfg.cpu.dyn_power_w, 9.5);
+        assert_eq!(cfg.memory.arb_weight.gpu, 1.25);
+        assert_eq!(cfg.multiprog.max_cpu_slots, 3);
+    }
+
+    #[test]
+    fn bad_overrides_are_cfg007() {
+        let mut cfg = MachineConfig::ivy_bridge();
+        let diags = apply_overrides(
+            &mut cfg,
+            "nonsense line\ncpu.no_such_field = 1\ncpu.dyn_power_w = abc\n",
+        );
+        assert_eq!(diags.len(), 3);
+        assert!(diags.iter().all(|d| d.code == Code::Cfg007));
+    }
+}

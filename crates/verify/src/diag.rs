@@ -1,0 +1,468 @@
+//! The diagnostic type, stable code catalog, and report rendering.
+//!
+//! Every check in the workspace — schedule lints, config validation,
+//! spec parsing, runtime sanitizers — reports through [`Diagnostic`], a
+//! compiler-style record with a stable [`Code`], a [`Severity`], a
+//! human-readable location, a message, and optional help text. Tools
+//! collect diagnostics into a [`Report`] which renders either for humans
+//! (rustc-style) or as JSON for machine consumption.
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not necessarily wrong; does not fail a lint run.
+    Warning,
+    /// A violated invariant; `corun lint` exits non-zero.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable diagnostic codes.
+///
+/// Codes are append-only: once shipped, a code keeps its meaning forever
+/// so scripts can match on them. The catalog lives in
+/// `docs/DIAGNOSTICS.md`; [`Code::invariant`] and [`Code::paper_ref`]
+/// carry the same information programmatically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// Duplicate, missing, or out-of-range job assignment in a schedule.
+    Sch001,
+    /// Co-Run Theorem violation: a scheduled pair where solo execution
+    /// would beat the co-run under the model.
+    Sch002,
+    /// Power-cap infeasible frequency pair: a schedule segment whose
+    /// modeled package power exceeds the cap.
+    Sch003,
+    /// Reported makespan below the theoretical lower bound.
+    Sch004,
+    /// Frequency level out of range for the device's DVFS ladder.
+    Sch005,
+    /// Malformed DVFS frequency ladder in a machine config.
+    Cfg001,
+    /// Non-physical device parameters (compute rate, bandwidth, power).
+    Cfg002,
+    /// Inconsistent shared-memory model parameters.
+    Cfg003,
+    /// Bad package power or multiprogramming parameters.
+    Cfg004,
+    /// Bad simulation timing parameters (tick, power sample period).
+    Cfg005,
+    /// Performance-model surface fails leave-one-out cross-validation.
+    Cfg006,
+    /// Unknown or malformed machine-config override.
+    Cfg007,
+    /// Workload spec syntax error.
+    Spc001,
+    /// Workload spec contains no jobs.
+    Spc002,
+    /// Unknown program name in a workload spec.
+    Spc003,
+    /// Input scale far outside the calibrated range.
+    Spc004,
+    /// Excessive instance count on one spec line.
+    Spc005,
+    /// Duplicate spec line (same program and scale).
+    Spc006,
+    /// Simulation clock went backwards (runtime sanitizer).
+    Sim001,
+    /// Energy accounting mismatch: a window's average power left the
+    /// [min, max] envelope of its instantaneous samples.
+    Sim002,
+    /// Sustained package-power excursion above the cap beyond the
+    /// governor's reaction tolerance.
+    Sim003,
+    /// Non-physical package power (negative or non-finite).
+    Sim004,
+}
+
+impl Code {
+    /// Every code, in catalog order.
+    pub const ALL: [Code; 22] = [
+        Code::Sch001,
+        Code::Sch002,
+        Code::Sch003,
+        Code::Sch004,
+        Code::Sch005,
+        Code::Cfg001,
+        Code::Cfg002,
+        Code::Cfg003,
+        Code::Cfg004,
+        Code::Cfg005,
+        Code::Cfg006,
+        Code::Cfg007,
+        Code::Spc001,
+        Code::Spc002,
+        Code::Spc003,
+        Code::Spc004,
+        Code::Spc005,
+        Code::Spc006,
+        Code::Sim001,
+        Code::Sim002,
+        Code::Sim003,
+        Code::Sim004,
+    ];
+
+    /// The stable textual form, e.g. `"SCH001"`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Code::Sch001 => "SCH001",
+            Code::Sch002 => "SCH002",
+            Code::Sch003 => "SCH003",
+            Code::Sch004 => "SCH004",
+            Code::Sch005 => "SCH005",
+            Code::Cfg001 => "CFG001",
+            Code::Cfg002 => "CFG002",
+            Code::Cfg003 => "CFG003",
+            Code::Cfg004 => "CFG004",
+            Code::Cfg005 => "CFG005",
+            Code::Cfg006 => "CFG006",
+            Code::Cfg007 => "CFG007",
+            Code::Spc001 => "SPC001",
+            Code::Spc002 => "SPC002",
+            Code::Spc003 => "SPC003",
+            Code::Spc004 => "SPC004",
+            Code::Spc005 => "SPC005",
+            Code::Spc006 => "SPC006",
+            Code::Sim001 => "SIM001",
+            Code::Sim002 => "SIM002",
+            Code::Sim003 => "SIM003",
+            Code::Sim004 => "SIM004",
+        }
+    }
+
+    /// The severity a diagnostic with this code gets unless a pass
+    /// overrides it (e.g. SCH003 downgrades to a warning when frequency
+    /// levels are governor-owned rather than planned).
+    pub fn default_severity(&self) -> Severity {
+        match self {
+            Code::Sch002 | Code::Cfg006 | Code::Spc004 | Code::Spc005 | Code::Spc006 => {
+                Severity::Warning
+            }
+            _ => Severity::Error,
+        }
+    }
+
+    /// One-line statement of the invariant the code enforces.
+    pub fn invariant(&self) -> &'static str {
+        match self {
+            Code::Sch001 => "every job is assigned exactly once across cpu, gpu, and solo queues",
+            Code::Sch002 => "co-run pairs satisfy the Co-Run Theorem benefit condition",
+            Code::Sch003 => "modeled package power of every segment stays within the power cap",
+            Code::Sch004 => "makespan(S) >= lower_bound(model, cap)",
+            Code::Sch005 => "every frequency level indexes into the device's DVFS ladder",
+            Code::Cfg001 => "DVFS ladders are non-empty, positive, and strictly increasing",
+            Code::Cfg002 => "device compute/bandwidth/power parameters are physical",
+            Code::Cfg003 => "shared-memory parameters are consistent and positive",
+            Code::Cfg004 => "package power and multiprogramming parameters are sane",
+            Code::Cfg005 => "simulation tick and power sample period are positive and ordered",
+            Code::Cfg006 => "performance-model surfaces interpolate within tolerance (LOO)",
+            Code::Cfg007 => "machine-config overrides name real fields with parseable values",
+            Code::Spc001 => "workload spec lines follow `name [xSCALE] [*COUNT]`",
+            Code::Spc002 => "a workload spec declares at least one job",
+            Code::Spc003 => "every program name exists in the calibrated suite",
+            Code::Spc004 => "input scales stay near the calibrated range",
+            Code::Spc005 => "instance counts stay within simulation-friendly bounds",
+            Code::Spc006 => "no two spec lines duplicate the same program and scale",
+            Code::Sim001 => "the simulation event clock is monotonic",
+            Code::Sim002 => "window-average power lies within the instantaneous min/max envelope",
+            Code::Sim003 => {
+                "package power never exceeds the cap beyond governor reaction tolerance"
+            }
+            Code::Sim004 => "package power is finite and non-negative",
+        }
+    }
+
+    /// The paper section the invariant comes from, or "-" for
+    /// implementation-level invariants.
+    pub fn paper_ref(&self) -> &'static str {
+        match self {
+            Code::Sch001 => "Sec. IV (schedule definition)",
+            Code::Sch002 => "Sec. IV-A (Co-Run Theorem)",
+            Code::Sch003 => "Sec. II (power cap), Sec. IV-C",
+            Code::Sch004 => "Sec. IV-B (lower bound)",
+            Code::Sch005 => "Sec. II (DVFS levels)",
+            Code::Cfg006 => "Sec. V (model validation)",
+            Code::Sim003 => "Sec. II (power cap), Sec. VI",
+            _ => "-",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code identifying the invariant.
+    pub code: Code,
+    /// Severity (defaults to [`Code::default_severity`]).
+    pub severity: Severity,
+    /// Where the problem is, e.g. `spec.txt:3` or `schedule.cpu[1]`.
+    pub location: String,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it, when there is something actionable to say.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// New diagnostic with the code's default severity.
+    pub fn new(code: Code, location: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            location: location.into(),
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Attach help text.
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Override the severity.
+    pub fn with_severity(mut self, severity: Severity) -> Self {
+        self.severity = severity;
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}: {}",
+            self.severity, self.code, self.location, self.message
+        )
+    }
+}
+
+/// A collection of diagnostics from one lint run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// All findings, in the order the passes produced them.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Report from a list of findings.
+    pub fn from_diagnostics(diagnostics: Vec<Diagnostic>) -> Self {
+        Report { diagnostics }
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// Whether there are no findings at all.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Whether the run is clean enough to proceed: no error-severity
+    /// findings (warnings are allowed).
+    pub fn is_clean(&self) -> bool {
+        !self.has_errors()
+    }
+
+    /// Whether any finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Warning-severity findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// Whether any finding carries `code`.
+    pub fn has(&self, code: Code) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Number of findings carrying `code`.
+    pub fn count(&self, code: Code) -> usize {
+        self.diagnostics.iter().filter(|d| d.code == code).count()
+    }
+
+    /// Append another report's findings.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Push one finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Rustc-style rendering for terminals, ending with a summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!("{d}\n"));
+            if let Some(help) = &d.help {
+                out.push_str(&format!("  help: {help}\n"));
+            }
+        }
+        let errors = self.errors().count();
+        let warnings = self.warnings().count();
+        if errors == 0 && warnings == 0 {
+            out.push_str("clean: no diagnostics\n");
+        } else {
+            out.push_str(&format!(
+                "{} error{}, {} warning{}\n",
+                errors,
+                if errors == 1 { "" } else { "s" },
+                warnings,
+                if warnings == 1 { "" } else { "s" },
+            ));
+        }
+        out
+    }
+
+    /// JSON rendering: an array of objects with `code`, `severity`,
+    /// `location`, `message`, and (when present) `help` fields.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n  {{\"code\": \"{}\", \"severity\": \"{}\", \"location\": \"{}\", \"message\": \"{}\"",
+                d.code,
+                d.severity,
+                json_escape(&d.location),
+                json_escape(&d.message),
+            ));
+            if let Some(help) = &d.help {
+                out.push_str(&format!(", \"help\": \"{}\"", json_escape(help)));
+            }
+            out.push('}');
+        }
+        if !self.diagnostics.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for c in Code::ALL {
+            assert!(seen.insert(c.as_str()), "duplicate code {c}");
+            assert_eq!(c.as_str().len(), 6);
+            assert!(!c.invariant().is_empty());
+            assert!(!c.paper_ref().is_empty());
+        }
+        assert_eq!(seen.len(), Code::ALL.len());
+    }
+
+    #[test]
+    fn severity_defaults() {
+        assert_eq!(Code::Sch001.default_severity(), Severity::Error);
+        assert_eq!(Code::Sch002.default_severity(), Severity::Warning);
+        assert_eq!(Code::Sch003.default_severity(), Severity::Error);
+        assert_eq!(Code::Spc006.default_severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn report_renders_human_and_json() {
+        let mut r = Report::new();
+        r.push(
+            Diagnostic::new(Code::Spc003, "spec.txt:2", "unknown program `nope`")
+                .with_help("run `corun programs` for the list"),
+        );
+        r.push(Diagnostic::new(
+            Code::Spc004,
+            "spec.txt:3",
+            "scale x100 is extreme",
+        ));
+        let human = r.render_human();
+        assert!(human.contains("error[SPC003]: spec.txt:2: unknown program `nope`"));
+        assert!(human.contains("help: run `corun programs`"));
+        assert!(human.contains("1 error, 1 warning"));
+        let json = r.render_json();
+        assert!(json.contains("\"code\": \"SPC003\""));
+        assert!(json.contains("\"severity\": \"warning\""));
+        assert!(json.starts_with('[') && json.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_newlines() {
+        let r = Report::from_diagnostics(vec![Diagnostic::new(
+            Code::Spc001,
+            "a\"b",
+            "line\nbreak\tand \\ slash",
+        )]);
+        let json = r.render_json();
+        assert!(json.contains("a\\\"b"));
+        assert!(json.contains("line\\nbreak\\tand \\\\ slash"));
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let r = Report::new();
+        assert!(r.is_clean());
+        assert!(r.is_empty());
+        assert!(r.render_human().contains("clean"));
+        assert_eq!(r.render_json().trim(), "[]");
+    }
+}

@@ -1,0 +1,166 @@
+//! The `LintPass` trait and the pass registry.
+//!
+//! A pass inspects whatever slice of the [`LintContext`] it cares about
+//! and appends diagnostics. Passes are registered on a [`Linter`], which
+//! runs them in registration order; new invariants plug in by adding a
+//! type and one `register` call.
+
+use apu_sim::MachineConfig;
+use corun_core::{CoRunModel, Schedule};
+
+use crate::diag::{Diagnostic, Report};
+
+/// Everything a pass may look at. Fields are optional so one registry
+/// serves schedule-only, config-only, and combined lint runs; a pass
+/// that is missing its inputs does nothing.
+pub struct LintContext<'a> {
+    /// The performance/power model backing schedule semantics.
+    pub model: Option<&'a dyn CoRunModel>,
+    /// The schedule under inspection.
+    pub schedule: Option<&'a Schedule>,
+    /// The power cap the schedule must respect, watts.
+    pub cap_w: Option<f64>,
+    /// Whether the schedule's frequency levels are planned (the
+    /// scheduler chose them and is accountable for cap feasibility) or
+    /// governor-owned (a runtime governor clips power, so an infeasible
+    /// static level is only a warning). Defaults to `true`.
+    pub levels_planned: bool,
+    /// A makespan claimed for this schedule by an external report, if
+    /// any; checked against the lower bound alongside the model's own
+    /// evaluation.
+    pub reported_makespan_s: Option<f64>,
+    /// The machine config under inspection.
+    pub machine: Option<&'a MachineConfig>,
+}
+
+impl<'a> LintContext<'a> {
+    /// Empty context; populate the fields the passes you run need.
+    pub fn new() -> Self {
+        LintContext {
+            model: None,
+            schedule: None,
+            cap_w: None,
+            levels_planned: true,
+            reported_makespan_s: None,
+            machine: None,
+        }
+    }
+
+    /// Context for linting a schedule against a model.
+    pub fn for_schedule(
+        model: &'a dyn CoRunModel,
+        schedule: &'a Schedule,
+        cap_w: Option<f64>,
+    ) -> Self {
+        LintContext {
+            model: Some(model),
+            schedule: Some(schedule),
+            cap_w,
+            ..Self::new()
+        }
+    }
+
+    /// Context for linting a machine config.
+    pub fn for_machine(machine: &'a MachineConfig) -> Self {
+        LintContext {
+            machine: Some(machine),
+            ..Self::new()
+        }
+    }
+}
+
+impl Default for LintContext<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One composable check.
+pub trait LintPass {
+    /// Short stable name, e.g. `"schedule-completeness"`.
+    fn name(&self) -> &'static str;
+
+    /// Inspect `ctx` and append findings to `out`. A pass must not
+    /// panic on broken input — broken input is exactly what it exists
+    /// to report.
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// An ordered registry of passes.
+#[derive(Default)]
+pub struct Linter {
+    passes: Vec<Box<dyn LintPass>>,
+}
+
+impl Linter {
+    /// Empty linter.
+    pub fn new() -> Self {
+        Linter { passes: Vec::new() }
+    }
+
+    /// Linter with every built-in pass registered (schedule and machine
+    /// passes; spec linting has its own entry point in [`crate::spec`]
+    /// because it works on text, not on a built context).
+    pub fn with_default_passes() -> Self {
+        let mut l = Linter::new();
+        l.register(Box::new(crate::schedule::CompletenessPass));
+        l.register(Box::new(crate::schedule::LevelRangePass));
+        l.register(Box::new(crate::schedule::TheoremPass));
+        l.register(Box::new(crate::schedule::CapFeasibilityPass));
+        l.register(Box::new(crate::schedule::BoundPass));
+        l.register(Box::new(crate::config::MachineConfigPass));
+        l
+    }
+
+    /// Add a pass; it runs after all previously registered passes.
+    pub fn register(&mut self, pass: Box<dyn LintPass>) {
+        self.passes.push(pass);
+    }
+
+    /// Names of the registered passes, in run order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Run every pass over `ctx` and collect the findings.
+    pub fn run(&self, ctx: &LintContext<'_>) -> Report {
+        let mut out = Vec::new();
+        for pass in &self.passes {
+            pass.run(ctx, &mut out);
+        }
+        Report::from_diagnostics(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Code;
+
+    struct AlwaysWarn;
+    impl LintPass for AlwaysWarn {
+        fn name(&self) -> &'static str {
+            "always-warn"
+        }
+        fn run(&self, _ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+            out.push(Diagnostic::new(Code::Spc004, "here", "synthetic"));
+        }
+    }
+
+    #[test]
+    fn custom_passes_register_and_run_in_order() {
+        let mut l = Linter::new();
+        l.register(Box::new(AlwaysWarn));
+        l.register(Box::new(AlwaysWarn));
+        let report = l.run(&LintContext::new());
+        assert_eq!(report.len(), 2);
+        assert_eq!(l.pass_names(), vec!["always-warn", "always-warn"]);
+    }
+
+    #[test]
+    fn default_passes_do_nothing_on_empty_context() {
+        let l = Linter::with_default_passes();
+        let report = l.run(&LintContext::new());
+        assert!(report.is_empty(), "no inputs, no findings: {report:?}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Text schedule files, so `corun lint` can check schedules produced
+//! outside this process (hand-written, or dumped by another tool).
+//!
+//! ```text
+//! # four jobs under a 15 W cap
+//! jobs 4
+//! cap 15
+//! makespan 42.5        # optional claimed makespan, checked by SCH004
+//! cpu j0@L3 j2@L1      # CPU co-run queue, in order
+//! gpu j1@L4
+//! solo j3 cpu L2       # solo tail: job, device, level
+//! ```
+
+use apu_sim::Device;
+use corun_core::{Assignment, Schedule, SoloRun};
+
+/// A parsed schedule file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleFile {
+    /// The schedule itself.
+    pub schedule: Schedule,
+    /// Declared workload size (`jobs N`), if present.
+    pub jobs: Option<usize>,
+    /// Declared power cap (`cap W`), if present.
+    pub cap_w: Option<f64>,
+    /// Claimed makespan (`makespan S`), if present.
+    pub makespan_s: Option<f64>,
+}
+
+/// Parse the text schedule format. Returns the first syntax error with
+/// its line number; semantic problems are the lint passes' job.
+pub fn parse_schedule_file(text: &str) -> Result<ScheduleFile, String> {
+    let mut out = ScheduleFile {
+        schedule: Schedule::new(),
+        jobs: None,
+        cap_w: None,
+        makespan_s: None,
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        let head = toks.next().unwrap_or("");
+        match head {
+            "jobs" => out.jobs = Some(parse_tail(&mut toks, lineno, "jobs")?),
+            "cap" => out.cap_w = Some(parse_tail(&mut toks, lineno, "cap")?),
+            "makespan" => out.makespan_s = Some(parse_tail(&mut toks, lineno, "makespan")?),
+            "cpu" | "gpu" => {
+                let queue = if head == "cpu" {
+                    &mut out.schedule.cpu
+                } else {
+                    &mut out.schedule.gpu
+                };
+                for tok in toks {
+                    let (job, level) = parse_assignment(tok, lineno)?;
+                    queue.push(Assignment { job, level });
+                }
+            }
+            "solo" => {
+                let job_tok = toks
+                    .next()
+                    .ok_or_else(|| format!("line {lineno}: `solo` needs a job, got nothing"))?;
+                let job = parse_job_id(job_tok, lineno)?;
+                let device = match toks.next() {
+                    Some("cpu") => Device::Cpu,
+                    Some("gpu") => Device::Gpu,
+                    other => {
+                        return Err(format!(
+                            "line {lineno}: `solo` device must be cpu or gpu, got `{}`",
+                            other.unwrap_or("")
+                        ))
+                    }
+                };
+                let level_tok = toks
+                    .next()
+                    .ok_or_else(|| format!("line {lineno}: `solo` needs a level like L2"))?;
+                let level = parse_level(level_tok, lineno)?;
+                if let Some(extra) = toks.next() {
+                    return Err(format!("line {lineno}: unexpected token `{extra}`"));
+                }
+                out.schedule.solo_tail.push(SoloRun { job, device, level });
+            }
+            _ => {
+                return Err(format!(
+                    "line {lineno}: unknown directive `{head}` \
+                     (expected jobs/cap/makespan/cpu/gpu/solo)"
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_tail<'a, T: std::str::FromStr>(
+    toks: &mut impl Iterator<Item = &'a str>,
+    lineno: usize,
+    what: &str,
+) -> Result<T, String> {
+    let tok = toks
+        .next()
+        .ok_or_else(|| format!("line {lineno}: `{what}` needs a value"))?;
+    if let Some(extra) = toks.next() {
+        return Err(format!(
+            "line {lineno}: unexpected token `{extra}` after `{what}`"
+        ));
+    }
+    tok.parse()
+        .map_err(|_| format!("line {lineno}: cannot parse `{tok}` as a value for `{what}`"))
+}
+
+/// `j3@L2` → (3, 2).
+fn parse_assignment(tok: &str, lineno: usize) -> Result<(usize, usize), String> {
+    let (job, level) = tok
+        .split_once('@')
+        .ok_or_else(|| format!("line {lineno}: expected `jN@LM`, got `{tok}`"))?;
+    Ok((parse_job_id(job, lineno)?, parse_level(level, lineno)?))
+}
+
+fn parse_job_id(tok: &str, lineno: usize) -> Result<usize, String> {
+    tok.strip_prefix('j')
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("line {lineno}: expected a job id like j3, got `{tok}`"))
+}
+
+fn parse_level(tok: &str, lineno: usize) -> Result<usize, String> {
+    tok.strip_prefix('L')
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("line {lineno}: expected a level like L2, got `{tok}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_format() {
+        let f = parse_schedule_file(
+            "# header\njobs 4\ncap 15\nmakespan 42.5\ncpu j0@L3 j2@L1\ngpu j1@L4\nsolo j3 cpu L2\n",
+        )
+        .unwrap();
+        assert_eq!(f.jobs, Some(4));
+        assert_eq!(f.cap_w, Some(15.0));
+        assert_eq!(f.makespan_s, Some(42.5));
+        assert_eq!(f.schedule.cpu.len(), 2);
+        assert_eq!(f.schedule.cpu[1], Assignment { job: 2, level: 1 });
+        assert_eq!(f.schedule.gpu, vec![Assignment { job: 1, level: 4 }]);
+        assert_eq!(
+            f.schedule.solo_tail,
+            vec![SoloRun {
+                job: 3,
+                device: Device::Cpu,
+                level: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn multiple_queue_lines_append() {
+        let f = parse_schedule_file("cpu j0@L0\ncpu j1@L1\n").unwrap();
+        assert_eq!(f.schedule.cpu.len(), 2);
+        assert_eq!(f.jobs, None);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "wat j0@L1",
+            "cpu j0",
+            "cpu 0@L1",
+            "cpu j0@M1",
+            "solo j0 tpu L1",
+            "solo j0 cpu",
+            "jobs many",
+            "cap",
+            "cap 15 16",
+            "solo j0 cpu L1 extra",
+        ] {
+            let r = parse_schedule_file(bad);
+            assert!(r.is_err(), "`{bad}` must be rejected");
+            assert!(r.unwrap_err().contains("line 1"));
+        }
+    }
+
+    #[test]
+    fn empty_file_is_an_empty_schedule() {
+        let f = parse_schedule_file("# nothing\n").unwrap();
+        assert!(f.schedule.is_empty());
+    }
+}

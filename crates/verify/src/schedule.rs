@@ -1,0 +1,528 @@
+//! `SCH0xx` — lint passes over co-run schedules.
+//!
+//! Structural passes (SCH001, SCH005) inspect the schedule alone.
+//! Semantic passes (SCH002–SCH004) evaluate it under the model; since
+//! `corun_core::evaluate` assumes a structurally valid schedule, they
+//! run on a sanitized copy (out-of-range and duplicate assignments
+//! dropped) so that a schedule broken in several ways still surfaces
+//! every defect class in one lint run.
+
+use apu_sim::Device;
+use corun_core::{corun_beneficial, evaluate, lower_bound, CoRunModel, Schedule};
+
+use crate::diag::{Code, Diagnostic, Severity};
+use crate::pass::{LintContext, LintPass};
+
+/// Relative slack applied to bound and cap comparisons so evaluation
+/// round-off never trips a lint.
+const REL_TOL: f64 = 1e-6;
+
+/// SCH001: every job assigned exactly once.
+pub struct CompletenessPass;
+
+impl LintPass for CompletenessPass {
+    fn name(&self) -> &'static str {
+        "schedule-completeness"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let (Some(model), Some(schedule)) = (ctx.model, ctx.schedule) else {
+            return;
+        };
+        let cov = schedule.coverage(model.len());
+        for &j in &cov.duplicates {
+            out.push(
+                Diagnostic::new(
+                    Code::Sch001,
+                    "schedule",
+                    format!("job j{j} ({}) is scheduled more than once", model.name(j)),
+                )
+                .with_help(
+                    "each job must appear exactly once across the cpu, gpu, and solo queues",
+                ),
+            );
+        }
+        for &j in &cov.missing {
+            out.push(
+                Diagnostic::new(
+                    Code::Sch001,
+                    "schedule",
+                    format!("job j{j} ({}) is never scheduled", model.name(j)),
+                )
+                .with_help("append the job to a co-run queue or the solo tail"),
+            );
+        }
+        for &j in &cov.out_of_range {
+            out.push(Diagnostic::new(
+                Code::Sch001,
+                "schedule",
+                format!(
+                    "job id j{j} is out of range for a {}-job workload",
+                    model.len()
+                ),
+            ));
+        }
+    }
+}
+
+/// SCH005: every frequency level indexes the device's DVFS ladder.
+pub struct LevelRangePass;
+
+impl LintPass for LevelRangePass {
+    fn name(&self) -> &'static str {
+        "schedule-level-range"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let (Some(model), Some(schedule)) = (ctx.model, ctx.schedule) else {
+            return;
+        };
+        let report = |out: &mut Vec<Diagnostic>, loc: String, level: usize, device: Device| {
+            let k = model.levels(device);
+            out.push(
+                Diagnostic::new(
+                    Code::Sch005,
+                    loc,
+                    format!("frequency level L{level} is out of range for the {device} ladder"),
+                )
+                .with_help(format!(
+                    "the {device} ladder has {k} levels: L0..L{}",
+                    k.saturating_sub(1)
+                )),
+            );
+        };
+        for (device, queue) in [(Device::Cpu, &schedule.cpu), (Device::Gpu, &schedule.gpu)] {
+            for (i, a) in queue.iter().enumerate() {
+                if a.level >= model.levels(device) {
+                    report(out, format!("schedule.{device}[{i}]"), a.level, device);
+                }
+            }
+        }
+        for (i, s) in schedule.solo_tail.iter().enumerate() {
+            if s.level >= model.levels(s.device) {
+                report(out, format!("schedule.solo[{i}]"), s.level, s.device);
+            }
+        }
+    }
+}
+
+/// Copy of `schedule` with out-of-range jobs/levels and repeated job
+/// occurrences removed, safe to hand to `corun_core::evaluate`.
+fn sanitized(model: &dyn CoRunModel, schedule: &Schedule) -> Schedule {
+    let n = model.len();
+    let mut seen = vec![false; n];
+    let mut keep = |job: usize, level: usize, device: Device| {
+        let ok = job < n && level < model.levels(device) && !seen[job];
+        if ok {
+            seen[job] = true;
+        }
+        ok
+    };
+    let mut out = Schedule::new();
+    out.cpu = schedule
+        .cpu
+        .iter()
+        .copied()
+        .filter(|a| keep(a.job, a.level, Device::Cpu))
+        .collect();
+    out.gpu = schedule
+        .gpu
+        .iter()
+        .copied()
+        .filter(|a| keep(a.job, a.level, Device::Gpu))
+        .collect();
+    out.solo_tail = schedule
+        .solo_tail
+        .iter()
+        .copied()
+        .filter(|s| keep(s.job, s.level, s.device))
+        .collect();
+    out
+}
+
+/// SCH002: warn about co-run pairs where the Co-Run Theorem says solo
+/// execution would beat the co-run.
+pub struct TheoremPass;
+
+impl LintPass for TheoremPass {
+    fn name(&self) -> &'static str {
+        "schedule-corun-theorem"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let (Some(model), Some(schedule)) = (ctx.model, ctx.schedule) else {
+            return;
+        };
+        let safe = sanitized(model, schedule);
+        let eval = evaluate(model, &safe, None);
+        let mut seen_pairs = Vec::new();
+        for seg in &eval.segments {
+            let (Some((cj, cl)), Some((gj, gl))) = (seg.cpu, seg.gpu) else {
+                continue;
+            };
+            if seen_pairs.contains(&(cj, cl, gj, gl)) {
+                continue;
+            }
+            seen_pairs.push((cj, cl, gj, gl));
+            let l1 = model.standalone(cj, Device::Cpu, cl);
+            let l2 = model.standalone(gj, Device::Gpu, gl);
+            let d1 = model.degradation(cj, Device::Cpu, cl, gj, gl);
+            let d2 = model.degradation(gj, Device::Gpu, gl, cj, cl);
+            if !corun_beneficial(l1, d1, l2, d2) {
+                out.push(
+                    Diagnostic::new(
+                        Code::Sch002,
+                        format!("schedule pair (j{cj}@L{cl} cpu, j{gj}@L{gl} gpu)"),
+                        format!(
+                            "co-running {} with {} is predicted slower than running them \
+                             sequentially (l_a*d_a >= l_b)",
+                            model.name(cj),
+                            model.name(gj),
+                        ),
+                    )
+                    .with_help(
+                        "Co-Run Theorem (Sec. IV-A): pair jobs so the larger co-run length \
+                         satisfies l_a*d_a < l_b, or move one job to the solo tail",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// SCH003: segments whose modeled package power exceeds the cap.
+///
+/// An error when the schedule's levels are planned (the scheduler chose
+/// them and owns cap feasibility); a warning when a runtime governor
+/// owns the levels, because the static assignment is then only a hint.
+pub struct CapFeasibilityPass;
+
+impl LintPass for CapFeasibilityPass {
+    fn name(&self) -> &'static str {
+        "schedule-cap-feasibility"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let (Some(model), Some(schedule), Some(cap)) = (ctx.model, ctx.schedule, ctx.cap_w) else {
+            return;
+        };
+        if !cap.is_finite() {
+            return;
+        }
+        let safe = sanitized(model, schedule);
+        let eval = evaluate(model, &safe, Some(cap));
+        let severity = if ctx.levels_planned {
+            Severity::Error
+        } else {
+            Severity::Warning
+        };
+        let mut seen = Vec::new();
+        for seg in &eval.segments {
+            if seg.power_w <= cap * (1.0 + REL_TOL) {
+                continue;
+            }
+            let key = (seg.cpu, seg.gpu);
+            if seen.contains(&key) {
+                continue;
+            }
+            seen.push(key);
+            let describe = |side: Option<(usize, usize)>, dev: &str| match side {
+                Some((j, l)) => format!("j{j}@L{l} {dev}"),
+                None => format!("idle {dev}"),
+            };
+            let mut d = Diagnostic::new(
+                Code::Sch003,
+                format!(
+                    "schedule segment ({}, {})",
+                    describe(seg.cpu, "cpu"),
+                    describe(seg.gpu, "gpu")
+                ),
+                format!(
+                    "modeled package power {:.2} W exceeds the {:.2} W cap",
+                    seg.power_w, cap
+                ),
+            )
+            .with_severity(severity);
+            d = if ctx.levels_planned {
+                d.with_help(
+                    "pick a feasible frequency pair (see corun_core::feasible_pair_settings) \
+                     or raise the cap",
+                )
+            } else {
+                d.with_help(
+                    "levels are governor-owned: the runtime governor will clip power, but the \
+                     static plan overshoots the cap",
+                )
+            };
+            out.push(d);
+        }
+    }
+}
+
+/// SCH004: makespans below the theoretical lower bound.
+///
+/// Checks both the model's own evaluation of the schedule and, when the
+/// context carries one, an externally reported makespan. Skipped for
+/// structurally incomplete schedules — a schedule missing jobs trivially
+/// "beats" the bound and SCH001 already covers it.
+pub struct BoundPass;
+
+impl LintPass for BoundPass {
+    fn name(&self) -> &'static str {
+        "schedule-lower-bound"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let (Some(model), Some(schedule)) = (ctx.model, ctx.schedule) else {
+            return;
+        };
+        if !schedule.coverage(model.len()).is_complete() {
+            return;
+        }
+        // The cap-constrained bound only binds schedules whose levels
+        // were planned under that cap. A governor-owned schedule runs at
+        // whatever levels it likes in the model (the governor clips power
+        // at runtime), so only the uncapped bound is sound for it.
+        let cap = if ctx.levels_planned {
+            ctx.cap_w.unwrap_or(f64::INFINITY)
+        } else {
+            f64::INFINITY
+        };
+        let bound = lower_bound(model, cap);
+        let t_low = bound.t_low_s;
+        let tol = t_low * REL_TOL + 1e-9;
+        let eval = evaluate(model, schedule, ctx.cap_w);
+        if eval.makespan_s < t_low - tol {
+            out.push(
+                Diagnostic::new(
+                    Code::Sch004,
+                    "schedule",
+                    format!(
+                        "evaluated makespan {:.3} s is below the theoretical lower bound {:.3} s",
+                        eval.makespan_s, t_low
+                    ),
+                )
+                .with_help("the model and the bound disagree; one of them is corrupted"),
+            );
+        }
+        if let Some(reported) = ctx.reported_makespan_s {
+            if reported < t_low - tol {
+                out.push(
+                    Diagnostic::new(
+                        Code::Sch004,
+                        "report.makespan",
+                        format!(
+                            "reported makespan {reported:.3} s is below the theoretical lower \
+                             bound {t_low:.3} s (Sec. IV-B)",
+                        ),
+                    )
+                    .with_help("no schedule can beat the bound; the report is not trustworthy"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint_schedule;
+    use corun_core::{Assignment, SoloRun, TableModel};
+
+    /// Four jobs; pairing j0 with j1 is hostile (huge mutual
+    /// degradation), everything else benign. Power: 4 W idle, 3 W per
+    /// solo device at top level, scaling down with level.
+    fn model() -> TableModel {
+        let names: Vec<String> = (0..4).map(|i| format!("job{i}")).collect();
+        TableModel::build(
+            names,
+            4,
+            3,
+            4.0,
+            |i, dev, f| {
+                let base = 10.0 + 5.0 * i as f64;
+                let dev_mult = if dev == Device::Cpu { 1.0 } else { 0.8 };
+                // higher level => faster
+                base * dev_mult / (1.0 + 0.3 * f as f64)
+            },
+            |i, _dev, _f, j, _g| {
+                if i + j == 1 {
+                    2.5 // j0 vs j1: co-run strictly worse than sequential
+                } else {
+                    0.05
+                }
+            },
+            |_i, dev, f| {
+                let k = if dev == Device::Cpu { 4 } else { 3 };
+                2.0 + 3.0 * (f as f64 + 1.0) / k as f64
+            },
+        )
+    }
+
+    fn complete_schedule() -> Schedule {
+        Schedule {
+            cpu: vec![Assignment { job: 0, level: 3 }],
+            gpu: vec![Assignment { job: 2, level: 2 }],
+            solo_tail: vec![
+                SoloRun {
+                    job: 1,
+                    device: Device::Cpu,
+                    level: 3,
+                },
+                SoloRun {
+                    job: 3,
+                    device: Device::Gpu,
+                    level: 2,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn clean_schedule_lints_clean() {
+        let m = model();
+        let report = lint_schedule(&m, &complete_schedule(), Some(100.0), true);
+        assert!(report.is_empty(), "{}", report.render_human());
+    }
+
+    #[test]
+    fn sch001_duplicate_missing_and_out_of_range() {
+        let m = model();
+        let s = Schedule {
+            cpu: vec![
+                Assignment { job: 0, level: 0 },
+                Assignment { job: 0, level: 1 },
+            ],
+            gpu: vec![Assignment { job: 9, level: 0 }],
+            solo_tail: vec![SoloRun {
+                job: 2,
+                device: Device::Gpu,
+                level: 0,
+            }],
+        };
+        let report = lint_schedule(&m, &s, Some(100.0), true);
+        // duplicate j0, missing j1 and j3, out-of-range j9
+        assert_eq!(report.count(Code::Sch001), 4, "{}", report.render_human());
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn sch005_level_out_of_range_everywhere() {
+        let m = model();
+        let s = Schedule {
+            cpu: vec![Assignment { job: 0, level: 99 }],
+            gpu: vec![Assignment { job: 1, level: 3 }], // gpu ladder has 3 levels: L0..L2
+            solo_tail: vec![SoloRun {
+                job: 2,
+                device: Device::Cpu,
+                level: 4,
+            }],
+        };
+        let report = lint_schedule(&m, &s, None, true);
+        assert_eq!(report.count(Code::Sch005), 3, "{}", report.render_human());
+    }
+
+    #[test]
+    fn sch002_hostile_pair_is_warned() {
+        let m = model();
+        let s = Schedule {
+            cpu: vec![Assignment { job: 0, level: 3 }],
+            gpu: vec![Assignment { job: 1, level: 2 }],
+            solo_tail: vec![
+                SoloRun {
+                    job: 2,
+                    device: Device::Cpu,
+                    level: 3,
+                },
+                SoloRun {
+                    job: 3,
+                    device: Device::Gpu,
+                    level: 2,
+                },
+            ],
+        };
+        let report = lint_schedule(&m, &s, None, true);
+        assert!(report.has(Code::Sch002), "{}", report.render_human());
+        // theorem violations are warnings, not errors
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn sch003_cap_infeasible_pair_severity_tracks_planning() {
+        let m = model();
+        let s = Schedule {
+            cpu: vec![Assignment { job: 0, level: 3 }],
+            gpu: vec![Assignment { job: 2, level: 2 }],
+            solo_tail: vec![
+                SoloRun {
+                    job: 1,
+                    device: Device::Cpu,
+                    level: 3,
+                },
+                SoloRun {
+                    job: 3,
+                    device: Device::Gpu,
+                    level: 2,
+                },
+            ],
+        };
+        // top-level pair power: 4 idle + 3 cpu + 3 gpu (minus idle shares)
+        // => anything capped below that trips SCH003.
+        let planned = lint_schedule(&m, &s, Some(5.0), true);
+        assert!(planned.has(Code::Sch003), "{}", planned.render_human());
+        assert!(planned.has_errors());
+        let governed = lint_schedule(&m, &s, Some(5.0), false);
+        assert!(governed.has(Code::Sch003));
+        assert!(
+            governed.is_clean(),
+            "governor-owned levels downgrade to warning"
+        );
+    }
+
+    #[test]
+    fn sch004_reported_makespan_below_bound() {
+        let m = model();
+        let s = complete_schedule();
+        let ctx = LintContext {
+            reported_makespan_s: Some(0.001),
+            ..LintContext::for_schedule(&m, &s, Some(100.0))
+        };
+        let report = crate::pass::Linter::with_default_passes().run(&ctx);
+        assert!(report.has(Code::Sch004), "{}", report.render_human());
+    }
+
+    #[test]
+    fn broken_structure_still_surfaces_semantic_lints() {
+        let m = model();
+        // duplicate j0 AND a hostile pair AND an out-of-range level:
+        // one lint run reports all three classes.
+        let s = Schedule {
+            cpu: vec![
+                Assignment { job: 0, level: 3 },
+                Assignment { job: 0, level: 99 },
+            ],
+            gpu: vec![Assignment { job: 1, level: 2 }],
+            solo_tail: vec![SoloRun {
+                job: 2,
+                device: Device::Cpu,
+                level: 3,
+            }],
+        };
+        let report = lint_schedule(&m, &s, None, true);
+        assert!(report.has(Code::Sch001));
+        assert!(report.has(Code::Sch005));
+        assert!(report.has(Code::Sch002), "{}", report.render_human());
+    }
+
+    #[test]
+    fn incomplete_schedule_skips_bound_check() {
+        let m = model();
+        let s = Schedule {
+            cpu: vec![Assignment { job: 0, level: 3 }],
+            ..Schedule::new()
+        };
+        let report = lint_schedule(&m, &s, Some(100.0), true);
+        assert!(report.has(Code::Sch001));
+        assert!(!report.has(Code::Sch004), "{}", report.render_human());
+    }
+}

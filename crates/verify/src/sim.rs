@@ -1,0 +1,104 @@
+//! `SIM0xx` — conversion of `apu_sim::sanitize` violation records into
+//! diagnostics. Only built with the `sanitize` feature, which forwards
+//! to `apu-sim/sanitize`.
+
+use apu_sim::sanitize::{self, Violation};
+
+use crate::diag::{Code, Diagnostic, Report};
+
+/// Convert recorded violations into diagnostics.
+pub fn diagnostics_from(violations: &[Violation]) -> Vec<Diagnostic> {
+    violations
+        .iter()
+        .map(|v| match v {
+            Violation::ClockWentBackwards { from_s, to_s } => Diagnostic::new(
+                Code::Sim001,
+                format!("sim t={from_s:.4}s"),
+                format!("simulation clock went backwards: {from_s:.6} s -> {to_s:.6} s"),
+            ),
+            Violation::EnergyMismatch {
+                at_s,
+                avg_w,
+                min_w,
+                max_w,
+            } => Diagnostic::new(
+                Code::Sim002,
+                format!("sim t={at_s:.4}s"),
+                format!(
+                    "window-average power {avg_w:.3} W outside the instantaneous envelope \
+                     [{min_w:.3}, {max_w:.3}] W"
+                ),
+            )
+            .with_help("energy integrated over the window does not match the samples"),
+            Violation::CapExcursion {
+                start_s,
+                end_s,
+                cap_w,
+                peak_w,
+            } => Diagnostic::new(
+                Code::Sim003,
+                format!("sim t={start_s:.4}..{end_s:.4}s"),
+                format!(
+                    "package power exceeded the {cap_w:.1} W cap (peak {peak_w:.2} W) beyond \
+                     the governor reaction tolerance"
+                ),
+            )
+            .with_help("the governor failed to clip power; check its bias and step policy"),
+            Violation::NonPhysicalPower { power_w } => Diagnostic::new(
+                Code::Sim004,
+                "sim power model",
+                format!("non-physical package power {power_w} W"),
+            ),
+        })
+        .collect()
+}
+
+/// Drain this thread's sanitizer store into a report.
+pub fn drain() -> Report {
+    Report::from_diagnostics(diagnostics_from(&sanitize::take()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_violation_kind_maps_to_its_code() {
+        let diags = diagnostics_from(&[
+            Violation::ClockWentBackwards {
+                from_s: 1.0,
+                to_s: 0.5,
+            },
+            Violation::EnergyMismatch {
+                at_s: 2.0,
+                avg_w: 50.0,
+                min_w: 5.0,
+                max_w: 10.0,
+            },
+            Violation::CapExcursion {
+                start_s: 0.0,
+                end_s: 3.0,
+                cap_w: 15.0,
+                peak_w: 22.0,
+            },
+            Violation::NonPhysicalPower { power_w: -4.0 },
+        ]);
+        let codes: Vec<Code> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes,
+            vec![Code::Sim001, Code::Sim002, Code::Sim003, Code::Sim004]
+        );
+        assert!(diags
+            .iter()
+            .all(|d| d.severity == crate::diag::Severity::Error));
+    }
+
+    #[test]
+    fn drain_converts_and_clears() {
+        sanitize::reset();
+        sanitize::record(Violation::NonPhysicalPower { power_w: f64::NAN });
+        let report = drain();
+        assert_eq!(report.count(Code::Sim004), 1);
+        assert!(drain().is_empty());
+    }
+}

@@ -1,0 +1,307 @@
+//! `SPC0xx` — workload-spec parsing and lints.
+//!
+//! A spec is a plain text file, one job per line:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! streamcluster            # one instance, default input
+//! dwt2d x1.5               # one instance, input scaled 1.5x
+//! lud x0.8 *3              # three instances at 0.8x input
+//! ```
+//!
+//! This module (moved here from the CLI so every tool lints specs the
+//! same way) offers two entry points: [`lint_spec`] is tolerant — it
+//! collects *all* problems as diagnostics and returns whatever lines
+//! still parsed — while [`parse_spec`] is strict and fails on the first
+//! error, for call sites that just want jobs or a refusal.
+
+use apu_sim::{JobSpec, MachineConfig};
+use kernels::{by_name, program_defs, with_input_scale};
+
+use crate::diag::{Code, Diagnostic, Report};
+
+/// Input scales outside this range are far from the calibrated Table I
+/// workloads and get an SPC004 warning.
+pub const SCALE_RANGE: (f64, f64) = (0.05, 20.0);
+
+/// Instance counts above this get an SPC005 warning (the simulator is
+/// fine, but a single spec line this wide is usually a typo).
+pub const MAX_SANE_COUNT: usize = 64;
+
+/// One parsed spec line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecLine {
+    /// Program name (must exist in the calibrated suite).
+    pub name: String,
+    /// Input scale.
+    pub scale: f64,
+    /// Instance count.
+    pub count: usize,
+    /// 1-based source line, for diagnostics.
+    pub line: usize,
+}
+
+/// Tolerant spec lint: parse what parses, report everything that does
+/// not. Purely syntactic (SPC001, SPC002, SPC004–SPC006); resolve
+/// program names with [`lint_spec_programs`] or go through
+/// [`lint_spec_full`].
+pub fn lint_spec(text: &str) -> (Vec<SpecLine>, Report) {
+    let mut lines = Vec::new();
+    let mut report = Report::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let loc = format!("spec:{lineno}");
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut name = None;
+        let mut scale = 1.0;
+        let mut count = 1usize;
+        let mut ok = true;
+        for tok in line.split_whitespace() {
+            if let Some(s) = tok.strip_prefix('x') {
+                match s.parse::<f64>() {
+                    Ok(v) if v > 0.0 => scale = v,
+                    Ok(v) => {
+                        report.push(Diagnostic::new(
+                            Code::Spc001,
+                            loc.clone(),
+                            format!("scale must be positive, got x{v}"),
+                        ));
+                        ok = false;
+                    }
+                    Err(_) => {
+                        report.push(Diagnostic::new(
+                            Code::Spc001,
+                            loc.clone(),
+                            format!("bad scale `{tok}`"),
+                        ));
+                        ok = false;
+                    }
+                }
+            } else if let Some(c) = tok.strip_prefix('*') {
+                match c.parse::<usize>() {
+                    Ok(v) if v >= 1 => count = v,
+                    _ => {
+                        report.push(
+                            Diagnostic::new(
+                                Code::Spc001,
+                                loc.clone(),
+                                format!("bad count `{tok}`"),
+                            )
+                            .with_help("counts are written `*N` with N >= 1"),
+                        );
+                        ok = false;
+                    }
+                }
+            } else if name.is_none() {
+                name = Some(tok.to_owned());
+            } else {
+                report.push(
+                    Diagnostic::new(
+                        Code::Spc001,
+                        loc.clone(),
+                        format!("unexpected token `{tok}`"),
+                    )
+                    .with_help("a spec line is `name [xSCALE] [*COUNT]`"),
+                );
+                ok = false;
+            }
+        }
+        let Some(name) = name else {
+            report.push(Diagnostic::new(Code::Spc001, loc, "missing program name"));
+            continue;
+        };
+        if !ok {
+            continue;
+        }
+        if scale < SCALE_RANGE.0 || scale > SCALE_RANGE.1 {
+            report.push(
+                Diagnostic::new(
+                    Code::Spc004,
+                    loc.clone(),
+                    format!(
+                        "input scale x{scale} is far outside the calibrated range \
+                         [x{}, x{}]",
+                        SCALE_RANGE.0, SCALE_RANGE.1
+                    ),
+                )
+                .with_help("predictions degrade away from the characterized inputs"),
+            );
+        }
+        if count > MAX_SANE_COUNT {
+            report.push(Diagnostic::new(
+                Code::Spc005,
+                loc.clone(),
+                format!("{count} instances on one line (more than {MAX_SANE_COUNT}); typo?"),
+            ));
+        }
+        if let Some(prev) = lines
+            .iter()
+            .find(|p: &&SpecLine| p.name == name && (p.scale - scale).abs() < 1e-12)
+        {
+            report.push(
+                Diagnostic::new(
+                    Code::Spc006,
+                    loc.clone(),
+                    format!("duplicate of line {} (`{} x{}`)", prev.line, name, scale),
+                )
+                .with_help("use `*N` on one line to ask for N instances"),
+            );
+        }
+        lines.push(SpecLine {
+            name,
+            scale,
+            count,
+            line: lineno,
+        });
+    }
+    if lines.is_empty() && !report.has_errors() {
+        report.push(
+            Diagnostic::new(Code::Spc002, "spec", "spec contains no jobs")
+                .with_help("add at least one `name [xSCALE] [*COUNT]` line"),
+        );
+    }
+    (lines, report)
+}
+
+/// SPC003: check every parsed line names a program in the calibrated
+/// suite.
+pub fn lint_spec_programs(lines: &[SpecLine]) -> Report {
+    let known: Vec<&str> = program_defs().iter().map(|d| d.name).collect();
+    let mut report = Report::new();
+    for l in lines {
+        if !known.contains(&l.name.as_str()) {
+            report.push(
+                Diagnostic::new(
+                    Code::Spc003,
+                    format!("spec:{}", l.line),
+                    format!("unknown program `{}`", l.name),
+                )
+                .with_help(format!("calibrated programs: {}", known.join(", "))),
+            );
+        }
+    }
+    report
+}
+
+/// All spec lints at once: syntax plus program-name resolution.
+pub fn lint_spec_full(text: &str) -> (Vec<SpecLine>, Report) {
+    let (lines, mut report) = lint_spec(text);
+    report.merge(lint_spec_programs(&lines));
+    (lines, report)
+}
+
+/// Strict parse: the first error-severity finding aborts. Warnings are
+/// tolerated silently — use [`lint_spec`] to see them.
+pub fn parse_spec(text: &str) -> Result<Vec<SpecLine>, String> {
+    let (lines, report) = lint_spec(text);
+    if let Some(d) = report.errors().next() {
+        return Err(d.to_string());
+    }
+    Ok(lines)
+}
+
+/// Materialize a parsed spec into jobs on `machine`.
+pub fn build_jobs(machine: &MachineConfig, spec: &[SpecLine]) -> Result<Vec<JobSpec>, String> {
+    let mut jobs = Vec::new();
+    for line in spec {
+        let base = by_name(machine, &line.name)
+            .ok_or_else(|| format!("unknown program `{}`", line.name))?;
+        for k in 0..line.count {
+            let mut j = if (line.scale - 1.0).abs() < 1e-12 {
+                base.clone()
+            } else {
+                with_input_scale(&base, line.scale)
+            };
+            if line.count > 1 {
+                j.name = format!("{}@{k}", j.name);
+            }
+            jobs.push(j);
+        }
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(name: &str, scale: f64, count: usize, line: usize) -> SpecLine {
+        SpecLine {
+            name: name.into(),
+            scale,
+            count,
+            line,
+        }
+    }
+
+    #[test]
+    fn parses_full_grammar() {
+        let spec = parse_spec(
+            "# batch\nstreamcluster\ndwt2d x1.5\nlud x0.8 *3\n\nhotspot *2 # trailing\n",
+        )
+        .unwrap();
+        assert_eq!(spec.len(), 4);
+        assert_eq!(spec[0], line("streamcluster", 1.0, 1, 2));
+        assert_eq!(spec[1], line("dwt2d", 1.5, 1, 3));
+        assert_eq!(spec[2], line("lud", 0.8, 3, 4));
+        assert_eq!(spec[3], line("hotspot", 1.0, 2, 6));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_spec("").is_err());
+        assert!(parse_spec("lud xbad").is_err());
+        assert!(parse_spec("lud *0").is_err());
+        assert!(parse_spec("lud extra tokens").is_err());
+        assert!(parse_spec("x1.5").is_err());
+    }
+
+    #[test]
+    fn lint_collects_every_problem_at_once() {
+        let (lines, report) =
+            lint_spec_full("lud xbad\nnosuchprog\nlud x100\nlud *500\nhotspot\nhotspot\n");
+        assert!(report.has(Code::Spc001), "{}", report.render_human());
+        assert!(report.has(Code::Spc003));
+        assert!(report.has(Code::Spc004));
+        assert!(report.has(Code::Spc005));
+        assert!(report.has(Code::Spc006));
+        // the broken line is dropped, the rest parse
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn empty_spec_is_spc002() {
+        let (lines, report) = lint_spec("# nothing here\n");
+        assert!(lines.is_empty());
+        assert_eq!(report.count(Code::Spc002), 1);
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn warnings_do_not_fail_strict_parse() {
+        let spec = parse_spec("lud x15\n").unwrap();
+        assert_eq!(spec.len(), 1);
+    }
+
+    #[test]
+    fn builds_jobs_with_instancing() {
+        let machine = MachineConfig::ivy_bridge();
+        let spec = parse_spec("lud x0.5 *2\ndwt2d").unwrap();
+        let jobs = build_jobs(&machine, &spec).unwrap();
+        assert_eq!(jobs.len(), 3);
+        assert!(jobs[0].name.contains("@0"));
+        assert!(jobs[1].name.contains("@1"));
+        assert_eq!(jobs[2].name, "dwt2d");
+    }
+
+    #[test]
+    fn unknown_program_is_an_error() {
+        let machine = MachineConfig::ivy_bridge();
+        let spec = parse_spec("doesnotexist").unwrap();
+        assert!(build_jobs(&machine, &spec).is_err());
+        assert!(lint_spec_programs(&spec).has(Code::Spc003));
+    }
+}

@@ -23,7 +23,11 @@ use runtime::{CoScheduleRuntime, RuntimeConfig};
 fn main() {
     let machine = MachineConfig::ivy_bridge();
     let workload = random_batch(&machine, 12, 42);
-    println!("tonight's batch ({} jobs): {:?}", workload.len(), workload.names());
+    println!(
+        "tonight's batch ({} jobs): {:?}",
+        workload.len(),
+        workload.names()
+    );
 
     let mut cfg = RuntimeConfig::fast(&machine);
     cfg.cap_w = 15.0;
@@ -35,13 +39,18 @@ fn main() {
     let fifo = Schedule {
         cpu: vec![],
         gpu: (0..n)
-            .map(|job| Assignment { job, level: rt.machine().freqs.gpu.max_level() })
+            .map(|job| Assignment {
+                job,
+                level: rt.machine().freqs.gpu.max_level(),
+            })
             .collect(),
         solo_tail: vec![],
     };
     let t_fifo = rt.execute_governed(&fifo, Bias::Gpu).makespan_s;
 
-    let t_default = rt.execute_default(&rt.schedule_default(), Bias::Gpu).makespan_s;
+    let t_default = rt
+        .execute_default(&rt.schedule_default(), Bias::Gpu)
+        .makespan_s;
     let t_random = rt.random_avg_makespan(0..5);
     let hcs_plus = rt.schedule_hcs_plus();
     let report = rt.execute_planned(&hcs_plus);

@@ -1,0 +1,122 @@
+//! End-to-end tour of the `corun-verify` diagnostics engine: one
+//! deliberately broken artifact per error class, each linted and
+//! rendered the way `corun lint` would.
+//!
+//! Run with `cargo run -p corun-verify --example lint_demo`.
+
+use apu_sim::{Device, MachineConfig};
+use corun_core::{Assignment, Schedule, SoloRun, TableModel};
+use corun_verify::{apply_overrides, lint_machine, lint_schedule, lint_spec_full, Report};
+
+fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn show(report: &Report) {
+    print!("{}", report.render_human());
+}
+
+/// Small synthetic model: four jobs, 4 CPU / 3 GPU levels; the pair
+/// (job0, job1) interferes catastrophically, everything else is benign.
+fn demo_model() -> TableModel {
+    let names: Vec<String> = (0..4).map(|i| format!("job{i}")).collect();
+    TableModel::build(
+        names,
+        4,
+        3,
+        4.0,
+        |i, dev, f| {
+            let dev_mult = if dev == Device::Cpu { 1.0 } else { 0.8 };
+            (10.0 + 5.0 * i as f64) * dev_mult / (1.0 + 0.3 * f as f64)
+        },
+        |i, _dev, _f, j, _g| if i + j == 1 { 2.5 } else { 0.05 },
+        |_i, dev, f| {
+            let k = if dev == Device::Cpu { 4 } else { 3 };
+            2.0 + 3.0 * (f as f64 + 1.0) / k as f64
+        },
+    )
+}
+
+fn main() {
+    let model = demo_model();
+
+    banner("SCH001/SCH005: duplicate + missing jobs, out-of-range level");
+    let broken_structure = Schedule {
+        cpu: vec![
+            Assignment { job: 0, level: 3 },
+            Assignment { job: 0, level: 99 },
+        ],
+        gpu: vec![Assignment { job: 1, level: 2 }],
+        solo_tail: vec![],
+    };
+    show(&lint_schedule(&model, &broken_structure, Some(100.0), true));
+
+    banner("SCH002: co-run pair the Co-Run Theorem rejects");
+    let hostile_pair = Schedule {
+        cpu: vec![Assignment { job: 0, level: 3 }],
+        gpu: vec![Assignment { job: 1, level: 2 }],
+        solo_tail: vec![
+            SoloRun {
+                job: 2,
+                device: Device::Cpu,
+                level: 3,
+            },
+            SoloRun {
+                job: 3,
+                device: Device::Gpu,
+                level: 2,
+            },
+        ],
+    };
+    show(&lint_schedule(&model, &hostile_pair, None, true));
+
+    banner("SCH003: frequency pair infeasible under a 5 W cap");
+    let good_pairing = Schedule {
+        cpu: vec![Assignment { job: 0, level: 3 }],
+        gpu: vec![Assignment { job: 2, level: 2 }],
+        solo_tail: vec![
+            SoloRun {
+                job: 1,
+                device: Device::Cpu,
+                level: 3,
+            },
+            SoloRun {
+                job: 3,
+                device: Device::Gpu,
+                level: 2,
+            },
+        ],
+    };
+    show(&lint_schedule(&model, &good_pairing, Some(5.0), true));
+
+    banner("SCH004: a reported makespan that beats the lower bound");
+    show(&corun_verify::lint_run_report(
+        &model,
+        &good_pairing,
+        Some(100.0),
+        true,
+        0.001,
+    ));
+
+    banner("CFG001-CFG005: broken machine configuration");
+    let mut cfg = MachineConfig::ivy_bridge();
+    cfg.memory.total_bw_gbps = -1.0;
+    cfg.cpu.dyn_power_exp = 9.0;
+    cfg.tick_s = -0.5;
+    show(&lint_machine(&cfg));
+
+    banner("CFG007: unknown and malformed config overrides");
+    let mut cfg = MachineConfig::ivy_bridge();
+    let diags = apply_overrides(&mut cfg, "cpu.no_such_knob = 1\ncpu.dyn_power_w = abc\n");
+    show(&Report::from_diagnostics(diags));
+
+    banner("SPC001-SPC006: broken workload spec");
+    let (_lines, report) =
+        lint_spec_full("lud xbad\nnosuchprog\nlud x100\nlud *500\nhotspot\nhotspot\n");
+    show(&report);
+
+    banner("clean inputs lint clean");
+    show(&lint_machine(&MachineConfig::ivy_bridge()));
+    let (_lines, report) = lint_spec_full("streamcluster\nlud x0.8 *3\n");
+    show(&report);
+}

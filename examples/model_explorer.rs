@@ -7,9 +7,7 @@
 
 use apu_sim::MachineConfig;
 use kernels::rodinia_suite;
-use perf_model::{
-    characterize, profile_batch, CharacterizeConfig, ProfileMethod, StagedPredictor,
-};
+use perf_model::{characterize, profile_batch, CharacterizeConfig, ProfileMethod, StagedPredictor};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -68,7 +66,11 @@ fn main() {
     println!("predictions for {cpu_prog}(CPU) + {gpu_prog}(GPU):");
     let kc = cfg.freqs.cpu.max_level();
     let kg = cfg.freqs.gpu.max_level();
-    for (label, f, g) in [("max freq", kc, kg), ("medium", kc / 2, kg / 2), ("floor", 0, 0)] {
+    for (label, f, g) in [
+        ("max freq", kc, kg),
+        ("medium", kc / 2, kg / 2),
+        ("floor", 0, 0),
+    ] {
         let d = predictor.predict_pair_degradation(&cfg, &profiles[ci], f, &profiles[gi], g);
         let t = predictor.predict_pair_times(&cfg, &profiles[ci], f, &profiles[gi], g);
         let p = predictor.predict_power(Some((&profiles[ci], f)), Some((&profiles[gi], g)));

@@ -25,10 +25,17 @@ fn main() {
     // Jobs arrive with a mean gap of 8 seconds.
     let arrivals: Vec<Arrival> = poisson(n, 8.0, 30.0, 4)
         .into_iter()
-        .map(|a| Arrival { job: a.job, at_s: a.at_s })
+        .map(|a| Arrival {
+            job: a.job,
+            at_s: a.at_s,
+        })
         .collect();
     for a in &arrivals {
-        println!("  t={:>5.1}s  job {} arrives", a.at_s, rt.jobs()[a.job].name);
+        println!(
+            "  t={:>5.1}s  job {} arrives",
+            a.at_s,
+            rt.jobs()[a.job].name
+        );
     }
 
     let policy = OnlinePolicy::new(rt.model(), HcsConfig::with_cap(15.0));

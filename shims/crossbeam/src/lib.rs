@@ -1,0 +1,81 @@
+//! Offline shim for the subset of `crossbeam` this workspace uses:
+//! `crossbeam::thread::scope` with crossbeam's closure signature
+//! (`spawn(|scope| ...)`), implemented on `std::thread::scope`.
+
+pub mod thread {
+    /// Scope handle passed to [`scope`] closures; mirrors
+    /// `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle mirroring `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker; the closure receives the scope again (crossbeam's
+        /// signature) so workers could spawn sub-workers.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing local data into threads is
+    /// allowed; all spawned threads are joined before returning.
+    ///
+    /// `std::thread::scope` propagates worker panics directly, so the
+    /// `Err` arm of the crossbeam-compatible `Result` is never produced;
+    /// callers' `.expect("scope")` is preserved verbatim.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scope_joins_and_collects() {
+        let data = [1u64, 2, 3, 4, 5, 6];
+        let sums: Vec<u64> = thread::scope(|s| {
+            data.chunks(2)
+                .map(|ch| s.spawn(move |_| ch.iter().sum::<u64>()))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
+        })
+        .expect("scope");
+        assert_eq!(sums, vec![3, 7, 11]);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let n: u64 = thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 41u64).join().expect("inner") + 1)
+                .join()
+                .expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline shim for `serde`.
+//!
+//! The vendored registry is unreachable in this build environment, and the
+//! workspace only uses serde as derive decoration (persistence is a
+//! hand-rolled text format). This crate keeps the source compatible with
+//! real serde: the traits exist (as markers with blanket impls) and the
+//! derive macros exist (as no-ops), so swapping the real crates back in is
+//! a one-line Cargo.toml change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}

@@ -1,0 +1,19 @@
+//! Offline shim for `serde_derive`: the derive macros expand to nothing.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` as forward-looking
+//! decoration only — all persistence is hand-rolled text (see
+//! `perf-model/src/persist.rs`). The shim `serde` crate provides blanket
+//! trait impls, so an empty expansion keeps every bound satisfied without
+//! network access to crates.io.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -54,7 +54,10 @@ fn fig9_power_overshoot_bounded() {
     let n = pair.trace.len();
     let late = &pair.trace.samples_w[n / 3..];
     let late_max = late.iter().copied().fold(0.0, f64::max);
-    assert!(late_max <= cap + 2.0, "settled overshoot {late_max} too large");
+    assert!(
+        late_max <= cap + 2.0,
+        "settled overshoot {late_max} too large"
+    );
 }
 
 #[test]
@@ -69,7 +72,9 @@ fn fig10_ordering_at_8_jobs() {
     cfg.cap_w = 15.0;
     let rt = CoScheduleRuntime::new(machine, jobs, cfg);
     let random = rt.random_avg_makespan(0..4);
-    let default_g = rt.execute_default(&rt.schedule_default(), Bias::Gpu).makespan_s;
+    let default_g = rt
+        .execute_default(&rt.schedule_default(), Bias::Gpu)
+        .makespan_s;
     let hcs_plus = rt.execute_planned(&rt.schedule_hcs_plus()).makespan_s;
     // Paper Fig 10 ordering: Random > Default_G > HCS+.
     assert!(default_g < random, "default beats random at 8 jobs");
@@ -88,11 +93,16 @@ fn fig11_defaults_collapse_at_16_jobs() {
     cfg.cap_w = 15.0;
     let rt = CoScheduleRuntime::new(machine, jobs, cfg);
     let random = rt.random_avg_makespan(0..4);
-    let default_g = rt.execute_default(&rt.schedule_default(), Bias::Gpu).makespan_s;
+    let default_g = rt
+        .execute_default(&rt.schedule_default(), Bias::Gpu)
+        .makespan_s;
     let hcs_plus = rt.execute_planned(&rt.schedule_hcs_plus()).makespan_s;
     // Paper Fig 11: the multiprogrammed Default falls behind Random, while
     // HCS+ stays well ahead.
-    assert!(default_g > random * 0.95, "default must not beat random at 16 jobs");
+    assert!(
+        default_g > random * 0.95,
+        "default must not beat random at 16 jobs"
+    );
     assert!(hcs_plus < random, "HCS+ beats random");
     assert!(hcs_plus < default_g * 0.9, "HCS+ far ahead of default");
 }

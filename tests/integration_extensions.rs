@@ -5,8 +5,8 @@
 use apu_sim::{Device, MachineConfig, NullGovernor};
 use corun_core::CoRunModel;
 use corun_core::{
-    anneal, branch_and_bound, best_sequence, evaluate, fairness, AnnealConfig, Arrival,
-    BnbConfig, HcsConfig, OnlinePolicy,
+    anneal, best_sequence, branch_and_bound, evaluate, fairness, AnnealConfig, Arrival, BnbConfig,
+    HcsConfig, OnlinePolicy,
 };
 use kernels::{poisson, rodinia8, with_input_scale};
 use runtime::{cap_sweep, CoScheduleRuntime, Method, RuntimeConfig};
@@ -48,7 +48,10 @@ fn online_policy_full_stream_on_simulator() {
     let policy = OnlinePolicy::new(rt.model(), HcsConfig::with_cap(15.0));
     let arrivals: Vec<Arrival> = poisson(8, 2.0, 8.0, 3)
         .into_iter()
-        .map(|a| Arrival { job: a.job, at_s: a.at_s })
+        .map(|a| Arrival {
+            job: a.job,
+            at_s: a.at_s,
+        })
         .collect();
     let mut gov = NullGovernor;
     let run = runtime::execute_online(
@@ -64,7 +67,10 @@ fn online_policy_full_stream_on_simulator() {
     assert_eq!(run.records.len(), 8);
     for rec in &run.records {
         let arrival = arrivals.iter().find(|a| a.job == rec.tag).unwrap().at_s;
-        assert!(rec.start_s >= arrival - 1e-6, "no job starts before it arrives");
+        assert!(
+            rec.start_s >= arrival - 1e-6,
+            "no job starts before it arrives"
+        );
     }
 }
 
@@ -110,7 +116,10 @@ fn kaveri_pipeline_end_to_end() {
     let run = rt.execute_planned(&s);
     assert_eq!(run.records.len(), 8);
     let random = rt.random_avg_makespan(0..3);
-    assert!(run.makespan_s < random, "method works on the second machine too");
+    assert!(
+        run.makespan_s < random,
+        "method works on the second machine too"
+    );
 }
 
 #[test]

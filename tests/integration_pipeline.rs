@@ -35,9 +35,14 @@ fn hcs_plus_beats_baselines_in_ground_truth() {
     let rt = small_runtime(15.0);
     let random = rt.random_avg_makespan(0..5);
     let hcs_plus = rt.execute_planned(&rt.schedule_hcs_plus()).makespan_s;
-    let default_g = rt.execute_default(&rt.schedule_default(), Bias::Gpu).makespan_s;
+    let default_g = rt
+        .execute_default(&rt.schedule_default(), Bias::Gpu)
+        .makespan_s;
     assert!(hcs_plus < random, "HCS+ {hcs_plus} vs random {random}");
-    assert!(hcs_plus < default_g, "HCS+ {hcs_plus} vs default {default_g}");
+    assert!(
+        hcs_plus < default_g,
+        "HCS+ {hcs_plus} vs default {default_g}"
+    );
 }
 
 #[test]
@@ -46,8 +51,10 @@ fn lower_bound_holds_for_every_scheduler() {
     let bound = rt.lower_bound().t_low_s;
     for span in [
         rt.execute_planned(&rt.schedule_hcs_plus()).makespan_s,
-        rt.execute_default(&rt.schedule_default(), Bias::Gpu).makespan_s,
-        rt.execute_governed(&rt.schedule_random(3), Bias::Gpu).makespan_s,
+        rt.execute_default(&rt.schedule_default(), Bias::Gpu)
+            .makespan_s,
+        rt.execute_governed(&rt.schedule_random(3), Bias::Gpu)
+            .makespan_s,
     ] {
         assert!(bound <= span * 1.02, "bound {bound} above achieved {span}");
     }
@@ -71,7 +78,10 @@ fn model_agrees_with_ground_truth_reasonably() {
     let predicted = evaluate(rt.model(), &s, Some(15.0)).makespan_s;
     let truth = rt.execute_planned(&s).makespan_s;
     let err = (predicted - truth).abs() / truth;
-    assert!(err < 0.25, "model error {err} too large: {predicted} vs {truth}");
+    assert!(
+        err < 0.25,
+        "model error {err} too large: {predicted} vs {truth}"
+    );
 }
 
 #[test]
@@ -93,7 +103,10 @@ fn preferences_match_paper_table1() {
             }
         }
     }
-    assert!(gpu_pref >= 5, "most programs prefer the GPU, got {gpu_pref}");
+    assert!(
+        gpu_pref >= 5,
+        "most programs prefer the GPU, got {gpu_pref}"
+    );
 }
 
 #[test]
@@ -113,8 +126,12 @@ fn vulnerability_probe_flags_dwt2d() {
     let rt = small_runtime(15.0);
     let vulns = rt.vulnerabilities().expect("probe enabled in fast config");
     let m = rt.model();
-    let dwt = (0..m.len()).find(|&i| m.name(i).starts_with("dwt2d")).unwrap();
-    let sc = (0..m.len()).find(|&i| m.name(i).starts_with("streamcluster")).unwrap();
+    let dwt = (0..m.len())
+        .find(|&i| m.name(i).starts_with("dwt2d"))
+        .unwrap();
+    let sc = (0..m.len())
+        .find(|&i| m.name(i).starts_with("streamcluster"))
+        .unwrap();
     assert!(vulns[dwt].max_excess() > 0.4, "dwt2d is LLC-fragile");
     assert!(
         vulns[sc].max_excess() < vulns[dwt].max_excess() / 2.0,
@@ -123,8 +140,13 @@ fn vulnerability_probe_flags_dwt2d() {
     // and the scheduler's model therefore knows dwt2d + streamcluster is bad
     let kc = m.levels(Device::Cpu) - 1;
     let kg = m.levels(Device::Gpu) - 1;
-    let hot = (0..m.len()).find(|&i| m.name(i).starts_with("hotspot")).unwrap();
+    let hot = (0..m.len())
+        .find(|&i| m.name(i).starts_with("hotspot"))
+        .unwrap();
     let d_bad = m.degradation(dwt, Device::Cpu, kc, sc, kg);
     let d_ok = m.degradation(dwt, Device::Cpu, kc, hot, kg);
-    assert!(d_bad > 2.0 * d_ok, "model must separate the pairings: {d_bad} vs {d_ok}");
+    assert!(
+        d_bad > 2.0 * d_ok,
+        "model must separate the pairings: {d_bad} vs {d_ok}"
+    );
 }

@@ -19,8 +19,9 @@ fn arb_model(max_jobs: usize) -> impl Strategy<Value = TableModel> {
             state ^= state << 17;
             (state % 1000) as f64 / 1000.0
         };
-        let times: Vec<(f64, f64)> =
-            (0..n).map(|_| (5.0 + 60.0 * next(), 5.0 + 60.0 * next())).collect();
+        let times: Vec<(f64, f64)> = (0..n)
+            .map(|_| (5.0 + 60.0 * next(), 5.0 + 60.0 * next()))
+            .collect();
         let degs: Vec<f64> = (0..n * n).map(|_| next() * 0.8).collect();
         let powers: Vec<f64> = (0..n).map(|_| 4.0 + 8.0 * next()).collect();
         TableModel::build(
@@ -165,6 +166,50 @@ proptest! {
         for seg in &r.segments {
             prop_assert!(seg.t0 >= prev_end - 1e-9);
             prev_end = seg.t1;
+        }
+    }
+}
+
+/// Every schedule the stack produces must pass the `SCH0xx` lint passes
+/// in `corun-verify` without error-severity diagnostics.
+mod lints {
+    use super::*;
+    use corun_verify::lint_schedule;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn scheduler_outputs_pass_schedule_lints(model in arb_model(8), seed in any::<u64>()) {
+            // HCS under a restrictive-but-possible cap (same construction
+            // as the cap-feasibility property above): levels are planned,
+            // so any cap infeasibility would be an error.
+            let cap = model.corun_power(Some((0, model.levels(Device::Cpu) - 1)),
+                                        Some((1, model.levels(Device::Gpu) - 1))) * 0.8;
+            let n = model.len();
+            let max_floor = (0..n)
+                .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (i, j)))
+                .map(|(i, j)| model.corun_power(Some((i, 0)), Some((j, 0))))
+                .fold(0.0_f64, f64::max);
+            prop_assume!(cap > max_floor);
+            let capped = hcs(&model, &HcsConfig::with_cap(cap));
+            let r = lint_schedule(&model, &capped.schedule, Some(cap), true);
+            prop_assert!(r.is_clean(), "HCS:\n{}", r.render_human());
+
+            // Uncapped HCS plus local refinement (the HCS+ shape).
+            let out = hcs(&model, &HcsConfig::uncapped());
+            let mut rc = RefineConfig::new(f64::INFINITY);
+            rc.seed = seed;
+            let refined = refine(&model, &out.schedule, &rc);
+            let r = lint_schedule(&model, &refined.schedule, None, true);
+            prop_assert!(r.is_clean(), "HCS+refine:\n{}", r.render_human());
+
+            // The Random baseline always assigns maximum levels and relies
+            // on the governor to hold the cap, so cap infeasibility must
+            // downgrade to a warning, not an error.
+            let s = random_schedule(&model, seed, 0.2);
+            let r = lint_schedule(&model, &s, Some(cap), false);
+            prop_assert!(r.is_clean(), "random:\n{}", r.render_human());
         }
     }
 }
