@@ -38,4 +38,79 @@ expect_fail $CORUN lint --spec examples/specs/rodinia_small.spec \
 expect_fail $CORUN lint --spec examples/specs/rodinia_small.spec \
     --schedule examples/specs/broken_schedule.sched
 
+echo "== corun serve: daemon smoke test"
+SERVE_LOG=$(mktemp)
+$CORUN serve --fast --port 0 --queue 4 >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+stop_daemon() {
+    kill "$SERVE_PID" 2>/dev/null || true
+}
+trap stop_daemon EXIT
+
+# The daemon prints `listening on HOST:PORT` once bound; wait for it.
+ADDR=""
+for _ in $(seq 1 150); do
+    ADDR=$(sed -n 's/^listening on //p' "$SERVE_LOG")
+    [ -n "$ADDR" ] && break
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+        echo "FAIL: daemon exited during startup" >&2
+        cat "$SERVE_LOG" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+if [ -z "$ADDR" ]; then
+    echo "FAIL: daemon did not report its address within 30s" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+fi
+
+# Queue bound: an 8-job burst against --queue 4 must bounce, atomically.
+SUBMIT_ERR=$(mktemp)
+if $CORUN submit --addr "$ADDR" --spec examples/specs/burst_overflow.spec \
+    >/dev/null 2>"$SUBMIT_ERR"; then
+    echo "FAIL: oversized burst was admitted past the queue bound" >&2
+    exit 1
+fi
+grep -q "queue_full" "$SUBMIT_ERR" || {
+    echo "FAIL: expected queue_full backpressure, got:" >&2
+    cat "$SUBMIT_ERR" >&2
+    exit 1
+}
+
+# A fitting workload drains end to end (submit -> dispatch -> done).
+timeout 120 $CORUN submit --addr "$ADDR" \
+    --spec examples/specs/rodinia_small.spec --wait --timeout 90 >/dev/null
+
+# Job status and the metrics snapshot must be well-formed JSON with the
+# expected accounting (4 completed, empty queue, rejections recorded).
+timeout 30 $CORUN status --addr "$ADDR" --id 0 | grep -q '"state":"done"'
+METRICS=$(timeout 30 $CORUN status --addr "$ADDR")
+echo "$METRICS" | grep -q '"completed":4' || {
+    echo "FAIL: metrics completed != 4: $METRICS" >&2
+    exit 1
+}
+echo "$METRICS" | grep -q '"queue_depth":0' || {
+    echo "FAIL: metrics queue not drained: $METRICS" >&2
+    exit 1
+}
+echo "$METRICS" | grep -q '"rejected":8' || {
+    echo "FAIL: metrics missing the bounced burst: $METRICS" >&2
+    exit 1
+}
+
+# Clean shutdown: the daemon must ack and exit on its own.
+timeout 30 $CORUN shutdown --addr "$ADDR"
+for _ in $(seq 1 150); do
+    kill -0 "$SERVE_PID" 2>/dev/null || break
+    sleep 0.2
+done
+if kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "FAIL: daemon still running 30s after shutdown request" >&2
+    kill -9 "$SERVE_PID"
+    exit 1
+fi
+trap - EXIT
+rm -f "$SERVE_LOG" "$SUBMIT_ERR"
+
 echo "CI OK"

@@ -243,67 +243,191 @@ impl<'a> Engine<'a> {
         opts: &RunOptions,
         mut log: Option<&mut EventLog>,
     ) -> Result<RunReport, SimError> {
+        let mut session = self.session(opts.clone());
+        loop {
+            match session.advance(dispatcher, governor, f64::INFINITY, log.as_deref_mut())? {
+                SessionState::Finished => return Ok(session.into_report()),
+                SessionState::Starved => {
+                    return Err(SimError::Stalled {
+                        at_s: session.now_s(),
+                    })
+                }
+                // Unreachable with an infinite horizon, but harmless: keep
+                // advancing.
+                SessionState::Advanced => {}
+            }
+        }
+    }
+
+    /// Open a resumable [`Session`]: the incremental entry point behind
+    /// [`Engine::run`]. A session holds all mid-run state (clock, running
+    /// jobs, power windows, trace), so callers can interleave simulation
+    /// with outside work — admit newly arrived jobs between
+    /// [`Session::advance`] calls, read partial results, and keep going.
+    /// This is what a resident scheduling service drives.
+    pub fn session(&self, opts: RunOptions) -> Session<'a> {
+        Session::new(self.cfg, opts)
+    }
+}
+
+/// Where a [`Session`] stands after [`Session::advance`] returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// The requested horizon elapsed with the run still active.
+    Advanced,
+    /// Nothing is running, nothing is scheduled to wake, and the
+    /// dispatcher is not drained: the session cannot make progress until
+    /// the dispatcher has new work. The resumable analogue of
+    /// [`SimError::Stalled`] — call [`Session::advance`] again once work
+    /// exists.
+    Starved,
+    /// The dispatcher drained and every dispatched job completed. Harvest
+    /// with [`Session::into_report`].
+    Finished,
+}
+
+/// A resumable engine run (see [`Engine::session`]).
+///
+/// All state of [`Engine::run`]'s loop lives here, so the simulation can
+/// be advanced in bounded slices of simulated time. Between slices the
+/// caller may inspect [`records`](Session::records) and
+/// [`trace`](Session::trace) and feed its dispatcher more jobs; a
+/// [`SessionState::Starved`] session resumes cleanly once the dispatcher
+/// has work again (unlike a one-shot run, which fails with
+/// [`SimError::Stalled`]).
+pub struct Session<'a> {
+    cfg: &'a MachineConfig,
+    opts: RunOptions,
+    now: f64,
+    setting: FreqSetting,
+    jobs: Vec<Running>,
+    records: Vec<JobRecord>,
+    trace: PowerTrace,
+    drained: bool,
+    wake_at: Option<f64>,
+    window_energy: f64,
+    window_t: f64,
+    window_util: PerDevice<f64>,
+    started: bool,
+    finished: bool,
+    #[cfg(feature = "sanitize")]
+    san: Option<crate::sanitize::RunSanitizer>,
+}
+
+impl<'a> Session<'a> {
+    /// New session over `cfg` at t=0 with nothing dispatched yet.
+    pub fn new(cfg: &'a MachineConfig, opts: RunOptions) -> Self {
+        Session {
+            cfg,
+            setting: opts.initial_setting,
+            opts,
+            now: 0.0,
+            jobs: Vec::new(),
+            records: Vec::new(),
+            trace: PowerTrace::new(cfg.power_sample_s),
+            drained: false,
+            wake_at: None,
+            window_energy: 0.0,
+            window_t: 0.0,
+            window_util: PerDevice::new(0.0, 0.0),
+            started: false,
+            finished: false,
+            #[cfg(feature = "sanitize")]
+            san: None,
+        }
+    }
+
+    /// Current simulated time, seconds.
+    pub fn now_s(&self) -> f64 {
+        self.now
+    }
+
+    /// Completion records so far, in completion order.
+    pub fn records(&self) -> &[JobRecord] {
+        &self.records
+    }
+
+    /// Power trace so far (full windows only; a final partial window is
+    /// flushed by [`Session::into_report`]).
+    pub fn trace(&self) -> &PowerTrace {
+        &self.trace
+    }
+
+    /// Current package frequency setting.
+    pub fn setting(&self) -> FreqSetting {
+        self.setting
+    }
+
+    /// Jobs currently running per device.
+    pub fn running(&self) -> PerDevice<usize> {
+        PerDevice::from_fn(|d| self.jobs.iter().filter(|r| r.device == d).count())
+    }
+
+    /// Whether the session reached [`SessionState::Finished`].
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Advance the simulation by up to `horizon_s` simulated seconds (pass
+    /// `f64::INFINITY` to run until finished or starved). Returns the
+    /// state the session stopped in; errors are terminal.
+    pub fn advance(
+        &mut self,
+        dispatcher: &mut dyn Dispatcher,
+        governor: &mut dyn Governor,
+        horizon_s: f64,
+        mut log: Option<&mut EventLog>,
+    ) -> Result<SessionState, SimError> {
+        if self.finished {
+            return Ok(SessionState::Finished);
+        }
         let cfg = self.cfg;
         let dt = cfg.tick_s;
-        let mut now = 0.0_f64;
-        let mut setting = opts.initial_setting;
-        let mut jobs: Vec<Running> = Vec::new();
-        let mut records: Vec<JobRecord> = Vec::new();
-        let mut trace = PowerTrace::new(cfg.power_sample_s);
-        let mut drained = false;
-        let mut wake_at: Option<f64> = None;
-        let mut window_energy = 0.0_f64;
-        let mut window_t = 0.0_f64;
-        let mut window_util = PerDevice::new(0.0_f64, 0.0_f64);
         #[cfg(feature = "sanitize")]
-        let mut san = crate::sanitize::RunSanitizer::new(
-            log.as_ref().and_then(|l| l.cap_of_interest_w),
-            cfg.power_sample_s,
-        );
-
-        self.refill(
-            dispatcher,
-            &mut jobs,
-            &mut setting,
-            &mut drained,
-            &mut wake_at,
-            now,
-            opts,
-            &mut log,
-        )?;
-        if jobs.is_empty() && wake_at.is_none() {
-            if drained {
-                return Ok(RunReport {
-                    makespan_s: 0.0,
-                    records,
-                    trace,
-                    final_setting: setting,
-                });
-            }
-            return Err(SimError::Stalled { at_s: now });
+        if self.san.is_none() {
+            self.san = Some(crate::sanitize::RunSanitizer::new(
+                log.as_ref().and_then(|l| l.cap_of_interest_w),
+                cfg.power_sample_s,
+            ));
         }
 
+        // First call, or resuming after Starved: poll the dispatcher
+        // before ticking so an empty session never burns simulated time.
+        if !self.started || self.jobs.is_empty() {
+            self.started = true;
+            self.refill(dispatcher, &mut log)?;
+            if self.jobs.is_empty() && self.wake_at.is_none() {
+                if self.drained {
+                    self.finished = true;
+                    return Ok(SessionState::Finished);
+                }
+                return Ok(SessionState::Starved);
+            }
+        }
+
+        let end = self.now + horizon_s;
         loop {
             // --- dynamics for this tick --------------------------------
-            let dyns = self.tick_dynamics(&jobs, setting, now);
+            let dyns = self.tick_dynamics(&self.jobs, self.setting, self.now);
 
             // --- power integration -------------------------------------
-            let power = self.instant_power(&jobs, &dyns, setting);
-            window_energy += power * dt;
-            window_t += dt;
+            let power = self.instant_power(&self.jobs, &dyns, self.setting);
+            self.window_energy += power * dt;
+            self.window_t += dt;
             for d in Device::ALL {
-                let u: f64 = jobs
+                let u: f64 = self
+                    .jobs
                     .iter()
                     .zip(dyns.iter())
                     .filter(|(r, _)| r.device == d)
                     .map(|(_, dy)| dy.util)
                     .sum();
-                *window_util.get_mut(d) += u.min(1.0) * dt;
+                *self.window_util.get_mut(d) += u.min(1.0) * dt;
             }
 
             // --- advance jobs -------------------------------------------
             let mut completed_any = false;
-            for (r, d) in jobs.iter_mut().zip(dyns.iter()) {
+            for (r, d) in self.jobs.iter_mut().zip(dyns.iter()) {
                 if r.setup_left > 0.0 {
                     r.setup_left -= dt;
                     continue;
@@ -320,235 +444,218 @@ impl<'a> Engine<'a> {
                     completed_any = true;
                 }
             }
-            now += dt;
+            self.now += dt;
             #[cfg(feature = "sanitize")]
-            san.on_tick(now, power);
+            if let Some(san) = self.san.as_mut() {
+                san.on_tick(self.now, power);
+            }
 
             // --- power sample + governor --------------------------------
-            if window_t + 1e-12 >= cfg.power_sample_s {
-                let avg = window_energy / window_t;
-                trace.push(avg);
+            if self.window_t + 1e-12 >= cfg.power_sample_s {
+                let avg = self.window_energy / self.window_t;
+                self.trace.push(avg);
                 #[cfg(feature = "sanitize")]
-                san.on_window(now, avg);
-                let avg_util = window_util.map(|u| u / window_t);
-                window_util = PerDevice::new(0.0, 0.0);
-                let new_setting = governor.on_sample_util(now, avg, avg_util, setting, &cfg.freqs);
+                if let Some(san) = self.san.as_mut() {
+                    san.on_window(self.now, avg);
+                }
+                let avg_util = self.window_util.map(|u| u / self.window_t);
+                self.window_util = PerDevice::new(0.0, 0.0);
+                let new_setting =
+                    governor.on_sample_util(self.now, avg, avg_util, self.setting, &cfg.freqs);
                 if let Some(l) = log.as_deref_mut() {
                     if let Some(cap) = l.cap_of_interest_w {
                         if avg > cap {
-                            l.push(now, EventKind::CapOvershoot { power_w: avg });
+                            l.push(self.now, EventKind::CapOvershoot { power_w: avg });
                         }
                     }
-                    if new_setting != setting {
+                    if new_setting != self.setting {
                         l.push(
-                            now,
+                            self.now,
                             EventKind::FreqChange {
-                                from: setting,
+                                from: self.setting,
                                 to: new_setting,
                             },
                         );
                     }
                 }
-                setting = new_setting;
-                window_energy = 0.0;
-                window_t = 0.0;
+                self.setting = new_setting;
+                self.window_energy = 0.0;
+                self.window_t = 0.0;
             }
 
             // --- completions + refill ------------------------------------
             if completed_any {
                 let mut i = 0;
-                while i < jobs.len() {
-                    if jobs[i].phase >= jobs[i].job.phases.len() {
-                        let r = jobs.remove(i);
+                while i < self.jobs.len() {
+                    if self.jobs[i].phase >= self.jobs[i].job.phases.len() {
+                        let r = self.jobs.remove(i);
                         if let Some(l) = log.as_deref_mut() {
                             l.push(
-                                now,
+                                self.now,
                                 EventKind::Complete {
                                     tag: r.tag,
                                     device: r.device,
                                 },
                             );
                         }
-                        records.push(JobRecord {
+                        self.records.push(JobRecord {
                             tag: r.tag,
                             name: r.job.name.clone(),
                             device: r.device,
                             start_s: r.start_s,
-                            end_s: now,
+                            end_s: self.now,
                         });
                     } else {
                         i += 1;
                     }
                 }
-                self.refill(
-                    dispatcher,
-                    &mut jobs,
-                    &mut setting,
-                    &mut drained,
-                    &mut wake_at,
-                    now,
-                    opts,
-                    &mut log,
-                )?;
-            } else if wake_at.is_some_and(|w| now + 1e-9 >= w) {
+                self.refill(dispatcher, &mut log)?;
+            } else if self.wake_at.is_some_and(|w| self.now + 1e-9 >= w) {
                 // A scheduled wakeup came due while jobs were running.
-                self.refill(
-                    dispatcher,
-                    &mut jobs,
-                    &mut setting,
-                    &mut drained,
-                    &mut wake_at,
-                    now,
-                    opts,
-                    &mut log,
-                )?;
+                self.refill(dispatcher, &mut log)?;
             }
 
-            if jobs.is_empty() {
-                if drained {
+            if self.jobs.is_empty() {
+                if self.drained {
                     break;
                 }
                 // Nothing running: re-poll, then honour any wakeup by
-                // idling the package forward to it.
-                self.refill(
-                    dispatcher,
-                    &mut jobs,
-                    &mut setting,
-                    &mut drained,
-                    &mut wake_at,
-                    now,
-                    opts,
-                    &mut log,
-                )?;
-                if jobs.is_empty() {
-                    if drained {
+                // idling the machine forward to it.
+                self.refill(dispatcher, &mut log)?;
+                if self.jobs.is_empty() {
+                    if self.drained {
                         break;
                     }
-                    let Some(w) = wake_at else {
-                        return Err(SimError::Stalled { at_s: now });
+                    let Some(w) = self.wake_at else {
+                        return Ok(SessionState::Starved);
                     };
-                    if w <= now + 1e-12 {
-                        return Err(SimError::Stalled { at_s: now });
+                    if w <= self.now + 1e-12 {
+                        return Ok(SessionState::Starved);
                     }
                     // Idle-advance: integrate idle power until the wakeup.
-                    let idle_p = self.cfg.power_model().package_power(
-                        setting,
+                    let idle_p = cfg.power_model().package_power(
+                        self.setting,
                         PerDevice::new(DeviceActivity::IDLE, DeviceActivity::IDLE),
                     );
-                    while now + 1e-12 < w {
-                        let step = dt.min(w - now);
-                        window_energy += idle_p * step;
-                        window_t += step;
-                        now += step;
+                    while self.now + 1e-12 < w {
+                        let step = dt.min(w - self.now);
+                        self.window_energy += idle_p * step;
+                        self.window_t += step;
+                        self.now += step;
                         #[cfg(feature = "sanitize")]
-                        san.on_tick(now, idle_p);
-                        if window_t + 1e-12 >= cfg.power_sample_s {
-                            let avg = window_energy / window_t;
-                            trace.push(avg);
+                        if let Some(san) = self.san.as_mut() {
+                            san.on_tick(self.now, idle_p);
+                        }
+                        if self.window_t + 1e-12 >= cfg.power_sample_s {
+                            let avg = self.window_energy / self.window_t;
+                            self.trace.push(avg);
                             #[cfg(feature = "sanitize")]
-                            san.on_window(now, avg);
-                            setting = governor.on_sample(now, avg, setting, &cfg.freqs);
-                            window_energy = 0.0;
-                            window_t = 0.0;
+                            if let Some(san) = self.san.as_mut() {
+                                san.on_window(self.now, avg);
+                            }
+                            self.setting =
+                                governor.on_sample(self.now, avg, self.setting, &cfg.freqs);
+                            self.window_energy = 0.0;
+                            self.window_t = 0.0;
                         }
                     }
-                    self.refill(
-                        dispatcher,
-                        &mut jobs,
-                        &mut setting,
-                        &mut drained,
-                        &mut wake_at,
-                        now,
-                        opts,
-                        &mut log,
-                    )?;
-                    if jobs.is_empty() && !drained && wake_at.is_none() {
-                        return Err(SimError::Stalled { at_s: now });
+                    self.refill(dispatcher, &mut log)?;
+                    if self.jobs.is_empty() && !self.drained && self.wake_at.is_none() {
+                        return Ok(SessionState::Starved);
                     }
-                    if jobs.is_empty() && drained {
+                    if self.jobs.is_empty() && self.drained {
                         break;
                     }
                 }
             }
 
-            if now > opts.limit_s {
+            if self.now > self.opts.limit_s {
                 return Err(SimError::TimeLimit {
-                    limit_s: opts.limit_s,
+                    limit_s: self.opts.limit_s,
                 });
+            }
+            if self.now >= end {
+                return Ok(SessionState::Advanced);
             }
         }
 
-        // Flush a final partial power window so short runs still trace.
-        if window_t > 0.0 {
-            let avg = window_energy / window_t;
-            trace.push(avg);
-            #[cfg(feature = "sanitize")]
-            san.on_window(now, avg);
-        }
-        #[cfg(feature = "sanitize")]
-        san.finish(now);
-
-        let makespan = records.iter().map(|r| r.end_s).fold(0.0, f64::max);
-        Ok(RunReport {
-            makespan_s: makespan,
-            records,
-            trace,
-            final_setting: setting,
-        })
+        self.finished = true;
+        Ok(SessionState::Finished)
     }
 
-    fn slots(&self, device: Device, opts: &RunOptions) -> usize {
+    /// Close the session: flush the final partial power window and return
+    /// the run report for everything simulated so far.
+    pub fn into_report(mut self) -> RunReport {
+        // Flush a final partial power window so short runs still trace.
+        if self.window_t > 0.0 {
+            let avg = self.window_energy / self.window_t;
+            self.trace.push(avg);
+            #[cfg(feature = "sanitize")]
+            if let Some(san) = self.san.as_mut() {
+                san.on_window(self.now, avg);
+            }
+        }
+        #[cfg(feature = "sanitize")]
+        if let Some(san) = self.san.as_mut() {
+            san.finish(self.now);
+        }
+
+        let makespan = self.records.iter().map(|r| r.end_s).fold(0.0, f64::max);
+        RunReport {
+            makespan_s: makespan,
+            records: self.records,
+            trace: self.trace,
+            final_setting: self.setting,
+        }
+    }
+
+    fn slots(&self, device: Device) -> usize {
         match device {
-            Device::Cpu => opts.cpu_slots.min(self.cfg.multiprog.max_cpu_slots),
+            Device::Cpu => self.opts.cpu_slots.min(self.cfg.multiprog.max_cpu_slots),
             Device::Gpu => 1,
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn refill(
-        &self,
+        &mut self,
         dispatcher: &mut dyn Dispatcher,
-        jobs: &mut Vec<Running>,
-        setting: &mut FreqSetting,
-        drained: &mut bool,
-        wake_at: &mut Option<f64>,
-        now: f64,
-        opts: &RunOptions,
         log: &mut Option<&mut EventLog>,
     ) -> Result<(), SimError> {
-        if *drained {
+        if self.drained {
             return Ok(());
         }
-        *wake_at = None;
+        self.wake_at = None;
         for device in Device::ALL {
             loop {
-                let used = jobs.iter().filter(|r| r.device == device).count();
-                if used >= self.slots(device, opts) {
+                let used = self.jobs.iter().filter(|r| r.device == device).count();
+                if used >= self.slots(device) {
                     break;
                 }
                 let ctx = DispatchCtx {
-                    setting: *setting,
-                    running: PerDevice::from_fn(|d| jobs.iter().filter(|r| r.device == d).count()),
+                    setting: self.setting,
+                    running: PerDevice::from_fn(|d| {
+                        self.jobs.iter().filter(|r| r.device == d).count()
+                    }),
                 };
-                match dispatcher.next(device, now, &ctx) {
+                match dispatcher.next(device, self.now, &ctx) {
                     Dispatch::Run(dj) => {
                         if let Some(fs) = dj.set_freq {
-                            if fs != *setting {
+                            if fs != self.setting {
                                 if let Some(l) = log.as_deref_mut() {
                                     l.push(
-                                        now,
+                                        self.now,
                                         EventKind::FreqChange {
-                                            from: *setting,
+                                            from: self.setting,
                                             to: fs,
                                         },
                                     );
                                 }
                             }
-                            *setting = fs;
+                            self.setting = fs;
                         }
                         if let Some(l) = log.as_deref_mut() {
                             l.push(
-                                now,
+                                self.now,
                                 EventKind::Dispatch {
                                     tag: dj.tag,
                                     name: dj.job.name.clone(),
@@ -556,22 +663,22 @@ impl<'a> Engine<'a> {
                                 },
                             );
                         }
-                        let mut r = Running::new(&dj, device, now);
+                        let mut r = Running::new(&dj, device, self.now);
                         if r.skip_trivial() && r.setup_left <= 0.0 {
                             // Degenerate empty job: completes instantly.
                             continue;
                         }
-                        jobs.push(r);
+                        self.jobs.push(r);
                     }
                     Dispatch::Idle => break,
                     Dispatch::WaitUntil(t) => {
-                        if t > now {
-                            *wake_at = Some(wake_at.map_or(t, |w: f64| w.min(t)));
+                        if t > self.now {
+                            self.wake_at = Some(self.wake_at.map_or(t, |w: f64| w.min(t)));
                         }
                         break;
                     }
                     Dispatch::Drained => {
-                        *drained = true;
+                        self.drained = true;
                         return Ok(());
                     }
                 }
@@ -1336,6 +1443,123 @@ mod tests {
         );
         // The idle lead-in is power-traced too.
         assert!(r.trace.duration_s() >= 3.5);
+    }
+
+    #[test]
+    fn session_advance_matches_one_shot_run() {
+        // Stepping a session in small horizons must reproduce the one-shot
+        // run exactly: same records, same makespan, same trace length.
+        let cfg = cfg();
+        let jobs: Vec<Arc<JobSpec>> = (0..3)
+            .map(|i| {
+                Arc::new(single_phase_job(
+                    format!("j{i}"),
+                    compute_phase(200.0 + 50.0 * i as f64),
+                ))
+            })
+            .collect();
+        let one_shot = {
+            let mut disp = SoloDispatcher {
+                device: Device::Gpu,
+                queue: jobs.clone().into_iter().collect(),
+                next_tag: 0,
+            };
+            let mut gov = crate::governor::NullGovernor;
+            Engine::new(&cfg)
+                .run(
+                    &mut disp,
+                    &mut gov,
+                    &RunOptions::new(cfg.freqs.max_setting()),
+                )
+                .unwrap()
+        };
+        let stepped = {
+            let mut disp = SoloDispatcher {
+                device: Device::Gpu,
+                queue: jobs.into_iter().collect(),
+                next_tag: 0,
+            };
+            let mut gov = crate::governor::NullGovernor;
+            let engine = Engine::new(&cfg);
+            let mut session = engine.session(RunOptions::new(cfg.freqs.max_setting()));
+            loop {
+                match session.advance(&mut disp, &mut gov, 0.37, None).unwrap() {
+                    SessionState::Finished => break,
+                    SessionState::Starved => panic!("solo queue cannot starve"),
+                    SessionState::Advanced => {}
+                }
+            }
+            session.into_report()
+        };
+        assert_eq!(one_shot.records, stepped.records);
+        assert_eq!(one_shot.makespan_s, stepped.makespan_s);
+        assert_eq!(one_shot.trace.samples_w, stepped.trace.samples_w);
+        assert_eq!(one_shot.final_setting, stepped.final_setting);
+    }
+
+    #[test]
+    fn starved_session_resumes_when_work_appears() {
+        // A dispatcher whose queue is fed between advance() calls: the
+        // session starves, then resumes and completes the late job.
+        let cfg = cfg();
+        struct Fed {
+            queue: Vec<Arc<JobSpec>>,
+            tag: usize,
+            drained: bool,
+        }
+        impl Dispatcher for Fed {
+            fn next(&mut self, d: Device, _n: f64, _c: &DispatchCtx) -> Dispatch {
+                if d != Device::Cpu {
+                    return Dispatch::Idle;
+                }
+                match self.queue.pop() {
+                    Some(job) => {
+                        let tag = self.tag;
+                        self.tag += 1;
+                        Dispatch::Run(DispatchJob {
+                            job,
+                            tag,
+                            set_freq: None,
+                        })
+                    }
+                    None if self.drained => Dispatch::Drained,
+                    None => Dispatch::Idle,
+                }
+            }
+        }
+        let engine = Engine::new(&cfg);
+        let mut gov = crate::governor::NullGovernor;
+        let mut disp = Fed {
+            queue: vec![Arc::new(single_phase_job("first", compute_phase(90.0)))],
+            tag: 0,
+            drained: false,
+        };
+        let mut session = engine.session(RunOptions::new(cfg.freqs.max_setting()));
+        // Run the first job dry.
+        loop {
+            match session.advance(&mut disp, &mut gov, 1.0, None).unwrap() {
+                SessionState::Starved => break,
+                SessionState::Advanced => {}
+                SessionState::Finished => panic!("not drained yet"),
+            }
+        }
+        assert_eq!(session.records().len(), 1);
+        let starved_at = session.now_s();
+        // Feed a second job and drain.
+        disp.queue
+            .push(Arc::new(single_phase_job("second", compute_phase(90.0))));
+        disp.drained = true;
+        loop {
+            match session.advance(&mut disp, &mut gov, 1.0, None).unwrap() {
+                SessionState::Finished => break,
+                SessionState::Advanced => {}
+                SessionState::Starved => panic!("work was fed"),
+            }
+        }
+        let report = session.into_report();
+        assert_eq!(report.records.len(), 2);
+        assert!(report.records[1].start_s >= starved_at - 1e-9);
+        assert!(report.makespan_s > starved_at);
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Service-layer throughput: what the daemon core costs per request,
+//! measured in-process (no sockets, so the numbers isolate admission,
+//! dispatch, and the protocol layer from network noise).
+//!
+//! Three costs matter operationally: admission (lint + profile + queue),
+//! the submit→complete round trip (how long a client waits on a small
+//! job), and the read-only paths (metrics/status) that monitoring hits
+//! at high rate.
+
+use corun_serve::{handle_request, Json, Service, ServiceConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn service(queue_capacity: usize) -> Service {
+    let machine = apu_sim::MachineConfig::ivy_bridge();
+    let mut cfg = ServiceConfig::fast(&machine);
+    cfg.characterization.grid_points = 3;
+    cfg.characterization.micro_duration_s = 1.0;
+    cfg.queue_capacity = queue_capacity;
+    Service::start(cfg)
+}
+
+/// Admission alone: lint, profile into the incremental model, enqueue.
+/// Each iteration admits one job; the workers drain them concurrently, so
+/// a generous queue bound keeps backpressure out of the measurement.
+fn bench_submit(c: &mut Criterion) {
+    let svc = service(100_000);
+    c.bench_function("service_submit_one_job", |b| {
+        b.iter(|| svc.submit_spec("lud x0.05").expect("admitted"))
+    });
+    svc.shutdown();
+}
+
+/// Full round trip: submit a small job and block until the simulated
+/// machine completes it. Dominated by dispatch latency + simulation.
+fn bench_submit_wait(c: &mut Criterion) {
+    let svc = service(64);
+    c.bench_function("service_submit_wait_roundtrip", |b| {
+        b.iter(|| {
+            let ids = svc.submit_spec("srad x0.05").expect("admitted");
+            svc.wait_job(ids[0]).expect("known id")
+        })
+    });
+    svc.shutdown();
+}
+
+/// The monitoring path: a metrics snapshot through the whole protocol
+/// stack (request parse → snapshot under the lock → JSON render).
+fn bench_metrics(c: &mut Criterion) {
+    let svc = service(64);
+    // A little history so the snapshot is not trivially empty.
+    let ids = svc.submit_spec("hotspot x0.05 *4").expect("admitted");
+    for id in ids {
+        svc.wait_job(id);
+    }
+    c.bench_function("service_metrics_snapshot", |b| {
+        b.iter(|| {
+            let line = handle_request(&svc, r#"{"op":"metrics"}"#);
+            Json::parse(&line).expect("valid response")
+        })
+    });
+    svc.shutdown();
+}
+
+criterion_group!(benches, bench_submit, bench_submit_wait, bench_metrics);
+criterion_main!(benches);

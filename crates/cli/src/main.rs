@@ -10,9 +10,15 @@
 //! corun characterize --out FILE [--machine ivy|kaveri] [--fast]
 //! corun lint       [--machine ivy|kaveri] [--config FILE] [--spec FILE]
 //!                  [--schedule FILE] [--cap W] [--format human|json]
+//! corun serve      [--port N] [--machine ivy|kaveri] [--cap W] [--queue N]
+//!                  [--machines N] [--fast] [--cache DIR]
+//! corun submit     --addr HOST:PORT --spec FILE [--wait] [--timeout S]
+//! corun status     --addr HOST:PORT [--id N]
+//! corun shutdown   --addr HOST:PORT
 //! ```
 
 mod args;
+mod serve_cmd;
 
 use apu_sim::{Bias, Device, MachineConfig};
 use args::Args;
@@ -51,6 +57,10 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         "predict" => cmd_predict(&args),
         "characterize" => cmd_characterize(&args),
         "lint" => cmd_lint(&args),
+        "serve" => serve_cmd::cmd_serve(&args),
+        "submit" => serve_cmd::cmd_submit(&args),
+        "status" => serve_cmd::cmd_status(&args),
+        "shutdown" => serve_cmd::cmd_shutdown(&args),
         "help" | "--help" => {
             print_help();
             Ok(())
@@ -71,7 +81,11 @@ fn print_help() {
          \x20 online                        online scheduling with job arrivals\n\
          \x20 predict --cpu A --gpu B       predict one pair's co-run behaviour\n\
          \x20 characterize --out FILE      cache the degradation space to disk\n\
-         \x20 lint                          statically check configs, specs, and schedules\n\n\
+         \x20 lint                          statically check configs, specs, and schedules\n\
+         \x20 serve                         run the scheduling daemon (TCP, line-JSON)\n\
+         \x20 submit --addr H:P --spec F    send a workload spec to a running daemon\n\
+         \x20 status --addr H:P [--id N]    query a job, or the metrics snapshot\n\
+         \x20 shutdown --addr H:P           drain the daemon and exit\n\n\
          common options: --machine ivy|kaveri  --cap WATTS  --fast"
     );
 }

@@ -1,0 +1,118 @@
+//! The service-mode subcommands: `corun serve` (daemon) and its clients
+//! `corun submit`, `corun status`, `corun shutdown`.
+
+use crate::args::Args;
+use apu_sim::MachineConfig;
+use corun_serve::{Client, Json, Server, Service, ServiceConfig};
+
+fn machine_for(args: &Args) -> Result<MachineConfig, String> {
+    match args.opt_or("machine", "ivy") {
+        "ivy" | "ivy-bridge" => Ok(MachineConfig::ivy_bridge()),
+        "kaveri" => Ok(MachineConfig::kaveri()),
+        other => Err(format!("unknown machine `{other}` (ivy, kaveri)")),
+    }
+}
+
+/// `corun serve`: characterize the machine, bind the TCP endpoint, and
+/// run until a client sends `shutdown` (the queue drains first).
+pub fn cmd_serve(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&[
+        "machine", "cap", "port", "queue", "machines", "slice", "fast", "cache",
+    ])?;
+    let machine = machine_for(args)?;
+    let mut cfg = ServiceConfig::fast(&machine);
+    if !args.flag("fast") {
+        cfg.characterization = perf_model::CharacterizeConfig::paper(&machine);
+    }
+    cfg.cap_w = args.num_or("cap", 15.0)?;
+    cfg.machines = args.num_or("machines", 1usize)?;
+    cfg.queue_capacity = args.num_or("queue", 64usize)?;
+    cfg.slice_s = args.num_or("slice", 5.0)?;
+    if let Some(dir) = args.opt("cache") {
+        cfg.cache_dir = Some(std::path::PathBuf::from(dir));
+    }
+    let port: u16 = args.num_or("port", 7077u16)?;
+
+    println!(
+        "characterizing the machine ({} stages x {}x{} grid) ...",
+        cfg.characterization.cpu_stage_levels.len() * cfg.characterization.gpu_stage_levels.len(),
+        cfg.characterization.grid_points,
+        cfg.characterization.grid_points
+    );
+    let service = Service::start(cfg);
+    let server =
+        Server::bind(service, &format!("127.0.0.1:{port}")).map_err(|e| format!("bind: {e}"))?;
+    // The smoke test parses this line to discover the ephemeral port.
+    println!("listening on {}", server.addr());
+    server.run_to_shutdown();
+    println!("shutdown complete");
+    Ok(())
+}
+
+fn connect(args: &Args) -> Result<Client, String> {
+    let addr = args.opt("addr").ok_or("--addr HOST:PORT is required")?;
+    Client::connect(addr)
+}
+
+/// `corun submit`: send a workload spec to a running daemon.
+pub fn cmd_submit(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["addr", "spec", "wait", "timeout"])?;
+    let path = args.opt("spec").ok_or("--spec FILE is required")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("--spec {path}: {e}"))?;
+    let mut client = connect(args)?;
+    let ids = client.submit(&text)?;
+    println!(
+        "submitted {} job(s): {}",
+        ids.len(),
+        ids.iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    if args.flag("wait") {
+        let timeout_s = args.num_or("timeout", 300.0)?;
+        for &id in &ids {
+            let status = client.wait_done(id, timeout_s)?;
+            println!("{}", status.render());
+        }
+    }
+    Ok(())
+}
+
+/// `corun status`: query one job (`--id N`) or the metrics snapshot.
+pub fn cmd_status(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["addr", "id"])?;
+    let mut client = connect(args)?;
+    let response = match args.num::<usize>("id")? {
+        Some(id) => client.status(id)?,
+        None => {
+            let metrics = client.metrics()?;
+            if !metrics_look_sane(&metrics) {
+                return Err(format!("malformed metrics snapshot: {}", metrics.render()));
+            }
+            metrics
+        }
+    };
+    println!("{}", response.render());
+    Ok(())
+}
+
+/// `corun shutdown`: ask the daemon to drain and exit.
+pub fn cmd_shutdown(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["addr"])?;
+    let mut client = connect(args)?;
+    client.shutdown()?;
+    println!("shutdown requested");
+    Ok(())
+}
+
+/// True if a `metrics` response looks structurally sound; `corun status`
+/// (and the CI smoke test through it) fails loudly on malformed output.
+fn metrics_look_sane(metrics: &Json) -> bool {
+    metrics.get("ok").and_then(Json::as_bool) == Some(true)
+        && metrics
+            .get("queue_depth")
+            .and_then(Json::as_index)
+            .is_some()
+        && metrics.get("util").and_then(Json::as_arr).is_some()
+}

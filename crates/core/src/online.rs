@@ -55,6 +55,49 @@ impl OnlinePolicy {
         OnlinePolicy { cfg, preference }
     }
 
+    /// An empty policy that knows about no jobs yet; register jobs as
+    /// they arrive with [`OnlinePolicy::admit_job`]. This is the
+    /// constructor a resident service uses: the job universe grows over
+    /// the service's lifetime, so preferences cannot be precomputed.
+    pub fn empty(cfg: HcsConfig) -> Self {
+        OnlinePolicy {
+            cfg,
+            preference: Vec::new(),
+        }
+    }
+
+    /// Incrementally register job `job` (which must be the next unseen
+    /// index, or an already-admitted one — preferences are append-only and
+    /// dense). Categorization depends only on the job's own standalone
+    /// profile, so admitting jobs one at a time yields exactly the policy
+    /// [`OnlinePolicy::new`] would have built from scratch.
+    ///
+    /// # Panics
+    ///
+    /// If `job` would leave a gap (`job > self.job_count()`) or is not
+    /// covered by `model`.
+    pub fn admit_job(&mut self, model: &dyn CoRunModel, job: JobId) {
+        assert!(
+            job <= self.preference.len(),
+            "admit_job({job}) would leave a gap: only {} jobs admitted",
+            self.preference.len()
+        );
+        assert!(job < model.len(), "job {job} not in the model");
+        if job == self.preference.len() {
+            self.preference.push(categorize(model, &self.cfg, job));
+        }
+    }
+
+    /// Number of jobs this policy has preferences for.
+    pub fn job_count(&self) -> usize {
+        self.preference.len()
+    }
+
+    /// The preference categorization per admitted job.
+    pub fn preferences(&self) -> &[Preference] {
+        &self.preference
+    }
+
     /// The scheduling configuration.
     pub fn config(&self) -> &HcsConfig {
         &self.cfg
@@ -360,6 +403,40 @@ mod tests {
         let r = evaluate_online(&m, &[], &p);
         assert_eq!(r.makespan_s, 0.0);
         assert!(r.finish_s.iter().all(|f| f.is_none()));
+    }
+
+    #[test]
+    fn incremental_admission_matches_batch_construction() {
+        let m = synthetic(9, 5, 4);
+        let batch = OnlinePolicy::new(&m, HcsConfig::with_cap(16.0));
+        let mut inc = OnlinePolicy::empty(HcsConfig::with_cap(16.0));
+        for j in 0..m.len() {
+            inc.admit_job(&m, j);
+            // Re-admitting is idempotent.
+            inc.admit_job(&m, j);
+        }
+        assert_eq!(inc.job_count(), m.len());
+        assert_eq!(batch.preferences(), inc.preferences());
+        // And the policies decide identically on a mixed ready set.
+        let ready: Vec<usize> = (0..m.len()).collect();
+        for device in apu_sim::Device::ALL {
+            assert_eq!(
+                batch.pick(&m, &ready, device, None),
+                inc.pick(&m, &ready, device, None)
+            );
+            assert_eq!(
+                batch.pick(&m, &ready[1..], device, Some((0, 2))),
+                inc.pick(&m, &ready[1..], device, Some((0, 2)))
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gap")]
+    fn admission_gap_panics() {
+        let m = synthetic(4, 4, 4);
+        let mut p = OnlinePolicy::empty(HcsConfig::uncapped());
+        p.admit_job(&m, 2);
     }
 
     #[test]

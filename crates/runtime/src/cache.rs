@@ -11,12 +11,24 @@ use apu_sim::MachineConfig;
 use perf_model::{characterize, load_stages, save_stages, CharacterizeConfig, Stage};
 use std::path::{Path, PathBuf};
 
+/// Version of the fingerprint input format.
+///
+/// The fingerprint hashes `Debug` renderings, which are not a stable
+/// serialization: adding a field, renaming one, or a rustc change to derived
+/// `Debug` output alters the rendering without any semantic change — or,
+/// worse, a semantic change could in principle render identically. Folding an
+/// explicit version into the hashed text gives us a manual override: bump
+/// this constant whenever the *meaning* of the rendered configuration
+/// changes, and every existing cache entry is invalidated at once.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
 /// A stable fingerprint of the machine + characterization parameters.
 ///
-/// FNV-1a over the serde-debug rendering of both structures: not
-/// cryptographic, just collision-resistant enough to key cache files.
+/// FNV-1a over [`CACHE_FORMAT_VERSION`] plus the serde-debug rendering of
+/// both structures: not cryptographic, just collision-resistant enough to
+/// key cache files.
 pub fn fingerprint(cfg: &MachineConfig, ccfg: &CharacterizeConfig) -> u64 {
-    let text = format!("{cfg:?}|{ccfg:?}");
+    let text = format!("v{CACHE_FORMAT_VERSION}|{cfg:?}|{ccfg:?}");
     let mut h: u64 = 0xcbf29ce484222325;
     for b in text.bytes() {
         h ^= b as u64;
@@ -99,6 +111,24 @@ mod tests {
         let mut c3 = c1.clone();
         c3.grid_points = 4;
         assert_ne!(fingerprint(&ivy, &c1), fingerprint(&ivy, &c3));
+    }
+
+    /// Pins the exact fingerprint for a known configuration. If this test
+    /// fails, a `Debug` rendering (or [`CACHE_FORMAT_VERSION`]) changed and
+    /// every deployed cache is invalid — that is usually correct, but it must
+    /// be a *noticed* decision: re-pin the value here after confirming the
+    /// invalidation is intended.
+    #[test]
+    fn fingerprint_is_pinned_for_known_config() {
+        let cfg = MachineConfig::ivy_bridge();
+        let ccfg = fast_cfg(&cfg);
+        assert_eq!(
+            fingerprint(&cfg, &ccfg),
+            0x9493eb04efbebbfb,
+            "fingerprint input format changed; bump CACHE_FORMAT_VERSION \
+             and re-pin (current: {:#018x})",
+            fingerprint(&cfg, &ccfg)
+        );
     }
 
     #[test]

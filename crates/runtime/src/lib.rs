@@ -15,11 +15,14 @@
 //! * [`online_exec`] — ground-truth execution of the online policy;
 //! * [`report`] — tables, Gantt timelines, run summaries;
 //! * [`sweep`] — cap x method parameter sweeps;
-//! * [`cache`] — fingerprint-keyed on-disk characterization caching.
+//! * [`cache`] — fingerprint-keyed on-disk characterization caching;
+//! * [`incremental`] — a growable [`corun_core::CoRunModel`] for resident
+//!   services that admit jobs one at a time.
 
 pub mod cache;
 pub mod executor;
 pub mod experiments;
+pub mod incremental;
 pub mod modelbuild;
 pub mod online_exec;
 pub mod oracle;
@@ -32,6 +35,7 @@ pub use executor::{execute_default, execute_schedule, LevelPolicy};
 pub use experiments::{
     best_pair_setting, perf_model_errors, power_model_errors, speedup_study, SpeedupStudy,
 };
+pub use incremental::IncrementalModel;
 pub use modelbuild::build_table_model;
 pub use online_exec::execute_online;
 pub use oracle::{measure_pair_truth, measure_solo, PairTruth};

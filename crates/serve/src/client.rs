@@ -1,0 +1,130 @@
+//! A small blocking client for the service protocol.
+//!
+//! Used by the `corun submit` / `corun status` / `corun shutdown` CLI
+//! subcommands and by the CI smoke test. One request per call; responses
+//! are returned as parsed [`Json`] values, with protocol-level errors
+//! (`"ok": false`) surfaced as `Err(String)` carrying the server message.
+
+use crate::json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr` (`host:port`).
+    pub fn connect(addr: &str) -> Result<Client, String> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone stream: {e}"))?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: stream,
+        })
+    }
+
+    /// Send one request object and read one response line.
+    ///
+    /// Returns the raw response (even when `"ok"` is false) so callers can
+    /// inspect structured error payloads like `retry_after_s`.
+    pub fn call(&mut self, request: &Json) -> Result<Json, String> {
+        let line = request.render();
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send failed: {e}"))?;
+        let mut response = String::new();
+        match self.reader.read_line(&mut response) {
+            Ok(0) => Err("server closed the connection".into()),
+            Ok(_) => Json::parse(response.trim()).map_err(|e| format!("bad response: {e}")),
+            Err(e) => Err(format!("receive failed: {e}")),
+        }
+    }
+
+    /// Like [`Client::call`], but turns `"ok": false` into `Err` with the
+    /// server's message.
+    pub fn call_ok(&mut self, request: &Json) -> Result<Json, String> {
+        let response = self.call(request)?;
+        if response.get("ok").and_then(Json::as_bool) == Some(true) {
+            Ok(response)
+        } else {
+            let code = response
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown");
+            let msg = response
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("no message");
+            Err(format!("{code}: {msg}"))
+        }
+    }
+
+    /// Health check; true if the server answers the ping.
+    pub fn ping(&mut self) -> Result<bool, String> {
+        let r = self.call(&crate::json::obj(vec![("op", Json::Str("ping".into()))]))?;
+        Ok(r.get("ok").and_then(Json::as_bool) == Some(true))
+    }
+
+    /// Submit a spec fragment; returns the assigned job ids.
+    pub fn submit(&mut self, spec: &str) -> Result<Vec<usize>, String> {
+        let r = self.call_ok(&crate::json::obj(vec![
+            ("op", Json::Str("submit".into())),
+            ("spec", Json::Str(spec.into())),
+        ]))?;
+        let ids = r
+            .get("ids")
+            .and_then(Json::as_arr)
+            .ok_or("response missing `ids`")?;
+        ids.iter()
+            .map(|v| v.as_index().ok_or_else(|| "non-integer job id".into()))
+            .collect()
+    }
+
+    /// Query one job's status.
+    pub fn status(&mut self, id: usize) -> Result<Json, String> {
+        self.call_ok(&crate::json::obj(vec![
+            ("op", Json::Str("status".into())),
+            ("id", Json::Num(id as f64)),
+        ]))
+    }
+
+    /// Fetch the live metrics snapshot.
+    pub fn metrics(&mut self) -> Result<Json, String> {
+        self.call_ok(&crate::json::obj(vec![("op", Json::Str("metrics".into()))]))
+    }
+
+    /// Request a graceful shutdown (drain queue, then exit).
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        self.call_ok(&crate::json::obj(vec![(
+            "op",
+            Json::Str("shutdown".into()),
+        )]))
+        .map(|_| ())
+    }
+
+    /// Poll `status` until the job reaches a terminal state or `timeout_s`
+    /// wall-clock seconds elapse. Returns the final status object.
+    pub fn wait_done(&mut self, id: usize, timeout_s: f64) -> Result<Json, String> {
+        let deadline = Instant::now() + Duration::from_secs_f64(timeout_s);
+        loop {
+            let status = self.status(id)?;
+            match status.get("state").and_then(Json::as_str) {
+                Some("done") | Some("rejected") => return Ok(status),
+                _ => {}
+            }
+            if Instant::now() >= deadline {
+                return Err(format!("job {id} did not finish within {timeout_s}s"));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! corun-serve: a long-running co-scheduling service daemon.
+//!
+//! This crate turns the batch pipeline into a *service*: simulated
+//! machines (apu-sim [`Session`](apu_sim::Session)s) run continuously on
+//! worker threads, an [`OnlinePolicy`](corun_core::OnlinePolicy) decides
+//! placement and DVFS levels under the power cap, and clients feed jobs
+//! in over a newline-delimited JSON TCP protocol.
+//!
+//! Layers, bottom up:
+//!
+//! - [`json`] — a dependency-free JSON value type (parse + render).
+//! - [`service`] — the daemon core: admission control with a bounded
+//!   queue, incremental model growth, per-machine worker threads, live
+//!   metrics. Fully testable in-process.
+//! - [`protocol`] — request/response mapping; [`protocol::handle_request`]
+//!   is the single entry point, usable without a socket.
+//! - [`server`] — the blocking TCP accept loop (thread per connection).
+//! - [`client`] — a small blocking client for the CLI and smoke tests.
+//!
+//! See `docs/SERVICE.md` for the wire-format catalogue and error codes.
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use client::Client;
+pub use json::Json;
+pub use protocol::{handle_request, PROTOCOL_VERSION};
+pub use server::Server;
+pub use service::{JobState, JobStatus, MetricsSnapshot, Service, ServiceConfig, SubmitError};

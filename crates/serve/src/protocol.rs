@@ -1,0 +1,323 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One request object per line, one response object per line. Every
+//! response carries `"ok"`; failures add `"error"` (a stable machine
+//! code, see [`docs/SERVICE.md`]) and a human `"message"`. The full
+//! schema catalogue lives in `docs/SERVICE.md`.
+//!
+//! [`handle_request`] is the single entry point — the TCP server feeds it
+//! raw lines, and tests can drive the whole protocol without a socket.
+
+use crate::json::{obj, Json};
+use crate::service::{JobState, JobStatus, MetricsSnapshot, Service, SubmitError};
+use apu_sim::Device;
+
+/// Protocol revision, echoed by `ping` and checked by clients.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Handle one request line; always returns exactly one JSON line
+/// (without the trailing newline).
+pub fn handle_request(service: &Service, line: &str) -> String {
+    match Json::parse(line) {
+        Ok(req) => dispatch(service, &req).render(),
+        Err(e) => error("bad_request", &format!("invalid JSON: {e}")).render(),
+    }
+}
+
+fn dispatch(service: &Service, req: &Json) -> Json {
+    let Some(op) = req.get("op").and_then(Json::as_str) else {
+        return error("bad_request", "missing string field `op`");
+    };
+    match op {
+        "ping" => obj(vec![
+            ("ok", Json::Bool(true)),
+            ("service", Json::Str("corun-serve".into())),
+            ("proto", Json::Num(PROTOCOL_VERSION as f64)),
+        ]),
+        "submit" => {
+            let Some(spec) = req.get("spec").and_then(Json::as_str) else {
+                return error("bad_request", "submit needs a string field `spec`");
+            };
+            submit_specs(service, &[spec])
+        }
+        "batch" => {
+            let Some(items) = req.get("specs").and_then(Json::as_arr) else {
+                return error("bad_request", "batch needs an array field `specs`");
+            };
+            let mut specs = Vec::with_capacity(items.len());
+            for item in items {
+                match item.as_str() {
+                    Some(s) => specs.push(s),
+                    None => return error("bad_request", "`specs` entries must be strings"),
+                }
+            }
+            submit_specs(service, &specs)
+        }
+        "status" => {
+            let Some(id) = req.get("id").and_then(Json::as_index) else {
+                return error("bad_request", "status needs a numeric field `id`");
+            };
+            match service.job_status(id) {
+                Some(status) => status_json(&status),
+                None => error("unknown_job", &format!("no job with id {id}")),
+            }
+        }
+        "metrics" => metrics_json(&service.metrics()),
+        "shutdown" => {
+            service.begin_shutdown();
+            obj(vec![("ok", Json::Bool(true))])
+        }
+        other => error("unknown_op", &format!("unknown op `{other}`")),
+    }
+}
+
+fn submit_specs(service: &Service, specs: &[&str]) -> Json {
+    // A batch is all-or-nothing like a single multi-line spec, so just
+    // join the fragments; the lint gate reports per-line locations.
+    let text = specs.join("\n");
+    match service.submit_spec(&text) {
+        Ok(ids) => obj(vec![
+            ("ok", Json::Bool(true)),
+            (
+                "ids",
+                Json::Arr(ids.iter().map(|&i| Json::Num(i as f64)).collect()),
+            ),
+        ]),
+        Err(e) => submit_error_json(&e),
+    }
+}
+
+fn submit_error_json(e: &SubmitError) -> Json {
+    match e {
+        SubmitError::Lint(report) => {
+            // Report::render_json emits a JSON document; embed it verbatim.
+            let diags = Json::parse(&report.render_json())
+                .unwrap_or_else(|_| Json::Str(report.render_human()));
+            Json::Obj(vec![
+                ("ok".into(), Json::Bool(false)),
+                ("error".into(), Json::Str("lint".into())),
+                ("message".into(), Json::Str(e.to_string())),
+                ("diagnostics".into(), diags),
+            ])
+        }
+        SubmitError::QueueFull {
+            retry_after_s,
+            capacity,
+            queued,
+        } => obj(vec![
+            ("ok", Json::Bool(false)),
+            ("error", Json::Str("queue_full".into())),
+            ("message", Json::Str(e.to_string())),
+            ("retry_after_s", Json::Num(*retry_after_s)),
+            ("capacity", Json::Num(*capacity as f64)),
+            ("queued", Json::Num(*queued as f64)),
+        ]),
+        SubmitError::Infeasible { names } => obj(vec![
+            ("ok", Json::Bool(false)),
+            ("error", Json::Str("infeasible".into())),
+            ("message", Json::Str(e.to_string())),
+            (
+                "jobs",
+                Json::Arr(names.iter().map(|n| Json::Str(n.clone())).collect()),
+            ),
+        ]),
+        SubmitError::ShuttingDown => obj(vec![
+            ("ok", Json::Bool(false)),
+            ("error", Json::Str("shutting_down".into())),
+            ("message", Json::Str(e.to_string())),
+        ]),
+    }
+}
+
+fn device_str(d: Device) -> &'static str {
+    match d {
+        Device::Cpu => "cpu",
+        Device::Gpu => "gpu",
+    }
+}
+
+fn status_json(status: &JobStatus) -> Json {
+    let mut fields = vec![
+        ("ok", Json::Bool(true)),
+        ("id", Json::Num(status.id as f64)),
+        ("name", Json::Str(status.name.clone())),
+        ("dispatches", Json::Num(status.dispatches as f64)),
+    ];
+    match &status.state {
+        JobState::Queued => fields.push(("state", Json::Str("queued".into()))),
+        JobState::Rejected => fields.push(("state", Json::Str("rejected".into()))),
+        JobState::Running {
+            machine,
+            device,
+            start_s,
+            predicted_s,
+        } => {
+            fields.push(("state", Json::Str("running".into())));
+            fields.push(("machine", Json::Num(*machine as f64)));
+            fields.push(("device", Json::Str(device_str(*device).into())));
+            fields.push(("start_s", Json::Num(*start_s)));
+            fields.push(("predicted_s", Json::Num(*predicted_s)));
+        }
+        JobState::Done {
+            machine,
+            device,
+            start_s,
+            end_s,
+            predicted_s,
+        } => {
+            fields.push(("state", Json::Str("done".into())));
+            fields.push(("machine", Json::Num(*machine as f64)));
+            fields.push(("device", Json::Str(device_str(*device).into())));
+            fields.push(("start_s", Json::Num(*start_s)));
+            fields.push(("end_s", Json::Num(*end_s)));
+            fields.push(("predicted_s", Json::Num(*predicted_s)));
+            fields.push(("simulated_s", Json::Num(*end_s - *start_s)));
+        }
+    }
+    obj(fields)
+}
+
+fn metrics_json(m: &MetricsSnapshot) -> Json {
+    obj(vec![
+        ("ok", Json::Bool(true)),
+        ("queue_depth", Json::Num(m.queue_depth as f64)),
+        ("queue_capacity", Json::Num(m.queue_capacity as f64)),
+        ("submitted", Json::Num(m.submitted as f64)),
+        ("rejected", Json::Num(m.rejected as f64)),
+        ("dispatched", Json::Num(m.dispatched as f64)),
+        ("completed", Json::Num(m.completed as f64)),
+        ("machines", Json::Num(m.machines as f64)),
+        ("workers_alive", Json::Num(m.workers_alive as f64)),
+        (
+            "sim_now_s",
+            Json::Arr(m.sim_now_s.iter().map(|&t| Json::Num(t)).collect()),
+        ),
+        (
+            "util",
+            Json::Arr(
+                m.util
+                    .iter()
+                    .map(|u| {
+                        obj(vec![
+                            ("cpu", Json::Num(u[Device::Cpu.index()])),
+                            ("gpu", Json::Num(u[Device::Gpu.index()])),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("predicted_makespan_s", Json::Num(m.predicted_makespan_s)),
+        ("simulated_makespan_s", Json::Num(m.simulated_makespan_s)),
+        ("cap_w", Json::Num(m.cap_w)),
+        ("cap_violations", Json::Num(m.cap_violations as f64)),
+        ("cap_samples", Json::Num(m.cap_samples as f64)),
+        (
+            "worker_error",
+            match &m.worker_error {
+                Some(e) => Json::Str(e.clone()),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+fn error(code: &str, message: &str) -> Json {
+    obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(code.into())),
+        ("message", Json::Str(message.into())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use apu_sim::MachineConfig;
+
+    fn service() -> Service {
+        let machine = MachineConfig::ivy_bridge();
+        let mut cfg = ServiceConfig::fast(&machine);
+        cfg.characterization.grid_points = 3;
+        cfg.characterization.micro_duration_s = 1.0;
+        cfg.queue_capacity = 4;
+        Service::start(cfg)
+    }
+
+    fn call(svc: &Service, line: &str) -> Json {
+        Json::parse(&handle_request(svc, line)).expect("response must be valid JSON")
+    }
+
+    #[test]
+    fn ping_and_bad_requests() {
+        let svc = service();
+        let r = call(&svc, r#"{"op":"ping"}"#);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(r.get("proto").and_then(Json::as_index), Some(1));
+
+        let r = call(&svc, "not json");
+        assert_eq!(r.get("error").and_then(Json::as_str), Some("bad_request"));
+        let r = call(&svc, r#"{"no_op":1}"#);
+        assert_eq!(r.get("error").and_then(Json::as_str), Some("bad_request"));
+        let r = call(&svc, r#"{"op":"frobnicate"}"#);
+        assert_eq!(r.get("error").and_then(Json::as_str), Some("unknown_op"));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn submit_status_metrics_roundtrip() {
+        let svc = service();
+        let r = call(&svc, r#"{"op":"submit","spec":"lud x0.1"}"#);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        let ids = r.get("ids").and_then(Json::as_arr).unwrap();
+        assert_eq!(ids.len(), 1);
+        let id = ids[0].as_index().unwrap();
+
+        svc.wait_job(id);
+        let r = call(&svc, &format!(r#"{{"op":"status","id":{id}}}"#));
+        assert_eq!(r.get("state").and_then(Json::as_str), Some("done"));
+        assert!(r.get("simulated_s").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(r.get("predicted_s").and_then(Json::as_f64).unwrap() > 0.0);
+
+        let m = call(&svc, r#"{"op":"metrics"}"#);
+        assert_eq!(m.get("completed").and_then(Json::as_index), Some(1));
+        assert_eq!(m.get("queue_depth").and_then(Json::as_index), Some(0));
+        assert!(m.get("util").and_then(Json::as_arr).is_some());
+
+        let r = call(&svc, r#"{"op":"status","id":999}"#);
+        assert_eq!(r.get("error").and_then(Json::as_str), Some("unknown_job"));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn lint_and_backpressure_over_the_protocol() {
+        let svc = service();
+        let r = call(&svc, r#"{"op":"submit","spec":"who_dis x1"}"#);
+        assert_eq!(r.get("error").and_then(Json::as_str), Some("lint"));
+        assert!(r.get("diagnostics").is_some());
+
+        // Queue capacity is 4; a 6-wide batch must bounce atomically.
+        let r = call(
+            &svc,
+            r#"{"op":"batch","specs":["lud x0.1 *3","srad x0.1 *3"]}"#,
+        );
+        assert_eq!(r.get("error").and_then(Json::as_str), Some("queue_full"));
+        assert!(r.get("retry_after_s").and_then(Json::as_f64).unwrap() > 0.0);
+        assert_eq!(r.get("capacity").and_then(Json::as_index), Some(4));
+
+        let m = call(&svc, r#"{"op":"metrics"}"#);
+        assert_eq!(m.get("submitted").and_then(Json::as_index), Some(0));
+        assert_eq!(m.get("rejected").and_then(Json::as_index), Some(6));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn shutdown_over_the_protocol() {
+        let svc = service();
+        let r = call(&svc, r#"{"op":"shutdown"}"#);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        let r = call(&svc, r#"{"op":"submit","spec":"lud x0.1"}"#);
+        assert_eq!(r.get("error").and_then(Json::as_str), Some("shutting_down"));
+        svc.shutdown();
+    }
+}

@@ -1,0 +1,264 @@
+//! TCP front-end: a blocking accept loop with one thread per connection.
+//!
+//! The protocol is line-oriented (see [`crate::protocol`]), so each
+//! connection thread is a simple read-line / handle / write-line loop.
+//! No async runtime: the std library's blocking sockets are plenty for a
+//! control-plane service whose requests are tiny and whose heavy work
+//! happens on the simulation worker threads.
+
+use crate::protocol::handle_request;
+use crate::service::Service;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Live-connection counter; shutdown waits (bounded) for it to drain so
+/// in-flight responses — the `shutdown` ack in particular — get flushed
+/// before the process exits.
+#[derive(Default)]
+struct ConnGauge {
+    count: Mutex<usize>,
+    zero_cv: Condvar,
+}
+
+impl ConnGauge {
+    fn enter(&self) {
+        *self.count.lock().expect("conn gauge") += 1;
+    }
+
+    fn leave(&self) {
+        let mut n = self.count.lock().expect("conn gauge");
+        *n -= 1;
+        if *n == 0 {
+            self.zero_cv.notify_all();
+        }
+    }
+
+    /// Wait until no connections remain, or the timeout passes (a client
+    /// holding its connection open must not wedge shutdown).
+    fn drain(&self, timeout: Duration) {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut n = self.count.lock().expect("conn gauge");
+        while *n > 0 {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _) = self
+                .zero_cv
+                .wait_timeout(n, deadline - now)
+                .expect("conn gauge");
+            n = guard;
+        }
+    }
+}
+
+/// A running TCP server wrapping a [`Service`].
+pub struct Server {
+    service: Arc<Service>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    conns: Arc<ConnGauge>,
+    accept_handle: Option<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start accepting.
+    pub fn bind(service: Service, addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let service = Arc::new(service);
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(ConnGauge::default());
+        let accept_handle = {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            thread::Builder::new()
+                .name("corun-accept".into())
+                .spawn(move || accept_loop(&listener, &service, &stop, &conns))
+                .expect("spawn accept thread")
+        };
+        Ok(Server {
+            service,
+            addr: local,
+            stop,
+            conns,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The bound address (resolves the actual port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The wrapped service (for in-process inspection, e.g. in tests).
+    pub fn service(&self) -> &Service {
+        &self.service
+    }
+
+    /// True once a client has requested shutdown via the protocol.
+    pub fn shutdown_requested(&self) -> bool {
+        self.service.is_shutting_down()
+    }
+
+    /// Block until the service drains after a shutdown request, then stop
+    /// accepting and join the accept thread.
+    pub fn run_to_shutdown(mut self) {
+        self.service.wait_shutdown();
+        self.stop_accepting();
+        self.service.shutdown();
+        self.conns.drain(Duration::from_secs(2));
+    }
+
+    /// Stop the accept loop without waiting for the service.
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop is blocked in accept(); poke it with a throwaway
+        // connection so it observes the stop flag and exits.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_accepting();
+        self.service.begin_shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    service: &Arc<Service>,
+    stop: &Arc<AtomicBool>,
+    conns: &Arc<ConnGauge>,
+) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let service = Arc::clone(service);
+        let thread_conns = Arc::clone(conns);
+        conns.enter();
+        if thread::Builder::new()
+            .name("corun-conn".into())
+            .spawn(move || {
+                serve_connection(&service, stream);
+                thread_conns.leave();
+            })
+            .is_err()
+        {
+            // Spawn failed: the closure never ran, rebalance here. The
+            // connection itself is simply dropped (client sees EOF).
+            conns.leave();
+        }
+    }
+}
+
+fn serve_connection(service: &Service, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break, // client hung up
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let response = handle_request(service, trimmed);
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::service::ServiceConfig;
+    use apu_sim::MachineConfig;
+
+    fn tiny_server() -> Server {
+        let machine = MachineConfig::ivy_bridge();
+        let mut cfg = ServiceConfig::fast(&machine);
+        cfg.characterization.grid_points = 3;
+        cfg.characterization.micro_duration_s = 1.0;
+        Server::bind(Service::start(cfg), "127.0.0.1:0").expect("bind")
+    }
+
+    #[test]
+    fn tcp_roundtrip_submit_wait_metrics() {
+        let server = tiny_server();
+        let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+        assert!(client.ping().expect("ping"));
+
+        let ids = client.submit("hotspot x0.1\nlud x0.1").expect("submit");
+        assert_eq!(ids.len(), 2);
+        for &id in &ids {
+            let status = client.wait_done(id, 30.0).expect("job should finish");
+            assert_eq!(
+                status.get("state").and_then(crate::json::Json::as_str),
+                Some("done")
+            );
+        }
+        let metrics = client.metrics().expect("metrics");
+        assert_eq!(
+            metrics
+                .get("completed")
+                .and_then(crate::json::Json::as_index),
+            Some(2)
+        );
+        client.shutdown().expect("shutdown");
+        server.run_to_shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_get_consistent_ids() {
+        let server = tiny_server();
+        let addr = server.addr().to_string();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let addr = addr.clone();
+                thread::spawn(move || {
+                    let mut client = Client::connect(&addr).expect("connect");
+                    client.submit("srad x0.1").expect("submit")
+                })
+            })
+            .collect();
+        let mut all_ids: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect();
+        all_ids.sort_unstable();
+        all_ids.dedup();
+        assert_eq!(all_ids.len(), 4, "ids must be unique across connections");
+
+        let mut client = Client::connect(&addr).expect("connect");
+        for id in all_ids {
+            client.wait_done(id, 30.0).expect("job should finish");
+        }
+        client.shutdown().expect("shutdown");
+        server.run_to_shutdown();
+    }
+}

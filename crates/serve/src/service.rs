@@ -1,0 +1,857 @@
+//! The resident scheduling service: admission control, online dispatch,
+//! and live metrics over one or more simulated machines.
+//!
+//! This is the in-process core that both the TCP server
+//! ([`crate::server`]) and the benchmarks drive. Jobs arrive as workload
+//! spec fragments ([`corun_verify`] spec syntax), pass the lint gate, are
+//! profiled into a growing [`runtime::IncrementalModel`], and enter a
+//! bounded admission queue. One worker thread per simulated machine runs a
+//! resumable [`apu_sim::Session`] driven by [`corun_core::OnlinePolicy`]
+//! through a dispatcher that pulls from the shared queue; completions,
+//! utilization, and power-cap violations feed the metrics snapshot.
+//!
+//! Concurrency model: all mutable state lives in one `Mutex<Inner>`.
+//! Workers hold the lock only inside dispatcher polls and end-of-slice
+//! harvests — the simulation ticks themselves run lock-free. `work_cv`
+//! wakes starved workers when jobs are admitted or shutdown begins;
+//! `done_cv` wakes clients waiting on completions.
+
+use apu_sim::{
+    Device, Dispatch, DispatchCtx, DispatchJob, Dispatcher, JobSpec, MachineConfig, NullGovernor,
+    RunOptions, Session, SessionState,
+};
+use corun_core::{best_solo_run, CoRunModel, HcsConfig, JobId, OnlinePolicy};
+use perf_model::{CharacterizeConfig, ProfileMethod, StagedPredictor};
+use runtime::IncrementalModel;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Configuration of a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The simulated machine preset every worker hosts.
+    pub machine: MachineConfig,
+    /// Package power cap, watts, enforced by the online policy's level
+    /// choices and tracked against the simulated power trace.
+    pub cap_w: f64,
+    /// Number of simulated machines (worker threads).
+    pub machines: usize,
+    /// Admission queue bound: jobs admitted but not yet dispatched. A
+    /// submission that would push past this gets an explicit
+    /// [`SubmitError::QueueFull`] (all-or-nothing for batches).
+    pub queue_capacity: usize,
+    /// How arriving jobs are profiled on admission.
+    pub profile_method: ProfileMethod,
+    /// Machine characterization run (or loaded) at startup.
+    pub characterization: CharacterizeConfig,
+    /// Run the per-job LLC-vulnerability probe on admission.
+    pub llc_probe: bool,
+    /// If set, the startup characterization goes through
+    /// [`runtime::characterize_cached`] keyed under this directory.
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// Simulated seconds each worker advances per slice before it
+    /// publishes progress and re-checks for shutdown.
+    pub slice_s: f64,
+}
+
+impl ServiceConfig {
+    /// Fast setup for tests and local serving: coarse characterization,
+    /// analytic profiles, one machine, paper cap.
+    pub fn fast(machine: &MachineConfig) -> Self {
+        let mut characterization = CharacterizeConfig::fast(machine);
+        characterization.grid_points = 4;
+        characterization.micro_duration_s = 1.5;
+        ServiceConfig {
+            machine: machine.clone(),
+            cap_w: 15.0,
+            machines: 1,
+            queue_capacity: 64,
+            profile_method: ProfileMethod::Analytic,
+            characterization,
+            llc_probe: false,
+            cache_dir: None,
+            slice_s: 5.0,
+        }
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone)]
+pub enum SubmitError {
+    /// The spec fragment failed the lint gate; the report carries the
+    /// diagnostics.
+    Lint(corun_verify::Report),
+    /// The admission queue is full. Nothing from this submission was
+    /// admitted; retry after the hinted delay.
+    QueueFull {
+        /// Suggested client back-off, seconds.
+        retry_after_s: f64,
+        /// The configured bound.
+        capacity: usize,
+        /// Jobs currently queued.
+        queued: usize,
+    },
+    /// No frequency level of some job fits the power cap even solo, so it
+    /// could never be dispatched. Nothing from this submission was queued.
+    Infeasible {
+        /// Names of the infeasible jobs.
+        names: Vec<String>,
+    },
+    /// The service is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Lint(report) => {
+                write!(f, "spec failed lint: {} diagnostic(s)", report.len())
+            }
+            SubmitError::QueueFull {
+                capacity, queued, ..
+            } => write!(f, "admission queue full ({queued}/{capacity})"),
+            SubmitError::Infeasible { names } => {
+                write!(f, "no cap-feasible level for: {}", names.join(", "))
+            }
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+/// Where a submitted job currently stands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobState {
+    /// Admitted, waiting for dispatch.
+    Queued,
+    /// Refused at admission (cap-infeasible); never queued.
+    Rejected,
+    /// Running on a simulated machine.
+    Running {
+        /// Hosting machine index.
+        machine: usize,
+        /// Device it was dispatched to.
+        device: Device,
+        /// Dispatch time on that machine's simulated clock, seconds.
+        start_s: f64,
+        /// Model-predicted duration at dispatch (co-run-aware), seconds.
+        predicted_s: f64,
+    },
+    /// Completed.
+    Done {
+        /// Hosting machine index.
+        machine: usize,
+        /// Device it ran on.
+        device: Device,
+        /// Dispatch time, simulated seconds.
+        start_s: f64,
+        /// Completion time, simulated seconds.
+        end_s: f64,
+        /// Model-predicted duration at dispatch, seconds.
+        predicted_s: f64,
+    },
+}
+
+/// Status of one job, as returned by [`Service::job_status`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStatus {
+    /// The job id.
+    pub id: JobId,
+    /// Program name.
+    pub name: String,
+    /// Current state.
+    pub state: JobState,
+    /// Times this job was handed to an engine. Exactly 1 for every job
+    /// that reaches `Running`/`Done`; the property tests assert it.
+    pub dispatches: u32,
+}
+
+/// A point-in-time view of the service, cheap to take.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Jobs admitted but not yet dispatched.
+    pub queue_depth: usize,
+    /// The admission bound.
+    pub queue_capacity: usize,
+    /// Total jobs ever admitted.
+    pub submitted: usize,
+    /// Submissions refused with backpressure (jobs, not requests).
+    pub rejected: usize,
+    /// Jobs handed to a simulated machine.
+    pub dispatched: usize,
+    /// Jobs completed.
+    pub completed: usize,
+    /// Worker (simulated machine) count.
+    pub machines: usize,
+    /// Workers still alive.
+    pub workers_alive: usize,
+    /// Per-machine simulated clock, seconds.
+    pub sim_now_s: Vec<f64>,
+    /// Per-machine per-device busy-time fraction of the simulated clock.
+    pub util: Vec<[f64; 2]>,
+    /// Max over machines/devices of accumulated *predicted* busy seconds —
+    /// the model's view of the makespan so far.
+    pub predicted_makespan_s: f64,
+    /// Max over machines of the last completion's simulated end time —
+    /// the ground-truth makespan so far.
+    pub simulated_makespan_s: f64,
+    /// The power cap, watts.
+    pub cap_w: f64,
+    /// Power-trace samples observed above the cap.
+    pub cap_violations: usize,
+    /// Total power-trace samples observed.
+    pub cap_samples: usize,
+    /// First worker error, if a simulation failed.
+    pub worker_error: Option<String>,
+}
+
+struct JobEntry {
+    name: String,
+    state: JobState,
+    /// Times this job was handed to an engine; the dispatch invariant
+    /// (each accepted job dispatched exactly once) is checked against it.
+    dispatches: u32,
+}
+
+struct Inner {
+    model: IncrementalModel,
+    policy: OnlinePolicy,
+    jobs: Vec<JobEntry>,
+    queue: VecDeque<JobId>,
+    shutdown: bool,
+    workers_alive: usize,
+    submitted: usize,
+    rejected: usize,
+    dispatched: usize,
+    completed: usize,
+    sim_now_s: Vec<f64>,
+    busy_s: Vec<[f64; 2]>,
+    predicted_busy_s: Vec<[f64; 2]>,
+    last_end_s: Vec<f64>,
+    cap_violations: usize,
+    cap_samples: usize,
+    worker_error: Option<String>,
+}
+
+struct Shared {
+    cfg: ServiceConfig,
+    state: Mutex<Inner>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+/// The running service. Dropping it shuts down gracefully (drains the
+/// queue, joins the workers).
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Service {
+    /// Characterize (or load the cached characterization of) the machine
+    /// and start the worker threads. Returns once the service accepts
+    /// submissions.
+    pub fn start(cfg: ServiceConfig) -> Service {
+        assert!(cfg.machines >= 1, "need at least one machine");
+        assert!(cfg.queue_capacity >= 1, "queue capacity must be positive");
+        let stages = match &cfg.cache_dir {
+            Some(dir) => runtime::characterize_cached(&cfg.machine, &cfg.characterization, dir).0,
+            None => perf_model::characterize(&cfg.machine, &cfg.characterization),
+        };
+        let predictor = StagedPredictor::new(&cfg.machine, stages);
+        let model = IncrementalModel::new(
+            cfg.machine.clone(),
+            predictor,
+            cfg.profile_method,
+            cfg.llc_probe,
+        );
+        let policy = OnlinePolicy::empty(HcsConfig::with_cap(cfg.cap_w));
+        let machines = cfg.machines;
+        let shared = Arc::new(Shared {
+            state: Mutex::new(Inner {
+                model,
+                policy,
+                jobs: Vec::new(),
+                queue: VecDeque::new(),
+                shutdown: false,
+                workers_alive: machines,
+                submitted: 0,
+                rejected: 0,
+                dispatched: 0,
+                completed: 0,
+                sim_now_s: vec![0.0; machines],
+                busy_s: vec![[0.0; 2]; machines],
+                predicted_busy_s: vec![[0.0; 2]; machines],
+                last_end_s: vec![0.0; machines],
+                cap_violations: 0,
+                cap_samples: 0,
+                worker_error: None,
+            }),
+            cfg,
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = (0..machines)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("corun-machine-{idx}"))
+                    .spawn(move || worker_loop(shared, idx))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Service {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.shared.cfg
+    }
+
+    /// Submit a workload spec fragment (one or more `name [xSCALE]
+    /// [*COUNT]` lines). The fragment is linted, its jobs profiled and
+    /// admitted atomically: either every expanded job is queued and their
+    /// ids returned, or nothing is.
+    pub fn submit_spec(&self, text: &str) -> Result<Vec<JobId>, SubmitError> {
+        let (lines, report) = corun_verify::lint_spec_full(text);
+        if report.has_errors() {
+            return Err(SubmitError::Lint(report));
+        }
+        let jobs = corun_verify::build_jobs(&self.shared.cfg.machine, &lines)
+            .map_err(|_| SubmitError::Lint(report))?;
+        if jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.admit(jobs)
+    }
+
+    fn admit(&self, jobs: Vec<JobSpec>) -> Result<Vec<JobId>, SubmitError> {
+        let mut inner = self.lock();
+        if inner.shutdown {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let queued = inner.queue.len();
+        let capacity = self.shared.cfg.queue_capacity;
+        if queued + jobs.len() > capacity {
+            inner.rejected += jobs.len();
+            return Err(SubmitError::QueueFull {
+                // The sim drains in wall-clock bursts, so a short,
+                // depth-scaled hint beats pretending to know drain speed.
+                retry_after_s: 0.05 * (queued + 1) as f64,
+                capacity,
+                queued,
+            });
+        }
+        // Profile into the model first so feasibility is checked against
+        // the exact ladders the dispatcher will use.
+        let cap = self.shared.cfg.cap_w;
+        let mut ids = Vec::with_capacity(jobs.len());
+        let mut infeasible = Vec::new();
+        for job in &jobs {
+            let id = inner.model.push_job(job);
+            let (model, policy) = inner.model_and_policy();
+            policy.admit_job(model, id);
+            inner.jobs.push(JobEntry {
+                name: job.name.clone(),
+                state: JobState::Queued,
+                dispatches: 0,
+            });
+            if Device::ALL
+                .iter()
+                .all(|&d| best_solo_run(&inner.model, id, d, cap).is_none())
+            {
+                infeasible.push(job.name.clone());
+            }
+            ids.push(id);
+        }
+        if !infeasible.is_empty() {
+            // The model is append-only, so the profiled entries stay, but
+            // none of this submission reaches the queue.
+            for &id in &ids {
+                inner.jobs[id].state = JobState::Rejected;
+            }
+            inner.rejected += ids.len();
+            return Err(SubmitError::Infeasible { names: infeasible });
+        }
+        inner.submitted += ids.len();
+        inner.queue.extend(ids.iter().copied());
+        self.shared.work_cv.notify_all();
+        Ok(ids)
+    }
+
+    /// Status of one job, `None` for unknown ids.
+    pub fn job_status(&self, id: JobId) -> Option<JobStatus> {
+        let inner = self.lock();
+        inner.jobs.get(id).map(|e| JobStatus {
+            id,
+            name: e.name.clone(),
+            state: e.state.clone(),
+            dispatches: e.dispatches,
+        })
+    }
+
+    /// Number of jobs the service has ever seen (valid ids are `0..len`).
+    pub fn job_count(&self) -> usize {
+        self.lock().jobs.len()
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let inner = self.lock();
+        let util = (0..self.shared.cfg.machines)
+            .map(|m| {
+                let now = inner.sim_now_s[m].max(1e-12);
+                [inner.busy_s[m][0] / now, inner.busy_s[m][1] / now]
+            })
+            .collect();
+        let predicted = inner
+            .predicted_busy_s
+            .iter()
+            .flat_map(|d| d.iter().copied())
+            .fold(0.0, f64::max);
+        let simulated = inner.last_end_s.iter().copied().fold(0.0, f64::max);
+        MetricsSnapshot {
+            queue_depth: inner.queue.len(),
+            queue_capacity: self.shared.cfg.queue_capacity,
+            submitted: inner.submitted,
+            rejected: inner.rejected,
+            dispatched: inner.dispatched,
+            completed: inner.completed,
+            machines: self.shared.cfg.machines,
+            workers_alive: inner.workers_alive,
+            sim_now_s: inner.sim_now_s.clone(),
+            util,
+            predicted_makespan_s: predicted,
+            simulated_makespan_s: simulated,
+            cap_w: self.shared.cfg.cap_w,
+            cap_violations: inner.cap_violations,
+            cap_samples: inner.cap_samples,
+            worker_error: inner.worker_error.clone(),
+        }
+    }
+
+    /// Block until `id` completes (or the workers die). Returns the final
+    /// status, `None` for unknown ids.
+    pub fn wait_job(&self, id: JobId) -> Option<JobStatus> {
+        let mut inner = self.lock();
+        loop {
+            let entry = inner.jobs.get(id)?;
+            if matches!(entry.state, JobState::Done { .. } | JobState::Rejected)
+                || inner.workers_alive == 0
+            {
+                return Some(JobStatus {
+                    id,
+                    name: entry.name.clone(),
+                    state: entry.state.clone(),
+                    dispatches: entry.dispatches,
+                });
+            }
+            inner = self.shared.done_cv.wait(inner).expect("service lock");
+        }
+    }
+
+    /// Block until the queue is empty and nothing is running (or the
+    /// workers die).
+    pub fn wait_idle(&self) {
+        let mut inner = self.lock();
+        loop {
+            let active = inner.queue.len()
+                + inner
+                    .jobs
+                    .iter()
+                    .filter(|e| matches!(e.state, JobState::Running { .. }))
+                    .count();
+            if active == 0 || inner.workers_alive == 0 {
+                return;
+            }
+            inner = self.shared.done_cv.wait(inner).expect("service lock");
+        }
+    }
+
+    /// Stop accepting submissions. Queued work still drains; call
+    /// [`Service::shutdown`] to also wait for the workers.
+    pub fn begin_shutdown(&self) {
+        let mut inner = self.lock();
+        inner.shutdown = true;
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Whether [`Service::begin_shutdown`] was called.
+    pub fn is_shutting_down(&self) -> bool {
+        self.lock().shutdown
+    }
+
+    /// Block until someone requests shutdown (or the workers die).
+    pub fn wait_shutdown(&self) {
+        let mut inner = self.lock();
+        while !inner.shutdown && inner.workers_alive > 0 {
+            inner = self.shared.work_cv.wait(inner).expect("service lock");
+        }
+    }
+
+    /// Graceful shutdown: refuse new submissions, drain the queue, join
+    /// the workers. Idempotent.
+    pub fn shutdown(&self) {
+        self.begin_shutdown();
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.workers.lock().expect("workers lock"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.shared.state.lock().expect("service lock")
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Inner {
+    /// Split borrow so the policy can be fed the model while both live in
+    /// the same guard.
+    fn model_and_policy(&mut self) -> (&IncrementalModel, &mut OnlinePolicy) {
+        (&self.model, &mut self.policy)
+    }
+}
+
+/// The per-worker dispatcher: pulls from the shared admission queue via
+/// the online policy. Mirrors `runtime::online_exec::OnlineDispatcher`,
+/// with the ready set and belief state living behind the service lock.
+struct WorkerDispatcher {
+    shared: Arc<Shared>,
+    machine_idx: usize,
+    running: [Option<(JobId, usize)>; 2],
+}
+
+impl Dispatcher for WorkerDispatcher {
+    fn next(&mut self, device: Device, now_s: f64, ctx: &DispatchCtx) -> Dispatch {
+        // Clone the handle so the guard's lifetime is not tied to `self`
+        // (dispatch below needs `&mut self` for the belief state).
+        let shared = Arc::clone(&self.shared);
+        let mut inner = shared.state.lock().expect("service lock");
+        // Sync belief: a device polling for work has nothing on it.
+        self.running[device.index()] = None;
+        if ctx.running.cpu + ctx.running.gpu == 0 {
+            self.running = [None, None];
+        }
+        let co = self.running[device.other().index()];
+        let ready: Vec<JobId> = inner.queue.iter().copied().collect();
+        let pick = inner.policy.pick(&inner.model, &ready, device, co);
+        match pick {
+            Some(p) => self.dispatch(&mut inner, device, now_s, ctx, (p.job, p.level), co),
+            None => {
+                let anything_running = ctx.running.cpu + ctx.running.gpu > 0;
+                if anything_running {
+                    // The co-runner must finish first (steal guard, cap);
+                    // its completion re-polls us.
+                    Dispatch::Idle
+                } else if ready.is_empty() {
+                    if inner.shutdown {
+                        Dispatch::Drained
+                    } else {
+                        // Nothing to do: the session will report Starved
+                        // and the worker will park on the condvar.
+                        Dispatch::Idle
+                    }
+                } else {
+                    // Liveness fallback: the machine is fully idle yet the
+                    // policy declined every queued job for this device
+                    // (steal guard, or no cap-feasible level here). If the
+                    // other device can host something, its own poll will
+                    // take it; otherwise force the best feasible candidate
+                    // here so the queue cannot wedge.
+                    let cap = shared.cfg.cap_w;
+                    let other = device.other();
+                    let other_can = ready
+                        .iter()
+                        .any(|&j| best_solo_run(&inner.model, j, other, cap).is_some());
+                    if other_can {
+                        return Dispatch::Idle;
+                    }
+                    let forced = ready
+                        .iter()
+                        .filter_map(|&j| {
+                            best_solo_run(&inner.model, j, device, cap).map(|(l, t)| (j, l, t))
+                        })
+                        .min_by(|a, b| a.2.total_cmp(&b.2));
+                    match forced {
+                        Some((job, level, _)) => {
+                            self.dispatch(&mut inner, device, now_s, ctx, (job, level), None)
+                        }
+                        None => Dispatch::Idle,
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl WorkerDispatcher {
+    fn dispatch(
+        &mut self,
+        inner: &mut Inner,
+        device: Device,
+        now_s: f64,
+        ctx: &DispatchCtx,
+        (job, level): (JobId, usize),
+        co: Option<(JobId, usize)>,
+    ) -> Dispatch {
+        inner.queue.retain(|&j| j != job);
+        let predicted_s = match co {
+            Some((cj, cl)) => inner.model.corun_time(job, device, level, cj, cl),
+            None => inner.model.standalone(job, device, level),
+        };
+        let spec = inner.model.job(job).clone();
+        let entry = &mut inner.jobs[job];
+        entry.dispatches += 1;
+        entry.state = JobState::Running {
+            machine: self.machine_idx,
+            device,
+            start_s: now_s,
+            predicted_s,
+        };
+        inner.dispatched += 1;
+        inner.predicted_busy_s[self.machine_idx][device.index()] += predicted_s;
+        self.running[device.index()] = Some((job, level));
+        Dispatch::Run(DispatchJob {
+            job: spec,
+            tag: job,
+            set_freq: Some(ctx.setting.with_level(device, level)),
+        })
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, machine_idx: usize) {
+    // The session borrows the machine config, so the worker owns a clone
+    // for its whole lifetime.
+    let machine = shared.cfg.machine.clone();
+    let mut opts = RunOptions::new(machine.freqs.min_setting());
+    opts.limit_s = f64::INFINITY;
+    let mut session = Session::new(&machine, opts);
+    let mut dispatcher = WorkerDispatcher {
+        shared: Arc::clone(&shared),
+        machine_idx,
+        running: [None, None],
+    };
+    let mut governor = NullGovernor;
+    let mut harvested_records = 0usize;
+    let mut harvested_samples = 0usize;
+    let slice = shared.cfg.slice_s.max(1e-3);
+
+    loop {
+        let state = session.advance(&mut dispatcher, &mut governor, slice, None);
+        let mut inner = shared.state.lock().expect("service lock");
+        harvest(
+            &mut inner,
+            &session,
+            machine_idx,
+            shared.cfg.cap_w,
+            &mut harvested_records,
+            &mut harvested_samples,
+        );
+        shared.done_cv.notify_all();
+        match state {
+            Ok(SessionState::Advanced) => {}
+            Ok(SessionState::Starved) => {
+                if inner.queue.is_empty() {
+                    while inner.queue.is_empty() && !inner.shutdown {
+                        inner = shared.work_cv.wait(inner).expect("service lock");
+                    }
+                } else {
+                    // Starved with work queued should be impossible (an
+                    // idle machine force-dispatches), but poll rather
+                    // than spin if a policy corner ever produces it.
+                    let (guard, _) = shared
+                        .work_cv
+                        .wait_timeout(inner, std::time::Duration::from_millis(10))
+                        .expect("service lock");
+                    inner = guard;
+                }
+                if inner.shutdown && inner.queue.is_empty() {
+                    break;
+                }
+            }
+            Ok(SessionState::Finished) => break,
+            Err(e) => {
+                let msg = format!("machine {machine_idx}: {e}");
+                inner.worker_error.get_or_insert(msg);
+                break;
+            }
+        }
+    }
+
+    let mut inner = shared.state.lock().expect("service lock");
+    inner.workers_alive -= 1;
+    shared.done_cv.notify_all();
+    shared.work_cv.notify_all();
+}
+
+fn harvest(
+    inner: &mut Inner,
+    session: &Session<'_>,
+    machine_idx: usize,
+    cap_w: f64,
+    harvested_records: &mut usize,
+    harvested_samples: &mut usize,
+) {
+    inner.sim_now_s[machine_idx] = session.now_s();
+    for record in &session.records()[*harvested_records..] {
+        let entry = &mut inner.jobs[record.tag];
+        let predicted_s = match entry.state {
+            JobState::Running { predicted_s, .. } => predicted_s,
+            _ => 0.0,
+        };
+        entry.state = JobState::Done {
+            machine: machine_idx,
+            device: record.device,
+            start_s: record.start_s,
+            end_s: record.end_s,
+            predicted_s,
+        };
+        inner.completed += 1;
+        inner.busy_s[machine_idx][record.device.index()] += record.duration_s();
+        inner.last_end_s[machine_idx] = inner.last_end_s[machine_idx].max(record.end_s);
+    }
+    *harvested_records = session.records().len();
+    let samples = &session.trace().samples_w[*harvested_samples..];
+    inner.cap_samples += samples.len();
+    inner.cap_violations += samples.iter().filter(|&&w| w > cap_w + 1e-9).count();
+    *harvested_samples = session.trace().samples_w.len();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_service(queue_capacity: usize) -> Service {
+        let machine = MachineConfig::ivy_bridge();
+        let mut cfg = ServiceConfig::fast(&machine);
+        cfg.characterization.grid_points = 3;
+        cfg.characterization.micro_duration_s = 1.0;
+        cfg.queue_capacity = queue_capacity;
+        Service::start(cfg)
+    }
+
+    #[test]
+    fn submit_schedules_and_completes() {
+        let svc = tiny_service(16);
+        let ids = svc.submit_spec("srad x0.2\nlud x0.1 *2\n").unwrap();
+        assert_eq!(ids, vec![0, 1, 2]);
+        for &id in &ids {
+            let st = svc.wait_job(id).unwrap();
+            match st.state {
+                JobState::Done {
+                    start_s,
+                    end_s,
+                    predicted_s,
+                    ..
+                } => {
+                    assert!(end_s > start_s);
+                    assert!(predicted_s > 0.0);
+                }
+                other => panic!("job {id} not done: {other:?}"),
+            }
+        }
+        let m = svc.metrics();
+        assert_eq!(m.submitted, 3);
+        assert_eq!(m.completed, 3);
+        assert_eq!(m.dispatched, 3);
+        assert_eq!(m.queue_depth, 0);
+        assert!(m.simulated_makespan_s > 0.0);
+        assert!(m.predicted_makespan_s > 0.0);
+        assert!(m.util[0][0] > 0.0 || m.util[0][1] > 0.0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn lint_gate_rejects_bad_specs() {
+        let svc = tiny_service(8);
+        let err = svc.submit_spec("no_such_program x1\n").unwrap_err();
+        match err {
+            SubmitError::Lint(report) => assert!(report.has_errors()),
+            other => panic!("expected lint error, got {other:?}"),
+        }
+        let err = svc.submit_spec("srad x-3\n").unwrap_err();
+        assert!(matches!(err, SubmitError::Lint(_)));
+        assert_eq!(svc.metrics().submitted, 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn batch_past_capacity_is_rejected_atomically() {
+        let svc = tiny_service(2);
+        let err = svc.submit_spec("srad x0.1 *5\n").unwrap_err();
+        match err {
+            SubmitError::QueueFull {
+                retry_after_s,
+                capacity,
+                ..
+            } => {
+                assert!(retry_after_s > 0.0);
+                assert_eq!(capacity, 2);
+            }
+            other => panic!("expected backpressure, got {other:?}"),
+        }
+        let m = svc.metrics();
+        assert_eq!(m.submitted, 0);
+        assert_eq!(m.rejected, 5);
+        // The service still works after rejecting.
+        let ids = svc.submit_spec("srad x0.1\n").unwrap();
+        let st = svc.wait_job(ids[0]).unwrap();
+        assert!(matches!(st.state, JobState::Done { .. }));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work() {
+        let svc = tiny_service(16);
+        let ids = svc.submit_spec("hotspot x0.1 *3\n").unwrap();
+        svc.shutdown();
+        for &id in &ids {
+            let st = svc.job_status(id).unwrap();
+            assert!(
+                matches!(st.state, JobState::Done { .. }),
+                "job {id} not drained: {st:?}"
+            );
+        }
+        assert!(matches!(
+            svc.submit_spec("srad x0.1\n"),
+            Err(SubmitError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn multiple_machines_share_the_queue() {
+        let machine = MachineConfig::ivy_bridge();
+        let mut cfg = ServiceConfig::fast(&machine);
+        cfg.characterization.grid_points = 3;
+        cfg.characterization.micro_duration_s = 1.0;
+        cfg.machines = 2;
+        cfg.queue_capacity = 32;
+        let svc = Service::start(cfg);
+        let ids = svc.submit_spec("srad x0.1 *4\nlud x0.1 *4\n").unwrap();
+        svc.wait_idle();
+        let mut used = std::collections::BTreeSet::new();
+        for &id in &ids {
+            match svc.wait_job(id).unwrap().state {
+                JobState::Done { machine, .. } => {
+                    used.insert(machine);
+                }
+                other => panic!("job {id}: {other:?}"),
+            }
+        }
+        let m = svc.metrics();
+        assert_eq!(m.completed, 8);
+        assert_eq!(m.machines, 2);
+        assert!(!used.is_empty());
+        svc.shutdown();
+    }
+}
