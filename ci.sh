@@ -66,8 +66,9 @@ if [ -z "$ADDR" ]; then
 fi
 
 # Queue bound: an 8-job burst against --queue 4 must bounce, atomically.
+# --no-retry: the burst can never fit, so backing off would only stall CI.
 SUBMIT_ERR=$(mktemp)
-if $CORUN submit --addr "$ADDR" --spec examples/specs/burst_overflow.spec \
+if $CORUN submit --addr "$ADDR" --no-retry --spec examples/specs/burst_overflow.spec \
     >/dev/null 2>"$SUBMIT_ERR"; then
     echo "FAIL: oversized burst was admitted past the queue bound" >&2
     exit 1
@@ -112,5 +113,104 @@ if kill -0 "$SERVE_PID" 2>/dev/null; then
 fi
 trap - EXIT
 rm -f "$SERVE_LOG" "$SUBMIT_ERR"
+
+echo "== corun serve: chaos smoke (faults + kill -9 + --recover)"
+CHAOS_LOG=$(mktemp)
+CHAOS_JOURNAL=$(mktemp)
+CHAOS_SPEC=examples/specs/chaos_smoke.spec
+
+wait_for_addr() {
+    # Prints the HOST:PORT a daemon logged, or fails after ~30s.
+    local log=$1 pid=$2 addr=""
+    for _ in $(seq 1 150); do
+        addr=$(sed -n 's/^listening on //p' "$log")
+        [ -n "$addr" ] && break
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "FAIL: daemon exited during startup" >&2
+            cat "$log" >&2
+            return 1
+        fi
+        sleep 0.2
+    done
+    if [ -z "$addr" ]; then
+        echo "FAIL: daemon did not report its address within 30s" >&2
+        cat "$log" >&2
+        return 1
+    fi
+    echo "$addr"
+}
+
+metric() {
+    # metric '<json>' completed -> the integer value, or empty.
+    echo "$1" | sed -n "s/.*\"$2\":\([0-9][0-9]*\).*/\1/p"
+}
+
+$CORUN serve --fast --port 0 --machines 2 --journal "$CHAOS_JOURNAL" \
+    --fault-plan "$CHAOS_SPEC" >"$CHAOS_LOG" 2>&1 &
+CHAOS_PID=$!
+trap 'kill -9 "$CHAOS_PID" 2>/dev/null || true' EXIT
+CHAOS_ADDR=$(wait_for_addr "$CHAOS_LOG" "$CHAOS_PID")
+
+# Submit the faulted batch, then hard-kill the daemon mid-flight: no
+# drain, no goodbye — only the fsync'd journal survives.
+timeout 60 $CORUN submit --addr "$CHAOS_ADDR" --spec "$CHAOS_SPEC" >/dev/null
+kill -9 "$CHAOS_PID"
+wait "$CHAOS_PID" 2>/dev/null || true
+
+# Restart from the journal: every accepted job must be recovered and
+# driven to a terminal state (done or dead-letter), nothing dispatched
+# twice, and the books must balance.
+$CORUN serve --fast --port 0 --machines 2 --journal "$CHAOS_JOURNAL" --recover \
+    --fault-plan "$CHAOS_SPEC" >"$CHAOS_LOG" 2>&1 &
+CHAOS_PID=$!
+trap 'kill -9 "$CHAOS_PID" 2>/dev/null || true' EXIT
+CHAOS_ADDR=$(wait_for_addr "$CHAOS_LOG" "$CHAOS_PID")
+
+BALANCED=""
+for _ in $(seq 1 300); do
+    M=$(timeout 30 $CORUN status --addr "$CHAOS_ADDR")
+    SUB=$(metric "$M" submitted)
+    DONE_N=$(metric "$M" completed)
+    DEAD_N=$(metric "$M" dead_lettered)
+    REJ_N=$(metric "$M" rejected)
+    if [ -n "$SUB" ] && [ "$SUB" -ge 8 ] &&
+        [ "$((DONE_N + DEAD_N + REJ_N))" -eq "$SUB" ]; then
+        BALANCED=yes
+        break
+    fi
+    sleep 0.2
+done
+if [ -z "$BALANCED" ]; then
+    echo "FAIL: recovered batch never balanced: $M" >&2
+    cat "$CHAOS_LOG" >&2
+    exit 1
+fi
+echo "$M" | grep -q '"queue_depth":0' || {
+    echo "FAIL: recovered queue not drained: $M" >&2
+    exit 1
+}
+
+# Injected faults must surface as stable SRV0xx diagnostics; the
+# always-on straggler makes SRV004 deterministic.
+DIAG=$(timeout 30 $CORUN status --addr "$CHAOS_ADDR" --diag)
+echo "$DIAG" | grep -q 'SRV004' || {
+    echo "FAIL: straggler faults missing from diagnostics: $DIAG" >&2
+    exit 1
+}
+
+# Clean exit via SIGTERM: the signal handler must drain and stop the
+# daemon exactly like the shutdown RPC.
+kill -TERM "$CHAOS_PID"
+for _ in $(seq 1 150); do
+    kill -0 "$CHAOS_PID" 2>/dev/null || break
+    sleep 0.2
+done
+if kill -0 "$CHAOS_PID" 2>/dev/null; then
+    echo "FAIL: daemon still running 30s after SIGTERM" >&2
+    kill -9 "$CHAOS_PID"
+    exit 1
+fi
+trap - EXIT
+rm -f "$CHAOS_LOG" "$CHAOS_JOURNAL"
 
 echo "CI OK"

@@ -22,6 +22,7 @@
 use crate::config::MachineConfig;
 use crate::device::{Device, PerDevice};
 use crate::events::{EventKind, EventLog};
+use crate::faults::FaultInjector;
 use crate::freq::FreqSetting;
 use crate::governor::Governor;
 use crate::power::{DeviceActivity, PowerTrace};
@@ -39,6 +40,10 @@ pub enum SimError {
     TimeLimit { limit_s: f64 },
     /// A dispatcher tried to run more CPU jobs than the configured slots.
     NoCapacity { device: Device },
+    /// An injected fault plan crashed the machine (one-shot runs only;
+    /// resumable sessions surface [`SessionState::Crashed`] instead so
+    /// the caller can evict and reschedule).
+    Faulted { at_s: f64 },
 }
 
 impl std::fmt::Display for SimError {
@@ -49,6 +54,9 @@ impl std::fmt::Display for SimError {
                 write!(f, "simulation exceeded time limit of {limit_s:.1}s")
             }
             SimError::NoCapacity { device } => write!(f, "no free slot on {device}"),
+            SimError::Faulted { at_s } => {
+                write!(f, "machine crashed (injected fault) at t={at_s:.3}s")
+            }
         }
     }
 }
@@ -172,6 +180,12 @@ struct Running {
     progress: f64,
     setup_left: f64,
     start_s: f64,
+    /// Straggler slowdown factor from the fault injector (1.0 = healthy).
+    slowdown: f64,
+    /// If set, the job dies when its overall progress fraction reaches
+    /// this value (injected failure).
+    fail_at: Option<f64>,
+    failed: bool,
 }
 
 impl Running {
@@ -184,7 +198,16 @@ impl Running {
             progress: 0.0,
             setup_left: dj.job.host_setup_s,
             start_s: now,
+            slowdown: 1.0,
+            fail_at: None,
+            failed: false,
         }
+    }
+
+    /// Overall progress fraction across all phases, in `[0, 1]`.
+    fn overall_frac(&self) -> f64 {
+        let n = self.job.phases.len().max(1) as f64;
+        ((self.phase as f64 + self.progress.clamp(0.0, 1.0)) / n).min(1.0)
     }
 
     /// Skip over zero-work phases; true if the job is finished.
@@ -252,6 +275,11 @@ impl<'a> Engine<'a> {
                         at_s: session.now_s(),
                     })
                 }
+                SessionState::Crashed => {
+                    return Err(SimError::Faulted {
+                        at_s: session.now_s(),
+                    })
+                }
                 // Unreachable with an infinite horizon, but harmless: keep
                 // advancing.
                 SessionState::Advanced => {}
@@ -284,6 +312,25 @@ pub enum SessionState {
     /// The dispatcher drained and every dispatched job completed. Harvest
     /// with [`Session::into_report`].
     Finished,
+    /// An injected fault plan crashed the machine: the session is dead,
+    /// in-flight jobs (see [`Session::running_tags`]) are lost and must
+    /// be rescheduled elsewhere. Terminal — further `advance` calls
+    /// return `Crashed` again without simulating.
+    Crashed,
+}
+
+/// A job that died mid-run from an injected fault (no [`JobRecord`] is
+/// produced for it). Collected by [`Session::take_failures`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobFailure {
+    /// Dispatcher-chosen tag of the failed job.
+    pub tag: usize,
+    /// Device it was running on.
+    pub device: Device,
+    /// Dispatch time, seconds.
+    pub start_s: f64,
+    /// Failure time, seconds.
+    pub at_s: f64,
 }
 
 /// A resumable engine run (see [`Engine::session`]).
@@ -310,6 +357,9 @@ pub struct Session<'a> {
     window_util: PerDevice<f64>,
     started: bool,
     finished: bool,
+    faults: Option<FaultInjector>,
+    crashed: bool,
+    failures: Vec<JobFailure>,
     #[cfg(feature = "sanitize")]
     san: Option<crate::sanitize::RunSanitizer>,
 }
@@ -332,9 +382,38 @@ impl<'a> Session<'a> {
             window_util: PerDevice::new(0.0, 0.0),
             started: false,
             finished: false,
+            faults: None,
+            crashed: false,
+            failures: Vec::new(),
             #[cfg(feature = "sanitize")]
             san: None,
         }
+    }
+
+    /// Attach a fault injector (from
+    /// [`FaultPlan::injector`](crate::FaultPlan::injector)); subsequent
+    /// [`Session::advance`] calls inject its crashes, job faults, and
+    /// meter disturbances.
+    pub fn set_faults(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
+    }
+
+    /// The attached fault injector, if any — e.g. to drain its recorded
+    /// [`FaultEvent`](crate::FaultEvent)s between advances.
+    pub fn faults_mut(&mut self) -> Option<&mut FaultInjector> {
+        self.faults.as_mut()
+    }
+
+    /// Take the injected job failures observed so far (each failed job
+    /// produced no [`JobRecord`]; the caller decides whether to retry).
+    pub fn take_failures(&mut self) -> Vec<JobFailure> {
+        std::mem::take(&mut self.failures)
+    }
+
+    /// Tags of all currently running jobs (the in-flight set lost when
+    /// the session reports [`SessionState::Crashed`]).
+    pub fn running_tags(&self) -> Vec<usize> {
+        self.jobs.iter().map(|r| r.tag).collect()
     }
 
     /// Current simulated time, seconds.
@@ -381,6 +460,16 @@ impl<'a> Session<'a> {
         if self.finished {
             return Ok(SessionState::Finished);
         }
+        if self.crashed {
+            return Ok(SessionState::Crashed);
+        }
+        if let Some(f) = self.faults.as_mut() {
+            if f.crash_due(self.now) {
+                f.note_crash(self.now);
+                self.crashed = true;
+                return Ok(SessionState::Crashed);
+            }
+        }
         let cfg = self.cfg;
         let dt = cfg.tick_s;
         #[cfg(feature = "sanitize")]
@@ -407,6 +496,15 @@ impl<'a> Session<'a> {
 
         let end = self.now + horizon_s;
         loop {
+            // --- injected machine crash --------------------------------
+            if let Some(f) = self.faults.as_mut() {
+                if f.crash_due(self.now) {
+                    f.note_crash(self.now);
+                    self.crashed = true;
+                    return Ok(SessionState::Crashed);
+                }
+            }
+
             // --- dynamics for this tick --------------------------------
             let dyns = self.tick_dynamics(&self.jobs, self.setting, self.now);
 
@@ -432,7 +530,14 @@ impl<'a> Session<'a> {
                     r.setup_left -= dt;
                     continue;
                 }
-                r.progress += d.rate * dt;
+                r.progress += d.rate * dt / r.slowdown;
+                if let Some(fail_at) = r.fail_at {
+                    if r.overall_frac() >= fail_at {
+                        r.failed = true;
+                        completed_any = true;
+                        continue;
+                    }
+                }
                 while r.progress >= 1.0 && r.phase < r.job.phases.len() {
                     r.progress -= 1.0;
                     r.phase += 1;
@@ -453,7 +558,15 @@ impl<'a> Session<'a> {
             // --- power sample + governor --------------------------------
             if self.window_t + 1e-12 >= cfg.power_sample_s {
                 let avg = self.window_energy / self.window_t;
-                self.trace.push(avg);
+                // Meter faults perturb the *measured* sample — what the
+                // trace, governor, and cap accounting observe. The
+                // sanitizer watches the clean value: its envelope checks
+                // guard engine invariants, not the sensor.
+                let measured = match self.faults.as_mut() {
+                    Some(f) => f.perturb_sample(self.now, avg),
+                    None => avg,
+                };
+                self.trace.push(measured);
                 #[cfg(feature = "sanitize")]
                 if let Some(san) = self.san.as_mut() {
                     san.on_window(self.now, avg);
@@ -461,11 +574,11 @@ impl<'a> Session<'a> {
                 let avg_util = self.window_util.map(|u| u / self.window_t);
                 self.window_util = PerDevice::new(0.0, 0.0);
                 let new_setting =
-                    governor.on_sample_util(self.now, avg, avg_util, self.setting, &cfg.freqs);
+                    governor.on_sample_util(self.now, measured, avg_util, self.setting, &cfg.freqs);
                 if let Some(l) = log.as_deref_mut() {
                     if let Some(cap) = l.cap_of_interest_w {
-                        if avg > cap {
-                            l.push(self.now, EventKind::CapOvershoot { power_w: avg });
+                        if measured > cap {
+                            l.push(self.now, EventKind::CapOvershoot { power_w: measured });
                         }
                     }
                     if new_setting != self.setting {
@@ -487,6 +600,19 @@ impl<'a> Session<'a> {
             if completed_any {
                 let mut i = 0;
                 while i < self.jobs.len() {
+                    if self.jobs[i].failed {
+                        // Injected failure: the job dies without a
+                        // completion record; the caller sees it through
+                        // take_failures() and decides whether to retry.
+                        let r = self.jobs.remove(i);
+                        self.failures.push(JobFailure {
+                            tag: r.tag,
+                            device: r.device,
+                            start_s: r.start_s,
+                            at_s: self.now,
+                        });
+                        continue;
+                    }
                     if self.jobs[i].phase >= self.jobs[i].job.phases.len() {
                         let r = self.jobs.remove(i);
                         if let Some(l) = log.as_deref_mut() {
@@ -538,6 +664,13 @@ impl<'a> Session<'a> {
                         PerDevice::new(DeviceActivity::IDLE, DeviceActivity::IDLE),
                     );
                     while self.now + 1e-12 < w {
+                        if let Some(f) = self.faults.as_mut() {
+                            if f.crash_due(self.now) {
+                                f.note_crash(self.now);
+                                self.crashed = true;
+                                return Ok(SessionState::Crashed);
+                            }
+                        }
                         let step = dt.min(w - self.now);
                         self.window_energy += idle_p * step;
                         self.window_t += step;
@@ -548,13 +681,17 @@ impl<'a> Session<'a> {
                         }
                         if self.window_t + 1e-12 >= cfg.power_sample_s {
                             let avg = self.window_energy / self.window_t;
-                            self.trace.push(avg);
+                            let measured = match self.faults.as_mut() {
+                                Some(f) => f.perturb_sample(self.now, avg),
+                                None => avg,
+                            };
+                            self.trace.push(measured);
                             #[cfg(feature = "sanitize")]
                             if let Some(san) = self.san.as_mut() {
                                 san.on_window(self.now, avg);
                             }
                             self.setting =
-                                governor.on_sample(self.now, avg, self.setting, &cfg.freqs);
+                                governor.on_sample(self.now, measured, self.setting, &cfg.freqs);
                             self.window_energy = 0.0;
                             self.window_t = 0.0;
                         }
@@ -664,6 +801,11 @@ impl<'a> Session<'a> {
                             );
                         }
                         let mut r = Running::new(&dj, device, self.now);
+                        if let Some(f) = self.faults.as_mut() {
+                            let prof = f.profile(dj.tag, self.now);
+                            r.slowdown = prof.slowdown.max(1.0);
+                            r.fail_at = prof.fail_at_frac;
+                        }
                         if r.skip_trivial() && r.setup_left <= 0.0 {
                             // Degenerate empty job: completes instantly.
                             continue;
@@ -1486,6 +1628,7 @@ mod tests {
                 match session.advance(&mut disp, &mut gov, 0.37, None).unwrap() {
                     SessionState::Finished => break,
                     SessionState::Starved => panic!("solo queue cannot starve"),
+                    SessionState::Crashed => panic!("no faults attached"),
                     SessionState::Advanced => {}
                 }
             }
@@ -1541,6 +1684,7 @@ mod tests {
                 SessionState::Starved => break,
                 SessionState::Advanced => {}
                 SessionState::Finished => panic!("not drained yet"),
+                SessionState::Crashed => panic!("no faults attached"),
             }
         }
         assert_eq!(session.records().len(), 1);
@@ -1554,6 +1698,7 @@ mod tests {
                 SessionState::Finished => break,
                 SessionState::Advanced => {}
                 SessionState::Starved => panic!("work was fed"),
+                SessionState::Crashed => panic!("no faults attached"),
             }
         }
         let report = session.into_report();
@@ -1575,6 +1720,192 @@ mod tests {
                 .time_s
         };
         assert!((out.time_s - plain - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn injected_crash_ends_session_and_reports_in_flight() {
+        let cfg = cfg();
+        let plan = crate::FaultPlan::parse("@chaos crash=0:5\n").unwrap();
+        let engine = Engine::new(&cfg);
+        let mut disp = SoloDispatcher {
+            device: Device::Cpu,
+            queue: [Arc::new(single_phase_job("c", compute_phase(900.0)))] // 10 s
+                .into_iter()
+                .collect(),
+            next_tag: 0,
+        };
+        let mut gov = crate::governor::NullGovernor;
+        let mut session = engine.session(RunOptions::new(cfg.freqs.max_setting()));
+        session.set_faults(plan.injector(0));
+        let state = session
+            .advance(&mut disp, &mut gov, f64::INFINITY, None)
+            .unwrap();
+        assert_eq!(state, SessionState::Crashed);
+        assert!(
+            (session.now_s() - 5.0).abs() < 0.1,
+            "at {}",
+            session.now_s()
+        );
+        assert_eq!(session.running_tags(), vec![0], "job 0 was in flight");
+        assert!(session.records().is_empty(), "no completion record");
+        // Terminal: advancing again stays Crashed without simulating.
+        let again = session
+            .advance(&mut disp, &mut gov, f64::INFINITY, None)
+            .unwrap();
+        assert_eq!(again, SessionState::Crashed);
+    }
+
+    #[test]
+    fn injected_failure_loses_job_without_record() {
+        let cfg = cfg();
+        // job-fail=1 guarantees the failure roll hits on every attempt.
+        let plan = crate::FaultPlan::parse("@chaos seed=11 job-fail=1\n").unwrap();
+        let engine = Engine::new(&cfg);
+        let mut disp = SoloDispatcher {
+            device: Device::Gpu,
+            queue: [Arc::new(single_phase_job("f", compute_phase(250.0)))]
+                .into_iter()
+                .collect(),
+            next_tag: 0,
+        };
+        let mut gov = crate::governor::NullGovernor;
+        let mut session = engine.session(RunOptions::new(cfg.freqs.max_setting()));
+        session.set_faults(plan.injector(0));
+        let state = session
+            .advance(&mut disp, &mut gov, f64::INFINITY, None)
+            .unwrap();
+        assert_eq!(state, SessionState::Finished);
+        assert!(session.records().is_empty(), "failed job leaves no record");
+        let failures = session.take_failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].tag, 0);
+        assert_eq!(failures[0].device, Device::Gpu);
+        assert!(failures[0].at_s > failures[0].start_s);
+    }
+
+    #[test]
+    fn straggler_slows_job_deterministically() {
+        let cfg = cfg();
+        let plan = crate::FaultPlan::parse("@chaos seed=1 straggle=1:2.5\n").unwrap();
+        let job = single_phase_job("s", compute_phase(450.0));
+        let s = cfg.freqs.max_setting();
+        let healthy = run_solo(&cfg, &job, Device::Cpu, s).unwrap().time_s;
+        let engine = Engine::new(&cfg);
+        let run_once = || {
+            let mut disp = SoloDispatcher {
+                device: Device::Cpu,
+                queue: [Arc::new(job.clone())].into_iter().collect(),
+                next_tag: 0,
+            };
+            let mut gov = crate::governor::NullGovernor;
+            let mut session = engine.session(RunOptions::new(s));
+            session.set_faults(plan.injector(0));
+            loop {
+                match session
+                    .advance(&mut disp, &mut gov, f64::INFINITY, None)
+                    .unwrap()
+                {
+                    SessionState::Finished => break,
+                    SessionState::Crashed | SessionState::Starved => panic!("unexpected"),
+                    SessionState::Advanced => {}
+                }
+            }
+            session.into_report().makespan_s
+        };
+        let slow_a = run_once();
+        let slow_b = run_once();
+        assert_eq!(slow_a, slow_b, "same seed, same slowdown");
+        assert!(
+            (slow_a / healthy - 2.5).abs() < 0.05,
+            "expected ~2.5x slowdown, got {}x",
+            slow_a / healthy
+        );
+    }
+
+    #[test]
+    fn meter_spike_trips_reactive_governor() {
+        let cfg = cfg();
+        let plan = crate::FaultPlan::parse("@chaos meter-spike=0.5:40\n").unwrap();
+        let cap = 15.0;
+        // A light job that never approaches the cap on its own.
+        let job = single_phase_job("lite", compute_phase(900.0));
+        let engine = Engine::new(&cfg);
+        let run = |faulted: bool| {
+            let mut disp = SoloDispatcher {
+                device: Device::Cpu,
+                queue: [Arc::new(job.clone())].into_iter().collect(),
+                next_tag: 0,
+            };
+            let mut gov = crate::governor::BiasedGovernor::gpu_biased(cap);
+            let mut session = engine.session(RunOptions::new(cfg.freqs.max_setting()));
+            if faulted {
+                session.set_faults(plan.injector(0));
+            }
+            loop {
+                match session
+                    .advance(&mut disp, &mut gov, f64::INFINITY, None)
+                    .unwrap()
+                {
+                    SessionState::Finished => break,
+                    SessionState::Crashed | SessionState::Starved => panic!("unexpected"),
+                    SessionState::Advanced => {}
+                }
+            }
+            session.into_report()
+        };
+        let clean = run(false);
+        let faulted = run(true);
+        // Phantom 40 W spikes must show in the observed trace and force
+        // the governor to throttle: the run gets slower.
+        let clean_max = clean.trace.samples_w.iter().copied().fold(0.0, f64::max);
+        let fault_max = faulted.trace.samples_w.iter().copied().fold(0.0, f64::max);
+        assert!(fault_max > clean_max + 20.0, "spike visible in trace");
+        assert!(
+            faulted.makespan_s > clean.makespan_s * 1.01,
+            "governor throttled on phantom spikes: {} vs {}",
+            faulted.makespan_s,
+            clean.makespan_s
+        );
+    }
+
+    #[test]
+    fn starved_session_under_fault_still_terminates() {
+        // Regression: a session that starves (dispatcher has no work)
+        // while a fault plan is attached must still reach a terminal
+        // state — the pending crash fires even with nothing running.
+        let cfg = cfg();
+        let plan = crate::FaultPlan::parse("@chaos crash=0:1\n").unwrap();
+        struct Never;
+        impl Dispatcher for Never {
+            fn next(&mut self, _d: Device, _n: f64, _c: &DispatchCtx) -> Dispatch {
+                Dispatch::Idle
+            }
+        }
+        let engine = Engine::new(&cfg);
+        let mut gov = crate::governor::NullGovernor;
+        let mut session = engine.session(RunOptions::new(cfg.freqs.max_setting()));
+        session.set_faults(plan.injector(0));
+        // Starves immediately (crash at t=1 not yet due at t=0)...
+        let s1 = session.advance(&mut Never, &mut gov, 5.0, None).unwrap();
+        assert_eq!(s1, SessionState::Starved);
+        // ...a waiting dispatcher then idles time forward into the crash.
+        struct Waiter;
+        impl Dispatcher for Waiter {
+            fn next(&mut self, _d: Device, now: f64, _c: &DispatchCtx) -> Dispatch {
+                Dispatch::WaitUntil(now + 0.5)
+            }
+        }
+        let mut bounded = 0;
+        loop {
+            match session.advance(&mut Waiter, &mut gov, 5.0, None).unwrap() {
+                SessionState::Crashed => break,
+                SessionState::Finished => panic!("cannot finish, never drained"),
+                _ => {}
+            }
+            bounded += 1;
+            assert!(bounded < 100, "session must terminate, not spin");
+        }
+        assert!(session.now_s() <= 1.5, "crashed near t=1");
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod config;
 pub mod device;
 pub mod engine;
 pub mod events;
+pub mod faults;
 pub mod freq;
 pub mod governor;
 pub mod memory;
@@ -54,10 +55,13 @@ pub use config::{MachineConfig, MultiprogParams};
 pub use device::{Device, DeviceParams, PerDevice};
 pub use engine::{
     run_pair, run_solo, run_with_background, Dispatch, DispatchCtx, DispatchJob, Dispatcher,
-    Engine, JobRecord, PairOutcome, RunOptions, RunReport, Session, SessionState, SimError,
-    SoloOutcome,
+    Engine, JobFailure, JobRecord, PairOutcome, RunOptions, RunReport, Session, SessionState,
+    SimError, SoloOutcome,
 };
 pub use events::{Event, EventKind, EventLog};
+pub use faults::{
+    FaultEvent, FaultInjector, FaultKind, FaultPlan, JobFaultProfile, MachineCrash, MeterSpike,
+};
 pub use freq::{FreqLevel, FreqSetting, FreqTable, PackageFreqs};
 pub use governor::{Bias, BiasedGovernor, Governor, NullGovernor, OndemandGovernor};
 pub use memory::{Arbitration, ContentionKind, MemoryParams};

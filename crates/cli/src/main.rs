@@ -11,9 +11,11 @@
 //! corun lint       [--machine ivy|kaveri] [--config FILE] [--spec FILE]
 //!                  [--schedule FILE] [--cap W] [--format human|json]
 //! corun serve      [--port N] [--machine ivy|kaveri] [--cap W] [--queue N]
-//!                  [--machines N] [--fast] [--cache DIR]
+//!                  [--machines N] [--fast] [--cache DIR] [--journal FILE]
+//!                  [--recover] [--fault-plan SPEC] [--max-retries N]
 //! corun submit     --addr HOST:PORT --spec FILE [--wait] [--timeout S]
-//! corun status     --addr HOST:PORT [--id N]
+//!                  [--no-retry] [--retries N]
+//! corun status     --addr HOST:PORT [--id N] [--diag]
 //! corun shutdown   --addr HOST:PORT
 //! ```
 
@@ -82,9 +84,13 @@ fn print_help() {
          \x20 predict --cpu A --gpu B       predict one pair's co-run behaviour\n\
          \x20 characterize --out FILE      cache the degradation space to disk\n\
          \x20 lint                          statically check configs, specs, and schedules\n\
-         \x20 serve                         run the scheduling daemon (TCP, line-JSON)\n\
+         \x20 serve                         run the scheduling daemon (TCP, line-JSON);\n\
+         \x20                               --journal F [--recover] for crash safety,\n\
+         \x20                               --fault-plan F injects @chaos faults\n\
          \x20 submit --addr H:P --spec F    send a workload spec to a running daemon\n\
-         \x20 status --addr H:P [--id N]    query a job, or the metrics snapshot\n\
+         \x20                               (retries queue_full; --no-retry to fail fast)\n\
+         \x20 status --addr H:P [--id N]    query a job, the metrics snapshot, or\n\
+         \x20                               [--diag] the SRV0xx fault diagnostics\n\
          \x20 shutdown --addr H:P           drain the daemon and exit\n\n\
          common options: --machine ivy|kaveri  --cap WATTS  --fast"
     );

@@ -3,7 +3,51 @@
 
 use crate::args::Args;
 use apu_sim::MachineConfig;
-use corun_serve::{Client, Json, Server, Service, ServiceConfig};
+use corun_serve::{Client, Json, RetryConfig, Server, Service, ServiceConfig};
+
+/// SIGINT/SIGTERM plumbing: a handler just flags the request; a monitor
+/// thread in [`cmd_serve`] turns the flag into the same graceful
+/// drain-and-exit as the `shutdown` RPC (workers drain the queue, the
+/// journal stays flushed — it is fsync'd per record anyway).
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn mark(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    /// Install the flag-setting handler for SIGINT and SIGTERM.
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, mark);
+            signal(SIGTERM, mark);
+        }
+    }
+
+    /// Whether a termination signal has arrived.
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    pub fn install() {}
+
+    pub fn requested() -> bool {
+        false
+    }
+}
 
 fn machine_for(args: &Args) -> Result<MachineConfig, String> {
     match args.opt_or("machine", "ivy") {
@@ -14,10 +58,25 @@ fn machine_for(args: &Args) -> Result<MachineConfig, String> {
 }
 
 /// `corun serve`: characterize the machine, bind the TCP endpoint, and
-/// run until a client sends `shutdown` (the queue drains first).
+/// run until a client sends `shutdown` or the process receives
+/// SIGINT/SIGTERM (the queue drains first either way). `--journal FILE`
+/// makes the daemon crash-safe; add `--recover` to resume a prior
+/// journal after a hard kill. `--fault-plan SPEC` loads `@chaos`
+/// directives for deterministic fault injection (see `docs/FAULTS.md`).
 pub fn cmd_serve(args: &Args) -> Result<(), String> {
     args.reject_unknown(&[
-        "machine", "cap", "port", "queue", "machines", "slice", "fast", "cache",
+        "machine",
+        "cap",
+        "port",
+        "queue",
+        "machines",
+        "slice",
+        "fast",
+        "cache",
+        "fault-plan",
+        "journal",
+        "recover",
+        "max-retries",
     ])?;
     let machine = machine_for(args)?;
     let mut cfg = ServiceConfig::fast(&machine);
@@ -30,6 +89,26 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
     cfg.slice_s = args.num_or("slice", 5.0)?;
     if let Some(dir) = args.opt("cache") {
         cfg.cache_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if let Some(path) = args.opt("fault-plan") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("--fault-plan {path}: {e}"))?;
+        let (plan, report) = corun_verify::lint_chaos(&text);
+        if report.has_errors() {
+            print!("{}", report.render_human());
+            return Err(format!("--fault-plan {path}: invalid @chaos directives"));
+        }
+        cfg.fault_plan =
+            Some(plan.ok_or(format!("--fault-plan {path}: no @chaos directives found"))?);
+    }
+    if let Some(path) = args.opt("journal") {
+        cfg.journal_path = Some(std::path::PathBuf::from(path));
+        cfg.recover = args.flag("recover");
+    } else if args.flag("recover") {
+        return Err("--recover needs --journal FILE".into());
+    }
+    if let Some(n) = args.num::<u32>("max-retries")? {
+        cfg.retry.max_retries = n;
     }
     let port: u16 = args.num_or("port", 7077u16)?;
 
@@ -44,7 +123,27 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
         Server::bind(service, &format!("127.0.0.1:{port}")).map_err(|e| format!("bind: {e}"))?;
     // The smoke test parses this line to discover the ephemeral port.
     println!("listening on {}", server.addr());
+
+    // SIGINT/SIGTERM take the exact same graceful path as the shutdown
+    // RPC; the monitor also retires itself once any shutdown begins.
+    signals::install();
+    let svc = server.service_handle();
+    let monitor = std::thread::Builder::new()
+        .name("corun-signals".into())
+        .spawn(move || loop {
+            if signals::requested() {
+                svc.begin_shutdown();
+                break;
+            }
+            if svc.is_shutting_down() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        })
+        .map_err(|e| format!("spawn signal monitor: {e}"))?;
+
     server.run_to_shutdown();
+    let _ = monitor.join();
     println!("shutdown complete");
     Ok(())
 }
@@ -54,13 +153,24 @@ fn connect(args: &Args) -> Result<Client, String> {
     Client::connect(addr)
 }
 
-/// `corun submit`: send a workload spec to a running daemon.
+/// `corun submit`: send a workload spec to a running daemon. By default
+/// `queue_full` backpressure is retried with capped exponential back-off
+/// (honoring the server's `retry_after_s` hint); `--no-retry` fails fast
+/// and `--retries N` bounds the attempts.
 pub fn cmd_submit(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["addr", "spec", "wait", "timeout"])?;
+    args.reject_unknown(&["addr", "spec", "wait", "timeout", "no-retry", "retries"])?;
     let path = args.opt("spec").ok_or("--spec FILE is required")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("--spec {path}: {e}"))?;
     let mut client = connect(args)?;
-    let ids = client.submit(&text)?;
+    let ids = if args.flag("no-retry") {
+        client.submit(&text)?
+    } else {
+        let mut retry = RetryConfig::default();
+        if let Some(n) = args.num::<u32>("retries")? {
+            retry.max_attempts = n.max(1);
+        }
+        client.submit_with_retry(&text, &retry)?
+    };
     println!(
         "submitted {} job(s): {}",
         ids.len(),
@@ -79,18 +189,23 @@ pub fn cmd_submit(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `corun status`: query one job (`--id N`) or the metrics snapshot.
+/// `corun status`: query one job (`--id N`), the accumulated `SRV0xx`
+/// fault diagnostics (`--diag`), or the metrics snapshot.
 pub fn cmd_status(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["addr", "id"])?;
+    args.reject_unknown(&["addr", "id", "diag"])?;
     let mut client = connect(args)?;
-    let response = match args.num::<usize>("id")? {
-        Some(id) => client.status(id)?,
-        None => {
-            let metrics = client.metrics()?;
-            if !metrics_look_sane(&metrics) {
-                return Err(format!("malformed metrics snapshot: {}", metrics.render()));
+    let response = if args.flag("diag") {
+        client.diagnostics()?
+    } else {
+        match args.num::<usize>("id")? {
+            Some(id) => client.status(id)?,
+            None => {
+                let metrics = client.metrics()?;
+                if !metrics_look_sane(&metrics) {
+                    return Err(format!("malformed metrics snapshot: {}", metrics.render()));
+                }
+                metrics
             }
-            metrics
         }
     };
     println!("{}", response.render());

@@ -28,6 +28,17 @@ pub struct BoundReport {
     pub t_low_tight_s: f64,
 }
 
+impl BoundReport {
+    /// The bound adjusted for `lost_s` seconds of work destroyed by
+    /// faults (evicted or failed executions that must re-run). Lost
+    /// demand re-enters the two-processor halving, so the bound rises by
+    /// `lost_s / 2` — keeping makespan/lower-bound comparisons
+    /// consistent in degraded mode.
+    pub fn with_lost_work(&self, lost_s: f64) -> f64 {
+        self.t_low_s + lost_s.max(0.0) / 2.0
+    }
+}
+
 /// Best cap-feasible co-run time of job `i` on `device`: minimized over
 /// partners `j` and feasible frequency pairs.
 fn best_corun_time(model: &dyn CoRunModel, i: JobId, device: Device, cap_w: f64) -> Option<f64> {
@@ -135,6 +146,16 @@ mod tests {
         assert!(b.t_low_s > 0.0);
         assert_eq!(b.l_prime_s.len(), 5);
         assert!(b.l_prime_s.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn lost_work_raises_bound_by_half() {
+        let m = synthetic(5, 4, 4);
+        let b = lower_bound(&m, f64::INFINITY);
+        assert_eq!(b.with_lost_work(0.0), b.t_low_s);
+        assert!((b.with_lost_work(8.0) - (b.t_low_s + 4.0)).abs() < 1e-12);
+        // Negative "lost" work (clock skew artifacts) never lowers it.
+        assert_eq!(b.with_lost_work(-3.0), b.t_low_s);
     }
 
     #[test]

@@ -55,7 +55,9 @@ pub use freqgrid::{
 pub use hcs::{categorize, hcs, partition, HcsConfig, HcsOutcome, Preference};
 pub use model::{CoRunModel, JobId, TableModel};
 pub use objective::{edp_js, energy_j, objective_value, Objective};
-pub use online::{evaluate_online, Arrival, OnlinePick, OnlinePolicy, OnlineReport};
+pub use online::{
+    evaluate_online, Arrival, OnlinePick, OnlinePolicy, OnlineReport, RequeueOutcome, RetryPolicy,
+};
 pub use refine::{refine, RefineConfig, RefineOutcome};
 pub use schedule::{Assignment, Coverage, Schedule, SoloRun};
 pub use theorem::{corun_beneficial, corun_makespan_conservative, pair_completion};

@@ -29,11 +29,77 @@ pub struct Arrival {
     pub at_s: f64,
 }
 
+/// Bounded-retry configuration for requeueing jobs lost to machine
+/// crashes or injected failures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Retries allowed per job before it is dead-lettered.
+    pub max_retries: u32,
+    /// Backoff before the first retry, seconds (doubles per retry).
+    pub backoff_base_s: f64,
+    /// Backoff ceiling, seconds.
+    pub backoff_max_s: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_base_s: 0.05,
+            backoff_max_s: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry attempt `n` (1-based): exponential with a
+    /// deterministic per-(job, attempt) jitter in `[1.0, 1.5)`, capped.
+    pub fn backoff_s(&self, job: JobId, attempt: u32) -> f64 {
+        let exp = self.backoff_base_s * 2f64.powi(attempt.saturating_sub(1).min(20) as i32);
+        let jitter = 1.0 + 0.5 * hash_unit(job as u64, attempt as u64);
+        (exp * jitter).min(self.backoff_max_s)
+    }
+}
+
+/// What [`OnlinePolicy::requeue`] decided for one lost job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RequeueOutcome {
+    /// Re-admit the job after `backoff_s`; this is retry number
+    /// `attempt` (1-based).
+    Retry {
+        /// Which retry this is, 1-based.
+        attempt: u32,
+        /// How long to hold the job back before re-dispatch, seconds.
+        backoff_s: f64,
+    },
+    /// Retry budget exhausted: surface the job as dead-letter.
+    DeadLetter {
+        /// Total attempts consumed (initial dispatch + retries).
+        attempts: u32,
+    },
+}
+
+/// splitmix64-style hash of `(a, b)` mapped to `[0, 1)`, for
+/// deterministic backoff jitter (no RNG state to persist or replay).
+fn hash_unit(a: u64, b: u64) -> f64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b)
+        .wrapping_add(0x243F_6A88_85A3_08D3);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
 /// The online dispatch policy.
 #[derive(Debug, Clone)]
 pub struct OnlinePolicy {
     cfg: HcsConfig,
     preference: Vec<Preference>,
+    retry: RetryPolicy,
+    /// Retries consumed per admitted job (parallel to `preference`).
+    retries: Vec<u32>,
 }
 
 /// One dispatch decision.
@@ -49,10 +115,16 @@ impl OnlinePolicy {
     /// Build the policy: preferences are precomputed per job (they depend
     /// only on standalone profiles).
     pub fn new(model: &dyn CoRunModel, cfg: HcsConfig) -> Self {
-        let preference = (0..model.len())
+        let preference: Vec<Preference> = (0..model.len())
             .map(|i| categorize(model, &cfg, i))
             .collect();
-        OnlinePolicy { cfg, preference }
+        let retries = vec![0; preference.len()];
+        OnlinePolicy {
+            cfg,
+            preference,
+            retry: RetryPolicy::default(),
+            retries,
+        }
     }
 
     /// An empty policy that knows about no jobs yet; register jobs as
@@ -63,6 +135,8 @@ impl OnlinePolicy {
         OnlinePolicy {
             cfg,
             preference: Vec::new(),
+            retry: RetryPolicy::default(),
+            retries: Vec::new(),
         }
     }
 
@@ -85,7 +159,61 @@ impl OnlinePolicy {
         assert!(job < model.len(), "job {job} not in the model");
         if job == self.preference.len() {
             self.preference.push(categorize(model, &self.cfg, job));
+            self.retries.push(0);
         }
+    }
+
+    /// Replace the retry policy governing [`OnlinePolicy::requeue`].
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// Retries consumed so far by `job`.
+    pub fn retries(&self, job: JobId) -> u32 {
+        self.retries.get(job).copied().unwrap_or(0)
+    }
+
+    /// Restore a job's consumed-retry count (journal recovery: the count
+    /// survives a daemon crash so a flaky job cannot retry forever by
+    /// repeatedly killing the service).
+    ///
+    /// # Panics
+    ///
+    /// If `job` has not been admitted.
+    pub fn restore_retries(&mut self, job: JobId, consumed: u32) {
+        self.retries[job] = consumed;
+    }
+
+    /// Decide the fate of a job lost to a fault: consume one retry and
+    /// compute its backoff, or dead-letter it once the budget is spent.
+    ///
+    /// # Panics
+    ///
+    /// If `job` has not been admitted.
+    pub fn requeue(&mut self, job: JobId) -> RequeueOutcome {
+        if self.retries[job] >= self.retry.max_retries {
+            return RequeueOutcome::DeadLetter {
+                attempts: self.retries[job] + 1,
+            };
+        }
+        self.retries[job] += 1;
+        let attempt = self.retries[job];
+        RequeueOutcome::Retry {
+            attempt,
+            backoff_s: self.retry.backoff_s(job, attempt),
+        }
+    }
+
+    /// Evict a crashed machine's in-flight jobs: each is either retried
+    /// (with backoff) or dead-lettered, per [`OnlinePolicy::requeue`].
+    /// Returns the outcome per job, in input order.
+    pub fn evict_machine(&mut self, in_flight: &[JobId]) -> Vec<(JobId, RequeueOutcome)> {
+        in_flight.iter().map(|&j| (j, self.requeue(j))).collect()
     }
 
     /// Number of jobs this policy has preferences for.
@@ -437,6 +565,75 @@ mod tests {
         let m = synthetic(4, 4, 4);
         let mut p = OnlinePolicy::empty(HcsConfig::uncapped());
         p.admit_job(&m, 2);
+    }
+
+    #[test]
+    fn requeue_retries_then_dead_letters() {
+        let m = synthetic(3, 4, 4);
+        let mut p = OnlinePolicy::new(&m, HcsConfig::uncapped());
+        p.set_retry_policy(RetryPolicy {
+            max_retries: 2,
+            backoff_base_s: 0.1,
+            backoff_max_s: 10.0,
+        });
+        let RequeueOutcome::Retry {
+            attempt: 1,
+            backoff_s: b1,
+        } = p.requeue(0)
+        else {
+            panic!("first loss retries");
+        };
+        let RequeueOutcome::Retry {
+            attempt: 2,
+            backoff_s: b2,
+        } = p.requeue(0)
+        else {
+            panic!("second loss retries");
+        };
+        // Exponential: base*2 with jitter in [1, 1.5) must exceed base*1.5.
+        assert!((0.1..0.15).contains(&b1), "b1={b1}");
+        assert!((0.2..0.3).contains(&b2), "b2={b2}");
+        assert_eq!(p.requeue(0), RequeueOutcome::DeadLetter { attempts: 3 });
+        // Other jobs are unaffected.
+        assert!(matches!(
+            p.requeue(1),
+            RequeueOutcome::Retry { attempt: 1, .. }
+        ));
+        assert_eq!(p.retries(0), 2);
+        assert_eq!(p.retries(1), 1);
+        assert_eq!(p.retries(2), 0);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let rp = RetryPolicy::default();
+        assert_eq!(rp.backoff_s(7, 2), rp.backoff_s(7, 2), "deterministic");
+        // Different jobs de-synchronize (jitter differs somewhere).
+        assert!((0..16).any(|j| rp.backoff_s(j, 1) != rp.backoff_s(j + 16, 1)));
+        // Large attempts hit the ceiling.
+        assert_eq!(rp.backoff_s(3, 30), rp.backoff_max_s);
+    }
+
+    #[test]
+    fn evict_machine_processes_all_in_flight() {
+        let m = synthetic(4, 4, 4);
+        let mut p = OnlinePolicy::new(&m, HcsConfig::uncapped());
+        let out = p.evict_machine(&[2, 0]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, 2);
+        assert_eq!(out[1].0, 0);
+        assert!(out
+            .iter()
+            .all(|(_, o)| matches!(o, RequeueOutcome::Retry { attempt: 1, .. })));
+    }
+
+    #[test]
+    fn restored_retries_survive_into_budget() {
+        let m = synthetic(2, 4, 4);
+        let mut p = OnlinePolicy::new(&m, HcsConfig::uncapped());
+        // As after journal recovery: job 0 already burned its budget.
+        p.restore_retries(0, p.retry_policy().max_retries);
+        assert!(matches!(p.requeue(0), RequeueOutcome::DeadLetter { .. }));
     }
 
     #[test]

@@ -10,6 +10,44 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
+/// Client-side retry behaviour for `queue_full` backpressure: capped
+/// exponential back-off with deterministic jitter, honoring the server's
+/// `retry_after_s` hint as a floor.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryConfig {
+    /// Total submit attempts (first try included). 1 = no retries.
+    pub max_attempts: u32,
+    /// Back-off base, seconds; attempt `k` waits about `base * 2^k`.
+    pub base_s: f64,
+    /// Upper bound on any single wait, seconds.
+    pub max_s: f64,
+    /// Jitter seed, so concurrent clients desynchronize deterministically.
+    pub seed: u64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            max_attempts: 8,
+            base_s: 0.05,
+            max_s: 2.0,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Deterministic unit-interval hash (splitmix64 finalizer) used for
+/// back-off jitter.
+fn jitter_unit(seed: u64, attempt: u32) -> f64 {
+    let mut x = seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
 /// A connected protocol client.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -89,6 +127,56 @@ impl Client {
             .collect()
     }
 
+    /// Like [`Client::submit`], but retries `queue_full` rejections with
+    /// capped exponential back-off and jitter, never waiting less than
+    /// the server's `retry_after_s` hint. Any other failure returns
+    /// immediately.
+    pub fn submit_with_retry(
+        &mut self,
+        spec: &str,
+        retry: &RetryConfig,
+    ) -> Result<Vec<usize>, String> {
+        let mut attempt = 0u32;
+        loop {
+            let r = self.call(&crate::json::obj(vec![
+                ("op", Json::Str("submit".into())),
+                ("spec", Json::Str(spec.into())),
+            ]))?;
+            if r.get("ok").and_then(Json::as_bool) == Some(true) {
+                let ids = r
+                    .get("ids")
+                    .and_then(Json::as_arr)
+                    .ok_or("response missing `ids`")?;
+                return ids
+                    .iter()
+                    .map(|v| v.as_index().ok_or_else(|| "non-integer job id".into()))
+                    .collect();
+            }
+            let code = r
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string();
+            attempt += 1;
+            if code != "queue_full" || attempt >= retry.max_attempts.max(1) {
+                let msg = r
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("no message");
+                return Err(format!("{code}: {msg}"));
+            }
+            let hint = r
+                .get("retry_after_s")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0)
+                .max(0.0);
+            let exp = retry.base_s.max(0.0) * (1u64 << attempt.min(20)) as f64;
+            let jitter = 1.0 + 0.5 * jitter_unit(retry.seed, attempt);
+            let delay = (hint.max(exp) * jitter).min(retry.max_s.max(0.0));
+            std::thread::sleep(Duration::from_secs_f64(delay));
+        }
+    }
+
     /// Query one job's status.
     pub fn status(&mut self, id: usize) -> Result<Json, String> {
         self.call_ok(&crate::json::obj(vec![
@@ -100,6 +188,14 @@ impl Client {
     /// Fetch the live metrics snapshot.
     pub fn metrics(&mut self) -> Result<Json, String> {
         self.call_ok(&crate::json::obj(vec![("op", Json::Str("metrics".into()))]))
+    }
+
+    /// Fetch the accumulated `SRV0xx` fault/journal diagnostics.
+    pub fn diagnostics(&mut self) -> Result<Json, String> {
+        self.call_ok(&crate::json::obj(vec![(
+            "op",
+            Json::Str("diagnostics".into()),
+        )]))
     }
 
     /// Request a graceful shutdown (drain queue, then exit).
@@ -118,7 +214,7 @@ impl Client {
         loop {
             let status = self.status(id)?;
             match status.get("state").and_then(Json::as_str) {
-                Some("done") | Some("rejected") => return Ok(status),
+                Some("done") | Some("rejected") | Some("dead-letter") => return Ok(status),
                 _ => {}
             }
             if Instant::now() >= deadline {

@@ -1,0 +1,777 @@
+//! Crash-safe service journal: an append-only, fsync'd line-JSON log of
+//! every admission, dispatch, completion, requeue, dead-letter, and
+//! eviction the daemon performs.
+//!
+//! The journal is the daemon's write-ahead record: each record is one
+//! JSON object on one line, flushed and `sync_data`'d before the state
+//! change it describes becomes observable to clients. A daemon killed at
+//! any byte can therefore be restarted with `--recover`: [`read_journal`]
+//! tolerates a torn final line (the kill landed mid-write) and
+//! [`replay`] folds the surviving prefix into one [`Disposition`] per
+//! job — done work stays done, in-flight work is re-queued, and nothing
+//! is double-dispatched.
+//!
+//! The format is versioned by [`JOURNAL_FORMAT_VERSION`], the sibling of
+//! `runtime::CACHE_FORMAT_VERSION`: bump it whenever a record's schema
+//! changes so stale journals are refused (SRV007) instead of
+//! misinterpreted. `docs/FAULTS.md` documents the format and the
+//! recovery semantics.
+
+use crate::json::{obj, Json};
+use apu_sim::Device;
+use corun_verify::{Code, Diagnostic, Report};
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// Journal schema revision; mismatches are refused at recovery with
+/// SRV007. Versioned alongside `runtime::CACHE_FORMAT_VERSION`.
+pub const JOURNAL_FORMAT_VERSION: u32 = 1;
+
+/// One journal record. The first line of every journal is `Meta`; every
+/// later line describes one state transition, in commit order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// Journal header: format version.
+    Meta {
+        /// The [`JOURNAL_FORMAT_VERSION`] the journal was written under.
+        version: u32,
+    },
+    /// A recovery generation boundary: the daemon restarted and replayed
+    /// everything above this line; `jobs` jobs were reconstructed.
+    Recovered {
+        /// Jobs known after replay.
+        jobs: usize,
+    },
+    /// A job passed admission. `id`s are dense and in admission order.
+    Accept {
+        /// The assigned job id.
+        id: usize,
+        /// Instance name (`program#k`).
+        name: String,
+        /// Program the job was built from.
+        program: String,
+        /// Workload scale factor.
+        scale: f64,
+    },
+    /// A job was profiled but refused (cap-infeasible).
+    Reject {
+        /// The assigned job id.
+        id: usize,
+    },
+    /// A job was handed to a simulated machine.
+    Dispatch {
+        /// The job id.
+        id: usize,
+        /// Hosting machine index.
+        machine: usize,
+        /// Device it was placed on.
+        device: Device,
+        /// Dispatch time on that machine's simulated clock, seconds.
+        start_s: f64,
+        /// Model-predicted duration, seconds.
+        predicted_s: f64,
+        /// Execution attempt (0 for the first dispatch).
+        attempt: u32,
+    },
+    /// A job completed.
+    Done {
+        /// The job id.
+        id: usize,
+        /// Hosting machine index.
+        machine: usize,
+        /// Device it ran on.
+        device: Device,
+        /// Dispatch time, simulated seconds.
+        start_s: f64,
+        /// Completion time, simulated seconds.
+        end_s: f64,
+        /// Model-predicted duration at dispatch, seconds.
+        predicted_s: f64,
+    },
+    /// A failed or evicted job went back to the queue.
+    Requeue {
+        /// The job id.
+        id: usize,
+        /// Retry attempt this requeue starts (1-based).
+        attempt: u32,
+        /// Back-off before the job becomes dispatchable again, seconds.
+        backoff_s: f64,
+        /// Why the previous execution was lost.
+        reason: String,
+    },
+    /// A job exhausted its retry budget and was dead-lettered.
+    Dead {
+        /// The job id.
+        id: usize,
+        /// Why the job was given up on.
+        reason: String,
+    },
+    /// A machine crashed and its in-flight work was evicted.
+    Evict {
+        /// The crashed machine's index.
+        machine: usize,
+        /// Simulated time of the crash, seconds.
+        at_s: f64,
+    },
+}
+
+fn device_str(d: Device) -> &'static str {
+    match d {
+        Device::Cpu => "cpu",
+        Device::Gpu => "gpu",
+    }
+}
+
+fn parse_device(s: &str) -> Option<Device> {
+    match s {
+        "cpu" => Some(Device::Cpu),
+        "gpu" => Some(Device::Gpu),
+        _ => None,
+    }
+}
+
+impl Record {
+    /// Render as one compact JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let v = match self {
+            Record::Meta { version } => obj(vec![
+                ("t", Json::Str("meta".into())),
+                ("version", Json::Num(*version as f64)),
+            ]),
+            Record::Recovered { jobs } => obj(vec![
+                ("t", Json::Str("recovered".into())),
+                ("jobs", Json::Num(*jobs as f64)),
+            ]),
+            Record::Accept {
+                id,
+                name,
+                program,
+                scale,
+            } => obj(vec![
+                ("t", Json::Str("accept".into())),
+                ("id", Json::Num(*id as f64)),
+                ("name", Json::Str(name.clone())),
+                ("program", Json::Str(program.clone())),
+                ("scale", Json::Num(*scale)),
+            ]),
+            Record::Reject { id } => obj(vec![
+                ("t", Json::Str("reject".into())),
+                ("id", Json::Num(*id as f64)),
+            ]),
+            Record::Dispatch {
+                id,
+                machine,
+                device,
+                start_s,
+                predicted_s,
+                attempt,
+            } => obj(vec![
+                ("t", Json::Str("dispatch".into())),
+                ("id", Json::Num(*id as f64)),
+                ("machine", Json::Num(*machine as f64)),
+                ("device", Json::Str(device_str(*device).into())),
+                ("start_s", Json::Num(*start_s)),
+                ("predicted_s", Json::Num(*predicted_s)),
+                ("attempt", Json::Num(*attempt as f64)),
+            ]),
+            Record::Done {
+                id,
+                machine,
+                device,
+                start_s,
+                end_s,
+                predicted_s,
+            } => obj(vec![
+                ("t", Json::Str("done".into())),
+                ("id", Json::Num(*id as f64)),
+                ("machine", Json::Num(*machine as f64)),
+                ("device", Json::Str(device_str(*device).into())),
+                ("start_s", Json::Num(*start_s)),
+                ("end_s", Json::Num(*end_s)),
+                ("predicted_s", Json::Num(*predicted_s)),
+            ]),
+            Record::Requeue {
+                id,
+                attempt,
+                backoff_s,
+                reason,
+            } => obj(vec![
+                ("t", Json::Str("requeue".into())),
+                ("id", Json::Num(*id as f64)),
+                ("attempt", Json::Num(*attempt as f64)),
+                ("backoff_s", Json::Num(*backoff_s)),
+                ("reason", Json::Str(reason.clone())),
+            ]),
+            Record::Dead { id, reason } => obj(vec![
+                ("t", Json::Str("dead".into())),
+                ("id", Json::Num(*id as f64)),
+                ("reason", Json::Str(reason.clone())),
+            ]),
+            Record::Evict { machine, at_s } => obj(vec![
+                ("t", Json::Str("evict".into())),
+                ("machine", Json::Num(*machine as f64)),
+                ("at_s", Json::Num(*at_s)),
+            ]),
+        };
+        v.render()
+    }
+
+    /// Parse one journal line. `Ok(None)` means the record type is
+    /// unknown (written by a newer minor revision) and should be skipped.
+    pub fn from_json(line: &str) -> Result<Option<Record>, String> {
+        let v = Json::parse(line)?;
+        let t = v
+            .get("t")
+            .and_then(Json::as_str)
+            .ok_or("record missing `t`")?;
+        let idx = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_index)
+                .ok_or_else(|| format!("record missing `{key}`"))
+        };
+        let num = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("record missing `{key}`"))
+        };
+        let text = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("record missing `{key}`"))
+        };
+        let dev = || {
+            text("device").and_then(|s| parse_device(&s).ok_or_else(|| format!("bad device `{s}`")))
+        };
+        let rec = match t {
+            "meta" => Record::Meta {
+                version: idx("version")? as u32,
+            },
+            "recovered" => Record::Recovered { jobs: idx("jobs")? },
+            "accept" => Record::Accept {
+                id: idx("id")?,
+                name: text("name")?,
+                program: text("program")?,
+                scale: num("scale")?,
+            },
+            "reject" => Record::Reject { id: idx("id")? },
+            "dispatch" => Record::Dispatch {
+                id: idx("id")?,
+                machine: idx("machine")?,
+                device: dev()?,
+                start_s: num("start_s")?,
+                predicted_s: num("predicted_s")?,
+                attempt: idx("attempt")? as u32,
+            },
+            "done" => Record::Done {
+                id: idx("id")?,
+                machine: idx("machine")?,
+                device: dev()?,
+                start_s: num("start_s")?,
+                end_s: num("end_s")?,
+                predicted_s: num("predicted_s")?,
+            },
+            "requeue" => Record::Requeue {
+                id: idx("id")?,
+                attempt: idx("attempt")? as u32,
+                backoff_s: num("backoff_s")?,
+                reason: text("reason")?,
+            },
+            "dead" => Record::Dead {
+                id: idx("id")?,
+                reason: text("reason")?,
+            },
+            "evict" => Record::Evict {
+                machine: idx("machine")?,
+                at_s: num("at_s")?,
+            },
+            _ => return Ok(None),
+        };
+        Ok(Some(rec))
+    }
+}
+
+/// An open journal file. Every [`Journal::append`] flushes and
+/// `sync_data`s before returning, so a record the caller has seen
+/// committed survives `kill -9`.
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Create (truncate) a fresh journal and write the `Meta` header.
+    pub fn create(path: &Path) -> std::io::Result<Journal> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        let mut j = Journal {
+            file,
+            path: path.to_path_buf(),
+        };
+        j.append(&Record::Meta {
+            version: JOURNAL_FORMAT_VERSION,
+        })?;
+        Ok(j)
+    }
+
+    /// Open an existing journal for appending (after a successful
+    /// recovery replay).
+    pub fn open_append(path: &Path) -> std::io::Result<Journal> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(Journal {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Durably append one record: write the line, flush, `sync_data`.
+    pub fn append(&mut self, record: &Record) -> std::io::Result<()> {
+        let mut line = record.to_json();
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()?;
+        self.file.sync_data()
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// What replay concluded about one job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Disposition {
+    /// Accepted; never completed (queued or in-flight at the kill).
+    /// Recovery re-queues it.
+    Pending,
+    /// Refused at admission.
+    Rejected,
+    /// Completed; recovery must not re-dispatch it.
+    Done {
+        /// Hosting machine index.
+        machine: usize,
+        /// Device it ran on.
+        device: Device,
+        /// Dispatch time, simulated seconds.
+        start_s: f64,
+        /// Completion time, simulated seconds.
+        end_s: f64,
+        /// Model-predicted duration at dispatch, seconds.
+        predicted_s: f64,
+    },
+    /// Retries exhausted before the kill.
+    Dead {
+        /// Why the job was given up on.
+        reason: String,
+    },
+}
+
+/// One job reconstructed by [`replay`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredJob {
+    /// Instance name (`program#k`).
+    pub name: String,
+    /// Program to rebuild the [`apu_sim::JobSpec`] from.
+    pub program: String,
+    /// Workload scale factor.
+    pub scale: f64,
+    /// Where the job stood at the last committed record.
+    pub disposition: Disposition,
+    /// Retry attempts already consumed (counted off `Requeue` records).
+    pub retries: u32,
+}
+
+/// The outcome of replaying a journal.
+#[derive(Debug, Clone, Default)]
+pub struct Recovered {
+    /// One entry per job id, dense in admission order.
+    pub jobs: Vec<RecoveredJob>,
+}
+
+/// Read a journal file into records, tolerantly.
+///
+/// Problems surface as SRV007 diagnostics in the returned report rather
+/// than hard errors: an unreadable file or a bad/missing version header
+/// yields no records (error severity — the journal cannot be trusted); a
+/// line that fails to parse ends the usable prefix (warning — the tail
+/// was torn by a kill mid-write, everything before it is intact).
+pub fn read_journal(path: &Path) -> (Vec<Record>, Report) {
+    let mut report = Report::new();
+    let loc = path.display().to_string();
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            report.push(Diagnostic::new(
+                Code::Srv007,
+                loc,
+                format!("cannot read journal: {e}"),
+            ));
+            return (Vec::new(), report);
+        }
+    };
+    let mut records = Vec::new();
+    for (lineno, line) in BufReader::new(file).lines().enumerate() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                report.push(
+                    Diagnostic::new(
+                        Code::Srv007,
+                        format!("{loc}:{}", lineno + 1),
+                        format!("torn journal tail: {e}"),
+                    )
+                    .with_help("the daemon was killed mid-write; the intact prefix is recovered"),
+                );
+                break;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Record::from_json(line.trim()) {
+            Ok(Some(rec)) => records.push(rec),
+            Ok(None) => {
+                report.push(Diagnostic::new(
+                    Code::Srv007,
+                    format!("{loc}:{}", lineno + 1),
+                    "unknown record type; skipped".to_string(),
+                ));
+            }
+            Err(e) => {
+                report.push(
+                    Diagnostic::new(
+                        Code::Srv007,
+                        format!("{loc}:{}", lineno + 1),
+                        format!("torn journal tail: {e}"),
+                    )
+                    .with_help("the daemon was killed mid-write; the intact prefix is recovered"),
+                );
+                break;
+            }
+        }
+    }
+    // The header gate: a missing or mismatched Meta invalidates the lot.
+    match records.first() {
+        Some(Record::Meta { version }) if *version == JOURNAL_FORMAT_VERSION => {}
+        Some(Record::Meta { version }) => {
+            report.push(
+                Diagnostic::new(
+                    Code::Srv007,
+                    loc,
+                    format!(
+                        "journal format v{version} does not match this build (v{JOURNAL_FORMAT_VERSION})"
+                    ),
+                )
+                .with_severity(corun_verify::Severity::Error),
+            );
+            records.clear();
+        }
+        _ => {
+            report.push(
+                Diagnostic::new(Code::Srv007, loc, "journal has no version header")
+                    .with_severity(corun_verify::Severity::Error),
+            );
+            records.clear();
+        }
+    }
+    (records, report)
+}
+
+/// Fold a record sequence into per-job dispositions.
+///
+/// Inconsistencies (references to unknown ids, completions of already
+/// completed jobs) surface as SRV009 diagnostics; the offending record
+/// is skipped and replay continues, so one bad record cannot poison the
+/// rest of the journal.
+pub fn replay(records: &[Record]) -> (Recovered, Report) {
+    let mut report = Report::new();
+    let mut out = Recovered::default();
+    let mut bad = |rec: usize, msg: String| {
+        report.push(Diagnostic::new(
+            Code::Srv009,
+            format!("journal record {rec}"),
+            msg,
+        ));
+    };
+    for (k, rec) in records.iter().enumerate() {
+        match rec {
+            Record::Meta { .. } | Record::Recovered { .. } | Record::Evict { .. } => {}
+            Record::Accept {
+                id,
+                name,
+                program,
+                scale,
+            } => {
+                if *id != out.jobs.len() {
+                    bad(
+                        k,
+                        format!("accept of job {id} but {} jobs known", out.jobs.len()),
+                    );
+                    continue;
+                }
+                out.jobs.push(RecoveredJob {
+                    name: name.clone(),
+                    program: program.clone(),
+                    scale: *scale,
+                    disposition: Disposition::Pending,
+                    retries: 0,
+                });
+            }
+            Record::Reject { id } => match out.jobs.get_mut(*id) {
+                Some(j) => j.disposition = Disposition::Rejected,
+                None => bad(k, format!("reject of unknown job {id}")),
+            },
+            Record::Dispatch { id, .. } => match out.jobs.get(*id) {
+                // A dispatch without a matching done means the job was
+                // in-flight at the kill: it stays Pending and recovery
+                // re-queues it. A dispatch *after* a done is the
+                // double-dispatch the journal exists to prevent.
+                Some(j) if matches!(j.disposition, Disposition::Done { .. }) => {
+                    bad(k, format!("job {id} dispatched after completing"));
+                }
+                Some(_) => {}
+                None => bad(k, format!("dispatch of unknown job {id}")),
+            },
+            Record::Done {
+                id,
+                machine,
+                device,
+                start_s,
+                end_s,
+                predicted_s,
+            } => match out.jobs.get_mut(*id) {
+                Some(j) => {
+                    if matches!(j.disposition, Disposition::Done { .. }) {
+                        bad(k, format!("job {id} completed twice"));
+                    } else {
+                        j.disposition = Disposition::Done {
+                            machine: *machine,
+                            device: *device,
+                            start_s: *start_s,
+                            end_s: *end_s,
+                            predicted_s: *predicted_s,
+                        };
+                    }
+                }
+                None => bad(k, format!("completion of unknown job {id}")),
+            },
+            Record::Requeue { id, attempt, .. } => match out.jobs.get_mut(*id) {
+                Some(j) => j.retries = (*attempt).max(j.retries),
+                None => bad(k, format!("requeue of unknown job {id}")),
+            },
+            Record::Dead { id, reason } => match out.jobs.get_mut(*id) {
+                Some(j) => {
+                    j.disposition = Disposition::Dead {
+                        reason: reason.clone(),
+                    }
+                }
+                None => bad(k, format!("dead-letter of unknown job {id}")),
+            },
+        }
+    }
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "corun-journal-test-{}-{tag}-{n}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::Accept {
+                id: 0,
+                name: "srad#0".into(),
+                program: "srad".into(),
+                scale: 0.2,
+            },
+            Record::Accept {
+                id: 1,
+                name: "lud#0".into(),
+                program: "lud".into(),
+                scale: 0.1,
+            },
+            Record::Dispatch {
+                id: 0,
+                machine: 0,
+                device: Device::Gpu,
+                start_s: 0.0,
+                predicted_s: 3.5,
+                attempt: 0,
+            },
+            Record::Done {
+                id: 0,
+                machine: 0,
+                device: Device::Gpu,
+                start_s: 0.0,
+                end_s: 3.4,
+                predicted_s: 3.5,
+            },
+            Record::Dispatch {
+                id: 1,
+                machine: 0,
+                device: Device::Cpu,
+                start_s: 3.4,
+                predicted_s: 2.0,
+                attempt: 0,
+            },
+            Record::Requeue {
+                id: 1,
+                attempt: 1,
+                backoff_s: 0.05,
+                reason: "injected job failure".into(),
+            },
+            Record::Evict {
+                machine: 0,
+                at_s: 4.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn records_roundtrip_through_json() {
+        for rec in sample_records() {
+            let line = rec.to_json();
+            let back = Record::from_json(&line).unwrap().unwrap();
+            assert_eq!(back, rec, "roundtrip failed for {line}");
+        }
+        // Unknown types are skipped, not errors; garbage is an error.
+        assert_eq!(Record::from_json(r#"{"t":"future_thing"}"#).unwrap(), None);
+        assert!(Record::from_json("{half a rec").is_err());
+        assert!(Record::from_json(r#"{"t":"accept","id":0}"#).is_err());
+    }
+
+    #[test]
+    fn journal_write_read_replay() {
+        let path = temp_path("roundtrip");
+        let mut j = Journal::create(&path).unwrap();
+        for rec in sample_records() {
+            j.append(&rec).unwrap();
+        }
+        drop(j);
+        let (records, report) = read_journal(&path);
+        assert!(report.is_empty(), "{}", report.render_human());
+        assert_eq!(records.len(), 1 + sample_records().len());
+        let (rec, replay_report) = replay(&records);
+        assert!(replay_report.is_empty(), "{}", replay_report.render_human());
+        assert_eq!(rec.jobs.len(), 2);
+        assert!(matches!(rec.jobs[0].disposition, Disposition::Done { .. }));
+        assert_eq!(rec.jobs[1].disposition, Disposition::Pending);
+        assert_eq!(rec.jobs[1].retries, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_keeps_the_intact_prefix() {
+        let path = temp_path("torn");
+        let mut j = Journal::create(&path).unwrap();
+        for rec in sample_records() {
+            j.append(&rec).unwrap();
+        }
+        drop(j);
+        // Chop the file mid-way through the last record.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
+        let (records, report) = read_journal(&path);
+        assert!(report.has(Code::Srv007));
+        assert!(!report.has_errors(), "a torn tail is recoverable");
+        assert_eq!(records.len(), sample_records().len()); // meta + all but the torn one
+        let (rec, _) = replay(&records);
+        assert_eq!(rec.jobs.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_mismatch_refuses_the_journal() {
+        let path = temp_path("version");
+        std::fs::write(
+            &path,
+            "{\"t\":\"meta\",\"version\":99}\n{\"t\":\"reject\",\"id\":0}\n",
+        )
+        .unwrap();
+        let (records, report) = read_journal(&path);
+        assert!(records.is_empty());
+        assert!(report.has(Code::Srv007));
+        assert!(report.has_errors(), "a version mismatch is not recoverable");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_flags_inconsistencies_as_srv009() {
+        let records = vec![
+            Record::Meta {
+                version: JOURNAL_FORMAT_VERSION,
+            },
+            Record::Accept {
+                id: 0,
+                name: "srad#0".into(),
+                program: "srad".into(),
+                scale: 0.2,
+            },
+            Record::Done {
+                id: 0,
+                machine: 0,
+                device: Device::Gpu,
+                start_s: 0.0,
+                end_s: 1.0,
+                predicted_s: 1.0,
+            },
+            // Duplicate completion and an unknown id: both SRV009.
+            Record::Done {
+                id: 0,
+                machine: 0,
+                device: Device::Gpu,
+                start_s: 0.0,
+                end_s: 2.0,
+                predicted_s: 1.0,
+            },
+            Record::Requeue {
+                id: 7,
+                attempt: 1,
+                backoff_s: 0.1,
+                reason: "x".into(),
+            },
+        ];
+        let (rec, report) = replay(&records);
+        assert_eq!(report.count(Code::Srv009), 2);
+        // The first completion wins.
+        match &rec.jobs[0].disposition {
+            Disposition::Done { end_s, .. } => assert_eq!(*end_s, 1.0),
+            other => panic!("expected done, got {other:?}"),
+        }
+        std::mem::drop(rec);
+    }
+
+    #[test]
+    fn every_prefix_replays_without_errors() {
+        // Replay must accept any record-boundary prefix: that is exactly
+        // the state a kill can leave behind.
+        let mut records = vec![Record::Meta {
+            version: JOURNAL_FORMAT_VERSION,
+        }];
+        records.extend(sample_records());
+        records.push(Record::Dead {
+            id: 1,
+            reason: "retries exhausted".into(),
+        });
+        for cut in 1..=records.len() {
+            let (rec, report) = replay(&records[..cut]);
+            assert!(report.is_empty(), "prefix {cut}: {}", report.render_human());
+            assert!(rec.jobs.len() <= 2);
+        }
+    }
+}

@@ -9,24 +9,36 @@
 //! Layers, bottom up:
 //!
 //! - [`json`] — a dependency-free JSON value type (parse + render).
+//! - [`journal`] — the crash-safe append-only journal: every admission,
+//!   dispatch, completion, requeue, dead-letter, and eviction is durably
+//!   logged, and [`journal::replay`] reconstructs the exact job table a
+//!   killed daemon left behind.
 //! - [`service`] — the daemon core: admission control with a bounded
 //!   queue, incremental model growth, per-machine worker threads, live
-//!   metrics. Fully testable in-process.
+//!   metrics, fault injection, and degraded-mode rescheduling. Fully
+//!   testable in-process.
 //! - [`protocol`] — request/response mapping; [`protocol::handle_request`]
 //!   is the single entry point, usable without a socket.
 //! - [`server`] — the blocking TCP accept loop (thread per connection).
-//! - [`client`] — a small blocking client for the CLI and smoke tests.
+//! - [`client`] — a small blocking client for the CLI and smoke tests,
+//!   with capped-exponential-back-off submit retries.
 //!
-//! See `docs/SERVICE.md` for the wire-format catalogue and error codes.
+//! See `docs/SERVICE.md` for the wire-format catalogue and error codes,
+//! and `docs/FAULTS.md` for the fault model and recovery semantics.
 
 pub mod client;
+pub mod journal;
 pub mod json;
 pub mod protocol;
 pub mod server;
 pub mod service;
 
-pub use client::Client;
+pub use client::{Client, RetryConfig};
+pub use journal::{
+    read_journal, replay, Disposition, Journal, Record, Recovered, RecoveredJob,
+    JOURNAL_FORMAT_VERSION,
+};
 pub use json::Json;
 pub use protocol::{handle_request, PROTOCOL_VERSION};
-pub use server::Server;
+pub use server::{Server, MAX_FRAME_BYTES};
 pub use service::{JobState, JobStatus, MetricsSnapshot, Service, ServiceConfig, SubmitError};

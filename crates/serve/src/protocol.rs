@@ -63,6 +63,18 @@ fn dispatch(service: &Service, req: &Json) -> Json {
             }
         }
         "metrics" => metrics_json(&service.metrics()),
+        "diagnostics" => {
+            // SRV0xx fault/journal findings; Report::render_json emits a
+            // JSON array, embed it verbatim.
+            let report = service.chaos_report();
+            let diags = Json::parse(&report.render_json())
+                .unwrap_or_else(|_| Json::Str(report.render_human()));
+            Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("count".into(), Json::Num(report.len() as f64)),
+                ("diagnostics".into(), diags),
+            ])
+        }
         "shutdown" => {
             service.begin_shutdown();
             obj(vec![("ok", Json::Bool(true))])
@@ -142,6 +154,7 @@ fn status_json(status: &JobStatus) -> Json {
         ("id", Json::Num(status.id as f64)),
         ("name", Json::Str(status.name.clone())),
         ("dispatches", Json::Num(status.dispatches as f64)),
+        ("retries", Json::Num(status.retries as f64)),
     ];
     match &status.state {
         JobState::Queued => fields.push(("state", Json::Str("queued".into()))),
@@ -172,6 +185,10 @@ fn status_json(status: &JobStatus) -> Json {
             fields.push(("end_s", Json::Num(*end_s)));
             fields.push(("predicted_s", Json::Num(*predicted_s)));
             fields.push(("simulated_s", Json::Num(*end_s - *start_s)));
+        }
+        JobState::DeadLetter { reason } => {
+            fields.push(("state", Json::Str("dead-letter".into())));
+            fields.push(("reason", Json::Str(reason.clone())));
         }
     }
     obj(fields)
@@ -218,10 +235,19 @@ fn metrics_json(m: &MetricsSnapshot) -> Json {
                 None => Json::Null,
             },
         ),
+        ("requeued", Json::Num(m.requeued as f64)),
+        ("dead_lettered", Json::Num(m.dead_lettered as f64)),
+        ("evictions", Json::Num(m.evictions as f64)),
+        (
+            "machines_down",
+            Json::Arr(m.machines_down.iter().map(|&d| Json::Bool(d)).collect()),
+        ),
+        ("lost_work_s", Json::Num(m.lost_work_s)),
+        ("frames_rejected", Json::Num(m.frames_rejected as f64)),
     ])
 }
 
-fn error(code: &str, message: &str) -> Json {
+pub(crate) fn error(code: &str, message: &str) -> Json {
     obj(vec![
         ("ok", Json::Bool(false)),
         ("error", Json::Str(code.into())),
@@ -308,6 +334,43 @@ mod tests {
         let m = call(&svc, r#"{"op":"metrics"}"#);
         assert_eq!(m.get("submitted").and_then(Json::as_index), Some(0));
         assert_eq!(m.get("rejected").and_then(Json::as_index), Some(6));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn diagnostics_and_fault_metrics_over_the_protocol() {
+        let machine = MachineConfig::ivy_bridge();
+        let mut cfg = ServiceConfig::fast(&machine);
+        cfg.characterization.grid_points = 3;
+        cfg.characterization.micro_duration_s = 1.0;
+        cfg.fault_plan = Some(apu_sim::FaultPlan::parse("@chaos seed=3 job-fail=1\n").unwrap());
+        cfg.retry = corun_core::RetryPolicy {
+            max_retries: 1,
+            backoff_base_s: 0.01,
+            backoff_max_s: 0.02,
+        };
+        let svc = Service::start(cfg);
+        let r = call(&svc, r#"{"op":"submit","spec":"lud x0.1"}"#);
+        let id = r.get("ids").and_then(Json::as_arr).unwrap()[0]
+            .as_index()
+            .unwrap();
+        svc.wait_job(id);
+        let r = call(&svc, &format!(r#"{{"op":"status","id":{id}}}"#));
+        assert_eq!(r.get("state").and_then(Json::as_str), Some("dead-letter"));
+        assert!(r.get("reason").and_then(Json::as_str).is_some());
+        assert_eq!(r.get("retries").and_then(Json::as_index), Some(1));
+
+        let m = call(&svc, r#"{"op":"metrics"}"#);
+        assert_eq!(m.get("dead_lettered").and_then(Json::as_index), Some(1));
+        assert_eq!(m.get("requeued").and_then(Json::as_index), Some(1));
+        assert!(m.get("lost_work_s").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(m.get("machines_down").and_then(Json::as_arr).is_some());
+
+        let d = call(&svc, r#"{"op":"diagnostics"}"#);
+        assert_eq!(d.get("ok"), Some(&Json::Bool(true)));
+        assert!(d.get("count").and_then(Json::as_index).unwrap() >= 2);
+        let diags = d.get("diagnostics").and_then(Json::as_arr).unwrap();
+        assert!(!diags.is_empty());
         svc.shutdown();
     }
 

@@ -15,6 +15,73 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::Duration;
 
+/// Upper bound on one request line. Anything longer is drained and
+/// rejected with the stable error code `frame_too_large` *before* JSON
+/// parsing, so a hostile or broken client cannot balloon server memory
+/// by never sending a newline.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// One framing outcome from [`read_frame`].
+#[derive(Debug, PartialEq, Eq)]
+enum Frame {
+    /// A complete line (newline stripped).
+    Line(String),
+    /// The line exceeded the byte bound; it was consumed through its
+    /// terminating newline (or EOF) and discarded.
+    TooLong,
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Read one newline-terminated frame with a hard byte bound. Unlike
+/// `BufRead::read_line`, an oversized line is *drained* (so the
+/// connection stays usable) but never buffered beyond `max_bytes`.
+fn read_frame(reader: &mut impl BufRead, max_bytes: usize) -> std::io::Result<Frame> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut overflow = false;
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            // EOF. A dangling unterminated fragment is still a frame.
+            return Ok(if overflow {
+                Frame::TooLong
+            } else if line.is_empty() {
+                Frame::Eof
+            } else {
+                Frame::Line(String::from_utf8_lossy(&line).into_owned())
+            });
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if !overflow && line.len() + pos > max_bytes {
+                    overflow = true;
+                }
+                if !overflow {
+                    line.extend_from_slice(&buf[..pos]);
+                }
+                reader.consume(pos + 1);
+                return Ok(if overflow {
+                    Frame::TooLong
+                } else {
+                    Frame::Line(String::from_utf8_lossy(&line).into_owned())
+                });
+            }
+            None => {
+                let n = buf.len();
+                if !overflow && line.len() + n > max_bytes {
+                    overflow = true;
+                    line.clear();
+                    line.shrink_to_fit();
+                }
+                if !overflow {
+                    line.extend_from_slice(buf);
+                }
+                reader.consume(n);
+            }
+        }
+    }
+}
+
 /// Live-connection counter; shutdown waits (bounded) for it to drain so
 /// in-flight responses — the `shutdown` ack in particular — get flushed
 /// before the process exits.
@@ -101,6 +168,12 @@ impl Server {
         &self.service
     }
 
+    /// A shared handle to the service, for signal handlers and other
+    /// threads that outlive the borrow of `self`.
+    pub fn service_handle(&self) -> Arc<Service> {
+        Arc::clone(&self.service)
+    }
+
     /// True once a client has requested shutdown via the protocol.
     pub fn shutdown_requested(&self) -> bool {
         self.service.is_shutting_down()
@@ -169,13 +242,30 @@ fn serve_connection(service: &Service, stream: TcpStream) {
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
-    let mut line = String::new();
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => break, // client hung up
-            Ok(_) => {}
-        }
+        let line = match read_frame(&mut reader, MAX_FRAME_BYTES) {
+            Ok(Frame::Line(line)) => line,
+            Ok(Frame::TooLong) => {
+                // The oversized frame was drained; the connection keeps
+                // working, the incident is counted and reported (SRV008).
+                service.note_oversized_frame();
+                let response = crate::protocol::error(
+                    "frame_too_large",
+                    &format!("request line exceeds {MAX_FRAME_BYTES} bytes"),
+                )
+                .render();
+                if writer
+                    .write_all(response.as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    break;
+                }
+                continue;
+            }
+            Ok(Frame::Eof) | Err(_) => break, // client hung up
+        };
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
@@ -230,6 +320,77 @@ mod tests {
             Some(2)
         );
         client.shutdown().expect("shutdown");
+        server.run_to_shutdown();
+    }
+
+    #[test]
+    fn read_frame_bounds_line_length() {
+        use std::io::Cursor;
+        // A multi-megabyte line must be rejected without being buffered.
+        let mut big = vec![b'x'; 3 * 1024 * 1024];
+        big.push(b'\n');
+        big.extend_from_slice(b"{\"op\":\"ping\"}\n");
+        let mut reader = Cursor::new(big);
+        assert_eq!(
+            read_frame(&mut reader, MAX_FRAME_BYTES).unwrap(),
+            Frame::TooLong
+        );
+        // The stream stays in sync: the next frame parses normally.
+        assert_eq!(
+            read_frame(&mut reader, MAX_FRAME_BYTES).unwrap(),
+            Frame::Line("{\"op\":\"ping\"}".into())
+        );
+        assert_eq!(
+            read_frame(&mut reader, MAX_FRAME_BYTES).unwrap(),
+            Frame::Eof
+        );
+
+        // Exactly at the bound is fine; one byte over is not.
+        let at = "y".repeat(16);
+        let mut reader = Cursor::new(format!("{at}\n"));
+        assert_eq!(read_frame(&mut reader, 16).unwrap(), Frame::Line(at));
+        let mut reader = Cursor::new(format!("{}\n", "y".repeat(17)));
+        assert_eq!(read_frame(&mut reader, 16).unwrap(), Frame::TooLong);
+
+        // An unterminated oversized tail (no newline before EOF) is also
+        // rejected, not returned as a truncated frame.
+        let mut reader = Cursor::new("z".repeat(64));
+        assert_eq!(read_frame(&mut reader, 16).unwrap(), Frame::TooLong);
+    }
+
+    #[test]
+    fn oversized_frame_gets_stable_error_and_connection_survives() {
+        use crate::json::Json;
+        use std::io::{BufRead, BufReader};
+
+        let server = tiny_server();
+        let stream = TcpStream::connect(server.addr()).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+
+        // Frame longer than the bound, newline-terminated.
+        let mut huge = vec![b'a'; MAX_FRAME_BYTES + 64];
+        huge.push(b'\n');
+        writer.write_all(&huge).expect("send");
+        writer.flush().expect("flush");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("response");
+        let r = Json::parse(response.trim()).expect("json");
+        assert_eq!(
+            r.get("error").and_then(Json::as_str),
+            Some("frame_too_large")
+        );
+
+        // The same connection still serves normal requests afterwards.
+        writer.write_all(b"{\"op\":\"ping\"}\n").expect("send");
+        writer.flush().expect("flush");
+        response.clear();
+        reader.read_line(&mut response).expect("response");
+        let r = Json::parse(response.trim()).expect("json");
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+
+        assert_eq!(server.service().metrics().frames_rejected, 1);
+        server.service().begin_shutdown();
         server.run_to_shutdown();
     }
 

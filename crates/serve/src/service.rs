@@ -15,17 +15,34 @@
 //! harvests — the simulation ticks themselves run lock-free. `work_cv`
 //! wakes starved workers when jobs are admitted or shutdown begins;
 //! `done_cv` wakes clients waiting on completions.
+//!
+//! Fault tolerance (see `docs/FAULTS.md`): an optional
+//! [`FaultPlan`](apu_sim::FaultPlan) injects deterministic machine
+//! crashes, job failures, stragglers, and power-meter disturbances into
+//! the workers' sessions. A crashed machine's in-flight jobs are evicted
+//! and re-queued with bounded, jittered exponential back-off
+//! ([`corun_core::RetryPolicy`]); jobs that exhaust the budget surface as
+//! [`JobState::DeadLetter`]. Every fault maps to a stable `SRV0xx`
+//! diagnostic in the [`Service::chaos_report`]. An optional append-only
+//! [`crate::journal`] makes the whole state machine crash-safe: a daemon
+//! killed at any byte resumes via `recover` with no lost and no
+//! double-dispatched jobs.
 
+use crate::journal::{read_journal, replay, Disposition, Journal, Record, Recovered};
 use apu_sim::{
-    Device, Dispatch, DispatchCtx, DispatchJob, Dispatcher, JobSpec, MachineConfig, NullGovernor,
-    RunOptions, Session, SessionState,
+    BiasedGovernor, Device, Dispatch, DispatchCtx, DispatchJob, Dispatcher, FaultKind, FaultPlan,
+    Governor, JobSpec, MachineConfig, NullGovernor, RunOptions, Session, SessionState,
 };
-use corun_core::{best_solo_run, CoRunModel, HcsConfig, JobId, OnlinePolicy};
+use corun_core::{
+    best_solo_run, CoRunModel, HcsConfig, JobId, OnlinePolicy, RequeueOutcome, RetryPolicy,
+};
+use corun_verify::{Code, Diagnostic, Report, Severity, SpecLine};
 use perf_model::{CharacterizeConfig, ProfileMethod, StagedPredictor};
 use runtime::IncrementalModel;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`Service`].
 #[derive(Debug, Clone)]
@@ -53,6 +70,17 @@ pub struct ServiceConfig {
     /// Simulated seconds each worker advances per slice before it
     /// publishes progress and re-checks for shutdown.
     pub slice_s: f64,
+    /// Deterministic fault plan injected into every worker's session
+    /// (`None` = no faults). Parsed from `@chaos` spec directives.
+    pub fault_plan: Option<FaultPlan>,
+    /// Append-only journal path; every admission, dispatch, completion,
+    /// requeue, dead-letter, and eviction is durably logged there.
+    pub journal_path: Option<std::path::PathBuf>,
+    /// Replay an existing journal at `journal_path` on startup instead of
+    /// truncating it: done work stays done, in-flight work is re-queued.
+    pub recover: bool,
+    /// Retry budget and back-off shape for failed or evicted jobs.
+    pub retry: RetryPolicy,
 }
 
 impl ServiceConfig {
@@ -72,6 +100,10 @@ impl ServiceConfig {
             llc_probe: false,
             cache_dir: None,
             slice_s: 5.0,
+            fault_plan: None,
+            journal_path: None,
+            recover: false,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -150,6 +182,12 @@ pub enum JobState {
         /// Model-predicted duration at dispatch, seconds.
         predicted_s: f64,
     },
+    /// Terminal failure: the job's executions kept being destroyed by
+    /// faults and the retry budget is spent. Never silently dropped.
+    DeadLetter {
+        /// Why the job was given up on.
+        reason: String,
+    },
 }
 
 /// Status of one job, as returned by [`Service::job_status`].
@@ -162,8 +200,11 @@ pub struct JobStatus {
     /// Current state.
     pub state: JobState,
     /// Times this job was handed to an engine. Exactly 1 for every job
-    /// that reaches `Running`/`Done`; the property tests assert it.
+    /// that reaches `Running`/`Done` without faults; each retry after an
+    /// injected failure or eviction adds one.
     pub dispatches: u32,
+    /// Retry attempts consumed so far.
+    pub retries: u32,
 }
 
 /// A point-in-time view of the service, cheap to take.
@@ -203,14 +244,31 @@ pub struct MetricsSnapshot {
     pub cap_samples: usize,
     /// First worker error, if a simulation failed.
     pub worker_error: Option<String>,
+    /// Executions lost to faults and put back in the queue.
+    pub requeued: usize,
+    /// Jobs that exhausted their retry budget.
+    pub dead_lettered: usize,
+    /// Machines lost to injected crashes.
+    pub evictions: usize,
+    /// Per-machine crash flag (`true` = this machine is down).
+    pub machines_down: Vec<bool>,
+    /// Simulated seconds of execution destroyed by faults (partial runs
+    /// that must be redone); feeds `BoundReport::with_lost_work`.
+    pub lost_work_s: f64,
+    /// Oversized protocol frames rejected by the TCP front-end.
+    pub frames_rejected: usize,
 }
 
 struct JobEntry {
     name: String,
     state: JobState,
     /// Times this job was handed to an engine; the dispatch invariant
-    /// (each accepted job dispatched exactly once) is checked against it.
+    /// (each accepted job dispatched exactly once per surviving
+    /// execution) is checked against it.
     dispatches: u32,
+    /// Retry back-off gate: the job is not dispatchable before this
+    /// instant. Ignored during shutdown so the drain completes.
+    not_before: Option<Instant>,
 }
 
 struct Inner {
@@ -231,6 +289,16 @@ struct Inner {
     cap_violations: usize,
     cap_samples: usize,
     worker_error: Option<String>,
+    journal: Option<Journal>,
+    /// Runtime fault diagnostics (`SRV0xx`), capped so a pathological
+    /// plan cannot grow memory without bound.
+    chaos: Report,
+    requeued: usize,
+    dead_lettered: usize,
+    evictions: usize,
+    machines_down: Vec<bool>,
+    lost_work_s: f64,
+    frames_rejected: usize,
 }
 
 struct Shared {
@@ -265,28 +333,39 @@ impl Service {
             cfg.profile_method,
             cfg.llc_probe,
         );
-        let policy = OnlinePolicy::empty(HcsConfig::with_cap(cfg.cap_w));
+        let mut policy = OnlinePolicy::empty(HcsConfig::with_cap(cfg.cap_w));
+        policy.set_retry_policy(cfg.retry);
         let machines = cfg.machines;
+        let mut inner = Inner {
+            model,
+            policy,
+            jobs: Vec::new(),
+            queue: VecDeque::new(),
+            shutdown: false,
+            workers_alive: machines,
+            submitted: 0,
+            rejected: 0,
+            dispatched: 0,
+            completed: 0,
+            sim_now_s: vec![0.0; machines],
+            busy_s: vec![[0.0; 2]; machines],
+            predicted_busy_s: vec![[0.0; 2]; machines],
+            last_end_s: vec![0.0; machines],
+            cap_violations: 0,
+            cap_samples: 0,
+            worker_error: None,
+            journal: None,
+            chaos: Report::new(),
+            requeued: 0,
+            dead_lettered: 0,
+            evictions: 0,
+            machines_down: vec![false; machines],
+            lost_work_s: 0.0,
+            frames_rejected: 0,
+        };
+        open_journal(&cfg, &mut inner);
         let shared = Arc::new(Shared {
-            state: Mutex::new(Inner {
-                model,
-                policy,
-                jobs: Vec::new(),
-                queue: VecDeque::new(),
-                shutdown: false,
-                workers_alive: machines,
-                submitted: 0,
-                rejected: 0,
-                dispatched: 0,
-                completed: 0,
-                sim_now_s: vec![0.0; machines],
-                busy_s: vec![[0.0; 2]; machines],
-                predicted_busy_s: vec![[0.0; 2]; machines],
-                last_end_s: vec![0.0; machines],
-                cap_violations: 0,
-                cap_samples: 0,
-                worker_error: None,
-            }),
+            state: Mutex::new(inner),
             cfg,
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
@@ -325,10 +404,23 @@ impl Service {
         if jobs.is_empty() {
             return Ok(Vec::new());
         }
-        self.admit(jobs)
+        // Pair each expanded job with the (program, scale) it came from,
+        // in build_jobs expansion order, for the journal.
+        let mut origin = Vec::with_capacity(jobs.len());
+        for line in &lines {
+            for _ in 0..line.count {
+                origin.push((line.name.clone(), line.scale));
+            }
+        }
+        debug_assert_eq!(origin.len(), jobs.len());
+        self.admit(jobs, origin)
     }
 
-    fn admit(&self, jobs: Vec<JobSpec>) -> Result<Vec<JobId>, SubmitError> {
+    fn admit(
+        &self,
+        jobs: Vec<JobSpec>,
+        origin: Vec<(String, f64)>,
+    ) -> Result<Vec<JobId>, SubmitError> {
         let mut inner = self.lock();
         if inner.shutdown {
             return Err(SubmitError::ShuttingDown);
@@ -350,7 +442,7 @@ impl Service {
         let cap = self.shared.cfg.cap_w;
         let mut ids = Vec::with_capacity(jobs.len());
         let mut infeasible = Vec::new();
-        for job in &jobs {
+        for (job, (program, scale)) in jobs.iter().zip(&origin) {
             let id = inner.model.push_job(job);
             let (model, policy) = inner.model_and_policy();
             policy.admit_job(model, id);
@@ -358,6 +450,13 @@ impl Service {
                 name: job.name.clone(),
                 state: JobState::Queued,
                 dispatches: 0,
+                not_before: None,
+            });
+            inner.journal_append(&Record::Accept {
+                id,
+                name: job.name.clone(),
+                program: program.clone(),
+                scale: *scale,
             });
             if Device::ALL
                 .iter()
@@ -372,6 +471,7 @@ impl Service {
             // none of this submission reaches the queue.
             for &id in &ids {
                 inner.jobs[id].state = JobState::Rejected;
+                inner.journal_append(&Record::Reject { id });
             }
             inner.rejected += ids.len();
             return Err(SubmitError::Infeasible { names: infeasible });
@@ -390,6 +490,7 @@ impl Service {
             name: e.name.clone(),
             state: e.state.clone(),
             dispatches: e.dispatches,
+            retries: inner.policy.retries(id),
         })
     }
 
@@ -430,24 +531,56 @@ impl Service {
             cap_violations: inner.cap_violations,
             cap_samples: inner.cap_samples,
             worker_error: inner.worker_error.clone(),
+            requeued: inner.requeued,
+            dead_lettered: inner.dead_lettered,
+            evictions: inner.evictions,
+            machines_down: inner.machines_down.clone(),
+            lost_work_s: inner.lost_work_s,
+            frames_rejected: inner.frames_rejected,
         }
     }
 
-    /// Block until `id` completes (or the workers die). Returns the final
-    /// status, `None` for unknown ids.
+    /// The accumulated `SRV0xx` fault diagnostics: crashes, retries,
+    /// dead-letters, meter disturbances, journal problems.
+    pub fn chaos_report(&self) -> Report {
+        self.lock().chaos.clone()
+    }
+
+    /// Record one oversized protocol frame (called by the TCP front-end;
+    /// see `server::MAX_FRAME_BYTES`).
+    pub fn note_oversized_frame(&self) {
+        let mut inner = self.lock();
+        inner.frames_rejected += 1;
+        inner.chaos_push(
+            Diagnostic::new(
+                Code::Srv008,
+                "tcp",
+                "oversized request frame rejected before parsing",
+            )
+            .with_help("requests are line-JSON and must stay under server::MAX_FRAME_BYTES"),
+        );
+    }
+
+    /// Block until `id` reaches a terminal state (done, rejected, or
+    /// dead-lettered) or the workers die. Returns the final status,
+    /// `None` for unknown ids.
     pub fn wait_job(&self, id: JobId) -> Option<JobStatus> {
         let mut inner = self.lock();
         loop {
             let entry = inner.jobs.get(id)?;
-            if matches!(entry.state, JobState::Done { .. } | JobState::Rejected)
-                || inner.workers_alive == 0
+            if matches!(
+                entry.state,
+                JobState::Done { .. } | JobState::Rejected | JobState::DeadLetter { .. }
+            ) || inner.workers_alive == 0
             {
-                return Some(JobStatus {
+                let status = JobStatus {
                     id,
                     name: entry.name.clone(),
                     state: entry.state.clone(),
                     dispatches: entry.dispatches,
-                });
+                    retries: inner.policy.retries(id),
+                };
+                return Some(status);
             }
             inner = self.shared.done_cv.wait(inner).expect("service lock");
         }
@@ -514,11 +647,242 @@ impl Drop for Service {
     }
 }
 
+/// Set up the journal on `inner` per the config: recover-and-append when
+/// asked and possible, create-fresh otherwise. Any recovery problem is
+/// reported (SRV007/SRV009) and recovery abandoned wholesale — a partial
+/// replay could mis-align job ids, which is worse than starting clean.
+fn open_journal(cfg: &ServiceConfig, inner: &mut Inner) {
+    let Some(path) = &cfg.journal_path else {
+        return;
+    };
+    if cfg.recover && path.exists() {
+        let (records, mut report) = read_journal(path);
+        let (recovered, replay_report) = replay(&records);
+        report.merge(replay_report);
+        // Rebuild every JobSpec *before* touching the model so a failure
+        // cannot leave it half-populated.
+        let mut specs: Vec<JobSpec> = Vec::with_capacity(recovered.jobs.len());
+        let mut ok = !report.has_errors();
+        if ok {
+            for (id, rj) in recovered.jobs.iter().enumerate() {
+                let line = SpecLine {
+                    name: rj.program.clone(),
+                    scale: rj.scale,
+                    count: 1,
+                    line: 0,
+                };
+                match corun_verify::build_jobs(&cfg.machine, std::slice::from_ref(&line)) {
+                    Ok(mut js) if js.len() == 1 => {
+                        let mut spec = js.pop().expect("one job");
+                        spec.name = rj.name.clone();
+                        specs.push(spec);
+                    }
+                    _ => {
+                        report.push(Diagnostic::new(
+                            Code::Srv009,
+                            format!("job {id}"),
+                            format!(
+                                "cannot rebuild `{}` from the journal; recovery abandoned",
+                                rj.program
+                            ),
+                        ));
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+        }
+        for d in report.diagnostics {
+            inner.chaos_push(d);
+        }
+        if ok {
+            restore(inner, &recovered, specs, cfg.machines);
+            match Journal::open_append(path) {
+                Ok(j) => {
+                    inner.journal = Some(j);
+                    inner.journal_append(&Record::Recovered {
+                        jobs: inner.jobs.len(),
+                    });
+                }
+                Err(e) => inner.chaos_push(
+                    Diagnostic::new(
+                        Code::Srv007,
+                        path.display().to_string(),
+                        format!("cannot reopen journal for appending: {e}"),
+                    )
+                    .with_severity(Severity::Error),
+                ),
+            }
+            return;
+        }
+    }
+    match Journal::create(path) {
+        Ok(j) => inner.journal = Some(j),
+        Err(e) => inner.chaos_push(
+            Diagnostic::new(
+                Code::Srv007,
+                path.display().to_string(),
+                format!("cannot create journal: {e}"),
+            )
+            .with_severity(Severity::Error),
+        ),
+    }
+}
+
+/// Fold a successful replay into the fresh `Inner`: re-admit every job
+/// into the model and policy (preserving id alignment), restore terminal
+/// states and counters, and queue whatever was pending or in-flight.
+fn restore(inner: &mut Inner, recovered: &Recovered, specs: Vec<JobSpec>, machines: usize) {
+    for (id, (rj, spec)) in recovered.jobs.iter().zip(specs).enumerate() {
+        let model_id = inner.model.push_job(&spec);
+        debug_assert_eq!(model_id, id, "recovery must preserve job ids");
+        let (model, policy) = inner.model_and_policy();
+        policy.admit_job(model, id);
+        if rj.retries > 0 {
+            inner.policy.restore_retries(id, rj.retries);
+            inner.requeued += rj.retries as usize;
+        }
+        let (state, dispatches) = match &rj.disposition {
+            Disposition::Pending => (JobState::Queued, 0),
+            Disposition::Rejected => (JobState::Rejected, 0),
+            Disposition::Done {
+                machine,
+                device,
+                start_s,
+                end_s,
+                predicted_s,
+            } => (
+                JobState::Done {
+                    machine: *machine,
+                    device: *device,
+                    start_s: *start_s,
+                    end_s: *end_s,
+                    predicted_s: *predicted_s,
+                },
+                1,
+            ),
+            Disposition::Dead { reason } => (
+                JobState::DeadLetter {
+                    reason: reason.clone(),
+                },
+                0,
+            ),
+        };
+        match &state {
+            JobState::Queued => {
+                inner.submitted += 1;
+                inner.queue.push_back(id);
+            }
+            JobState::Rejected => inner.rejected += 1,
+            JobState::Done {
+                machine,
+                device,
+                start_s,
+                end_s,
+                predicted_s,
+            } => {
+                inner.submitted += 1;
+                inner.dispatched += 1;
+                inner.completed += 1;
+                // Busy-time and makespan accounting only transfers when
+                // the machine still exists in this incarnation.
+                if *machine < machines {
+                    inner.busy_s[*machine][device.index()] += end_s - start_s;
+                    inner.predicted_busy_s[*machine][device.index()] += predicted_s;
+                    inner.last_end_s[*machine] = inner.last_end_s[*machine].max(*end_s);
+                }
+            }
+            JobState::DeadLetter { .. } => {
+                inner.submitted += 1;
+                inner.dead_lettered += 1;
+            }
+            JobState::Running { .. } => unreachable!("replay never yields a running job"),
+        }
+        inner.jobs.push(JobEntry {
+            name: rj.name.clone(),
+            state,
+            dispatches,
+            not_before: None,
+        });
+    }
+}
+
 impl Inner {
     /// Split borrow so the policy can be fed the model while both live in
     /// the same guard.
     fn model_and_policy(&mut self) -> (&IncrementalModel, &mut OnlinePolicy) {
         (&self.model, &mut self.policy)
+    }
+
+    /// Durably journal one record; a write failure disables journaling
+    /// (running degraded beats dying) and is reported as an SRV007 error.
+    fn journal_append(&mut self, record: &Record) {
+        let Some(journal) = self.journal.as_mut() else {
+            return;
+        };
+        if let Err(e) = journal.append(record) {
+            let loc = journal.path().display().to_string();
+            self.journal = None;
+            self.chaos_push(
+                Diagnostic::new(
+                    Code::Srv007,
+                    loc,
+                    format!("journal write failed: {e}; journaling disabled"),
+                )
+                .with_severity(Severity::Error),
+            );
+        }
+    }
+
+    /// Append a fault diagnostic, bounded so a hostile plan cannot grow
+    /// the report without limit.
+    fn chaos_push(&mut self, d: Diagnostic) {
+        const MAX_CHAOS_DIAGS: usize = 256;
+        if self.chaos.len() < MAX_CHAOS_DIAGS {
+            self.chaos.push(d);
+        }
+    }
+
+    /// Put a lost execution back through the retry policy: either back in
+    /// the queue behind a jittered exponential back-off, or into the
+    /// dead-letter state once the budget is spent. Returns `true` when
+    /// the job was requeued (the caller should wake workers).
+    fn apply_requeue(&mut self, job: JobId, outcome: RequeueOutcome, reason: &str) -> bool {
+        match outcome {
+            RequeueOutcome::Retry { attempt, backoff_s } => {
+                self.jobs[job].state = JobState::Queued;
+                self.jobs[job].not_before =
+                    Some(Instant::now() + Duration::from_secs_f64(backoff_s));
+                self.queue.push_back(job);
+                self.requeued += 1;
+                self.journal_append(&Record::Requeue {
+                    id: job,
+                    attempt,
+                    backoff_s,
+                    reason: reason.to_string(),
+                });
+                self.chaos_push(Diagnostic::new(
+                    Code::Srv003,
+                    format!("job {job}"),
+                    format!("{reason}; retry {attempt} after {backoff_s:.3}s back-off"),
+                ));
+                true
+            }
+            RequeueOutcome::DeadLetter { attempts } => {
+                let why = format!("{reason}; gave up after {attempts} attempt(s)");
+                self.jobs[job].state = JobState::DeadLetter {
+                    reason: why.clone(),
+                };
+                self.jobs[job].not_before = None;
+                self.dead_lettered += 1;
+                self.journal_append(&Record::Dead {
+                    id: job,
+                    reason: why.clone(),
+                });
+                self.chaos_push(Diagnostic::new(Code::Srv006, format!("job {job}"), why));
+                false
+            }
+        }
     }
 }
 
@@ -543,7 +907,16 @@ impl Dispatcher for WorkerDispatcher {
             self.running = [None, None];
         }
         let co = self.running[device.other().index()];
-        let ready: Vec<JobId> = inner.queue.iter().copied().collect();
+        // Jobs sitting out a retry back-off are invisible until their
+        // gate passes — except during shutdown, where draining promptly
+        // beats honoring back-off.
+        let wall_now = Instant::now();
+        let ready: Vec<JobId> = inner
+            .queue
+            .iter()
+            .copied()
+            .filter(|&j| inner.shutdown || inner.jobs[j].not_before.is_none_or(|t| t <= wall_now))
+            .collect();
         let pick = inner.policy.pick(&inner.model, &ready, device, co);
         match pick {
             Some(p) => self.dispatch(&mut inner, device, now_s, ctx, (p.job, p.level), co),
@@ -554,11 +927,12 @@ impl Dispatcher for WorkerDispatcher {
                     // its completion re-polls us.
                     Dispatch::Idle
                 } else if ready.is_empty() {
-                    if inner.shutdown {
+                    if inner.shutdown && inner.queue.is_empty() {
                         Dispatch::Drained
                     } else {
-                        // Nothing to do: the session will report Starved
-                        // and the worker will park on the condvar.
+                        // Nothing dispatchable right now (empty queue or
+                        // every job behind its back-off gate): the session
+                        // will report Starved and the worker parks/polls.
                         Dispatch::Idle
                     }
                 } else {
@@ -612,6 +986,7 @@ impl WorkerDispatcher {
         let spec = inner.model.job(job).clone();
         let entry = &mut inner.jobs[job];
         entry.dispatches += 1;
+        entry.not_before = None;
         entry.state = JobState::Running {
             machine: self.machine_idx,
             device,
@@ -620,6 +995,15 @@ impl WorkerDispatcher {
         };
         inner.dispatched += 1;
         inner.predicted_busy_s[self.machine_idx][device.index()] += predicted_s;
+        let attempt = inner.policy.retries(job);
+        inner.journal_append(&Record::Dispatch {
+            id: job,
+            machine: self.machine_idx,
+            device,
+            start_s: now_s,
+            predicted_s,
+            attempt,
+        });
         self.running[device.index()] = Some((job, level));
         Dispatch::Run(DispatchJob {
             job: spec,
@@ -636,28 +1020,44 @@ fn worker_loop(shared: Arc<Shared>, machine_idx: usize) {
     let mut opts = RunOptions::new(machine.freqs.min_setting());
     opts.limit_s = f64::INFINITY;
     let mut session = Session::new(&machine, opts);
+    // When the plan perturbs the meter, the worker runs a reactive
+    // governor (instead of the inert NullGovernor) so meter noise and
+    // spikes actually exercise the cap-control loop.
+    let mut governor: Box<dyn Governor> = match &shared.cfg.fault_plan {
+        Some(plan) if plan.perturbs_meter() => {
+            Box::new(BiasedGovernor::gpu_biased(shared.cfg.cap_w))
+        }
+        _ => Box::new(NullGovernor),
+    };
+    if let Some(plan) = &shared.cfg.fault_plan {
+        if !plan.is_noop() {
+            session.set_faults(plan.injector(machine_idx));
+        }
+    }
     let mut dispatcher = WorkerDispatcher {
         shared: Arc::clone(&shared),
         machine_idx,
         running: [None, None],
     };
-    let mut governor = NullGovernor;
     let mut harvested_records = 0usize;
     let mut harvested_samples = 0usize;
     let slice = shared.cfg.slice_s.max(1e-3);
 
     loop {
-        let state = session.advance(&mut dispatcher, &mut governor, slice, None);
+        let state = session.advance(&mut dispatcher, &mut *governor, slice, None);
         let mut inner = shared.state.lock().expect("service lock");
-        harvest(
+        let requeued_any = harvest(
             &mut inner,
-            &session,
+            &mut session,
             machine_idx,
             shared.cfg.cap_w,
             &mut harvested_records,
             &mut harvested_samples,
         );
         shared.done_cv.notify_all();
+        if requeued_any {
+            shared.work_cv.notify_all();
+        }
         match state {
             Ok(SessionState::Advanced) => {}
             Ok(SessionState::Starved) => {
@@ -666,9 +1066,10 @@ fn worker_loop(shared: Arc<Shared>, machine_idx: usize) {
                         inner = shared.work_cv.wait(inner).expect("service lock");
                     }
                 } else {
-                    // Starved with work queued should be impossible (an
-                    // idle machine force-dispatches), but poll rather
-                    // than spin if a policy corner ever produces it.
+                    // Starved with work queued: either a policy corner or
+                    // every queued job is sitting out a retry back-off.
+                    // Poll rather than park so the back-off gates are
+                    // re-checked promptly.
                     let (guard, _) = shared
                         .work_cv
                         .wait_timeout(inner, std::time::Duration::from_millis(10))
@@ -678,6 +1079,15 @@ fn worker_loop(shared: Arc<Shared>, machine_idx: usize) {
                 if inner.shutdown && inner.queue.is_empty() {
                     break;
                 }
+            }
+            Ok(SessionState::Crashed) => {
+                // An injected machine crash: evict in-flight work into
+                // the retry path and retire this worker. Not a worker
+                // *error* — the rest of the fleet keeps serving.
+                evict_crashed(&mut inner, &session, machine_idx);
+                shared.done_cv.notify_all();
+                shared.work_cv.notify_all();
+                break;
             }
             Ok(SessionState::Finished) => break,
             Err(e) => {
@@ -694,14 +1104,56 @@ fn worker_loop(shared: Arc<Shared>, machine_idx: usize) {
     shared.work_cv.notify_all();
 }
 
+/// Handle an injected machine crash: journal the eviction, push the
+/// in-flight jobs through the retry policy, and undo the crashed
+/// machine's speculative accounting.
+fn evict_crashed(inner: &mut Inner, session: &Session<'_>, machine_idx: usize) {
+    let now = session.now_s();
+    let tags = session.running_tags();
+    inner.evictions += 1;
+    inner.machines_down[machine_idx] = true;
+    inner.journal_append(&Record::Evict {
+        machine: machine_idx,
+        at_s: now,
+    });
+    inner.chaos_push(Diagnostic::new(
+        Code::Srv002,
+        format!("machine {machine_idx}"),
+        format!(
+            "injected crash at t={now:.2}s; {} in-flight job(s) evicted",
+            tags.len()
+        ),
+    ));
+    let outcomes = inner.policy.evict_machine(&tags);
+    for (job, outcome) in outcomes {
+        if let JobState::Running {
+            device,
+            start_s,
+            predicted_s,
+            ..
+        } = inner.jobs[job].state
+        {
+            // The lost partial execution must be redone somewhere else:
+            // charge it to lost work and retract the model's view of this
+            // machine's future.
+            inner.lost_work_s += (now - start_s).max(0.0);
+            inner.predicted_busy_s[machine_idx][device.index()] -= predicted_s;
+        }
+        inner.apply_requeue(job, outcome, "machine crash");
+    }
+}
+
+/// Fold a finished slice back into the shared state: completions, cap
+/// accounting, injected job failures (routed through the retry policy),
+/// and non-fatal fault events. Returns whether anything was requeued.
 fn harvest(
     inner: &mut Inner,
-    session: &Session<'_>,
+    session: &mut Session<'_>,
     machine_idx: usize,
     cap_w: f64,
     harvested_records: &mut usize,
     harvested_samples: &mut usize,
-) {
+) -> bool {
     inner.sim_now_s[machine_idx] = session.now_s();
     for record in &session.records()[*harvested_records..] {
         let entry = &mut inner.jobs[record.tag];
@@ -719,25 +1171,102 @@ fn harvest(
         inner.completed += 1;
         inner.busy_s[machine_idx][record.device.index()] += record.duration_s();
         inner.last_end_s[machine_idx] = inner.last_end_s[machine_idx].max(record.end_s);
+        inner.journal_append(&Record::Done {
+            id: record.tag,
+            machine: machine_idx,
+            device: record.device,
+            start_s: record.start_s,
+            end_s: record.end_s,
+            predicted_s,
+        });
     }
     *harvested_records = session.records().len();
     let samples = &session.trace().samples_w[*harvested_samples..];
     inner.cap_samples += samples.len();
     inner.cap_violations += samples.iter().filter(|&&w| w > cap_w + 1e-9).count();
     *harvested_samples = session.trace().samples_w.len();
+
+    // Injected job failures: the engine destroyed the execution mid-run
+    // (no JobRecord); route the job through the retry policy.
+    let mut requeued_any = false;
+    for failure in session.take_failures() {
+        let job = failure.tag;
+        inner.lost_work_s += (failure.at_s - failure.start_s).max(0.0);
+        if let JobState::Running {
+            device,
+            predicted_s,
+            ..
+        } = inner.jobs[job].state
+        {
+            inner.predicted_busy_s[machine_idx][device.index()] -= predicted_s;
+        }
+        let outcome = inner.policy.requeue(job);
+        requeued_any |= inner.apply_requeue(job, outcome, "injected job failure");
+    }
+    // Non-fatal fault events (stragglers, meter disturbances) become
+    // warning-severity diagnostics; crashes are reported by the eviction
+    // path with the in-flight context the event itself lacks.
+    if let Some(injector) = session.faults_mut() {
+        for event in injector.drain_events() {
+            let diag = match event.kind {
+                FaultKind::MachineCrash => continue,
+                FaultKind::Straggler { factor } => Diagnostic::new(
+                    Code::Srv004,
+                    match event.tag {
+                        Some(tag) => format!("job {tag}"),
+                        None => format!("machine {machine_idx}"),
+                    },
+                    format!(
+                        "injected straggler at t={:.2}s: running {factor:.2}x slower",
+                        event.at_s
+                    ),
+                ),
+                FaultKind::MeterSpike { magnitude_w } => Diagnostic::new(
+                    Code::Srv005,
+                    format!("machine {machine_idx}"),
+                    format!(
+                        "injected meter spike of {magnitude_w:.1} W at t={:.2}s",
+                        event.at_s
+                    ),
+                ),
+                FaultKind::MeterNoise { amplitude_w } => Diagnostic::new(
+                    Code::Srv005,
+                    format!("machine {machine_idx}"),
+                    format!("power meter noise of ±{amplitude_w:.1} W injected"),
+                ),
+            };
+            inner.chaos_push(diag);
+        }
+    }
+    requeued_any
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
-    fn tiny_service(queue_capacity: usize) -> Service {
+    fn tiny_cfg(queue_capacity: usize) -> ServiceConfig {
         let machine = MachineConfig::ivy_bridge();
         let mut cfg = ServiceConfig::fast(&machine);
         cfg.characterization.grid_points = 3;
         cfg.characterization.micro_duration_s = 1.0;
         cfg.queue_capacity = queue_capacity;
-        Service::start(cfg)
+        cfg
+    }
+
+    fn tiny_service(queue_capacity: usize) -> Service {
+        Service::start(tiny_cfg(queue_capacity))
+    }
+
+    fn temp_journal(tag: &str) -> PathBuf {
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "corun-service-test-{}-{tag}-{n}.jsonl",
+            std::process::id()
+        ))
     }
 
     #[test]
@@ -768,6 +1297,10 @@ mod tests {
         assert!(m.simulated_makespan_s > 0.0);
         assert!(m.predicted_makespan_s > 0.0);
         assert!(m.util[0][0] > 0.0 || m.util[0][1] > 0.0);
+        assert_eq!(m.requeued, 0);
+        assert_eq!(m.dead_lettered, 0);
+        assert_eq!(m.evictions, 0);
+        assert!(svc.chaos_report().is_empty());
         svc.shutdown();
     }
 
@@ -852,6 +1385,146 @@ mod tests {
         assert_eq!(m.completed, 8);
         assert_eq!(m.machines, 2);
         assert!(!used.is_empty());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn certain_failure_retries_then_dead_letters() {
+        let mut cfg = tiny_cfg(16);
+        cfg.fault_plan = Some(FaultPlan::parse("@chaos seed=11 job-fail=1\n").unwrap());
+        cfg.retry = RetryPolicy {
+            max_retries: 2,
+            backoff_base_s: 0.01,
+            backoff_max_s: 0.05,
+        };
+        let svc = Service::start(cfg);
+        let ids = svc.submit_spec("srad x0.1\n").unwrap();
+        let st = svc.wait_job(ids[0]).unwrap();
+        match &st.state {
+            JobState::DeadLetter { reason } => {
+                assert!(reason.contains("3 attempt"), "reason: {reason}");
+            }
+            other => panic!("expected dead-letter, got {other:?}"),
+        }
+        assert_eq!(st.dispatches, 3, "initial dispatch + 2 retries");
+        let m = svc.metrics();
+        assert_eq!(m.dead_lettered, 1);
+        assert_eq!(m.requeued, 2);
+        assert_eq!(m.completed, 0);
+        assert!(m.lost_work_s > 0.0);
+        let chaos = svc.chaos_report();
+        assert_eq!(chaos.count(Code::Srv003), 2, "{}", chaos.render_human());
+        assert_eq!(chaos.count(Code::Srv006), 1, "{}", chaos.render_human());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn crash_evicts_and_the_fleet_recovers() {
+        let mut cfg = tiny_cfg(32);
+        cfg.machines = 2;
+        // Machine 0 dies 2 simulated seconds in; machine 1 is unharmed.
+        cfg.fault_plan = Some(FaultPlan::parse("@chaos seed=5 crash=0:2\n").unwrap());
+        cfg.retry = RetryPolicy {
+            max_retries: 4,
+            backoff_base_s: 0.01,
+            backoff_max_s: 0.05,
+        };
+        let svc = Service::start(cfg);
+        let ids = svc.submit_spec("srad x0.2 *3\nlud x0.2 *3\n").unwrap();
+        for &id in &ids {
+            let st = svc.wait_job(id).unwrap();
+            assert!(
+                matches!(st.state, JobState::Done { .. }),
+                "job {id} should finish on the surviving machine: {st:?}"
+            );
+        }
+        let m = svc.metrics();
+        assert_eq!(m.completed, 6);
+        assert_eq!(m.evictions, 1);
+        assert_eq!(m.machines_down, vec![true, false]);
+        assert!(m.worker_error.is_none(), "{:?}", m.worker_error);
+        let chaos = svc.chaos_report();
+        assert_eq!(chaos.count(Code::Srv002), 1, "{}", chaos.render_human());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn journal_survives_restart_and_recovers() {
+        let path = temp_journal("restart");
+        let mut cfg = tiny_cfg(16);
+        cfg.journal_path = Some(path.clone());
+        let svc = Service::start(cfg);
+        let ids = svc.submit_spec("srad x0.1\nlud x0.1\n").unwrap();
+        let mut ends = Vec::new();
+        for &id in &ids {
+            match svc.wait_job(id).unwrap().state {
+                JobState::Done { end_s, .. } => ends.push(end_s),
+                other => panic!("job {id}: {other:?}"),
+            }
+        }
+        svc.shutdown();
+        drop(svc);
+
+        let mut cfg = tiny_cfg(16);
+        cfg.journal_path = Some(path.clone());
+        cfg.recover = true;
+        let svc = Service::start(cfg);
+        assert_eq!(svc.job_count(), 2);
+        for (&id, &end_s) in ids.iter().zip(&ends) {
+            let st = svc.job_status(id).unwrap();
+            match st.state {
+                JobState::Done {
+                    end_s: recovered, ..
+                } => assert_eq!(recovered, end_s, "completion must survive verbatim"),
+                other => panic!("job {id} lost its completion: {other:?}"),
+            }
+            assert_eq!(st.dispatches, 1, "done jobs are never re-dispatched");
+        }
+        let m = svc.metrics();
+        assert_eq!(m.submitted, 2);
+        assert_eq!(m.completed, 2);
+        assert!(
+            !svc.chaos_report().has_errors(),
+            "{}",
+            svc.chaos_report().render_human()
+        );
+        // The recovered service still serves.
+        let more = svc.submit_spec("hotspot x0.1\n").unwrap();
+        assert_eq!(more, vec![2]);
+        let st = svc.wait_job(2).unwrap();
+        assert!(matches!(st.state, JobState::Done { .. }));
+        svc.shutdown();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stale_journal_version_starts_fresh_with_srv007() {
+        let path = temp_journal("stale");
+        std::fs::write(&path, "{\"t\":\"meta\",\"version\":999}\n").unwrap();
+        let mut cfg = tiny_cfg(8);
+        cfg.journal_path = Some(path.clone());
+        cfg.recover = true;
+        let svc = Service::start(cfg);
+        assert_eq!(svc.job_count(), 0, "stale journal must not be replayed");
+        let chaos = svc.chaos_report();
+        assert!(chaos.has(Code::Srv007), "{}", chaos.render_human());
+        // The service still works (fresh journal).
+        let ids = svc.submit_spec("srad x0.1\n").unwrap();
+        assert!(matches!(
+            svc.wait_job(ids[0]).unwrap().state,
+            JobState::Done { .. }
+        ));
+        svc.shutdown();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn oversized_frames_are_counted_and_reported() {
+        let svc = tiny_service(4);
+        svc.note_oversized_frame();
+        svc.note_oversized_frame();
+        assert_eq!(svc.metrics().frames_rejected, 2);
+        assert_eq!(svc.chaos_report().count(Code::Srv008), 2);
         svc.shutdown();
     }
 }

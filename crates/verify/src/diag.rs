@@ -83,11 +83,32 @@ pub enum Code {
     Sim003,
     /// Non-physical package power (negative or non-finite).
     Sim004,
+    /// Malformed `@chaos` fault-plan directive.
+    Srv001,
+    /// A machine crashed (injected or real); its in-flight jobs were
+    /// evicted for rescheduling.
+    Srv002,
+    /// A dispatched job failed mid-run and will be retried.
+    Srv003,
+    /// A dispatched job straggled (ran slower than modeled).
+    Srv004,
+    /// The power meter was disturbed (noise or spike) — cap-governor
+    /// reactions may be phantom.
+    Srv005,
+    /// A job exhausted its retry budget and was dead-lettered.
+    Srv006,
+    /// The service journal is unreadable, torn, or version-mismatched.
+    Srv007,
+    /// An oversized protocol frame was rejected.
+    Srv008,
+    /// Journal replay hit an inconsistent record (unknown id, duplicate
+    /// completion, machine out of range) or could not rebuild a job.
+    Srv009,
 }
 
 impl Code {
     /// Every code, in catalog order.
-    pub const ALL: [Code; 22] = [
+    pub const ALL: [Code; 31] = [
         Code::Sch001,
         Code::Sch002,
         Code::Sch003,
@@ -110,6 +131,15 @@ impl Code {
         Code::Sim002,
         Code::Sim003,
         Code::Sim004,
+        Code::Srv001,
+        Code::Srv002,
+        Code::Srv003,
+        Code::Srv004,
+        Code::Srv005,
+        Code::Srv006,
+        Code::Srv007,
+        Code::Srv008,
+        Code::Srv009,
     ];
 
     /// The stable textual form, e.g. `"SCH001"`.
@@ -137,6 +167,15 @@ impl Code {
             Code::Sim002 => "SIM002",
             Code::Sim003 => "SIM003",
             Code::Sim004 => "SIM004",
+            Code::Srv001 => "SRV001",
+            Code::Srv002 => "SRV002",
+            Code::Srv003 => "SRV003",
+            Code::Srv004 => "SRV004",
+            Code::Srv005 => "SRV005",
+            Code::Srv006 => "SRV006",
+            Code::Srv007 => "SRV007",
+            Code::Srv008 => "SRV008",
+            Code::Srv009 => "SRV009",
         }
     }
 
@@ -148,6 +187,16 @@ impl Code {
             Code::Sch002 | Code::Cfg006 | Code::Spc004 | Code::Spc005 | Code::Spc006 => {
                 Severity::Warning
             }
+            // Injected/observed fault events are expected during chaos
+            // runs; only malformed plans (SRV001) and lost work
+            // (SRV006) are errors.
+            Code::Srv002
+            | Code::Srv003
+            | Code::Srv004
+            | Code::Srv005
+            | Code::Srv007
+            | Code::Srv008
+            | Code::Srv009 => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -179,6 +228,15 @@ impl Code {
                 "package power never exceeds the cap beyond governor reaction tolerance"
             }
             Code::Sim004 => "package power is finite and non-negative",
+            Code::Srv001 => "`@chaos` directives follow the documented key=value grammar",
+            Code::Srv002 => "machine crashes evict in-flight jobs for rescheduling, not loss",
+            Code::Srv003 => "failed jobs are requeued within their retry budget",
+            Code::Srv004 => "straggler slowdowns are recorded, not silently absorbed",
+            Code::Srv005 => "power-meter disturbances are visible in the diagnostics stream",
+            Code::Srv006 => "jobs that exhaust retries surface as dead-letter, never vanish",
+            Code::Srv007 => "the service journal parses under its declared format version",
+            Code::Srv008 => "protocol frames stay within the configured size bound",
+            Code::Srv009 => "journal replay reconstructs a consistent service state",
         }
     }
 

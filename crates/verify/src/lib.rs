@@ -13,6 +13,10 @@
 //! * `SPC0xx` — workload-spec lints ([`spec`]).
 //! * `SIM0xx` — runtime sanitizer findings ([`sim`], feature
 //!   `sanitize`), fed by `apu_sim::sanitize` hooks in the engine.
+//! * `SRV0xx` — service/fault-tolerance findings: `@chaos` fault-plan
+//!   lints ([`lint_chaos`]) plus the runtime events `corun-serve` emits
+//!   on crashes, retries, dead-letters, journal problems, and oversized
+//!   frames (see `docs/FAULTS.md`).
 //!
 //! Checks compose through the [`LintPass`] trait: a pass reads the
 //! [`LintContext`] and appends diagnostics, and a [`Linter`] runs a
@@ -41,7 +45,9 @@ pub use config::{apply_overrides, diagnostic_from_issue, lint_loo, lint_machine}
 pub use diag::{Code, Diagnostic, Report, Severity};
 pub use pass::{LintContext, LintPass, Linter};
 pub use schedfile::{parse_schedule_file, ScheduleFile};
-pub use spec::{build_jobs, lint_spec, lint_spec_full, lint_spec_programs, parse_spec, SpecLine};
+pub use spec::{
+    build_jobs, lint_chaos, lint_spec, lint_spec_full, lint_spec_programs, parse_spec, SpecLine,
+};
 
 use corun_core::{CoRunModel, Schedule};
 

@@ -15,7 +15,7 @@
 //! still parsed — while [`parse_spec`] is strict and fails on the first
 //! error, for call sites that just want jobs or a refusal.
 
-use apu_sim::{JobSpec, MachineConfig};
+use apu_sim::{FaultPlan, JobSpec, MachineConfig};
 use kernels::{by_name, program_defs, with_input_scale};
 
 use crate::diag::{Code, Diagnostic, Report};
@@ -53,6 +53,26 @@ pub fn lint_spec(text: &str) -> (Vec<SpecLine>, Report) {
         let loc = format!("spec:{lineno}");
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
+            continue;
+        }
+        if line.starts_with("@chaos") {
+            // Fault-plan directives ride along in specs; they are linted
+            // separately by [`lint_chaos`] (SRV001) and are not jobs.
+            continue;
+        }
+        if let Some(directive) = line
+            .split_whitespace()
+            .next()
+            .filter(|t| t.starts_with('@'))
+        {
+            report.push(
+                Diagnostic::new(
+                    Code::Spc001,
+                    loc.clone(),
+                    format!("unknown directive `{directive}`"),
+                )
+                .with_help("the only recognized directive is `@chaos key=value ...`"),
+            );
             continue;
         }
         let mut name = None;
@@ -186,10 +206,41 @@ pub fn lint_spec_programs(lines: &[SpecLine]) -> Report {
     report
 }
 
-/// All spec lints at once: syntax plus program-name resolution.
+/// SRV001: lint the `@chaos` fault-plan directives embedded in a spec.
+/// Returns the accumulated [`FaultPlan`] when every directive parses
+/// (and at least one `@chaos` line exists), plus the report.
+pub fn lint_chaos(text: &str) -> (Option<FaultPlan>, Report) {
+    let mut plan = FaultPlan::default();
+    let mut report = Report::new();
+    let mut saw = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        let Some(rest) = line.strip_prefix("@chaos") else {
+            continue;
+        };
+        saw = true;
+        if let Err(e) = plan.apply_directive(rest) {
+            report.push(
+                Diagnostic::new(Code::Srv001, format!("spec:{}", idx + 1), e).with_help(
+                    "chaos directives are `@chaos key=value ...` with keys seed, crash, \
+                     meter-noise, meter-spike, job-fail, straggle (see docs/FAULTS.md)",
+                ),
+            );
+        }
+    }
+    if !saw || report.has_errors() {
+        (None, report)
+    } else {
+        (Some(plan), report)
+    }
+}
+
+/// All spec lints at once: syntax, program-name resolution, and any
+/// embedded `@chaos` directives.
 pub fn lint_spec_full(text: &str) -> (Vec<SpecLine>, Report) {
     let (lines, mut report) = lint_spec(text);
     report.merge(lint_spec_programs(&lines));
+    report.merge(lint_chaos(text).1);
     (lines, report)
 }
 
@@ -295,6 +346,52 @@ mod tests {
         assert!(jobs[0].name.contains("@0"));
         assert!(jobs[1].name.contains("@1"));
         assert_eq!(jobs[2].name, "dwt2d");
+    }
+
+    #[test]
+    fn chaos_directives_are_not_jobs() {
+        let (lines, report) = lint_spec("lud x0.5\n@chaos seed=1 job-fail=0.2\nhotspot\n");
+        assert_eq!(lines.len(), 2, "{}", report.render_human());
+        assert!(report.is_empty(), "{}", report.render_human());
+    }
+
+    #[test]
+    fn unknown_directive_is_spc001() {
+        let (lines, report) = lint_spec("@nochaos seed=1\nlud\n");
+        assert_eq!(lines.len(), 1);
+        assert!(report.has(Code::Spc001));
+    }
+
+    #[test]
+    fn chaos_lint_accepts_valid_plans() {
+        let (plan, report) = lint_chaos("lud\n@chaos seed=5 crash=0:10\n@chaos job-fail=0.3\n");
+        assert!(report.is_empty(), "{}", report.render_human());
+        let plan = plan.unwrap();
+        assert_eq!(plan.seed, 5);
+        assert_eq!(plan.crashes.len(), 1);
+        assert_eq!(plan.job_fail_prob, 0.3);
+    }
+
+    #[test]
+    fn chaos_lint_rejects_bad_directives_with_srv001() {
+        let (plan, report) = lint_chaos("@chaos job-fail=2\n");
+        assert!(plan.is_none());
+        assert_eq!(report.count(Code::Srv001), 1);
+        assert!(report.has_errors());
+        // No @chaos line at all: nothing to lint, no plan either.
+        let (plan, report) = lint_chaos("lud\n");
+        assert!(plan.is_none());
+        assert!(report.is_empty());
+    }
+
+    #[test]
+    fn full_lint_gates_on_bad_chaos() {
+        let (_lines, report) = lint_spec_full("lud\n@chaos crash=zero:5\n");
+        assert!(report.has(Code::Srv001));
+        assert!(report.has_errors());
+        // Valid chaos sections pass the gate untouched.
+        let (_lines, report) = lint_spec_full("lud\n@chaos crash=0:5\n");
+        assert!(report.is_clean(), "{}", report.render_human());
     }
 
     #[test]
