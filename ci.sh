@@ -7,8 +7,27 @@ cd "$(dirname "$0")"
 echo "== cargo fmt --check"
 cargo fmt --all --check
 
-echo "== cargo clippy (deny warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+echo "== cargo clippy (deny warnings + curated pedantic subset)"
+# Beyond the default lint set, a curated slice of clippy::pedantic the
+# workspace keeps at zero. unsafe_code is forbidden workspace-wide via
+# [workspace.lints] (sole exception: the CLI's libc signal shim).
+PEDANTIC=(
+    -D clippy::semicolon_if_nothing_returned
+    -D clippy::redundant_closure_for_method_calls
+    -D clippy::map_unwrap_or
+    -D clippy::explicit_iter_loop
+    -D clippy::needless_continue
+    -D clippy::unnested_or_patterns
+    -D clippy::uninlined_format_args
+    -D clippy::manual_let_else
+    -D clippy::elidable_lifetime_names
+    -D clippy::cloned_instead_of_copied
+    -D clippy::flat_map_option
+    -D clippy::inefficient_to_string
+    -D clippy::redundant_else
+    -D clippy::sliced_string_as_bytes
+)
+cargo clippy --workspace --all-targets -- -D warnings "${PEDANTIC[@]}"
 
 echo "== tier-1: build + tests"
 cargo build --release
@@ -37,6 +56,21 @@ expect_fail $CORUN lint --spec examples/specs/rodinia_small.spec \
     --schedule examples/specs/broken_duplicate.sched
 expect_fail $CORUN lint --spec examples/specs/rodinia_small.spec \
     --schedule examples/specs/broken_schedule.sched
+
+echo "== corun mc: prove the smoke scope, convict every seeded bug"
+# --smoke proves the clean scope exhaustively, then seeds each known-bad
+# transition and requires a minimal MC0xx counterexample for it — a
+# checker that cannot find planted bugs proves nothing.
+$CORUN mc --smoke
+expect_fail $CORUN mc --jobs 2 --seed-bug double-dispatch
+
+echo "== schedule certificates: issue, verify, reject tampering"
+CERT=$(mktemp)
+$CORUN schedule --workload sec3 --cap 15 --fast --method hcs+ --cert "$CERT" >/dev/null
+$CORUN lint --cert "$CERT"
+sed 's/makespan_s = /makespan_s = 9/' "$CERT" >"$CERT.tampered"
+expect_fail $CORUN lint --cert "$CERT.tampered"
+rm -f "$CERT" "$CERT.tampered"
 
 echo "== corun serve: daemon smoke test"
 SERVE_LOG=$(mktemp)

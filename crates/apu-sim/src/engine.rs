@@ -1099,14 +1099,12 @@ pub fn run_pair(
         .records
         .iter()
         .find(|r| r.device == Device::Cpu)
-        .map(|r| r.duration_s())
-        .unwrap_or(0.0);
+        .map_or(0.0, JobRecord::duration_s);
     let gpu_time = report
         .records
         .iter()
         .find(|r| r.device == Device::Gpu)
-        .map(|r| r.duration_s())
-        .unwrap_or(0.0);
+        .map_or(0.0, JobRecord::duration_s);
     Ok(PairOutcome {
         cpu_time_s: cpu_time,
         gpu_time_s: gpu_time,
@@ -1177,7 +1175,7 @@ pub fn run_with_background(
         .records
         .iter()
         .find(|r| r.tag == 0)
-        .map(|r| r.duration_s())
+        .map(JobRecord::duration_s)
         .ok_or(SimError::Stalled { at_s: 0.0 })
 }
 

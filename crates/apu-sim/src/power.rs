@@ -46,7 +46,7 @@ pub struct PowerModel<'a> {
     pub pkg: &'a PackagePowerParams,
 }
 
-impl<'a> PowerModel<'a> {
+impl PowerModel<'_> {
     fn dev_params(&self, d: Device) -> &crate::device::DeviceParams {
         match d {
             Device::Cpu => self.cpu,

@@ -57,7 +57,7 @@ fn bench_preference_threshold(c: &mut Criterion) {
             preference_threshold: d,
         };
         group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
-            b.iter(|| hcs(&model, &cfg))
+            b.iter(|| hcs(&model, &cfg));
         });
     }
     group.finish();
@@ -72,7 +72,7 @@ fn bench_refine_budget(c: &mut Criterion) {
         cfg.random_swaps = swaps;
         cfg.cross_swaps = swaps;
         group.bench_with_input(BenchmarkId::from_parameter(swaps), &swaps, |b, _| {
-            b.iter(|| refine(&model, &out.schedule, &cfg))
+            b.iter(|| refine(&model, &out.schedule, &cfg));
         });
     }
     group.finish();

@@ -13,7 +13,7 @@ fn bench_profile_one_job(c: &mut Criterion) {
     let cfg = MachineConfig::ivy_bridge();
     let job = kernels::with_input_scale(&kernels::by_name(&cfg, "srad").unwrap(), 0.1);
     c.bench_function("profile_job_measured_all_levels", |b| {
-        b.iter(|| profile_job(&cfg, &job, ProfileMethod::Measured))
+        b.iter(|| profile_job(&cfg, &job, ProfileMethod::Measured));
     });
 }
 
@@ -26,7 +26,7 @@ fn bench_table_model_build(c: &mut Criterion) {
     ccfg.micro_duration_s = 1.5;
     let predictor = StagedPredictor::new(&cfg, characterize(&cfg, &ccfg));
     c.bench_function("build_table_model_8x16x10", |b| {
-        b.iter(|| build_table_model(&cfg, &profiles, &predictor, None))
+        b.iter(|| build_table_model(&cfg, &profiles, &predictor, None));
     });
 }
 

@@ -16,7 +16,7 @@ fn bench_degradation_at(c: &mut Criterion) {
         b.iter(|| {
             x = (x + 0.37) % 11.0;
             predictor.degradation_at(Device::Cpu, x, 11.0 - x, 2.8, 0.9)
-        })
+        });
     });
 }
 
@@ -26,7 +26,7 @@ fn bench_surface_build(c: &mut Criterion) {
         let mut ccfg = CharacterizeConfig::fast(&cfg);
         ccfg.grid_points = 3;
         ccfg.micro_duration_s = 1.0;
-        b.iter(|| perf_model::characterize_stage(&cfg, &ccfg, cfg.freqs.max_setting()))
+        b.iter(|| perf_model::characterize_stage(&cfg, &ccfg, cfg.freqs.max_setting()));
     });
 }
 

@@ -56,7 +56,7 @@ fn bench_hcs(c: &mut Criterion) {
     for n in [4usize, 8, 16, 32] {
         let model = synthetic(n, 16, 10);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| hcs(&model, &HcsConfig::with_cap(15.0)))
+            b.iter(|| hcs(&model, &HcsConfig::with_cap(15.0)));
         });
     }
     group.finish();
@@ -68,7 +68,7 @@ fn bench_refine(c: &mut Criterion) {
         let model = synthetic(n, 16, 10);
         let out = hcs(&model, &HcsConfig::with_cap(15.0));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| refine(&model, &out.schedule, &RefineConfig::new(15.0)))
+            b.iter(|| refine(&model, &out.schedule, &RefineConfig::new(15.0)));
         });
     }
     group.finish();
@@ -79,7 +79,7 @@ fn bench_lower_bound(c: &mut Criterion) {
     for n in [8usize, 16] {
         let model = synthetic(n, 16, 10);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| lower_bound(&model, 15.0))
+            b.iter(|| lower_bound(&model, 15.0));
         });
     }
     group.finish();

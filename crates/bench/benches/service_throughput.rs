@@ -25,7 +25,7 @@ fn service(queue_capacity: usize) -> Service {
 fn bench_submit(c: &mut Criterion) {
     let svc = service(100_000);
     c.bench_function("service_submit_one_job", |b| {
-        b.iter(|| svc.submit_spec("lud x0.05").expect("admitted"))
+        b.iter(|| svc.submit_spec("lud x0.05").expect("admitted"));
     });
     svc.shutdown();
 }
@@ -38,7 +38,7 @@ fn bench_submit_wait(c: &mut Criterion) {
         b.iter(|| {
             let ids = svc.submit_spec("srad x0.05").expect("admitted");
             svc.wait_job(ids[0]).expect("known id")
-        })
+        });
     });
     svc.shutdown();
 }
@@ -56,7 +56,7 @@ fn bench_metrics(c: &mut Criterion) {
         b.iter(|| {
             let line = handle_request(&svc, r#"{"op":"metrics"}"#);
             Json::parse(&line).expect("valid response")
-        })
+        });
     });
     svc.shutdown();
 }

@@ -9,7 +9,7 @@ fn bench_solo(c: &mut Criterion) {
     let cfg = MachineConfig::ivy_bridge();
     let job = kernels::with_input_scale(&kernels::by_name(&cfg, "lud").unwrap(), 0.2);
     c.bench_function("engine_solo_5s_job", |b| {
-        b.iter(|| run_solo(&cfg, &job, Device::Gpu, cfg.freqs.max_setting()).unwrap())
+        b.iter(|| run_solo(&cfg, &job, Device::Gpu, cfg.freqs.max_setting()).unwrap());
     });
 }
 
@@ -21,7 +21,7 @@ fn bench_pair(c: &mut Criterion) {
         b.iter(|| {
             let mut gov = NullGovernor;
             run_pair(&cfg, &a, &b_job, cfg.freqs.max_setting(), &mut gov).unwrap()
-        })
+        });
     });
 }
 
@@ -33,7 +33,7 @@ fn bench_governed_pair(c: &mut Criterion) {
         b.iter(|| {
             let mut gov = apu_sim::BiasedGovernor::gpu_biased(15.0);
             run_pair(&cfg, &a, &b_job, cfg.freqs.max_setting(), &mut gov).unwrap()
-        })
+        });
     });
 }
 

@@ -56,9 +56,7 @@ fn main() {
         // Fan the 64 ground-truth co-runs out over worker threads.
         let pairs: Vec<(usize, usize)> = (0..8).flat_map(|i| (0..8).map(move |j| (i, j))).collect();
         let jobs = &wl.jobs;
-        let n_threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(4);
+        let n_threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
         let chunk = pairs.len().div_ceil(n_threads);
         let errors: Vec<Vec<f64>> = thread::scope(|s| {
             pairs

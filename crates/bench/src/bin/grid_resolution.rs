@@ -81,7 +81,7 @@ fn main() {
                 &format!("{points}x{points}"),
                 &[
                     format!("{co_runs}"),
-                    format!("{:.3}", loo),
+                    format!("{loo:.3}"),
                     format!("{:.1}%", err * 100.0),
                 ],
             )

@@ -20,6 +20,7 @@
 //! ```
 
 mod args;
+mod mc_cmd;
 mod serve_cmd;
 
 use apu_sim::{Bias, Device, MachineConfig};
@@ -59,6 +60,7 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         "predict" => cmd_predict(&args),
         "characterize" => cmd_characterize(&args),
         "lint" => cmd_lint(&args),
+        "mc" => mc_cmd::cmd_mc(&args),
         "serve" => serve_cmd::cmd_serve(&args),
         "submit" => serve_cmd::cmd_submit(&args),
         "status" => serve_cmd::cmd_status(&args),
@@ -83,7 +85,11 @@ fn print_help() {
          \x20 online                        online scheduling with job arrivals\n\
          \x20 predict --cpu A --gpu B       predict one pair's co-run behaviour\n\
          \x20 characterize --out FILE      cache the degradation space to disk\n\
-         \x20 lint                          statically check configs, specs, and schedules\n\
+         \x20 lint                          statically check configs, specs, and schedules;\n\
+         \x20                               --cert FILE validates a schedule certificate\n\
+         \x20 mc                            exhaustively model-check the service state\n\
+         \x20                               machine at small scope (--smoke for the CI\n\
+         \x20                               gate, --seed-bug NAME to plant a known bug)\n\
          \x20 serve                         run the scheduling daemon (TCP, line-JSON);\n\
          \x20                               --journal F [--recover] for crash safety,\n\
          \x20                               --fault-plan F injects @chaos faults\n\
@@ -332,7 +338,7 @@ fn cmd_online(args: &Args) -> Result<(), String> {
 
 fn cmd_schedule(args: &Args) -> Result<(), String> {
     args.reject_unknown(&[
-        "machine", "cap", "workload", "spec", "method", "seed", "fast", "cache",
+        "machine", "cap", "workload", "spec", "method", "seed", "fast", "cache", "cert",
     ])?;
     let machine = machine_for(args)?;
     let jobs = workload_for(args, &machine)?;
@@ -343,15 +349,25 @@ fn cmd_schedule(args: &Args) -> Result<(), String> {
 
     let method = args.opt_or("method", "hcs+");
     let seed = args.num_or("seed", 0u64)?;
-    let (label, report) = match method {
-        "hcs" => ("HCS", rt.execute_planned(&rt.schedule_hcs().schedule)),
-        "hcs+" => ("HCS+", rt.execute_planned(&rt.schedule_hcs_plus())),
+    let (label, planned, report) = match method {
+        "hcs" => {
+            let s = rt.schedule_hcs().schedule;
+            let r = rt.execute_planned(&s);
+            ("HCS", Some(s), r)
+        }
+        "hcs+" => {
+            let s = rt.schedule_hcs_plus();
+            let r = rt.execute_planned(&s);
+            ("HCS+", Some(s), r)
+        }
         "random" => (
             "Random",
+            None,
             rt.execute_governed(&rt.schedule_random(seed), Bias::Gpu),
         ),
         "default" => (
             "Default",
+            None,
             rt.execute_default(&rt.schedule_default(), Bias::Gpu),
         ),
         "bnb" => {
@@ -363,7 +379,8 @@ fn cmd_schedule(args: &Args) -> Result<(), String> {
                 "branch-and-bound: expanded {} nodes, pruned {}",
                 r.expanded, r.pruned
             );
-            ("BnB", rt.execute_planned(&r.schedule))
+            let rep = rt.execute_planned(&r.schedule);
+            ("BnB", Some(r.schedule), rep)
         }
         other => return Err(format!("unknown method `{other}`")),
     };
@@ -380,6 +397,29 @@ fn cmd_schedule(args: &Args) -> Result<(), String> {
         bound.t_low_s,
         (report.makespan_s / bound.t_low_s - 1.0) * 100.0
     );
+    if let Some(path) = args.opt("cert") {
+        let schedule = planned.as_ref().ok_or(
+            "--cert needs a planned method (hcs, hcs+, bnb); governed runs have no \
+             static schedule to certify",
+        )?;
+        let cert = corun_core::certify(rt.model(), schedule, cap);
+        let text = cert.render();
+        // Self-check before writing: an issued certificate that our own
+        // independent checker rejects is a bug, not a deliverable.
+        let selfcheck = corun_verify::check_certificate_text(&text);
+        if !selfcheck.is_empty() {
+            return Err(format!(
+                "refusing to issue a certificate that fails self-check:\n{}",
+                selfcheck.render_human()
+            ));
+        }
+        std::fs::write(path, &text).map_err(|e| format!("--cert {path}: {e}"))?;
+        println!(
+            "certificate: {path} ({} segment(s), {} pair witness(es); self-check clean)",
+            cert.segments.len(),
+            cert.pairs.len()
+        );
+    }
     Ok(())
 }
 
@@ -460,7 +500,7 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
 /// fires; warnings alone exit 0.
 fn cmd_lint(args: &Args) -> Result<(), String> {
     args.reject_unknown(&[
-        "machine", "config", "spec", "schedule", "cap", "format", "cache",
+        "machine", "config", "spec", "schedule", "cap", "format", "cache", "cert",
     ])?;
     let format = args.opt_or("format", "human");
     if !matches!(format, "human" | "json") {
@@ -483,6 +523,13 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
         let (lines, spec_report) = corun_verify::lint_spec_full(&text);
         report.merge(spec_report);
         spec_lines = Some(lines);
+    }
+
+    if let Some(path) = args.opt("cert") {
+        // Certificates are self-contained: every claim ships with its
+        // witnesses, so no machine, spec, or model is needed to check one.
+        let text = std::fs::read_to_string(path).map_err(|e| format!("--cert {path}: {e}"))?;
+        report.merge(corun_verify::check_certificate_text(&text));
     }
 
     if let Some(path) = args.opt("schedule") {

@@ -27,6 +27,10 @@ mod signals {
     const SIGTERM: i32 = 15;
 
     /// Install the flag-setting handler for SIGINT and SIGTERM.
+    // The workspace forbids unsafe code; this is the sole exception —
+    // two libc signal(2) registrations of an async-signal-safe handler
+    // that only stores to an AtomicBool.
+    #[allow(unsafe_code)]
     pub fn install() {
         unsafe {
             signal(SIGINT, mark);

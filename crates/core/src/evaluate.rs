@@ -253,7 +253,7 @@ mod tests {
         assert!((r.finish_s[0].unwrap() - 12.5).abs() < 1e-9);
         assert!((r.finish_s[2].unwrap() - 25.0).abs() < 1e-9);
         assert!((r.makespan_s - 35.0).abs() < 1e-9);
-        assert!(r.finish_s.iter().all(|f| f.is_some()));
+        assert!(r.finish_s.iter().all(std::option::Option::is_some));
     }
 
     #[test]

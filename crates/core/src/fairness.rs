@@ -84,7 +84,7 @@ mod tests {
         let out = hcs(&m, &HcsConfig::uncapped());
         let r = evaluate(&m, &out.schedule, None);
         let f = fairness(&m, &r, f64::INFINITY);
-        assert!(f.slowdown.iter().all(|s| s.is_some()));
+        assert!(f.slowdown.iter().all(std::option::Option::is_some));
         // every job's completion includes queueing, so slowdown >= ~1
         assert!(f.slowdown.iter().flatten().all(|&s| s >= 0.99));
         assert!(f.max_slowdown >= f.mean_slowdown);

@@ -240,12 +240,8 @@ pub fn pair_can_benefit(model: &dyn CoRunModel, cfg: &HcsConfig, a: JobId, b: Jo
 /// frequency on each device (a device where the job cannot run under the
 /// cap at all counts as infinitely slow).
 pub fn categorize(model: &dyn CoRunModel, cfg: &HcsConfig, i: JobId) -> Preference {
-    let t_cpu = best_solo_run(model, i, Device::Cpu, cfg.cap_w)
-        .map(|(_, t)| t)
-        .unwrap_or(f64::INFINITY);
-    let t_gpu = best_solo_run(model, i, Device::Gpu, cfg.cap_w)
-        .map(|(_, t)| t)
-        .unwrap_or(f64::INFINITY);
+    let t_cpu = best_solo_run(model, i, Device::Cpu, cfg.cap_w).map_or(f64::INFINITY, |(_, t)| t);
+    let t_gpu = best_solo_run(model, i, Device::Gpu, cfg.cap_w).map_or(f64::INFINITY, |(_, t)| t);
     let lo = t_cpu.min(t_gpu);
     let hi = t_cpu.max(t_gpu);
     if !lo.is_finite() {
@@ -429,10 +425,12 @@ fn greedy(
             }
         }
 
-        if running.iter().all(|r| r.is_none()) && sets.iter().all(|s| s.is_empty()) {
+        if running.iter().all(std::option::Option::is_none)
+            && sets.iter().all(std::vec::Vec::is_empty)
+        {
             break;
         }
-        if running.iter().all(|r| r.is_none()) {
+        if running.iter().all(std::option::Option::is_none) {
             // Candidates remain but none could be dispatched (no feasible
             // level even alone): push them to the solo fallback.
             for set in &mut sets {

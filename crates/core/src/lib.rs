@@ -28,6 +28,7 @@ pub mod anneal;
 pub mod baselines;
 pub mod bnb;
 pub mod bound;
+pub mod certificate;
 pub mod chains;
 pub mod evaluate;
 pub mod exhaustive;
@@ -45,6 +46,10 @@ pub use anneal::{anneal, AnnealConfig, AnnealOutcome};
 pub use baselines::{default_partition, random_schedule, DefaultPartition};
 pub use bnb::{branch_and_bound, BnbConfig, BnbResult};
 pub use bound::{lower_bound, BoundReport};
+pub use certificate::{
+    certify, parse_certificate, BoundWitness, Certificate, PairWitness, ParsedCertificate,
+    SegmentWitness, CERT_FORMAT_VERSION,
+};
 pub use chains::{best_sequence, chain_completion, ChainOutcome};
 pub use evaluate::{evaluate, EvalReport, Segment};
 pub use exhaustive::{exhaustive_uniform, exhaustive_uniform_opts, ExhaustiveResult};

@@ -446,7 +446,7 @@ mod tests {
         let m = synthetic(8, 5, 4);
         let p = OnlinePolicy::new(&m, HcsConfig::with_cap(16.0));
         let r = evaluate_online(&m, &batch_arrivals(8), &p);
-        assert!(r.finish_s.iter().all(|f| f.is_some()));
+        assert!(r.finish_s.iter().all(std::option::Option::is_some));
         assert!(r.makespan_s > 0.0);
         assert!(r.mean_flow_s > 0.0);
     }
@@ -530,7 +530,7 @@ mod tests {
         let p = OnlinePolicy::new(&m, HcsConfig::uncapped());
         let r = evaluate_online(&m, &[], &p);
         assert_eq!(r.makespan_s, 0.0);
-        assert!(r.finish_s.iter().all(|f| f.is_none()));
+        assert!(r.finish_s.iter().all(std::option::Option::is_none));
     }
 
     #[test]

@@ -124,8 +124,14 @@ mod tests {
         let c = rodinia16(&cfg, 43);
         assert_eq!(a.names(), b.names());
         assert_ne!(
-            a.jobs.iter().map(|j| j.total_flops()).collect::<Vec<_>>(),
-            c.jobs.iter().map(|j| j.total_flops()).collect::<Vec<_>>()
+            a.jobs
+                .iter()
+                .map(apu_sim::JobSpec::total_flops)
+                .collect::<Vec<_>>(),
+            c.jobs
+                .iter()
+                .map(apu_sim::JobSpec::total_flops)
+                .collect::<Vec<_>>()
         );
     }
 

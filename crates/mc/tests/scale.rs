@@ -1,0 +1,18 @@
+//! The default scope must stay exhaustively explorable: if a state-space
+//! regression (a new field leaking into the fingerprint, a memoization
+//! bug un-merging interleavings) blows it up past the budget, this
+//! catches it before `corun mc` starts reporting MC0005 truncation.
+
+use corun_mc::{explore, Mutation, Scope};
+
+#[test]
+fn default_scope_is_exhaustible_and_clean() {
+    let ex = explore(&Scope::default(), Mutation::None);
+    assert!(ex.proved(), "{}", ex.report().render_human());
+    // Sanity floor: the scope genuinely covers crash/kill interleavings.
+    assert!(
+        ex.states > 50_000,
+        "scope collapsed to {} states",
+        ex.states
+    );
+}

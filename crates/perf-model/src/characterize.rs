@@ -122,9 +122,7 @@ pub fn characterize_stage(
     // of (i, j) indices and returns (cpu_deg, gpu_deg) per pair.
     let pairs: Vec<(usize, usize)> = (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).collect();
     let threads = if ccfg.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(4)
+        std::thread::available_parallelism().map_or(4, std::num::NonZero::get)
     } else {
         ccfg.threads
     };

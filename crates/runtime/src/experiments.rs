@@ -58,9 +58,7 @@ pub fn perf_model_errors(
 ) -> ErrorHistogram {
     let n = jobs.len();
     let pairs: Vec<(usize, usize)> = (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).collect();
-    let n_threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4);
+    let n_threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
     let chunk = pairs.len().div_ceil(n_threads);
     let errors: Vec<Vec<f64>> = thread::scope(|s| {
         pairs
@@ -137,9 +135,7 @@ pub fn power_model_errors(
 ) -> ErrorHistogram {
     let n = jobs.len();
     let pairs: Vec<(usize, usize)> = (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).collect();
-    let n_threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4);
+    let n_threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
     let chunk = pairs.len().div_ceil(n_threads);
     let errors: Vec<Vec<f64>> = thread::scope(|s| {
         pairs

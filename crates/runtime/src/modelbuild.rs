@@ -44,9 +44,7 @@ pub fn build_table_model(
             let own = profiles[i].demand(own_dev, f_own);
             let co = profiles[j].demand(own_dev.other(), g_other);
             let base = predictor.degradation_at(own_dev, own, co, cpu_ghz, gpu_ghz);
-            let extra = vulnerabilities
-                .map(|v| v[i].extra_degradation(own_dev, co))
-                .unwrap_or(0.0);
+            let extra = vulnerabilities.map_or(0.0, |v| v[i].extra_degradation(own_dev, co));
             base + extra
         },
         |i, device, level| profiles[i].power(device, level),

@@ -76,7 +76,7 @@ impl SweepResult {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut caps: Vec<f64> = self.cells.iter().map(|c| c.cap_w).collect();
-        caps.sort_by(|a, b| a.total_cmp(b));
+        caps.sort_by(f64::total_cmp);
         caps.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
         let mut out = String::new();
         let _ = write!(out, "{:>6}", "cap");

@@ -213,9 +213,10 @@ impl Client {
         let deadline = Instant::now() + Duration::from_secs_f64(timeout_s);
         loop {
             let status = self.status(id)?;
-            match status.get("state").and_then(Json::as_str) {
-                Some("done") | Some("rejected") | Some("dead-letter") => return Ok(status),
-                _ => {}
+            if let Some("done" | "rejected" | "dead-letter") =
+                status.get("state").and_then(Json::as_str)
+            {
+                return Ok(status);
             }
             if Instant::now() >= deadline {
                 return Err(format!("job {id} did not finish within {timeout_s}s"));

@@ -400,6 +400,12 @@ pub struct Recovered {
 /// yields no records (error severity — the journal cannot be trusted); a
 /// line that fails to parse ends the usable prefix (warning — the tail
 /// was torn by a kill mid-write, everything before it is intact).
+///
+/// Records that parse are then run through [`check_causality`]: a
+/// journal whose records are individually valid but causally impossible
+/// (e.g. `done` before `dispatch`) earns error-severity SRV010
+/// diagnostics, and recovery abandons it rather than replaying a
+/// fabricated history.
 pub fn read_journal(path: &Path) -> (Vec<Record>, Report) {
     let mut report = Report::new();
     let loc = path.display().to_string();
@@ -479,7 +485,183 @@ pub fn read_journal(path: &Path) -> (Vec<Record>, Report) {
             records.clear();
         }
     }
+    report.merge(check_causality(&records));
     (records, report)
+}
+
+/// Check that a record sequence tells a causally possible story.
+///
+/// [`replay`] is deliberately tolerant — it folds whatever records it is
+/// given and flags only local inconsistencies (SRV009). That tolerance
+/// would let a journal whose records are *individually* valid but out of
+/// order (a `done` before its `dispatch`, overlapping dispatches of one
+/// job, retry attempts that skip numbers) replay into a state the
+/// service never passed through. This pass enforces the ordering rules
+/// the live daemon's transitions guarantee:
+///
+/// * `done`, `requeue`, and `dead` each close a dispatch that is
+///   actually open for that job, and `done` names the machine/device the
+///   open dispatch used;
+/// * a job is never dispatched while a dispatch for it is open, nor
+///   after it finished (`done`/`dead`) or was rejected;
+/// * `reject` only hits a job with no open dispatch and no terminal
+///   state;
+/// * `dispatch` carries `attempt` equal to the retries consumed so far,
+///   and each `requeue` carries exactly the next attempt number;
+/// * a `recovered` boundary closes every open dispatch (in-flight work
+///   became pending at the kill).
+///
+/// A dispatch left open at the end of the journal is *not* a violation:
+/// that is exactly what a kill leaves behind, and every record-boundary
+/// prefix of a causal journal is itself causal. Violations are SRV010 at
+/// error severity, so [`read_journal`] callers that gate on
+/// `Report::has_errors` abandon the journal instead of replaying it.
+pub fn check_causality(records: &[Record]) -> Report {
+    struct Track {
+        open: Option<(usize, Device)>,
+        retries: u32,
+        terminal: Option<&'static str>,
+    }
+    let mut report = Report::new();
+    let mut jobs: Vec<Track> = Vec::new();
+    let mut bad = |rec: usize, msg: String| {
+        report.push(
+            Diagnostic::new(Code::Srv010, format!("journal record {rec}"), msg).with_help(
+                "this journal's history is causally impossible; recovery abandons it".to_string(),
+            ),
+        );
+    };
+    for (k, rec) in records.iter().enumerate() {
+        match rec {
+            Record::Meta { .. } | Record::Evict { .. } => {}
+            Record::Recovered { .. } => {
+                // A restart boundary: whatever was in flight at the kill
+                // was reconstructed as pending, so no dispatch stays open
+                // across it.
+                for j in &mut jobs {
+                    j.open = None;
+                }
+            }
+            Record::Accept { id, .. } => {
+                // Density is replay's concern (SRV009); only track the
+                // jobs that fit the dense sequence.
+                if *id == jobs.len() {
+                    jobs.push(Track {
+                        open: None,
+                        retries: 0,
+                        terminal: None,
+                    });
+                }
+            }
+            Record::Reject { id } => {
+                if let Some(j) = jobs.get_mut(*id) {
+                    if let Some((machine, _)) = j.open {
+                        bad(
+                            k,
+                            format!("job {id} rejected while running on machine {machine}"),
+                        );
+                    } else if let Some(t) = j.terminal {
+                        bad(k, format!("job {id} rejected after it was already {t}"));
+                    } else {
+                        j.terminal = Some("rejected");
+                    }
+                }
+            }
+            Record::Dispatch {
+                id,
+                machine,
+                device,
+                attempt,
+                ..
+            } => {
+                if let Some(j) = jobs.get_mut(*id) {
+                    if let Some((open_m, _)) = j.open {
+                        bad(
+                            k,
+                            format!(
+                                "job {id} dispatched to machine {machine} while a dispatch on machine {open_m} is still open"
+                            ),
+                        );
+                    } else if let Some(t) = j.terminal {
+                        bad(k, format!("job {id} dispatched after it was already {t}"));
+                    } else if *attempt != j.retries {
+                        bad(
+                            k,
+                            format!(
+                                "job {id} dispatched as attempt {attempt} but {} retr{} consumed",
+                                j.retries,
+                                if j.retries == 1 { "y was" } else { "ies were" }
+                            ),
+                        );
+                    } else {
+                        j.open = Some((*machine, *device));
+                    }
+                }
+            }
+            Record::Done {
+                id,
+                machine,
+                device,
+                ..
+            } => {
+                if let Some(j) = jobs.get_mut(*id) {
+                    match j.open {
+                        None => bad(
+                            k,
+                            format!("job {id} done with no open dispatch (done before dispatch?)"),
+                        ),
+                        Some((open_m, open_d)) if open_m != *machine || open_d != *device => bad(
+                            k,
+                            format!(
+                                "job {id} done on machine {machine}/{} but was dispatched to machine {open_m}/{}",
+                                device_str(*device),
+                                device_str(open_d)
+                            ),
+                        ),
+                        Some(_) => {
+                            j.open = None;
+                            j.terminal = Some("done");
+                        }
+                    }
+                }
+            }
+            Record::Requeue { id, attempt, .. } => {
+                if let Some(j) = jobs.get_mut(*id) {
+                    if j.open.is_none() {
+                        bad(
+                            k,
+                            format!("job {id} requeued with no open dispatch to fail"),
+                        );
+                    } else if *attempt != j.retries + 1 {
+                        bad(
+                            k,
+                            format!(
+                                "job {id} requeued as attempt {attempt} after attempt {} (retry numbering must be contiguous)",
+                                j.retries
+                            ),
+                        );
+                    } else {
+                        j.open = None;
+                        j.retries = *attempt;
+                    }
+                }
+            }
+            Record::Dead { id, .. } => {
+                if let Some(j) = jobs.get_mut(*id) {
+                    if j.open.is_none() {
+                        bad(
+                            k,
+                            format!("job {id} dead-lettered with no open dispatch to fail"),
+                        );
+                    } else {
+                        j.open = None;
+                        j.terminal = Some("dead-lettered");
+                    }
+                }
+            }
+        }
+    }
+    report
 }
 
 /// Fold a record sequence into per-job dispositions.
@@ -754,6 +936,183 @@ mod tests {
             other => panic!("expected done, got {other:?}"),
         }
         std::mem::drop(rec);
+    }
+
+    #[test]
+    fn done_before_dispatch_abandons_the_journal() {
+        // The ISSUE example: every record parses and replay would happily
+        // fold them, but the story is impossible — `done` precedes its
+        // `dispatch`. read_journal must flag it at error severity so
+        // recovery abandons the journal.
+        let path = temp_path("causality");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(&Record::Accept {
+            id: 0,
+            name: "srad#0".into(),
+            program: "srad".into(),
+            scale: 0.2,
+        })
+        .unwrap();
+        j.append(&Record::Done {
+            id: 0,
+            machine: 0,
+            device: Device::Gpu,
+            start_s: 0.0,
+            end_s: 1.0,
+            predicted_s: 1.0,
+        })
+        .unwrap();
+        j.append(&Record::Dispatch {
+            id: 0,
+            machine: 0,
+            device: Device::Gpu,
+            start_s: 0.0,
+            predicted_s: 1.0,
+            attempt: 0,
+        })
+        .unwrap();
+        drop(j);
+        let (_, report) = read_journal(&path);
+        assert!(report.has(Code::Srv010), "{}", report.render_human());
+        assert!(
+            report.has_errors(),
+            "causality violations must abandon recovery"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn causality_accepts_every_live_shape() {
+        // Clean journals in every shape the daemon actually writes:
+        // dispatch/done, dispatch/requeue/redispatch, dead-letter,
+        // eviction before the per-job requeues, and a recovery boundary
+        // that voids in-flight dispatches.
+        let mut records = vec![Record::Meta {
+            version: JOURNAL_FORMAT_VERSION,
+        }];
+        records.extend(sample_records());
+        // Job 1 was requeued (attempt 1); redispatch and kill in flight.
+        records.push(Record::Dispatch {
+            id: 1,
+            machine: 1,
+            device: Device::Cpu,
+            start_s: 5.0,
+            predicted_s: 2.0,
+            attempt: 1,
+        });
+        // Restart: the open dispatch of job 1 becomes pending again.
+        records.push(Record::Recovered { jobs: 2 });
+        records.push(Record::Dispatch {
+            id: 1,
+            machine: 0,
+            device: Device::Gpu,
+            start_s: 0.0,
+            predicted_s: 2.0,
+            attempt: 1,
+        });
+        records.push(Record::Requeue {
+            id: 1,
+            attempt: 2,
+            backoff_s: 0.1,
+            reason: "injected job failure".into(),
+        });
+        records.push(Record::Dispatch {
+            id: 1,
+            machine: 0,
+            device: Device::Cpu,
+            start_s: 1.0,
+            predicted_s: 2.0,
+            attempt: 2,
+        });
+        records.push(Record::Dead {
+            id: 1,
+            reason: "gave up".into(),
+        });
+        let report = check_causality(&records);
+        assert!(report.is_empty(), "{}", report.render_human());
+        // And every record-boundary prefix is itself causal — exactly
+        // the journals a kill can leave behind.
+        for cut in 0..=records.len() {
+            assert!(
+                check_causality(&records[..cut]).is_empty(),
+                "prefix {cut} flagged"
+            );
+        }
+    }
+
+    #[test]
+    fn causality_rejects_impossible_histories() {
+        let accept = |id: usize| Record::Accept {
+            id,
+            name: format!("srad#{id}"),
+            program: "srad".into(),
+            scale: 0.2,
+        };
+        let dispatch = |id: usize, machine: usize, attempt: u32| Record::Dispatch {
+            id,
+            machine,
+            device: Device::Cpu,
+            start_s: 0.0,
+            predicted_s: 1.0,
+            attempt,
+        };
+        // Overlapping dispatches of one job.
+        let r = check_causality(&[accept(0), dispatch(0, 0, 0), dispatch(0, 1, 0)]);
+        assert_eq!(r.count(Code::Srv010), 1, "{}", r.render_human());
+        // Requeue without an open dispatch.
+        let r = check_causality(&[
+            accept(0),
+            Record::Requeue {
+                id: 0,
+                attempt: 1,
+                backoff_s: 0.1,
+                reason: "x".into(),
+            },
+        ]);
+        assert_eq!(r.count(Code::Srv010), 1);
+        // Retry numbering must be contiguous: attempt 2 after attempt 0.
+        let r = check_causality(&[
+            accept(0),
+            dispatch(0, 0, 0),
+            Record::Requeue {
+                id: 0,
+                attempt: 2,
+                backoff_s: 0.1,
+                reason: "x".into(),
+            },
+        ]);
+        assert_eq!(r.count(Code::Srv010), 1);
+        // Dispatch attempt must match retries consumed.
+        let r = check_causality(&[accept(0), dispatch(0, 0, 3)]);
+        assert_eq!(r.count(Code::Srv010), 1);
+        // Done on a machine the job was never dispatched to.
+        let r = check_causality(&[
+            accept(0),
+            dispatch(0, 0, 0),
+            Record::Done {
+                id: 0,
+                machine: 1,
+                device: Device::Cpu,
+                start_s: 0.0,
+                end_s: 1.0,
+                predicted_s: 1.0,
+            },
+        ]);
+        assert_eq!(r.count(Code::Srv010), 1);
+        // Dead-letter without an open dispatch.
+        let r = check_causality(&[
+            accept(0),
+            Record::Dead {
+                id: 0,
+                reason: "x".into(),
+            },
+        ]);
+        assert_eq!(r.count(Code::Srv010), 1);
+        // Reject while running.
+        let r = check_causality(&[accept(0), dispatch(0, 0, 0), Record::Reject { id: 0 }]);
+        assert_eq!(r.count(Code::Srv010), 1);
+        // All SRV010s are errors by default.
+        assert!(r.has_errors());
     }
 
     #[test]

@@ -13,10 +13,15 @@
 //!   dispatch, completion, requeue, dead-letter, and eviction is durably
 //!   logged, and [`journal::replay`] reconstructs the exact job table a
 //!   killed daemon left behind.
+//! - [`state`] — the pure service state machine: admission, dispatch,
+//!   completion, retry/dead-letter, crash eviction, and recovery as
+//!   side-effect-free transition functions over [`ServiceState`], with
+//!   executable safety invariants. The `corun-mc` model checker
+//!   exhaustively explores exactly these functions (`docs/MODELCHECK.md`).
 //! - [`service`] — the daemon core: admission control with a bounded
 //!   queue, incremental model growth, per-machine worker threads, live
-//!   metrics, fault injection, and degraded-mode rescheduling. Fully
-//!   testable in-process.
+//!   metrics, fault injection, and degraded-mode rescheduling. A thin
+//!   concurrent driver over [`state`]; fully testable in-process.
 //! - [`protocol`] — request/response mapping; [`protocol::handle_request`]
 //!   is the single entry point, usable without a socket.
 //! - [`server`] — the blocking TCP accept loop (thread per connection).
@@ -32,13 +37,18 @@ pub mod json;
 pub mod protocol;
 pub mod server;
 pub mod service;
+pub mod state;
 
 pub use client::{Client, RetryConfig};
 pub use journal::{
-    read_journal, replay, Disposition, Journal, Record, Recovered, RecoveredJob,
+    check_causality, read_journal, replay, Disposition, Journal, Record, Recovered, RecoveredJob,
     JOURNAL_FORMAT_VERSION,
 };
 pub use json::Json;
 pub use protocol::{handle_request, PROTOCOL_VERSION};
 pub use server::{Server, MAX_FRAME_BYTES};
 pub use service::{JobState, JobStatus, MetricsSnapshot, Service, ServiceConfig, SubmitError};
+pub use state::{
+    Counters, FailReport, JobCore, MachineCore, ServiceState, TransitionError, Violation,
+    ViolationKind,
+};

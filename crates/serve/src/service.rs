@@ -16,6 +16,16 @@
 //! wakes starved workers when jobs are admitted or shutdown begins;
 //! `done_cv` wakes clients waiting on completions.
 //!
+//! State-machine discipline: every job/queue/counter mutation goes
+//! through the pure transition functions of
+//! [`ServiceState`](crate::state::ServiceState) — this module only
+//! decides *when* to call them (engine polls, harvests, wall-clock
+//! back-off gates) and owns the side effects (journal fsyncs,
+//! condition-variable wakeups, simulation accounting). The `corun-mc`
+//! model checker exhaustively explores the same transition functions at
+//! small scope, so its proofs are about the code running here. See
+//! `docs/MODELCHECK.md`.
+//!
 //! Fault tolerance (see `docs/FAULTS.md`): an optional
 //! [`FaultPlan`](apu_sim::FaultPlan) injects deterministic machine
 //! crashes, job failures, stragglers, and power-meter disturbances into
@@ -28,21 +38,21 @@
 //! killed at any byte resumes via `recover` with no lost and no
 //! double-dispatched jobs.
 
-use crate::journal::{read_journal, replay, Disposition, Journal, Record, Recovered};
+use crate::journal::{read_journal, replay, Journal, Record, Recovered};
+use crate::state::{FailReport, ServiceState};
 use apu_sim::{
     BiasedGovernor, Device, Dispatch, DispatchCtx, DispatchJob, Dispatcher, FaultKind, FaultPlan,
     Governor, JobSpec, MachineConfig, NullGovernor, RunOptions, Session, SessionState,
 };
-use corun_core::{
-    best_solo_run, CoRunModel, HcsConfig, JobId, OnlinePolicy, RequeueOutcome, RetryPolicy,
-};
+use corun_core::{best_solo_run, CoRunModel, HcsConfig, JobId, OnlinePolicy, RetryPolicy};
 use corun_verify::{Code, Diagnostic, Report, Severity, SpecLine};
 use perf_model::{CharacterizeConfig, ProfileMethod, StagedPredictor};
 use runtime::IncrementalModel;
-use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+pub use crate::state::JobState;
 
 /// Configuration of a [`Service`].
 #[derive(Debug, Clone)]
@@ -151,45 +161,6 @@ impl std::fmt::Display for SubmitError {
     }
 }
 
-/// Where a submitted job currently stands.
-#[derive(Debug, Clone, PartialEq)]
-pub enum JobState {
-    /// Admitted, waiting for dispatch.
-    Queued,
-    /// Refused at admission (cap-infeasible); never queued.
-    Rejected,
-    /// Running on a simulated machine.
-    Running {
-        /// Hosting machine index.
-        machine: usize,
-        /// Device it was dispatched to.
-        device: Device,
-        /// Dispatch time on that machine's simulated clock, seconds.
-        start_s: f64,
-        /// Model-predicted duration at dispatch (co-run-aware), seconds.
-        predicted_s: f64,
-    },
-    /// Completed.
-    Done {
-        /// Hosting machine index.
-        machine: usize,
-        /// Device it ran on.
-        device: Device,
-        /// Dispatch time, simulated seconds.
-        start_s: f64,
-        /// Completion time, simulated seconds.
-        end_s: f64,
-        /// Model-predicted duration at dispatch, seconds.
-        predicted_s: f64,
-    },
-    /// Terminal failure: the job's executions kept being destroyed by
-    /// faults and the retry budget is spent. Never silently dropped.
-    DeadLetter {
-        /// Why the job was given up on.
-        reason: String,
-    },
-}
-
 /// Status of one job, as returned by [`Service::job_status`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobStatus {
@@ -259,29 +230,22 @@ pub struct MetricsSnapshot {
     pub frames_rejected: usize,
 }
 
-struct JobEntry {
-    name: String,
-    state: JobState,
-    /// Times this job was handed to an engine; the dispatch invariant
-    /// (each accepted job dispatched exactly once per surviving
-    /// execution) is checked against it.
-    dispatches: u32,
-    /// Retry back-off gate: the job is not dispatchable before this
-    /// instant. Ignored during shutdown so the drain completes.
-    not_before: Option<Instant>,
-}
-
 struct Inner {
     model: IncrementalModel,
     policy: OnlinePolicy,
-    jobs: Vec<JobEntry>,
-    queue: VecDeque<JobId>,
-    shutdown: bool,
+    /// The pure service state machine: job table, queue, machine slots,
+    /// counters. Every mutation goes through its transition functions —
+    /// the same functions `corun-mc` model-checks.
+    st: ServiceState,
+    /// Per-job wall-clock retry gates, parallel to `st.jobs`: a requeued
+    /// job is not dispatchable before its instant. Driver-side because
+    /// the pure state speaks logical back-off seconds, not wall time.
+    /// Ignored during shutdown so the drain completes.
+    gates: Vec<Option<Instant>>,
+    /// Jobs refused with queue-full backpressure. They never reach the
+    /// pure state (nothing was admitted), so the driver counts them.
+    refused: usize,
     workers_alive: usize,
-    submitted: usize,
-    rejected: usize,
-    dispatched: usize,
-    completed: usize,
     sim_now_s: Vec<f64>,
     busy_s: Vec<[f64; 2]>,
     predicted_busy_s: Vec<[f64; 2]>,
@@ -293,10 +257,6 @@ struct Inner {
     /// Runtime fault diagnostics (`SRV0xx`), capped so a pathological
     /// plan cannot grow memory without bound.
     chaos: Report,
-    requeued: usize,
-    dead_lettered: usize,
-    evictions: usize,
-    machines_down: Vec<bool>,
     lost_work_s: f64,
     frames_rejected: usize,
 }
@@ -339,14 +299,10 @@ impl Service {
         let mut inner = Inner {
             model,
             policy,
-            jobs: Vec::new(),
-            queue: VecDeque::new(),
-            shutdown: false,
+            st: ServiceState::new(machines),
+            gates: Vec::new(),
+            refused: 0,
             workers_alive: machines,
-            submitted: 0,
-            rejected: 0,
-            dispatched: 0,
-            completed: 0,
             sim_now_s: vec![0.0; machines],
             busy_s: vec![[0.0; 2]; machines],
             predicted_busy_s: vec![[0.0; 2]; machines],
@@ -356,10 +312,6 @@ impl Service {
             worker_error: None,
             journal: None,
             chaos: Report::new(),
-            requeued: 0,
-            dead_lettered: 0,
-            evictions: 0,
-            machines_down: vec![false; machines],
             lost_work_s: 0.0,
             frames_rejected: 0,
         };
@@ -422,13 +374,13 @@ impl Service {
         origin: Vec<(String, f64)>,
     ) -> Result<Vec<JobId>, SubmitError> {
         let mut inner = self.lock();
-        if inner.shutdown {
+        if inner.st.shutdown {
             return Err(SubmitError::ShuttingDown);
         }
-        let queued = inner.queue.len();
+        let queued = inner.st.queue.len();
         let capacity = self.shared.cfg.queue_capacity;
         if queued + jobs.len() > capacity {
-            inner.rejected += jobs.len();
+            inner.refused += jobs.len();
             return Err(SubmitError::QueueFull {
                 // The sim drains in wall-clock bursts, so a short,
                 // depth-scaled hint beats pretending to know drain speed.
@@ -438,7 +390,9 @@ impl Service {
             });
         }
         // Profile into the model first so feasibility is checked against
-        // the exact ladders the dispatcher will use.
+        // the exact ladders the dispatcher will use. The whole batch is
+        // admitted under one lock hold, so the intermediate states are
+        // never observable.
         let cap = self.shared.cfg.cap_w;
         let mut ids = Vec::with_capacity(jobs.len());
         let mut infeasible = Vec::new();
@@ -446,18 +400,13 @@ impl Service {
             let id = inner.model.push_job(job);
             let (model, policy) = inner.model_and_policy();
             policy.admit_job(model, id);
-            inner.jobs.push(JobEntry {
-                name: job.name.clone(),
-                state: JobState::Queued,
-                dispatches: 0,
-                not_before: None,
-            });
-            inner.journal_append(&Record::Accept {
-                id,
-                name: job.name.clone(),
-                program: program.clone(),
-                scale: *scale,
-            });
+            let (state_id, rec) = inner
+                .st
+                .accept(&job.name, program, *scale)
+                .expect("admission checked open above");
+            debug_assert_eq!(state_id, id, "model and state ids must align");
+            inner.gates.push(None);
+            inner.journal_append(&rec);
             if Device::ALL
                 .iter()
                 .all(|&d| best_solo_run(&inner.model, id, d, cap).is_none())
@@ -470,14 +419,11 @@ impl Service {
             // The model is append-only, so the profiled entries stay, but
             // none of this submission reaches the queue.
             for &id in &ids {
-                inner.jobs[id].state = JobState::Rejected;
-                inner.journal_append(&Record::Reject { id });
+                let rec = inner.st.reject(id).expect("accepted just above");
+                inner.journal_append(&rec);
             }
-            inner.rejected += ids.len();
             return Err(SubmitError::Infeasible { names: infeasible });
         }
-        inner.submitted += ids.len();
-        inner.queue.extend(ids.iter().copied());
         self.shared.work_cv.notify_all();
         Ok(ids)
     }
@@ -485,18 +431,18 @@ impl Service {
     /// Status of one job, `None` for unknown ids.
     pub fn job_status(&self, id: JobId) -> Option<JobStatus> {
         let inner = self.lock();
-        inner.jobs.get(id).map(|e| JobStatus {
+        inner.st.jobs.get(id).map(|j| JobStatus {
             id,
-            name: e.name.clone(),
-            state: e.state.clone(),
-            dispatches: e.dispatches,
-            retries: inner.policy.retries(id),
+            name: j.name.clone(),
+            state: j.state.clone(),
+            dispatches: j.dispatches,
+            retries: j.retries,
         })
     }
 
     /// Number of jobs the service has ever seen (valid ids are `0..len`).
     pub fn job_count(&self) -> usize {
-        self.lock().jobs.len()
+        self.lock().st.jobs.len()
     }
 
     /// A point-in-time metrics snapshot.
@@ -514,13 +460,14 @@ impl Service {
             .flat_map(|d| d.iter().copied())
             .fold(0.0, f64::max);
         let simulated = inner.last_end_s.iter().copied().fold(0.0, f64::max);
+        let c = inner.st.counters;
         MetricsSnapshot {
-            queue_depth: inner.queue.len(),
+            queue_depth: inner.st.queue.len(),
             queue_capacity: self.shared.cfg.queue_capacity,
-            submitted: inner.submitted,
-            rejected: inner.rejected,
-            dispatched: inner.dispatched,
-            completed: inner.completed,
+            submitted: c.accepted - c.rejected,
+            rejected: c.rejected + inner.refused,
+            dispatched: c.dispatched,
+            completed: c.completed,
             machines: self.shared.cfg.machines,
             workers_alive: inner.workers_alive,
             sim_now_s: inner.sim_now_s.clone(),
@@ -531,10 +478,10 @@ impl Service {
             cap_violations: inner.cap_violations,
             cap_samples: inner.cap_samples,
             worker_error: inner.worker_error.clone(),
-            requeued: inner.requeued,
-            dead_lettered: inner.dead_lettered,
-            evictions: inner.evictions,
-            machines_down: inner.machines_down.clone(),
+            requeued: c.requeued,
+            dead_lettered: c.dead_lettered,
+            evictions: c.evictions,
+            machines_down: inner.st.machines.iter().map(|m| m.down).collect(),
             lost_work_s: inner.lost_work_s,
             frames_rejected: inner.frames_rejected,
         }
@@ -567,18 +514,18 @@ impl Service {
     pub fn wait_job(&self, id: JobId) -> Option<JobStatus> {
         let mut inner = self.lock();
         loop {
-            let entry = inner.jobs.get(id)?;
+            let job = inner.st.jobs.get(id)?;
             if matches!(
-                entry.state,
+                job.state,
                 JobState::Done { .. } | JobState::Rejected | JobState::DeadLetter { .. }
             ) || inner.workers_alive == 0
             {
                 let status = JobStatus {
                     id,
-                    name: entry.name.clone(),
-                    state: entry.state.clone(),
-                    dispatches: entry.dispatches,
-                    retries: inner.policy.retries(id),
+                    name: job.name.clone(),
+                    state: job.state.clone(),
+                    dispatches: job.dispatches,
+                    retries: job.retries,
                 };
                 return Some(status);
             }
@@ -591,11 +538,12 @@ impl Service {
     pub fn wait_idle(&self) {
         let mut inner = self.lock();
         loop {
-            let active = inner.queue.len()
+            let active = inner.st.queue.len()
                 + inner
+                    .st
                     .jobs
                     .iter()
-                    .filter(|e| matches!(e.state, JobState::Running { .. }))
+                    .filter(|j| matches!(j.state, JobState::Running { .. }))
                     .count();
             if active == 0 || inner.workers_alive == 0 {
                 return;
@@ -608,19 +556,19 @@ impl Service {
     /// [`Service::shutdown`] to also wait for the workers.
     pub fn begin_shutdown(&self) {
         let mut inner = self.lock();
-        inner.shutdown = true;
+        inner.st.begin_shutdown();
         self.shared.work_cv.notify_all();
     }
 
     /// Whether [`Service::begin_shutdown`] was called.
     pub fn is_shutting_down(&self) -> bool {
-        self.lock().shutdown
+        self.lock().st.shutdown
     }
 
     /// Block until someone requests shutdown (or the workers die).
     pub fn wait_shutdown(&self) {
         let mut inner = self.lock();
-        while !inner.shutdown && inner.workers_alive > 0 {
+        while !inner.st.shutdown && inner.workers_alive > 0 {
             inner = self.shared.work_cv.wait(inner).expect("service lock");
         }
     }
@@ -701,7 +649,7 @@ fn open_journal(cfg: &ServiceConfig, inner: &mut Inner) {
                 Ok(j) => {
                     inner.journal = Some(j);
                     inner.journal_append(&Record::Recovered {
-                        jobs: inner.jobs.len(),
+                        jobs: inner.st.jobs.len(),
                     });
                 }
                 Err(e) => inner.chaos_push(
@@ -730,80 +678,35 @@ fn open_journal(cfg: &ServiceConfig, inner: &mut Inner) {
 }
 
 /// Fold a successful replay into the fresh `Inner`: re-admit every job
-/// into the model and policy (preserving id alignment), restore terminal
-/// states and counters, and queue whatever was pending or in-flight.
+/// into the model and policy (preserving id alignment), rebuild the pure
+/// state via [`ServiceState::restore_from`], and transfer the simulation
+/// accounting of completed work.
 fn restore(inner: &mut Inner, recovered: &Recovered, specs: Vec<JobSpec>, machines: usize) {
-    for (id, (rj, spec)) in recovered.jobs.iter().zip(specs).enumerate() {
-        let model_id = inner.model.push_job(&spec);
+    for (id, spec) in specs.iter().enumerate() {
+        let model_id = inner.model.push_job(spec);
         debug_assert_eq!(model_id, id, "recovery must preserve job ids");
         let (model, policy) = inner.model_and_policy();
         policy.admit_job(model, id);
-        if rj.retries > 0 {
-            inner.policy.restore_retries(id, rj.retries);
-            inner.requeued += rj.retries as usize;
+    }
+    inner.st = ServiceState::restore_from(recovered, machines);
+    inner.gates = vec![None; inner.st.jobs.len()];
+    for job in &inner.st.jobs {
+        // Busy-time and makespan accounting only transfers when the
+        // machine still exists in this incarnation.
+        if let JobState::Done {
+            machine,
+            device,
+            start_s,
+            end_s,
+            predicted_s,
+        } = job.state
+        {
+            if machine < machines {
+                inner.busy_s[machine][device.index()] += end_s - start_s;
+                inner.predicted_busy_s[machine][device.index()] += predicted_s;
+                inner.last_end_s[machine] = inner.last_end_s[machine].max(end_s);
+            }
         }
-        let (state, dispatches) = match &rj.disposition {
-            Disposition::Pending => (JobState::Queued, 0),
-            Disposition::Rejected => (JobState::Rejected, 0),
-            Disposition::Done {
-                machine,
-                device,
-                start_s,
-                end_s,
-                predicted_s,
-            } => (
-                JobState::Done {
-                    machine: *machine,
-                    device: *device,
-                    start_s: *start_s,
-                    end_s: *end_s,
-                    predicted_s: *predicted_s,
-                },
-                1,
-            ),
-            Disposition::Dead { reason } => (
-                JobState::DeadLetter {
-                    reason: reason.clone(),
-                },
-                0,
-            ),
-        };
-        match &state {
-            JobState::Queued => {
-                inner.submitted += 1;
-                inner.queue.push_back(id);
-            }
-            JobState::Rejected => inner.rejected += 1,
-            JobState::Done {
-                machine,
-                device,
-                start_s,
-                end_s,
-                predicted_s,
-            } => {
-                inner.submitted += 1;
-                inner.dispatched += 1;
-                inner.completed += 1;
-                // Busy-time and makespan accounting only transfers when
-                // the machine still exists in this incarnation.
-                if *machine < machines {
-                    inner.busy_s[*machine][device.index()] += end_s - start_s;
-                    inner.predicted_busy_s[*machine][device.index()] += predicted_s;
-                    inner.last_end_s[*machine] = inner.last_end_s[*machine].max(*end_s);
-                }
-            }
-            JobState::DeadLetter { .. } => {
-                inner.submitted += 1;
-                inner.dead_lettered += 1;
-            }
-            JobState::Running { .. } => unreachable!("replay never yields a running job"),
-        }
-        inner.jobs.push(JobEntry {
-            name: rj.name.clone(),
-            state,
-            dispatches,
-            not_before: None,
-        });
     }
 }
 
@@ -843,45 +746,54 @@ impl Inner {
         }
     }
 
-    /// Put a lost execution back through the retry policy: either back in
-    /// the queue behind a jittered exponential back-off, or into the
-    /// dead-letter state once the budget is spent. Returns `true` when
-    /// the job was requeued (the caller should wake workers).
-    fn apply_requeue(&mut self, job: JobId, outcome: RequeueOutcome, reason: &str) -> bool {
-        match outcome {
-            RequeueOutcome::Retry { attempt, backoff_s } => {
-                self.jobs[job].state = JobState::Queued;
-                self.jobs[job].not_before =
-                    Some(Instant::now() + Duration::from_secs_f64(backoff_s));
-                self.queue.push_back(job);
-                self.requeued += 1;
-                self.journal_append(&Record::Requeue {
-                    id: job,
-                    attempt,
-                    backoff_s,
-                    reason: reason.to_string(),
-                });
+    /// Drive the side effects of a failure transition the pure state
+    /// already performed: journal its record, retract the lost
+    /// execution's predicted busy time, arm the wall-clock back-off
+    /// gate, and emit the `SRV003`/`SRV006` diagnostic. Returns `true`
+    /// when the job went back to the queue (the caller should wake
+    /// workers).
+    fn note_fail(&mut self, fail: &FailReport) -> bool {
+        debug_assert!(fail.machine < self.predicted_busy_s.len());
+        self.predicted_busy_s[fail.machine][fail.device.index()] -= fail.predicted_s;
+        self.journal_append(&fail.record.clone());
+        match &fail.record {
+            Record::Requeue {
+                id,
+                attempt,
+                backoff_s,
+                reason,
+            } => {
+                self.set_gate(*id, Instant::now() + Duration::from_secs_f64(*backoff_s));
                 self.chaos_push(Diagnostic::new(
                     Code::Srv003,
-                    format!("job {job}"),
+                    format!("job {id}"),
                     format!("{reason}; retry {attempt} after {backoff_s:.3}s back-off"),
                 ));
                 true
             }
-            RequeueOutcome::DeadLetter { attempts } => {
-                let why = format!("{reason}; gave up after {attempts} attempt(s)");
-                self.jobs[job].state = JobState::DeadLetter {
-                    reason: why.clone(),
-                };
-                self.jobs[job].not_before = None;
-                self.dead_lettered += 1;
-                self.journal_append(&Record::Dead {
-                    id: job,
-                    reason: why.clone(),
-                });
-                self.chaos_push(Diagnostic::new(Code::Srv006, format!("job {job}"), why));
+            Record::Dead { id, reason } => {
+                self.clear_gate(*id);
+                self.chaos_push(Diagnostic::new(
+                    Code::Srv006,
+                    format!("job {id}"),
+                    reason.clone(),
+                ));
                 false
             }
+            other => unreachable!("fail transitions emit Requeue or Dead, not {other:?}"),
+        }
+    }
+
+    fn set_gate(&mut self, job: JobId, until: Instant) {
+        if self.gates.len() <= job {
+            self.gates.resize(job + 1, None);
+        }
+        self.gates[job] = Some(until);
+    }
+
+    fn clear_gate(&mut self, job: JobId) {
+        if let Some(g) = self.gates.get_mut(job) {
+            *g = None;
         }
     }
 }
@@ -912,10 +824,19 @@ impl Dispatcher for WorkerDispatcher {
         // beats honoring back-off.
         let wall_now = Instant::now();
         let ready: Vec<JobId> = inner
+            .st
             .queue
             .iter()
             .copied()
-            .filter(|&j| inner.shutdown || inner.jobs[j].not_before.is_none_or(|t| t <= wall_now))
+            .filter(|&j| {
+                inner.st.shutdown
+                    || inner
+                        .gates
+                        .get(j)
+                        .copied()
+                        .flatten()
+                        .is_none_or(|t| t <= wall_now)
+            })
             .collect();
         let pick = inner.policy.pick(&inner.model, &ready, device, co);
         match pick {
@@ -927,7 +848,7 @@ impl Dispatcher for WorkerDispatcher {
                     // its completion re-polls us.
                     Dispatch::Idle
                 } else if ready.is_empty() {
-                    if inner.shutdown && inner.queue.is_empty() {
+                    if inner.st.shutdown && inner.st.queue.is_empty() {
                         Dispatch::Drained
                     } else {
                         // Nothing dispatchable right now (empty queue or
@@ -978,38 +899,38 @@ impl WorkerDispatcher {
         (job, level): (JobId, usize),
         co: Option<(JobId, usize)>,
     ) -> Dispatch {
-        inner.queue.retain(|&j| j != job);
         let predicted_s = match co {
             Some((cj, cl)) => inner.model.corun_time(job, device, level, cj, cl),
             None => inner.model.standalone(job, device, level),
         };
         let spec = inner.model.job(job).clone();
-        let entry = &mut inner.jobs[job];
-        entry.dispatches += 1;
-        entry.not_before = None;
-        entry.state = JobState::Running {
-            machine: self.machine_idx,
-            device,
-            start_s: now_s,
-            predicted_s,
-        };
-        inner.dispatched += 1;
-        inner.predicted_busy_s[self.machine_idx][device.index()] += predicted_s;
-        let attempt = inner.policy.retries(job);
-        inner.journal_append(&Record::Dispatch {
-            id: job,
-            machine: self.machine_idx,
-            device,
-            start_s: now_s,
-            predicted_s,
-            attempt,
-        });
-        self.running[device.index()] = Some((job, level));
-        Dispatch::Run(DispatchJob {
-            job: spec,
-            tag: job,
-            set_freq: Some(ctx.setting.with_level(device, level)),
-        })
+        // The engine only polls a device it has idled, but the previous
+        // occupant's completion/failure may still await harvest; clear
+        // the slot so the pure transition sees the engine's truth.
+        inner.st.vacate(self.machine_idx, device);
+        match inner
+            .st
+            .dispatch(job, self.machine_idx, device, now_s, predicted_s)
+        {
+            Ok(rec) => {
+                inner.clear_gate(job);
+                inner.predicted_busy_s[self.machine_idx][device.index()] += predicted_s;
+                inner.journal_append(&rec);
+                self.running[device.index()] = Some((job, level));
+                Dispatch::Run(DispatchJob {
+                    job: spec,
+                    tag: job,
+                    set_freq: Some(ctx.setting.with_level(device, level)),
+                })
+            }
+            Err(e) => {
+                // A refused dispatch is a driver bug (the policy picked
+                // from the queued set): fail loudly in debug builds,
+                // stay live (skip the dispatch) in release.
+                debug_assert!(false, "dispatch transition refused: {e}");
+                Dispatch::Idle
+            }
+        }
     }
 }
 
@@ -1051,6 +972,7 @@ fn worker_loop(shared: Arc<Shared>, machine_idx: usize) {
             &mut session,
             machine_idx,
             shared.cfg.cap_w,
+            &shared.cfg.retry,
             &mut harvested_records,
             &mut harvested_samples,
         );
@@ -1061,8 +983,8 @@ fn worker_loop(shared: Arc<Shared>, machine_idx: usize) {
         match state {
             Ok(SessionState::Advanced) => {}
             Ok(SessionState::Starved) => {
-                if inner.queue.is_empty() {
-                    while inner.queue.is_empty() && !inner.shutdown {
+                if inner.st.queue.is_empty() {
+                    while inner.st.queue.is_empty() && !inner.st.shutdown {
                         inner = shared.work_cv.wait(inner).expect("service lock");
                     }
                 } else {
@@ -1076,7 +998,7 @@ fn worker_loop(shared: Arc<Shared>, machine_idx: usize) {
                         .expect("service lock");
                     inner = guard;
                 }
-                if inner.shutdown && inner.queue.is_empty() {
+                if inner.st.shutdown && inner.st.queue.is_empty() {
                     break;
                 }
             }
@@ -1084,7 +1006,7 @@ fn worker_loop(shared: Arc<Shared>, machine_idx: usize) {
                 // An injected machine crash: evict in-flight work into
                 // the retry path and retire this worker. Not a worker
                 // *error* — the rest of the fleet keeps serving.
-                evict_crashed(&mut inner, &session, machine_idx);
+                evict_crashed(&mut inner, &session, machine_idx, &shared.cfg.retry);
                 shared.done_cv.notify_all();
                 shared.work_cv.notify_all();
                 break;
@@ -1104,42 +1026,40 @@ fn worker_loop(shared: Arc<Shared>, machine_idx: usize) {
     shared.work_cv.notify_all();
 }
 
-/// Handle an injected machine crash: journal the eviction, push the
-/// in-flight jobs through the retry policy, and undo the crashed
-/// machine's speculative accounting.
-fn evict_crashed(inner: &mut Inner, session: &Session<'_>, machine_idx: usize) {
+/// Handle an injected machine crash: mark the machine down, journal the
+/// eviction, push the in-flight jobs through the retry path, and undo
+/// the crashed machine's speculative accounting. The harvest that ran
+/// just before already folded every completion and failure, so the pure
+/// state's slots are exactly the engine's in-flight set.
+fn evict_crashed(
+    inner: &mut Inner,
+    session: &Session<'_>,
+    machine_idx: usize,
+    retry: &RetryPolicy,
+) {
     let now = session.now_s();
-    let tags = session.running_tags();
-    inner.evictions += 1;
-    inner.machines_down[machine_idx] = true;
-    inner.journal_append(&Record::Evict {
-        machine: machine_idx,
-        at_s: now,
-    });
-    inner.chaos_push(Diagnostic::new(
-        Code::Srv002,
-        format!("machine {machine_idx}"),
-        format!(
-            "injected crash at t={now:.2}s; {} in-flight job(s) evicted",
-            tags.len()
-        ),
-    ));
-    let outcomes = inner.policy.evict_machine(&tags);
-    for (job, outcome) in outcomes {
-        if let JobState::Running {
-            device,
-            start_s,
-            predicted_s,
-            ..
-        } = inner.jobs[job].state
-        {
-            // The lost partial execution must be redone somewhere else:
-            // charge it to lost work and retract the model's view of this
-            // machine's future.
-            inner.lost_work_s += (now - start_s).max(0.0);
-            inner.predicted_busy_s[machine_idx][device.index()] -= predicted_s;
+    match inner.st.crash(machine_idx, now, retry, "machine crash") {
+        Ok((evict_rec, evicted)) => {
+            inner.journal_append(&evict_rec);
+            inner.chaos_push(Diagnostic::new(
+                Code::Srv002,
+                format!("machine {machine_idx}"),
+                format!(
+                    "injected crash at t={now:.2}s; {} in-flight job(s) evicted",
+                    evicted.len()
+                ),
+            ));
+            for fail in &evicted {
+                // The lost partial execution must be redone somewhere
+                // else: charge it to lost work (note_fail retracts the
+                // model's view of this machine's future).
+                inner.lost_work_s += (now - fail.start_s).max(0.0);
+                inner.note_fail(fail);
+            }
         }
-        inner.apply_requeue(job, outcome, "machine crash");
+        Err(e) => {
+            debug_assert!(false, "crash transition refused: {e}");
+        }
     }
 }
 
@@ -1151,34 +1071,22 @@ fn harvest(
     session: &mut Session<'_>,
     machine_idx: usize,
     cap_w: f64,
+    retry: &RetryPolicy,
     harvested_records: &mut usize,
     harvested_samples: &mut usize,
 ) -> bool {
     inner.sim_now_s[machine_idx] = session.now_s();
     for record in &session.records()[*harvested_records..] {
-        let entry = &mut inner.jobs[record.tag];
-        let predicted_s = match entry.state {
-            JobState::Running { predicted_s, .. } => predicted_s,
-            _ => 0.0,
-        };
-        entry.state = JobState::Done {
-            machine: machine_idx,
-            device: record.device,
-            start_s: record.start_s,
-            end_s: record.end_s,
-            predicted_s,
-        };
-        inner.completed += 1;
-        inner.busy_s[machine_idx][record.device.index()] += record.duration_s();
-        inner.last_end_s[machine_idx] = inner.last_end_s[machine_idx].max(record.end_s);
-        inner.journal_append(&Record::Done {
-            id: record.tag,
-            machine: machine_idx,
-            device: record.device,
-            start_s: record.start_s,
-            end_s: record.end_s,
-            predicted_s,
-        });
+        match inner.st.complete(record.tag, record.end_s) {
+            Ok(rec) => {
+                inner.busy_s[machine_idx][record.device.index()] += record.duration_s();
+                inner.last_end_s[machine_idx] = inner.last_end_s[machine_idx].max(record.end_s);
+                inner.journal_append(&rec);
+            }
+            Err(e) => {
+                debug_assert!(false, "complete transition refused: {e}");
+            }
+        }
     }
     *harvested_records = session.records().len();
     let samples = &session.trace().samples_w[*harvested_samples..];
@@ -1187,21 +1095,18 @@ fn harvest(
     *harvested_samples = session.trace().samples_w.len();
 
     // Injected job failures: the engine destroyed the execution mid-run
-    // (no JobRecord); route the job through the retry policy.
+    // (no JobRecord); route the job through the retry path.
     let mut requeued_any = false;
     for failure in session.take_failures() {
-        let job = failure.tag;
         inner.lost_work_s += (failure.at_s - failure.start_s).max(0.0);
-        if let JobState::Running {
-            device,
-            predicted_s,
-            ..
-        } = inner.jobs[job].state
-        {
-            inner.predicted_busy_s[machine_idx][device.index()] -= predicted_s;
+        match inner.st.fail(failure.tag, retry, "injected job failure") {
+            Ok(fail) => {
+                requeued_any |= inner.note_fail(&fail);
+            }
+            Err(e) => {
+                debug_assert!(false, "fail transition refused: {e}");
+            }
         }
-        let outcome = inner.policy.requeue(job);
-        requeued_any |= inner.apply_requeue(job, outcome, "injected job failure");
     }
     // Non-fatal fault events (stragglers, meter disturbances) become
     // warning-severity diagnostics; crashes are reported by the eviction

@@ -1,0 +1,1137 @@
+//! The pure service state machine: every concurrency-critical transition
+//! of the daemon — admission, dispatch, completion, failure/requeue,
+//! dead-letter, machine crash, shutdown — as side-effect-free functions
+//! over an explicit [`ServiceState`].
+//!
+//! The live daemon ([`crate::service`]) is a thin driver over these
+//! functions: worker threads decide *when* to call a transition (engine
+//! polls, harvests, wall-clock back-off gates) but the state change
+//! itself — which job moves where, which counters move, which
+//! [`Record`] is journaled — happens here and only here. The bounded
+//! model checker (`corun-mc`) drives the *same* functions through every
+//! interleaving of events at small scope, so what it proves is a
+//! property of the code the daemon actually runs, not of a parallel
+//! hand-written model.
+//!
+//! Transitions are total over their error type: an illegal call (e.g.
+//! dispatching a job that is not queued) returns a [`TransitionError`]
+//! and leaves the state untouched. Every legal transition returns the
+//! journal [`Record`]s that make it durable; callers append them (the
+//! daemon to the fsync'd journal, the model checker to its in-memory
+//! journal whose replay it cross-checks).
+//!
+//! [`ServiceState::check_invariants`] states the safety properties as
+//! executable checks; `docs/MODELCHECK.md` catalogs them and the MC0xx
+//! diagnostics they surface as.
+
+use crate::journal::{Disposition, Record, Recovered};
+use apu_sim::Device;
+use corun_core::{JobId, RequeueOutcome, RetryPolicy};
+use std::collections::VecDeque;
+
+/// Where a submitted job currently stands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobState {
+    /// Admitted, waiting for dispatch.
+    Queued,
+    /// Refused at admission (cap-infeasible); never queued.
+    Rejected,
+    /// Running on a simulated machine.
+    Running {
+        /// Hosting machine index.
+        machine: usize,
+        /// Device it was dispatched to.
+        device: Device,
+        /// Dispatch time on that machine's simulated clock, seconds.
+        start_s: f64,
+        /// Model-predicted duration at dispatch (co-run-aware), seconds.
+        predicted_s: f64,
+    },
+    /// Completed.
+    Done {
+        /// Hosting machine index.
+        machine: usize,
+        /// Device it ran on.
+        device: Device,
+        /// Dispatch time, simulated seconds.
+        start_s: f64,
+        /// Completion time, simulated seconds.
+        end_s: f64,
+        /// Model-predicted duration at dispatch, seconds.
+        predicted_s: f64,
+    },
+    /// Terminal failure: the job's executions kept being destroyed by
+    /// faults and the retry budget is spent. Never silently dropped.
+    DeadLetter {
+        /// Why the job was given up on.
+        reason: String,
+    },
+}
+
+/// One job as the pure state machine sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobCore {
+    /// Instance name (`program#k`).
+    pub name: String,
+    /// Program the job was built from (journal recovery rebuilds the
+    /// [`apu_sim::JobSpec`] from this).
+    pub program: String,
+    /// Workload scale factor.
+    pub scale: f64,
+    /// Current state.
+    pub state: JobState,
+    /// Retry attempts consumed so far.
+    pub retries: u32,
+    /// Times this job was handed to an engine.
+    pub dispatches: u32,
+}
+
+/// One machine as the pure state machine sees it: a crash flag and one
+/// slot per device.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MachineCore {
+    /// `true` once the machine crashed; it never hosts work again.
+    pub down: bool,
+    /// The job running on each device (`Device::index()` order).
+    pub running: [Option<JobId>; 2],
+}
+
+/// Monotonic event counters; the books the balance invariant audits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Jobs ever accepted (admission records written).
+    pub accepted: usize,
+    /// Jobs refused after profiling (cap-infeasible).
+    pub rejected: usize,
+    /// Engine handoffs (first dispatches plus retries).
+    pub dispatched: usize,
+    /// Jobs completed.
+    pub completed: usize,
+    /// Executions lost to faults and put back in the queue.
+    pub requeued: usize,
+    /// Jobs that exhausted their retry budget.
+    pub dead_lettered: usize,
+    /// Machines lost to crashes.
+    pub evictions: usize,
+}
+
+/// Why a transition was refused. The state is untouched on error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransitionError {
+    /// The job id is out of range.
+    UnknownJob(JobId),
+    /// The machine index is out of range.
+    UnknownMachine(usize),
+    /// The transition needs the job queued, but it is not.
+    NotQueued(JobId),
+    /// The transition needs the job running, but it is not.
+    NotRunning(JobId),
+    /// The target machine has crashed.
+    MachineDown(usize),
+    /// The target device already hosts a job.
+    SlotBusy {
+        /// The machine whose slot is occupied.
+        machine: usize,
+        /// The occupied device.
+        device: Device,
+        /// The job occupying it.
+        occupant: JobId,
+    },
+    /// The service no longer accepts work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for TransitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransitionError::UnknownJob(j) => write!(f, "unknown job {j}"),
+            TransitionError::UnknownMachine(m) => write!(f, "unknown machine {m}"),
+            TransitionError::NotQueued(j) => write!(f, "job {j} is not queued"),
+            TransitionError::NotRunning(j) => write!(f, "job {j} is not running"),
+            TransitionError::MachineDown(m) => write!(f, "machine {m} is down"),
+            TransitionError::SlotBusy {
+                machine,
+                device,
+                occupant,
+            } => write!(
+                f,
+                "machine {machine} {device:?} slot is busy with job {occupant}"
+            ),
+            TransitionError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+/// Everything a failure transition decides, so the driver can account
+/// for the lost execution (lost-work seconds, retracted predictions)
+/// and emit the matching `SRV003`/`SRV006` diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailReport {
+    /// The job whose execution was lost.
+    pub job: JobId,
+    /// The journal record making the decision durable (`Requeue` or
+    /// `Dead`).
+    pub record: Record,
+    /// Retry or dead-letter, with attempt count and back-off.
+    pub outcome: RequeueOutcome,
+    /// The machine the lost execution ran on.
+    pub machine: usize,
+    /// The device it ran on.
+    pub device: Device,
+    /// When it started, simulated seconds.
+    pub start_s: f64,
+    /// The model's predicted duration at dispatch, seconds.
+    pub predicted_s: f64,
+}
+
+/// Which safety property a [`Violation`] breaks; the model checker maps
+/// each kind to a stable MC0xx diagnostic code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A job the service owes work to is unreachable: queued-but-not-in-
+    /// queue, running-but-not-in-a-slot, or hosted by a dead machine.
+    JobLost,
+    /// A job is schedulable or scheduled twice: duplicated in the queue,
+    /// queued while running or done, in two slots, or a slot points at a
+    /// job that is not running there.
+    DoubleDispatch,
+    /// Journal replay disagrees with the in-memory state.
+    ReplayMismatch,
+    /// The monotonic counters do not balance against the job table.
+    BooksImbalance,
+}
+
+/// One invariant violation found by [`ServiceState::check_invariants`]
+/// or [`ServiceState::check_replay_consistency`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Which safety property is broken.
+    pub kind: ViolationKind,
+    /// What exactly is wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.kind, self.detail)
+    }
+}
+
+/// The explicit service state every transition is a pure function over.
+///
+/// Fields are public so the daemon driver and the model checker can
+/// *read* them freely (and so the checker's test-only mutation hook can
+/// corrupt them deliberately); by convention all legitimate writes go
+/// through the transition methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceState {
+    /// Every job ever accepted, dense by [`JobId`].
+    pub jobs: Vec<JobCore>,
+    /// Admitted jobs awaiting dispatch, in arrival order (requeues go to
+    /// the back).
+    pub queue: VecDeque<JobId>,
+    /// Per-machine crash flag and device slots.
+    pub machines: Vec<MachineCore>,
+    /// Whether shutdown began; no further admissions.
+    pub shutdown: bool,
+    /// The books.
+    pub counters: Counters,
+}
+
+impl ServiceState {
+    /// Fresh state for `machines` machines, nothing queued.
+    pub fn new(machines: usize) -> ServiceState {
+        ServiceState {
+            jobs: Vec::new(),
+            queue: VecDeque::new(),
+            machines: vec![MachineCore::default(); machines],
+            shutdown: false,
+            counters: Counters::default(),
+        }
+    }
+
+    /// Admit one job: append it to the job table and the queue. Returns
+    /// the new id and the `Accept` record to journal.
+    pub fn accept(
+        &mut self,
+        name: &str,
+        program: &str,
+        scale: f64,
+    ) -> Result<(JobId, Record), TransitionError> {
+        if self.shutdown {
+            return Err(TransitionError::ShuttingDown);
+        }
+        let id = self.jobs.len();
+        self.jobs.push(JobCore {
+            name: name.to_string(),
+            program: program.to_string(),
+            scale,
+            state: JobState::Queued,
+            retries: 0,
+            dispatches: 0,
+        });
+        self.queue.push_back(id);
+        self.counters.accepted += 1;
+        Ok((
+            id,
+            Record::Accept {
+                id,
+                name: name.to_string(),
+                program: program.to_string(),
+                scale,
+            },
+        ))
+    }
+
+    /// Refuse an accepted-but-still-queued job (cap-infeasible after
+    /// profiling). Returns the `Reject` record to journal.
+    pub fn reject(&mut self, id: JobId) -> Result<Record, TransitionError> {
+        let job = self
+            .jobs
+            .get_mut(id)
+            .ok_or(TransitionError::UnknownJob(id))?;
+        if job.state != JobState::Queued {
+            return Err(TransitionError::NotQueued(id));
+        }
+        job.state = JobState::Rejected;
+        self.queue.retain(|&j| j != id);
+        self.counters.rejected += 1;
+        Ok(Record::Reject { id })
+    }
+
+    /// Hand a queued job to a machine's device. Returns the `Dispatch`
+    /// record to journal (its `attempt` field is the job's consumed
+    /// retry count).
+    pub fn dispatch(
+        &mut self,
+        id: JobId,
+        machine: usize,
+        device: Device,
+        start_s: f64,
+        predicted_s: f64,
+    ) -> Result<Record, TransitionError> {
+        let job = self.jobs.get(id).ok_or(TransitionError::UnknownJob(id))?;
+        if job.state != JobState::Queued {
+            return Err(TransitionError::NotQueued(id));
+        }
+        let m = self
+            .machines
+            .get(machine)
+            .ok_or(TransitionError::UnknownMachine(machine))?;
+        if m.down {
+            return Err(TransitionError::MachineDown(machine));
+        }
+        if let Some(occupant) = m.running[device.index()] {
+            return Err(TransitionError::SlotBusy {
+                machine,
+                device,
+                occupant,
+            });
+        }
+        self.queue.retain(|&j| j != id);
+        let job = &mut self.jobs[id];
+        job.state = JobState::Running {
+            machine,
+            device,
+            start_s,
+            predicted_s,
+        };
+        job.dispatches += 1;
+        let attempt = job.retries;
+        self.machines[machine].running[device.index()] = Some(id);
+        self.counters.dispatched += 1;
+        Ok(Record::Dispatch {
+            id,
+            machine,
+            device,
+            start_s,
+            predicted_s,
+            attempt,
+        })
+    }
+
+    /// Mark a running job completed at `end_s`. Returns the `Done`
+    /// record to journal.
+    pub fn complete(&mut self, id: JobId, end_s: f64) -> Result<Record, TransitionError> {
+        let job = self.jobs.get(id).ok_or(TransitionError::UnknownJob(id))?;
+        let JobState::Running {
+            machine,
+            device,
+            start_s,
+            predicted_s,
+        } = job.state
+        else {
+            return Err(TransitionError::NotRunning(id));
+        };
+        self.jobs[id].state = JobState::Done {
+            machine,
+            device,
+            start_s,
+            end_s,
+            predicted_s,
+        };
+        self.release_slot(machine, device, id);
+        self.counters.completed += 1;
+        Ok(Record::Done {
+            id,
+            machine,
+            device,
+            start_s,
+            end_s,
+            predicted_s,
+        })
+    }
+
+    /// A running job's execution was destroyed (injected failure or
+    /// machine crash): consume one retry and requeue it behind a
+    /// deterministic back-off, or dead-letter it once the budget is
+    /// spent. `reason` describes the loss (e.g. "injected job failure").
+    pub fn fail(
+        &mut self,
+        id: JobId,
+        retry: &RetryPolicy,
+        reason: &str,
+    ) -> Result<FailReport, TransitionError> {
+        let job = self.jobs.get(id).ok_or(TransitionError::UnknownJob(id))?;
+        let JobState::Running {
+            machine,
+            device,
+            start_s,
+            predicted_s,
+        } = job.state
+        else {
+            return Err(TransitionError::NotRunning(id));
+        };
+        self.release_slot(machine, device, id);
+        let job = &mut self.jobs[id];
+        let (record, outcome) = if job.retries >= retry.max_retries {
+            let attempts = job.retries + 1;
+            let why = format!("{reason}; gave up after {attempts} attempt(s)");
+            job.state = JobState::DeadLetter {
+                reason: why.clone(),
+            };
+            self.counters.dead_lettered += 1;
+            (
+                Record::Dead { id, reason: why },
+                RequeueOutcome::DeadLetter { attempts },
+            )
+        } else {
+            job.retries += 1;
+            let attempt = job.retries;
+            let backoff_s = retry.backoff_s(id, attempt);
+            job.state = JobState::Queued;
+            self.queue.push_back(id);
+            self.counters.requeued += 1;
+            (
+                Record::Requeue {
+                    id,
+                    attempt,
+                    backoff_s,
+                    reason: reason.to_string(),
+                },
+                RequeueOutcome::Retry { attempt, backoff_s },
+            )
+        };
+        Ok(FailReport {
+            job: id,
+            record,
+            outcome,
+            machine,
+            device,
+            start_s,
+            predicted_s,
+        })
+    }
+
+    /// A machine crashed at `at_s`: mark it down and push every job it
+    /// hosted through the failure path (CPU slot first, then GPU).
+    /// Returns the `Evict` record plus one [`FailReport`] per evicted
+    /// job; journal the `Evict` record before the per-job records.
+    pub fn crash(
+        &mut self,
+        machine: usize,
+        at_s: f64,
+        retry: &RetryPolicy,
+        reason: &str,
+    ) -> Result<(Record, Vec<FailReport>), TransitionError> {
+        let m = self
+            .machines
+            .get(machine)
+            .ok_or(TransitionError::UnknownMachine(machine))?;
+        if m.down {
+            return Err(TransitionError::MachineDown(machine));
+        }
+        let victims: Vec<JobId> = m.running.iter().flatten().copied().collect();
+        self.machines[machine].down = true;
+        self.counters.evictions += 1;
+        let mut evicted = Vec::with_capacity(victims.len());
+        for id in victims {
+            let report = self
+                .fail(id, retry, reason)
+                .expect("slot occupant must be running");
+            evicted.push(report);
+        }
+        Ok((Record::Evict { machine, at_s }, evicted))
+    }
+
+    /// Clear a device slot the engine has vacated ahead of the harvest
+    /// that will record why (completion or failure). The job itself is
+    /// untouched; `complete`/`fail` tolerate an already-cleared slot.
+    /// Live-driver shim only — the model checker's atomic events never
+    /// need it.
+    pub fn vacate(&mut self, machine: usize, device: Device) {
+        if let Some(m) = self.machines.get_mut(machine) {
+            m.running[device.index()] = None;
+        }
+    }
+
+    /// Stop accepting work. Idempotent.
+    pub fn begin_shutdown(&mut self) {
+        self.shutdown = true;
+    }
+
+    fn release_slot(&mut self, machine: usize, device: Device, id: JobId) {
+        if let Some(m) = self.machines.get_mut(machine) {
+            if m.running[device.index()] == Some(id) {
+                m.running[device.index()] = None;
+            }
+        }
+    }
+
+    /// Rebuild the state a successful journal replay describes: done
+    /// work stays done, pending/in-flight work is re-queued, consumed
+    /// retries survive. Machines start fresh (the old incarnation's
+    /// crashes died with it).
+    pub fn restore_from(recovered: &Recovered, machines: usize) -> ServiceState {
+        let mut st = ServiceState::new(machines);
+        for rj in &recovered.jobs {
+            let id = st.jobs.len();
+            let (state, dispatches) = match &rj.disposition {
+                Disposition::Pending => (JobState::Queued, 0),
+                Disposition::Rejected => (JobState::Rejected, 0),
+                Disposition::Done {
+                    machine,
+                    device,
+                    start_s,
+                    end_s,
+                    predicted_s,
+                } => (
+                    JobState::Done {
+                        machine: *machine,
+                        device: *device,
+                        start_s: *start_s,
+                        end_s: *end_s,
+                        predicted_s: *predicted_s,
+                    },
+                    1,
+                ),
+                Disposition::Dead { reason } => (
+                    JobState::DeadLetter {
+                        reason: reason.clone(),
+                    },
+                    0,
+                ),
+            };
+            st.counters.accepted += 1;
+            match &state {
+                JobState::Queued => st.queue.push_back(id),
+                JobState::Rejected => st.counters.rejected += 1,
+                JobState::Done { .. } => {
+                    st.counters.dispatched += 1;
+                    st.counters.completed += 1;
+                }
+                JobState::DeadLetter { .. } => st.counters.dead_lettered += 1,
+                JobState::Running { .. } => unreachable!("replay never yields a running job"),
+            }
+            st.counters.requeued += rj.retries as usize;
+            st.jobs.push(JobCore {
+                name: rj.name.clone(),
+                program: rj.program.clone(),
+                scale: rj.scale,
+                state,
+                retries: rj.retries,
+                dispatches,
+            });
+        }
+        st
+    }
+
+    /// Check every structural safety invariant; an empty result means
+    /// the state is sound. `docs/MODELCHECK.md` catalogs the properties.
+    pub fn check_invariants(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let mut push = |kind: ViolationKind, detail: String| out.push(Violation { kind, detail });
+
+        // Queue sanity: members exist, are Queued, and appear once.
+        let mut queued_seen = vec![0usize; self.jobs.len()];
+        for &id in &self.queue {
+            match self.jobs.get(id) {
+                None => push(
+                    ViolationKind::JobLost,
+                    format!("queue references unknown job {id}"),
+                ),
+                Some(j) => {
+                    queued_seen[id] += 1;
+                    if j.state != JobState::Queued {
+                        push(
+                            ViolationKind::DoubleDispatch,
+                            format!("job {id} is in the queue but its state is {:?}", j.state),
+                        );
+                    }
+                }
+            }
+        }
+        for (id, &n) in queued_seen.iter().enumerate() {
+            if n > 1 {
+                push(
+                    ViolationKind::DoubleDispatch,
+                    format!("job {id} appears {n} times in the queue"),
+                );
+            }
+        }
+
+        // Slot sanity: occupants exist, run exactly where the slot says,
+        // and no job holds two slots.
+        let mut slot_of = vec![0usize; self.jobs.len()];
+        for (mi, m) in self.machines.iter().enumerate() {
+            for &dev in &Device::ALL {
+                let Some(id) = m.running[dev.index()] else {
+                    continue;
+                };
+                match self.jobs.get(id) {
+                    None => push(
+                        ViolationKind::JobLost,
+                        format!("machine {mi} {dev:?} slot references unknown job {id}"),
+                    ),
+                    Some(j) => {
+                        slot_of[id] += 1;
+                        match j.state {
+                            JobState::Running {
+                                machine, device, ..
+                            } if machine == mi && device == dev => {}
+                            _ => push(
+                                ViolationKind::DoubleDispatch,
+                                format!(
+                                    "machine {mi} {dev:?} slot holds job {id} whose state is {:?}",
+                                    j.state
+                                ),
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+
+        // Per-job placement: every job is reachable from where its state
+        // says it lives.
+        for (id, j) in self.jobs.iter().enumerate() {
+            match &j.state {
+                JobState::Queued => {
+                    if queued_seen[id] == 0 {
+                        push(
+                            ViolationKind::JobLost,
+                            format!("job {id} is Queued but absent from the queue"),
+                        );
+                    }
+                }
+                JobState::Running {
+                    machine, device, ..
+                } => {
+                    match self.machines.get(*machine) {
+                        None => push(
+                            ViolationKind::JobLost,
+                            format!("job {id} claims unknown machine {machine}"),
+                        ),
+                        Some(m) => {
+                            if m.down {
+                                push(
+                                    ViolationKind::JobLost,
+                                    format!("job {id} is Running on crashed machine {machine}"),
+                                );
+                            } else if m.running[device.index()] != Some(id) {
+                                push(
+                                    ViolationKind::JobLost,
+                                    format!(
+                                        "job {id} is Running on machine {machine} {device:?} \
+                                         but the slot disagrees"
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                    if slot_of[id] > 1 {
+                        push(
+                            ViolationKind::DoubleDispatch,
+                            format!("job {id} occupies {} slots", slot_of[id]),
+                        );
+                    }
+                }
+                JobState::Rejected | JobState::Done { .. } | JobState::DeadLetter { .. } => {}
+            }
+        }
+
+        // Books balance: counters against the job table.
+        let count = |f: &dyn Fn(&JobCore) -> bool| self.jobs.iter().filter(|j| f(j)).count();
+        let checks: [(&str, usize, usize); 6] = [
+            ("accepted", self.counters.accepted, self.jobs.len()),
+            (
+                "rejected",
+                self.counters.rejected,
+                count(&|j| j.state == JobState::Rejected),
+            ),
+            (
+                "completed",
+                self.counters.completed,
+                count(&|j| matches!(j.state, JobState::Done { .. })),
+            ),
+            (
+                "dead_lettered",
+                self.counters.dead_lettered,
+                count(&|j| matches!(j.state, JobState::DeadLetter { .. })),
+            ),
+            (
+                "requeued",
+                self.counters.requeued,
+                self.jobs.iter().map(|j| j.retries as usize).sum(),
+            ),
+            (
+                "dispatched",
+                self.counters.dispatched,
+                self.jobs.iter().map(|j| j.dispatches as usize).sum(),
+            ),
+        ];
+        for (name, counter, table) in checks {
+            if counter != table {
+                push(
+                    ViolationKind::BooksImbalance,
+                    format!("counter {name}={counter} but the job table says {table}"),
+                );
+            }
+        }
+        out
+    }
+
+    /// Check that journal replay reconstructs *this* state: same jobs,
+    /// matching dispositions and retry counts. In-flight work maps to
+    /// `Pending` (replay re-queues it).
+    pub fn check_replay_consistency(&self, recovered: &Recovered) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let mut push = |detail: String| {
+            out.push(Violation {
+                kind: ViolationKind::ReplayMismatch,
+                detail,
+            });
+        };
+        if recovered.jobs.len() != self.jobs.len() {
+            push(format!(
+                "replay reconstructs {} job(s) but the state holds {}",
+                recovered.jobs.len(),
+                self.jobs.len()
+            ));
+            return out;
+        }
+        for (id, (job, rj)) in self.jobs.iter().zip(&recovered.jobs).enumerate() {
+            if rj.name != job.name || rj.program != job.program {
+                push(format!(
+                    "job {id} identity mismatch: state has {}/{}, replay has {}/{}",
+                    job.name, job.program, rj.name, rj.program
+                ));
+            }
+            if rj.retries != job.retries {
+                push(format!(
+                    "job {id} retries mismatch: state has {}, replay has {}",
+                    job.retries, rj.retries
+                ));
+            }
+            let ok = match (&job.state, &rj.disposition) {
+                (JobState::Queued, Disposition::Pending) => true,
+                (JobState::Running { .. }, Disposition::Pending) => true,
+                (JobState::Rejected, Disposition::Rejected) => true,
+                (
+                    JobState::Done {
+                        machine,
+                        device,
+                        end_s,
+                        ..
+                    },
+                    Disposition::Done {
+                        machine: rm,
+                        device: rd,
+                        end_s: re,
+                        ..
+                    },
+                ) => machine == rm && device == rd && end_s == re,
+                (JobState::DeadLetter { reason }, Disposition::Dead { reason: rr }) => reason == rr,
+                _ => false,
+            };
+            if !ok {
+                push(format!(
+                    "job {id} disposition mismatch: state has {:?}, replay has {:?}",
+                    job.state, rj.disposition
+                ));
+            }
+        }
+        out
+    }
+
+    /// A 64-bit fingerprint of the whole state (FNV-1a over a canonical
+    /// byte walk), for the model checker's visited-state memoization.
+    /// Equal states fingerprint equal; collisions are possible but at
+    /// 64 bits negligible at model-checking scope.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.jobs.len() as u64);
+        for j in &self.jobs {
+            h.str(&j.name);
+            h.str(&j.program);
+            h.f64(j.scale);
+            h.u64(u64::from(j.retries));
+            h.u64(u64::from(j.dispatches));
+            match &j.state {
+                JobState::Queued => h.u64(0),
+                JobState::Rejected => h.u64(1),
+                JobState::Running {
+                    machine,
+                    device,
+                    start_s,
+                    predicted_s,
+                } => {
+                    h.u64(2);
+                    h.u64(*machine as u64);
+                    h.u64(device.index() as u64);
+                    h.f64(*start_s);
+                    h.f64(*predicted_s);
+                }
+                JobState::Done {
+                    machine,
+                    device,
+                    start_s,
+                    end_s,
+                    predicted_s,
+                } => {
+                    h.u64(3);
+                    h.u64(*machine as u64);
+                    h.u64(device.index() as u64);
+                    h.f64(*start_s);
+                    h.f64(*end_s);
+                    h.f64(*predicted_s);
+                }
+                JobState::DeadLetter { reason } => {
+                    h.u64(4);
+                    h.str(reason);
+                }
+            }
+        }
+        h.u64(self.queue.len() as u64);
+        for &id in &self.queue {
+            h.u64(id as u64);
+        }
+        h.u64(self.machines.len() as u64);
+        for m in &self.machines {
+            h.u64(u64::from(m.down));
+            for slot in m.running {
+                match slot {
+                    Some(id) => {
+                        h.u64(1);
+                        h.u64(id as u64);
+                    }
+                    None => h.u64(0),
+                }
+            }
+        }
+        h.u64(u64::from(self.shutdown));
+        for c in [
+            self.counters.accepted,
+            self.counters.rejected,
+            self.counters.dispatched,
+            self.counters.completed,
+            self.counters.requeued,
+            self.counters.dead_lettered,
+            self.counters.evictions,
+        ] {
+            h.u64(c as u64);
+        }
+        h.finish()
+    }
+}
+
+/// FNV-1a, 64-bit. Deterministic across runs and platforms (no
+/// `RandomState`), which keeps model-checking traces reproducible.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+    }
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for b in s.bytes() {
+            self.byte(b);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::replay;
+
+    fn retry() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 1,
+            backoff_base_s: 0.01,
+            backoff_max_s: 0.05,
+        }
+    }
+
+    fn clean(st: &ServiceState) {
+        let v = st.check_invariants();
+        assert!(v.is_empty(), "violations: {v:?}");
+    }
+
+    /// Journal a transition's records and check replay agrees with the
+    /// state at the end.
+    fn consistent(st: &ServiceState, records: &[Record]) {
+        let (recovered, report) = replay(records);
+        assert!(!report.has_errors(), "{}", report.render_human());
+        let v = st.check_replay_consistency(&recovered);
+        assert!(v.is_empty(), "replay mismatches: {v:?}");
+    }
+
+    #[test]
+    fn accept_dispatch_complete_roundtrip() {
+        let mut st = ServiceState::new(1);
+        let mut log = Vec::new();
+        let (a, rec) = st.accept("srad#0", "srad", 0.2).unwrap();
+        log.push(rec);
+        let (b, rec) = st.accept("lud#0", "lud", 0.1).unwrap();
+        log.push(rec);
+        assert_eq!((a, b), (0, 1));
+        clean(&st);
+
+        log.push(st.dispatch(a, 0, Device::Gpu, 0.0, 2.0).unwrap());
+        log.push(st.dispatch(b, 0, Device::Cpu, 0.0, 3.0).unwrap());
+        clean(&st);
+        assert_eq!(st.machines[0].running, [Some(b), Some(a)]);
+
+        log.push(st.complete(a, 1.9).unwrap());
+        log.push(st.complete(b, 3.1).unwrap());
+        clean(&st);
+        consistent(&st, &log);
+        assert_eq!(st.counters.completed, 2);
+        assert_eq!(st.counters.dispatched, 2);
+        assert!(st.queue.is_empty());
+        assert_eq!(st.machines[0].running, [None, None]);
+    }
+
+    #[test]
+    fn illegal_transitions_are_refused_and_harmless() {
+        let mut st = ServiceState::new(1);
+        let (a, _) = st.accept("srad#0", "srad", 0.2).unwrap();
+        let before = st.clone();
+        assert_eq!(st.complete(a, 1.0), Err(TransitionError::NotRunning(a)));
+        assert_eq!(
+            st.dispatch(7, 0, Device::Cpu, 0.0, 1.0),
+            Err(TransitionError::UnknownJob(7))
+        );
+        assert_eq!(
+            st.dispatch(a, 3, Device::Cpu, 0.0, 1.0),
+            Err(TransitionError::UnknownMachine(3))
+        );
+        assert_eq!(before, st, "failed transitions must not mutate");
+
+        st.dispatch(a, 0, Device::Cpu, 0.0, 1.0).unwrap();
+        assert_eq!(
+            st.dispatch(a, 0, Device::Cpu, 1.0, 1.0),
+            Err(TransitionError::NotQueued(a))
+        );
+        let (b, _) = st.accept("lud#0", "lud", 0.1).unwrap();
+        assert_eq!(
+            st.dispatch(b, 0, Device::Cpu, 1.0, 1.0),
+            Err(TransitionError::SlotBusy {
+                machine: 0,
+                device: Device::Cpu,
+                occupant: a
+            })
+        );
+        clean(&st);
+    }
+
+    #[test]
+    fn fail_retries_then_dead_letters() {
+        let mut st = ServiceState::new(1);
+        let mut log = Vec::new();
+        let (a, rec) = st.accept("srad#0", "srad", 0.2).unwrap();
+        log.push(rec);
+        log.push(st.dispatch(a, 0, Device::Gpu, 0.0, 2.0).unwrap());
+        let r1 = st.fail(a, &retry(), "injected job failure").unwrap();
+        log.push(r1.record.clone());
+        assert!(matches!(
+            r1.outcome,
+            RequeueOutcome::Retry { attempt: 1, .. }
+        ));
+        assert_eq!(st.jobs[a].state, JobState::Queued);
+        assert_eq!(st.counters.requeued, 1);
+        clean(&st);
+
+        log.push(st.dispatch(a, 0, Device::Gpu, 1.0, 2.0).unwrap());
+        let r2 = st.fail(a, &retry(), "injected job failure").unwrap();
+        log.push(r2.record.clone());
+        assert!(matches!(
+            r2.outcome,
+            RequeueOutcome::DeadLetter { attempts: 2 }
+        ));
+        match &st.jobs[a].state {
+            JobState::DeadLetter { reason } => {
+                assert!(reason.contains("2 attempt"), "reason: {reason}");
+            }
+            other => panic!("expected dead-letter, got {other:?}"),
+        }
+        assert_eq!(st.counters.dead_lettered, 1);
+        clean(&st);
+        consistent(&st, &log);
+    }
+
+    #[test]
+    fn crash_evicts_both_slots() {
+        let mut st = ServiceState::new(2);
+        let mut log = Vec::new();
+        for (name, program) in [("srad#0", "srad"), ("lud#0", "lud"), ("nw#0", "nw")] {
+            let (_, rec) = st.accept(name, program, 0.1).unwrap();
+            log.push(rec);
+        }
+        log.push(st.dispatch(0, 0, Device::Cpu, 0.0, 2.0).unwrap());
+        log.push(st.dispatch(1, 0, Device::Gpu, 0.0, 2.0).unwrap());
+        log.push(st.dispatch(2, 1, Device::Gpu, 0.0, 2.0).unwrap());
+
+        let (evict, reports) = st.crash(0, 1.5, &retry(), "machine crash").unwrap();
+        log.push(evict);
+        for r in &reports {
+            log.push(r.record.clone());
+        }
+        assert_eq!(reports.len(), 2);
+        assert!(st.machines[0].down);
+        assert_eq!(st.machines[0].running, [None, None]);
+        // Both victims got their first retry and went back to the queue.
+        assert_eq!(st.queue.len(), 2);
+        assert_eq!(st.counters.evictions, 1);
+        assert_eq!(st.counters.requeued, 2);
+        // Job 2 is untouched on the surviving machine.
+        assert!(matches!(st.jobs[2].state, JobState::Running { .. }));
+        clean(&st);
+        consistent(&st, &log);
+
+        // A second crash of the same machine is refused.
+        assert_eq!(
+            st.crash(0, 2.0, &retry(), "machine crash"),
+            Err(TransitionError::MachineDown(0))
+        );
+        // Dispatching to the dead machine is refused.
+        assert_eq!(
+            st.dispatch(st.queue[0], 0, Device::Cpu, 2.0, 1.0),
+            Err(TransitionError::MachineDown(0))
+        );
+    }
+
+    #[test]
+    fn restore_matches_replay_of_emitted_records() {
+        let mut st = ServiceState::new(2);
+        let mut log = Vec::new();
+        for (name, program) in [("srad#0", "srad"), ("lud#0", "lud"), ("nw#0", "nw")] {
+            let (_, rec) = st.accept(name, program, 0.1).unwrap();
+            log.push(rec);
+        }
+        log.push(st.reject(2).unwrap());
+        log.push(st.dispatch(0, 0, Device::Gpu, 0.0, 2.0).unwrap());
+        log.push(st.complete(0, 1.8).unwrap());
+        log.push(st.dispatch(1, 1, Device::Cpu, 0.0, 3.0).unwrap());
+        let r = st.fail(1, &retry(), "injected job failure").unwrap();
+        log.push(r.record);
+        clean(&st);
+
+        let (recovered, report) = replay(&log);
+        assert!(report.is_empty(), "{}", report.render_human());
+        let restored = ServiceState::restore_from(&recovered, 2);
+        clean(&restored);
+        assert!(restored.check_replay_consistency(&recovered).is_empty());
+        // The restored state agrees with the live one on every
+        // journal-visible fact (machine slots are engine-side and reset).
+        assert_eq!(restored.jobs.len(), st.jobs.len());
+        for (live, back) in st.jobs.iter().zip(&restored.jobs) {
+            assert_eq!(live.state, back.state);
+            assert_eq!(live.retries, back.retries);
+        }
+        assert_eq!(restored.counters.completed, st.counters.completed);
+        assert_eq!(restored.counters.requeued, st.counters.requeued);
+        assert_eq!(restored.counters.rejected, st.counters.rejected);
+    }
+
+    #[test]
+    fn shutdown_refuses_admission() {
+        let mut st = ServiceState::new(1);
+        st.begin_shutdown();
+        assert_eq!(
+            st.accept("srad#0", "srad", 0.2),
+            Err(TransitionError::ShuttingDown)
+        );
+        clean(&st);
+    }
+
+    #[test]
+    fn fingerprint_tracks_state_identity() {
+        let mut a = ServiceState::new(1);
+        let mut b = ServiceState::new(1);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        a.accept("srad#0", "srad", 0.2).unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        b.accept("srad#0", "srad", 0.2).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        a.dispatch(0, 0, Device::Cpu, 0.0, 1.0).unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let snap = a.clone();
+        assert_eq!(snap.fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn seeded_corruption_is_caught() {
+        // The checks the model checker relies on actually fire.
+        let mut st = ServiceState::new(1);
+        st.accept("srad#0", "srad", 0.2).unwrap();
+        st.queue.clear(); // lose the job
+        assert!(st
+            .check_invariants()
+            .iter()
+            .any(|v| v.kind == ViolationKind::JobLost));
+
+        let mut st = ServiceState::new(1);
+        st.accept("srad#0", "srad", 0.2).unwrap();
+        st.queue.push_back(0); // duplicate admission
+        assert!(st
+            .check_invariants()
+            .iter()
+            .any(|v| v.kind == ViolationKind::DoubleDispatch));
+
+        let mut st = ServiceState::new(1);
+        st.accept("srad#0", "srad", 0.2).unwrap();
+        st.counters.accepted = 5;
+        assert!(st
+            .check_invariants()
+            .iter()
+            .any(|v| v.kind == ViolationKind::BooksImbalance));
+    }
+}

@@ -92,7 +92,7 @@ fn recover_and_check(path: &Path) {
             }
             Disposition::Rejected => assert_eq!(st.state, JobState::Rejected),
             Disposition::Dead { .. } => {
-                assert!(matches!(st.state, JobState::DeadLetter { .. }))
+                assert!(matches!(st.state, JobState::DeadLetter { .. }));
             }
         }
     }

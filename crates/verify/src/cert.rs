@@ -1,0 +1,519 @@
+//! Independent validation of proof-carrying schedule certificates
+//! (CRT0xx).
+//!
+//! The trusted computing base here is deliberately tiny: this module
+//! never consults a [`CoRunModel`](corun_core::CoRunModel), never runs
+//! the evaluator, and never re-plans anything. A certificate carries
+//! every number its claims rest on, so checking it is pure arithmetic —
+//! O(segments + pairs + jobs) — against formulas re-derived *inline*
+//! from the paper rather than shared with the optimizer. An optimizer
+//! bug that leaks wrong facts into a certificate is caught by the
+//! arithmetic; a tampered file is caught by the checksum before
+//! semantics are even considered.
+//!
+//! Checks, in order:
+//!
+//! * **CRT001** — the file does not parse as a certificate at all;
+//! * **CRT002** — the embedded FNV-1a checksum does not match the body;
+//! * **CRT006** — the segments do not tile `[0, makespan]` contiguously,
+//!   reference out-of-range jobs, or fail to cover every job;
+//! * **CRT003** — a segment's claimed power disagrees with the paper's
+//!   composition law (`P_pair = P_cpu + P_gpu − P_idle`, Sec. II) or
+//!   exceeds the cap;
+//! * **CRT004** — a co-run pair lacks its Co-Run Theorem witness, or the
+//!   witness's `beneficial` claim contradicts `l_a·d_a < l_b`
+//!   (Sec. IV-A);
+//! * **CRT005** — the lower-bound witness is inconsistent
+//!   (`T_low ≠ ½ Σ l'_i`) or the claimed makespan undercuts it
+//!   (Sec. IV-B).
+
+use crate::diag::{Code, Diagnostic, Report};
+use corun_core::certificate::{parse_certificate, Certificate, ParsedCertificate};
+
+/// Relative tolerance for re-derived arithmetic. Certificates round-trip
+/// floats exactly, so honest files pass with margin to spare; the slack
+/// only forgives final-ulp noise, never a wrong term.
+const EPS: f64 = 1e-9;
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPS * (1.0 + a.abs().max(b.abs()))
+}
+
+/// Check a certificate file's text end to end: parse (CRT001), checksum
+/// (CRT002), then the semantic checks of [`check_certificate`].
+pub fn check_certificate_text(text: &str) -> Report {
+    let mut report = Report::new();
+    let parsed = match parse_certificate(text) {
+        Ok(p) => p,
+        Err(e) => {
+            report.push(Diagnostic::new(
+                Code::Crt001,
+                "certificate".to_string(),
+                format!("not a valid certificate: {e}"),
+            ));
+            return report;
+        }
+    };
+    report.merge(check_parsed(&parsed));
+    report
+}
+
+/// Checksum gate plus semantic checks for an already-parsed certificate.
+pub fn check_parsed(parsed: &ParsedCertificate) -> Report {
+    let mut report = Report::new();
+    if parsed.stored_fnv != parsed.computed_fnv {
+        report.push(
+            Diagnostic::new(
+                Code::Crt002,
+                "certificate [checksum]".to_string(),
+                format!(
+                    "checksum mismatch: file claims {:016x}, body hashes to {:016x}",
+                    parsed.stored_fnv, parsed.computed_fnv
+                ),
+            )
+            .with_help(
+                "the certificate was edited after issuance; re-run `corun schedule --cert` \
+                 to reissue it"
+                    .to_string(),
+            ),
+        );
+        // A tampered body makes every semantic verdict unreliable; stop.
+        return report;
+    }
+    report.merge(check_certificate(&parsed.cert));
+    report
+}
+
+/// The semantic checks (CRT003–CRT006) over certificate content.
+pub fn check_certificate(cert: &Certificate) -> Report {
+    let mut report = Report::new();
+    check_tiling(cert, &mut report);
+    check_power(cert, &mut report);
+    check_pairs(cert, &mut report);
+    check_bound(cert, &mut report);
+    report
+}
+
+/// CRT006: segments must tile `[0, makespan]` contiguously, reference
+/// only in-range jobs, and jointly cover every job in the batch.
+fn check_tiling(cert: &Certificate, report: &mut Report) {
+    let mut covered = vec![false; cert.jobs];
+    if cert.segments.is_empty() && cert.makespan_s > EPS {
+        report.push(Diagnostic::new(
+            Code::Crt006,
+            "certificate".to_string(),
+            format!(
+                "claims makespan {:.4}s but carries no segments",
+                cert.makespan_s
+            ),
+        ));
+        return;
+    }
+    for (k, s) in cert.segments.iter().enumerate() {
+        let at = format!("certificate segment {k}");
+        if !(s.t0.is_finite() && s.t1.is_finite()) || s.t1 < s.t0 - EPS {
+            report.push(Diagnostic::new(
+                Code::Crt006,
+                at.clone(),
+                format!("degenerate interval [{:?}, {:?}]", s.t0, s.t1),
+            ));
+        }
+        if k == 0 && !close(s.t0, 0.0) {
+            report.push(Diagnostic::new(
+                Code::Crt006,
+                at.clone(),
+                format!("timeline starts at {:?}, not 0", s.t0),
+            ));
+        }
+        if k > 0 && !close(cert.segments[k - 1].t1, s.t0) {
+            report.push(Diagnostic::new(
+                Code::Crt006,
+                at.clone(),
+                format!(
+                    "gap or overlap: previous segment ends at {:?}, this one starts at {:?}",
+                    cert.segments[k - 1].t1,
+                    s.t0
+                ),
+            ));
+        }
+        for (side, slot) in [("cpu", s.cpu), ("gpu", s.gpu)] {
+            if let Some((job, _)) = slot {
+                if job >= cert.jobs {
+                    report.push(Diagnostic::new(
+                        Code::Crt006,
+                        at.clone(),
+                        format!("{side} side references job {job}, batch has {}", cert.jobs),
+                    ));
+                } else {
+                    covered[job] = true;
+                }
+            }
+        }
+    }
+    if let Some(last) = cert.segments.last() {
+        if !close(last.t1, cert.makespan_s) {
+            report.push(Diagnostic::new(
+                Code::Crt006,
+                format!("certificate segment {}", cert.segments.len() - 1),
+                format!(
+                    "timeline ends at {:?} but the claimed makespan is {:?}",
+                    last.t1, cert.makespan_s
+                ),
+            ));
+        }
+    }
+    for (job, seen) in covered.iter().enumerate() {
+        if !seen {
+            report.push(
+                Diagnostic::new(
+                    Code::Crt006,
+                    "certificate".to_string(),
+                    format!("job {job} never appears in any segment"),
+                )
+                .with_help("a certificate must cover the complete batch".to_string()),
+            );
+        }
+    }
+}
+
+/// CRT003: each segment's claimed power must match the paper's
+/// composition law for its occupancy and stay under the cap.
+fn check_power(cert: &Certificate, report: &mut Report) {
+    for (k, s) in cert.segments.iter().enumerate() {
+        let at = format!("certificate segment {k}");
+        // Re-derive the composition (Sec. II): sum of solo powers minus
+        // the double-counted idle floor; a lone side is its solo power.
+        let expected = match (s.cpu.is_some(), s.gpu.is_some()) {
+            (true, true) => match (s.cpu_w, s.gpu_w) {
+                (Some(c), Some(g)) => Some(c + g - cert.idle_w),
+                _ => {
+                    report.push(Diagnostic::new(
+                        Code::Crt003,
+                        at.clone(),
+                        "co-run segment is missing its per-device power witnesses".to_string(),
+                    ));
+                    None
+                }
+            },
+            (true, false) => s.cpu_w,
+            (false, true) => s.gpu_w,
+            (false, false) => Some(cert.idle_w),
+        };
+        if let Some(expected) = expected {
+            if !close(s.power_w, expected) {
+                report.push(Diagnostic::new(
+                    Code::Crt003,
+                    at.clone(),
+                    format!(
+                        "claimed power {:?} W does not follow from the witnesses (expected {:?} W)",
+                        s.power_w, expected
+                    ),
+                ));
+            }
+        }
+        if cert.cap_w.is_finite() && s.power_w > cert.cap_w + EPS * (1.0 + cert.cap_w) {
+            report.push(
+                Diagnostic::new(
+                    Code::Crt003,
+                    at,
+                    format!(
+                        "segment power {:?} W exceeds the cap {:?} W",
+                        s.power_w, cert.cap_w
+                    ),
+                )
+                .with_help(
+                    "the certified schedule violates its own power cap; it must not be deployed"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+/// CRT004: every co-run pairing needs a witness whose `beneficial` claim
+/// follows from the Co-Run Theorem, re-derived here from the paper.
+fn check_pairs(cert: &Certificate, report: &mut Report) {
+    for (k, s) in cert.segments.iter().enumerate() {
+        if let (Some(c), Some(g)) = (s.cpu, s.gpu) {
+            if !cert.pairs.iter().any(|p| p.cpu == c && p.gpu == g) {
+                report.push(Diagnostic::new(
+                    Code::Crt004,
+                    format!("certificate segment {k}"),
+                    format!(
+                        "co-run of job {} (cpu, level {}) with job {} (gpu, level {}) has no \
+                         theorem witness",
+                        c.0, c.1, g.0, g.1
+                    ),
+                ));
+            }
+        }
+    }
+    for (k, p) in cert.pairs.iter().enumerate() {
+        let at = format!("certificate pair {k}");
+        let facts = [p.l_cpu, p.d_cpu, p.l_gpu, p.d_gpu];
+        if facts.iter().any(|v| !v.is_finite() || *v < 0.0) {
+            report.push(Diagnostic::new(
+                Code::Crt004,
+                at,
+                format!(
+                    "witness facts out of domain: l_cpu={:?} d_cpu={:?} l_gpu={:?} d_gpu={:?}",
+                    p.l_cpu, p.d_cpu, p.l_gpu, p.d_gpu
+                ),
+            ));
+            continue;
+        }
+        // Co-Run Theorem, Sec. IV-A, re-derived: with `a` the side whose
+        // co-run length `l·(1+d)` is larger, the pair beats sequential
+        // execution iff `l_a · d_a < l_b`.
+        let c_cpu = p.l_cpu * (1.0 + p.d_cpu);
+        let c_gpu = p.l_gpu * (1.0 + p.d_gpu);
+        let beneficial = if c_cpu >= c_gpu {
+            p.l_cpu * p.d_cpu < p.l_gpu
+        } else {
+            p.l_gpu * p.d_gpu < p.l_cpu
+        };
+        if beneficial != p.beneficial {
+            report.push(
+                Diagnostic::new(
+                    Code::Crt004,
+                    at,
+                    format!(
+                        "witness claims beneficial = {}, but l_cpu={:?} d_cpu={:?} l_gpu={:?} \
+                         d_gpu={:?} derive beneficial = {}",
+                        p.beneficial, p.l_cpu, p.d_cpu, p.l_gpu, p.d_gpu, beneficial
+                    ),
+                )
+                .with_help(
+                    "the Co-Run Theorem precondition (Sec. IV-A) fails for this pairing"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+/// CRT005: the lower-bound witness must satisfy `T_low = ½ Σ l'_i` and
+/// the claimed makespan must not undercut it.
+fn check_bound(cert: &Certificate, report: &mut Report) {
+    let at = "certificate [bound]".to_string();
+    if cert.bound.l_prime_s.len() != cert.jobs {
+        report.push(Diagnostic::new(
+            Code::Crt005,
+            at,
+            format!(
+                "witness has {} l' entries for a {}-job batch",
+                cert.bound.l_prime_s.len(),
+                cert.jobs
+            ),
+        ));
+        return;
+    }
+    if cert
+        .bound
+        .l_prime_s
+        .iter()
+        .any(|v| !v.is_finite() || *v < 0.0)
+    {
+        report.push(Diagnostic::new(
+            Code::Crt005,
+            at,
+            "witness contains a negative or non-finite l'".to_string(),
+        ));
+        return;
+    }
+    // Sec. IV-B, re-derived: two processors cannot retire the summed
+    // best-case demand faster than half of it.
+    let derived = 0.5 * cert.bound.l_prime_s.iter().sum::<f64>();
+    if !close(cert.bound.t_low_s, derived) {
+        report.push(Diagnostic::new(
+            Code::Crt005,
+            at.clone(),
+            format!(
+                "witness claims T_low = {:?} but ½ Σ l' = {:?}",
+                cert.bound.t_low_s, derived
+            ),
+        ));
+    }
+    if cert.makespan_s < cert.bound.t_low_s - EPS * (1.0 + cert.bound.t_low_s) {
+        report.push(
+            Diagnostic::new(
+                Code::Crt005,
+                at,
+                format!(
+                    "claimed makespan {:?}s undercuts the certified lower bound {:?}s",
+                    cert.makespan_s, cert.bound.t_low_s
+                ),
+            )
+            .with_help(
+                "no schedule can beat T_low (Sec. IV-B); the makespan claim is impossible"
+                    .to_string(),
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corun_core::certificate::certify;
+    use corun_core::hcs::{hcs, HcsConfig};
+    use corun_core::TableModel;
+
+    fn model() -> TableModel {
+        // The same synthetic-model recipe core's own tests use, built
+        // through the public constructor so this crate stays decoupled
+        // from core's test internals.
+        let n = 6;
+        let (kc, kg) = (4, 4);
+        let base: Vec<(f64, f64, f64)> = (0..n)
+            .map(|i| {
+                let phase = i as f64 * 0.7;
+                (
+                    6.0 + 4.0 * (1.3 * phase).sin().abs(),
+                    4.0 + 3.0 * (0.9 * phase).cos().abs(),
+                    0.2 + 0.6 * (0.5 + 0.5 * (2.1 * phase).sin()),
+                )
+            })
+            .collect();
+        TableModel::build(
+            (0..n).map(|i| format!("job{i}")).collect(),
+            kc,
+            kg,
+            4.0,
+            |i, dev, f| {
+                let (c, g, _) = base[i];
+                let t = match dev {
+                    apu_sim::Device::Cpu => c,
+                    apu_sim::Device::Gpu => g,
+                };
+                t * (kc as f64) / (f as f64 + 1.0)
+            },
+            |i, _dev, _f, j, _g| (base[i].2 * base[j].2).min(0.9),
+            |_i, dev, f| match dev {
+                apu_sim::Device::Cpu => 3.0 + 2.5 * f as f64,
+                apu_sim::Device::Gpu => 5.0 + 3.0 * f as f64,
+            },
+        )
+    }
+
+    fn good() -> (TableModel, f64) {
+        (model(), 24.0)
+    }
+
+    #[test]
+    fn honest_certificates_pass_every_check() {
+        let (m, cap) = good();
+        let out = hcs(&m, &HcsConfig::with_cap(cap));
+        let cert = certify(&m, &out.schedule, cap);
+        let report = check_certificate_text(&cert.render());
+        assert!(report.is_empty(), "{}", report.render_human());
+    }
+
+    #[test]
+    fn garbage_is_crt001() {
+        let report = check_certificate_text("not a certificate at all");
+        assert!(report.has(Code::Crt001));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn tampering_with_any_witness_is_crt002() {
+        let (m, cap) = good();
+        let out = hcs(&m, &HcsConfig::with_cap(cap));
+        let text = certify(&m, &out.schedule, cap).render();
+        // Tamper with the makespan claim, a power witness, and a theorem
+        // fact in turn: the checksum gate must refuse each one.
+        for (needle, swap) in [
+            ("makespan_s = ", "makespan_s = 0"),
+            ("power_w = ", "power_w = 0"),
+            ("d_cpu = ", "d_cpu = 9"),
+        ] {
+            let tampered = text.replacen(needle, swap, 1);
+            assert_ne!(tampered, text, "tamper needle `{needle}` missed");
+            let report = check_certificate_text(&tampered);
+            assert!(report.has(Code::Crt002), "{}", report.render_human());
+            assert!(report.has_errors());
+        }
+    }
+
+    /// Re-seal a doctored certificate so semantic checks, not the
+    /// checksum, must catch the lie.
+    fn reseal(parsed: &mut corun_core::certificate::ParsedCertificate) -> Report {
+        let text = parsed.cert.render();
+        check_certificate_text(&text)
+    }
+
+    #[test]
+    fn impossible_makespan_is_crt005_even_resealed() {
+        let (m, cap) = good();
+        let out = hcs(&m, &HcsConfig::with_cap(cap));
+        let text = certify(&m, &out.schedule, cap).render();
+        let mut parsed = corun_core::certificate::parse_certificate(&text).unwrap();
+        // Claim a makespan below the certified lower bound and adjust the
+        // last segment to match, then reseal with a fresh checksum.
+        let fake = parsed.cert.bound.t_low_s * 0.5;
+        parsed.cert.makespan_s = fake;
+        parsed.cert.segments.last_mut().unwrap().t1 = fake;
+        let report = reseal(&mut parsed);
+        assert!(report.has(Code::Crt005), "{}", report.render_human());
+    }
+
+    #[test]
+    fn broken_power_accounting_is_crt003() {
+        let (m, cap) = good();
+        let out = hcs(&m, &HcsConfig::with_cap(cap));
+        let text = certify(&m, &out.schedule, cap).render();
+        let mut parsed = corun_core::certificate::parse_certificate(&text).unwrap();
+        parsed.cert.segments[0].power_w = 0.0;
+        let report = reseal(&mut parsed);
+        assert!(report.has(Code::Crt003), "{}", report.render_human());
+    }
+
+    #[test]
+    fn lying_theorem_witness_is_crt004() {
+        let (m, cap) = good();
+        let out = hcs(&m, &HcsConfig::with_cap(cap));
+        let text = certify(&m, &out.schedule, cap).render();
+        let mut parsed = corun_core::certificate::parse_certificate(&text).unwrap();
+        assert!(!parsed.cert.pairs.is_empty(), "schedule has no co-runs");
+        let p = &mut parsed.cert.pairs[0];
+        p.beneficial = !p.beneficial;
+        let report = reseal(&mut parsed);
+        assert!(report.has(Code::Crt004), "{}", report.render_human());
+    }
+
+    #[test]
+    fn torn_timeline_and_missing_jobs_are_crt006() {
+        let (m, cap) = good();
+        let out = hcs(&m, &HcsConfig::with_cap(cap));
+        let text = certify(&m, &out.schedule, cap).render();
+        let mut parsed = corun_core::certificate::parse_certificate(&text).unwrap();
+        parsed.cert.segments[0].t1 += 0.5; // gap to the next segment
+        let report = reseal(&mut parsed);
+        assert!(report.has(Code::Crt006), "{}", report.render_human());
+
+        let mut parsed = corun_core::certificate::parse_certificate(&text).unwrap();
+        parsed.cert.jobs += 1; // job never covered
+        let report = reseal(&mut parsed);
+        assert!(report.has(Code::Crt006), "{}", report.render_human());
+    }
+
+    #[test]
+    fn cap_violation_is_crt003_with_deploy_warning() {
+        let (m, cap) = good();
+        let out = hcs(&m, &HcsConfig::with_cap(cap));
+        let text = certify(&m, &out.schedule, cap).render();
+        let mut parsed = corun_core::certificate::parse_certificate(&text).unwrap();
+        // Lower the cap below the hottest honest segment; power
+        // composition still holds, only the cap check can fire.
+        let peak = parsed
+            .cert
+            .segments
+            .iter()
+            .map(|s| s.power_w)
+            .fold(0.0_f64, f64::max);
+        parsed.cert.cap_w = peak - 1.0;
+        let report = reseal(&mut parsed);
+        assert!(report.has(Code::Crt003), "{}", report.render_human());
+    }
+}

@@ -104,11 +104,47 @@ pub enum Code {
     /// Journal replay hit an inconsistent record (unknown id, duplicate
     /// completion, machine out of range) or could not rebuild a job.
     Srv009,
+    /// Journal records are individually valid but causally out of order
+    /// (e.g. `done` before `dispatch`); the journal is abandoned rather
+    /// than replayed.
+    Srv010,
+    /// Model checking reached a state where an accepted job vanished:
+    /// not queued, not running, not done, not dead-lettered.
+    Mc0001,
+    /// Model checking reached a state where one job occupies two device
+    /// slots at once (double dispatch).
+    Mc0002,
+    /// Model checking reached a state whose journal replay disagrees
+    /// with the in-memory state, or whose replay is not idempotent.
+    Mc0003,
+    /// Model checking reached a state whose counters (power/work books)
+    /// disagree with the job table.
+    Mc0004,
+    /// Bounded exploration hit a depth or state budget before
+    /// exhausting the scope; the verdict covers only the visited part.
+    Mc0005,
+    /// Certificate file is malformed or fails to parse.
+    Crt001,
+    /// Certificate checksum does not match its content (tampering or
+    /// corruption).
+    Crt002,
+    /// A certificate segment's witnessed package power exceeds the cap,
+    /// or its power arithmetic does not re-derive.
+    Crt003,
+    /// A certificate co-run pair witness fails the Co-Run Theorem
+    /// precondition arithmetic.
+    Crt004,
+    /// The certificate lower-bound witness does not re-derive, or the
+    /// claimed makespan is below the witnessed bound.
+    Crt005,
+    /// Certificate segments do not tile the makespan, or a job is
+    /// missing from / duplicated in the segment accounting.
+    Crt006,
 }
 
 impl Code {
     /// Every code, in catalog order.
-    pub const ALL: [Code; 31] = [
+    pub const ALL: [Code; 43] = [
         Code::Sch001,
         Code::Sch002,
         Code::Sch003,
@@ -140,6 +176,18 @@ impl Code {
         Code::Srv007,
         Code::Srv008,
         Code::Srv009,
+        Code::Srv010,
+        Code::Mc0001,
+        Code::Mc0002,
+        Code::Mc0003,
+        Code::Mc0004,
+        Code::Mc0005,
+        Code::Crt001,
+        Code::Crt002,
+        Code::Crt003,
+        Code::Crt004,
+        Code::Crt005,
+        Code::Crt006,
     ];
 
     /// The stable textual form, e.g. `"SCH001"`.
@@ -176,6 +224,18 @@ impl Code {
             Code::Srv007 => "SRV007",
             Code::Srv008 => "SRV008",
             Code::Srv009 => "SRV009",
+            Code::Srv010 => "SRV010",
+            Code::Mc0001 => "MC0001",
+            Code::Mc0002 => "MC0002",
+            Code::Mc0003 => "MC0003",
+            Code::Mc0004 => "MC0004",
+            Code::Mc0005 => "MC0005",
+            Code::Crt001 => "CRT001",
+            Code::Crt002 => "CRT002",
+            Code::Crt003 => "CRT003",
+            Code::Crt004 => "CRT004",
+            Code::Crt005 => "CRT005",
+            Code::Crt006 => "CRT006",
         }
     }
 
@@ -188,8 +248,9 @@ impl Code {
                 Severity::Warning
             }
             // Injected/observed fault events are expected during chaos
-            // runs; only malformed plans (SRV001) and lost work
-            // (SRV006) are errors.
+            // runs; only malformed plans (SRV001), lost work (SRV006),
+            // and causally broken journals (SRV010, which must abandon
+            // recovery) are errors.
             Code::Srv002
             | Code::Srv003
             | Code::Srv004
@@ -197,6 +258,8 @@ impl Code {
             | Code::Srv007
             | Code::Srv008
             | Code::Srv009 => Severity::Warning,
+            // Incomplete exploration is a caveat, not a counterexample.
+            Code::Mc0005 => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -237,6 +300,26 @@ impl Code {
             Code::Srv007 => "the service journal parses under its declared format version",
             Code::Srv008 => "protocol frames stay within the configured size bound",
             Code::Srv009 => "journal replay reconstructs a consistent service state",
+            Code::Srv010 => {
+                "journal records respect dispatch/completion causality and retry monotonicity"
+            }
+            Code::Mc0001 => "no accepted job is ever lost in any reachable service state",
+            Code::Mc0002 => "no job occupies more than one device slot in any reachable state",
+            Code::Mc0003 => "journal replay is idempotent and agrees with the in-memory state",
+            Code::Mc0004 => {
+                "service counters balance against the job table in every reachable state"
+            }
+            Code::Mc0005 => "bounded exploration exhausts the declared scope",
+            Code::Crt001 => "certificates follow the documented text format",
+            Code::Crt002 => "certificate content matches its embedded checksum",
+            Code::Crt003 => {
+                "every certified segment's witnessed power re-derives and respects the cap"
+            }
+            Code::Crt004 => "every certified co-run pair carries a valid Co-Run Theorem witness",
+            Code::Crt005 => "the certified lower bound re-derives and the makespan respects it",
+            Code::Crt006 => {
+                "certified segments tile the makespan and account for every job exactly once"
+            }
         }
     }
 
@@ -251,6 +334,9 @@ impl Code {
             Code::Sch005 => "Sec. II (DVFS levels)",
             Code::Cfg006 => "Sec. V (model validation)",
             Code::Sim003 => "Sec. II (power cap), Sec. VI",
+            Code::Crt003 => "Sec. II (power cap), Sec. IV-C",
+            Code::Crt004 => "Sec. IV-A (Co-Run Theorem)",
+            Code::Crt005 => "Sec. IV-B (lower bound)",
             _ => "-",
         }
     }

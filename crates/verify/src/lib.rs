@@ -32,6 +32,7 @@
 //! assert!(report.has_errors());
 //! ```
 
+pub mod cert;
 pub mod config;
 pub mod diag;
 pub mod pass;
@@ -41,6 +42,7 @@ pub mod schedule;
 pub mod sim;
 pub mod spec;
 
+pub use cert::{check_certificate, check_certificate_text, check_parsed};
 pub use config::{apply_overrides, diagnostic_from_issue, lint_loo, lint_machine};
 pub use diag::{Code, Diagnostic, Report, Severity};
 pub use pass::{LintContext, LintPass, Linter};

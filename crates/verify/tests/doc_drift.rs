@@ -1,0 +1,139 @@
+//! Doc-drift gate: `docs/DIAGNOSTICS.md` and `corun_verify::Code` must
+//! describe the same catalogue.
+//!
+//! The tables in the doc are parsed directly, so this test fails when:
+//!
+//! * a `Code` variant is added without a documented table row;
+//! * a documented row names a code that no longer exists;
+//! * a row's severity disagrees with `Code::default_severity()`;
+//! * a row's invariant text disagrees with `Code::invariant()` — the
+//!   doc row and the code are required to be *verbatim* equal so there
+//!   is exactly one phrasing of each invariant in the tree;
+//! * a row's paper column disagrees with `Code::paper_ref()` for codes
+//!   that cite the paper (rows whose `paper_ref()` is `-` may elaborate
+//!   freely, e.g. contextual references the code itself doesn't carry).
+
+use corun_verify::{Code, Severity};
+use std::collections::BTreeMap;
+
+const DOC: &str = include_str!("../../../docs/DIAGNOSTICS.md");
+
+struct Row {
+    severity: String,
+    invariant: String,
+    paper: String,
+}
+
+/// Parse every `| CODE | severity | invariant | paper |` row out of the
+/// doc's tables, keyed by the code cell.
+fn doc_rows() -> BTreeMap<String, Row> {
+    let mut rows = BTreeMap::new();
+    for line in DOC.lines() {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.trim_matches('|').split('|').map(str::trim).collect();
+        if cells.len() != 4 {
+            continue;
+        }
+        let code = cells[0];
+        // Skip the header and separator rows.
+        if code == "Code" || code.chars().all(|c| c == '-' || c == ' ') {
+            continue;
+        }
+        assert!(
+            code.len() == 6
+                && code
+                    .chars()
+                    .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit()),
+            "table row with malformed code cell `{code}`"
+        );
+        let prev = rows.insert(
+            code.to_string(),
+            Row {
+                severity: cells[1].to_string(),
+                invariant: cells[2].to_string(),
+                paper: cells[3].to_string(),
+            },
+        );
+        assert!(prev.is_none(), "{code} documented twice");
+    }
+    rows
+}
+
+#[test]
+fn every_code_is_documented_and_every_documented_code_exists() {
+    let rows = doc_rows();
+    for code in Code::ALL {
+        assert!(
+            rows.contains_key(code.as_str()),
+            "{} has no table row in docs/DIAGNOSTICS.md",
+            code.as_str()
+        );
+    }
+    for doc_code in rows.keys() {
+        assert!(
+            Code::ALL.iter().any(|c| c.as_str() == doc_code),
+            "docs/DIAGNOSTICS.md documents `{doc_code}`, which is not a corun_verify::Code"
+        );
+    }
+    assert_eq!(rows.len(), Code::ALL.len());
+}
+
+#[test]
+fn documented_severities_match_the_defaults() {
+    let rows = doc_rows();
+    for code in Code::ALL {
+        let row = &rows[code.as_str()];
+        // Footnote daggers (¹) annotate conditional escalation; the
+        // leading word must still be the default severity.
+        let doc_sev: String = row
+            .severity
+            .chars()
+            .take_while(char::is_ascii_lowercase)
+            .collect();
+        let expect = match code.default_severity() {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        assert_eq!(
+            doc_sev,
+            expect,
+            "{}: doc says `{}`, default_severity() says `{expect}`",
+            code.as_str(),
+            row.severity
+        );
+    }
+}
+
+#[test]
+fn documented_invariants_are_verbatim() {
+    let rows = doc_rows();
+    for code in Code::ALL {
+        let row = &rows[code.as_str()];
+        assert_eq!(
+            row.invariant,
+            code.invariant(),
+            "{}: doc invariant drifted from Code::invariant()",
+            code.as_str()
+        );
+    }
+}
+
+#[test]
+fn documented_paper_refs_match_for_citing_codes() {
+    let rows = doc_rows();
+    for code in Code::ALL {
+        let cite = code.paper_ref();
+        if cite == "-" {
+            continue;
+        }
+        assert_eq!(
+            rows[code.as_str()].paper,
+            cite,
+            "{}: doc paper column drifted from Code::paper_ref()",
+            code.as_str()
+        );
+    }
+}

@@ -67,7 +67,7 @@ fn main() {
 
     // Gantt chart of the HCS+ run (one row per device, 60 columns).
     println!();
-    println!("HCS+ timeline (makespan {:.1}s):", t_hcs);
+    println!("HCS+ timeline (makespan {t_hcs:.1}s):");
     let cols = 60.0;
     for device in Device::ALL {
         let mut line = vec![b'.'; cols as usize];

@@ -11,8 +11,8 @@ use perf_model::{characterize, profile_batch, CharacterizeConfig, ProfileMethod,
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cpu_prog = args.first().map(String::as_str).unwrap_or("dwt2d");
-    let gpu_prog = args.get(1).map(String::as_str).unwrap_or("streamcluster");
+    let cpu_prog = args.first().map_or("dwt2d", String::as_str);
+    let gpu_prog = args.get(1).map_or("streamcluster", String::as_str);
 
     let cfg = MachineConfig::ivy_bridge();
     let jobs = rodinia_suite(&cfg);

@@ -166,7 +166,7 @@ mod tests {
         let mut g = c.benchmark_group("grouped");
         for n in [10u64, 100] {
             g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-                b.iter(|| (0..n).product::<u64>())
+                b.iter(|| (0..n).product::<u64>());
             });
         }
         g.finish();

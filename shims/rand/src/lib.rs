@@ -184,8 +184,7 @@ pub fn thread_rng() -> rngs::StdRng {
     use std::time::{SystemTime, UNIX_EPOCH};
     let nanos = SystemTime::now()
         .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_nanos() as u64)
-        .unwrap_or(0x5eed);
+        .map_or(0x5eed, |d| d.as_nanos() as u64);
     rngs::StdRng::seed_from_u64(nanos)
 }
 

@@ -15,7 +15,7 @@ impl<T: ?Sized> Serialize for T {}
 
 /// Marker stand-in for `serde::Deserialize<'de>`; blanket-implemented.
 pub trait Deserialize<'de> {}
-impl<'de, T: ?Sized> Deserialize<'de> for T {}
+impl<T: ?Sized> Deserialize<'_> for T {}
 
 /// Marker stand-in for `serde::de::DeserializeOwned`.
 pub trait DeserializeOwned {}
