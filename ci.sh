@@ -247,4 +247,116 @@ fi
 trap - EXIT
 rm -f "$CHAOS_LOG" "$CHAOS_JOURNAL"
 
+echo "== corun fleet: sharded smoke (4 daemons, 10k jobs, kill -9 + recover)"
+FLEET_DIR=$(mktemp -d)
+FLEET_PIDS=()
+FLEET_ADDRS=()
+stop_fleet() {
+    for pid in "${FLEET_PIDS[@]}"; do
+        kill -9 "$pid" 2>/dev/null || true
+    done
+}
+trap stop_fleet EXIT
+
+start_shard_daemon() {
+    # start_shard_daemon INDEX PORT EXTRA... — sets FLEET_PIDS[i] and
+    # FLEET_ADDRS[i] (must run in this shell, not a substitution).
+    local idx=$1 port=$2
+    shift 2
+    $CORUN serve --fast --port "$port" --machines 2 --queue 64 \
+        --cache "$FLEET_DIR/cache" --journal "$FLEET_DIR/shard-$idx.jsonl" "$@" \
+        >"$FLEET_DIR/shard-$idx.log" 2>&1 &
+    FLEET_PIDS[idx]=$!
+    FLEET_ADDRS[idx]=$(wait_for_addr "$FLEET_DIR/shard-$idx.log" "${FLEET_PIDS[$idx]}")
+}
+
+# Sequential starts share the characterization cache: shard 0 pays once.
+for i in 0 1 2 3; do
+    start_shard_daemon "$i" 0
+done
+ADDRS_CSV=$(
+    IFS=,
+    echo "${FLEET_ADDRS[*]}"
+)
+
+# Drive 10k jobs across the daemons under a 60 W cluster cap.
+FLEET_LOG="$FLEET_DIR/fleet.log"
+timeout 300 $CORUN fleet --addrs "$ADDRS_CSV" --cluster-cap 60 \
+    --spec examples/specs/fleet_smoke.spec --repeat 100 --timeout 240 \
+    >"$FLEET_LOG" 2>&1 &
+FLEET_DRIVER=$!
+
+# Hard-kill shard 2 as soon as the drain starts, then restart it on the
+# same port with --recover: the coordinator must re-dial it and the
+# books must balance.
+for _ in $(seq 1 300); do
+    grep -q 'draining' "$FLEET_LOG" 2>/dev/null && break
+    sleep 0.1
+done
+kill -9 "${FLEET_PIDS[2]}"
+wait "${FLEET_PIDS[2]}" 2>/dev/null || true
+VICTIM_PORT=${FLEET_ADDRS[2]##*:}
+FLEET_ADDRS[2]=""
+sleep 0.5
+# The dead socket may linger briefly; retry the rebind a few times.
+for _ in $(seq 1 10); do
+    if start_shard_daemon 2 "$VICTIM_PORT" --recover; then
+        break
+    fi
+    FLEET_ADDRS[2]=""
+    sleep 1
+done
+if [ -z "${FLEET_ADDRS[2]}" ]; then
+    echo "FAIL: could not restart the killed shard on port $VICTIM_PORT" >&2
+    exit 1
+fi
+
+if ! wait "$FLEET_DRIVER"; then
+    echo "FAIL: fleet driver did not drain cleanly" >&2
+    cat "$FLEET_LOG" >&2
+    exit 1
+fi
+
+# Books must balance: 10k jobs, all terminal, nothing stuck.
+grep -q 'jobs: 10000 total' "$FLEET_LOG" || {
+    echo "FAIL: fleet did not account for all 10000 jobs:" >&2
+    cat "$FLEET_LOG" >&2
+    exit 1
+}
+grep -q '(0 backlog, 0 in flight)' "$FLEET_LOG" || {
+    echo "FAIL: fleet left jobs stuck:" >&2
+    cat "$FLEET_LOG" >&2
+    exit 1
+}
+awk '/^jobs:/ {
+    total = $2; sum = $5 + $8 + $11
+    if (sum != total) { print "FAIL: books do not balance: " $0; exit 1 }
+}' "$FLEET_LOG"
+
+# The cap invariant must have held for the whole run: the peak hand-out
+# never exceeds the cluster cap.
+awk '/^power:/ {
+    cluster = $4; peak = $12
+    if (peak > cluster + 1e-6) {
+        print "FAIL: peak cap hand-out " peak " W exceeds cluster cap " cluster " W"
+        exit 1
+    }
+}' "$FLEET_LOG"
+
+# `fleet status` aggregates the daemons and re-checks the live cap sum.
+timeout 30 $CORUN fleet status --addrs "$ADDRS_CSV" --cluster-cap 60 >/dev/null
+
+for i in 0 1 2 3; do
+    timeout 30 $CORUN shutdown --addr "${FLEET_ADDRS[$i]}" || true
+done
+for pid in "${FLEET_PIDS[@]}"; do
+    for _ in $(seq 1 150); do
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.2
+    done
+done
+trap - EXIT
+stop_fleet
+rm -rf "$FLEET_DIR"
+
 echo "CI OK"

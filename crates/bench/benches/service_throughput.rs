@@ -61,5 +61,39 @@ fn bench_metrics(c: &mut Criterion) {
     svc.shutdown();
 }
 
-criterion_group!(benches, bench_submit, bench_submit_wait, bench_metrics);
+/// Record the headline figures to `BENCH_service.json` (the perf
+/// trajectory the repo's git history tracks): sustained jobs/sec through
+/// the full submit→complete path, and raw admissions/sec.
+fn bench_trajectory(c: &mut Criterion) {
+    let _ = c;
+    let svc = service(100_000);
+    const JOBS: usize = 48;
+    let t0 = std::time::Instant::now();
+    let mut ids = Vec::new();
+    for _ in 0..JOBS {
+        ids.extend(svc.submit_spec("srad x0.05").expect("admitted"));
+    }
+    let submit_s = t0.elapsed().as_secs_f64();
+    for &id in &ids {
+        svc.wait_job(id).expect("known id");
+    }
+    let total_s = t0.elapsed().as_secs_f64();
+    svc.shutdown();
+    let samples = [
+        bench::trajectory::Sample::new("service_jobs_per_sec", JOBS as f64 / total_s, "jobs/s"),
+        bench::trajectory::Sample::new("service_submits_per_sec", JOBS as f64 / submit_s, "ops/s"),
+    ];
+    match bench::trajectory::write("service", &samples) {
+        Ok(path) => println!("trajectory written to {}", path.display()),
+        Err(e) => eprintln!("trajectory write failed: {e}"),
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_submit,
+    bench_submit_wait,
+    bench_metrics,
+    bench_trajectory
+);
 criterion_main!(benches);

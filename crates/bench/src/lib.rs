@@ -54,3 +54,74 @@ pub fn banner(id: &str, what: &str, paper: &str) {
 pub fn fast_flag() -> bool {
     std::env::args().any(|a| a == "--fast")
 }
+
+/// Perf-trajectory files: each throughput bench records its headline
+/// figures to `BENCH_<name>.json` at the workspace root, so the repo's
+/// git history doubles as a performance trajectory. The format is one
+/// flat JSON object — no schema machinery, greppable, diffable.
+pub mod trajectory {
+    use std::io::Write;
+    use std::path::PathBuf;
+
+    /// One measured figure.
+    pub struct Sample {
+        /// What was measured, e.g. `"fleet_jobs_per_sec"`.
+        pub name: &'static str,
+        /// The figure.
+        pub value: f64,
+        /// Unit, e.g. `"jobs/s"`.
+        pub unit: &'static str,
+    }
+
+    impl Sample {
+        /// Shorthand constructor.
+        pub fn new(name: &'static str, value: f64, unit: &'static str) -> Sample {
+            Sample { name, value, unit }
+        }
+    }
+
+    /// Where trajectory files land: `CORUN_BENCH_DIR` if set, else the
+    /// workspace root (two levels up from this crate).
+    fn out_dir() -> PathBuf {
+        match std::env::var_os("CORUN_BENCH_DIR") {
+            Some(dir) => PathBuf::from(dir),
+            None => PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .canonicalize()
+                .unwrap_or_else(|_| PathBuf::from(".")),
+        }
+    }
+
+    /// Write `BENCH_<bench>.json` and return its path. Values that are
+    /// not finite are recorded as `null` rather than producing invalid
+    /// JSON.
+    pub fn write(bench: &str, samples: &[Sample]) -> std::io::Result<PathBuf> {
+        let path = out_dir().join(format!("BENCH_{bench}.json"));
+        let unix = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        let mut body = String::new();
+        body.push_str("{\n");
+        body.push_str(&format!("  \"bench\": \"{bench}\",\n"));
+        body.push_str(&format!("  \"generated_unix\": {unix},\n"));
+        body.push_str("  \"samples\": [\n");
+        for (i, s) in samples.iter().enumerate() {
+            let value = if s.value.is_finite() {
+                // Enough digits to be useful, few enough to diff.
+                format!("{:.4}", s.value)
+            } else {
+                "null".to_string()
+            };
+            body.push_str(&format!(
+                "    {{\"name\": \"{}\", \"value\": {value}, \"unit\": \"{}\"}}{}\n",
+                s.name,
+                s.unit,
+                if i + 1 < samples.len() { "," } else { "" }
+            ));
+        }
+        body.push_str("  ]\n}\n");
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(body.as_bytes())?;
+        Ok(path)
+    }
+}

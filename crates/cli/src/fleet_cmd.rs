@@ -1,0 +1,232 @@
+//! `corun fleet` — drive a sharded fleet under one cluster power cap.
+//!
+//! Two modes:
+//!
+//! * **In-process** (default): spin up `--shards` local shard services,
+//!   each simulating `--machines-per-shard` APUs, route `--spec` across
+//!   them, drain, and print the aggregated books.
+//! * **Remote** (`--addrs a:p,b:p,...`): each shard is a running
+//!   `corun serve` daemon; the coordinator drives them over the
+//!   line-JSON protocol and partitions the cluster cap with `set_cap`.
+//!
+//! `corun fleet status --addrs ...` aggregates the metrics of running
+//! daemons without submitting anything.
+
+use crate::args::Args;
+use corun_fleet::{
+    start_local_shards, Fleet, FleetConfig, FleetMetrics, PlacementKind, RemoteShard, ShardBackend,
+};
+use corun_serve::ServiceConfig;
+
+/// Split a `--addrs` list on commas, rejecting empties.
+fn parse_addrs(list: &str) -> Result<Vec<String>, String> {
+    let addrs: Vec<String> = list
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect();
+    if addrs.is_empty() {
+        return Err("--addrs needs at least one HOST:PORT".into());
+    }
+    Ok(addrs)
+}
+
+fn connect_remote_shards(addrs: &[String]) -> Result<Vec<Box<dyn ShardBackend>>, String> {
+    addrs
+        .iter()
+        .map(|a| {
+            RemoteShard::connect(a)
+                .map(|s| Box::new(s) as Box<dyn ShardBackend>)
+                .map_err(|e| format!("shard {a}: {e}"))
+        })
+        .collect()
+}
+
+/// `corun fleet [status]`.
+pub fn cmd_fleet(args: &Args) -> Result<(), String> {
+    if args.positional.get(1).map(String::as_str) == Some("status") {
+        return cmd_fleet_status(args);
+    }
+    args.reject_unknown(&[
+        "shards",
+        "machines-per-shard",
+        "cluster-cap",
+        "addrs",
+        "spec",
+        "repeat",
+        "placement",
+        "machine",
+        "cache",
+        "journal-dir",
+        "shard-floor",
+        "steal-threshold",
+        "rebalance-every",
+        "timeout",
+        "paranoid",
+    ])?;
+
+    let addrs = args.opt("addrs").map(parse_addrs).transpose()?;
+    let shards = match &addrs {
+        Some(a) => a.len(),
+        None => args.num_or("shards", 4usize)?,
+    };
+    let machines_per_shard = args.num_or("machines-per-shard", 2usize)?;
+    let cluster_cap_w = args.num_or("cluster-cap", 15.0 * shards as f64)?;
+
+    let mut cfg = FleetConfig::new(shards, machines_per_shard, cluster_cap_w);
+    cfg.shard_floor_w = args.num_or("shard-floor", cfg.shard_floor_w)?;
+    cfg.steal_threshold = args.num_or("steal-threshold", cfg.steal_threshold)?;
+    cfg.rebalance_every = args.num_or("rebalance-every", cfg.rebalance_every)?;
+    cfg.placement = PlacementKind::parse(args.opt_or("placement", "ring"))?;
+    cfg.paranoid = args.flag("paranoid");
+
+    let backends = match &addrs {
+        Some(addrs) => connect_remote_shards(addrs)?,
+        None => {
+            let machine = match args.opt_or("machine", "ivy") {
+                "ivy" | "ivy-bridge" => apu_sim::MachineConfig::ivy_bridge(),
+                "kaveri" => apu_sim::MachineConfig::kaveri(),
+                other => return Err(format!("unknown machine `{other}` (ivy, kaveri)")),
+            };
+            let mut template = ServiceConfig::fast(&machine);
+            if let Some(dir) = args.opt("cache") {
+                template.cache_dir = Some(std::path::PathBuf::from(dir));
+            }
+            let journal_dir = args.opt("journal-dir").map(std::path::PathBuf::from);
+            if let Some(dir) = &journal_dir {
+                std::fs::create_dir_all(dir).map_err(|e| format!("--journal-dir {dir:?}: {e}"))?;
+            }
+            println!("starting {shards} local shards x {machines_per_shard} machines ...");
+            start_local_shards(
+                &template,
+                shards,
+                machines_per_shard,
+                journal_dir.as_deref(),
+                |_| None,
+            )
+        }
+    };
+
+    let mut fleet = Fleet::new(cfg, backends)?;
+    println!(
+        "fleet up: {shards} shards, {} machines, {cluster_cap_w} W cluster cap",
+        shards * machines_per_shard
+    );
+
+    if let Some(path) = args.opt("spec") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("--spec {path}: {e}"))?;
+        let repeat: usize = args.num_or("repeat", 1usize)?;
+        let mut total = 0usize;
+        for _ in 0..repeat.max(1) {
+            total += fleet.submit_spec(&text)?.len();
+            fleet.pump();
+        }
+        println!("admitted {total} job(s); draining ...");
+        let timeout_s = args.num_or("timeout", 600.0)?;
+        match fleet.drain(timeout_s) {
+            Ok(m) => print!("{}", render_metrics(&m)),
+            Err(e) => {
+                print!("{}", render_metrics(&fleet.metrics()));
+                return Err(e);
+            }
+        }
+    } else {
+        // No spec: just report the fleet's aggregated state.
+        print!("{}", render_metrics(&fleet.metrics()));
+    }
+
+    // Local shards are ours to stop; remote daemons keep running (use
+    // `corun shutdown` per daemon to stop them).
+    if addrs.is_none() {
+        fleet.begin_shutdown();
+        fleet.finish();
+    }
+    Ok(())
+}
+
+/// `corun fleet status --addrs a,b,c`: aggregate running daemons.
+fn cmd_fleet_status(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["addrs", "cluster-cap"])?;
+    let addrs = parse_addrs(
+        args.opt("addrs")
+            .ok_or("--addrs HOST:PORT,... is required")?,
+    )?;
+    let mut backends = connect_remote_shards(&addrs)?;
+    let mut total_done = 0usize;
+    let mut total_submitted = 0usize;
+    let mut total_queue = 0usize;
+    let mut cap_sum = 0.0f64;
+    println!("shard  addr                   queue  submitted  done  dead  cap_w");
+    for (s, backend) in backends.iter_mut().enumerate() {
+        let m = backend
+            .metrics()
+            .map_err(|e| format!("{}: {e}", addrs[s]))?;
+        println!(
+            "{s:>5}  {:<21}  {:>5}  {:>9}  {:>4}  {:>4}  {:>5.1}",
+            addrs[s], m.queue_depth, m.submitted, m.completed, m.dead_lettered, m.cap_w
+        );
+        total_done += m.completed;
+        total_submitted += m.submitted;
+        total_queue += m.queue_depth;
+        cap_sum += m.cap_w;
+    }
+    println!(
+        "total: {n} shard(s), {total_submitted} submitted, {total_done} done, \
+         {total_queue} queued, caps sum {cap_sum:.1} W",
+        n = addrs.len()
+    );
+    if let Some(cluster) = args.num::<f64>("cluster-cap")? {
+        let report = corun_verify::lint_shard_caps(
+            &backends
+                .iter_mut()
+                .filter_map(|b| b.metrics().ok().map(|m| m.cap_w))
+                .collect::<Vec<_>>(),
+            cluster,
+        );
+        if report.is_empty() {
+            println!("cap check: OK (sum within the {cluster} W cluster cap)");
+        } else {
+            print!("{}", report.render_human());
+            return Err("shard caps exceed the cluster cap".into());
+        }
+    }
+    Ok(())
+}
+
+/// Human rendering of the fleet books (the smoke test greps these
+/// lines).
+fn render_metrics(m: &FleetMetrics) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "fleet: {} shard(s) ({} alive), placement {}, round {}\n",
+        m.shards.len(),
+        m.alive.iter().filter(|&&a| a).count(),
+        m.placement,
+        m.rounds
+    ));
+    out.push_str(&format!(
+        "jobs: {} total = {} done + {} dead-letter + {} rejected ({} backlog, {} in flight)\n",
+        m.jobs_total, m.jobs_done, m.jobs_dead_letter, m.jobs_rejected, m.backlog, m.in_flight
+    ));
+    out.push_str(&format!(
+        "power: cluster cap {:.1} W, caps sum {:.1} W, peak hand-out {:.1} W\n",
+        m.cluster_cap_w, m.cap_sum_w, m.max_cap_sum_w
+    ));
+    out.push_str(&format!(
+        "moves: {} steal(s), {} rebalance(s), {} lost-requeue(s)\n",
+        m.steals, m.rebalances, m.lost_requeues
+    ));
+    for (s, sm) in m.shards.iter().enumerate() {
+        out.push_str(&format!(
+            "shard {s}: {} queued, {} submitted, {} done, {} dead, cap {:.1} W, {}\n",
+            sm.queue_depth,
+            sm.submitted,
+            sm.completed,
+            sm.dead_lettered,
+            sm.cap_w,
+            if m.alive[s] { "alive" } else { "DOWN" }
+        ));
+    }
+    out
+}

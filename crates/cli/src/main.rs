@@ -13,6 +13,10 @@
 //! corun serve      [--port N] [--machine ivy|kaveri] [--cap W] [--queue N]
 //!                  [--machines N] [--fast] [--cache DIR] [--journal FILE]
 //!                  [--recover] [--fault-plan SPEC] [--max-retries N]
+//! corun fleet      [--shards N] [--machines-per-shard M] [--cluster-cap W]
+//!                  [--addrs H:P,H:P,...] [--spec FILE] [--repeat N]
+//!                  [--placement ring|least-loaded] [--journal-dir DIR]
+//! corun fleet status --addrs H:P,H:P,... [--cluster-cap W]
 //! corun submit     --addr HOST:PORT --spec FILE [--wait] [--timeout S]
 //!                  [--no-retry] [--retries N]
 //! corun status     --addr HOST:PORT [--id N] [--diag]
@@ -20,6 +24,7 @@
 //! ```
 
 mod args;
+mod fleet_cmd;
 mod mc_cmd;
 mod serve_cmd;
 
@@ -62,6 +67,7 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         "lint" => cmd_lint(&args),
         "mc" => mc_cmd::cmd_mc(&args),
         "serve" => serve_cmd::cmd_serve(&args),
+        "fleet" => fleet_cmd::cmd_fleet(&args),
         "submit" => serve_cmd::cmd_submit(&args),
         "status" => serve_cmd::cmd_status(&args),
         "shutdown" => serve_cmd::cmd_shutdown(&args),
@@ -93,6 +99,9 @@ fn print_help() {
          \x20 serve                         run the scheduling daemon (TCP, line-JSON);\n\
          \x20                               --journal F [--recover] for crash safety,\n\
          \x20                               --fault-plan F injects @chaos faults\n\
+         \x20 fleet                         shard a workload across many services under\n\
+         \x20                               one cluster power cap (--addrs for remote\n\
+         \x20                               daemons; `fleet status` aggregates metrics)\n\
          \x20 submit --addr H:P --spec F    send a workload spec to a running daemon\n\
          \x20                               (retries queue_full; --no-retry to fail fast)\n\
          \x20 status --addr H:P [--id N]    query a job, the metrics snapshot, or\n\

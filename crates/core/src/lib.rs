@@ -18,6 +18,7 @@
 //! Extensions beyond the paper:
 //!
 //! * [`bnb`] — branch-and-bound optimal search (small batches);
+//! * [`budget`] — cluster-wide power-budget partitioning across shards;
 //! * [`anneal`] — simulated-annealing schedule search;
 //! * [`online`] — arrival-driven online policy and model-level replay;
 //! * [`chains`] — long-job / short-job-sequence arithmetic and solver;
@@ -28,6 +29,7 @@ pub mod anneal;
 pub mod baselines;
 pub mod bnb;
 pub mod bound;
+pub mod budget;
 pub mod certificate;
 pub mod chains;
 pub mod evaluate;
@@ -46,6 +48,7 @@ pub use anneal::{anneal, AnnealConfig, AnnealOutcome};
 pub use baselines::{default_partition, random_schedule, DefaultPartition};
 pub use bnb::{branch_and_bound, BnbConfig, BnbResult};
 pub use bound::{lower_bound, BoundReport};
+pub use budget::{partition_cluster_cap, respects_cluster_cap, ShardDemand};
 pub use certificate::{
     certify, parse_certificate, BoundWitness, Certificate, PairWitness, ParsedCertificate,
     SegmentWitness, CERT_FORMAT_VERSION,

@@ -163,6 +163,33 @@ impl OnlinePolicy {
         }
     }
 
+    /// The power cap this policy currently schedules under, watts.
+    pub fn cap_w(&self) -> f64 {
+        self.cfg.cap_w
+    }
+
+    /// Re-cap the policy (fleet budget rebalancing hands shards new caps
+    /// while they run). Preferences depend on the cap through the
+    /// cap-feasible frequency grid, so they are recomputed for every
+    /// admitted job — exactly what [`OnlinePolicy::new`] would have
+    /// produced had it been built with the new cap.
+    ///
+    /// # Panics
+    ///
+    /// If `model` does not cover every admitted job.
+    pub fn set_cap_w(&mut self, model: &dyn CoRunModel, cap_w: f64) {
+        assert!(
+            self.preference.len() <= model.len(),
+            "model covers {} jobs but {} are admitted",
+            model.len(),
+            self.preference.len()
+        );
+        self.cfg.cap_w = cap_w;
+        for (job, slot) in self.preference.iter_mut().enumerate() {
+            *slot = categorize(model, &self.cfg, job);
+        }
+    }
+
     /// Replace the retry policy governing [`OnlinePolicy::requeue`].
     pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
         self.retry = retry;

@@ -1,0 +1,620 @@
+//! The fleet coordinator: placement, submission pumping, completion
+//! tracking, work stealing, budget rebalancing, and shard recovery.
+//!
+//! The coordinator is deliberately a *polling* loop ([`Fleet::pump`])
+//! rather than a callback web: every round it refreshes its view of the
+//! shards, rebalances the cluster power budget on its cadence, steals
+//! backlog between imbalanced shards, pushes submissions, and folds
+//! terminal job states back into the [`Router`]. One thread drives
+//! thousands of simulated machines this way; the shards do the heavy
+//! lifting on their own worker threads (in-process mode) or in separate
+//! daemons (remote mode).
+
+use crate::placement::{HashRing, LeastLoaded, Placement, ShardView};
+use crate::router::{FleetJobId, JobLoc, Router};
+use crate::shard::{JobPhase, ShardBackend, ShardMetrics, SubmitOutcome};
+use corun_core::budget::{partition_cluster_cap, ShardDemand};
+use std::collections::BTreeMap;
+
+/// Which placement policy the coordinator routes with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementKind {
+    /// Consistent-hash ring by job key, least-loaded only as liveness
+    /// fallback.
+    Ring,
+    /// Always the live shard with the shallowest load.
+    LeastLoaded,
+}
+
+impl PlacementKind {
+    fn build(self, shards: usize) -> Box<dyn Placement> {
+        match self {
+            PlacementKind::Ring => Box::new(HashRing::new(shards)),
+            PlacementKind::LeastLoaded => Box::new(LeastLoaded),
+        }
+    }
+
+    /// Parse `"ring"` / `"least-loaded"`.
+    pub fn parse(s: &str) -> Result<PlacementKind, String> {
+        match s {
+            "ring" => Ok(PlacementKind::Ring),
+            "least-loaded" => Ok(PlacementKind::LeastLoaded),
+            other => Err(format!(
+                "unknown placement `{other}` (expected `ring` or `least-loaded`)"
+            )),
+        }
+    }
+}
+
+/// Coordinator configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Shard count (must match the backend vector handed to
+    /// [`Fleet::new`]).
+    pub shards: usize,
+    /// Simulated machines per shard (topology metadata for lints and
+    /// status output; the backends themselves define the truth).
+    pub machines_per_shard: usize,
+    /// The datacenter power cap partitioned across shards, watts.
+    pub cluster_cap_w: f64,
+    /// Minimum cap every live shard keeps, watts.
+    pub shard_floor_w: f64,
+    /// Queue-depth spread (max - min over live shards) that triggers
+    /// work stealing.
+    pub steal_threshold: usize,
+    /// Max jobs one steal moves.
+    pub steal_batch: usize,
+    /// Rounds between budget rebalances.
+    pub rebalance_every: usize,
+    /// Stop submitting to a shard once its observed queue depth reaches
+    /// this many jobs.
+    pub queue_high_water: usize,
+    /// Max submissions pushed to one shard in one round.
+    pub submit_burst: usize,
+    /// Placement policy.
+    pub placement: PlacementKind,
+    /// Re-dial / restart dead shards automatically every
+    /// `recover_backoff_rounds`.
+    pub auto_recover: bool,
+    /// Rounds between automatic recovery attempts for a dead shard.
+    pub recover_backoff_rounds: u64,
+    /// Run `Router::check_books` every round (O(jobs); tests only).
+    pub paranoid: bool,
+}
+
+impl FleetConfig {
+    /// Defaults sized for in-process fleets.
+    pub fn new(shards: usize, machines_per_shard: usize, cluster_cap_w: f64) -> FleetConfig {
+        FleetConfig {
+            shards,
+            machines_per_shard,
+            cluster_cap_w,
+            shard_floor_w: 5.0,
+            steal_threshold: 8,
+            steal_batch: 32,
+            rebalance_every: 4,
+            queue_high_water: 48,
+            submit_burst: 16,
+            placement: PlacementKind::Ring,
+            auto_recover: true,
+            recover_backoff_rounds: 10,
+            paranoid: false,
+        }
+    }
+
+    /// The `FLT0xx` lint view of this config.
+    pub fn lint(&self) -> corun_verify::Report {
+        corun_verify::lint_fleet(&corun_verify::FleetParams {
+            shards: self.shards,
+            machines_per_shard: self.machines_per_shard,
+            cluster_cap_w: self.cluster_cap_w,
+            shard_floor_w: self.shard_floor_w,
+            steal_threshold: self.steal_threshold,
+            rebalance_every: self.rebalance_every,
+        })
+    }
+}
+
+/// Aggregated fleet metrics (`corun fleet` surfaces these).
+#[derive(Debug, Clone)]
+pub struct FleetMetrics {
+    /// Per-shard snapshots (last successful poll for dead shards).
+    pub shards: Vec<ShardMetrics>,
+    /// Per-shard liveness.
+    pub alive: Vec<bool>,
+    /// Per-shard caps from the last rebalance, watts.
+    pub caps_w: Vec<f64>,
+    /// Sum of the live caps, watts.
+    pub cap_sum_w: f64,
+    /// Largest cap sum ever handed out, watts (must stay within the
+    /// cluster cap — the smoke test asserts it).
+    pub max_cap_sum_w: f64,
+    /// The cluster cap, watts.
+    pub cluster_cap_w: f64,
+    /// Jobs admitted to the fleet.
+    pub jobs_total: usize,
+    /// Jobs finished.
+    pub jobs_done: usize,
+    /// Jobs dead-lettered by their shard.
+    pub jobs_dead_letter: usize,
+    /// Jobs rejected (lint / infeasible).
+    pub jobs_rejected: usize,
+    /// Jobs waiting in coordinator backlogs.
+    pub backlog: usize,
+    /// Jobs accepted by a shard and not yet terminal.
+    pub in_flight: usize,
+    /// Jobs moved by work stealing.
+    pub steals: usize,
+    /// Budget rebalance rounds executed.
+    pub rebalances: usize,
+    /// Jobs requeued after losing their shard incarnation.
+    pub lost_requeues: usize,
+    /// Pump rounds executed.
+    pub rounds: u64,
+    /// Placement policy name.
+    pub placement: &'static str,
+}
+
+impl FleetMetrics {
+    /// All admitted jobs accounted for and terminal.
+    pub fn drained(&self) -> bool {
+        self.jobs_done + self.jobs_dead_letter + self.jobs_rejected == self.jobs_total
+    }
+}
+
+/// The coordinator.
+pub struct Fleet {
+    cfg: FleetConfig,
+    shards: Vec<Box<dyn ShardBackend>>,
+    router: Router,
+    view: ShardView,
+    /// Shard-local id -> fleet id, per shard.
+    outstanding: Vec<BTreeMap<usize, FleetJobId>>,
+    /// Last terminal count (`completed + dead_lettered`) folded per
+    /// shard; a change triggers an outstanding sweep.
+    folded_terminal: Vec<usize>,
+    force_sweep: Vec<bool>,
+    metrics_cache: Vec<ShardMetrics>,
+    caps_w: Vec<f64>,
+    rounds: u64,
+    steals_total: usize,
+    rebalances: usize,
+    lost_requeues: usize,
+    max_cap_sum_w: f64,
+    next_key: u64,
+}
+
+impl Fleet {
+    /// Build a coordinator over `shards` backends. Fails on `FLT0xx`
+    /// lint errors or a backend-count mismatch.
+    pub fn new(cfg: FleetConfig, shards: Vec<Box<dyn ShardBackend>>) -> Result<Fleet, String> {
+        if shards.len() != cfg.shards {
+            return Err(format!(
+                "config says {} shards but {} backends were provided",
+                cfg.shards,
+                shards.len()
+            ));
+        }
+        let report = cfg.lint();
+        if report.has_errors() {
+            return Err(format!(
+                "fleet config failed lint:\n{}",
+                report.render_human()
+            ));
+        }
+        let n = cfg.shards;
+        let router = Router::new(n, cfg.placement.build(n));
+        let mut fleet = Fleet {
+            router,
+            view: ShardView::fresh(n),
+            outstanding: vec![BTreeMap::new(); n],
+            folded_terminal: vec![0; n],
+            force_sweep: vec![false; n],
+            metrics_cache: vec![ShardMetrics::default(); n],
+            caps_w: vec![0.0; n],
+            rounds: 0,
+            steals_total: 0,
+            rebalances: 0,
+            lost_requeues: 0,
+            max_cap_sum_w: 0.0,
+            next_key: 0,
+            shards,
+            cfg,
+        };
+        fleet.poll_shards();
+        fleet.rebalance();
+        Ok(fleet)
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// Admit a workload spec fragment to the fleet: each expanded job is
+    /// placed independently by key. Returns the fleet job ids.
+    pub fn submit_spec(&mut self, text: &str) -> Result<Vec<FleetJobId>, String> {
+        let (lines, report) = corun_verify::lint_spec_full(text);
+        if report.has_errors() {
+            return Err(format!("spec failed lint:\n{}", report.render_human()));
+        }
+        let mut ids = Vec::new();
+        for line in &lines {
+            for _ in 0..line.count {
+                let key = format!("{}x{}#{}", line.name, line.scale, self.next_key);
+                self.next_key += 1;
+                let spec = format!("{} x{}", line.name, line.scale);
+                match self.router.admit(key, spec, &self.view) {
+                    Ok(id) => ids.push(id),
+                    Err(_) => return Err("no live shard to place jobs on".into()),
+                }
+            }
+        }
+        Ok(ids)
+    }
+
+    /// One coordinator round; returns the number of jobs newly observed
+    /// terminal. Cheap when nothing changed — callers loop this with a
+    /// short sleep (see [`Fleet::drain`]).
+    pub fn pump(&mut self) -> usize {
+        self.rounds += 1;
+        self.poll_shards();
+        if self.cfg.auto_recover
+            && self
+                .rounds
+                .is_multiple_of(self.cfg.recover_backoff_rounds.max(1))
+            && (0..self.cfg.shards).any(|s| !self.view.alive[s])
+        {
+            let dead: Vec<usize> = (0..self.cfg.shards)
+                .filter(|&s| !self.view.alive[s])
+                .collect();
+            for s in dead {
+                let _ = self.recover_shard(s);
+            }
+        }
+        if self.cfg.rebalance_every > 0
+            && self.rounds.is_multiple_of(self.cfg.rebalance_every as u64)
+        {
+            self.rebalance();
+        }
+        self.evacuate_dead();
+        let steals =
+            self.router
+                .auto_steal(&self.view, self.cfg.steal_threshold, self.cfg.steal_batch);
+        self.steals_total += steals.iter().map(|s| s.moved).sum::<usize>();
+        self.push_submissions();
+        let folded = self.fold_completions();
+        if self.cfg.paranoid {
+            self.router.check_books();
+        }
+        debug_assert!(corun_core::respects_cluster_cap(
+            &self.caps_w,
+            self.cfg.cluster_cap_w
+        ));
+        folded
+    }
+
+    /// Pump until every admitted job is terminal or `timeout_s` elapses.
+    pub fn drain(&mut self, timeout_s: f64) -> Result<FleetMetrics, String> {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs_f64(timeout_s);
+        loop {
+            let folded = self.pump();
+            if self.router.terminal() == self.router.jobs() {
+                return Ok(self.metrics());
+            }
+            if std::time::Instant::now() >= deadline {
+                let m = self.metrics();
+                return Err(format!(
+                    "fleet did not drain within {timeout_s}s: {}/{} terminal \
+                     ({} backlog, {} in flight)",
+                    m.jobs_done + m.jobs_dead_letter + m.jobs_rejected,
+                    m.jobs_total,
+                    m.backlog,
+                    m.in_flight
+                ));
+            }
+            if folded == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+    }
+
+    /// Aggregated metrics.
+    pub fn metrics(&self) -> FleetMetrics {
+        let mut done = 0;
+        let mut dead = 0;
+        let mut rejected = 0;
+        let mut backlog = 0;
+        let mut in_flight = 0;
+        for id in 0..self.router.jobs() {
+            match self.router.job(id).loc {
+                JobLoc::Done(_) => done += 1,
+                JobLoc::DeadLetter(_) => dead += 1,
+                JobLoc::Rejected => rejected += 1,
+                JobLoc::Backlog(_) | JobLoc::Submitting(_) => backlog += 1,
+                JobLoc::Submitted { .. } => in_flight += 1,
+            }
+        }
+        let cap_sum_w = self.caps_w.iter().sum();
+        FleetMetrics {
+            shards: self.metrics_cache.clone(),
+            alive: self.view.alive.clone(),
+            caps_w: self.caps_w.clone(),
+            cap_sum_w,
+            max_cap_sum_w: self.max_cap_sum_w,
+            cluster_cap_w: self.cfg.cluster_cap_w,
+            jobs_total: self.router.jobs(),
+            jobs_done: done,
+            jobs_dead_letter: dead,
+            jobs_rejected: rejected,
+            backlog,
+            in_flight,
+            steals: self.steals_total,
+            rebalances: self.rebalances,
+            lost_requeues: self.lost_requeues,
+            rounds: self.rounds,
+            placement: match self.cfg.placement {
+                PlacementKind::Ring => "ring",
+                PlacementKind::LeastLoaded => "least-loaded",
+            },
+        }
+    }
+
+    /// The router's books (tests poke at job states through this).
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Force one shard through recovery: restart/reconnect it, then
+    /// immediately rebalance so it runs under a freshly partitioned cap.
+    pub fn recover_shard(&mut self, shard: usize) -> Result<(), String> {
+        // Partition as if the shard were already back so its restart cap
+        // is its post-recovery budget, not a stale one. Lower the other
+        // live shards *first*: the recovering shard's new share may be
+        // larger than what its death left reserved, and budget must be
+        // freed before it is re-spent.
+        let caps = self.partitioned_caps(Some(shard));
+        self.assert_caps(&caps);
+        for (s, &cap) in caps.iter().enumerate() {
+            if s != shard && self.view.alive[s] && cap > 0.0 && cap < self.caps_w[s] {
+                if self.shards[s].set_cap(cap).is_ok() {
+                    self.caps_w[s] = cap;
+                } else {
+                    self.view.alive[s] = false;
+                }
+            }
+        }
+        self.shards[shard].recover(caps[shard])?;
+        self.view.alive[shard] = true;
+        self.force_sweep[shard] = true;
+        self.apply_caps(caps);
+        self.rebalances += 1;
+        Ok(())
+    }
+
+    /// Begin a graceful fleet-wide shutdown.
+    pub fn begin_shutdown(&mut self) {
+        for shard in &mut self.shards {
+            shard.begin_shutdown();
+        }
+    }
+
+    /// Finish shutdown (joins in-process shard workers).
+    pub fn finish(&mut self) {
+        for shard in &mut self.shards {
+            shard.finish();
+        }
+    }
+
+    /// Partition the cluster cap across shards, treating `treat_alive`
+    /// (a shard mid-recovery) as live. A dead shard keeps its last
+    /// booked cap *reserved* — it may merely be unreachable and still
+    /// running under that cap — so only the remainder is split across
+    /// the live shards. The returned vector carries the booked figure
+    /// for dead shards, so its sum is the fleet-wide hand-out.
+    fn partitioned_caps(&self, treat_alive: Option<usize>) -> Vec<f64> {
+        let live = |s: usize| self.view.alive[s] || treat_alive == Some(s);
+        let reserved: f64 = (0..self.cfg.shards)
+            .filter(|&s| !live(s))
+            .map(|s| self.caps_w[s])
+            .sum();
+        let available = (self.cfg.cluster_cap_w - reserved).max(0.0);
+        let demands: Vec<ShardDemand> = (0..self.cfg.shards)
+            .map(|s| {
+                if live(s) {
+                    ShardDemand::Up {
+                        watts: self.metrics_cache[s].demand_jobs() as f64,
+                    }
+                } else {
+                    ShardDemand::Down
+                }
+            })
+            .collect();
+        let mut caps = partition_cluster_cap(available, &demands, self.cfg.shard_floor_w);
+        for (s, cap) in caps.iter_mut().enumerate() {
+            if !live(s) {
+                *cap = self.caps_w[s];
+            }
+        }
+        caps
+    }
+
+    fn assert_caps(&self, caps: &[f64]) {
+        let report = corun_verify::lint_shard_caps(caps, self.cfg.cluster_cap_w);
+        assert!(
+            report.is_empty(),
+            "budget partition broke the cluster-cap invariant:\n{}",
+            report.render_human()
+        );
+    }
+
+    /// Push `caps` to live shards (skipping unchanged ones) and record
+    /// the hand-out.
+    fn apply_caps(&mut self, caps: Vec<f64>) {
+        for (s, &cap) in caps.iter().enumerate() {
+            if !self.view.alive[s] || cap <= 0.0 {
+                continue;
+            }
+            if (cap - self.caps_w[s]).abs() < 1e-9 {
+                continue;
+            }
+            if self.shards[s].set_cap(cap).is_err() {
+                // Push failed: the shard is down; it holds its *old* cap,
+                // so keep that figure on the books (conservative: the sum
+                // of booked caps still bounds what shards may draw).
+                self.view.alive[s] = false;
+            }
+        }
+        for (s, &cap) in caps.iter().enumerate() {
+            if self.view.alive[s] {
+                self.caps_w[s] = cap;
+            }
+        }
+        let sum: f64 = self.caps_w.iter().sum();
+        self.max_cap_sum_w = self.max_cap_sum_w.max(sum);
+    }
+
+    fn rebalance(&mut self) {
+        let caps = self.partitioned_caps(None);
+        self.assert_caps(&caps);
+        self.apply_caps(caps);
+        self.rebalances += 1;
+    }
+
+    fn poll_shards(&mut self) {
+        for s in 0..self.cfg.shards {
+            match self.shards[s].metrics() {
+                Ok(m) => {
+                    let was_alive = self.view.alive[s];
+                    self.metrics_cache[s] = m;
+                    self.view.alive[s] = m.is_alive();
+                    if was_alive && !m.is_alive() {
+                        // All workers gone: in-flight work is frozen, not
+                        // lost — journal recovery (recover_shard) brings
+                        // it back. Keep outstanding until then.
+                    }
+                }
+                Err(_) => {
+                    self.view.alive[s] = false;
+                }
+            }
+            self.view.load[s] = self.router.backlog_depth(s)
+                + if self.view.alive[s] {
+                    self.metrics_cache[s].queue_depth
+                } else {
+                    0
+                };
+        }
+    }
+
+    /// Move backlog away from dead shards while anything else is live.
+    fn evacuate_dead(&mut self) {
+        if !self.view.alive.iter().any(|&a| a) {
+            return;
+        }
+        for s in 0..self.cfg.shards {
+            if !self.view.alive[s] && self.router.backlog_depth(s) > 0 {
+                self.router.evacuate_backlog(s, &self.view);
+            }
+        }
+    }
+
+    fn push_submissions(&mut self) {
+        for s in 0..self.cfg.shards {
+            if !self.view.alive[s] {
+                continue;
+            }
+            let mut queued_estimate = self.metrics_cache[s].queue_depth;
+            for _ in 0..self.cfg.submit_burst {
+                if queued_estimate >= self.cfg.queue_high_water {
+                    break;
+                }
+                let Some(id) = self.router.begin_submit(s) else {
+                    break;
+                };
+                let spec = self.router.job(id).spec.clone();
+                match self.shards[s].submit(&spec) {
+                    SubmitOutcome::Accepted(local_ids) => {
+                        assert_eq!(
+                            local_ids.len(),
+                            1,
+                            "fleet specs are single-job lines, got {} ids",
+                            local_ids.len()
+                        );
+                        self.router.confirm(id, local_ids[0]);
+                        self.outstanding[s].insert(local_ids[0], id);
+                        queued_estimate += 1;
+                    }
+                    SubmitOutcome::Backpressure { .. } => {
+                        self.router.abort(id);
+                        break;
+                    }
+                    SubmitOutcome::Refused(_) => {
+                        self.router.reject(id);
+                    }
+                    SubmitOutcome::Down(_) => {
+                        self.router.abort(id);
+                        self.view.alive[s] = false;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sweep shards whose terminal counters moved and fold job fates
+    /// into the router. Returns how many jobs left the outstanding set.
+    fn fold_completions(&mut self) -> usize {
+        let mut folded = 0;
+        for s in 0..self.cfg.shards {
+            if !self.view.alive[s] {
+                continue;
+            }
+            let terminal = self.metrics_cache[s].completed + self.metrics_cache[s].dead_lettered;
+            if terminal == self.folded_terminal[s] && !self.force_sweep[s] {
+                continue;
+            }
+            self.force_sweep[s] = false;
+            let locals: Vec<usize> = self.outstanding[s].keys().copied().collect();
+            for local in locals {
+                let Ok(phase) = self.shards[s].job_phase(local) else {
+                    self.view.alive[s] = false;
+                    break;
+                };
+                let id = self.outstanding[s][&local];
+                match phase {
+                    JobPhase::Pending => {}
+                    JobPhase::Done => {
+                        self.router.complete(id, s);
+                        self.outstanding[s].remove(&local);
+                        folded += 1;
+                    }
+                    JobPhase::DeadLetter => {
+                        self.router.dead_letter(id, s);
+                        self.outstanding[s].remove(&local);
+                        folded += 1;
+                    }
+                    JobPhase::Rejected => {
+                        // A shard cannot reject after accepting — but a
+                        // recovered journal may surface it; count it as
+                        // dead-lettered so the job is terminal, not lost.
+                        debug_assert!(false, "job {id} rejected after acceptance");
+                        self.router.dead_letter(id, s);
+                        self.outstanding[s].remove(&local);
+                        folded += 1;
+                    }
+                    JobPhase::Unknown => {
+                        // This incarnation never heard of the id: the old
+                        // one died without a journal. Route it again.
+                        self.router.requeue_lost(id, &self.view);
+                        self.outstanding[s].remove(&local);
+                        self.lost_requeues += 1;
+                        folded += 1;
+                    }
+                }
+            }
+            self.folded_terminal[s] = terminal;
+        }
+        folded
+    }
+}

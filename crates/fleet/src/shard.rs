@@ -1,0 +1,396 @@
+//! Shard backends: the coordinator's uniform view of one shard, whether
+//! it is an in-process [`corun_serve::Service`] or a remote `corun
+//! serve` daemon reached over the line-JSON protocol.
+
+use apu_sim::FaultPlan;
+use corun_serve::{Client, JobState, Json, Service, ServiceConfig, SubmitError};
+use std::path::Path;
+
+/// What happened to one submission attempt.
+#[derive(Debug)]
+pub enum SubmitOutcome {
+    /// The shard accepted the jobs under these shard-local ids.
+    Accepted(Vec<usize>),
+    /// Queue full; try again after the hint.
+    Backpressure {
+        /// Server back-off hint, seconds.
+        retry_after_s: f64,
+    },
+    /// Permanently refused (lint failure, cap-infeasible): terminal.
+    Refused(String),
+    /// The shard is unreachable or shutting down; the job stays with the
+    /// coordinator and the shard is marked dead.
+    Down(String),
+}
+
+/// Coordinator-level view of one shard-local job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Admitted, not yet terminal (queued or running).
+    Pending,
+    /// Finished.
+    Done,
+    /// Retry budget exhausted on the shard.
+    DeadLetter,
+    /// Rejected by the shard's admission gate.
+    Rejected,
+    /// The shard does not know the id — a restarted, unrecovered
+    /// incarnation. The coordinator requeues the job elsewhere.
+    Unknown,
+}
+
+/// The slice of a shard's metrics the coordinator consumes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardMetrics {
+    /// Jobs admitted but not yet dispatched.
+    pub queue_depth: usize,
+    /// Jobs ever admitted (accepted minus admission-rejected).
+    pub submitted: usize,
+    /// Jobs completed.
+    pub completed: usize,
+    /// Jobs dead-lettered.
+    pub dead_lettered: usize,
+    /// Worker threads still alive.
+    pub workers_alive: usize,
+    /// Simulated machines.
+    pub machines: usize,
+    /// The shard's live power cap, watts.
+    pub cap_w: f64,
+    /// Power samples above the cap.
+    pub cap_violations: usize,
+    /// Power samples observed.
+    pub cap_samples: usize,
+}
+
+impl ShardMetrics {
+    /// Admitted-but-unfinished jobs — the demand weight the budget
+    /// partitioner splits the cluster cap by.
+    pub fn demand_jobs(&self) -> usize {
+        self.submitted
+            .saturating_sub(self.completed + self.dead_lettered)
+    }
+
+    /// A shard with no live workers can accept but never finish work.
+    pub fn is_alive(&self) -> bool {
+        self.workers_alive > 0
+    }
+}
+
+/// One shard as the coordinator drives it.
+pub trait ShardBackend: Send {
+    /// Submit one spec fragment.
+    fn submit(&mut self, spec: &str) -> SubmitOutcome;
+
+    /// Phase of one shard-local job. `Err` means the shard is down.
+    fn job_phase(&mut self, local_id: usize) -> Result<JobPhase, String>;
+
+    /// Metrics snapshot. `Err` means the shard is down.
+    fn metrics(&mut self) -> Result<ShardMetrics, String>;
+
+    /// Push a rebalanced power cap.
+    fn set_cap(&mut self, cap_w: f64) -> Result<(), String>;
+
+    /// Bring a dead shard back under `cap_w`: restart the in-process
+    /// service with journal recovery, or reconnect to an externally
+    /// restarted daemon and push the cap.
+    fn recover(&mut self, cap_w: f64) -> Result<(), String>;
+
+    /// Ask the shard to stop accepting work and drain.
+    fn begin_shutdown(&mut self);
+
+    /// Block until the shard is fully stopped.
+    fn finish(&mut self);
+
+    /// `"local"` or `"remote"`, for status output.
+    fn kind(&self) -> &'static str;
+}
+
+/// An in-process shard: a [`Service`] plus the config to rebuild it for
+/// journal recovery.
+pub struct LocalShard {
+    cfg: ServiceConfig,
+    service: Option<Service>,
+}
+
+impl LocalShard {
+    /// Start the shard's service.
+    pub fn start(cfg: ServiceConfig) -> LocalShard {
+        LocalShard {
+            service: Some(Service::start(cfg.clone())),
+            cfg,
+        }
+    }
+
+    /// Direct access for tests.
+    pub fn service(&self) -> Option<&Service> {
+        self.service.as_ref()
+    }
+}
+
+impl ShardBackend for LocalShard {
+    fn submit(&mut self, spec: &str) -> SubmitOutcome {
+        let Some(service) = &self.service else {
+            return SubmitOutcome::Down("shard stopped".into());
+        };
+        match service.submit_spec(spec) {
+            Ok(ids) => SubmitOutcome::Accepted(ids),
+            Err(SubmitError::QueueFull { retry_after_s, .. }) => {
+                SubmitOutcome::Backpressure { retry_after_s }
+            }
+            Err(SubmitError::ShuttingDown) => SubmitOutcome::Down("shutting down".into()),
+            Err(e @ (SubmitError::Lint(_) | SubmitError::Infeasible { .. })) => {
+                SubmitOutcome::Refused(e.to_string())
+            }
+        }
+    }
+
+    fn job_phase(&mut self, local_id: usize) -> Result<JobPhase, String> {
+        let Some(service) = &self.service else {
+            return Err("shard stopped".into());
+        };
+        Ok(match service.job_status(local_id) {
+            None => JobPhase::Unknown,
+            Some(s) => match s.state {
+                JobState::Done { .. } => JobPhase::Done,
+                JobState::DeadLetter { .. } => JobPhase::DeadLetter,
+                JobState::Rejected => JobPhase::Rejected,
+                JobState::Queued | JobState::Running { .. } => JobPhase::Pending,
+            },
+        })
+    }
+
+    fn metrics(&mut self) -> Result<ShardMetrics, String> {
+        let Some(service) = &self.service else {
+            return Err("shard stopped".into());
+        };
+        let m = service.metrics();
+        Ok(ShardMetrics {
+            queue_depth: m.queue_depth,
+            submitted: m.submitted,
+            completed: m.completed,
+            dead_lettered: m.dead_lettered,
+            workers_alive: m.workers_alive,
+            machines: m.machines,
+            cap_w: m.cap_w,
+            cap_violations: m.cap_violations,
+            cap_samples: m.cap_samples,
+        })
+    }
+
+    fn set_cap(&mut self, cap_w: f64) -> Result<(), String> {
+        match &self.service {
+            Some(service) => {
+                service.set_cap_w(cap_w);
+                Ok(())
+            }
+            None => Err("shard stopped".into()),
+        }
+    }
+
+    fn recover(&mut self, cap_w: f64) -> Result<(), String> {
+        if self.cfg.journal_path.is_none() {
+            return Err("shard has no journal to recover from".into());
+        }
+        if let Some(old) = self.service.take() {
+            // The workers are already dead (that is why we are here);
+            // shutdown only reaps the threads.
+            old.begin_shutdown();
+            old.shutdown();
+        }
+        let mut cfg = self.cfg.clone();
+        cfg.recover = true;
+        if cap_w.is_finite() && cap_w > 0.0 {
+            cfg.cap_w = cap_w;
+        }
+        // The injected faults already fired in the dead incarnation;
+        // replaying them would crash the recovered shard at the same
+        // simulated instants forever.
+        cfg.fault_plan = None;
+        self.cfg = cfg.clone();
+        self.service = Some(Service::start(cfg));
+        Ok(())
+    }
+
+    fn begin_shutdown(&mut self) {
+        if let Some(service) = &self.service {
+            service.begin_shutdown();
+        }
+    }
+
+    fn finish(&mut self) {
+        if let Some(service) = self.service.take() {
+            service.shutdown();
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        "local"
+    }
+}
+
+/// Start `shards` in-process shards from one [`ServiceConfig`]
+/// template. Shard `s` journals to `journal_dir/shard-s.jsonl` (when a
+/// dir is given) and runs `fault_plan(s)`. Shards start sequentially so
+/// the first pays the characterization cost and the rest hit the cache
+/// (set `template.cache_dir`).
+pub fn start_local_shards(
+    template: &ServiceConfig,
+    shards: usize,
+    machines_per_shard: usize,
+    journal_dir: Option<&Path>,
+    mut fault_plan: impl FnMut(usize) -> Option<FaultPlan>,
+) -> Vec<Box<dyn ShardBackend>> {
+    (0..shards)
+        .map(|s| {
+            let mut cfg = template.clone();
+            cfg.machines = machines_per_shard;
+            cfg.journal_path = journal_dir.map(|d| d.join(format!("shard-{s}.jsonl")));
+            cfg.fault_plan = fault_plan(s);
+            Box::new(LocalShard::start(cfg)) as Box<dyn ShardBackend>
+        })
+        .collect()
+}
+
+/// A remote shard: a `corun serve` daemon driven over TCP. A transport
+/// error drops the connection; the coordinator calls
+/// [`ShardBackend::recover`] to re-dial once the daemon is back.
+pub struct RemoteShard {
+    addr: String,
+    client: Option<Client>,
+}
+
+impl RemoteShard {
+    /// Connect to a daemon at `addr` (`host:port`).
+    pub fn connect(addr: &str) -> Result<RemoteShard, String> {
+        let client = Client::connect(addr)?;
+        Ok(RemoteShard {
+            addr: addr.to_string(),
+            client: Some(client),
+        })
+    }
+
+    /// The daemon's address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn client(&mut self) -> Result<&mut Client, String> {
+        self.client
+            .as_mut()
+            .ok_or_else(|| format!("shard {} is down", self.addr))
+    }
+
+    /// Run `f`; on transport failure drop the connection so the shard
+    /// reads as down until `recover` re-dials.
+    fn with_client<T>(
+        &mut self,
+        f: impl FnOnce(&mut Client) -> Result<T, String>,
+    ) -> Result<T, String> {
+        let r = f(self.client()?);
+        if r.is_err() {
+            self.client = None;
+        }
+        r
+    }
+}
+
+impl ShardBackend for RemoteShard {
+    fn submit(&mut self, spec: &str) -> SubmitOutcome {
+        let req = corun_serve::json::obj(vec![
+            ("op", Json::Str("submit".into())),
+            ("spec", Json::Str(spec.into())),
+        ]);
+        let r = match self.with_client(|c| c.call(&req)) {
+            Ok(r) => r,
+            Err(e) => return SubmitOutcome::Down(e),
+        };
+        if r.get("ok").and_then(Json::as_bool) == Some(true) {
+            let ids = r
+                .get("ids")
+                .and_then(Json::as_arr)
+                .map(|a| a.iter().filter_map(Json::as_index).collect::<Vec<_>>())
+                .unwrap_or_default();
+            return SubmitOutcome::Accepted(ids);
+        }
+        let code = r.get("error").and_then(Json::as_str).unwrap_or("unknown");
+        let msg = r
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap_or("no message")
+            .to_string();
+        match code {
+            "queue_full" => SubmitOutcome::Backpressure {
+                retry_after_s: r
+                    .get("retry_after_s")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.05)
+                    .max(0.0),
+            },
+            "shutting_down" => {
+                self.client = None;
+                SubmitOutcome::Down(msg)
+            }
+            _ => SubmitOutcome::Refused(format!("{code}: {msg}")),
+        }
+    }
+
+    fn job_phase(&mut self, local_id: usize) -> Result<JobPhase, String> {
+        let req = corun_serve::json::obj(vec![
+            ("op", Json::Str("status".into())),
+            ("id", Json::Num(local_id as f64)),
+        ]);
+        let r = self.with_client(|c| c.call(&req))?;
+        if r.get("error").and_then(Json::as_str) == Some("unknown_job") {
+            return Ok(JobPhase::Unknown);
+        }
+        Ok(match r.get("state").and_then(Json::as_str) {
+            Some("done") => JobPhase::Done,
+            Some("dead-letter") => JobPhase::DeadLetter,
+            Some("rejected") => JobPhase::Rejected,
+            _ => JobPhase::Pending,
+        })
+    }
+
+    fn metrics(&mut self) -> Result<ShardMetrics, String> {
+        let m = self.with_client(Client::metrics)?;
+        let num = |k: &str| m.get(k).and_then(Json::as_index).unwrap_or(0);
+        Ok(ShardMetrics {
+            queue_depth: num("queue_depth"),
+            submitted: num("submitted"),
+            completed: num("completed"),
+            dead_lettered: num("dead_lettered"),
+            workers_alive: num("workers_alive"),
+            machines: num("machines"),
+            cap_w: m.get("cap_w").and_then(Json::as_f64).unwrap_or(0.0),
+            cap_violations: num("cap_violations"),
+            cap_samples: num("cap_samples"),
+        })
+    }
+
+    fn set_cap(&mut self, cap_w: f64) -> Result<(), String> {
+        self.with_client(|c| c.set_cap(cap_w))
+    }
+
+    fn recover(&mut self, cap_w: f64) -> Result<(), String> {
+        self.client = None;
+        let mut client = Client::connect(&self.addr)?;
+        client.ping()?;
+        if cap_w.is_finite() && cap_w > 0.0 {
+            client.set_cap(cap_w)?;
+        }
+        self.client = Some(client);
+        Ok(())
+    }
+
+    fn begin_shutdown(&mut self) {
+        let _ = self.with_client(Client::shutdown);
+    }
+
+    fn finish(&mut self) {
+        self.client = None;
+    }
+
+    fn kind(&self) -> &'static str {
+        "remote"
+    }
+}

@@ -1,0 +1,227 @@
+//! Property tests for placement and work-stealing bookkeeping.
+//!
+//! Three pinned properties:
+//!
+//! * the consistent-hash ring spreads 10k keys within ±20% of uniform
+//!   across 16 shards;
+//! * removing one shard remaps only that shard's keys (consistent
+//!   hashing's defining property) — about 1/N of the total;
+//! * no interleaving of admits, submissions, steals, crashes and
+//!   requeues ever double-dispatches a job (same harness shape as the
+//!   PR 2 bursty-arrival tests, driving the pure [`Router`]).
+
+use corun_fleet::{HashRing, JobLoc, LeastLoaded, Placement, Router, ShardView};
+use proptest::prelude::*;
+
+#[test]
+fn ring_spreads_10k_keys_within_20pct_of_uniform() {
+    const SHARDS: usize = 16;
+    const KEYS: usize = 10_000;
+    let ring = HashRing::new(SHARDS);
+    let view = ShardView::fresh(SHARDS);
+    let mut counts = [0usize; SHARDS];
+    for i in 0..KEYS {
+        let s = ring.place(&format!("job-key-{i}"), &view).unwrap();
+        counts[s] += 1;
+    }
+    let uniform = KEYS as f64 / SHARDS as f64;
+    for (s, &c) in counts.iter().enumerate() {
+        let dev = (c as f64 - uniform).abs() / uniform;
+        assert!(
+            dev <= 0.20,
+            "shard {s} got {c} of {KEYS} keys ({:.1}% off uniform {uniform})",
+            dev * 100.0
+        );
+    }
+}
+
+#[test]
+fn removing_one_shard_remaps_only_its_keys() {
+    const SHARDS: usize = 16;
+    const KEYS: usize = 10_000;
+    let ring = HashRing::new(SHARDS);
+    let full = ShardView::fresh(SHARDS);
+    let mut down = ShardView::fresh(SHARDS);
+    let removed = 7;
+    down.alive[removed] = false;
+
+    let mut remapped = 0usize;
+    for i in 0..KEYS {
+        let key = format!("job-key-{i}");
+        let before = ring.place(&key, &full).unwrap();
+        let after = ring.place(&key, &down).unwrap();
+        if before == removed {
+            // Its keys must land somewhere else...
+            assert_ne!(after, removed);
+            remapped += 1;
+        } else {
+            // ...and every other key must not move at all.
+            assert_eq!(before, after, "key {key} moved without its shard dying");
+        }
+    }
+    // The removed shard owned roughly 1/N of the keys (uniformity says
+    // within ±20%), and only those remapped.
+    let expect = KEYS as f64 / SHARDS as f64;
+    assert!(
+        (remapped as f64) <= expect * 1.2 && (remapped as f64) >= expect * 0.8,
+        "{remapped} keys remapped, expected about {expect}"
+    );
+}
+
+/// One scripted coordinator action against the router.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Admit one job (key derived from a counter).
+    Admit,
+    /// Pop a backlog job from shard `s % shards` and confirm it.
+    Submit(usize),
+    /// Pop and abort (backpressure).
+    SubmitBounce(usize),
+    /// Auto-steal with this threshold.
+    Steal(usize),
+    /// Kill shard `s % shards`: requeue its submitted jobs (confirmed
+    /// lost incarnation) and mark it dead.
+    Crash(usize),
+    /// Revive every shard.
+    ReviveAll,
+    /// Complete one submitted job on its shard.
+    Complete,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // (selector, argument) -> Op; admits and submits are weighted up so
+    // scripts actually build and move work.
+    (0usize..10, 0usize..64).prop_map(|(kind, arg)| match kind {
+        0..=2 => Op::Admit,
+        3..=5 => Op::Submit(arg),
+        6 => Op::SubmitBounce(arg),
+        7 => Op::Steal(arg % 8),
+        8 => Op::Crash(arg),
+        _ => {
+            if arg % 2 == 0 {
+                Op::ReviveAll
+            } else {
+                Op::Complete
+            }
+        }
+    })
+}
+
+fn run_script(ops: &[Op], shards: usize, ring: bool) -> Result<(), TestCaseError> {
+    let placement: Box<dyn Placement> = if ring {
+        Box::new(HashRing::new(shards))
+    } else {
+        Box::new(LeastLoaded)
+    };
+    let mut router = Router::new(shards, placement);
+    let mut view = ShardView::fresh(shards);
+    let mut next_local = vec![0usize; shards];
+    // Per shard: the set of fleet ids its *current incarnation* has
+    // accepted. The property: a confirm for a job some live incarnation
+    // already holds is a double dispatch.
+    let mut incarnation: Vec<Vec<usize>> = vec![Vec::new(); shards];
+    let mut admitted = 0usize;
+
+    for &op in ops {
+        match op {
+            Op::Admit => {
+                let key = format!("k{admitted}");
+                if router.admit(key, "spec".into(), &view).is_ok() {
+                    admitted += 1;
+                }
+            }
+            Op::Submit(s) => {
+                let s = s % shards;
+                if !view.alive[s] {
+                    continue;
+                }
+                if let Some(id) = router.begin_submit(s) {
+                    prop_assert!(
+                        !incarnation[s].contains(&id),
+                        "job {id} dispatched twice to shard {s}"
+                    );
+                    // Globally: no *other* live incarnation may hold it
+                    // either.
+                    for (other, held) in incarnation.iter().enumerate() {
+                        prop_assert!(
+                            !(view.alive[other] && held.contains(&id)),
+                            "job {id} live on shard {other} while dispatching to {s}"
+                        );
+                    }
+                    router.confirm(id, next_local[s]);
+                    incarnation[s].push(id);
+                    next_local[s] += 1;
+                }
+            }
+            Op::SubmitBounce(s) => {
+                let s = s % shards;
+                if let Some(id) = router.begin_submit(s) {
+                    router.abort(id);
+                }
+            }
+            Op::Steal(threshold) => {
+                router.auto_steal(&view, threshold, 8);
+            }
+            Op::Crash(s) => {
+                let s = s % shards;
+                view.alive[s] = false;
+                // The incarnation is gone: every job it held is
+                // confirmed lost and re-routed (the no-journal path).
+                let held = std::mem::take(&mut incarnation[s]);
+                for id in held {
+                    if matches!(router.job(id).loc, JobLoc::Submitted { shard, .. } if shard == s) {
+                        router.requeue_lost(id, &view);
+                    }
+                }
+            }
+            Op::ReviveAll => {
+                for a in &mut view.alive {
+                    *a = true;
+                }
+            }
+            Op::Complete => {
+                // Finish the oldest outstanding job of the first shard
+                // that has one.
+                for (s, inc) in incarnation.iter_mut().enumerate() {
+                    if !view.alive[s] {
+                        continue;
+                    }
+                    if let Some(pos) = inc.iter().position(|&id| {
+                        matches!(router.job(id).loc, JobLoc::Submitted { shard, .. } if shard == s)
+                    }) {
+                        let id = inc.remove(pos);
+                        router.complete(id, s);
+                        break;
+                    }
+                }
+            }
+        }
+        router.check_books();
+    }
+
+    // End-state accounting: every admitted job is in exactly one
+    // coherent place and was accepted at most once per loss.
+    for id in 0..router.jobs() {
+        let job = router.job(id);
+        prop_assert!(
+            job.submits <= job.requeues + 1,
+            "job {id}: {} accepts for {} requeues",
+            job.submits,
+            job.requeues
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn no_interleaving_double_dispatches(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        shards in 2usize..6,
+        ring in any::<bool>(),
+    ) {
+        run_script(&ops, shards, ring)?;
+    }
+}

@@ -23,6 +23,13 @@ pub struct RetryConfig {
     pub max_s: f64,
     /// Jitter seed, so concurrent clients desynchronize deterministically.
     pub seed: u64,
+    /// Upper bound on *total* wall-clock spent retrying, seconds. A
+    /// wedged server that keeps answering `queue_full` can otherwise hold
+    /// a caller for `max_attempts * max_s` — far too long for a fleet
+    /// coordinator mid-placement-round. Once the budget is spent the next
+    /// `queue_full` returns as an error (and a pending back-off sleep is
+    /// truncated to the budget's remainder).
+    pub max_total_s: f64,
 }
 
 impl Default for RetryConfig {
@@ -32,6 +39,7 @@ impl Default for RetryConfig {
             base_s: 0.05,
             max_s: 2.0,
             seed: 0x5eed,
+            max_total_s: 10.0,
         }
     }
 }
@@ -59,6 +67,12 @@ impl Client {
     pub fn connect(addr: &str) -> Result<Client, String> {
         let stream =
             TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        // The protocol is strict request/response with tiny lines; Nagle
+        // + delayed ACK turns every call into a ~40 ms stall without
+        // this (a fleet coordinator makes thousands of calls per drain).
+        stream
+            .set_nodelay(true)
+            .map_err(|e| format!("cannot set TCP_NODELAY: {e}"))?;
         let read_half = stream
             .try_clone()
             .map_err(|e| format!("cannot clone stream: {e}"))?;
@@ -130,12 +144,15 @@ impl Client {
     /// Like [`Client::submit`], but retries `queue_full` rejections with
     /// capped exponential back-off and jitter, never waiting less than
     /// the server's `retry_after_s` hint. Any other failure returns
-    /// immediately.
+    /// immediately. Gives up when either the attempt budget
+    /// (`max_attempts`) or the wall-clock budget (`max_total_s`) runs
+    /// out, whichever comes first.
     pub fn submit_with_retry(
         &mut self,
         spec: &str,
         retry: &RetryConfig,
     ) -> Result<Vec<usize>, String> {
+        let deadline = Instant::now() + Duration::from_secs_f64(retry.max_total_s.max(0.0));
         let mut attempt = 0u32;
         loop {
             let r = self.call(&crate::json::obj(vec![
@@ -158,12 +175,18 @@ impl Client {
                 .unwrap_or("unknown")
                 .to_string();
             attempt += 1;
-            if code != "queue_full" || attempt >= retry.max_attempts.max(1) {
+            let now = Instant::now();
+            if code != "queue_full" || attempt >= retry.max_attempts.max(1) || now >= deadline {
                 let msg = r
                     .get("message")
                     .and_then(Json::as_str)
                     .unwrap_or("no message");
-                return Err(format!("{code}: {msg}"));
+                let spent = if code == "queue_full" && now >= deadline {
+                    format!(" (retry budget of {:.1}s exhausted)", retry.max_total_s)
+                } else {
+                    String::new()
+                };
+                return Err(format!("{code}: {msg}{spent}"));
             }
             let hint = r
                 .get("retry_after_s")
@@ -173,6 +196,10 @@ impl Client {
             let exp = retry.base_s.max(0.0) * (1u64 << attempt.min(20)) as f64;
             let jitter = 1.0 + 0.5 * jitter_unit(retry.seed, attempt);
             let delay = (hint.max(exp) * jitter).min(retry.max_s.max(0.0));
+            // Never sleep past the wall-clock budget: truncate the last
+            // back-off so the final attempt happens at the deadline, not
+            // a full back-off beyond it.
+            let delay = delay.min((deadline - now).as_secs_f64());
             std::thread::sleep(Duration::from_secs_f64(delay));
         }
     }
@@ -183,6 +210,16 @@ impl Client {
             ("op", Json::Str("status".into())),
             ("id", Json::Num(id as f64)),
         ]))
+    }
+
+    /// Push a new power cap to the running service (fleet budget
+    /// rebalancing).
+    pub fn set_cap(&mut self, cap_w: f64) -> Result<(), String> {
+        self.call_ok(&crate::json::obj(vec![
+            ("op", Json::Str("set_cap".into())),
+            ("cap_w", Json::Num(cap_w)),
+        ]))
+        .map(|_| ())
     }
 
     /// Fetch the live metrics snapshot.

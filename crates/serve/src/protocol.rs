@@ -75,6 +75,16 @@ fn dispatch(service: &Service, req: &Json) -> Json {
                 ("diagnostics".into(), diags),
             ])
         }
+        "set_cap" => {
+            let Some(cap_w) = req.get("cap_w").and_then(Json::as_f64) else {
+                return error("bad_request", "set_cap needs a numeric field `cap_w`");
+            };
+            if !cap_w.is_finite() || cap_w <= 0.0 {
+                return error("bad_request", "`cap_w` must be finite and positive");
+            }
+            service.set_cap_w(cap_w);
+            obj(vec![("ok", Json::Bool(true)), ("cap_w", Json::Num(cap_w))])
+        }
         "shutdown" => {
             service.begin_shutdown();
             obj(vec![("ok", Json::Bool(true))])
@@ -371,6 +381,21 @@ mod tests {
         assert!(d.get("count").and_then(Json::as_index).unwrap() >= 2);
         let diags = d.get("diagnostics").and_then(Json::as_arr).unwrap();
         assert!(!diags.is_empty());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn set_cap_over_the_protocol() {
+        let svc = service();
+        let r = call(&svc, r#"{"op":"set_cap","cap_w":22.5}"#);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        let m = call(&svc, r#"{"op":"metrics"}"#);
+        assert_eq!(m.get("cap_w").and_then(Json::as_f64), Some(22.5));
+
+        let r = call(&svc, r#"{"op":"set_cap"}"#);
+        assert_eq!(r.get("error").and_then(Json::as_str), Some("bad_request"));
+        let r = call(&svc, r#"{"op":"set_cap","cap_w":-3}"#);
+        assert_eq!(r.get("error").and_then(Json::as_str), Some("bad_request"));
         svc.shutdown();
     }
 

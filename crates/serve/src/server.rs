@@ -218,6 +218,9 @@ fn accept_loop(
             break;
         }
         let Ok(stream) = conn else { continue };
+        // Tiny request/response lines: without TCP_NODELAY each response
+        // can sit behind Nagle waiting on the client's delayed ACK.
+        let _ = stream.set_nodelay(true);
         let service = Arc::clone(service);
         let thread_conns = Arc::clone(conns);
         conns.enter();

@@ -233,6 +233,10 @@ pub struct MetricsSnapshot {
 struct Inner {
     model: IncrementalModel,
     policy: OnlinePolicy,
+    /// The live power cap, watts. Seeded from `ServiceConfig::cap_w` but
+    /// mutable at runtime ([`Service::set_cap_w`]) so a fleet coordinator
+    /// can rebalance a cluster budget across running shards.
+    cap_w: f64,
     /// The pure service state machine: job table, queue, machine slots,
     /// counters. Every mutation goes through its transition functions —
     /// the same functions `corun-mc` model-checks.
@@ -299,6 +303,7 @@ impl Service {
         let mut inner = Inner {
             model,
             policy,
+            cap_w: cfg.cap_w,
             st: ServiceState::new(machines),
             gates: Vec::new(),
             refused: 0,
@@ -340,6 +345,38 @@ impl Service {
     /// The service configuration.
     pub fn config(&self) -> &ServiceConfig {
         &self.shared.cfg
+    }
+
+    /// The live power cap, watts (may differ from `config().cap_w` after
+    /// a [`Service::set_cap_w`]).
+    pub fn cap_w(&self) -> f64 {
+        self.lock().cap_w
+    }
+
+    /// Re-cap the running service. The dispatcher, the admission
+    /// feasibility check and cap-violation accounting all switch to the
+    /// new cap immediately; jobs already running finish at their old
+    /// settings (the sim applies frequency settings at dispatch). Used by
+    /// the fleet coordinator to push rebalanced shard budgets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap_w` is non-positive or non-finite.
+    pub fn set_cap_w(&self, cap_w: f64) {
+        assert!(
+            cap_w.is_finite() && cap_w > 0.0,
+            "cap must be finite and positive, got {cap_w}"
+        );
+        let mut inner = self.lock();
+        if (inner.cap_w - cap_w).abs() < f64::EPSILON {
+            return;
+        }
+        inner.cap_w = cap_w;
+        let (model, policy) = inner.model_and_policy();
+        policy.set_cap_w(model, cap_w);
+        // A raised cap can make previously-declined queue entries
+        // dispatchable: wake any parked workers to re-poll.
+        self.shared.work_cv.notify_all();
     }
 
     /// Submit a workload spec fragment (one or more `name [xSCALE]
@@ -393,7 +430,7 @@ impl Service {
         // the exact ladders the dispatcher will use. The whole batch is
         // admitted under one lock hold, so the intermediate states are
         // never observable.
-        let cap = self.shared.cfg.cap_w;
+        let cap = inner.cap_w;
         let mut ids = Vec::with_capacity(jobs.len());
         let mut infeasible = Vec::new();
         for (job, (program, scale)) in jobs.iter().zip(&origin) {
@@ -474,7 +511,7 @@ impl Service {
             util,
             predicted_makespan_s: predicted,
             simulated_makespan_s: simulated,
-            cap_w: self.shared.cfg.cap_w,
+            cap_w: inner.cap_w,
             cap_violations: inner.cap_violations,
             cap_samples: inner.cap_samples,
             worker_error: inner.worker_error.clone(),
@@ -863,7 +900,7 @@ impl Dispatcher for WorkerDispatcher {
                     // other device can host something, its own poll will
                     // take it; otherwise force the best feasible candidate
                     // here so the queue cannot wedge.
-                    let cap = shared.cfg.cap_w;
+                    let cap = inner.cap_w;
                     let other = device.other();
                     let other_can = ready
                         .iter()
@@ -971,7 +1008,6 @@ fn worker_loop(shared: Arc<Shared>, machine_idx: usize) {
             &mut inner,
             &mut session,
             machine_idx,
-            shared.cfg.cap_w,
             &shared.cfg.retry,
             &mut harvested_records,
             &mut harvested_samples,
@@ -1070,7 +1106,6 @@ fn harvest(
     inner: &mut Inner,
     session: &mut Session<'_>,
     machine_idx: usize,
-    cap_w: f64,
     retry: &RetryPolicy,
     harvested_records: &mut usize,
     harvested_samples: &mut usize,
@@ -1091,6 +1126,7 @@ fn harvest(
     *harvested_records = session.records().len();
     let samples = &session.trace().samples_w[*harvested_samples..];
     inner.cap_samples += samples.len();
+    let cap_w = inner.cap_w;
     inner.cap_violations += samples.iter().filter(|&&w| w > cap_w + 1e-9).count();
     *harvested_samples = session.trace().samples_w.len();
 

@@ -140,11 +140,26 @@ pub enum Code {
     /// Certificate segments do not tile the makespan, or a job is
     /// missing from / duplicated in the segment accounting.
     Crt006,
+    /// The cluster power cap cannot cover every shard's budget floor:
+    /// partitioning would degrade and shards may be unable to admit
+    /// any job.
+    Flt001,
+    /// Fleet topology is degenerate (zero shards, zero machines per
+    /// shard, or a total machine count outside simulation-friendly
+    /// bounds).
+    Flt002,
+    /// Work-stealing or budget-rebalance parameters are outside
+    /// responsive bounds (e.g. a steal threshold so high imbalance is
+    /// never corrected, or a rebalance cadence of zero).
+    Flt003,
+    /// The sum of live shard caps exceeds the cluster cap — the fleet
+    /// budget invariant is broken.
+    Flt004,
 }
 
 impl Code {
     /// Every code, in catalog order.
-    pub const ALL: [Code; 43] = [
+    pub const ALL: [Code; 47] = [
         Code::Sch001,
         Code::Sch002,
         Code::Sch003,
@@ -188,6 +203,10 @@ impl Code {
         Code::Crt004,
         Code::Crt005,
         Code::Crt006,
+        Code::Flt001,
+        Code::Flt002,
+        Code::Flt003,
+        Code::Flt004,
     ];
 
     /// The stable textual form, e.g. `"SCH001"`.
@@ -236,6 +255,10 @@ impl Code {
             Code::Crt004 => "CRT004",
             Code::Crt005 => "CRT005",
             Code::Crt006 => "CRT006",
+            Code::Flt001 => "FLT001",
+            Code::Flt002 => "FLT002",
+            Code::Flt003 => "FLT003",
+            Code::Flt004 => "FLT004",
         }
     }
 
@@ -260,6 +283,9 @@ impl Code {
             | Code::Srv009 => Severity::Warning,
             // Incomplete exploration is a caveat, not a counterexample.
             Code::Mc0005 => Severity::Warning,
+            // Sluggish steal/rebalance tuning degrades throughput but
+            // breaks no invariant.
+            Code::Flt003 => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -320,6 +346,10 @@ impl Code {
             Code::Crt006 => {
                 "certified segments tile the makespan and account for every job exactly once"
             }
+            Code::Flt001 => "the cluster power cap covers every shard's budget floor",
+            Code::Flt002 => "the fleet has at least one shard and one machine per shard",
+            Code::Flt003 => "steal and rebalance parameters keep the fleet responsive",
+            Code::Flt004 => "shard power caps never sum past the cluster cap",
         }
     }
 
@@ -337,6 +367,7 @@ impl Code {
             Code::Crt003 => "Sec. II (power cap), Sec. IV-C",
             Code::Crt004 => "Sec. IV-A (Co-Run Theorem)",
             Code::Crt005 => "Sec. IV-B (lower bound)",
+            Code::Flt001 | Code::Flt004 => "Sec. II (power cap)",
             _ => "-",
         }
     }

@@ -1,0 +1,212 @@
+//! `FLT0xx`: static validation of a fleet topology and its budget
+//! parameters, before any shard starts.
+//!
+//! The fleet coordinator (`crates/fleet`) calls [`lint_fleet`] at
+//! construction and refuses to start on errors; [`lint_shard_caps`]
+//! re-checks the budget invariant on a *live* cap vector after every
+//! rebalance. Both take plain numbers so this crate stays independent of
+//! the fleet types.
+
+use crate::diag::{Code, Diagnostic, Report};
+
+/// The fleet parameters `lint_fleet` validates.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetParams {
+    /// Shard-worker count.
+    pub shards: usize,
+    /// Simulated machines each shard drives.
+    pub machines_per_shard: usize,
+    /// The datacenter-level power cap, watts.
+    pub cluster_cap_w: f64,
+    /// Minimum cap each live shard is guaranteed, watts.
+    pub shard_floor_w: f64,
+    /// Queue-depth imbalance (max - min) that triggers work stealing.
+    pub steal_threshold: usize,
+    /// Placement rounds between budget rebalances.
+    pub rebalance_every: usize,
+}
+
+/// Total machine count above which the simulation itself becomes the
+/// bottleneck (mirrors the spirit of `SPC005`'s instance-count bound).
+const MAX_SANE_MACHINES: usize = 1 << 14;
+
+/// Validate a fleet topology and its budget/steal parameters.
+pub fn lint_fleet(p: &FleetParams) -> Report {
+    let mut report = Report::new();
+    if p.shards == 0 || p.machines_per_shard == 0 {
+        report.push(
+            Diagnostic::new(
+                Code::Flt002,
+                "fleet",
+                format!(
+                    "degenerate topology: {} shard(s) x {} machine(s) per shard",
+                    p.shards, p.machines_per_shard
+                ),
+            )
+            .with_help("a fleet needs at least one shard and one machine per shard"),
+        );
+    }
+    let total = p.shards.saturating_mul(p.machines_per_shard);
+    if total > MAX_SANE_MACHINES {
+        report.push(
+            Diagnostic::new(
+                Code::Flt002,
+                "fleet",
+                format!(
+                    "{total} total simulated machines exceeds the sane bound of {MAX_SANE_MACHINES}"
+                ),
+            )
+            .with_help("shrink --shards or --machines-per-shard"),
+        );
+    }
+    if !p.cluster_cap_w.is_finite() || p.cluster_cap_w <= 0.0 {
+        report.push(Diagnostic::new(
+            Code::Flt001,
+            "fleet",
+            format!(
+                "cluster cap must be finite and positive, got {} W",
+                p.cluster_cap_w
+            ),
+        ));
+    }
+    if !p.shard_floor_w.is_finite() || p.shard_floor_w < 0.0 {
+        report.push(Diagnostic::new(
+            Code::Flt001,
+            "fleet",
+            format!(
+                "shard budget floor must be finite and non-negative, got {} W",
+                p.shard_floor_w
+            ),
+        ));
+    } else if p.shards > 0 {
+        #[allow(clippy::cast_precision_loss)]
+        let floors = p.shard_floor_w * p.shards as f64;
+        if p.cluster_cap_w.is_finite() && p.cluster_cap_w < floors {
+            report.push(
+                Diagnostic::new(
+                    Code::Flt001,
+                    "fleet",
+                    format!(
+                        "cluster cap {} W cannot cover {} shards x {} W floor = {floors} W",
+                        p.cluster_cap_w, p.shards, p.shard_floor_w
+                    ),
+                )
+                .with_help("raise --cluster-cap, lower the shard floor, or run fewer shards"),
+            );
+        }
+    }
+    if p.steal_threshold == 0 {
+        report.push(
+            Diagnostic::new(
+                Code::Flt003,
+                "fleet",
+                "steal threshold 0 steals on any imbalance (thrashes the queues)",
+            )
+            .with_help("a threshold of a few jobs lets natural drain absorb small imbalances"),
+        );
+    } else if p.steal_threshold > 1_000_000 {
+        report.push(
+            Diagnostic::new(
+                Code::Flt003,
+                "fleet",
+                format!(
+                    "steal threshold {} is so high imbalance is never corrected",
+                    p.steal_threshold
+                ),
+            )
+            .with_help("pick a threshold comparable to a shard's queue capacity"),
+        );
+    }
+    if p.rebalance_every == 0 {
+        report.push(
+            Diagnostic::new(
+                Code::Flt003,
+                "fleet",
+                "rebalance cadence 0 re-partitions the budget on every round",
+            )
+            .with_help("rebalance every few placement rounds so caps settle between moves"),
+        );
+    }
+    report
+}
+
+/// Re-check the fleet budget invariant on a live cap vector: every cap
+/// finite and non-negative, and the sum within the cluster cap (up to
+/// rounding). Returns an empty report when the invariant holds.
+pub fn lint_shard_caps(shard_caps_w: &[f64], cluster_cap_w: f64) -> Report {
+    let mut report = Report::new();
+    if corun_core::respects_cluster_cap(shard_caps_w, cluster_cap_w) {
+        return report;
+    }
+    let sum: f64 = shard_caps_w.iter().sum();
+    report.push(
+        Diagnostic::new(
+            Code::Flt004,
+            "fleet",
+            format!(
+                "shard caps sum to {sum} W against a cluster cap of {cluster_cap_w} W \
+                 (caps: {shard_caps_w:?})"
+            ),
+        )
+        .with_help("shard caps must come from corun_core::partition_cluster_cap"),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sane() -> FleetParams {
+        FleetParams {
+            shards: 4,
+            machines_per_shard: 8,
+            cluster_cap_w: 100.0,
+            shard_floor_w: 5.0,
+            steal_threshold: 8,
+            rebalance_every: 4,
+        }
+    }
+
+    #[test]
+    fn sane_params_lint_clean() {
+        assert!(lint_fleet(&sane()).is_empty());
+    }
+
+    #[test]
+    fn degenerate_topology_is_flt002() {
+        let mut p = sane();
+        p.shards = 0;
+        let r = lint_fleet(&p);
+        assert!(r.has_errors());
+        assert!(r.diagnostics.iter().any(|d| d.code == Code::Flt002));
+    }
+
+    #[test]
+    fn infeasible_floor_is_flt001() {
+        let mut p = sane();
+        p.cluster_cap_w = 10.0; // 4 shards x 5 W floor = 20 W > 10 W
+        let r = lint_fleet(&p);
+        assert!(r.has_errors());
+        assert!(r.diagnostics.iter().any(|d| d.code == Code::Flt001));
+    }
+
+    #[test]
+    fn sluggish_steal_is_a_warning() {
+        let mut p = sane();
+        p.steal_threshold = 10_000_000;
+        let r = lint_fleet(&p);
+        assert!(!r.has_errors());
+        assert!(r.diagnostics.iter().any(|d| d.code == Code::Flt003));
+    }
+
+    #[test]
+    fn cap_sum_violation_is_flt004() {
+        assert!(lint_shard_caps(&[50.0, 50.0], 100.0).is_empty());
+        let r = lint_shard_caps(&[60.0, 50.0], 100.0);
+        assert!(r.has_errors());
+        assert!(r.diagnostics.iter().any(|d| d.code == Code::Flt004));
+        let r = lint_shard_caps(&[f64::NAN], 100.0);
+        assert!(r.has_errors());
+    }
+}
