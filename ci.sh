@@ -43,6 +43,11 @@ $CORUN lint
 $CORUN lint --machine kaveri
 $CORUN lint --spec examples/specs/rodinia_small.spec
 
+echo "== corun lint --wall-clock: no unmarked time/entropy reads (SRV011)"
+# Deterministic replay (docs/REPLAY.md) requires decision paths to take
+# time and randomness only through injected sources.
+$CORUN lint --wall-clock
+
 echo "== corun lint: broken fixtures must fail"
 expect_fail() {
     if "$@" >/dev/null 2>&1; then
@@ -191,6 +196,15 @@ timeout 60 $CORUN submit --addr "$CHAOS_ADDR" --spec "$CHAOS_SPEC" >/dev/null
 kill -9 "$CHAOS_PID"
 wait "$CHAOS_PID" 2>/dev/null || true
 
+# The kill -9'd journal is an arbitrary fsync-boundary prefix (possibly
+# with a torn tail); its valid records must already replay with zero
+# divergence, before any recovery runs.
+timeout 60 $CORUN replay "$CHAOS_JOURNAL" --quiet || {
+    echo "FAIL: kill -9 journal prefix did not replay cleanly" >&2
+    timeout 60 $CORUN replay "$CHAOS_JOURNAL" >&2 || true
+    exit 1
+}
+
 # Restart from the journal: every accepted job must be recovered and
 # driven to a terminal state (done or dead-letter), nothing dispatched
 # twice, and the books must balance.
@@ -232,6 +246,14 @@ echo "$DIAG" | grep -q 'SRV004' || {
     exit 1
 }
 
+# Live-ops: the watch stream must carry nonempty metrics-ring history
+# (line 1 is the column header, so a drained run needs > 1 lines).
+WATCH=$(timeout 30 $CORUN status --addr "$CHAOS_ADDR" --watch)
+if [ "$(echo "$WATCH" | wc -l)" -le 1 ]; then
+    echo "FAIL: watch returned no metrics points: $WATCH" >&2
+    exit 1
+fi
+
 # Clean exit via SIGTERM: the signal handler must drain and stop the
 # daemon exactly like the shutdown RPC.
 kill -TERM "$CHAOS_PID"
@@ -245,6 +267,19 @@ if kill -0 "$CHAOS_PID" 2>/dev/null; then
     exit 1
 fi
 trap - EXIT
+
+# Event-sourcing gate: the full journal (kill -9, recovery boundary,
+# chaos retries, drain, SIGTERM shutdown) must re-execute with zero
+# divergence, and the shutdown snapshot pins the terminal fingerprint —
+# so a verified snapshot count >= 1 is bit-identical reproduction.
+REPLAY_OUT=$(timeout 60 $CORUN replay "$CHAOS_JOURNAL") || {
+    echo "FAIL: chaos journal did not replay cleanly: $REPLAY_OUT" >&2
+    exit 1
+}
+echo "$REPLAY_OUT" | grep -Eq 'verified [1-9][0-9]* snapshot' || {
+    echo "FAIL: replay verified no snapshot checkpoints: $REPLAY_OUT" >&2
+    exit 1
+}
 rm -f "$CHAOS_LOG" "$CHAOS_JOURNAL"
 
 echo "== corun fleet: sharded smoke (4 daemons, 10k jobs, kill -9 + recover)"
@@ -357,6 +392,17 @@ for pid in "${FLEET_PIDS[@]}"; do
 done
 trap - EXIT
 stop_fleet
+
+# Every shard journal from the 10k-job drain must replay
+# deterministically — shard 2's includes a kill -9 and a recovery
+# boundary in the middle.
+for i in 0 1 2 3; do
+    timeout 120 $CORUN replay "$FLEET_DIR/shard-$i.jsonl" --quiet || {
+        echo "FAIL: shard $i journal did not replay cleanly" >&2
+        timeout 120 $CORUN replay "$FLEET_DIR/shard-$i.jsonl" >&2 || true
+        exit 1
+    }
+done
 rm -rf "$FLEET_DIR"
 
 echo "CI OK"

@@ -1,0 +1,140 @@
+//! Replay-path throughput: how fast `corun replay` re-executes a
+//! journal, and what a snapshot checkpoint costs to decode.
+//!
+//! Replay is the post-mortem tool for production journals, so the
+//! figure that matters is events/sec through the pure state machine —
+//! it bounds how long "re-execute yesterday's run" takes. Snapshot
+//! decode time bounds the other lever: `--until` a nearby checkpoint
+//! instead of replaying from the start.
+
+use bench::trajectory::{self, Sample};
+use corun_core::RetryPolicy;
+use corun_replay::{replay_records, ReplayOptions};
+use corun_serve::{decode_state, encode_state, Record, ServiceState, JOURNAL_FORMAT_VERSION};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Build a realistic synthetic transcript: `jobs` jobs across 4
+/// machines, every 7th job failing once before completing (requeue +
+/// re-dispatch), with a snapshot checkpoint every 64 records — the mix
+/// a chaos-faulted production journal carries.
+fn synthetic_journal(jobs: usize) -> Vec<Record> {
+    let retry = RetryPolicy {
+        max_retries: 2,
+        backoff_base_s: 0.01,
+        backoff_max_s: 0.02,
+    };
+    let machines = 4;
+    let mut st = ServiceState::new(machines);
+    let mut recs = vec![Record::Meta {
+        version: JOURNAL_FORMAT_VERSION,
+        machines,
+    }];
+    let mut snapshot_due = 64;
+    for j in 0..jobs {
+        let (id, rec) = st.accept(&format!("srad#{j}"), "srad", 0.1).unwrap();
+        recs.push(rec);
+        let m = j % machines;
+        let device = if j % 2 == 0 {
+            apu_sim::Device::Gpu
+        } else {
+            apu_sim::Device::Cpu
+        };
+        let t = j as f64;
+        recs.push(st.dispatch(id, m, device, t, 1.0).unwrap());
+        if j % 7 == 0 {
+            let fail = st.fail(id, &retry, "injected job failure").unwrap();
+            recs.push(fail.record);
+            recs.push(st.dispatch(id, m, device, t + 0.5, 1.0).unwrap());
+        }
+        recs.push(st.complete(id, t + 1.0).unwrap());
+        if recs.len() >= snapshot_due {
+            recs.push(Record::Snapshot {
+                seq: recs.len() as u64,
+                fingerprint: st.fingerprint(),
+                state: encode_state(&st),
+            });
+            snapshot_due = recs.len() + 64;
+        }
+    }
+    recs
+}
+
+/// Re-execute a ~35k-record transcript through the pure state machine.
+fn bench_replay(c: &mut Criterion) {
+    let recs = synthetic_journal(8192);
+    c.bench_function("replay_full_journal", |b| {
+        b.iter(|| {
+            let outcome = replay_records(&recs, &ReplayOptions::default());
+            assert!(outcome.is_clean());
+            outcome.records_applied
+        });
+    });
+}
+
+/// Decode one snapshot checkpoint back into a `ServiceState` — the cost
+/// of starting replay from a checkpoint instead of record zero.
+fn bench_snapshot_decode(c: &mut Criterion) {
+    let recs = synthetic_journal(2048);
+    let encoded = recs
+        .iter()
+        .rev()
+        .find_map(|r| match r {
+            Record::Snapshot { state, .. } => Some(state.clone()),
+            _ => None,
+        })
+        .expect("synthetic journal has snapshots");
+    c.bench_function("replay_snapshot_decode", |b| {
+        b.iter(|| decode_state(&encoded).expect("snapshot decodes"));
+    });
+}
+
+/// Record the headline figures to `BENCH_replay.json`: sustained
+/// events/sec re-executed, and snapshot decodes/sec.
+fn bench_trajectory(c: &mut Criterion) {
+    let _ = c;
+    let recs = synthetic_journal(8192);
+    let reps = 8;
+    let t0 = std::time::Instant::now();
+    let mut applied = 0usize;
+    for _ in 0..reps {
+        let outcome = replay_records(&recs, &ReplayOptions::default());
+        assert!(outcome.is_clean());
+        applied += outcome.records_applied;
+    }
+    let replay_s = t0.elapsed().as_secs_f64();
+
+    let encoded = encode_state(&replay_records(&recs, &ReplayOptions::default()).state);
+    let decodes = 200;
+    let t0 = std::time::Instant::now();
+    for _ in 0..decodes {
+        decode_state(&encoded).expect("snapshot decodes");
+    }
+    let decode_s = t0.elapsed().as_secs_f64();
+
+    let path = trajectory::write(
+        "replay",
+        &[
+            Sample::new(
+                "replay_events_per_sec",
+                applied as f64 / replay_s,
+                "events/s",
+            ),
+            Sample::new(
+                "snapshot_decodes_per_sec",
+                f64::from(decodes) / decode_s,
+                "decodes/s",
+            ),
+            Sample::new("journal_records", recs.len() as f64, "records"),
+        ],
+    )
+    .expect("write trajectory");
+    println!("wrote {}", path.display());
+}
+
+criterion_group!(
+    benches,
+    bench_replay,
+    bench_snapshot_decode,
+    bench_trajectory
+);
+criterion_main!(benches);

@@ -27,6 +27,7 @@ fn main() {
         } else {
             paper_runtime(wl, 15.0)
         };
+        // corun-lint: allow(wall-clock) — measuring scheduler overhead is the point here.
         let t0 = Instant::now();
         let out = hcs(rt.model(), &HcsConfig::with_cap(15.0));
         let refined = refine(rt.model(), &out.schedule, &RefineConfig::new(15.0));

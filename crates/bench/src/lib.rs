@@ -97,6 +97,7 @@ pub mod trajectory {
     /// JSON.
     pub fn write(bench: &str, samples: &[Sample]) -> std::io::Result<PathBuf> {
         let path = out_dir().join(format!("BENCH_{bench}.json"));
+        // corun-lint: allow(wall-clock) — benchmark artifact timestamp, an I/O edge.
         let unix = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map_or(0, |d| d.as_secs());

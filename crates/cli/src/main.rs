@@ -10,6 +10,7 @@
 //! corun characterize --out FILE [--machine ivy|kaveri] [--fast]
 //! corun lint       [--machine ivy|kaveri] [--config FILE] [--spec FILE]
 //!                  [--schedule FILE] [--cap W] [--format human|json]
+//!                  [--wall-clock [DIR]]
 //! corun serve      [--port N] [--machine ivy|kaveri] [--cap W] [--queue N]
 //!                  [--machines N] [--fast] [--cache DIR] [--journal FILE]
 //!                  [--recover] [--fault-plan SPEC] [--max-retries N]
@@ -19,13 +20,17 @@
 //! corun fleet status --addrs H:P,H:P,... [--cluster-cap W]
 //! corun submit     --addr HOST:PORT --spec FILE [--wait] [--timeout S]
 //!                  [--no-retry] [--retries N]
+//! corun replay     JOURNAL [--until SEQ] [--diff] [--expect HEXFP]
 //! corun status     --addr HOST:PORT [--id N] [--diag]
+//! corun status     --addr HOST:PORT --watch [--since N] [--follow]
+//!                  [--interval S]
 //! corun shutdown   --addr HOST:PORT
 //! ```
 
 mod args;
 mod fleet_cmd;
 mod mc_cmd;
+mod replay_cmd;
 mod serve_cmd;
 
 use apu_sim::{Bias, Device, MachineConfig};
@@ -69,6 +74,7 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         "serve" => serve_cmd::cmd_serve(&args),
         "fleet" => fleet_cmd::cmd_fleet(&args),
         "submit" => serve_cmd::cmd_submit(&args),
+        "replay" => replay_cmd::cmd_replay(&args),
         "status" => serve_cmd::cmd_status(&args),
         "shutdown" => serve_cmd::cmd_shutdown(&args),
         "help" | "--help" => {
@@ -104,8 +110,12 @@ fn print_help() {
          \x20                               daemons; `fleet status` aggregates metrics)\n\
          \x20 submit --addr H:P --spec F    send a workload spec to a running daemon\n\
          \x20                               (retries queue_full; --no-retry to fail fast)\n\
+         \x20 replay JOURNAL                deterministically re-execute a service journal\n\
+         \x20                               and verify its snapshot fingerprints\n\
+         \x20                               ([--until SEQ] [--diff] [--expect HEXFP])\n\
          \x20 status --addr H:P [--id N]    query a job, the metrics snapshot, or\n\
-         \x20                               [--diag] the SRV0xx fault diagnostics\n\
+         \x20                               [--diag] the SRV0xx fault diagnostics;\n\
+         \x20                               --watch streams the live metrics ring\n\
          \x20 shutdown --addr H:P           drain the daemon and exit\n\n\
          common options: --machine ivy|kaveri  --cap WATTS  --fast"
     );
@@ -509,7 +519,15 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
 /// fires; warnings alone exit 0.
 fn cmd_lint(args: &Args) -> Result<(), String> {
     args.reject_unknown(&[
-        "machine", "config", "spec", "schedule", "cap", "format", "cache", "cert",
+        "machine",
+        "config",
+        "spec",
+        "schedule",
+        "cap",
+        "format",
+        "cache",
+        "cert",
+        "wall-clock",
     ])?;
     let format = args.opt_or("format", "human");
     if !matches!(format, "human" | "json") {
@@ -517,6 +535,13 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
     }
 
     let mut report = corun_verify::Report::new();
+    if args.flag("wall-clock") || args.opt("wall-clock").is_some() {
+        // The SRV011 determinism lint: no unmarked wall-clock/entropy
+        // reads anywhere under DIR (default: the whole workspace's
+        // crates tree), or replay (`docs/REPLAY.md`) cannot be exact.
+        let root = args.opt_or("wall-clock", "crates");
+        report.merge(corun_verify::lint_wall_clock(std::path::Path::new(root)));
+    }
     let mut machine = machine_for(args)?;
     if let Some(path) = args.opt("config") {
         let text = std::fs::read_to_string(path).map_err(|e| format!("--config {path}: {e}"))?;

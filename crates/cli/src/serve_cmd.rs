@@ -196,8 +196,11 @@ pub fn cmd_submit(args: &Args) -> Result<(), String> {
 /// `corun status`: query one job (`--id N`), the accumulated `SRV0xx`
 /// fault diagnostics (`--diag`), or the metrics snapshot.
 pub fn cmd_status(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["addr", "id", "diag"])?;
+    args.reject_unknown(&["addr", "id", "diag", "watch", "since", "follow", "interval"])?;
     let mut client = connect(args)?;
+    if args.flag("watch") {
+        return watch_ring(&mut client, args);
+    }
     let response = if args.flag("diag") {
         client.diagnostics()?
     } else {
@@ -214,6 +217,68 @@ pub fn cmd_status(args: &Args) -> Result<(), String> {
     };
     println!("{}", response.render());
     Ok(())
+}
+
+/// `corun status --watch`: print the daemon's metrics ring, one point
+/// per line. By default drains whatever the ring retains past `--since`
+/// (cursor `0`) and exits; `--follow` keeps polling every `--interval`
+/// seconds (default 1) until the daemon goes away, a live-ops tail of
+/// queue depth, power headroom, and per-machine utilization.
+fn watch_ring(client: &mut Client, args: &Args) -> Result<(), String> {
+    let mut cursor = args.num::<u64>("since")?.unwrap_or(0);
+    let follow = args.flag("follow");
+    let interval_s = args.num_or::<f64>("interval", 1.0)?;
+    println!(
+        "{:>6} {:>10} {:>10} {:>6} {:>10} {:>6} {:>5}  util",
+        "seq", "wall_s", "sim_s", "queue", "headroom", "done", "dead"
+    );
+    loop {
+        let response = client.watch(cursor)?;
+        let points = response
+            .get("points")
+            .and_then(Json::as_arr)
+            .ok_or("malformed watch response: no points array")?;
+        for p in points {
+            println!("{}", render_point(p)?);
+        }
+        cursor = response
+            .get("next")
+            .and_then(Json::as_index)
+            .ok_or("malformed watch response: no next cursor")? as u64;
+        if !follow {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval_s.max(0.05)));
+    }
+}
+
+/// One fixed-width line per metrics point.
+fn render_point(p: &Json) -> Result<String, String> {
+    let num = |k: &str| {
+        p.get(k)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("malformed watch point: no `{k}`"))
+    };
+    let util: Vec<String> = p
+        .get("util")
+        .and_then(Json::as_arr)
+        .map(|a| {
+            a.iter()
+                .map(|u| format!("{:.2}", u.as_f64().unwrap_or(0.0)))
+                .collect()
+        })
+        .unwrap_or_default();
+    Ok(format!(
+        "{:>6} {:>10.3} {:>10.3} {:>6} {:>10.2} {:>6} {:>5}  [{}]",
+        num("seq")? as u64,
+        num("wall_s")?,
+        num("sim_s")?,
+        num("queue_depth")? as u64,
+        num("headroom_w")?,
+        num("completed")? as u64,
+        num("dead_lettered")? as u64,
+        util.join(" ")
+    ))
 }
 
 /// `corun shutdown`: ask the daemon to drain and exit.

@@ -32,6 +32,7 @@ pub mod bound;
 pub mod budget;
 pub mod certificate;
 pub mod chains;
+pub mod clock;
 pub mod evaluate;
 pub mod exhaustive;
 pub mod fairness;
@@ -54,6 +55,7 @@ pub use certificate::{
     SegmentWitness, CERT_FORMAT_VERSION,
 };
 pub use chains::{best_sequence, chain_completion, ChainOutcome};
+pub use clock::{Clock, DetRng, ManualClock, WallClock};
 pub use evaluate::{evaluate, EvalReport, Segment};
 pub use exhaustive::{exhaustive_uniform, exhaustive_uniform_opts, ExhaustiveResult};
 pub use fairness::{fairness, FairnessReport};

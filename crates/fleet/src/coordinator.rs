@@ -296,12 +296,14 @@ impl Fleet {
 
     /// Pump until every admitted job is terminal or `timeout_s` elapses.
     pub fn drain(&mut self, timeout_s: f64) -> Result<FleetMetrics, String> {
+        // corun-lint: allow(wall-clock) — operator-facing drain deadline, an I/O edge.
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs_f64(timeout_s);
         loop {
             let folded = self.pump();
             if self.router.terminal() == self.router.jobs() {
                 return Ok(self.metrics());
             }
+            // corun-lint: allow(wall-clock) — operator-facing drain deadline, an I/O edge.
             if std::time::Instant::now() >= deadline {
                 let m = self.metrics();
                 return Err(format!(

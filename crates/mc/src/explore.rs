@@ -235,7 +235,11 @@ pub fn explore(scope: &Scope, mutation: Mutation) -> Exploration {
             let (recovered, _) = replay(&next.journal);
             let mut violations = next.st.check_invariants();
             violations.extend(next.st.check_replay_consistency(&recovered));
-            violations.extend(replay_idempotence(&next.journal, &recovered));
+            violations.extend(replay_idempotence(
+                &next.journal,
+                &recovered,
+                scope.machines,
+            ));
             let causality = check_causality(&next.journal);
             if causality.has_errors() {
                 violations.extend(causality.errors().map(|d| Violation {
@@ -283,10 +287,15 @@ pub fn explore(scope: &Scope, mutation: Mutation) -> Exploration {
 /// Replay must be idempotent across a recovery boundary: appending the
 /// `Recovered` record a restart writes and replaying again yields the
 /// same per-job dispositions.
-fn replay_idempotence(journal: &[Record], recovered: &corun_serve::Recovered) -> Vec<Violation> {
+fn replay_idempotence(
+    journal: &[Record],
+    recovered: &corun_serve::Recovered,
+    machines: usize,
+) -> Vec<Violation> {
     let mut with_boundary = journal.to_vec();
     with_boundary.push(Record::Recovered {
         jobs: recovered.jobs.len(),
+        machines,
     });
     let (again, _) = replay(&with_boundary);
     if again.jobs != recovered.jobs {

@@ -365,6 +365,7 @@ pub fn apply(
             node.st = ServiceState::restore_from(&recovered, scope.machines);
             node.journal.push(Record::Recovered {
                 jobs: recovered.jobs.len(),
+                machines: scope.machines,
             });
             node.kills += 1;
         }

@@ -1,0 +1,186 @@
+//! The replay contract, end to end: a real journaled [`Service`] run —
+//! including injected chaos failures, retries, and dead-letters — must
+//! replay bit-identically from its journal alone.
+//!
+//! Three properties per sampled run:
+//!
+//! 1. **Terminal equality** (`RPL002`): replaying the whole journal
+//!    reproduces the live daemon's terminal `fingerprint()`.
+//! 2. **Snapshot equality** (`RPL001`): replaying the prefix before any
+//!    embedded `Snapshot` record reproduces that snapshot's recorded
+//!    fingerprint.
+//! 3. **kill -9 closure**: every record-boundary prefix of the journal
+//!    (what a kill at any fsync boundary leaves behind) replays with no
+//!    divergence at all.
+
+use corun_core::RetryPolicy;
+use corun_replay::{check_terminal, replay_journal, replay_records, ReplayOptions};
+use corun_serve::{scan_journal, JobState, Record, Service, ServiceConfig};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn temp_journal(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "corun-replay-props-{}-{tag}-{n}.jsonl",
+        std::process::id()
+    ))
+}
+
+fn journaled_cfg(path: &Path) -> ServiceConfig {
+    let machine = apu_sim::MachineConfig::ivy_bridge();
+    let mut cfg = ServiceConfig::fast(&machine);
+    cfg.characterization.grid_points = 3;
+    cfg.characterization.micro_duration_s = 1.0;
+    cfg.queue_capacity = 32;
+    cfg.journal_path = Some(path.to_path_buf());
+    // Small enough that even a short run crosses several checkpoints.
+    cfg.snapshot_every = 4;
+    cfg.retry = RetryPolicy {
+        max_retries: 2,
+        backoff_base_s: 0.01,
+        backoff_max_s: 0.02,
+    };
+    cfg
+}
+
+/// Run a journaled service over `spec` (optionally under a chaos plan)
+/// until every job is terminal; return the live terminal fingerprint.
+fn run_service(path: &Path, spec: &str, chaos: Option<&str>) -> u64 {
+    let mut cfg = journaled_cfg(path);
+    if let Some(plan) = chaos {
+        cfg.fault_plan = Some(apu_sim::FaultPlan::parse(plan).expect("chaos plan"));
+    }
+    let svc = Service::start(cfg);
+    let ids = svc.submit_spec(spec).expect("submit");
+    for &id in &ids {
+        let st = svc.wait_job(id).expect("known id");
+        assert!(
+            matches!(
+                st.state,
+                JobState::Done { .. } | JobState::DeadLetter { .. } | JobState::Rejected
+            ),
+            "job {id} not terminal: {st:?}"
+        );
+    }
+    svc.wait_idle();
+    // The live-ops ring must have observed the run.
+    let (points, next) = svc.watch(0);
+    assert!(!points.is_empty(), "metrics ring empty after a run");
+    assert_eq!(points.last().unwrap().seq, next);
+    svc.shutdown();
+    svc.state_fingerprint()
+}
+
+/// All three replay properties against the journal `path` left behind.
+fn check_replay_properties(path: &Path, live_fingerprint: u64) {
+    // 1. Whole-journal replay is clean and reproduces the live state.
+    let mut outcome = replay_journal(path, &ReplayOptions::default());
+    assert!(outcome.is_clean(), "{}", outcome.report.render_human());
+    assert!(
+        outcome.snapshots_verified >= 1,
+        "no snapshot checkpoints were taken"
+    );
+    assert!(
+        check_terminal(&mut outcome, live_fingerprint, "live service"),
+        "replay fingerprint {:016x} != live {live_fingerprint:016x}",
+        outcome.fingerprint()
+    );
+
+    let scan = scan_journal(path);
+    assert!(!scan.report.has_errors(), "{}", scan.report.render_human());
+
+    // 2. Each snapshot's recorded fingerprint is exactly what replaying
+    //    its prefix produces (snapshot-boundary equality).
+    let mut snapshots = 0;
+    for (k, rec) in scan.records.iter().enumerate() {
+        if let Record::Snapshot { fingerprint, .. } = rec {
+            let prefix = replay_records(&scan.records[..k], &ReplayOptions::default());
+            assert!(prefix.is_clean(), "{}", prefix.report.render_human());
+            assert_eq!(
+                prefix.fingerprint(),
+                *fingerprint,
+                "snapshot at record {k} does not match its replayed prefix"
+            );
+            snapshots += 1;
+        }
+    }
+    assert!(snapshots >= 1);
+
+    // 3. kill -9 closure: every record-boundary prefix replays cleanly.
+    for n in 0..=scan.records.len() {
+        let prefix = replay_records(&scan.records[..n], &ReplayOptions::default());
+        assert!(
+            prefix.is_clean(),
+            "prefix of {n} record(s): {}",
+            prefix.report.render_human()
+        );
+        assert_eq!(prefix.records_applied, n);
+    }
+}
+
+proptest! {
+    // Each case is a full service lifecycle plus O(n^2) prefix replays;
+    // keep the count modest (the replays themselves are microseconds).
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// A chaos-faulted run — retries, dead-letters, back-off — replays
+    /// bit-identically from its journal at every boundary.
+    #[test]
+    fn faulted_runs_replay_bit_identically(
+        njobs in 1usize..4,
+        seed in 0u64..1000,
+        fail_idx in 0usize..3,
+    ) {
+        let fail_pct = [0u32, 30, 100][fail_idx];
+        let path = temp_journal("prop");
+        let spec = "srad x0.05\nlud x0.05\nhotspot x0.05\n"
+            .lines()
+            .take(njobs)
+            .map(|l| format!("{l}\n"))
+            .collect::<String>();
+        let chaos = format!(
+            "@chaos seed={seed} job-fail={}\n",
+            f64::from(fail_pct) / 100.0
+        );
+        let live = run_service(&path, &spec, Some(&chaos));
+        check_replay_properties(&path, live);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// The deterministic anchor: a clean (chaos-free) run replays exactly,
+/// and `--until` past the end equals the full replay.
+#[test]
+fn clean_run_replays_and_until_clamps() {
+    let path = temp_journal("clean");
+    let live = run_service(&path, "srad x0.05 *2\n", None);
+    check_replay_properties(&path, live);
+
+    let full = replay_journal(&path, &ReplayOptions::default());
+    let clamped = replay_journal(
+        &path,
+        &ReplayOptions {
+            until: Some(u64::MAX),
+            diff: false,
+        },
+    );
+    assert_eq!(full.fingerprint(), clamped.fingerprint());
+    assert_eq!(full.records_applied, clamped.records_applied);
+    std::fs::remove_file(&path).ok();
+}
+
+/// Every job dead-lettered under `job-fail=1`: the harshest outcome mix
+/// (evictions of nothing, requeues, give-ups) still replays exactly.
+#[test]
+fn all_dead_letters_replay_exactly() {
+    let path = temp_journal("dead");
+    let live = run_service(&path, "srad x0.05 *2\n", Some("@chaos seed=7 job-fail=1\n"));
+    check_replay_properties(&path, live);
+
+    let outcome = replay_journal(&path, &ReplayOptions::default());
+    assert_eq!(outcome.state.counters.dead_lettered, 2);
+    std::fs::remove_file(&path).ok();
+}

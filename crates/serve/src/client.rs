@@ -152,6 +152,7 @@ impl Client {
         spec: &str,
         retry: &RetryConfig,
     ) -> Result<Vec<usize>, String> {
+        // corun-lint: allow(wall-clock) — client-side retry deadline, an I/O edge.
         let deadline = Instant::now() + Duration::from_secs_f64(retry.max_total_s.max(0.0));
         let mut attempt = 0u32;
         loop {
@@ -175,6 +176,7 @@ impl Client {
                 .unwrap_or("unknown")
                 .to_string();
             attempt += 1;
+            // corun-lint: allow(wall-clock) — client-side retry pacing, an I/O edge.
             let now = Instant::now();
             if code != "queue_full" || attempt >= retry.max_attempts.max(1) || now >= deadline {
                 let msg = r
@@ -227,6 +229,16 @@ impl Client {
         self.call_ok(&crate::json::obj(vec![("op", Json::Str("metrics".into()))]))
     }
 
+    /// Stream metrics-ring points recorded after cursor `since` (`0`
+    /// starts from the oldest retained point). The response carries
+    /// `points` plus `next`, the cursor to resume from.
+    pub fn watch(&mut self, since: u64) -> Result<Json, String> {
+        self.call_ok(&crate::json::obj(vec![
+            ("op", Json::Str("watch".into())),
+            ("since", Json::Num(since as f64)),
+        ]))
+    }
+
     /// Fetch the accumulated `SRV0xx` fault/journal diagnostics.
     pub fn diagnostics(&mut self) -> Result<Json, String> {
         self.call_ok(&crate::json::obj(vec![(
@@ -247,6 +259,7 @@ impl Client {
     /// Poll `status` until the job reaches a terminal state or `timeout_s`
     /// wall-clock seconds elapse. Returns the final status object.
     pub fn wait_done(&mut self, id: usize, timeout_s: f64) -> Result<Json, String> {
+        // corun-lint: allow(wall-clock) — client-side poll deadline, an I/O edge.
         let deadline = Instant::now() + Duration::from_secs_f64(timeout_s);
         loop {
             let status = self.status(id)?;
@@ -255,6 +268,7 @@ impl Client {
             {
                 return Ok(status);
             }
+            // corun-lint: allow(wall-clock) — client-side poll deadline, an I/O edge.
             if Instant::now() >= deadline {
                 return Err(format!("job {id} did not finish within {timeout_s}s"));
             }

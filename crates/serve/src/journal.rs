@@ -26,22 +26,30 @@ use std::path::{Path, PathBuf};
 
 /// Journal schema revision; mismatches are refused at recovery with
 /// SRV007. Versioned alongside `runtime::CACHE_FORMAT_VERSION`.
-pub const JOURNAL_FORMAT_VERSION: u32 = 1;
+/// v2 added `machines` to `meta`/`recovered` and the `cap`, `shutdown`,
+/// and `snapshot` record types that make journals deterministically
+/// replayable (`docs/REPLAY.md`).
+pub const JOURNAL_FORMAT_VERSION: u32 = 2;
 
 /// One journal record. The first line of every journal is `Meta`; every
 /// later line describes one state transition, in commit order.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Record {
-    /// Journal header: format version.
+    /// Journal header: format version and machine count, so `corun
+    /// replay` can rebuild the service shape without out-of-band flags.
     Meta {
         /// The [`JOURNAL_FORMAT_VERSION`] the journal was written under.
         version: u32,
+        /// Simulated machines the daemon was started with.
+        machines: usize,
     },
     /// A recovery generation boundary: the daemon restarted and replayed
     /// everything above this line; `jobs` jobs were reconstructed.
     Recovered {
         /// Jobs known after replay.
         jobs: usize,
+        /// Machine count of the restarted incarnation.
+        machines: usize,
     },
     /// A job passed admission. `id`s are dense and in admission order.
     Accept {
@@ -114,6 +122,25 @@ pub enum Record {
         /// Simulated time of the crash, seconds.
         at_s: f64,
     },
+    /// The power cap was rebalanced (operator `set_cap` or a fleet
+    /// coordinator repartition).
+    CapChange {
+        /// The new cap, watts.
+        cap_w: f64,
+    },
+    /// Graceful shutdown began: no further admissions, the queue drains.
+    ShutdownBegin,
+    /// A periodic checkpoint of the full `ServiceState`, written at a
+    /// quiescent point (state and journal agree). Bounds replay time and
+    /// lets `corun replay` verify fingerprint equality mid-run.
+    Snapshot {
+        /// Records written before this snapshot (its own journal index).
+        seq: u64,
+        /// `ServiceState::fingerprint()` at the checkpoint.
+        fingerprint: u64,
+        /// The encoded state (see `snapshot::encode_state`).
+        state: String,
+    },
 }
 
 fn device_str(d: Device) -> &'static str {
@@ -135,13 +162,15 @@ impl Record {
     /// Render as one compact JSON line (no trailing newline).
     pub fn to_json(&self) -> String {
         let v = match self {
-            Record::Meta { version } => obj(vec![
+            Record::Meta { version, machines } => obj(vec![
                 ("t", Json::Str("meta".into())),
                 ("version", Json::Num(*version as f64)),
+                ("machines", Json::Num(*machines as f64)),
             ]),
-            Record::Recovered { jobs } => obj(vec![
+            Record::Recovered { jobs, machines } => obj(vec![
                 ("t", Json::Str("recovered".into())),
                 ("jobs", Json::Num(*jobs as f64)),
+                ("machines", Json::Num(*machines as f64)),
             ]),
             Record::Accept {
                 id,
@@ -213,6 +242,22 @@ impl Record {
                 ("machine", Json::Num(*machine as f64)),
                 ("at_s", Json::Num(*at_s)),
             ]),
+            Record::CapChange { cap_w } => obj(vec![
+                ("t", Json::Str("cap".into())),
+                ("cap_w", Json::Num(*cap_w)),
+            ]),
+            Record::ShutdownBegin => obj(vec![("t", Json::Str("shutdown".into()))]),
+            Record::Snapshot {
+                seq,
+                fingerprint,
+                state,
+            } => obj(vec![
+                ("t", Json::Str("snapshot".into())),
+                ("seq", Json::Num(*seq as f64)),
+                // 64-bit fingerprints don't fit a JSON double; hex string.
+                ("fp", Json::Str(format!("{fingerprint:016x}"))),
+                ("state", Json::Str(state.clone())),
+            ]),
         };
         v.render()
     }
@@ -245,10 +290,17 @@ impl Record {
             text("device").and_then(|s| parse_device(&s).ok_or_else(|| format!("bad device `{s}`")))
         };
         let rec = match t {
+            // `machines` arrived in v2; default it so a v1 header still
+            // parses far enough to earn the version-mismatch diagnostic
+            // instead of a torn-tail one.
             "meta" => Record::Meta {
                 version: idx("version")? as u32,
+                machines: v.get("machines").and_then(Json::as_index).unwrap_or(1),
             },
-            "recovered" => Record::Recovered { jobs: idx("jobs")? },
+            "recovered" => Record::Recovered {
+                jobs: idx("jobs")?,
+                machines: v.get("machines").and_then(Json::as_index).unwrap_or(1),
+            },
             "accept" => Record::Accept {
                 id: idx("id")?,
                 name: text("name")?,
@@ -286,6 +338,17 @@ impl Record {
                 machine: idx("machine")?,
                 at_s: num("at_s")?,
             },
+            "cap" => Record::CapChange {
+                cap_w: num("cap_w")?,
+            },
+            "shutdown" => Record::ShutdownBegin,
+            "snapshot" => Record::Snapshot {
+                seq: idx("seq")? as u64,
+                fingerprint: text("fp").and_then(|s| {
+                    u64::from_str_radix(&s, 16).map_err(|e| format!("bad fingerprint `{s}`: {e}"))
+                })?,
+                state: text("state")?,
+            },
             _ => return Ok(None),
         };
         Ok(Some(rec))
@@ -298,11 +361,12 @@ impl Record {
 pub struct Journal {
     file: File,
     path: PathBuf,
+    seq: u64,
 }
 
 impl Journal {
     /// Create (truncate) a fresh journal and write the `Meta` header.
-    pub fn create(path: &Path) -> std::io::Result<Journal> {
+    pub fn create(path: &Path, machines: usize) -> std::io::Result<Journal> {
         let file = OpenOptions::new()
             .create(true)
             .write(true)
@@ -311,20 +375,25 @@ impl Journal {
         let mut j = Journal {
             file,
             path: path.to_path_buf(),
+            seq: 0,
         };
         j.append(&Record::Meta {
             version: JOURNAL_FORMAT_VERSION,
+            machines,
         })?;
         Ok(j)
     }
 
     /// Open an existing journal for appending (after a successful
-    /// recovery replay).
-    pub fn open_append(path: &Path) -> std::io::Result<Journal> {
+    /// recovery replay). `seq` is the number of records already in the
+    /// file, so snapshot sequence numbers stay contiguous across
+    /// restarts.
+    pub fn open_append(path: &Path, seq: u64) -> std::io::Result<Journal> {
         let file = OpenOptions::new().append(true).open(path)?;
         Ok(Journal {
             file,
             path: path.to_path_buf(),
+            seq,
         })
     }
 
@@ -334,7 +403,15 @@ impl Journal {
         line.push('\n');
         self.file.write_all(line.as_bytes())?;
         self.file.flush()?;
-        self.file.sync_data()
+        self.file.sync_data()?;
+        self.seq += 1;
+        Ok(())
+    }
+
+    /// Records written to the file so far (the journal index the next
+    /// record will take).
+    pub fn seq(&self) -> u64 {
+        self.seq
     }
 
     /// The journal's path.
@@ -407,8 +484,45 @@ pub struct Recovered {
 /// diagnostics, and recovery abandons it rather than replaying a
 /// fabricated history.
 pub fn read_journal(path: &Path) -> (Vec<Record>, Report) {
+    let scan = scan_journal(path);
+    (scan.records, scan.report)
+}
+
+/// Everything [`scan_journal`] learned about a journal file, including
+/// the byte geometry recovery needs to repair a torn tail.
+#[derive(Debug)]
+pub struct JournalScan {
+    /// The records of the intact prefix (after the version gate).
+    pub records: Vec<Record>,
+    /// SRV007/SRV010 diagnostics; `has_errors()` means the journal must
+    /// be abandoned.
+    pub report: Report,
+    /// Byte length of the intact prefix: every complete, parseable line
+    /// lies below this offset.
+    pub valid_len: u64,
+    /// Byte offset of the first corrupt record, if the scan hit one.
+    pub torn_at: Option<u64>,
+    /// The last intact record was not newline-terminated (the kill
+    /// landed between the payload and the `\n`); [`repair_tail`]
+    /// restores the terminator so appends start on a fresh line.
+    pub needs_newline: bool,
+}
+
+/// Scan a journal file byte-accurately: parse the intact prefix, locate
+/// the first corrupt record (if any) by byte offset, and run the header
+/// and causality gates. [`read_journal`] is the records-and-report view
+/// of this; recovery uses the full scan to [`repair_tail`] before
+/// reopening the file for appends.
+pub fn scan_journal(path: &Path) -> JournalScan {
     let mut report = Report::new();
     let loc = path.display().to_string();
+    let mut scan = JournalScan {
+        records: Vec::new(),
+        report: Report::new(),
+        valid_len: 0,
+        torn_at: None,
+        needs_newline: false,
+    };
     let file = match File::open(path) {
         Ok(f) => f,
         Err(e) => {
@@ -417,54 +531,75 @@ pub fn read_journal(path: &Path) -> (Vec<Record>, Report) {
                 loc,
                 format!("cannot read journal: {e}"),
             ));
-            return (Vec::new(), report);
+            scan.report = report;
+            return scan;
         }
     };
-    let mut records = Vec::new();
-    for (lineno, line) in BufReader::new(file).lines().enumerate() {
-        let line = match line {
-            Ok(l) => l,
+    let mut reader = BufReader::new(file);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut offset: u64 = 0;
+    let mut lineno: usize = 0;
+    let torn = |report: &mut Report, lineno: usize, offset: u64, why: &str| {
+        report.push(
+            Diagnostic::new(
+                Code::Srv007,
+                format!("{loc}:{}", lineno + 1),
+                format!("torn journal tail: {why} (first corrupt record at byte {offset})"),
+            )
+            .with_help("the daemon was killed mid-write; the intact prefix is recovered"),
+        );
+    };
+    loop {
+        buf.clear();
+        let n = match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
             Err(e) => {
-                report.push(
-                    Diagnostic::new(
-                        Code::Srv007,
-                        format!("{loc}:{}", lineno + 1),
-                        format!("torn journal tail: {e}"),
-                    )
-                    .with_help("the daemon was killed mid-write; the intact prefix is recovered"),
-                );
+                scan.torn_at = Some(offset);
+                torn(&mut report, lineno, offset, &e.to_string());
                 break;
             }
         };
-        if line.trim().is_empty() {
+        let line_start = offset;
+        offset += n as u64;
+        lineno += 1;
+        let terminated = buf.last() == Some(&b'\n');
+        let line = String::from_utf8_lossy(&buf);
+        let line = line.trim();
+        if line.is_empty() {
+            if terminated {
+                scan.valid_len = offset;
+            }
             continue;
         }
-        match Record::from_json(line.trim()) {
-            Ok(Some(rec)) => records.push(rec),
+        match Record::from_json(line) {
+            Ok(Some(rec)) => {
+                scan.records.push(rec);
+                scan.valid_len = offset;
+                // An unterminated payload that still parses is durable;
+                // only the `\n` needs repair before appends resume.
+                scan.needs_newline = !terminated;
+            }
             Ok(None) => {
                 report.push(Diagnostic::new(
                     Code::Srv007,
-                    format!("{loc}:{}", lineno + 1),
+                    format!("{loc}:{lineno}"),
                     "unknown record type; skipped".to_string(),
                 ));
+                scan.valid_len = offset;
+                scan.needs_newline = !terminated;
             }
             Err(e) => {
-                report.push(
-                    Diagnostic::new(
-                        Code::Srv007,
-                        format!("{loc}:{}", lineno + 1),
-                        format!("torn journal tail: {e}"),
-                    )
-                    .with_help("the daemon was killed mid-write; the intact prefix is recovered"),
-                );
+                scan.torn_at = Some(line_start);
+                torn(&mut report, lineno - 1, line_start, &e);
                 break;
             }
         }
     }
     // The header gate: a missing or mismatched Meta invalidates the lot.
-    match records.first() {
-        Some(Record::Meta { version }) if *version == JOURNAL_FORMAT_VERSION => {}
-        Some(Record::Meta { version }) => {
+    match scan.records.first() {
+        Some(Record::Meta { version, .. }) if *version == JOURNAL_FORMAT_VERSION => {}
+        Some(Record::Meta { version, .. }) => {
             report.push(
                 Diagnostic::new(
                     Code::Srv007,
@@ -475,18 +610,42 @@ pub fn read_journal(path: &Path) -> (Vec<Record>, Report) {
                 )
                 .with_severity(corun_verify::Severity::Error),
             );
-            records.clear();
+            scan.records.clear();
         }
         _ => {
             report.push(
                 Diagnostic::new(Code::Srv007, loc, "journal has no version header")
                     .with_severity(corun_verify::Severity::Error),
             );
-            records.clear();
+            scan.records.clear();
         }
     }
-    report.merge(check_causality(&records));
-    (records, report)
+    report.merge(check_causality(&scan.records));
+    scan.report = report;
+    scan
+}
+
+/// Truncate a torn tail off a journal so the file once again ends at a
+/// record boundary, and restore a missing final newline. Recovery calls
+/// this (with the scan it already has) before reopening the journal for
+/// appends — otherwise the first post-recovery record would concatenate
+/// onto the torn fragment and corrupt the file for the *next* recovery.
+/// Returns whether the file was modified.
+pub fn repair_tail(path: &Path, scan: &JournalScan) -> std::io::Result<bool> {
+    let mut changed = false;
+    if scan.torn_at.is_some() {
+        let f = OpenOptions::new().write(true).open(path)?;
+        f.set_len(scan.valid_len)?;
+        f.sync_data()?;
+        changed = true;
+    }
+    if scan.needs_newline {
+        let mut f = OpenOptions::new().append(true).open(path)?;
+        f.write_all(b"\n")?;
+        f.sync_data()?;
+        changed = true;
+    }
+    Ok(changed)
 }
 
 /// Check that a record sequence tells a causally possible story.
@@ -533,7 +692,11 @@ pub fn check_causality(records: &[Record]) -> Report {
     };
     for (k, rec) in records.iter().enumerate() {
         match rec {
-            Record::Meta { .. } | Record::Evict { .. } => {}
+            Record::Meta { .. }
+            | Record::Evict { .. }
+            | Record::CapChange { .. }
+            | Record::ShutdownBegin
+            | Record::Snapshot { .. } => {}
             Record::Recovered { .. } => {
                 // A restart boundary: whatever was in flight at the kill
                 // was reconstructed as pending, so no dispatch stays open
@@ -682,7 +845,12 @@ pub fn replay(records: &[Record]) -> (Recovered, Report) {
     };
     for (k, rec) in records.iter().enumerate() {
         match rec {
-            Record::Meta { .. } | Record::Recovered { .. } | Record::Evict { .. } => {}
+            Record::Meta { .. }
+            | Record::Recovered { .. }
+            | Record::Evict { .. }
+            | Record::CapChange { .. }
+            | Record::ShutdownBegin
+            | Record::Snapshot { .. } => {}
             Record::Accept {
                 id,
                 name,
@@ -826,7 +994,25 @@ mod tests {
 
     #[test]
     fn records_roundtrip_through_json() {
-        for rec in sample_records() {
+        let mut all = sample_records();
+        all.extend([
+            Record::Meta {
+                version: JOURNAL_FORMAT_VERSION,
+                machines: 3,
+            },
+            Record::Recovered {
+                jobs: 2,
+                machines: 3,
+            },
+            Record::CapChange { cap_w: 12.5 },
+            Record::ShutdownBegin,
+            Record::Snapshot {
+                seq: 17,
+                fingerprint: 0xdead_beef_cafe_f00d,
+                state: "{\"jobs\":[],\"queue\":[]}".into(),
+            },
+        ]);
+        for rec in all {
             let line = rec.to_json();
             let back = Record::from_json(&line).unwrap().unwrap();
             assert_eq!(back, rec, "roundtrip failed for {line}");
@@ -840,7 +1026,7 @@ mod tests {
     #[test]
     fn journal_write_read_replay() {
         let path = temp_path("roundtrip");
-        let mut j = Journal::create(&path).unwrap();
+        let mut j = Journal::create(&path, 1).unwrap();
         for rec in sample_records() {
             j.append(&rec).unwrap();
         }
@@ -860,7 +1046,7 @@ mod tests {
     #[test]
     fn torn_tail_keeps_the_intact_prefix() {
         let path = temp_path("torn");
-        let mut j = Journal::create(&path).unwrap();
+        let mut j = Journal::create(&path, 1).unwrap();
         for rec in sample_records() {
             j.append(&rec).unwrap();
         }
@@ -868,12 +1054,87 @@ mod tests {
         // Chop the file mid-way through the last record.
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
-        let (records, report) = read_journal(&path);
-        assert!(report.has(Code::Srv007));
-        assert!(!report.has_errors(), "a torn tail is recoverable");
-        assert_eq!(records.len(), sample_records().len()); // meta + all but the torn one
-        let (rec, _) = replay(&records);
+        let scan = scan_journal(&path);
+        assert!(scan.report.has(Code::Srv007));
+        assert!(!scan.report.has_errors(), "a torn tail is recoverable");
+        assert_eq!(scan.records.len(), sample_records().len()); // meta + all but the torn one
+        let (rec, _) = replay(&scan.records);
         assert_eq!(rec.jobs.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_diagnostic_reports_the_byte_offset() {
+        let path = temp_path("torn-offset");
+        let mut j = Journal::create(&path, 1).unwrap();
+        for rec in sample_records() {
+            j.append(&rec).unwrap();
+        }
+        drop(j);
+        let bytes = std::fs::read(&path).unwrap();
+        // The corrupt record starts right after the last intact newline.
+        let cut = bytes.len() - 9;
+        let expect_at = bytes[..cut]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map(|p| p + 1)
+            .unwrap() as u64;
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let scan = scan_journal(&path);
+        assert_eq!(scan.torn_at, Some(expect_at));
+        assert_eq!(scan.valid_len, expect_at);
+        let rendered = scan.report.render_human();
+        assert!(
+            rendered.contains(&format!("first corrupt record at byte {expect_at}")),
+            "diagnostic must name the byte offset: {rendered}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn repair_tail_restores_a_record_boundary() {
+        let path = temp_path("repair");
+        let mut j = Journal::create(&path, 1).unwrap();
+        for rec in sample_records() {
+            j.append(&rec).unwrap();
+        }
+        drop(j);
+        let clean = std::fs::read(&path).unwrap();
+
+        // Torn mid-record: repair truncates the fragment, and appends
+        // resume on a clean boundary that a later scan fully reads.
+        std::fs::write(&path, &clean[..clean.len() - 9]).unwrap();
+        let scan = scan_journal(&path);
+        assert!(repair_tail(&path, &scan).unwrap());
+        let mut j = Journal::open_append(&path, scan.records.len() as u64).unwrap();
+        j.append(&Record::Recovered {
+            jobs: 2,
+            machines: 1,
+        })
+        .unwrap();
+        drop(j);
+        let rescan = scan_journal(&path);
+        assert!(rescan.torn_at.is_none());
+        assert!(
+            !rescan.report.has_errors(),
+            "{}",
+            rescan.report.render_human()
+        );
+        assert_eq!(rescan.records.len(), sample_records().len() + 1);
+        assert!(matches!(
+            rescan.records.last(),
+            Some(Record::Recovered { jobs: 2, .. })
+        ));
+
+        // Missing final newline only: the record is durable; repair
+        // restores the terminator without dropping it.
+        std::fs::write(&path, &clean[..clean.len() - 1]).unwrap();
+        let scan = scan_journal(&path);
+        assert!(scan.torn_at.is_none());
+        assert!(scan.needs_newline);
+        assert_eq!(scan.records.len(), 1 + sample_records().len());
+        assert!(repair_tail(&path, &scan).unwrap());
+        assert_eq!(std::fs::read(&path).unwrap(), clean);
         std::fs::remove_file(&path).ok();
     }
 
@@ -897,6 +1158,7 @@ mod tests {
         let records = vec![
             Record::Meta {
                 version: JOURNAL_FORMAT_VERSION,
+                machines: 1,
             },
             Record::Accept {
                 id: 0,
@@ -945,7 +1207,7 @@ mod tests {
         // `dispatch`. read_journal must flag it at error severity so
         // recovery abandons the journal.
         let path = temp_path("causality");
-        let mut j = Journal::create(&path).unwrap();
+        let mut j = Journal::create(&path, 1).unwrap();
         j.append(&Record::Accept {
             id: 0,
             name: "srad#0".into(),
@@ -989,6 +1251,7 @@ mod tests {
         // that voids in-flight dispatches.
         let mut records = vec![Record::Meta {
             version: JOURNAL_FORMAT_VERSION,
+            machines: 2,
         }];
         records.extend(sample_records());
         // Job 1 was requeued (attempt 1); redispatch and kill in flight.
@@ -1001,7 +1264,10 @@ mod tests {
             attempt: 1,
         });
         // Restart: the open dispatch of job 1 becomes pending again.
-        records.push(Record::Recovered { jobs: 2 });
+        records.push(Record::Recovered {
+            jobs: 2,
+            machines: 2,
+        });
         records.push(Record::Dispatch {
             id: 1,
             machine: 0,
@@ -1121,6 +1387,7 @@ mod tests {
         // the state a kill can leave behind.
         let mut records = vec![Record::Meta {
             version: JOURNAL_FORMAT_VERSION,
+            machines: 2,
         }];
         records.extend(sample_records());
         records.push(Record::Dead {

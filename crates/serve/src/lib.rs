@@ -18,6 +18,12 @@
 //!   side-effect-free transition functions over [`ServiceState`], with
 //!   executable safety invariants. The `corun-mc` model checker
 //!   exhaustively explores exactly these functions (`docs/MODELCHECK.md`).
+//! - [`snapshot`] — the [`ServiceState`] ⇄ JSON snapshot codec behind
+//!   the journal's periodic checkpoints; `corun replay` (the
+//!   `corun-replay` crate) verifies them bit-identically
+//!   (`docs/REPLAY.md`).
+//! - [`ring`] — the fixed-size time-series metrics ring behind the
+//!   `watch` protocol op and `corun status --watch`.
 //! - [`service`] — the daemon core: admission control with a bounded
 //!   queue, incremental model growth, per-machine worker threads, live
 //!   metrics, fault injection, and degraded-mode rescheduling. A thin
@@ -35,19 +41,23 @@ pub mod client;
 pub mod journal;
 pub mod json;
 pub mod protocol;
+pub mod ring;
 pub mod server;
 pub mod service;
+pub mod snapshot;
 pub mod state;
 
 pub use client::{Client, RetryConfig};
 pub use journal::{
-    check_causality, read_journal, replay, Disposition, Journal, Record, Recovered, RecoveredJob,
-    JOURNAL_FORMAT_VERSION,
+    check_causality, read_journal, repair_tail, replay, scan_journal, Disposition, Journal,
+    JournalScan, Record, Recovered, RecoveredJob, JOURNAL_FORMAT_VERSION,
 };
 pub use json::Json;
 pub use protocol::{handle_request, PROTOCOL_VERSION};
+pub use ring::{MetricsPoint, MetricsRing, RING_CAPACITY};
 pub use server::{Server, MAX_FRAME_BYTES};
 pub use service::{JobState, JobStatus, MetricsSnapshot, Service, ServiceConfig, SubmitError};
+pub use snapshot::{decode_state, encode_state};
 pub use state::{
     Counters, FailReport, JobCore, MachineCore, ServiceState, TransitionError, Violation,
     ViolationKind,

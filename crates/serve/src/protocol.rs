@@ -63,6 +63,24 @@ fn dispatch(service: &Service, req: &Json) -> Json {
             }
         }
         "metrics" => metrics_json(&service.metrics()),
+        "watch" => {
+            // Cursor-resumable read of the live-ops metrics ring: returns
+            // every retained point newer than `since` (default 0 = all)
+            // plus the cursor to poll with next.
+            let since = match req.get("since") {
+                None => 0,
+                Some(v) => match v.as_index() {
+                    Some(n) => n as u64,
+                    None => return error("bad_request", "`since` must be a non-negative integer"),
+                },
+            };
+            let (points, next) = service.watch(since);
+            obj(vec![
+                ("ok", Json::Bool(true)),
+                ("next", Json::Num(next as f64)),
+                ("points", Json::Arr(points.iter().map(point_json).collect())),
+            ])
+        }
         "diagnostics" => {
             // SRV0xx fault/journal findings; Report::render_json emits a
             // JSON array, embed it verbatim.
@@ -202,6 +220,22 @@ fn status_json(status: &JobStatus) -> Json {
         }
     }
     obj(fields)
+}
+
+fn point_json(p: &crate::ring::MetricsPoint) -> Json {
+    obj(vec![
+        ("seq", Json::Num(p.seq as f64)),
+        ("wall_s", Json::Num(p.wall_s)),
+        ("sim_s", Json::Num(p.sim_s)),
+        ("queue_depth", Json::Num(p.queue_depth as f64)),
+        ("headroom_w", Json::Num(p.headroom_w)),
+        ("completed", Json::Num(p.completed as f64)),
+        ("dead_lettered", Json::Num(p.dead_lettered as f64)),
+        (
+            "util",
+            Json::Arr(p.util.iter().map(|&u| Json::Num(u)).collect()),
+        ),
+    ])
 }
 
 fn metrics_json(m: &MetricsSnapshot) -> Json {
@@ -395,6 +429,38 @@ mod tests {
         let r = call(&svc, r#"{"op":"set_cap"}"#);
         assert_eq!(r.get("error").and_then(Json::as_str), Some("bad_request"));
         let r = call(&svc, r#"{"op":"set_cap","cap_w":-3}"#);
+        assert_eq!(r.get("error").and_then(Json::as_str), Some("bad_request"));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn watch_streams_ring_points_with_a_cursor() {
+        let svc = service();
+        let r = call(&svc, r#"{"op":"submit","spec":"lud x0.1"}"#);
+        let id = r.get("ids").and_then(Json::as_arr).unwrap()[0]
+            .as_index()
+            .unwrap();
+        svc.wait_job(id);
+
+        let w = call(&svc, r#"{"op":"watch"}"#);
+        assert_eq!(w.get("ok"), Some(&Json::Bool(true)));
+        let points = w.get("points").and_then(Json::as_arr).unwrap();
+        assert!(!points.is_empty(), "harvests must have pushed points");
+        let next = w.get("next").and_then(Json::as_index).unwrap();
+        assert_eq!(
+            points.last().unwrap().get("seq").and_then(Json::as_index),
+            Some(next)
+        );
+        let p = &points[0];
+        assert!(p.get("queue_depth").and_then(Json::as_index).is_some());
+        assert!(p.get("headroom_w").and_then(Json::as_f64).is_some());
+        assert!(p.get("util").and_then(Json::as_arr).is_some());
+
+        // Resuming from the returned cursor yields nothing new.
+        let w2 = call(&svc, &format!(r#"{{"op":"watch","since":{next}}}"#));
+        assert!(w2.get("points").and_then(Json::as_arr).unwrap().is_empty());
+
+        let r = call(&svc, r#"{"op":"watch","since":"x"}"#);
         assert_eq!(r.get("error").and_then(Json::as_str), Some("bad_request"));
         svc.shutdown();
     }

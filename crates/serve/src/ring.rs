@@ -1,0 +1,175 @@
+//! Fixed-size time-series metrics ring: the live-ops history behind the
+//! `watch` protocol op and `corun status --watch`.
+//!
+//! The service pushes one [`MetricsPoint`] per harvest slice (and at a
+//! few other interesting moments: admission bursts, cap changes,
+//! evictions). The ring keeps the last [`RING_CAPACITY`] points in a
+//! fixed allocation — dashboards, soak tests, and the CI smoke all read
+//! the *same* consistent history through a cursor ([`MetricsRing::since`])
+//! instead of scraping logs, and a slow reader can never make the daemon
+//! buffer unboundedly: it just misses the oldest points.
+
+/// Points the ring retains; older points are overwritten.
+pub const RING_CAPACITY: usize = 1024;
+
+/// One time-series sample of the service's live state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsPoint {
+    /// Monotonic sequence number (1-based, never reused); the `watch`
+    /// cursor.
+    pub seq: u64,
+    /// Wall seconds since service start (the I/O-edge [`corun_core::Clock`]).
+    pub wall_s: f64,
+    /// Max simulated seconds across machines.
+    pub sim_s: f64,
+    /// Jobs waiting for dispatch.
+    pub queue_depth: usize,
+    /// Power headroom vs the cap, watts: `cap_w` minus the last observed
+    /// total power sample (equals `cap_w` before the first sample).
+    pub headroom_w: f64,
+    /// Cumulative completed jobs.
+    pub completed: usize,
+    /// Cumulative dead-lettered jobs (dead-letter *rate* is a consumer
+    /// derivative: delta over delta-time).
+    pub dead_lettered: usize,
+    /// Per-machine utilization in `[0, 1]`: busy simulated seconds over
+    /// elapsed simulated seconds (0 until the machine first advances).
+    pub util: Vec<f64>,
+}
+
+/// The fixed-size ring buffer. Not internally synchronized — the service
+/// holds its state lock while pushing and reading.
+#[derive(Debug)]
+pub struct MetricsRing {
+    points: Vec<MetricsPoint>,
+    capacity: usize,
+    next_seq: u64,
+    head: usize,
+}
+
+impl MetricsRing {
+    /// An empty ring retaining [`RING_CAPACITY`] points.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(RING_CAPACITY)
+    }
+
+    /// An empty ring retaining `capacity` points (min 1).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        MetricsRing {
+            points: Vec::with_capacity(capacity),
+            capacity,
+            next_seq: 1,
+            head: 0,
+        }
+    }
+
+    /// Append a point, assigning it the next sequence number (returned).
+    /// Overwrites the oldest point once full.
+    pub fn push(&mut self, mut point: MetricsPoint) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        point.seq = seq;
+        if self.points.len() < self.capacity {
+            self.points.push(point);
+        } else {
+            self.points[self.head] = point;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        seq
+    }
+
+    /// Points newer than `cursor`, oldest first, plus the next cursor to
+    /// poll with (pass `0` for "everything retained"). A reader that
+    /// fell more than [`RING_CAPACITY`] points behind simply misses the
+    /// overwritten ones.
+    #[must_use]
+    pub fn since(&self, cursor: u64) -> (Vec<MetricsPoint>, u64) {
+        let mut out: Vec<MetricsPoint> = self
+            .points
+            .iter()
+            .filter(|p| p.seq > cursor)
+            .cloned()
+            .collect();
+        out.sort_by_key(|p| p.seq);
+        (out, self.next_seq - 1)
+    }
+
+    /// Points currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether nothing has been pushed yet (or everything aged out —
+    /// impossible, the ring only overwrites).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The newest sequence number handed out (0 if none yet).
+    #[must_use]
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+}
+
+impl Default for MetricsRing {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(sim_s: f64) -> MetricsPoint {
+        MetricsPoint {
+            seq: 0,
+            wall_s: sim_s * 2.0,
+            sim_s,
+            queue_depth: 3,
+            headroom_w: 1.5,
+            completed: 7,
+            dead_lettered: 1,
+            util: vec![0.5, 0.25],
+        }
+    }
+
+    #[test]
+    fn cursor_reads_are_ordered_and_resumable() {
+        let mut ring = MetricsRing::with_capacity(8);
+        for k in 0..5 {
+            assert_eq!(ring.push(point(k as f64)), k + 1);
+        }
+        let (all, next) = ring.since(0);
+        assert_eq!(all.len(), 5);
+        assert_eq!(next, 5);
+        assert!(all.windows(2).all(|w| w[0].seq < w[1].seq));
+        let (newer, next2) = ring.since(3);
+        assert_eq!(newer.iter().map(|p| p.seq).collect::<Vec<_>>(), [4, 5]);
+        assert_eq!(next2, 5);
+        let (none, _) = ring.since(next2);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let mut ring = MetricsRing::with_capacity(4);
+        for k in 0..10 {
+            ring.push(point(k as f64));
+        }
+        assert_eq!(ring.len(), 4);
+        let (pts, next) = ring.since(0);
+        assert_eq!(pts.iter().map(|p| p.seq).collect::<Vec<_>>(), [7, 8, 9, 10]);
+        assert_eq!(next, 10);
+        assert_eq!(ring.last_seq(), 10);
+        // A reader that fell behind silently misses the overwritten ones.
+        let (pts, _) = ring.since(5);
+        assert_eq!(pts.first().map(|p| p.seq), Some(7));
+    }
+}

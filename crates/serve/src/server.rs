@@ -107,9 +107,11 @@ impl ConnGauge {
     /// Wait until no connections remain, or the timeout passes (a client
     /// holding its connection open must not wedge shutdown).
     fn drain(&self, timeout: Duration) {
+        // corun-lint: allow(wall-clock) — connection-drain deadline, an I/O edge.
         let deadline = std::time::Instant::now() + timeout;
         let mut n = self.count.lock().expect("conn gauge");
         while *n > 0 {
+            // corun-lint: allow(wall-clock) — connection-drain deadline, an I/O edge.
             let now = std::time::Instant::now();
             if now >= deadline {
                 break;

@@ -38,19 +38,20 @@
 //! killed at any byte resumes via `recover` with no lost and no
 //! double-dispatched jobs.
 
-use crate::journal::{read_journal, replay, Journal, Record, Recovered};
+use crate::journal::{repair_tail, replay, scan_journal, Journal, Record, Recovered};
+use crate::ring::{MetricsPoint, MetricsRing};
+use crate::snapshot::encode_state;
 use crate::state::{FailReport, ServiceState};
 use apu_sim::{
     BiasedGovernor, Device, Dispatch, DispatchCtx, DispatchJob, Dispatcher, FaultKind, FaultPlan,
     Governor, JobSpec, MachineConfig, NullGovernor, RunOptions, Session, SessionState,
 };
-use corun_core::{best_solo_run, CoRunModel, HcsConfig, JobId, OnlinePolicy, RetryPolicy};
+use corun_core::{best_solo_run, Clock, CoRunModel, HcsConfig, JobId, OnlinePolicy, RetryPolicy};
 use corun_verify::{Code, Diagnostic, Report, Severity, SpecLine};
 use perf_model::{CharacterizeConfig, ProfileMethod, StagedPredictor};
 use runtime::IncrementalModel;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
 
 pub use crate::state::JobState;
 
@@ -91,6 +92,17 @@ pub struct ServiceConfig {
     pub recover: bool,
     /// Retry budget and back-off shape for failed or evicted jobs.
     pub retry: RetryPolicy,
+    /// The time source for everything outside the simulation: retry
+    /// back-off gates and metrics timestamps. The default
+    /// [`corun_core::WallClock`] reads real time at this one I/O edge;
+    /// replay and tests inject a [`corun_core::ManualClock`] so decision
+    /// paths never touch the wall clock (lint `SRV011`).
+    pub clock: Arc<dyn Clock>,
+    /// Journal a `Snapshot` checkpoint (full encoded [`ServiceState`] +
+    /// fingerprint) roughly every this many records, bounding how much of
+    /// the journal `corun replay` must re-execute. `0` disables periodic
+    /// snapshots; the terminal snapshot at shutdown is always written.
+    pub snapshot_every: usize,
 }
 
 impl ServiceConfig {
@@ -114,6 +126,8 @@ impl ServiceConfig {
             journal_path: None,
             recover: false,
             retry: RetryPolicy::default(),
+            clock: Arc::new(corun_core::WallClock::new()),
+            snapshot_every: 256,
         }
     }
 }
@@ -241,11 +255,16 @@ struct Inner {
     /// counters. Every mutation goes through its transition functions —
     /// the same functions `corun-mc` model-checks.
     st: ServiceState,
-    /// Per-job wall-clock retry gates, parallel to `st.jobs`: a requeued
-    /// job is not dispatchable before its instant. Driver-side because
-    /// the pure state speaks logical back-off seconds, not wall time.
-    /// Ignored during shutdown so the drain completes.
-    gates: Vec<Option<Instant>>,
+    /// Per-job retry gates, parallel to `st.jobs`: a requeued job is not
+    /// dispatchable before this clock reading (seconds on `clock`).
+    /// Driver-side because the pure state speaks logical back-off
+    /// seconds, not clock time. Ignored during shutdown so the drain
+    /// completes.
+    gates: Vec<Option<f64>>,
+    /// The injected time source; every clock read in this module goes
+    /// through it (never `Instant::now` — lint `SRV011`), so a
+    /// `ManualClock` makes the whole driver deterministic.
+    clock: Arc<dyn Clock>,
     /// Jobs refused with queue-full backpressure. They never reach the
     /// pure state (nothing was admitted), so the driver counts them.
     refused: usize,
@@ -263,6 +282,17 @@ struct Inner {
     chaos: Report,
     lost_work_s: f64,
     frames_rejected: usize,
+    /// The live-ops time-series ring behind `watch` / `corun status
+    /// --watch`.
+    ring: MetricsRing,
+    /// Last observed total-power sample, watts, for the headroom series.
+    last_power_w: f64,
+    /// Journal a snapshot roughly every this many records (0 = only the
+    /// terminal one).
+    snapshot_every: usize,
+    /// `Journal::seq` right after the last snapshot append, so
+    /// `maybe_snapshot` is idempotent at quiescent points.
+    last_snapshot_seq: u64,
 }
 
 struct Shared {
@@ -306,6 +336,7 @@ impl Service {
             cap_w: cfg.cap_w,
             st: ServiceState::new(machines),
             gates: Vec::new(),
+            clock: Arc::clone(&cfg.clock),
             refused: 0,
             workers_alive: machines,
             sim_now_s: vec![0.0; machines],
@@ -319,6 +350,10 @@ impl Service {
             chaos: Report::new(),
             lost_work_s: 0.0,
             frames_rejected: 0,
+            ring: MetricsRing::new(),
+            last_power_w: 0.0,
+            snapshot_every: cfg.snapshot_every,
+            last_snapshot_seq: 0,
         };
         open_journal(&cfg, &mut inner);
         let shared = Arc::new(Shared {
@@ -374,6 +409,11 @@ impl Service {
         inner.cap_w = cap_w;
         let (model, policy) = inner.model_and_policy();
         policy.set_cap_w(model, cap_w);
+        // The cap feeds the dispatcher's feasibility decisions, so replay
+        // must see it at the same point in the event order.
+        inner.journal_append(&Record::CapChange { cap_w });
+        inner.push_metrics_point();
+        inner.maybe_snapshot(false);
         // A raised cap can make previously-declined queue entries
         // dispatchable: wake any parked workers to re-poll.
         self.shared.work_cv.notify_all();
@@ -461,6 +501,8 @@ impl Service {
             }
             return Err(SubmitError::Infeasible { names: infeasible });
         }
+        inner.push_metrics_point();
+        inner.maybe_snapshot(false);
         self.shared.work_cv.notify_all();
         Ok(ids)
     }
@@ -593,7 +635,10 @@ impl Service {
     /// [`Service::shutdown`] to also wait for the workers.
     pub fn begin_shutdown(&self) {
         let mut inner = self.lock();
-        inner.st.begin_shutdown();
+        if !inner.st.shutdown {
+            inner.st.begin_shutdown();
+            inner.journal_append(&Record::ShutdownBegin);
+        }
         self.shared.work_cv.notify_all();
     }
 
@@ -619,6 +664,25 @@ impl Service {
         for h in handles {
             let _ = h.join();
         }
+        // The workers are gone, so the state is final: write the terminal
+        // snapshot `corun replay` diffs against. Idempotent — a second
+        // shutdown (e.g. Drop after an explicit call) appends nothing.
+        let mut inner = self.lock();
+        inner.push_metrics_point();
+        inner.maybe_snapshot(true);
+    }
+
+    /// The FNV-1a fingerprint of the current pure state — the identity
+    /// `corun replay` reproduces bit-for-bit from the journal.
+    pub fn state_fingerprint(&self) -> u64 {
+        self.lock().st.fingerprint()
+    }
+
+    /// Metrics-ring points newer than `cursor` plus the next cursor to
+    /// poll with (the `watch` protocol op; pass `0` for everything
+    /// retained).
+    pub fn watch(&self, cursor: u64) -> (Vec<MetricsPoint>, u64) {
+        self.lock().ring.since(cursor)
     }
 
     fn lock(&self) -> MutexGuard<'_, Inner> {
@@ -641,8 +705,9 @@ fn open_journal(cfg: &ServiceConfig, inner: &mut Inner) {
         return;
     };
     if cfg.recover && path.exists() {
-        let (records, mut report) = read_journal(path);
-        let (recovered, replay_report) = replay(&records);
+        let scan = scan_journal(path);
+        let mut report = scan.report.clone();
+        let (recovered, replay_report) = replay(&scan.records);
         report.merge(replay_report);
         // Rebuild every JobSpec *before* touching the model so a failure
         // cannot leave it half-populated.
@@ -677,17 +742,39 @@ fn open_journal(cfg: &ServiceConfig, inner: &mut Inner) {
                 }
             }
         }
+        // Repair the tail before reopening for append: truncate a torn
+        // fragment (and restore a missing final newline) so the next
+        // record lands on a record boundary instead of concatenating
+        // onto garbage — which would corrupt the journal for the *next*
+        // recovery.
+        if ok {
+            if let Err(e) = repair_tail(path, &scan) {
+                inner.chaos_push(
+                    Diagnostic::new(
+                        Code::Srv007,
+                        path.display().to_string(),
+                        format!("cannot repair journal tail: {e}; recovery abandoned"),
+                    )
+                    .with_severity(Severity::Error),
+                );
+                ok = false;
+            }
+        }
         for d in report.diagnostics {
             inner.chaos_push(d);
         }
         if ok {
             restore(inner, &recovered, specs, cfg.machines);
-            match Journal::open_append(path) {
+            match Journal::open_append(path, scan.records.len() as u64) {
                 Ok(j) => {
                     inner.journal = Some(j);
                     inner.journal_append(&Record::Recovered {
                         jobs: inner.st.jobs.len(),
+                        machines: cfg.machines,
                     });
+                    // Checkpoint the restored state immediately: replay
+                    // of the grown journal can fast-forward to here.
+                    inner.maybe_snapshot(true);
                 }
                 Err(e) => inner.chaos_push(
                     Diagnostic::new(
@@ -701,7 +788,7 @@ fn open_journal(cfg: &ServiceConfig, inner: &mut Inner) {
             return;
         }
     }
-    match Journal::create(path) {
+    match Journal::create(path, cfg.machines) {
         Ok(j) => inner.journal = Some(j),
         Err(e) => inner.chaos_push(
             Diagnostic::new(
@@ -774,6 +861,66 @@ impl Inner {
         }
     }
 
+    /// Sample the live state into the metrics ring: queue depth, power
+    /// headroom vs the cap, completion/dead-letter counters, per-machine
+    /// utilization. Called at harvest boundaries and other interesting
+    /// moments (admission, cap changes, evictions) under the lock.
+    fn push_metrics_point(&mut self) {
+        let sim_s = self.sim_now_s.iter().copied().fold(0.0, f64::max);
+        let util = self
+            .sim_now_s
+            .iter()
+            .zip(&self.busy_s)
+            .map(|(&now, busy)| {
+                if now > 0.0 {
+                    (busy[0] + busy[1]) / (2.0 * now)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let point = MetricsPoint {
+            seq: 0, // assigned by the ring
+            wall_s: self.clock.now_s(),
+            sim_s,
+            queue_depth: self.st.queue.len(),
+            headroom_w: self.cap_w - self.last_power_w,
+            completed: self.st.counters.completed,
+            dead_lettered: self.st.counters.dead_lettered,
+            util,
+        };
+        self.ring.push(point);
+    }
+
+    /// Journal a `Snapshot` checkpoint if one is due: `force` writes
+    /// whenever anything was appended since the last snapshot (terminal
+    /// and post-recovery checkpoints), otherwise only after
+    /// `snapshot_every` records. Callers must hold the lock at a
+    /// quiescent point — every state mutation already journaled — so the
+    /// snapshot equals replaying its own prefix.
+    fn maybe_snapshot(&mut self, force: bool) {
+        let Some(journal) = self.journal.as_ref() else {
+            return;
+        };
+        let seq = journal.seq();
+        let since = seq.saturating_sub(self.last_snapshot_seq);
+        if since == 0 {
+            return;
+        }
+        if !force && (self.snapshot_every == 0 || since < self.snapshot_every as u64) {
+            return;
+        }
+        let record = Record::Snapshot {
+            seq,
+            fingerprint: self.st.fingerprint(),
+            state: encode_state(&self.st),
+        };
+        self.journal_append(&record);
+        if let Some(journal) = self.journal.as_ref() {
+            self.last_snapshot_seq = journal.seq();
+        }
+    }
+
     /// Append a fault diagnostic, bounded so a hostile plan cannot grow
     /// the report without limit.
     fn chaos_push(&mut self, d: Diagnostic) {
@@ -800,7 +947,8 @@ impl Inner {
                 backoff_s,
                 reason,
             } => {
-                self.set_gate(*id, Instant::now() + Duration::from_secs_f64(*backoff_s));
+                let until = self.clock.now_s() + *backoff_s;
+                self.set_gate(*id, until);
                 self.chaos_push(Diagnostic::new(
                     Code::Srv003,
                     format!("job {id}"),
@@ -821,7 +969,7 @@ impl Inner {
         }
     }
 
-    fn set_gate(&mut self, job: JobId, until: Instant) {
+    fn set_gate(&mut self, job: JobId, until: f64) {
         if self.gates.len() <= job {
             self.gates.resize(job + 1, None);
         }
@@ -859,7 +1007,7 @@ impl Dispatcher for WorkerDispatcher {
         // Jobs sitting out a retry back-off are invisible until their
         // gate passes — except during shutdown, where draining promptly
         // beats honoring back-off.
-        let wall_now = Instant::now();
+        let wall_now = inner.clock.now_s();
         let ready: Vec<JobId> = inner
             .st
             .queue
@@ -1092,6 +1240,8 @@ fn evict_crashed(
                 inner.lost_work_s += (now - fail.start_s).max(0.0);
                 inner.note_fail(fail);
             }
+            inner.push_metrics_point();
+            inner.maybe_snapshot(false);
         }
         Err(e) => {
             debug_assert!(false, "crash transition refused: {e}");
@@ -1128,6 +1278,9 @@ fn harvest(
     inner.cap_samples += samples.len();
     let cap_w = inner.cap_w;
     inner.cap_violations += samples.iter().filter(|&&w| w > cap_w + 1e-9).count();
+    if let Some(&w) = samples.last() {
+        inner.last_power_w = w;
+    }
     *harvested_samples = session.trace().samples_w.len();
 
     // Injected job failures: the engine destroyed the execution mid-run
@@ -1179,6 +1332,8 @@ fn harvest(
             inner.chaos_push(diag);
         }
     }
+    inner.push_metrics_point();
+    inner.maybe_snapshot(false);
     requeued_any
 }
 

@@ -1,0 +1,313 @@
+//! Snapshot codec: [`ServiceState`] ⇄ one compact JSON document.
+//!
+//! The daemon periodically embeds a `Snapshot` journal record carrying
+//! the encoded state plus its fingerprint, written only at quiescent
+//! points where the journal and the in-memory state agree (see
+//! `docs/REPLAY.md`). `corun replay` decodes snapshots to verify that
+//! re-executing the journal reproduces the recorded state bit-identically
+//! and to report field-level differences with `--diff`.
+//!
+//! Floats are rendered with Rust's shortest-roundtrip formatting (the
+//! `json` module), so `decode_state(encode_state(st))` reproduces every
+//! `f64` exactly and `fingerprint()` equality is preserved.
+
+use crate::json::{obj, Json};
+use crate::state::{Counters, JobCore, JobState, MachineCore, ServiceState};
+use apu_sim::Device;
+use std::collections::VecDeque;
+
+fn device_json(d: Device) -> Json {
+    Json::Str(
+        match d {
+            Device::Cpu => "cpu",
+            Device::Gpu => "gpu",
+        }
+        .into(),
+    )
+}
+
+fn opt_id(slot: Option<usize>) -> Json {
+    match slot {
+        Some(id) => Json::Num(id as f64),
+        None => Json::Null,
+    }
+}
+
+fn job_json(j: &JobCore) -> Json {
+    let mut fields = vec![
+        ("name", Json::Str(j.name.clone())),
+        ("program", Json::Str(j.program.clone())),
+        ("scale", Json::Num(j.scale)),
+        ("retries", Json::Num(f64::from(j.retries))),
+        ("dispatches", Json::Num(f64::from(j.dispatches))),
+    ];
+    match &j.state {
+        JobState::Queued => fields.push(("st", Json::Str("queued".into()))),
+        JobState::Rejected => fields.push(("st", Json::Str("rejected".into()))),
+        JobState::Running {
+            machine,
+            device,
+            start_s,
+            predicted_s,
+        } => {
+            fields.push(("st", Json::Str("running".into())));
+            fields.push(("machine", Json::Num(*machine as f64)));
+            fields.push(("device", device_json(*device)));
+            fields.push(("start_s", Json::Num(*start_s)));
+            fields.push(("predicted_s", Json::Num(*predicted_s)));
+        }
+        JobState::Done {
+            machine,
+            device,
+            start_s,
+            end_s,
+            predicted_s,
+        } => {
+            fields.push(("st", Json::Str("done".into())));
+            fields.push(("machine", Json::Num(*machine as f64)));
+            fields.push(("device", device_json(*device)));
+            fields.push(("start_s", Json::Num(*start_s)));
+            fields.push(("end_s", Json::Num(*end_s)));
+            fields.push(("predicted_s", Json::Num(*predicted_s)));
+        }
+        JobState::DeadLetter { reason } => {
+            fields.push(("st", Json::Str("dead".into())));
+            fields.push(("reason", Json::Str(reason.clone())));
+        }
+    }
+    obj(fields)
+}
+
+/// Encode a full [`ServiceState`] as one compact JSON document.
+pub fn encode_state(st: &ServiceState) -> String {
+    let c = st.counters;
+    obj(vec![
+        ("jobs", Json::Arr(st.jobs.iter().map(job_json).collect())),
+        (
+            "queue",
+            Json::Arr(st.queue.iter().map(|&id| Json::Num(id as f64)).collect()),
+        ),
+        (
+            "machines",
+            Json::Arr(
+                st.machines
+                    .iter()
+                    .map(|m| {
+                        obj(vec![
+                            ("down", Json::Bool(m.down)),
+                            ("cpu", opt_id(m.running[0])),
+                            ("gpu", opt_id(m.running[1])),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("shutdown", Json::Bool(st.shutdown)),
+        (
+            "counters",
+            obj(vec![
+                ("accepted", Json::Num(c.accepted as f64)),
+                ("rejected", Json::Num(c.rejected as f64)),
+                ("dispatched", Json::Num(c.dispatched as f64)),
+                ("completed", Json::Num(c.completed as f64)),
+                ("requeued", Json::Num(c.requeued as f64)),
+                ("dead_lettered", Json::Num(c.dead_lettered as f64)),
+                ("evictions", Json::Num(c.evictions as f64)),
+            ]),
+        ),
+    ])
+    .render()
+}
+
+fn req<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or_else(|| format!("missing `{key}`"))
+}
+
+fn req_idx(v: &Json, key: &str) -> Result<usize, String> {
+    req(v, key)?
+        .as_index()
+        .ok_or_else(|| format!("`{key}` is not an index"))
+}
+
+fn req_num(v: &Json, key: &str) -> Result<f64, String> {
+    req(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("`{key}` is not a number"))
+}
+
+fn req_str(v: &Json, key: &str) -> Result<String, String> {
+    Ok(req(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("`{key}` is not a string"))?
+        .to_owned())
+}
+
+fn req_bool(v: &Json, key: &str) -> Result<bool, String> {
+    req(v, key)?
+        .as_bool()
+        .ok_or_else(|| format!("`{key}` is not a bool"))
+}
+
+fn req_device(v: &Json, key: &str) -> Result<Device, String> {
+    match req_str(v, key)?.as_str() {
+        "cpu" => Ok(Device::Cpu),
+        "gpu" => Ok(Device::Gpu),
+        other => Err(format!("bad device `{other}`")),
+    }
+}
+
+fn decode_job(v: &Json, k: usize) -> Result<JobCore, String> {
+    let err = |e: String| format!("job {k}: {e}");
+    let state = match req_str(v, "st").map_err(err)?.as_str() {
+        "queued" => JobState::Queued,
+        "rejected" => JobState::Rejected,
+        "running" => JobState::Running {
+            machine: req_idx(v, "machine").map_err(err)?,
+            device: req_device(v, "device").map_err(err)?,
+            start_s: req_num(v, "start_s").map_err(err)?,
+            predicted_s: req_num(v, "predicted_s").map_err(err)?,
+        },
+        "done" => JobState::Done {
+            machine: req_idx(v, "machine").map_err(err)?,
+            device: req_device(v, "device").map_err(err)?,
+            start_s: req_num(v, "start_s").map_err(err)?,
+            end_s: req_num(v, "end_s").map_err(err)?,
+            predicted_s: req_num(v, "predicted_s").map_err(err)?,
+        },
+        "dead" => JobState::DeadLetter {
+            reason: req_str(v, "reason").map_err(err)?,
+        },
+        other => return Err(format!("job {k}: unknown state `{other}`")),
+    };
+    Ok(JobCore {
+        name: req_str(v, "name").map_err(err)?,
+        program: req_str(v, "program").map_err(err)?,
+        scale: req_num(v, "scale").map_err(err)?,
+        state,
+        retries: req_idx(v, "retries").map_err(err)? as u32,
+        dispatches: req_idx(v, "dispatches").map_err(err)? as u32,
+    })
+}
+
+fn decode_slot(v: &Json, key: &str) -> Result<Option<usize>, String> {
+    match req(v, key)? {
+        Json::Null => Ok(None),
+        j => j
+            .as_index()
+            .map(Some)
+            .ok_or_else(|| format!("`{key}` is not an index or null")),
+    }
+}
+
+/// Decode a document [`encode_state`] produced back into a
+/// [`ServiceState`]. Any structural problem is an error — a snapshot
+/// that does not decode exactly is worthless as a replay checkpoint.
+pub fn decode_state(text: &str) -> Result<ServiceState, String> {
+    let v = Json::parse(text).map_err(|e| format!("snapshot is not valid JSON: {e}"))?;
+    let jobs = req(&v, "jobs")?
+        .as_arr()
+        .ok_or("`jobs` is not an array")?
+        .iter()
+        .enumerate()
+        .map(|(k, j)| decode_job(j, k))
+        .collect::<Result<Vec<JobCore>, String>>()?;
+    let queue = req(&v, "queue")?
+        .as_arr()
+        .ok_or("`queue` is not an array")?
+        .iter()
+        .map(|j| j.as_index().ok_or("queue entry is not an index".to_owned()))
+        .collect::<Result<VecDeque<usize>, String>>()?;
+    let machines = req(&v, "machines")?
+        .as_arr()
+        .ok_or("`machines` is not an array")?
+        .iter()
+        .enumerate()
+        .map(|(k, m)| {
+            let err = |e: String| format!("machine {k}: {e}");
+            Ok(MachineCore {
+                down: req_bool(m, "down").map_err(err)?,
+                running: [
+                    decode_slot(m, "cpu").map_err(err)?,
+                    decode_slot(m, "gpu").map_err(err)?,
+                ],
+            })
+        })
+        .collect::<Result<Vec<MachineCore>, String>>()?;
+    let c = req(&v, "counters")?;
+    let counters = Counters {
+        accepted: req_idx(c, "accepted")?,
+        rejected: req_idx(c, "rejected")?,
+        dispatched: req_idx(c, "dispatched")?,
+        completed: req_idx(c, "completed")?,
+        requeued: req_idx(c, "requeued")?,
+        dead_lettered: req_idx(c, "dead_lettered")?,
+        evictions: req_idx(c, "evictions")?,
+    };
+    Ok(ServiceState {
+        jobs,
+        queue,
+        machines,
+        shutdown: req_bool(&v, "shutdown")?,
+        counters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corun_core::RetryPolicy;
+
+    /// A state exercising every `JobState` arm: done, dead-lettered,
+    /// rejected, queued, running, plus a crashed machine and shutdown.
+    fn busy_state() -> ServiceState {
+        let retry = RetryPolicy {
+            max_retries: 1,
+            ..RetryPolicy::default()
+        };
+        let mut st = ServiceState::new(2);
+        for k in 0..5 {
+            st.accept(&format!("srad#{k}"), "srad", 0.25).unwrap();
+        }
+        let (rejected, _) = st.accept("lud#0", "lud", 0.1).unwrap();
+        st.reject(rejected).unwrap();
+        st.dispatch(0, 0, Device::Gpu, 0.0, 3.5).unwrap();
+        st.dispatch(1, 1, Device::Cpu, 0.0, 2.0).unwrap();
+        st.complete(0, 3.25).unwrap();
+        st.fail(1, &retry, "injected job failure").unwrap();
+        st.dispatch(1, 1, Device::Cpu, 4.0, 2.0).unwrap();
+        st.fail(1, &retry, "injected job failure").unwrap(); // dead-letters
+        st.dispatch(2, 0, Device::Cpu, 4.0, 1.0).unwrap();
+        st.crash(0, 5.0, &retry, "machine crash").unwrap();
+        st.begin_shutdown();
+        st
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_state_and_fingerprint() {
+        let st = busy_state();
+        let text = encode_state(&st);
+        let back = decode_state(&text).expect("decode");
+        assert_eq!(back, st);
+        assert_eq!(back.fingerprint(), st.fingerprint());
+        // And the encoding itself is stable across a second round-trip.
+        assert_eq!(encode_state(&back), text);
+    }
+
+    #[test]
+    fn empty_state_roundtrips() {
+        let st = ServiceState::new(0);
+        let back = decode_state(&encode_state(&st)).unwrap();
+        assert_eq!(back, st);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_documents() {
+        assert!(decode_state("not json").is_err());
+        assert!(decode_state("{}").is_err());
+        assert!(decode_state(r#"{"jobs":[],"queue":[],"machines":[]}"#).is_err());
+        assert!(decode_state(
+            r#"{"jobs":[{"name":"a"}],"queue":[],"machines":[],"shutdown":false,"counters":{"accepted":0,"rejected":0,"dispatched":0,"completed":0,"requeued":0,"dead_lettered":0,"evictions":0}}"#
+        )
+        .is_err());
+    }
+}

@@ -393,6 +393,29 @@ impl ServiceState {
         reason: &str,
     ) -> Result<FailReport, TransitionError> {
         let job = self.jobs.get(id).ok_or(TransitionError::UnknownJob(id))?;
+        if job.retries >= retry.max_retries {
+            let attempts = job.retries + 1;
+            let why = format!("{reason}; gave up after {attempts} attempt(s)");
+            self.fail_with(id, RequeueOutcome::DeadLetter { attempts }, &why)
+        } else {
+            let attempt = job.retries + 1;
+            let backoff_s = retry.backoff_s(id, attempt);
+            self.fail_with(id, RequeueOutcome::Retry { attempt, backoff_s }, reason)
+        }
+    }
+
+    /// Apply an already-decided failure outcome. [`ServiceState::fail`]
+    /// decides the outcome from the live [`RetryPolicy`]; `corun replay`
+    /// applies the outcome a `Requeue`/`Dead` journal record carries.
+    /// Both paths share this one mutation so a replayed failure is
+    /// bit-identical to the live one. `reason` is recorded verbatim.
+    pub fn fail_with(
+        &mut self,
+        id: JobId,
+        outcome: RequeueOutcome,
+        reason: &str,
+    ) -> Result<FailReport, TransitionError> {
+        let job = self.jobs.get(id).ok_or(TransitionError::UnknownJob(id))?;
         let JobState::Running {
             machine,
             device,
@@ -404,33 +427,29 @@ impl ServiceState {
         };
         self.release_slot(machine, device, id);
         let job = &mut self.jobs[id];
-        let (record, outcome) = if job.retries >= retry.max_retries {
-            let attempts = job.retries + 1;
-            let why = format!("{reason}; gave up after {attempts} attempt(s)");
-            job.state = JobState::DeadLetter {
-                reason: why.clone(),
-            };
-            self.counters.dead_lettered += 1;
-            (
-                Record::Dead { id, reason: why },
-                RequeueOutcome::DeadLetter { attempts },
-            )
-        } else {
-            job.retries += 1;
-            let attempt = job.retries;
-            let backoff_s = retry.backoff_s(id, attempt);
-            job.state = JobState::Queued;
-            self.queue.push_back(id);
-            self.counters.requeued += 1;
-            (
+        let record = match outcome {
+            RequeueOutcome::DeadLetter { .. } => {
+                job.state = JobState::DeadLetter {
+                    reason: reason.to_string(),
+                };
+                self.counters.dead_lettered += 1;
+                Record::Dead {
+                    id,
+                    reason: reason.to_string(),
+                }
+            }
+            RequeueOutcome::Retry { attempt, backoff_s } => {
+                job.retries = attempt;
+                job.state = JobState::Queued;
+                self.queue.push_back(id);
+                self.counters.requeued += 1;
                 Record::Requeue {
                     id,
                     attempt,
                     backoff_s,
                     reason: reason.to_string(),
-                },
-                RequeueOutcome::Retry { attempt, backoff_s },
-            )
+                }
+            }
         };
         Ok(FailReport {
             job: id,
@@ -462,8 +481,8 @@ impl ServiceState {
             return Err(TransitionError::MachineDown(machine));
         }
         let victims: Vec<JobId> = m.running.iter().flatten().copied().collect();
-        self.machines[machine].down = true;
-        self.counters.evictions += 1;
+        self.evict_only(machine)
+            .expect("machine existence and liveness checked above");
         let mut evicted = Vec::with_capacity(victims.len());
         for id in victims {
             let report = self
@@ -472,6 +491,25 @@ impl ServiceState {
             evicted.push(report);
         }
         Ok((Record::Evict { machine, at_s }, evicted))
+    }
+
+    /// Mark a machine down without touching its jobs: the replay half of
+    /// [`ServiceState::crash`]. The live daemon journals one `Evict`
+    /// record followed by a `Requeue`/`Dead` record per victim, so
+    /// `corun replay` applies the down-marking here and lets the
+    /// journaled per-victim records do the rest through
+    /// [`ServiceState::fail_with`].
+    pub fn evict_only(&mut self, machine: usize) -> Result<(), TransitionError> {
+        let m = self
+            .machines
+            .get_mut(machine)
+            .ok_or(TransitionError::UnknownMachine(machine))?;
+        if m.down {
+            return Err(TransitionError::MachineDown(machine));
+        }
+        m.down = true;
+        self.counters.evictions += 1;
+        Ok(())
     }
 
     /// Clear a device slot the engine has vacated ahead of the harvest

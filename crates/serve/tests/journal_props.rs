@@ -70,6 +70,7 @@ fn walk(steps: &[Step]) -> (ServiceState, Vec<Record>) {
                 let (recovered, _) = replay(&journal);
                 journal.push(Record::Recovered {
                     jobs: recovered.jobs.len(),
+                    machines: MACHINES,
                 });
                 st = ServiceState::restore_from(&recovered, MACHINES);
             }
@@ -97,7 +98,10 @@ proptest! {
         prop_assert_eq!(&once.jobs, &twice.jobs, "replay is not deterministic");
 
         let mut with_boundary = journal.clone();
-        with_boundary.push(Record::Recovered { jobs: once.jobs.len() });
+        with_boundary.push(Record::Recovered {
+            jobs: once.jobs.len(),
+            machines: MACHINES,
+        });
         let (again, _) = replay(&with_boundary);
         prop_assert_eq!(&once.jobs, &again.jobs,
             "replaying past a recovery boundary changed the dispositions");
@@ -112,7 +116,10 @@ proptest! {
         let st1 = ServiceState::restore_from(&rec1, MACHINES);
 
         let mut journal2 = journal.clone();
-        journal2.push(Record::Recovered { jobs: rec1.jobs.len() });
+        journal2.push(Record::Recovered {
+            jobs: rec1.jobs.len(),
+            machines: MACHINES,
+        });
         let (rec2, _) = replay(&journal2);
         let st2 = ServiceState::restore_from(&rec2, MACHINES);
 

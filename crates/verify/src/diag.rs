@@ -108,6 +108,10 @@ pub enum Code {
     /// (e.g. `done` before `dispatch`); the journal is abandoned rather
     /// than replayed.
     Srv010,
+    /// A scheduling decision path reads a wall-clock or entropy source
+    /// directly (`Instant::now`, `SystemTime::now`, thread RNG) instead
+    /// of the injected `Clock`/`DetRng`, breaking deterministic replay.
+    Srv011,
     /// Model checking reached a state where an accepted job vanished:
     /// not queued, not running, not done, not dead-lettered.
     Mc0001,
@@ -155,11 +159,23 @@ pub enum Code {
     /// The sum of live shard caps exceeds the cluster cap — the fleet
     /// budget invariant is broken.
     Flt004,
+    /// Replay reached a journal snapshot whose recorded fingerprint
+    /// disagrees with the fingerprint of the re-executed state.
+    Rpl001,
+    /// The terminal state of a replay disagrees with the live (or last
+    /// checkpointed) state it should reproduce bit-identically.
+    Rpl002,
+    /// Re-applying a journal record produced a different transition than
+    /// the journal recorded (divergent id, attempt, or refused
+    /// transition).
+    Rpl003,
+    /// A journal snapshot's embedded state document does not decode.
+    Rpl004,
 }
 
 impl Code {
     /// Every code, in catalog order.
-    pub const ALL: [Code; 47] = [
+    pub const ALL: [Code; 52] = [
         Code::Sch001,
         Code::Sch002,
         Code::Sch003,
@@ -192,6 +208,7 @@ impl Code {
         Code::Srv008,
         Code::Srv009,
         Code::Srv010,
+        Code::Srv011,
         Code::Mc0001,
         Code::Mc0002,
         Code::Mc0003,
@@ -207,6 +224,10 @@ impl Code {
         Code::Flt002,
         Code::Flt003,
         Code::Flt004,
+        Code::Rpl001,
+        Code::Rpl002,
+        Code::Rpl003,
+        Code::Rpl004,
     ];
 
     /// The stable textual form, e.g. `"SCH001"`.
@@ -244,6 +265,7 @@ impl Code {
             Code::Srv008 => "SRV008",
             Code::Srv009 => "SRV009",
             Code::Srv010 => "SRV010",
+            Code::Srv011 => "SRV011",
             Code::Mc0001 => "MC0001",
             Code::Mc0002 => "MC0002",
             Code::Mc0003 => "MC0003",
@@ -259,6 +281,10 @@ impl Code {
             Code::Flt002 => "FLT002",
             Code::Flt003 => "FLT003",
             Code::Flt004 => "FLT004",
+            Code::Rpl001 => "RPL001",
+            Code::Rpl002 => "RPL002",
+            Code::Rpl003 => "RPL003",
+            Code::Rpl004 => "RPL004",
         }
     }
 
@@ -350,6 +376,13 @@ impl Code {
             Code::Flt002 => "the fleet has at least one shard and one machine per shard",
             Code::Flt003 => "steal and rebalance parameters keep the fleet responsive",
             Code::Flt004 => "shard power caps never sum past the cluster cap",
+            Code::Srv011 => {
+                "scheduling decisions read time and randomness only through injected sources"
+            }
+            Code::Rpl001 => "replaying a journal prefix reproduces every snapshot fingerprint",
+            Code::Rpl002 => "full journal replay reproduces the terminal state bit-identically",
+            Code::Rpl003 => "every journal record re-applies to exactly the transition it recorded",
+            Code::Rpl004 => "journal snapshots decode back into a service state",
         }
     }
 

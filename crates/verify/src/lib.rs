@@ -16,7 +16,11 @@
 //! * `SRV0xx` — service/fault-tolerance findings: `@chaos` fault-plan
 //!   lints ([`lint_chaos`]) plus the runtime events `corun-serve` emits
 //!   on crashes, retries, dead-letters, journal problems, and oversized
-//!   frames (see `docs/FAULTS.md`).
+//!   frames (see `docs/FAULTS.md`). `SRV011` is the static wall-clock
+//!   source lint ([`source`]) guarding deterministic replay.
+//! * `RPL0xx` — deterministic-replay findings emitted by `corun-replay`
+//!   when re-executing a journal diverges from the recorded run
+//!   (`docs/REPLAY.md`).
 //!
 //! Checks compose through the [`LintPass`] trait: a pass reads the
 //! [`LintContext`] and appends diagnostics, and a [`Linter`] runs a
@@ -41,6 +45,7 @@ pub mod schedfile;
 pub mod schedule;
 #[cfg(feature = "sanitize")]
 pub mod sim;
+pub mod source;
 pub mod spec;
 
 pub use cert::{check_certificate, check_certificate_text, check_parsed};
@@ -49,6 +54,7 @@ pub use diag::{Code, Diagnostic, Report, Severity};
 pub use fleet::{lint_fleet, lint_shard_caps, FleetParams};
 pub use pass::{LintContext, LintPass, Linter};
 pub use schedfile::{parse_schedule_file, ScheduleFile};
+pub use source::{lint_wall_clock, ALLOW_MARKER};
 pub use spec::{
     build_jobs, lint_chaos, lint_spec, lint_spec_full, lint_spec_programs, parse_spec, SpecLine,
 };

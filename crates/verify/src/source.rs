@@ -1,0 +1,196 @@
+//! `SRV011` — the wall-clock / entropy source lint.
+//!
+//! Deterministic replay (`docs/REPLAY.md`) requires that scheduling
+//! decision paths never read ambient time or entropy: every such input
+//! must flow through the injected [`corun_core::Clock`] / `DetRng`
+//! abstractions so a journal re-execution sees exactly the values the
+//! live run saw. This pass scans Rust sources for direct reads
+//! (`Instant::now`, `SystemTime::now`, `thread_rng`, `from_entropy`,
+//! `rand::random`) and reports each unmarked site as an error.
+//!
+//! Sanctioned I/O-edge reads (client retry deadlines, the TCP accept
+//! loop, `WallClock` itself) carry an explicit marker on the same line
+//! or within the three lines above the call:
+//!
+//! ```text
+//! // corun-lint: allow(wall-clock) — why this read is an I/O edge
+//! ```
+//!
+//! Run it as `corun lint --wall-clock [DIR]`; CI gates on it.
+
+use crate::diag::{Code, Diagnostic, Report};
+use std::path::{Path, PathBuf};
+
+/// How many lines above a call a `corun-lint: allow(wall-clock)` marker
+/// still covers (rustfmt may split a marked expression).
+const MARKER_REACH: usize = 3;
+
+/// The suppression marker.
+pub const ALLOW_MARKER: &str = "corun-lint: allow(wall-clock)";
+
+/// The forbidden call patterns, assembled at runtime so this file's own
+/// string literals never flag themselves.
+fn forbidden_patterns() -> Vec<String> {
+    [
+        ("Instant", "::now("),
+        ("SystemTime", "::now("),
+        ("thread_rng", "("),
+        ("from_entropy", "("),
+        ("rand::", "random"),
+    ]
+    .iter()
+    .map(|(a, b)| format!("{a}{b}"))
+    .collect()
+}
+
+/// Recursively lint every `.rs` file under `root` (a directory or a
+/// single file) for unmarked wall-clock/entropy reads. `target` and
+/// `benches` directories (benchmarks measure wall time by design) and
+/// hidden entries are skipped.
+pub fn lint_wall_clock(root: &Path) -> Report {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files);
+    files.sort();
+    let patterns = forbidden_patterns();
+    let mut report = Report::new();
+    for file in &files {
+        let Ok(text) = std::fs::read_to_string(file) else {
+            continue;
+        };
+        lint_text(file, &text, &patterns, &mut report);
+    }
+    report
+}
+
+fn collect_rs_files(path: &Path, out: &mut Vec<PathBuf>) {
+    if path.is_file() {
+        if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path.to_path_buf());
+        }
+        return;
+    }
+    let Ok(entries) = std::fs::read_dir(path) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" || (entry.path().is_dir() && name == "benches")
+        {
+            continue;
+        }
+        collect_rs_files(&entry.path(), out);
+    }
+}
+
+fn lint_text(file: &Path, text: &str, patterns: &[String], report: &mut Report) {
+    // Line number (1-based) of the most recent allow marker.
+    let mut last_marker: Option<usize> = None;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.contains(ALLOW_MARKER) {
+            last_marker = Some(lineno);
+        }
+        // Only code counts: cut the line at its first comment start so
+        // doc comments discussing `Instant::now()` do not flag.
+        let code = line.split("//").next().unwrap_or(line);
+        for pat in patterns {
+            if !code.contains(pat.as_str()) {
+                continue;
+            }
+            let covered = last_marker.is_some_and(|m| lineno >= m && lineno - m <= MARKER_REACH);
+            if covered {
+                continue;
+            }
+            report.push(
+                Diagnostic::new(
+                    Code::Srv011,
+                    format!("{}:{}", file.display(), lineno),
+                    format!(
+                        "direct `{}` read in a decision path breaks deterministic replay",
+                        pat.trim_end_matches('(')
+                    ),
+                )
+                .with_help(format!(
+                    "route time/randomness through the injected Clock/DetRng, or mark a \
+                     sanctioned I/O edge with `// {ALLOW_MARKER}`"
+                )),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_str(text: &str) -> Report {
+        let mut report = Report::new();
+        lint_text(Path::new("x.rs"), text, &forbidden_patterns(), &mut report);
+        report
+    }
+
+    // Test fixtures assemble the forbidden patterns at runtime so this
+    // file's own literals never flag under the workspace-wide scan.
+    fn call(name: &str) -> String {
+        format!("{name}::now()")
+    }
+
+    #[test]
+    fn flags_unmarked_wall_clock_reads() {
+        let report = lint_str(&format!(
+            "fn f() {{ let t = std::time::{}; }}\n",
+            call("Instant")
+        ));
+        assert_eq!(report.len(), 1);
+        assert!(report.has(Code::Srv011));
+        assert!(report.has_errors());
+        assert!(report.diagnostics[0].location.ends_with("x.rs:1"));
+    }
+
+    #[test]
+    fn allow_marker_suppresses_nearby_lines_only() {
+        let now = call("Instant");
+        let marked = format!("// {ALLOW_MARKER} — I/O edge\nlet t = {now};\n");
+        assert!(lint_str(&marked).is_empty());
+        // A marker more than MARKER_REACH lines above does not cover.
+        let stale = format!("// {ALLOW_MARKER}\n\n\n\nlet t = {now};\n");
+        assert_eq!(lint_str(&stale).len(), 1);
+    }
+
+    #[test]
+    fn comments_do_not_flag() {
+        assert!(lint_str(&format!(
+            "// calling {} here would be wrong\n",
+            call("Instant")
+        ))
+        .is_empty());
+        assert!(lint_str(&format!(
+            "//! never use {} in decisions\n",
+            call("SystemTime")
+        ))
+        .is_empty());
+    }
+
+    #[test]
+    fn entropy_sources_flag_too() {
+        let report = lint_str(&format!(
+            "let mut r = rand::{}();\nlet x: u8 = rand::{}();\n",
+            "thread_rng", "random"
+        ));
+        assert_eq!(report.len(), 2);
+    }
+
+    #[test]
+    fn the_workspace_is_clean() {
+        // The real gate CI runs: every crate source in this workspace
+        // either routes time through Clock or marks its I/O edge.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..");
+        let report = lint_wall_clock(&root);
+        assert!(
+            report.is_empty(),
+            "unmarked wall-clock reads:\n{}",
+            report.render_human()
+        );
+    }
+}
