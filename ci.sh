@@ -405,4 +405,17 @@ for i in 0 1 2 3; do
 done
 rm -rf "$FLEET_DIR"
 
+echo "== corun fleet: event-driven smoke (8 shards x 16 machines, 20k jobs)"
+# The discrete-event engine makes this in-process scale CI-affordable:
+# each shard's batched workers pull the earliest wake-up across their
+# resident machines instead of ticking fixed steps. Asserts the books
+# balance and the cap-sum invariant under a mid-drain shard crash.
+cargo test --release -q -p corun-fleet --test fleet_chaos \
+    event_driven_fleet_smoke -- --ignored
+
+echo "== perf gate: simulator throughput vs committed BENCH_sim.json"
+# Fails if simulated-seconds-per-wall-second regresses more than 30%
+# below the committed trajectory baseline.
+cargo run --release -q -p bench --bin perf_gate
+
 echo "CI OK"

@@ -1,6 +1,13 @@
-//! The discrete-time co-execution engine.
+//! The discrete-event co-execution engine.
 //!
-//! The engine advances simulated time in fixed ticks. Each tick it:
+//! The simulated machine is piecewise-constant between *wake-ups*: the
+//! co-run dynamics (rates, utilizations, DRAM demands) only change when a
+//! phase completes, a governor sampling window closes, a dispatcher
+//! wake-up or fault-plan event fires, or host setup ends. The default
+//! [`EngineMode::Event`] core therefore jumps the clock straight from one
+//! wake-up to the next and integrates energy, utilization, and progress
+//! in closed form over the skipped interval (see `docs/SIM.md`). Each
+//! wake-up it:
 //!
 //! 1. derives every running job's *unimpeded* instantaneous behaviour
 //!    (dedicated compute time, memory time at full device bandwidth, and the
@@ -8,11 +15,17 @@
 //!    paper's micro-benchmark sweeps),
 //! 2. arbitrates the simultaneous demands through the shared-memory model,
 //! 3. stretches each job's memory portion by its device's memory slowdown
-//!    and advances phase progress accordingly,
+//!    and schedules each job's next phase/failure crossing at the stretched
+//!    rate,
 //! 4. integrates package power, and at every sampling boundary reports the
 //!    window-averaged power to the governor, which may change frequencies
 //!    (this sampling delay is what produces the transient cap overshoots the
 //!    paper shows in Figure 9).
+//!
+//! [`EngineMode::FixedStep`] keeps the original fixed-tick loop
+//! (`cfg.tick_s` per step) as the equivalence reference; the property
+//! tests in `tests/engine_equivalence.rs` pin the two cores to each
+//! other.
 //!
 //! Job dispatch is pluggable: a [`Dispatcher`] is consulted whenever a
 //! device has a free slot, which is how schedules, the Random/Default
@@ -29,6 +42,11 @@ use crate::power::{DeviceActivity, PowerTrace};
 use crate::work::JobSpec;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+/// Consecutive zero-length wake-ups the event core tolerates before
+/// convicting the run as a livelock (SIM005): far above any legitimate
+/// coincident-event burst, far below "hung".
+const ZERO_PROGRESS_LIMIT: usize = 1024;
 
 /// Errors the engine can produce.
 #[derive(Debug, Clone, PartialEq)]
@@ -148,6 +166,19 @@ impl RunReport {
     }
 }
 
+/// Which advancement core a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Discrete-event core (default): jump between wake-ups, integrating
+    /// the skipped interval in closed form. ~10-100x cheaper per
+    /// simulated second than fixed stepping on realistic workloads.
+    Event,
+    /// Original fixed-tick core (`cfg.tick_s` per step). Kept as the
+    /// equivalence reference and for bit-exact reproduction of results
+    /// produced before the event core existed.
+    FixedStep,
+}
+
 /// Options of a single engine run.
 #[derive(Debug, Clone)]
 pub struct RunOptions {
@@ -158,16 +189,27 @@ pub struct RunOptions {
     pub cpu_slots: usize,
     /// Hard simulated-time limit.
     pub limit_s: f64,
+    /// Advancement core (see [`EngineMode`]).
+    pub engine: EngineMode,
 }
 
 impl RunOptions {
     /// Standard options: single job per device, given initial setting,
-    /// generous limit.
+    /// generous limit, event-driven core.
     pub fn new(initial_setting: FreqSetting) -> Self {
         RunOptions {
             initial_setting,
             cpu_slots: 1,
             limit_s: 1.0e5,
+            engine: EngineMode::Event,
+        }
+    }
+
+    /// Same options on the fixed-step reference core.
+    pub fn fixed_step(initial_setting: FreqSetting) -> Self {
+        RunOptions {
+            engine: EngineMode::FixedStep,
+            ..RunOptions::new(initial_setting)
         }
     }
 }
@@ -470,18 +512,16 @@ impl<'a> Session<'a> {
                 return Ok(SessionState::Crashed);
             }
         }
-        let cfg = self.cfg;
-        let dt = cfg.tick_s;
         #[cfg(feature = "sanitize")]
         if self.san.is_none() {
             self.san = Some(crate::sanitize::RunSanitizer::new(
                 log.as_ref().and_then(|l| l.cap_of_interest_w),
-                cfg.power_sample_s,
+                self.cfg.power_sample_s,
             ));
         }
 
         // First call, or resuming after Starved: poll the dispatcher
-        // before ticking so an empty session never burns simulated time.
+        // before advancing so an empty session never burns simulated time.
         if !self.started || self.jobs.is_empty() {
             self.started = true;
             self.refill(dispatcher, &mut log)?;
@@ -494,6 +534,24 @@ impl<'a> Session<'a> {
             }
         }
 
+        match self.opts.engine {
+            EngineMode::Event => self.advance_event(dispatcher, governor, horizon_s, log),
+            EngineMode::FixedStep => self.advance_fixed(dispatcher, governor, horizon_s, log),
+        }
+    }
+
+    /// The original fixed-tick core: one `cfg.tick_s` step per loop
+    /// iteration. Kept verbatim as the equivalence reference for the
+    /// event core.
+    fn advance_fixed(
+        &mut self,
+        dispatcher: &mut dyn Dispatcher,
+        governor: &mut dyn Governor,
+        horizon_s: f64,
+        mut log: Option<&mut EventLog>,
+    ) -> Result<SessionState, SimError> {
+        let cfg = self.cfg;
+        let dt = cfg.tick_s;
         let end = self.now + horizon_s;
         loop {
             // --- injected machine crash --------------------------------
@@ -718,6 +776,330 @@ impl<'a> Session<'a> {
 
         self.finished = true;
         Ok(SessionState::Finished)
+    }
+
+    /// The discrete-event core: each loop iteration jumps the clock to
+    /// the earliest pending wake-up and integrates the skipped interval
+    /// in closed form. The wake-up sources are
+    ///
+    /// * the governor/meter window boundary (cadence on *accumulated*
+    ///   window time, matching the fixed-step engine),
+    /// * each running job's host-setup end, phase-completion crossing,
+    ///   and injected-failure crossing at the current stretched rate,
+    /// * the dispatcher's `WaitUntil` wake-up, and
+    /// * the fault plan's scheduled machine crash.
+    ///
+    /// Dynamics are piecewise-constant between wake-ups (jitter is
+    /// evaluated at segment start; window boundaries bound every segment
+    /// to at most one sampling interval), so the integration is exact up
+    /// to that quantization. Coincident events fire in the fixed-step
+    /// engine's order: crash, then window flush, then completions and
+    /// refill.
+    fn advance_event(
+        &mut self,
+        dispatcher: &mut dyn Dispatcher,
+        governor: &mut dyn Governor,
+        horizon_s: f64,
+        mut log: Option<&mut EventLog>,
+    ) -> Result<SessionState, SimError> {
+        let cfg = self.cfg;
+        let end = self.now + horizon_s;
+        // Livelock conviction (SIM005): a component that keeps
+        // rescheduling itself at the same timestamp makes no progress;
+        // a bounded run of zero-length wake-ups is a stall, not a
+        // schedule.
+        let mut zero_dt = 0usize;
+        loop {
+            // --- injected machine crash --------------------------------
+            if let Some(f) = self.faults.as_mut() {
+                if f.crash_due(self.now) {
+                    f.note_crash(self.now);
+                    self.crashed = true;
+                    return Ok(SessionState::Crashed);
+                }
+            }
+
+            if !self.jobs.is_empty() {
+                // --- dynamics for this segment -------------------------
+                let dyns = self.tick_dynamics(&self.jobs, self.setting, self.now);
+
+                // --- earliest wake-up ----------------------------------
+                let mut t_next = self.now + (cfg.power_sample_s - self.window_t).max(0.0);
+                for (r, dy) in self.jobs.iter().zip(dyns.iter()) {
+                    if r.setup_left > 0.0 {
+                        t_next = t_next.min(self.now + r.setup_left);
+                    } else if dy.rate > 0.0 {
+                        let eff = dy.rate / r.slowdown;
+                        let mut frac = (1.0 - r.progress).max(0.0);
+                        if let Some(fail_at) = r.fail_at {
+                            let n = r.job.phases.len().max(1) as f64;
+                            let to_fail = fail_at * n - r.phase as f64 - r.progress;
+                            frac = frac.min(to_fail.max(0.0));
+                        }
+                        t_next = t_next.min(self.now + frac / eff);
+                    }
+                }
+                if let Some(w) = self.wake_at {
+                    if w > self.now {
+                        t_next = t_next.min(w);
+                    }
+                }
+                if let Some(c) = self.faults.as_ref().and_then(FaultInjector::next_crash_s) {
+                    if c > self.now {
+                        t_next = t_next.min(c);
+                    }
+                }
+                let dt = (t_next - self.now).max(0.0);
+                self.check_progress(dt, &mut zero_dt)?;
+
+                // --- closed-form integration over [now, t_next) --------
+                let power = self.instant_power(&self.jobs, &dyns, self.setting);
+                self.window_energy += power * dt;
+                self.window_t += dt;
+                for d in Device::ALL {
+                    let u: f64 = self
+                        .jobs
+                        .iter()
+                        .zip(dyns.iter())
+                        .filter(|(r, _)| r.device == d)
+                        .map(|(_, dy)| dy.util)
+                        .sum();
+                    *self.window_util.get_mut(d) += u.min(1.0) * dt;
+                }
+
+                // --- advance jobs to the wake-up -----------------------
+                let mut completed_any = false;
+                for (r, dy) in self.jobs.iter_mut().zip(dyns.iter()) {
+                    if r.setup_left > 0.0 {
+                        r.setup_left -= dt;
+                        if r.setup_left < 1e-9 {
+                            // The segment was scheduled to end exactly at
+                            // setup end: snap the FP residue.
+                            r.setup_left = 0.0;
+                        }
+                        continue;
+                    }
+                    r.progress += dy.rate * dt / r.slowdown;
+                    if let Some(fail_at) = r.fail_at {
+                        if r.overall_frac() + 1e-9 >= fail_at {
+                            r.failed = true;
+                            completed_any = true;
+                            continue;
+                        }
+                    }
+                    while r.progress + 1e-9 >= 1.0 && r.phase < r.job.phases.len() {
+                        r.progress = (r.progress - 1.0).max(0.0);
+                        r.phase += 1;
+                        if r.skip_trivial() {
+                            break;
+                        }
+                    }
+                    if r.phase >= r.job.phases.len() {
+                        completed_any = true;
+                    }
+                }
+                self.now = t_next;
+                #[cfg(feature = "sanitize")]
+                if let Some(san) = self.san.as_mut() {
+                    san.on_tick(self.now, power);
+                }
+
+                // --- power sample + governor ---------------------------
+                if self.window_t + 1e-12 >= cfg.power_sample_s {
+                    let avg = self.window_energy / self.window_t;
+                    let measured = match self.faults.as_mut() {
+                        Some(f) => f.perturb_sample(self.now, avg),
+                        None => avg,
+                    };
+                    self.trace.push(measured);
+                    #[cfg(feature = "sanitize")]
+                    if let Some(san) = self.san.as_mut() {
+                        san.on_window(self.now, avg);
+                    }
+                    let avg_util = self.window_util.map(|u| u / self.window_t);
+                    self.window_util = PerDevice::new(0.0, 0.0);
+                    let new_setting = governor.on_sample_util(
+                        self.now,
+                        measured,
+                        avg_util,
+                        self.setting,
+                        &cfg.freqs,
+                    );
+                    if let Some(l) = log.as_deref_mut() {
+                        if let Some(cap) = l.cap_of_interest_w {
+                            if measured > cap {
+                                l.push(self.now, EventKind::CapOvershoot { power_w: measured });
+                            }
+                        }
+                        if new_setting != self.setting {
+                            l.push(
+                                self.now,
+                                EventKind::FreqChange {
+                                    from: self.setting,
+                                    to: new_setting,
+                                },
+                            );
+                        }
+                    }
+                    self.setting = new_setting;
+                    self.window_energy = 0.0;
+                    self.window_t = 0.0;
+                }
+
+                // --- completions + refill ------------------------------
+                if completed_any {
+                    let mut i = 0;
+                    while i < self.jobs.len() {
+                        if self.jobs[i].failed {
+                            let r = self.jobs.remove(i);
+                            self.failures.push(JobFailure {
+                                tag: r.tag,
+                                device: r.device,
+                                start_s: r.start_s,
+                                at_s: self.now,
+                            });
+                            continue;
+                        }
+                        if self.jobs[i].phase >= self.jobs[i].job.phases.len() {
+                            let r = self.jobs.remove(i);
+                            if let Some(l) = log.as_deref_mut() {
+                                l.push(
+                                    self.now,
+                                    EventKind::Complete {
+                                        tag: r.tag,
+                                        device: r.device,
+                                    },
+                                );
+                            }
+                            self.records.push(JobRecord {
+                                tag: r.tag,
+                                name: r.job.name.clone(),
+                                device: r.device,
+                                start_s: r.start_s,
+                                end_s: self.now,
+                            });
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    self.refill(dispatcher, &mut log)?;
+                } else if self.wake_at.is_some_and(|w| self.now + 1e-9 >= w) {
+                    // The dispatcher's scheduled wake-up is itself an
+                    // event, so it fires exactly on time.
+                    self.refill(dispatcher, &mut log)?;
+                }
+            }
+
+            if self.jobs.is_empty() {
+                if self.drained {
+                    break;
+                }
+                // Nothing running: re-poll, then honour any wake-up by
+                // idling the machine forward to it.
+                self.refill(dispatcher, &mut log)?;
+                if self.jobs.is_empty() {
+                    if self.drained {
+                        break;
+                    }
+                    let Some(w) = self.wake_at else {
+                        return Ok(SessionState::Starved);
+                    };
+                    if w <= self.now + 1e-12 {
+                        return Ok(SessionState::Starved);
+                    }
+                    // Idle-advance as events: the only wake-ups are the
+                    // window boundary, the dispatcher wake-up itself, and
+                    // a pending crash; idle power is constant between
+                    // them, so an idle session costs O(windows), not
+                    // O(ticks).
+                    let idle_p = cfg.power_model().package_power(
+                        self.setting,
+                        PerDevice::new(DeviceActivity::IDLE, DeviceActivity::IDLE),
+                    );
+                    while self.now + 1e-12 < w {
+                        if let Some(f) = self.faults.as_mut() {
+                            if f.crash_due(self.now) {
+                                f.note_crash(self.now);
+                                self.crashed = true;
+                                return Ok(SessionState::Crashed);
+                            }
+                        }
+                        let mut t_next =
+                            w.min(self.now + (cfg.power_sample_s - self.window_t).max(0.0));
+                        if let Some(c) = self.faults.as_ref().and_then(FaultInjector::next_crash_s)
+                        {
+                            if c > self.now {
+                                t_next = t_next.min(c);
+                            }
+                        }
+                        let step = (t_next - self.now).max(0.0);
+                        self.check_progress(step, &mut zero_dt)?;
+                        self.window_energy += idle_p * step;
+                        self.window_t += step;
+                        self.now = t_next;
+                        #[cfg(feature = "sanitize")]
+                        if let Some(san) = self.san.as_mut() {
+                            san.on_tick(self.now, idle_p);
+                        }
+                        if self.window_t + 1e-12 >= cfg.power_sample_s {
+                            let avg = self.window_energy / self.window_t;
+                            let measured = match self.faults.as_mut() {
+                                Some(f) => f.perturb_sample(self.now, avg),
+                                None => avg,
+                            };
+                            self.trace.push(measured);
+                            #[cfg(feature = "sanitize")]
+                            if let Some(san) = self.san.as_mut() {
+                                san.on_window(self.now, avg);
+                            }
+                            self.setting =
+                                governor.on_sample(self.now, measured, self.setting, &cfg.freqs);
+                            self.window_energy = 0.0;
+                            self.window_t = 0.0;
+                        }
+                    }
+                    self.refill(dispatcher, &mut log)?;
+                    if self.jobs.is_empty() && !self.drained && self.wake_at.is_none() {
+                        return Ok(SessionState::Starved);
+                    }
+                    if self.jobs.is_empty() && self.drained {
+                        break;
+                    }
+                }
+            }
+
+            if self.now > self.opts.limit_s {
+                return Err(SimError::TimeLimit {
+                    limit_s: self.opts.limit_s,
+                });
+            }
+            if self.now >= end {
+                return Ok(SessionState::Advanced);
+            }
+        }
+
+        self.finished = true;
+        Ok(SessionState::Finished)
+    }
+
+    /// SIM005 guard: convict a run of consecutive zero-length wake-ups
+    /// as a livelock instead of hanging (see [`EngineMode::Event`]).
+    fn check_progress(&mut self, dt: f64, zero_dt: &mut usize) -> Result<(), SimError> {
+        if dt > 1e-12 {
+            *zero_dt = 0;
+            return Ok(());
+        }
+        *zero_dt += 1;
+        if *zero_dt < ZERO_PROGRESS_LIMIT {
+            return Ok(());
+        }
+        #[cfg(feature = "sanitize")]
+        if self.san.is_some() {
+            crate::sanitize::record(crate::sanitize::Violation::ZeroProgressWakeup {
+                at_s: self.now,
+            });
+        }
+        Err(SimError::Stalled { at_s: self.now })
     }
 
     /// Close the session: flush the final partial power window and return

@@ -317,6 +317,13 @@ impl FaultInjector {
         self.crash_at_s.is_some_and(|t| now_s + 1e-12 >= t)
     }
 
+    /// The scheduled crash time, if the plan has one that has not fired
+    /// yet. The event-driven engine bounds its wake-up jumps with this
+    /// so a crash lands exactly on its planned timestamp.
+    pub fn next_crash_s(&self) -> Option<f64> {
+        self.crash_at_s
+    }
+
     /// Record the crash; the engine calls this exactly once before
     /// returning [`SessionState::Crashed`](crate::SessionState).
     pub fn note_crash(&mut self, now_s: f64) {

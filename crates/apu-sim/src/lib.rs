@@ -55,8 +55,8 @@ pub use config::{MachineConfig, MultiprogParams};
 pub use device::{Device, DeviceParams, PerDevice};
 pub use engine::{
     run_pair, run_solo, run_with_background, Dispatch, DispatchCtx, DispatchJob, Dispatcher,
-    Engine, JobFailure, JobRecord, PairOutcome, RunOptions, RunReport, Session, SessionState,
-    SimError, SoloOutcome,
+    Engine, EngineMode, JobFailure, JobRecord, PairOutcome, RunOptions, RunReport, Session,
+    SessionState, SimError, SoloOutcome,
 };
 pub use events::{Event, EventKind, EventLog};
 pub use faults::{

@@ -54,6 +54,14 @@ pub enum Violation {
         /// The offending value, watts.
         power_w: f64,
     },
+    /// The event-driven engine saw a long run of consecutive wake-ups
+    /// that did not advance the clock — a component rescheduling itself
+    /// at the same timestamp (livelock). The run is convicted with
+    /// [`SimError::Stalled`](crate::SimError) instead of hanging.
+    ZeroProgressWakeup {
+        /// The timestamp the event loop was stuck at, seconds.
+        at_s: f64,
+    },
 }
 
 thread_local! {

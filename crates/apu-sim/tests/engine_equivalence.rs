@@ -1,0 +1,486 @@
+//! Engine-equivalence property tests: the discrete-event core
+//! ([`EngineMode::Event`]) must reproduce the fixed-step reference
+//! ([`EngineMode::FixedStep`]) across seeded workloads, `@chaos` fault
+//! plans, and kill/resume at `Starved` boundaries.
+//!
+//! Equivalence has two tiers:
+//!
+//! * **Structural identity** (exact): the same jobs complete on the same
+//!   devices with the same tags, the same injected failures and crashes
+//!   fire, and the final frequency setting matches.
+//! * **Numeric agreement** (bounded): completion times, makespans, and
+//!   power-trace samples agree within the fixed-step engine's own
+//!   quantization (one `tick_s` of carry per phase boundary plus the
+//!   co-run coupling it induces).
+//!
+//! Within the event engine itself, slicing must be *bitwise* invariant:
+//! advancing in arbitrary horizons — including stopping at `Starved`
+//! boundaries and resuming once work appears — produces the identical
+//! records, trace, and setting as a one-shot run. That invariance is
+//! what makes serve journal replay fingerprints independent of worker
+//! batching.
+
+use apu_sim::{
+    run_stats, BiasedGovernor, Device, Dispatch, DispatchCtx, DispatchJob, Dispatcher, Engine,
+    EngineMode, FaultPlan, JobFailure, JobSpec, MachineConfig, NullGovernor, PhaseWork, RunOptions,
+    RunReport, SessionState,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// FIFO per-device queue: never starves, drains when empty.
+struct QueueDispatcher {
+    queue: Vec<(usize, Device, Arc<JobSpec>)>,
+}
+
+impl QueueDispatcher {
+    fn new(jobs: &[(Device, JobSpec)]) -> Self {
+        QueueDispatcher {
+            queue: jobs
+                .iter()
+                .enumerate()
+                .map(|(i, (d, j))| (i, *d, Arc::new(j.clone())))
+                .collect(),
+        }
+    }
+}
+
+impl Dispatcher for QueueDispatcher {
+    fn next(&mut self, device: Device, _now: f64, _ctx: &DispatchCtx) -> Dispatch {
+        if let Some(pos) = self.queue.iter().position(|(_, d, _)| *d == device) {
+            let (tag, _, job) = self.queue.remove(pos);
+            return Dispatch::Run(DispatchJob {
+                job,
+                tag,
+                set_freq: None,
+            });
+        }
+        if self.queue.is_empty() {
+            Dispatch::Drained
+        } else {
+            Dispatch::Idle
+        }
+    }
+}
+
+/// Outcome of one full run, in either engine mode.
+struct Outcome {
+    report: RunReport,
+    failures: Vec<JobFailure>,
+    crashed: bool,
+    end_now_s: f64,
+}
+
+fn run_mode(
+    cfg: &MachineConfig,
+    jobs: &[(Device, JobSpec)],
+    mode: EngineMode,
+    plan: Option<&str>,
+) -> Outcome {
+    let mut opts = RunOptions::new(cfg.freqs.max_setting());
+    opts.engine = mode;
+    let engine = Engine::new(cfg);
+    let mut disp = QueueDispatcher::new(jobs);
+    let mut gov = NullGovernor;
+    let mut session = engine.session(opts);
+    if let Some(p) = plan {
+        let plan = FaultPlan::parse(p).expect("fault plan parses");
+        session.set_faults(plan.injector(0));
+    }
+    let mut crashed = false;
+    loop {
+        match session
+            .advance(&mut disp, &mut gov, f64::INFINITY, None)
+            .expect("advance")
+        {
+            SessionState::Finished => break,
+            SessionState::Crashed => {
+                crashed = true;
+                break;
+            }
+            SessionState::Starved => panic!("queue dispatcher cannot starve"),
+            SessionState::Advanced => {}
+        }
+    }
+    let failures = session.take_failures();
+    let end_now_s = session.now_s();
+    Outcome {
+        report: session.into_report(),
+        failures,
+        crashed,
+        end_now_s,
+    }
+}
+
+/// Assert the two engines produced equivalent outcomes: structurally
+/// identical, numerically within `tol` seconds. `compare_trace` is off
+/// for meter-spike plans: whether a spike lands on window `k` or `k+1`
+/// is a knife-edge on `floor(now/period)` that FP accumulation order
+/// legitimately tips.
+fn assert_equivalent(ev: &Outcome, fx: &Outcome, tol: f64, compare_trace: bool) {
+    assert_eq!(ev.crashed, fx.crashed, "crash outcome diverged");
+    assert!(
+        (ev.end_now_s - fx.end_now_s).abs() <= tol,
+        "final clock diverged: event {} vs fixed {}",
+        ev.end_now_s,
+        fx.end_now_s
+    );
+
+    let (a, b) = (&ev.report, &fx.report);
+    assert_eq!(
+        a.records.len(),
+        b.records.len(),
+        "completion count diverged"
+    );
+    for ra in &a.records {
+        let rb = b
+            .record(ra.tag)
+            .unwrap_or_else(|| panic!("tag {} completed only on the event engine", ra.tag));
+        assert_eq!(ra.name, rb.name, "tag {}", ra.tag);
+        assert_eq!(ra.device, rb.device, "tag {}", ra.tag);
+        assert!(
+            (ra.start_s - rb.start_s).abs() <= tol,
+            "tag {} start: event {} vs fixed {}",
+            ra.tag,
+            ra.start_s,
+            rb.start_s
+        );
+        assert!(
+            (ra.end_s - rb.end_s).abs() <= tol,
+            "tag {} end: event {} vs fixed {}",
+            ra.tag,
+            ra.end_s,
+            rb.end_s
+        );
+    }
+    assert!(
+        (a.makespan_s - b.makespan_s).abs() <= tol,
+        "makespan: event {} vs fixed {}",
+        a.makespan_s,
+        b.makespan_s
+    );
+    assert_eq!(a.final_setting, b.final_setting, "final setting diverged");
+
+    // Injected failures: same jobs die, at the same progress points.
+    assert_eq!(
+        ev.failures.len(),
+        fx.failures.len(),
+        "failure count diverged"
+    );
+    for fa in &ev.failures {
+        let fb = fx
+            .failures
+            .iter()
+            .find(|f| f.tag == fa.tag)
+            .unwrap_or_else(|| panic!("tag {} failed only on the event engine", fa.tag));
+        assert_eq!(fa.device, fb.device, "tag {}", fa.tag);
+        assert!(
+            (fa.at_s - fb.at_s).abs() <= tol,
+            "tag {} failure time: event {} vs fixed {}",
+            fa.tag,
+            fa.at_s,
+            fb.at_s
+        );
+    }
+
+    // Power traces share the sampling cadence; lengths may differ by the
+    // final window straddling the (slightly shifted) end of run. Window
+    // averages shift only by the quantization of phase boundaries inside
+    // a window.
+    let (ta, tb) = (&a.trace.samples_w, &b.trace.samples_w);
+    assert!(
+        ta.len().abs_diff(tb.len()) <= 1,
+        "trace lengths diverged: event {} vs fixed {}",
+        ta.len(),
+        tb.len()
+    );
+    if !compare_trace {
+        return;
+    }
+    let n = ta.len().min(tb.len());
+    let mut sum = 0.0;
+    for i in 0..n {
+        let d = (ta[i] - tb[i]).abs();
+        assert!(
+            d <= 3.0,
+            "trace sample {i}: event {} vs fixed {} W",
+            ta[i],
+            tb[i]
+        );
+        sum += d;
+    }
+    if n > 0 {
+        assert!(
+            sum / n as f64 <= 0.6,
+            "mean trace divergence {} W",
+            sum / n as f64
+        );
+    }
+
+    // Derived stats (what BoundReport/serve accounting consume).
+    let (sa, sb) = (run_stats(a), run_stats(b));
+    assert_eq!(sa.jobs, sb.jobs);
+    let e_tol = 0.03 * sb.energy_j.abs() + 2.0;
+    assert!(
+        (sa.energy_j - sb.energy_j).abs() <= e_tol,
+        "energy: event {} vs fixed {} J",
+        sa.energy_j,
+        sb.energy_j
+    );
+}
+
+fn arb_phase() -> impl Strategy<Value = PhaseWork> {
+    (
+        0.0f64..250.0,
+        0.0f64..30.0,
+        0.0f64..1.0,
+        0.0f64..1.0,
+        0.0f64..1.0,
+    )
+        .prop_map(|(flops, bytes, sens, pressure, overlap)| PhaseWork {
+            flops,
+            bytes,
+            cpu_eff: 0.7,
+            gpu_eff: 0.9,
+            llc_footprint_mib: 48.0,
+            llc_sensitivity: sens,
+            llc_pressure: pressure,
+            llc_miss_bw_gbps: 5.0,
+            overlap,
+        })
+}
+
+fn arb_job(idx: usize) -> impl Strategy<Value = JobSpec> {
+    (proptest::collection::vec(arb_phase(), 1..4), 0.0f64..0.3).prop_map(move |(phases, setup)| {
+        let mut j = JobSpec::plain(format!("job{idx}"), phases);
+        j.host_setup_s = setup;
+        j
+    })
+}
+
+fn arb_workload() -> impl Strategy<Value = Vec<(Device, JobSpec)>> {
+    proptest::collection::vec(
+        any::<bool>().prop_flat_map(|g| arb_job(0).prop_map(move |j| (g, j))),
+        1..5,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, (gpu, mut j))| {
+                let d = if gpu { Device::Gpu } else { Device::Cpu };
+                j.name = format!("job{i}");
+                (d, j)
+            })
+            .collect()
+    })
+}
+
+/// Loose numeric tolerance: one fixed-step tick of carry per phase
+/// boundary, plus the co-run rate coupling those shifts induce.
+fn tol_for(jobs: &[(Device, JobSpec)]) -> f64 {
+    let phases: usize = jobs.iter().map(|(_, j)| j.phases.len()).sum();
+    0.05 + 0.02 * phases as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Clean runs: random workloads over both devices.
+    #[test]
+    fn event_and_fixed_step_agree_on_clean_runs(jobs in arb_workload()) {
+        let cfg = MachineConfig::ivy_bridge();
+        let ev = run_mode(&cfg, &jobs, EngineMode::Event, None);
+        let fx = run_mode(&cfg, &jobs, EngineMode::FixedStep, None);
+        assert_equivalent(&ev, &fx, tol_for(&jobs), true);
+    }
+
+    /// Chaos runs: the same `@chaos` plans (crashes, stragglers, job
+    /// failures, meter noise and spikes) produce the same structural
+    /// outcome on both engines.
+    #[test]
+    fn event_and_fixed_step_agree_under_chaos(
+        jobs in arb_workload(),
+        seed in 1u64..64,
+        plan_idx in 0usize..5,
+    ) {
+        let plans = [
+            format!("@chaos seed={seed} crash=0:6\n"),
+            format!("@chaos seed={seed} straggle=0.5:2.0\n"),
+            format!("@chaos seed={seed} job-fail=0.5\n"),
+            format!("@chaos seed={seed} meter-noise=1.5 meter-spike=0.3:25\n"),
+            format!("@chaos seed={seed} crash=0:9 job-fail=0.3 straggle=0.3:1.7\n"),
+        ];
+        let cfg = MachineConfig::ivy_bridge();
+        let plan = plans[plan_idx].as_str();
+        let ev = run_mode(&cfg, &jobs, EngineMode::Event, Some(plan));
+        let fx = run_mode(&cfg, &jobs, EngineMode::FixedStep, Some(plan));
+        // Stragglers stretch runtimes; scale the tolerance with them.
+        assert_equivalent(&ev, &fx, 2.5 * tol_for(&jobs), plan_idx != 3);
+    }
+}
+
+/// Dispatcher whose jobs become visible only when the driver reveals
+/// them — the engine starves between batches, exercising kill/resume at
+/// `Starved` boundaries.
+struct RevealDispatcher {
+    visible: Vec<(usize, Device, Arc<JobSpec>)>,
+    hidden: Vec<(usize, Device, Arc<JobSpec>)>,
+}
+
+impl RevealDispatcher {
+    fn new(jobs: &[(Device, JobSpec)]) -> Self {
+        RevealDispatcher {
+            visible: Vec::new(),
+            hidden: jobs
+                .iter()
+                .enumerate()
+                .map(|(i, (d, j))| (i, *d, Arc::new(j.clone())))
+                .collect(),
+        }
+    }
+
+    /// Make the next hidden job visible; false when none remain.
+    fn reveal(&mut self) -> bool {
+        if self.hidden.is_empty() {
+            return false;
+        }
+        self.visible.push(self.hidden.remove(0));
+        true
+    }
+}
+
+impl Dispatcher for RevealDispatcher {
+    fn next(&mut self, device: Device, _now: f64, _ctx: &DispatchCtx) -> Dispatch {
+        if let Some(pos) = self.visible.iter().position(|(_, d, _)| *d == device) {
+            let (tag, _, job) = self.visible.remove(pos);
+            return Dispatch::Run(DispatchJob {
+                job,
+                tag,
+                set_freq: None,
+            });
+        }
+        if self.visible.is_empty() && self.hidden.is_empty() {
+            Dispatch::Drained
+        } else {
+            Dispatch::Idle
+        }
+    }
+}
+
+/// Drive a session in bounded slices, revealing one job per `Starved`
+/// boundary. Returns the report and how many times the session starved.
+fn run_revealed(
+    cfg: &MachineConfig,
+    jobs: &[(Device, JobSpec)],
+    mode: EngineMode,
+    slice_s: f64,
+) -> (RunReport, usize) {
+    let mut opts = RunOptions::new(cfg.freqs.max_setting());
+    opts.engine = mode;
+    let engine = Engine::new(cfg);
+    let mut disp = RevealDispatcher::new(jobs);
+    let mut gov = BiasedGovernor::gpu_biased(15.0);
+    let mut session = engine.session(opts);
+    let mut starved = 0usize;
+    loop {
+        match session
+            .advance(&mut disp, &mut gov, slice_s, None)
+            .expect("advance")
+        {
+            SessionState::Finished => break,
+            SessionState::Starved => {
+                starved += 1;
+                assert!(disp.reveal(), "starved with no work left to reveal");
+            }
+            SessionState::Crashed => panic!("no faults attached"),
+            SessionState::Advanced => {}
+        }
+    }
+    (session.into_report(), starved)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Kill/resume at `Starved` boundaries: both engines starve the same
+    /// number of times and agree on the final report.
+    #[test]
+    fn starved_resume_agrees_across_engines(jobs in arb_workload(), slice in 0.3f64..4.0) {
+        let cfg = MachineConfig::ivy_bridge();
+        let (ra, sa) = run_revealed(&cfg, &jobs, EngineMode::Event, slice);
+        let (rb, sb) = run_revealed(&cfg, &jobs, EngineMode::FixedStep, slice);
+        prop_assert_eq!(sa, sb, "starvation counts diverged");
+        prop_assert_eq!(ra.records.len(), rb.records.len());
+        for r in &ra.records {
+            let o = rb.record(r.tag).expect("tag completed on both");
+            prop_assert_eq!(r.device, o.device);
+            prop_assert!((r.end_s - o.end_s).abs() <= 2.0 * tol_for(&jobs));
+        }
+    }
+
+    /// Slicing invariance of the event engine is *bitwise*: a sliced run
+    /// (including `Starved` stops and resumes) equals a one-shot-horizon
+    /// run sample for sample. This is the determinism rule that keeps
+    /// serve replay fingerprints independent of worker batching.
+    #[test]
+    fn event_engine_slicing_is_bitwise_invariant(jobs in arb_workload(), slice in 0.2f64..3.0) {
+        let cfg = MachineConfig::ivy_bridge();
+        let (ra, _) = run_revealed(&cfg, &jobs, EngineMode::Event, slice);
+        let (rb, _) = run_revealed(&cfg, &jobs, EngineMode::Event, f64::INFINITY);
+        prop_assert_eq!(ra.records, rb.records);
+        prop_assert_eq!(ra.trace.samples_w, rb.trace.samples_w);
+        prop_assert_eq!(ra.makespan_s, rb.makespan_s);
+        prop_assert_eq!(ra.final_setting, rb.final_setting);
+    }
+}
+
+/// A fixed governed co-run pair: the cap governor walks the same ladder
+/// on both engines (window cadence and averages match to within
+/// quantization, away from decision knife-edges).
+#[test]
+fn governed_pair_agrees_across_engines() {
+    fn busy(flops: f64, bytes: f64) -> PhaseWork {
+        PhaseWork {
+            flops,
+            bytes,
+            cpu_eff: 1.0,
+            gpu_eff: 1.0,
+            llc_footprint_mib: 64.0,
+            llc_sensitivity: 0.3,
+            llc_pressure: 0.4,
+            llc_miss_bw_gbps: 6.0,
+            overlap: 0.2,
+        }
+    }
+    let cfg = MachineConfig::ivy_bridge();
+    let jobs = vec![
+        (
+            Device::Cpu,
+            apu_sim::single_phase_job("a", busy(900.0, 10.0)),
+        ),
+        (
+            Device::Gpu,
+            apu_sim::single_phase_job("b", busy(2500.0, 25.0)),
+        ),
+    ];
+    let run = |mode: EngineMode| {
+        let mut opts = RunOptions::new(cfg.freqs.max_setting());
+        opts.engine = mode;
+        let engine = Engine::new(&cfg);
+        let mut disp = QueueDispatcher::new(&jobs);
+        let mut gov = BiasedGovernor::gpu_biased(15.0);
+        engine
+            .run(&mut disp, &mut gov, &opts)
+            .expect("governed pair runs")
+    };
+    let a = run(EngineMode::Event);
+    let b = run(EngineMode::FixedStep);
+    assert_eq!(a.records.len(), b.records.len());
+    assert!(
+        (a.makespan_s - b.makespan_s).abs() < 0.6,
+        "{} vs {}",
+        a.makespan_s,
+        b.makespan_s
+    );
+    assert_eq!(a.final_setting, b.final_setting);
+}

@@ -42,21 +42,16 @@ fn bench_governed_pair(c: &mut Criterion) {
 /// simulated seconds one wall second buys.
 fn bench_trajectory(c: &mut Criterion) {
     let _ = c;
-    let cfg = MachineConfig::ivy_bridge();
-    let job = kernels::with_input_scale(&kernels::by_name(&cfg, "lud").unwrap(), 0.2);
-    const REPS: usize = 20;
-    let mut steps = 0usize;
-    let mut sim_s = 0.0f64;
-    let t0 = std::time::Instant::now();
-    for _ in 0..REPS {
-        let out = run_solo(&cfg, &job, Device::Gpu, cfg.freqs.max_setting()).unwrap();
-        steps += out.trace.len();
-        sim_s += out.time_s;
-    }
-    let wall_s = t0.elapsed().as_secs_f64();
+    // Shared with the CI perf gate (`perf_gate`) so the bench and the
+    // gate measure the same thing.
+    let m = bench::simbench::measure(20);
     let samples = [
-        bench::trajectory::Sample::new("sim_steps_per_sec", steps as f64 / wall_s, "steps/s"),
-        bench::trajectory::Sample::new("sim_seconds_per_wall_sec", sim_s / wall_s, "sim-s/s"),
+        bench::trajectory::Sample::new("sim_steps_per_sec", m.steps_per_sec, "steps/s"),
+        bench::trajectory::Sample::new(
+            bench::simbench::HEADLINE,
+            m.sim_seconds_per_wall_sec,
+            "sim-s/s",
+        ),
     ];
     match bench::trajectory::write("sim", &samples) {
         Ok(path) => println!("trajectory written to {}", path.display()),

@@ -1,0 +1,95 @@
+//! CI perf gate for simulator throughput.
+//!
+//! Re-measures the headline figure (`sim_seconds_per_wall_sec`) with the
+//! same code path the criterion bench uses, compares it against the
+//! committed `BENCH_sim.json` baseline, and exits non-zero if throughput
+//! regressed more than 30%. With `--update` it also rewrites the
+//! trajectory file so the committed baseline tracks the current engine.
+//!
+//! Usage: `perf_gate [--update] [--reps N]`
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Throughput below `1 - TOLERANCE` of the baseline fails the gate.
+const TOLERANCE: f64 = 0.30;
+
+fn baseline_path() -> PathBuf {
+    match std::env::var_os("CORUN_BENCH_DIR") {
+        Some(dir) => PathBuf::from(dir).join("BENCH_sim.json"),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+            .join("BENCH_sim.json"),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let update = args.iter().any(|a| a == "--update");
+    let reps = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+
+    // Warm-up rep so one-time setup (kernel tables, allocator) does not
+    // count against the measured run.
+    let _ = bench::simbench::measure(1);
+    let m = bench::simbench::measure(reps);
+    println!(
+        "measured: {:.1} sim-s/s ({:.1} steps/s) over {reps} reps",
+        m.sim_seconds_per_wall_sec, m.steps_per_sec
+    );
+
+    let path = baseline_path();
+    let baseline = bench::simbench::read_sample(&path, bench::simbench::HEADLINE);
+    let verdict = match baseline {
+        Some(base) => {
+            let floor = base * (1.0 - TOLERANCE);
+            println!(
+                "baseline: {base:.1} sim-s/s ({}); gate floor: {floor:.1}",
+                path.display()
+            );
+            if m.sim_seconds_per_wall_sec < floor {
+                eprintln!(
+                    "PERF GATE FAIL: {:.1} sim-s/s is {:.1}% below the committed baseline",
+                    m.sim_seconds_per_wall_sec,
+                    (1.0 - m.sim_seconds_per_wall_sec / base) * 100.0
+                );
+                ExitCode::FAILURE
+            } else {
+                println!(
+                    "perf gate ok ({:+.1}%)",
+                    (m.sim_seconds_per_wall_sec / base - 1.0) * 100.0
+                );
+                ExitCode::SUCCESS
+            }
+        }
+        None => {
+            println!(
+                "no committed baseline at {}; gate passes vacuously",
+                path.display()
+            );
+            ExitCode::SUCCESS
+        }
+    };
+
+    if update {
+        let samples = [
+            bench::trajectory::Sample::new("sim_steps_per_sec", m.steps_per_sec, "steps/s"),
+            bench::trajectory::Sample::new(
+                bench::simbench::HEADLINE,
+                m.sim_seconds_per_wall_sec,
+                "sim-s/s",
+            ),
+        ];
+        match bench::trajectory::write("sim", &samples) {
+            Ok(p) => println!("trajectory updated: {}", p.display()),
+            Err(e) => eprintln!("trajectory write failed: {e}"),
+        }
+    }
+    verdict
+}

@@ -126,3 +126,81 @@ pub mod trajectory {
         Ok(path)
     }
 }
+
+/// Shared simulator-throughput measurement: the criterion bench and the
+/// CI perf gate (`perf_gate`) must agree on what "simulator throughput"
+/// means, so both call into here. The headline figure is simulated
+/// seconds per wall second on the standard solo workload — it governs
+/// how expensive profiling, characterization, and ground-truth
+/// evaluation are.
+pub mod simbench {
+    use apu_sim::{run_solo, Device, MachineConfig};
+    use std::path::Path;
+
+    /// Name of the headline sample in `BENCH_sim.json`.
+    pub const HEADLINE: &str = "sim_seconds_per_wall_sec";
+
+    /// One measurement run's headline figures.
+    pub struct Measurement {
+        /// Discrete power samples produced per wall second.
+        pub steps_per_sec: f64,
+        /// Simulated seconds one wall second buys.
+        pub sim_seconds_per_wall_sec: f64,
+    }
+
+    /// Run the standard workload (`lud` at 0.2 input scale, solo on the
+    /// GPU at max frequency) `reps` times and measure throughput.
+    pub fn measure(reps: usize) -> Measurement {
+        let cfg = MachineConfig::ivy_bridge();
+        let job = kernels::with_input_scale(&kernels::by_name(&cfg, "lud").unwrap(), 0.2);
+        let mut steps = 0usize;
+        let mut sim_s = 0.0f64;
+        // corun-lint: allow(wall-clock) — this is a benchmark; wall time is the measurand.
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            let out = run_solo(&cfg, &job, Device::Gpu, cfg.freqs.max_setting()).unwrap();
+            steps += out.trace.len();
+            sim_s += out.time_s;
+        }
+        let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
+        Measurement {
+            steps_per_sec: steps as f64 / wall_s,
+            sim_seconds_per_wall_sec: sim_s / wall_s,
+        }
+    }
+
+    /// Read one named sample's value back out of a committed trajectory
+    /// file. The format is the flat one `trajectory::write` produces, so
+    /// a line-oriented scan is enough — no JSON parser in the tree.
+    pub fn read_sample(path: &Path, name: &str) -> Option<f64> {
+        let text = std::fs::read_to_string(path).ok()?;
+        let needle = format!("\"name\": \"{name}\"");
+        let line = text.lines().find(|l| l.contains(&needle))?;
+        let tail = line.split("\"value\":").nth(1)?;
+        let value = tail.trim_start().split([',', '}']).next()?;
+        value.trim().parse().ok()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn read_sample_parses_the_trajectory_format() {
+            let dir = std::env::temp_dir().join(format!("corun-simbench-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("BENCH_test.json");
+            std::fs::write(
+                &path,
+                "{\n  \"bench\": \"test\",\n  \"generated_unix\": 0,\n  \"samples\": [\n    \
+                 {\"name\": \"a\", \"value\": 12.5000, \"unit\": \"x\"},\n    \
+                 {\"name\": \"sim_seconds_per_wall_sec\", \"value\": 90442.6135, \"unit\": \"sim-s/s\"}\n  ]\n}\n",
+            )
+            .unwrap();
+            assert_eq!(read_sample(&path, "a"), Some(12.5));
+            assert_eq!(read_sample(&path, HEADLINE), Some(90442.6135));
+            assert_eq!(read_sample(&path, "missing"), None);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}

@@ -12,8 +12,9 @@
 //!                  [--schedule FILE] [--cap W] [--format human|json]
 //!                  [--wall-clock [DIR]]
 //! corun serve      [--port N] [--machine ivy|kaveri] [--cap W] [--queue N]
-//!                  [--machines N] [--fast] [--cache DIR] [--journal FILE]
-//!                  [--recover] [--fault-plan SPEC] [--max-retries N]
+//!                  [--machines N] [--threads N] [--fast] [--cache DIR]
+//!                  [--journal FILE] [--recover] [--fault-plan SPEC]
+//!                  [--max-retries N]
 //! corun fleet      [--shards N] [--machines-per-shard M] [--cluster-cap W]
 //!                  [--addrs H:P,H:P,...] [--spec FILE] [--repeat N]
 //!                  [--placement ring|least-loaded] [--journal-dir DIR]

@@ -74,6 +74,7 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
         "port",
         "queue",
         "machines",
+        "threads",
         "slice",
         "fast",
         "cache",
@@ -89,6 +90,9 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
     }
     cfg.cap_w = args.num_or("cap", 15.0)?;
     cfg.machines = args.num_or("machines", 1usize)?;
+    // --threads N batch-steps the simulated machines on N worker
+    // threads (0 = one thread per machine); see docs/SIM.md.
+    cfg.worker_threads = args.num_or("threads", 0usize)?;
     cfg.queue_capacity = args.num_or("queue", 64usize)?;
     cfg.slice_s = args.num_or("slice", 5.0)?;
     if let Some(dir) = args.opt("cache") {

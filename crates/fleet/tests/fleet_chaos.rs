@@ -168,6 +168,53 @@ fn recovered_shard_runs_under_a_fresh_cap() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The CI-sized event-driven smoke: 8 shards x 16 machines draining
+/// 20k jobs with a shard crash, each shard stepping its machines from a
+/// small batched worker pool (the discrete-event engine makes this
+/// tractable on a CI box). `ci.sh` runs it with `--ignored`.
+#[test]
+#[ignore = "CI smoke: run explicitly via ci.sh with --ignored"]
+fn event_driven_fleet_smoke_drains_20k_jobs() {
+    let dir = temp_dir("smoke");
+    let mut template = shard_template(&dir);
+    // Four worker threads per shard batch-step 16 machines each: the
+    // workers pull the earliest wake-up across their resident sessions
+    // instead of ticking machines round-robin.
+    template.worker_threads = 4;
+    const SHARDS: usize = 8;
+    const MACHINES: usize = 16;
+    const JOBS: usize = 20_000;
+    let backends = start_local_shards(&template, SHARDS, MACHINES, Some(&dir), |s| {
+        (s == 2).then(|| {
+            let plan: String = (0..MACHINES).map(|m| format!(" crash={m}:5")).collect();
+            apu_sim::FaultPlan::parse(&format!("@chaos seed=7{plan}\n")).expect("plan")
+        })
+    });
+    // 20 W per shard on average with a 15 W floor: the load-proportional
+    // partitioner must never pin a shard below the level at which the
+    // workload stays cap-feasible, or its submissions bounce as
+    // infeasible instead of backpressuring.
+    let mut cfg = FleetConfig::new(SHARDS, MACHINES, SHARDS as f64 * 20.0);
+    cfg.shard_floor_w = 15.0;
+    cfg.recover_backoff_rounds = 20;
+    let mut fleet = Fleet::new(cfg, backends).expect("fleet");
+    let mut admitted = 0usize;
+    while admitted < JOBS {
+        let batch = (JOBS - admitted).min(1000);
+        fleet
+            .submit_spec(&format!("srad x0.05 *{batch}\n"))
+            .expect("submit");
+        admitted += batch;
+        fleet.pump();
+    }
+    let m = fleet.drain(1800.0).expect("drain 20k jobs");
+    assert_books_balance(&fleet, &m);
+    assert_eq!(m.jobs_done + m.jobs_dead_letter, JOBS);
+    fleet.begin_shutdown();
+    fleet.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The acceptance-scale run: 32 shards x 32 machines draining 100k jobs
 /// with a shard crash in the middle. Run it with `CORUN_FLEET_FULL=1` —
 /// it wants a real multi-core box.

@@ -63,8 +63,15 @@ pub struct ServiceConfig {
     /// Package power cap, watts, enforced by the online policy's level
     /// choices and tracked against the simulated power trace.
     pub cap_w: f64,
-    /// Number of simulated machines (worker threads).
+    /// Number of simulated machines.
     pub machines: usize,
+    /// Worker threads stepping the simulated machines. Each thread owns
+    /// `machines / worker_threads` resident sessions and always advances
+    /// the one whose simulated clock is furthest behind — the event
+    /// engine's batched multi-session stepping, which lets one daemon
+    /// host hundreds of machines cheaply. `0` (the default) keeps the
+    /// historical one-thread-per-machine layout.
+    pub worker_threads: usize,
     /// Admission queue bound: jobs admitted but not yet dispatched. A
     /// submission that would push past this gets an explicit
     /// [`SubmitError::QueueFull`] (all-or-nothing for batches).
@@ -116,6 +123,7 @@ impl ServiceConfig {
             machine: machine.clone(),
             cap_w: 15.0,
             machines: 1,
+            worker_threads: 0,
             queue_capacity: 64,
             profile_method: ProfileMethod::Analytic,
             characterization,
@@ -362,12 +370,24 @@ impl Service {
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
         });
-        let workers = (0..machines)
-            .map(|idx| {
+        let threads = match shared.cfg.worker_threads {
+            0 => machines,
+            n => n.min(machines),
+        };
+        let workers = (0..threads)
+            .map(|t| {
                 let shared = Arc::clone(&shared);
+                // Round-robin machine assignment; every group is
+                // non-empty because threads <= machines.
+                let ids: Vec<usize> = (t..machines).step_by(threads).collect();
+                let name = if threads == machines {
+                    format!("corun-machine-{t}")
+                } else {
+                    format!("corun-workers-{t}")
+                };
                 std::thread::Builder::new()
-                    .name(format!("corun-machine-{idx}"))
-                    .spawn(move || worker_loop(shared, idx))
+                    .name(name)
+                    .spawn(move || worker_loop(shared, ids))
                     .expect("spawn worker")
             })
             .collect();
@@ -1119,95 +1139,182 @@ impl WorkerDispatcher {
     }
 }
 
-fn worker_loop(shared: Arc<Shared>, machine_idx: usize) {
-    // The session borrows the machine config, so the worker owns a clone
+/// One resident simulated machine inside a worker thread: its session,
+/// governor, dispatcher view, and harvest cursors.
+struct MachineRun<'m> {
+    idx: usize,
+    session: Session<'m>,
+    governor: Box<dyn Governor>,
+    dispatcher: WorkerDispatcher,
+    harvested_records: usize,
+    harvested_samples: usize,
+    /// Set when the session last reported `Starved`; cleared whenever a
+    /// peer makes progress so the machine re-polls the queue.
+    starved: bool,
+}
+
+/// A worker thread hosting one or more simulated machines. With the
+/// event-driven engine a session's `advance` costs O(wake-ups), so one
+/// thread steps many machines: each iteration it pulls the resident
+/// session with the *earliest simulated clock* (the machine whose next
+/// wake-up is due first) and advances it one slice. Machines retire
+/// individually (crash, finish, error) — `workers_alive` counts live
+/// machines, not threads.
+fn worker_loop(shared: Arc<Shared>, machine_ids: Vec<usize>) {
+    // The sessions borrow the machine config, so the worker owns a clone
     // for its whole lifetime.
     let machine = shared.cfg.machine.clone();
-    let mut opts = RunOptions::new(machine.freqs.min_setting());
-    opts.limit_s = f64::INFINITY;
-    let mut session = Session::new(&machine, opts);
-    // When the plan perturbs the meter, the worker runs a reactive
-    // governor (instead of the inert NullGovernor) so meter noise and
-    // spikes actually exercise the cap-control loop.
-    let mut governor: Box<dyn Governor> = match &shared.cfg.fault_plan {
-        Some(plan) if plan.perturbs_meter() => {
-            Box::new(BiasedGovernor::gpu_biased(shared.cfg.cap_w))
-        }
-        _ => Box::new(NullGovernor),
-    };
-    if let Some(plan) = &shared.cfg.fault_plan {
-        if !plan.is_noop() {
-            session.set_faults(plan.injector(machine_idx));
-        }
-    }
-    let mut dispatcher = WorkerDispatcher {
-        shared: Arc::clone(&shared),
-        machine_idx,
-        running: [None, None],
-    };
-    let mut harvested_records = 0usize;
-    let mut harvested_samples = 0usize;
+    let mut runs: Vec<MachineRun<'_>> = machine_ids
+        .into_iter()
+        .map(|idx| {
+            let mut opts = RunOptions::new(machine.freqs.min_setting());
+            opts.limit_s = f64::INFINITY;
+            let mut session = Session::new(&machine, opts);
+            // When the plan perturbs the meter, the worker runs a
+            // reactive governor (instead of the inert NullGovernor) so
+            // meter noise and spikes actually exercise the cap-control
+            // loop.
+            let governor: Box<dyn Governor> = match &shared.cfg.fault_plan {
+                Some(plan) if plan.perturbs_meter() => {
+                    Box::new(BiasedGovernor::gpu_biased(shared.cfg.cap_w))
+                }
+                _ => Box::new(NullGovernor),
+            };
+            if let Some(plan) = &shared.cfg.fault_plan {
+                if !plan.is_noop() {
+                    session.set_faults(plan.injector(idx));
+                }
+            }
+            let dispatcher = WorkerDispatcher {
+                shared: Arc::clone(&shared),
+                machine_idx: idx,
+                running: [None, None],
+            };
+            MachineRun {
+                idx,
+                session,
+                governor,
+                dispatcher,
+                harvested_records: 0,
+                harvested_samples: 0,
+                starved: false,
+            }
+        })
+        .collect();
     let slice = shared.cfg.slice_s.max(1e-3);
 
-    loop {
-        let state = session.advance(&mut dispatcher, &mut *governor, slice, None);
+    while !runs.is_empty() {
+        let pick = runs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.starved)
+            .min_by(|(_, a), (_, b)| a.session.now_s().total_cmp(&b.session.now_s()))
+            .map(|(i, _)| i);
+        let Some(pi) = pick else {
+            // Every resident machine is starved: park until work arrives,
+            // or poll if the queue holds jobs gated behind retry
+            // back-offs.
+            let mut inner = shared.state.lock().expect("service lock");
+            if inner.st.queue.is_empty() {
+                while inner.st.queue.is_empty() && !inner.st.shutdown {
+                    inner = shared.work_cv.wait(inner).expect("service lock");
+                }
+            } else {
+                let (guard, _) = shared
+                    .work_cv
+                    .wait_timeout(inner, std::time::Duration::from_millis(10))
+                    .expect("service lock");
+                inner = guard;
+            }
+            if inner.st.shutdown && inner.st.queue.is_empty() {
+                // Graceful shutdown with nothing left: retire every
+                // still-starved machine.
+                inner.workers_alive -= runs.len();
+                shared.done_cv.notify_all();
+                shared.work_cv.notify_all();
+                return;
+            }
+            drop(inner);
+            for r in &mut runs {
+                r.starved = false;
+            }
+            continue;
+        };
+
+        let r = &mut runs[pi];
+        let state = r
+            .session
+            .advance(&mut r.dispatcher, &mut *r.governor, slice, None);
         let mut inner = shared.state.lock().expect("service lock");
+        let records_before = r.harvested_records;
         let requeued_any = harvest(
             &mut inner,
-            &mut session,
-            machine_idx,
+            &mut r.session,
+            r.idx,
             &shared.cfg.retry,
-            &mut harvested_records,
-            &mut harvested_samples,
+            &mut r.harvested_records,
+            &mut r.harvested_samples,
         );
         shared.done_cv.notify_all();
         if requeued_any {
             shared.work_cv.notify_all();
         }
+        // Did this slice change anything a starved peer could react to?
+        // Simulated progress (completions freeing slots or cap headroom)
+        // and requeues both count; a no-progress `Starved` poll does not
+        // — re-waking peers on those ping-pongs two starved machines
+        // forever while a loaded peer with a later clock never gets
+        // picked.
+        let made_progress = requeued_any
+            || r.harvested_records > records_before
+            || !matches!(state, Ok(SessionState::Starved));
+        let mut retire = false;
         match state {
             Ok(SessionState::Advanced) => {}
             Ok(SessionState::Starved) => {
-                if inner.st.queue.is_empty() {
-                    while inner.st.queue.is_empty() && !inner.st.shutdown {
-                        inner = shared.work_cv.wait(inner).expect("service lock");
-                    }
-                } else {
-                    // Starved with work queued: either a policy corner or
-                    // every queued job is sitting out a retry back-off.
-                    // Poll rather than park so the back-off gates are
-                    // re-checked promptly.
-                    let (guard, _) = shared
-                        .work_cv
-                        .wait_timeout(inner, std::time::Duration::from_millis(10))
-                        .expect("service lock");
-                    inner = guard;
-                }
+                r.starved = true;
                 if inner.st.shutdown && inner.st.queue.is_empty() {
-                    break;
+                    retire = true;
                 }
             }
             Ok(SessionState::Crashed) => {
                 // An injected machine crash: evict in-flight work into
-                // the retry path and retire this worker. Not a worker
+                // the retry path and retire this machine. Not a worker
                 // *error* — the rest of the fleet keeps serving.
-                evict_crashed(&mut inner, &session, machine_idx, &shared.cfg.retry);
+                evict_crashed(&mut inner, &r.session, r.idx, &shared.cfg.retry);
                 shared.done_cv.notify_all();
                 shared.work_cv.notify_all();
-                break;
+                retire = true;
             }
-            Ok(SessionState::Finished) => break,
+            Ok(SessionState::Finished) => retire = true,
             Err(e) => {
-                let msg = format!("machine {machine_idx}: {e}");
+                let msg = format!("machine {}: {e}", r.idx);
                 inner.worker_error.get_or_insert(msg);
-                break;
+                retire = true;
+            }
+        }
+        if retire {
+            inner.workers_alive -= 1;
+            shared.done_cv.notify_all();
+            shared.work_cv.notify_all();
+            drop(inner);
+            runs.remove(pi);
+            if made_progress {
+                for other in &mut runs {
+                    other.starved = false;
+                }
+            }
+        } else {
+            drop(inner);
+            if made_progress {
+                for (i, other) in runs.iter_mut().enumerate() {
+                    if i != pi {
+                        other.starved = false;
+                    }
+                }
             }
         }
     }
-
-    let mut inner = shared.state.lock().expect("service lock");
-    inner.workers_alive -= 1;
-    shared.done_cv.notify_all();
-    shared.work_cv.notify_all();
 }
 
 /// Handle an injected machine crash: mark the machine down, journal the
@@ -1481,6 +1588,59 @@ mod tests {
         assert_eq!(m.completed, 8);
         assert_eq!(m.machines, 2);
         assert!(!used.is_empty());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn batched_worker_threads_step_many_machines() {
+        // Four machines on one worker thread: the earliest-wake-up
+        // batching must drain the same workload the per-machine layout
+        // does, with every machine retiring cleanly at shutdown.
+        let machine = MachineConfig::ivy_bridge();
+        let mut cfg = ServiceConfig::fast(&machine);
+        cfg.characterization.grid_points = 3;
+        cfg.characterization.micro_duration_s = 1.0;
+        cfg.machines = 4;
+        cfg.worker_threads = 1;
+        cfg.queue_capacity = 32;
+        let svc = Service::start(cfg);
+        let ids = svc.submit_spec("srad x0.1 *6\nlud x0.1 *6\n").unwrap();
+        svc.wait_idle();
+        for &id in &ids {
+            let st = svc.wait_job(id).unwrap();
+            assert!(
+                matches!(st.state, JobState::Done { .. }),
+                "job {id}: {st:?}"
+            );
+        }
+        let m = svc.metrics();
+        assert_eq!(m.completed, 12);
+        assert_eq!(m.machines, 4);
+        svc.shutdown();
+        assert_eq!(svc.metrics().workers_alive, 0);
+    }
+
+    #[test]
+    fn crashed_machine_retires_without_stalling_its_thread_peers() {
+        // Machine 0 crashes at t=2; its thread also hosts machine 1,
+        // which must keep serving and absorb the evicted work.
+        let machine = MachineConfig::ivy_bridge();
+        let mut cfg = ServiceConfig::fast(&machine);
+        cfg.characterization.grid_points = 3;
+        cfg.characterization.micro_duration_s = 1.0;
+        cfg.machines = 2;
+        cfg.worker_threads = 1;
+        cfg.queue_capacity = 32;
+        cfg.fault_plan = Some(FaultPlan::parse("@chaos seed=5 crash=0:2\n").unwrap());
+        let svc = Service::start(cfg);
+        let ids = svc.submit_spec("srad x0.1 *4\n").unwrap();
+        for &id in &ids {
+            let st = svc.wait_job(id).unwrap();
+            assert!(
+                matches!(st.state, JobState::Done { .. }),
+                "job {id}: {st:?}"
+            );
+        }
         svc.shutdown();
     }
 

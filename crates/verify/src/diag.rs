@@ -83,6 +83,9 @@ pub enum Code {
     Sim003,
     /// Non-physical package power (negative or non-finite).
     Sim004,
+    /// Event-loop livelock: the engine saw a sustained run of wake-ups
+    /// that did not advance the simulation clock.
+    Sim005,
     /// Malformed `@chaos` fault-plan directive.
     Srv001,
     /// A machine crashed (injected or real); its in-flight jobs were
@@ -175,7 +178,7 @@ pub enum Code {
 
 impl Code {
     /// Every code, in catalog order.
-    pub const ALL: [Code; 52] = [
+    pub const ALL: [Code; 53] = [
         Code::Sch001,
         Code::Sch002,
         Code::Sch003,
@@ -198,6 +201,7 @@ impl Code {
         Code::Sim002,
         Code::Sim003,
         Code::Sim004,
+        Code::Sim005,
         Code::Srv001,
         Code::Srv002,
         Code::Srv003,
@@ -255,6 +259,7 @@ impl Code {
             Code::Sim002 => "SIM002",
             Code::Sim003 => "SIM003",
             Code::Sim004 => "SIM004",
+            Code::Sim005 => "SIM005",
             Code::Srv001 => "SRV001",
             Code::Srv002 => "SRV002",
             Code::Srv003 => "SRV003",
@@ -343,6 +348,7 @@ impl Code {
                 "package power never exceeds the cap beyond governor reaction tolerance"
             }
             Code::Sim004 => "package power is finite and non-negative",
+            Code::Sim005 => "every simulation wake-up advances the event clock",
             Code::Srv001 => "`@chaos` directives follow the documented key=value grammar",
             Code::Srv002 => "machine crashes evict in-flight jobs for rescheduling, not loss",
             Code::Srv003 => "failed jobs are requeued within their retry budget",

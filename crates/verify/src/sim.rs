@@ -49,6 +49,14 @@ pub fn diagnostics_from(violations: &[Violation]) -> Vec<Diagnostic> {
                 "sim power model",
                 format!("non-physical package power {power_w} W"),
             ),
+            Violation::ZeroProgressWakeup { at_s } => Diagnostic::new(
+                Code::Sim005,
+                format!("sim t={at_s:.4}s"),
+                format!(
+                    "event loop livelocked: wake-ups stopped advancing the clock at t={at_s:.6} s"
+                ),
+            )
+            .with_help("a component keeps rescheduling itself at the same timestamp"),
         })
         .collect()
 }
@@ -82,11 +90,18 @@ mod tests {
                 peak_w: 22.0,
             },
             Violation::NonPhysicalPower { power_w: -4.0 },
+            Violation::ZeroProgressWakeup { at_s: 7.0 },
         ]);
         let codes: Vec<Code> = diags.iter().map(|d| d.code).collect();
         assert_eq!(
             codes,
-            vec![Code::Sim001, Code::Sim002, Code::Sim003, Code::Sim004]
+            vec![
+                Code::Sim001,
+                Code::Sim002,
+                Code::Sim003,
+                Code::Sim004,
+                Code::Sim005
+            ]
         );
         assert!(diags
             .iter()
