@@ -405,12 +405,108 @@ for i in 0 1 2 3; do
 done
 rm -rf "$FLEET_DIR"
 
+echo "== corun fleet: partition + coordinator kill -9 + --recover smoke"
+# 4 daemons again, this time the *coordinator* is the victim: two of the
+# four daemons are partitioned away mid-drain (SIGSTOP), the coordinator
+# is killed outright while they are unreachable, the partition heals,
+# and a second coordinator rebuilds the books from the write-ahead
+# fleetlog with --recover. Every RPC also runs through a seeded
+# @netchaos fault plan, so drops/dups/truncation over real TCP are
+# exercised on the same run. Books must balance: every admitted job
+# terminal exactly once, caps within the cluster cap throughout.
+FLEET_DIR=$(mktemp -d)
+FLEET_PIDS=()
+FLEET_ADDRS=()
+trap stop_fleet EXIT
+for i in 0 1 2 3; do
+    start_shard_daemon "$i" 0
+done
+ADDRS_CSV=$(
+    IFS=,
+    echo "${FLEET_ADDRS[*]}"
+)
+printf '@netchaos seed=9 drop=0.05 dup=0.05 truncate=0.03\n' >"$FLEET_DIR/net.plan"
+FLEETLOG="$FLEET_DIR/fleet.jsonl"
+NETC_LOG="$FLEET_DIR/netchaos.log"
+timeout 240 $CORUN fleet --addrs "$ADDRS_CSV" --cluster-cap 60 \
+    --journal "$FLEETLOG" --netchaos "$FLEET_DIR/net.plan" --op-timeout 3 \
+    --spec examples/specs/fleet_smoke.spec --repeat 20 --timeout 200 \
+    >"$NETC_LOG" 2>&1 &
+NETC_DRIVER=$!
+for _ in $(seq 1 300); do
+    grep -q 'draining' "$NETC_LOG" 2>/dev/null && break
+    sleep 0.1
+done
+# Partition two of the four daemons, then kill the coordinator while
+# they are unreachable — the worst moment it could die.
+kill -STOP "${FLEET_PIDS[1]}" "${FLEET_PIDS[2]}"
+sleep 2
+# kill -9 both the timeout wrapper and the coordinator under it: killing
+# only the wrapper would orphan a live coordinator into the recovery run.
+pkill -9 -P "$NETC_DRIVER" 2>/dev/null || true
+kill -9 "$NETC_DRIVER" 2>/dev/null || true
+wait "$NETC_DRIVER" 2>/dev/null || true
+kill -CONT "${FLEET_PIDS[1]}" "${FLEET_PIDS[2]}"
+
+RECOVER_LOG="$FLEET_DIR/recover.log"
+timeout 240 $CORUN fleet --recover --addrs "$ADDRS_CSV" --cluster-cap 60 \
+    --journal "$FLEETLOG" --netchaos "$FLEET_DIR/net.plan" --op-timeout 3 \
+    --timeout 200 >"$RECOVER_LOG" 2>&1 || {
+    echo "FAIL: recovered coordinator did not drain cleanly" >&2
+    cat "$RECOVER_LOG" >&2
+    exit 1
+}
+grep -q 'recovered coordinator books' "$RECOVER_LOG" || {
+    echo "FAIL: --recover did not adopt the fleetlog:" >&2
+    cat "$RECOVER_LOG" >&2
+    exit 1
+}
+grep -q 'jobs: 2000 total' "$RECOVER_LOG" || {
+    echo "FAIL: recovered books did not account for all 2000 jobs:" >&2
+    cat "$RECOVER_LOG" >&2
+    exit 1
+}
+grep -q '(0 backlog, 0 in flight)' "$RECOVER_LOG" || {
+    echo "FAIL: recovered fleet left jobs stuck:" >&2
+    cat "$RECOVER_LOG" >&2
+    exit 1
+}
+grep -q '^net: ' "$RECOVER_LOG" || {
+    echo "FAIL: no transport summary in the recovered fleet output:" >&2
+    cat "$RECOVER_LOG" >&2
+    exit 1
+}
+awk '/^jobs:/ {
+    total = $2; sum = $5 + $8 + $11
+    if (sum != total) { print "FAIL: recovered books do not balance: " $0; exit 1 }
+}' "$RECOVER_LOG"
+awk '/^power:/ {
+    cluster = $4; peak = $12
+    if (peak > cluster + 1e-6) {
+        print "FAIL: peak cap hand-out " peak " W exceeds cluster cap " cluster " W"
+        exit 1
+    }
+}' "$RECOVER_LOG"
+
+for i in 0 1 2 3; do
+    timeout 30 $CORUN shutdown --addr "${FLEET_ADDRS[$i]}" || true
+done
+for pid in "${FLEET_PIDS[@]}"; do
+    for _ in $(seq 1 150); do
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.2
+    done
+done
+trap - EXIT
+stop_fleet
+rm -rf "$FLEET_DIR"
+
 echo "== corun fleet: event-driven smoke (8 shards x 16 machines, 20k jobs)"
 # The discrete-event engine makes this in-process scale CI-affordable:
 # each shard's batched workers pull the earliest wake-up across their
 # resident machines instead of ticking fixed steps. Asserts the books
 # balance and the cap-sum invariant under a mid-drain shard crash.
-cargo test --release -q -p corun-fleet --test fleet_chaos \
+timeout 1200 cargo test --release -q -p corun-fleet --test fleet_chaos \
     event_driven_fleet_smoke -- --ignored
 
 echo "== perf gate: simulator throughput vs committed BENCH_sim.json"

@@ -131,6 +131,14 @@ impl DetRng {
     pub fn next_unit(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
+
+    /// Derive an independent child stream (one per shard, one per
+    /// retry loop, ...). The child's sequence is a pure function of the
+    /// parent's seed and draw position, so fan-out stays deterministic
+    /// without the consumers contending over one stream.
+    pub fn split(&mut self) -> DetRng {
+        DetRng::new(self.next_u64())
+    }
 }
 
 #[cfg(test)]

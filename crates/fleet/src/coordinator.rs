@@ -10,11 +10,17 @@
 //! lifting on their own worker threads (in-process mode) or in separate
 //! daemons (remote mode).
 
+use crate::fleetlog::{
+    repair_fleetlog_tail, replay_fleetlog, scan_fleetlog, FleetLog, FleetRecord, RecoveredLoc,
+};
+use crate::net::RpcSnapshot;
 use crate::placement::{HashRing, LeastLoaded, Placement, ShardView};
-use crate::router::{FleetJobId, JobLoc, Router};
+use crate::router::{FleetJob, FleetJobId, JobLoc, Router};
 use crate::shard::{JobPhase, ShardBackend, ShardMetrics, SubmitOutcome};
 use corun_core::budget::{partition_cluster_cap, ShardDemand};
+use corun_verify::{Code, Diagnostic, Report, Severity};
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 /// Which placement policy the coordinator routes with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +84,17 @@ pub struct FleetConfig {
     pub auto_recover: bool,
     /// Rounds between automatic recovery attempts for a dead shard.
     pub recover_backoff_rounds: u64,
+    /// Consecutive transport failures before a shard's circuit reads
+    /// `Suspect`.
+    pub suspect_after: u32,
+    /// Consecutive transport failures before the circuit opens (`Dead`):
+    /// the coordinator stops routing to the shard and only probes it.
+    pub dead_after: u32,
+    /// Rounds between probes of an open-circuit shard.
+    pub probe_every_rounds: u64,
+    /// Write-ahead coordinator journal (`FleetLog`); `None` disables
+    /// coordinator crash recovery.
+    pub journal_path: Option<PathBuf>,
     /// Run `Router::check_books` every round (O(jobs); tests only).
     pub paranoid: bool,
 }
@@ -98,20 +115,73 @@ impl FleetConfig {
             placement: PlacementKind::Ring,
             auto_recover: true,
             recover_backoff_rounds: 10,
+            suspect_after: 1,
+            dead_after: 3,
+            probe_every_rounds: 5,
+            journal_path: None,
             paranoid: false,
         }
     }
 
     /// The `FLT0xx` lint view of this config.
     pub fn lint(&self) -> corun_verify::Report {
-        corun_verify::lint_fleet(&corun_verify::FleetParams {
+        let mut report = corun_verify::lint_fleet(&corun_verify::FleetParams {
             shards: self.shards,
             machines_per_shard: self.machines_per_shard,
             cluster_cap_w: self.cluster_cap_w,
             shard_floor_w: self.shard_floor_w,
             steal_threshold: self.steal_threshold,
             rebalance_every: self.rebalance_every,
-        })
+        });
+        report.merge(corun_verify::lint_net_config(&corun_verify::NetParams {
+            suspect_after: self.suspect_after,
+            dead_after: self.dead_after,
+            probe_every_rounds: self.probe_every_rounds,
+        }));
+        report
+    }
+}
+
+/// Transport-health state of one shard's circuit breaker. Distinct from
+/// worker liveness: a shard whose workers all died still answers RPC
+/// (circuit `Live`, `alive == false`), while a partitioned shard may be
+/// healthy but unreachable (circuit `Dead`, work fenced off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Circuit {
+    /// Transport healthy.
+    Live,
+    /// Recent transport failures; still routed to, watched closely.
+    Suspect,
+    /// Circuit open: not routed to, probed every `probe_every_rounds`.
+    Dead,
+}
+
+impl Circuit {
+    /// Lowercase label for status output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Circuit::Live => "live",
+            Circuit::Suspect => "suspect",
+            Circuit::Dead => "dead",
+        }
+    }
+}
+
+/// Per-shard breaker bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct Breaker {
+    state: Circuit,
+    failures: u32,
+    last_probe_round: u64,
+}
+
+impl Breaker {
+    fn new() -> Breaker {
+        Breaker {
+            state: Circuit::Live,
+            failures: 0,
+            last_probe_round: 0,
+        }
     }
 }
 
@@ -143,6 +213,15 @@ pub struct FleetMetrics {
     pub backlog: usize,
     /// Jobs accepted by a shard and not yet terminal.
     pub in_flight: usize,
+    /// Jobs pinned to a shard awaiting keyed resolution after an
+    /// indeterminate submit RPC.
+    pub in_doubt: usize,
+    /// Per-shard circuit-breaker states.
+    pub circuits: Vec<Circuit>,
+    /// Per-shard transport counters (zero for plain in-process shards).
+    pub rpc: Vec<RpcSnapshot>,
+    /// Coordinator journal recoveries this books has been through.
+    pub fleet_recoveries: usize,
     /// Jobs moved by work stealing.
     pub steals: usize,
     /// Budget rebalance rounds executed.
@@ -182,6 +261,16 @@ pub struct Fleet {
     lost_requeues: usize,
     max_cap_sum_w: f64,
     next_key: u64,
+    breakers: Vec<Breaker>,
+    /// Last-seen fenced-reply count per shard, for FLT008 surfacing.
+    fenced_seen: Vec<u64>,
+    /// Write-ahead journal; dropped (with an FLT009 diagnostic) on the
+    /// first write failure rather than stalling the fleet.
+    log: Option<FleetLog>,
+    /// Diagnostics raised while running: circuit opens (FLT007), fenced
+    /// replies (FLT008), journal write failures (FLT009).
+    chaos: Report,
+    recoveries: usize,
 }
 
 impl Fleet {
@@ -203,6 +292,13 @@ impl Fleet {
             ));
         }
         let n = cfg.shards;
+        let log = match &cfg.journal_path {
+            Some(path) => Some(
+                FleetLog::create(path, n, cfg.cluster_cap_w)
+                    .map_err(|e| format!("cannot create fleet journal {}: {e}", path.display()))?,
+            ),
+            None => None,
+        };
         let router = Router::new(n, cfg.placement.build(n));
         let mut fleet = Fleet {
             router,
@@ -218,12 +314,152 @@ impl Fleet {
             lost_requeues: 0,
             max_cap_sum_w: 0.0,
             next_key: 0,
+            breakers: vec![Breaker::new(); n],
+            fenced_seen: vec![0; n],
+            log,
+            chaos: Report::new(),
+            recoveries: 0,
             shards,
             cfg,
         };
         fleet.poll_shards();
         fleet.rebalance();
         Ok(fleet)
+    }
+
+    /// Rebuild a coordinator from its write-ahead journal after a crash
+    /// (`corun fleet --recover`). The backends must address the same
+    /// shards, in the same order, as the dead incarnation. Jobs the log
+    /// proves submitted stay where they are; intent-without-confirm jobs
+    /// come back pinned in doubt for keyed resolution; everything else
+    /// is re-placed and resubmitted. Booked caps are restored so the
+    /// cluster-cap invariant holds across the crash.
+    pub fn recover(cfg: FleetConfig, shards: Vec<Box<dyn ShardBackend>>) -> Result<Fleet, String> {
+        let path = cfg
+            .journal_path
+            .clone()
+            .ok_or("fleet recovery requires a journal path")?;
+        if shards.len() != cfg.shards {
+            return Err(format!(
+                "config says {} shards but {} backends were provided",
+                cfg.shards,
+                shards.len()
+            ));
+        }
+        let report = cfg.lint();
+        if report.has_errors() {
+            return Err(format!(
+                "fleet config failed lint:\n{}",
+                report.render_human()
+            ));
+        }
+        let scan = scan_fleetlog(&path);
+        if scan.report.has_errors() {
+            return Err(format!(
+                "fleet journal {} is unrecoverable:\n{}",
+                path.display(),
+                scan.report.render_human()
+            ));
+        }
+        let rec = replay_fleetlog(&scan.records)?;
+        if rec.shards != cfg.shards {
+            return Err(format!(
+                "fleet journal books {} shards but config says {}",
+                rec.shards, cfg.shards
+            ));
+        }
+        let n = cfg.shards;
+        let view = ShardView::fresh(n);
+        let jobs: Vec<FleetJob> = rec
+            .jobs
+            .iter()
+            .map(|j| FleetJob {
+                key: j.key.clone(),
+                spec: j.spec.clone(),
+                loc: match j.loc {
+                    // `Router::restore` re-places backlog jobs, so the
+                    // stale shard index here is only a fallback.
+                    RecoveredLoc::Pending => JobLoc::Backlog(0),
+                    RecoveredLoc::InDoubt(s) => JobLoc::InDoubt(s),
+                    RecoveredLoc::Submitted { shard, local_id } => {
+                        JobLoc::Submitted { shard, local_id }
+                    }
+                    RecoveredLoc::Done(s) => JobLoc::Done(s),
+                    RecoveredLoc::Dead(s) => JobLoc::DeadLetter(s),
+                    RecoveredLoc::Rejected => JobLoc::Rejected,
+                },
+                submits: j.submits,
+                requeues: j.requeues,
+            })
+            .collect();
+        let next_key = jobs.len() as u64;
+        let router = Router::restore(n, cfg.placement.build(n), jobs, &view);
+        let mut outstanding = vec![BTreeMap::new(); n];
+        for (id, j) in rec.jobs.iter().enumerate() {
+            if let RecoveredLoc::Submitted { shard, local_id } = j.loc {
+                outstanding[shard].insert(local_id, id);
+            }
+        }
+        let caps_w = rec.caps_w.clone().unwrap_or_else(|| vec![0.0; n]);
+        repair_fleetlog_tail(&path, &scan)
+            .map_err(|e| format!("cannot repair fleet journal tail: {e}"))?;
+        let mut log = FleetLog::open_append(&path, scan.records.len() as u64)
+            .map_err(|e| format!("cannot reopen fleet journal: {e}"))?;
+        log.append(&FleetRecord::Recovered)
+            .map_err(|e| format!("cannot mark fleet journal recovered: {e}"))?;
+        let max_cap_sum_w = caps_w.iter().sum();
+        let mut fleet = Fleet {
+            router,
+            view,
+            outstanding,
+            folded_terminal: vec![0; n],
+            // Every shard gets a full sweep: the books may trail what
+            // shards finished while the coordinator was dead.
+            force_sweep: vec![true; n],
+            metrics_cache: vec![ShardMetrics::default(); n],
+            caps_w,
+            rounds: 0,
+            steals_total: 0,
+            rebalances: 0,
+            lost_requeues: 0,
+            max_cap_sum_w,
+            next_key,
+            breakers: vec![Breaker::new(); n],
+            fenced_seen: vec![0; n],
+            log: Some(log),
+            chaos: scan.report,
+            recoveries: rec.recoveries + 1,
+            shards,
+            cfg,
+        };
+        fleet.poll_shards();
+        fleet.rebalance();
+        Ok(fleet)
+    }
+
+    /// Durably append one journal record. A write failure does not stop
+    /// the fleet: journaling is disabled and an FLT009 diagnostic is
+    /// raised instead (the run keeps its in-memory books; only crash
+    /// recovery is lost).
+    fn log_rec(&mut self, rec: &FleetRecord) {
+        let Some(log) = &mut self.log else { return };
+        if let Err(e) = log.append(rec) {
+            self.log = None;
+            self.chaos.push(
+                Diagnostic::new(
+                    Code::Flt009,
+                    "fleet journal",
+                    format!("journal write failed, crash recovery disabled: {e}"),
+                )
+                .with_severity(Severity::Error),
+            );
+        }
+    }
+
+    /// Diagnostics raised while running (circuit opens, fenced replies,
+    /// journal failures) plus any recovery-scan findings.
+    pub fn chaos_report(&self) -> &Report {
+        &self.chaos
     }
 
     /// The configuration.
@@ -244,8 +480,11 @@ impl Fleet {
                 let key = format!("{}x{}#{}", line.name, line.scale, self.next_key);
                 self.next_key += 1;
                 let spec = format!("{} x{}", line.name, line.scale);
-                match self.router.admit(key, spec, &self.view) {
-                    Ok(id) => ids.push(id),
+                match self.router.admit(key.clone(), spec.clone(), &self.view) {
+                    Ok(id) => {
+                        self.log_rec(&FleetRecord::Admit { id, key, spec });
+                        ids.push(id);
+                    }
                     Err(_) => return Err("no live shard to place jobs on".into()),
                 }
             }
@@ -259,6 +498,14 @@ impl Fleet {
     pub fn pump(&mut self) -> usize {
         self.rounds += 1;
         self.poll_shards();
+        for s in 0..self.cfg.shards {
+            if self.shards[s].take_incarnation_change() {
+                // The shard restarted or recovered behind our back: its
+                // local ids may now mean different jobs. Sweep everything
+                // we think it holds against its (journal-recovered) books.
+                self.force_sweep[s] = true;
+            }
+        }
         if self.cfg.auto_recover
             && self
                 .rounds
@@ -282,6 +529,7 @@ impl Fleet {
             self.router
                 .auto_steal(&self.view, self.cfg.steal_threshold, self.cfg.steal_batch);
         self.steals_total += steals.iter().map(|s| s.moved).sum::<usize>();
+        self.resolve_in_doubt();
         self.push_submissions();
         let folded = self.fold_completions();
         if self.cfg.paranoid {
@@ -328,6 +576,7 @@ impl Fleet {
         let mut rejected = 0;
         let mut backlog = 0;
         let mut in_flight = 0;
+        let mut in_doubt = 0;
         for id in 0..self.router.jobs() {
             match self.router.job(id).loc {
                 JobLoc::Done(_) => done += 1,
@@ -335,6 +584,10 @@ impl Fleet {
                 JobLoc::Rejected => rejected += 1,
                 JobLoc::Backlog(_) | JobLoc::Submitting(_) => backlog += 1,
                 JobLoc::Submitted { .. } => in_flight += 1,
+                JobLoc::InDoubt(_) => {
+                    in_flight += 1;
+                    in_doubt += 1;
+                }
             }
         }
         let cap_sum_w = self.caps_w.iter().sum();
@@ -351,6 +604,10 @@ impl Fleet {
             jobs_rejected: rejected,
             backlog,
             in_flight,
+            in_doubt,
+            circuits: self.breakers.iter().map(|b| b.state).collect(),
+            rpc: self.shards.iter().map(|s| s.rpc_stats()).collect(),
+            fleet_recoveries: self.recoveries,
             steals: self.steals_total,
             rebalances: self.rebalances,
             lost_requeues: self.lost_requeues,
@@ -388,6 +645,7 @@ impl Fleet {
         }
         self.shards[shard].recover(caps[shard])?;
         self.view.alive[shard] = true;
+        self.breakers[shard] = Breaker::new();
         self.force_sweep[shard] = true;
         self.apply_caps(caps);
         self.rebalances += 1;
@@ -467,13 +725,20 @@ impl Fleet {
                 self.view.alive[s] = false;
             }
         }
+        let mut changed = false;
         for (s, &cap) in caps.iter().enumerate() {
-            if self.view.alive[s] {
+            if self.view.alive[s] && (cap - self.caps_w[s]).abs() > 1e-9 {
                 self.caps_w[s] = cap;
+                changed = true;
             }
         }
         let sum: f64 = self.caps_w.iter().sum();
         self.max_cap_sum_w = self.max_cap_sum_w.max(sum);
+        if changed {
+            self.log_rec(&FleetRecord::Caps {
+                caps_w: self.caps_w.clone(),
+            });
+        }
     }
 
     fn rebalance(&mut self) {
@@ -485,27 +750,85 @@ impl Fleet {
 
     fn poll_shards(&mut self) {
         for s in 0..self.cfg.shards {
-            match self.shards[s].metrics() {
-                Ok(m) => {
-                    let was_alive = self.view.alive[s];
-                    self.metrics_cache[s] = m;
-                    self.view.alive[s] = m.is_alive();
-                    if was_alive && !m.is_alive() {
-                        // All workers gone: in-flight work is frozen, not
-                        // lost — journal recovery (recover_shard) brings
-                        // it back. Keep outstanding until then.
+            // An open circuit is only *probed* on its cadence; between
+            // probes the shard stays fenced off without paying an RPC
+            // timeout every round.
+            let probe_due = self
+                .rounds
+                .saturating_sub(self.breakers[s].last_probe_round)
+                >= self.cfg.probe_every_rounds.max(1);
+            if self.breakers[s].state == Circuit::Dead && !probe_due {
+                self.view.alive[s] = false;
+            } else {
+                self.breakers[s].last_probe_round = self.rounds;
+                match self.shards[s].metrics() {
+                    Ok(m) => {
+                        // Transport healthy — even if every worker died,
+                        // that is the *shard's* problem (journal recovery
+                        // handles it), not the network's.
+                        self.breakers[s].failures = 0;
+                        self.breakers[s].state = Circuit::Live;
+                        self.metrics_cache[s] = m;
+                        self.view.alive[s] = m.is_alive();
+                    }
+                    Err(_) => {
+                        self.view.alive[s] = false;
+                        self.breaker_trip(s);
                     }
                 }
-                Err(_) => {
-                    self.view.alive[s] = false;
-                }
             }
+            self.surface_fenced(s);
             self.view.load[s] = self.router.backlog_depth(s)
                 + if self.view.alive[s] {
                     self.metrics_cache[s].queue_depth
                 } else {
                     0
                 };
+        }
+    }
+
+    /// Record one transport failure against `s`'s breaker, opening the
+    /// circuit (with an FLT007 diagnostic) at the configured threshold.
+    fn breaker_trip(&mut self, s: usize) {
+        let b = &mut self.breakers[s];
+        b.failures = b.failures.saturating_add(1);
+        if b.failures >= self.cfg.dead_after {
+            if b.state != Circuit::Dead {
+                b.state = Circuit::Dead;
+                self.chaos.push(Diagnostic::new(
+                    Code::Flt007,
+                    format!("shard {s}"),
+                    format!(
+                        "circuit opened after {} consecutive transport failures; \
+                         probing every {} rounds",
+                        b.failures, self.cfg.probe_every_rounds
+                    ),
+                ));
+            }
+        } else if b.failures >= self.cfg.suspect_after {
+            b.state = Circuit::Suspect;
+        }
+    }
+
+    /// Raise FLT008 when a shard's transport rejected stale-epoch
+    /// replies since the last poll.
+    fn surface_fenced(&mut self, s: usize) {
+        let fenced = self.shards[s].rpc_stats().fenced;
+        if fenced > self.fenced_seen[s] {
+            self.chaos.push(Diagnostic::new(
+                Code::Flt008,
+                format!("shard {s}"),
+                format!(
+                    "{} stale-epoch repl{} rejected by fencing",
+                    fenced - self.fenced_seen[s],
+                    if fenced - self.fenced_seen[s] == 1 {
+                        "y"
+                    } else {
+                        "ies"
+                    }
+                ),
+            ));
+            self.fenced_seen[s] = fenced;
         }
     }
 
@@ -534,8 +857,14 @@ impl Fleet {
                 let Some(id) = self.router.begin_submit(s) else {
                     break;
                 };
+                let key = self.router.job(id).key.clone();
                 let spec = self.router.job(id).spec.clone();
-                match self.shards[s].submit(&spec) {
+                // Intent is journaled *before* the RPC: if the
+                // coordinator dies in between, recovery sees intent
+                // without confirm and resolves the job against this
+                // shard instead of guessing.
+                self.log_rec(&FleetRecord::Intent { id, shard: s });
+                match self.shards[s].submit(&key, &spec) {
                     SubmitOutcome::Accepted(local_ids) => {
                         assert_eq!(
                             local_ids.len(),
@@ -545,18 +874,85 @@ impl Fleet {
                         );
                         self.router.confirm(id, local_ids[0]);
                         self.outstanding[s].insert(local_ids[0], id);
+                        self.log_rec(&FleetRecord::Confirm {
+                            id,
+                            shard: s,
+                            local_id: local_ids[0],
+                        });
                         queued_estimate += 1;
                     }
                     SubmitOutcome::Backpressure { .. } => {
                         self.router.abort(id);
+                        self.log_rec(&FleetRecord::Abort { id });
                         break;
                     }
                     SubmitOutcome::Refused(_) => {
                         self.router.reject(id);
+                        self.log_rec(&FleetRecord::Rejected { id });
                     }
                     SubmitOutcome::Down(_) => {
+                        // Certainly undelivered: safe to re-place.
                         self.router.abort(id);
+                        self.log_rec(&FleetRecord::Abort { id });
                         self.view.alive[s] = false;
+                        self.breaker_trip(s);
+                        break;
+                    }
+                    SubmitOutcome::Indeterminate(_) => {
+                        // The request may have landed. Pin the job to
+                        // this shard; `resolve_in_doubt` settles it by
+                        // keyed resubmission.
+                        self.router.mark_in_doubt(id);
+                        self.breaker_trip(s);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Settle in-doubt jobs by resubmitting their key to the pinned
+    /// shard. A dedup hit proves the original RPC landed (the shard
+    /// answers with the existing ids); a fresh accept proves it did not
+    /// and admits the one and only copy. Either way exactly one copy
+    /// exists, which is the no-double-dispatch invariant.
+    fn resolve_in_doubt(&mut self) {
+        for s in 0..self.cfg.shards {
+            if !self.view.alive[s] {
+                continue;
+            }
+            for id in self.router.in_doubt(s) {
+                let key = self.router.job(id).key.clone();
+                let spec = self.router.job(id).spec.clone();
+                match self.shards[s].submit(&key, &spec) {
+                    SubmitOutcome::Accepted(local_ids) => {
+                        assert_eq!(local_ids.len(), 1, "keyed submits are single-job");
+                        self.router.resolve_confirm(id, local_ids[0]);
+                        self.outstanding[s].insert(local_ids[0], id);
+                        self.log_rec(&FleetRecord::Confirm {
+                            id,
+                            shard: s,
+                            local_id: local_ids[0],
+                        });
+                        // The job may already be terminal on the shard
+                        // (it ran while we were partitioned): sweep.
+                        self.force_sweep[s] = true;
+                    }
+                    SubmitOutcome::Refused(_) => {
+                        // The shard's dedup would have answered with the
+                        // original ids had the first RPC landed, so it
+                        // cannot have: terminal rejection.
+                        self.router.resolve_reject(id);
+                        self.log_rec(&FleetRecord::Rejected { id });
+                    }
+                    SubmitOutcome::Backpressure { .. } => break,
+                    SubmitOutcome::Down(_) => {
+                        self.view.alive[s] = false;
+                        self.breaker_trip(s);
+                        break;
+                    }
+                    SubmitOutcome::Indeterminate(_) => {
+                        self.breaker_trip(s);
                         break;
                     }
                 }
@@ -581,6 +977,7 @@ impl Fleet {
             for local in locals {
                 let Ok(phase) = self.shards[s].job_phase(local) else {
                     self.view.alive[s] = false;
+                    self.breaker_trip(s);
                     break;
                 };
                 let id = self.outstanding[s][&local];
@@ -589,11 +986,13 @@ impl Fleet {
                     JobPhase::Done => {
                         self.router.complete(id, s);
                         self.outstanding[s].remove(&local);
+                        self.log_rec(&FleetRecord::Done { id });
                         folded += 1;
                     }
                     JobPhase::DeadLetter => {
                         self.router.dead_letter(id, s);
                         self.outstanding[s].remove(&local);
+                        self.log_rec(&FleetRecord::Dead { id });
                         folded += 1;
                     }
                     JobPhase::Rejected => {
@@ -603,6 +1002,7 @@ impl Fleet {
                         debug_assert!(false, "job {id} rejected after acceptance");
                         self.router.dead_letter(id, s);
                         self.outstanding[s].remove(&local);
+                        self.log_rec(&FleetRecord::Dead { id });
                         folded += 1;
                     }
                     JobPhase::Unknown => {
@@ -610,6 +1010,7 @@ impl Fleet {
                         // one died without a journal. Route it again.
                         self.router.requeue_lost(id, &self.view);
                         self.outstanding[s].remove(&local);
+                        self.log_rec(&FleetRecord::Requeue { id });
                         self.lost_requeues += 1;
                         folded += 1;
                     }

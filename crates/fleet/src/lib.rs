@@ -20,6 +20,21 @@
 //!   `corun_serve::journal` with no lost and no double-dispatched jobs;
 //!   a shard lost *without* a journal gets its jobs re-placed through
 //!   the router's single `requeue_lost` edge.
+//! * **Partition tolerance** ([`net`]) — every coordinator↔shard RPC is
+//!   deadline-bounded with bounded reconnect/backoff, sequence-echo
+//!   matched, and fenced by the shard's journal epoch, so a stale
+//!   incarnation can never answer for a recovered one. A per-shard
+//!   circuit breaker (`Live`/`Suspect`/`Dead`) stops routing to
+//!   unreachable shards while their booked power cap stays reserved.
+//!   Deterministic network-fault injection (`@netchaos` directives →
+//!   [`NetFaultPlan`]) drives drops, delays, duplicates, truncated
+//!   frames, and one-way partitions through the same transport stack
+//!   the TCP path uses.
+//! * **Coordinator crash recovery** ([`fleetlog`]) — a write-ahead
+//!   journal (admit / intent / confirm / terminal / caps records) lets
+//!   [`Fleet::recover`] rebuild the books after a coordinator `kill -9`:
+//!   intent-without-confirm jobs come back pinned in doubt and are
+//!   settled by keyed resubmission, never double-dispatched.
 //!
 //! Shards run in-process ([`LocalShard`], see [`start_local_shards`]) or
 //! as remote `corun serve` daemons over the line-JSON protocol
@@ -27,14 +42,23 @@
 //! `docs/FLEET.md`.
 
 pub mod coordinator;
+pub mod fleetlog;
+pub mod net;
 pub mod placement;
 pub mod router;
 pub mod shard;
 
-pub use coordinator::{Fleet, FleetConfig, FleetMetrics, PlacementKind};
+pub use coordinator::{Circuit, Fleet, FleetConfig, FleetMetrics, PlacementKind};
+pub use fleetlog::{
+    repair_fleetlog_tail, replay_fleetlog, scan_fleetlog, FleetLog, FleetRecord, FleetScan,
+    RecoveredFleet, RecoveredFleetJob, RecoveredLoc, FLEETLOG_FORMAT_VERSION,
+};
+pub use net::{
+    lint_netchaos, over_local, NetConfig, NetError, NetFaultPlan, Partition, RawTransport,
+    RemoteShard, RpcShard, RpcSnapshot,
+};
 pub use placement::{HashRing, LeastLoaded, Placement, ShardView};
 pub use router::{FleetJob, FleetJobId, JobLoc, Router, Steal};
 pub use shard::{
-    start_local_shards, JobPhase, LocalShard, RemoteShard, ShardBackend, ShardMetrics,
-    SubmitOutcome,
+    start_local_shards, JobPhase, LocalShard, ShardBackend, ShardMetrics, SubmitOutcome,
 };

@@ -4,12 +4,14 @@
 //!
 //! ```text
 //! admit -> Backlog(shard) -> begin_submit -> Submitting(shard)
-//!            ^     |                            |         |
-//!            |   steal                       confirm    abort
-//!            |     v                            v         |
-//!            +-- Backlog(other)          Submitted{...} <-+ (back to Backlog)
-//!            |                                  |
-//!            +------- requeue_lost -------------+--> Done / DeadLetter / Rejected
+//!            ^     |                            |       |      \
+//!            |   steal                       confirm  abort   mark_in_doubt
+//!            |     v                            v       |         v
+//!            +-- Backlog(other)          Submitted{...} <+    InDoubt(shard)
+//!            |                                  |            /          \
+//!            +------- requeue_lost -------------+  resolve_confirm  resolve_reject
+//!                                               |        v                v
+//!                                               +--> Done / DeadLetter / Rejected
 //! ```
 //!
 //! Double dispatch is impossible *by construction*: a job reaches a
@@ -19,7 +21,16 @@
 //! single edge back from `Submitted`, and the coordinator takes it only
 //! once the owning shard incarnation is confirmed dead (crashed without
 //! a journal, or replying `unknown_job` after an unrecovered restart).
-//! The placement proptests drive exactly this type.
+//!
+//! `InDoubt` is the partition-tolerance edge: a submission whose RPC
+//! failed *after* the request may have been delivered
+//! ([`crate::net::NetError`] timeout, disconnect, garbled reply) is
+//! neither confirmed nor safe to re-place — the shard may be running it.
+//! An in-doubt job is pinned to its shard (never stolen, never
+//! evacuated, in no backlog) until the coordinator re-submits its
+//! idempotent key to that same shard: the shard's keyed dedup then
+//! either returns the original id (`resolve_confirm`) or refuses it
+//! (`resolve_reject`). The placement proptests drive exactly this type.
 
 use crate::placement::{Placement, ShardView};
 use std::collections::VecDeque;
@@ -32,8 +43,12 @@ pub type FleetJobId = usize;
 pub enum JobLoc {
     /// Waiting in the coordinator's backlog for `shard`.
     Backlog(usize),
-    /// Popped for submission to `shard`; must `confirm` or `abort`.
+    /// Popped for submission to `shard`; must `confirm`, `abort`, or
+    /// `mark_in_doubt`.
     Submitting(usize),
+    /// A submit RPC to `shard` failed after the request may have been
+    /// delivered. Pinned there until keyed resubmission resolves it.
+    InDoubt(usize),
     /// Accepted by `shard` under its local id.
     Submitted {
         /// The owning shard.
@@ -91,6 +106,34 @@ impl Router {
             jobs: Vec::new(),
             backlogs: vec![VecDeque::new(); shards],
         }
+    }
+
+    /// Rebuild a router from recovered books (`corun fleet --recover`).
+    /// Jobs arriving as `Backlog` or `Submitting` are re-placed against
+    /// `view` and parked in a backlog — a `Submitting` job can only be
+    /// restored by a caller that knows the RPC never left (otherwise it
+    /// must arrive as `InDoubt`). All other states are taken verbatim.
+    pub fn restore(
+        shards: usize,
+        placement: Box<dyn Placement>,
+        jobs: Vec<FleetJob>,
+        view: &ShardView,
+    ) -> Router {
+        let mut r = Router {
+            placement,
+            jobs: Vec::with_capacity(jobs.len()),
+            backlogs: vec![VecDeque::new(); shards],
+        };
+        for mut job in jobs {
+            let id = r.jobs.len();
+            if let JobLoc::Backlog(old) | JobLoc::Submitting(old) = job.loc {
+                let dest = r.placement.place(&job.key, view).unwrap_or(old);
+                job.loc = JobLoc::Backlog(dest);
+                r.backlogs[dest].push_back(id);
+            }
+            r.jobs.push(job);
+        }
+        r
     }
 
     /// Shard count.
@@ -212,6 +255,72 @@ impl Router {
             job.loc
         );
         job.loc = JobLoc::Rejected;
+    }
+
+    /// The submit RPC failed after the request may have been delivered
+    /// (reply lost in a partition, timeout, truncated frame): neither
+    /// confirmed nor safe to re-place. The job leaves the submission
+    /// path but stays pinned to its shard for keyed resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the job is `Submitting`.
+    pub fn mark_in_doubt(&mut self, id: FleetJobId) {
+        let job = &mut self.jobs[id];
+        let JobLoc::Submitting(shard) = job.loc else {
+            panic!(
+                "mark_in_doubt({id}) from {:?}: job was never popped for submission",
+                job.loc
+            );
+        };
+        job.loc = JobLoc::InDoubt(shard);
+    }
+
+    /// Keyed resubmission to the pinned shard came back accepted: the
+    /// shard either had the job already (dedup hit — the original RPC
+    /// landed) or admitted it now. Either way exactly one copy exists,
+    /// under `local_id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the job is `InDoubt`.
+    pub fn resolve_confirm(&mut self, id: FleetJobId, local_id: usize) {
+        let job = &mut self.jobs[id];
+        let JobLoc::InDoubt(shard) = job.loc else {
+            panic!(
+                "resolve_confirm({id}) from {:?}: job is not in doubt",
+                job.loc
+            );
+        };
+        job.loc = JobLoc::Submitted { shard, local_id };
+        job.submits += 1;
+    }
+
+    /// Keyed resubmission was permanently refused, so the original RPC
+    /// cannot have admitted it either (the shard's dedup would have
+    /// answered with the existing id): terminal.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the job is `InDoubt`.
+    pub fn resolve_reject(&mut self, id: FleetJobId) {
+        let job = &mut self.jobs[id];
+        assert!(
+            matches!(job.loc, JobLoc::InDoubt(_)),
+            "resolve_reject({id}) from {:?}",
+            job.loc
+        );
+        job.loc = JobLoc::Rejected;
+    }
+
+    /// Jobs currently in doubt on `shard`, in id order.
+    pub fn in_doubt(&self, shard: usize) -> Vec<FleetJobId> {
+        self.jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.loc == JobLoc::InDoubt(shard))
+            .map(|(id, _)| id)
+            .collect()
     }
 
     /// The owning shard reported the job done.
@@ -377,6 +486,15 @@ impl Router {
                 job.submits,
                 job.requeues
             );
+            // An in-doubt job is pinned: stealing/evacuation must never
+            // have touched it (it is in no backlog, checked above via
+            // expect == 0), and its shard index must be a real shard.
+            if let JobLoc::InDoubt(shard) = job.loc {
+                assert!(
+                    shard < self.backlogs.len(),
+                    "job {id} in doubt on nonexistent shard {shard}"
+                );
+            }
         }
     }
 }
@@ -472,5 +590,109 @@ mod tests {
         let view = ShardView::fresh(1);
         let id = r.admit("k".into(), "s".into(), &view).unwrap();
         r.confirm(id, 0); // still Backlog: the edge is illegal
+    }
+
+    #[test]
+    fn in_doubt_is_pinned_and_resolves_without_double_dispatch() {
+        let mut r = router(2);
+        let mut view = ShardView::fresh(2);
+        view.alive[1] = false; // pin placement to shard 0
+        let id = r.admit("k".into(), "s".into(), &view).unwrap();
+        view.alive[1] = true;
+        assert_eq!(r.begin_submit(0), Some(id));
+        r.mark_in_doubt(id);
+        assert_eq!(r.job(id).loc, JobLoc::InDoubt(0));
+        assert_eq!(r.in_doubt(0), vec![id]);
+        assert!(r.in_doubt(1).is_empty());
+        // Stealing and evacuation must not move an in-doubt job.
+        assert!(r.auto_steal(&view, 0, 16).is_empty());
+        assert_eq!(r.evacuate_backlog(0, &view), 0);
+        assert_eq!(r.job(id).loc, JobLoc::InDoubt(0));
+        r.check_books();
+        // Keyed resolution lands it exactly once.
+        r.resolve_confirm(id, 42);
+        assert_eq!(
+            r.job(id).loc,
+            JobLoc::Submitted {
+                shard: 0,
+                local_id: 42
+            }
+        );
+        assert_eq!(r.job(id).submits, 1);
+        r.check_books();
+    }
+
+    #[test]
+    fn in_doubt_can_resolve_to_rejected() {
+        let mut r = router(1);
+        let view = ShardView::fresh(1);
+        let id = r.admit("k".into(), "s".into(), &view).unwrap();
+        assert_eq!(r.begin_submit(0), Some(id));
+        r.mark_in_doubt(id);
+        r.resolve_reject(id);
+        assert_eq!(r.job(id).loc, JobLoc::Rejected);
+        assert_eq!(r.terminal(), 1);
+        r.check_books();
+    }
+
+    #[test]
+    #[should_panic(expected = "resolve_confirm")]
+    fn resolve_confirm_requires_in_doubt() {
+        let mut r = router(1);
+        let view = ShardView::fresh(1);
+        let id = r.admit("k".into(), "s".into(), &view).unwrap();
+        r.resolve_confirm(id, 0); // still Backlog: the edge is illegal
+    }
+
+    #[test]
+    fn restore_reseats_backlog_and_keeps_pinned_states() {
+        let jobs = vec![
+            FleetJob {
+                key: "a".into(),
+                spec: "s".into(),
+                loc: JobLoc::Backlog(1),
+                submits: 0,
+                requeues: 0,
+            },
+            FleetJob {
+                key: "b".into(),
+                spec: "s".into(),
+                loc: JobLoc::InDoubt(1),
+                submits: 0,
+                requeues: 0,
+            },
+            FleetJob {
+                key: "c".into(),
+                spec: "s".into(),
+                loc: JobLoc::Submitted {
+                    shard: 0,
+                    local_id: 3,
+                },
+                submits: 1,
+                requeues: 0,
+            },
+            FleetJob {
+                key: "d".into(),
+                spec: "s".into(),
+                loc: JobLoc::Done(0),
+                submits: 1,
+                requeues: 0,
+            },
+        ];
+        let view = ShardView::fresh(2);
+        let r = Router::restore(2, Box::new(HashRing::new(2)), jobs, &view);
+        assert!(matches!(r.job(0).loc, JobLoc::Backlog(_)));
+        assert_eq!(r.backlog_depth(0) + r.backlog_depth(1), 1);
+        assert_eq!(r.job(1).loc, JobLoc::InDoubt(1), "in-doubt stays pinned");
+        assert_eq!(
+            r.job(2).loc,
+            JobLoc::Submitted {
+                shard: 0,
+                local_id: 3
+            }
+        );
+        assert_eq!(r.job(3).loc, JobLoc::Done(0));
+        assert_eq!(r.terminal(), 1);
+        r.check_books();
     }
 }

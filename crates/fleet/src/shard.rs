@@ -2,8 +2,9 @@
 //! it is an in-process [`corun_serve::Service`] or a remote `corun
 //! serve` daemon reached over the line-JSON protocol.
 
+use crate::net::RpcSnapshot;
 use apu_sim::FaultPlan;
-use corun_serve::{Client, JobState, Json, Service, ServiceConfig, SubmitError};
+use corun_serve::{JobState, Service, ServiceConfig, SubmitError};
 use std::path::Path;
 
 /// What happened to one submission attempt.
@@ -18,9 +19,15 @@ pub enum SubmitOutcome {
     },
     /// Permanently refused (lint failure, cap-infeasible): terminal.
     Refused(String),
-    /// The shard is unreachable or shutting down; the job stays with the
-    /// coordinator and the shard is marked dead.
+    /// The request certainly never reached the shard (connect refused,
+    /// shutting down): the job stays with the coordinator and the shard
+    /// is marked dead. Safe to re-place elsewhere.
     Down(String),
+    /// The RPC failed *after* the request may have been delivered (reply
+    /// lost to a partition, timeout, truncated frame): the shard may be
+    /// running the job. The coordinator must pin it in-doubt and resolve
+    /// by resubmitting the same key to the same shard — never re-place.
+    Indeterminate(String),
 }
 
 /// Coordinator-level view of one shard-local job.
@@ -78,8 +85,11 @@ impl ShardMetrics {
 
 /// One shard as the coordinator drives it.
 pub trait ShardBackend: Send {
-    /// Submit one spec fragment.
-    fn submit(&mut self, spec: &str) -> SubmitOutcome;
+    /// Submit one spec fragment under a fleet-unique idempotency `key`.
+    /// Resubmitting the same key to the same shard is safe: a shard that
+    /// already admitted it replies with the original ids instead of
+    /// running the job twice.
+    fn submit(&mut self, key: &str, spec: &str) -> SubmitOutcome;
 
     /// Phase of one shard-local job. `Err` means the shard is down.
     fn job_phase(&mut self, local_id: usize) -> Result<JobPhase, String>;
@@ -103,6 +113,20 @@ pub trait ShardBackend: Send {
 
     /// `"local"` or `"remote"`, for status output.
     fn kind(&self) -> &'static str;
+
+    /// True once since the shard was last observed under a different
+    /// boot nonce or a higher fencing epoch — i.e. it restarted or
+    /// recovered behind the coordinator's back. The coordinator must
+    /// re-resolve every outstanding job it had on the shard.
+    fn take_incarnation_change(&mut self) -> bool {
+        false
+    }
+
+    /// Transport-level RPC counters (zero for in-process shards without
+    /// an injected transport).
+    fn rpc_stats(&self) -> RpcSnapshot {
+        RpcSnapshot::default()
+    }
 }
 
 /// An in-process shard: a [`Service`] plus the config to rebuild it for
@@ -128,11 +152,11 @@ impl LocalShard {
 }
 
 impl ShardBackend for LocalShard {
-    fn submit(&mut self, spec: &str) -> SubmitOutcome {
+    fn submit(&mut self, key: &str, spec: &str) -> SubmitOutcome {
         let Some(service) = &self.service else {
             return SubmitOutcome::Down("shard stopped".into());
         };
-        match service.submit_spec(spec) {
+        match service.submit_spec_keyed(spec, key) {
             Ok(ids) => SubmitOutcome::Accepted(ids),
             Err(SubmitError::QueueFull { retry_after_s, .. }) => {
                 SubmitOutcome::Backpressure { retry_after_s }
@@ -251,146 +275,6 @@ pub fn start_local_shards(
         .collect()
 }
 
-/// A remote shard: a `corun serve` daemon driven over TCP. A transport
-/// error drops the connection; the coordinator calls
-/// [`ShardBackend::recover`] to re-dial once the daemon is back.
-pub struct RemoteShard {
-    addr: String,
-    client: Option<Client>,
-}
-
-impl RemoteShard {
-    /// Connect to a daemon at `addr` (`host:port`).
-    pub fn connect(addr: &str) -> Result<RemoteShard, String> {
-        let client = Client::connect(addr)?;
-        Ok(RemoteShard {
-            addr: addr.to_string(),
-            client: Some(client),
-        })
-    }
-
-    /// The daemon's address.
-    pub fn addr(&self) -> &str {
-        &self.addr
-    }
-
-    fn client(&mut self) -> Result<&mut Client, String> {
-        self.client
-            .as_mut()
-            .ok_or_else(|| format!("shard {} is down", self.addr))
-    }
-
-    /// Run `f`; on transport failure drop the connection so the shard
-    /// reads as down until `recover` re-dials.
-    fn with_client<T>(
-        &mut self,
-        f: impl FnOnce(&mut Client) -> Result<T, String>,
-    ) -> Result<T, String> {
-        let r = f(self.client()?);
-        if r.is_err() {
-            self.client = None;
-        }
-        r
-    }
-}
-
-impl ShardBackend for RemoteShard {
-    fn submit(&mut self, spec: &str) -> SubmitOutcome {
-        let req = corun_serve::json::obj(vec![
-            ("op", Json::Str("submit".into())),
-            ("spec", Json::Str(spec.into())),
-        ]);
-        let r = match self.with_client(|c| c.call(&req)) {
-            Ok(r) => r,
-            Err(e) => return SubmitOutcome::Down(e),
-        };
-        if r.get("ok").and_then(Json::as_bool) == Some(true) {
-            let ids = r
-                .get("ids")
-                .and_then(Json::as_arr)
-                .map(|a| a.iter().filter_map(Json::as_index).collect::<Vec<_>>())
-                .unwrap_or_default();
-            return SubmitOutcome::Accepted(ids);
-        }
-        let code = r.get("error").and_then(Json::as_str).unwrap_or("unknown");
-        let msg = r
-            .get("message")
-            .and_then(Json::as_str)
-            .unwrap_or("no message")
-            .to_string();
-        match code {
-            "queue_full" => SubmitOutcome::Backpressure {
-                retry_after_s: r
-                    .get("retry_after_s")
-                    .and_then(Json::as_f64)
-                    .unwrap_or(0.05)
-                    .max(0.0),
-            },
-            "shutting_down" => {
-                self.client = None;
-                SubmitOutcome::Down(msg)
-            }
-            _ => SubmitOutcome::Refused(format!("{code}: {msg}")),
-        }
-    }
-
-    fn job_phase(&mut self, local_id: usize) -> Result<JobPhase, String> {
-        let req = corun_serve::json::obj(vec![
-            ("op", Json::Str("status".into())),
-            ("id", Json::Num(local_id as f64)),
-        ]);
-        let r = self.with_client(|c| c.call(&req))?;
-        if r.get("error").and_then(Json::as_str) == Some("unknown_job") {
-            return Ok(JobPhase::Unknown);
-        }
-        Ok(match r.get("state").and_then(Json::as_str) {
-            Some("done") => JobPhase::Done,
-            Some("dead-letter") => JobPhase::DeadLetter,
-            Some("rejected") => JobPhase::Rejected,
-            _ => JobPhase::Pending,
-        })
-    }
-
-    fn metrics(&mut self) -> Result<ShardMetrics, String> {
-        let m = self.with_client(Client::metrics)?;
-        let num = |k: &str| m.get(k).and_then(Json::as_index).unwrap_or(0);
-        Ok(ShardMetrics {
-            queue_depth: num("queue_depth"),
-            submitted: num("submitted"),
-            completed: num("completed"),
-            dead_lettered: num("dead_lettered"),
-            workers_alive: num("workers_alive"),
-            machines: num("machines"),
-            cap_w: m.get("cap_w").and_then(Json::as_f64).unwrap_or(0.0),
-            cap_violations: num("cap_violations"),
-            cap_samples: num("cap_samples"),
-        })
-    }
-
-    fn set_cap(&mut self, cap_w: f64) -> Result<(), String> {
-        self.with_client(|c| c.set_cap(cap_w))
-    }
-
-    fn recover(&mut self, cap_w: f64) -> Result<(), String> {
-        self.client = None;
-        let mut client = Client::connect(&self.addr)?;
-        client.ping()?;
-        if cap_w.is_finite() && cap_w > 0.0 {
-            client.set_cap(cap_w)?;
-        }
-        self.client = Some(client);
-        Ok(())
-    }
-
-    fn begin_shutdown(&mut self) {
-        let _ = self.with_client(Client::shutdown);
-    }
-
-    fn finish(&mut self) {
-        self.client = None;
-    }
-
-    fn kind(&self) -> &'static str {
-        "remote"
-    }
-}
+// The remote backend lives in [`crate::net`]: `RemoteShard` is
+// `RpcShard<TcpRaw>` — deadline-bounded line-JSON RPC with reconnect,
+// fencing-epoch checks, and per-shard latency counters.

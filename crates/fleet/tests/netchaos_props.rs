@@ -1,0 +1,258 @@
+//! Network-partition and coordinator-crash chaos: every coordinator↔
+//! shard RPC runs through the seeded fault layer (drops, lost replies,
+//! duplicates, truncation, partition windows), the coordinator is
+//! `kill -9`'d mid-drain and rebuilt from its write-ahead fleetlog —
+//! and the books must still balance: every admitted job terminal
+//! exactly once across the shards (no loss, no double dispatch), the
+//! handed-out power caps never summing past the cluster cap.
+//!
+//! The services outlive the coordinator here exactly as daemons outlive
+//! a crashed `corun fleet` process: the test holds the `Arc<Service>`s
+//! and reconnects fresh RPC backends to them after each "kill".
+
+use corun_core::WallClock;
+use corun_fleet::{
+    over_local, Fleet, FleetConfig, FleetMetrics, NetConfig, NetFaultPlan, Partition, ShardBackend,
+};
+use corun_serve::{Service, ServiceConfig};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("corun-netchaos-{}-{tag}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// One shared characterization cache for the whole test binary, so only
+/// the first service ever started pays the characterization cost.
+fn shard_template() -> ServiceConfig {
+    let machine = apu_sim::MachineConfig::ivy_bridge();
+    let mut cfg = ServiceConfig::fast(&machine);
+    cfg.characterization.grid_points = 3;
+    cfg.characterization.micro_duration_s = 1.0;
+    cfg.queue_capacity = 32;
+    cfg.cache_dir =
+        Some(std::env::temp_dir().join(format!("corun-netchaos-cache-{}", std::process::id())));
+    cfg
+}
+
+/// Transport timeouts sized for an in-process shard: tight enough that
+/// injected faults resolve in milliseconds, roomy enough to never trip
+/// on a healthy exchange.
+fn chaos_net() -> NetConfig {
+    NetConfig {
+        op_timeout_s: 3.0,
+        io_timeout_s: 1.0,
+        attempts: 4,
+        backoff_base_s: 0.002,
+        backoff_max_s: 0.02,
+        seed: 0x5eed,
+    }
+}
+
+fn start_services(template: &ServiceConfig, shards: usize, machines: usize) -> Vec<Arc<Service>> {
+    (0..shards)
+        .map(|_| {
+            let mut cfg = template.clone();
+            cfg.machines = machines;
+            Arc::new(Service::start(cfg))
+        })
+        .collect()
+}
+
+/// Fresh RPC backends over running services — what `Fleet::new` gets at
+/// first boot and `Fleet::recover` gets after a coordinator kill.
+fn backends_over(services: &[Arc<Service>], plan: &NetFaultPlan) -> Vec<Box<dyn ShardBackend>> {
+    services
+        .iter()
+        .enumerate()
+        .map(|(s, svc)| {
+            Box::new(over_local(
+                Arc::clone(svc),
+                Some(plan.clone()),
+                s,
+                chaos_net(),
+                Arc::new(WallClock::new()),
+            )) as Box<dyn ShardBackend>
+        })
+        .collect()
+}
+
+/// Books balanced fleet-side AND shard-side: drained, router invariants
+/// hold, the shards together finished every folded job exactly once (a
+/// double dispatch would overshoot), and cap hand-outs never peaked
+/// past the cluster cap.
+fn assert_balanced(fleet: &Fleet, m: &FleetMetrics, services: &[Arc<Service>]) {
+    assert!(
+        m.drained(),
+        "{} of {} jobs terminal ({} backlog, {} in flight, {} in doubt)",
+        m.jobs_done + m.jobs_dead_letter + m.jobs_rejected,
+        m.jobs_total,
+        m.backlog,
+        m.in_flight,
+        m.in_doubt
+    );
+    fleet.router().check_books();
+    let terminal: usize = services
+        .iter()
+        .map(|s| {
+            let sm = s.metrics();
+            sm.completed + sm.dead_lettered
+        })
+        .sum();
+    assert_eq!(
+        terminal,
+        m.jobs_done + m.jobs_dead_letter,
+        "shards finished {terminal} jobs but the fleet folded {}: a lost or \
+         double-dispatched job",
+        m.jobs_done + m.jobs_dead_letter
+    );
+    assert!(
+        corun_core::respects_cluster_cap(&[m.max_cap_sum_w], m.cluster_cap_w),
+        "cap hand-outs peaked at {} W over a {} W cluster cap",
+        m.max_cap_sum_w,
+        m.cluster_cap_w
+    );
+}
+
+fn shutdown(mut fleet: Fleet, services: &[Arc<Service>]) {
+    fleet.begin_shutdown();
+    fleet.finish();
+    for svc in services {
+        svc.shutdown();
+    }
+}
+
+/// The headline seeded run: drops, lost replies, duplicates, truncated
+/// frames, a one-way partition AND a symmetric partition — the fleet
+/// must drain with balanced books and must actually have retried.
+#[test]
+fn seeded_fault_plan_drain_balances_the_books() {
+    let dir = temp_dir("plan");
+    const SHARDS: usize = 4;
+    let services = start_services(&shard_template(), SHARDS, 2);
+    let plan = NetFaultPlan::parse(
+        "@netchaos seed=11 drop=0.15 drop-reply=0.1 dup=0.1 truncate=0.08 \
+         delay=0.05 delay-s=0.001 oneway=1:5..25 partition=2:10..30\n",
+    )
+    .expect("grammar")
+    .expect("directive present");
+    let mut cfg = FleetConfig::new(SHARDS, 2, 80.0);
+    cfg.paranoid = true;
+    let mut fleet = Fleet::new(cfg, backends_over(&services, &plan)).expect("fleet");
+    fleet
+        .submit_spec("srad x0.05 *18\nlud x0.05 *18\n")
+        .expect("submit");
+    let m = fleet.drain(240.0).expect("drain under net faults");
+    assert_balanced(&fleet, &m, &services);
+    assert_eq!(m.jobs_done + m.jobs_dead_letter, 36);
+    let ops: u64 = m.rpc.iter().map(|r| r.ops).sum();
+    let retries: u64 = m.rpc.iter().map(|r| r.retries).sum();
+    assert!(ops > 0, "the RPC layer saw no traffic");
+    assert!(retries > 0, "a 15% drop plan retried nothing");
+    shutdown(fleet, &services);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Coordinator `kill -9` mid-drain: the fleet is dropped without any
+/// shutdown, then rebuilt from its write-ahead journal over the same
+/// still-running services. Nothing may be lost or dispatched twice.
+#[test]
+fn coordinator_kill_and_recover_never_double_dispatches() {
+    let dir = temp_dir("kill9");
+    const SHARDS: usize = 3;
+    const JOBS: usize = 24;
+    let services = start_services(&shard_template(), SHARDS, 2);
+    let plan = NetFaultPlan::parse("@netchaos seed=3 drop=0.05 dup=0.05 truncate=0.05\n")
+        .expect("grammar")
+        .expect("directive present");
+    let mut cfg = FleetConfig::new(SHARDS, 2, 60.0);
+    cfg.paranoid = true;
+    cfg.journal_path = Some(dir.join("fleet.jsonl"));
+    let mut fleet = Fleet::new(cfg.clone(), backends_over(&services, &plan)).expect("fleet");
+    fleet
+        .submit_spec(&format!("srad x0.05 *{JOBS}\n"))
+        .expect("submit");
+    for _ in 0..3 {
+        fleet.pump();
+    }
+    // kill -9: no shutdown, no drain, the books die with the process.
+    drop(fleet);
+
+    let mut fleet = Fleet::recover(cfg, backends_over(&services, &plan)).expect("recover");
+    let m = fleet
+        .drain(240.0)
+        .expect("drain after coordinator recovery");
+    assert_eq!(m.fleet_recoveries, 1, "exactly one recovery boundary");
+    assert_eq!(m.jobs_total, JOBS, "the journal must restore every admit");
+    assert_balanced(&fleet, &m, &services);
+    shutdown(fleet, &services);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random fault plans interleaved with repeated coordinator kills:
+    /// whatever the drop/dup/truncate rates, wherever the partition
+    /// window lands (one-way or symmetric), however many times the
+    /// coordinator dies and recovers — the books balance, nothing is
+    /// dispatched twice, and the cap invariant holds.
+    #[test]
+    fn fault_and_kill_interleavings_preserve_the_books(
+        seed in 1u64..4096,
+        drop_pm in 0u64..200,
+        dup_pm in 0u64..150,
+        trunc_pm in 0u64..100,
+        victim in 0usize..3,
+        from in 1u64..20,
+        len in 5u64..30,
+        kills in 0usize..3,
+    ) {
+        let dir = temp_dir("interleave");
+        const SHARDS: usize = 3;
+        const JOBS: usize = 9;
+        let services = start_services(&shard_template(), SHARDS, 1);
+        #[allow(clippy::cast_precision_loss)]
+        let plan = NetFaultPlan {
+            seed,
+            drop_p: drop_pm as f64 / 1000.0,
+            dup_p: dup_pm as f64 / 1000.0,
+            truncate_p: trunc_pm as f64 / 1000.0,
+            partitions: vec![Partition {
+                shard: victim,
+                from_op: from,
+                to_op: from + len,
+                one_way: seed % 2 == 0,
+            }],
+            ..NetFaultPlan::default()
+        };
+        let mut cfg = FleetConfig::new(SHARDS, 1, 45.0);
+        cfg.paranoid = true;
+        cfg.journal_path = Some(dir.join("fleet.jsonl"));
+        let mut fleet =
+            Fleet::new(cfg.clone(), backends_over(&services, &plan)).expect("fleet");
+        fleet
+            .submit_spec(&format!("srad x0.05 *{JOBS}\n"))
+            .expect("submit");
+        for _ in 0..kills {
+            for _ in 0..3 {
+                fleet.pump();
+            }
+            drop(fleet);
+            fleet = Fleet::recover(cfg.clone(), backends_over(&services, &plan))
+                .expect("recover from the fleetlog");
+        }
+        let m = fleet.drain(240.0).expect("drain through the interleaving");
+        prop_assert_eq!(m.fleet_recoveries, kills);
+        prop_assert_eq!(m.jobs_total, JOBS);
+        assert_balanced(&fleet, &m, &services);
+        shutdown(fleet, &services);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

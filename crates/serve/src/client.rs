@@ -44,18 +44,6 @@ impl Default for RetryConfig {
     }
 }
 
-/// Deterministic unit-interval hash (splitmix64 finalizer) used for
-/// back-off jitter.
-fn jitter_unit(seed: u64, attempt: u32) -> f64 {
-    let mut x = seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    x ^= x >> 30;
-    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x ^= x >> 27;
-    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^= x >> 31;
-    (x >> 11) as f64 / (1u64 << 53) as f64
-}
-
 /// A connected protocol client.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -154,6 +142,11 @@ impl Client {
     ) -> Result<Vec<usize>, String> {
         // corun-lint: allow(wall-clock) — client-side retry deadline, an I/O edge.
         let deadline = Instant::now() + Duration::from_secs_f64(retry.max_total_s.max(0.0));
+        // One jitter stream per submission, drawn once per back-off:
+        // equal seeds replay the exact retry schedule under `corun
+        // replay`, while different seeds desynchronize concurrent
+        // clients hammering the same full queue.
+        let mut jitter_rng = corun_core::DetRng::new(retry.seed);
         let mut attempt = 0u32;
         loop {
             let r = self.call(&crate::json::obj(vec![
@@ -196,7 +189,7 @@ impl Client {
                 .unwrap_or(0.0)
                 .max(0.0);
             let exp = retry.base_s.max(0.0) * (1u64 << attempt.min(20)) as f64;
-            let jitter = 1.0 + 0.5 * jitter_unit(retry.seed, attempt);
+            let jitter = 1.0 + 0.5 * jitter_rng.next_unit();
             let delay = (hint.max(exp) * jitter).min(retry.max_s.max(0.0));
             // Never sleep past the wall-clock budget: truncate the last
             // back-off so the final attempt happens at the deadline, not

@@ -384,6 +384,22 @@ impl Journal {
         Ok(j)
     }
 
+    /// Create (truncate) a fresh journal without writing the service
+    /// `Meta` header. For callers that own their own record vocabulary
+    /// (the fleet coordinator log) but want the same durable writer.
+    pub fn create_raw(path: &Path) -> std::io::Result<Journal> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Journal {
+            file,
+            path: path.to_path_buf(),
+            seq: 0,
+        })
+    }
+
     /// Open an existing journal for appending (after a successful
     /// recovery replay). `seq` is the number of records already in the
     /// file, so snapshot sequence numbers stay contiguous across
@@ -402,6 +418,18 @@ impl Journal {
         let mut line = record.to_json();
         line.push('\n');
         self.file.write_all(line.as_bytes())?;
+        self.file.flush()?;
+        self.file.sync_data()?;
+        self.seq += 1;
+        Ok(())
+    }
+
+    /// Durably append one pre-rendered line (no trailing newline):
+    /// same write/flush/`sync_data` discipline as [`Journal::append`],
+    /// for callers with their own record vocabulary.
+    pub fn append_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
         self.file.flush()?;
         self.file.sync_data()?;
         self.seq += 1;

@@ -55,7 +55,7 @@ pub use journal::{
 pub use json::Json;
 pub use protocol::{handle_request, PROTOCOL_VERSION};
 pub use ring::{MetricsPoint, MetricsRing, RING_CAPACITY};
-pub use server::{Server, MAX_FRAME_BYTES};
+pub use server::{read_frame, Frame, Server, MAX_FRAME_BYTES};
 pub use service::{JobState, JobStatus, MetricsSnapshot, Service, ServiceConfig, SubmitError};
 pub use snapshot::{decode_state, encode_state};
 pub use state::{

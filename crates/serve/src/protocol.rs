@@ -19,8 +19,26 @@ pub const PROTOCOL_VERSION: u32 = 1;
 /// (without the trailing newline).
 pub fn handle_request(service: &Service, line: &str) -> String {
     match Json::parse(line) {
-        Ok(req) => dispatch(service, &req).render(),
+        Ok(req) => {
+            let mut resp = dispatch(service, &req);
+            stamp_identity(service, &req, &mut resp);
+            resp.render()
+        }
         Err(e) => error("bad_request", &format!("invalid JSON: {e}")).render(),
+    }
+}
+
+/// Stamp every response with this incarnation's fencing identity
+/// (`epoch`, `boot`) and echo the request's `seq` verbatim when present,
+/// so a fleet coordinator can fence replies from stale incarnations and
+/// reject stale/duplicated replies on a desynchronized connection.
+fn stamp_identity(service: &Service, req: &Json, resp: &mut Json) {
+    if let Json::Obj(fields) = resp {
+        fields.push(("epoch".into(), Json::Num(service.epoch() as f64)));
+        fields.push(("boot".into(), Json::Num(service.boot() as f64)));
+        if let Some(seq) = req.get("seq").and_then(Json::as_f64) {
+            fields.push(("seq".into(), Json::Num(seq)));
+        }
     }
 }
 
@@ -38,7 +56,16 @@ fn dispatch(service: &Service, req: &Json) -> Json {
             let Some(spec) = req.get("spec").and_then(Json::as_str) else {
                 return error("bad_request", "submit needs a string field `spec`");
             };
-            submit_specs(service, &[spec])
+            // An optional `key` makes the submit idempotent: retried
+            // RPCs (lost replies, reconnects, recovered incarnations)
+            // return the already-admitted id instead of a second copy.
+            match req.get("key").and_then(Json::as_str) {
+                Some(key) => match service.submit_spec_keyed(spec, key) {
+                    Ok(ids) => ids_json(&ids),
+                    Err(e) => submit_error_json(&e),
+                },
+                None => submit_specs(service, &[spec]),
+            }
         }
         "batch" => {
             let Some(items) = req.get("specs").and_then(Json::as_arr) else {
@@ -116,15 +143,19 @@ fn submit_specs(service: &Service, specs: &[&str]) -> Json {
     // join the fragments; the lint gate reports per-line locations.
     let text = specs.join("\n");
     match service.submit_spec(&text) {
-        Ok(ids) => obj(vec![
-            ("ok", Json::Bool(true)),
-            (
-                "ids",
-                Json::Arr(ids.iter().map(|&i| Json::Num(i as f64)).collect()),
-            ),
-        ]),
+        Ok(ids) => ids_json(&ids),
         Err(e) => submit_error_json(&e),
     }
+}
+
+fn ids_json(ids: &[usize]) -> Json {
+    obj(vec![
+        ("ok", Json::Bool(true)),
+        (
+            "ids",
+            Json::Arr(ids.iter().map(|&i| Json::Num(i as f64)).collect()),
+        ),
+    ])
 }
 
 fn submit_error_json(e: &SubmitError) -> Json {

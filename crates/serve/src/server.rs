@@ -23,7 +23,7 @@ pub const MAX_FRAME_BYTES: usize = 1 << 20;
 
 /// One framing outcome from [`read_frame`].
 #[derive(Debug, PartialEq, Eq)]
-enum Frame {
+pub enum Frame {
     /// A complete line (newline stripped).
     Line(String),
     /// The line exceeded the byte bound; it was consumed through its
@@ -31,16 +31,41 @@ enum Frame {
     TooLong,
     /// Clean end of stream.
     Eof,
+    /// The socket read timed out (`set_read_timeout`). `mid_frame` is
+    /// true when bytes of a partial frame were already consumed — a
+    /// stalled sender, not an idle keep-alive connection.
+    Timeout {
+        /// Whether the timeout interrupted a partially-read frame.
+        mid_frame: bool,
+    },
 }
 
 /// Read one newline-terminated frame with a hard byte bound. Unlike
 /// `BufRead::read_line`, an oversized line is *drained* (so the
 /// connection stays usable) but never buffered beyond `max_bytes`.
-fn read_frame(reader: &mut impl BufRead, max_bytes: usize) -> std::io::Result<Frame> {
+/// Public so protocol fuzz tests can drive the exact server codepath.
+pub fn read_frame(reader: &mut impl BufRead, max_bytes: usize) -> std::io::Result<Frame> {
     let mut line: Vec<u8> = Vec::new();
     let mut overflow = false;
     loop {
-        let buf = reader.fill_buf()?;
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            // A read timeout is a frame outcome, not an I/O failure: the
+            // caller decides whether an idle pause (between frames) or a
+            // stall (mid-frame) ends the connection. The partial frame is
+            // dropped either way — mid_frame always closes the socket.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(Frame::Timeout {
+                    mid_frame: overflow || !line.is_empty(),
+                });
+            }
+            Err(e) => return Err(e),
+        };
         if buf.is_empty() {
             // EOF. A dangling unterminated fragment is still a frame.
             return Ok(if overflow {
@@ -241,7 +266,17 @@ fn accept_loop(
     }
 }
 
+/// Read-timeout cadence on accepted connections. Idle ticks just loop
+/// (a quiet keep-alive client stays connected), but each tick rechecks
+/// shutdown — so a dead client can no longer pin a connection slot past
+/// the shutdown drain — and a sender stalled mid-frame is cut off.
+const CONN_TICK: Duration = Duration::from_millis(500);
+
 fn serve_connection(service: &Service, stream: TcpStream) {
+    // The timeouts are set on the shared socket, so the read half
+    // cloned below inherits them.
+    let _ = stream.set_read_timeout(Some(CONN_TICK));
+    let _ = stream.set_write_timeout(Some(CONN_TICK));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -250,6 +285,12 @@ fn serve_connection(service: &Service, stream: TcpStream) {
     loop {
         let line = match read_frame(&mut reader, MAX_FRAME_BYTES) {
             Ok(Frame::Line(line)) => line,
+            Ok(Frame::Timeout { mid_frame }) => {
+                if mid_frame || service.is_shutting_down() {
+                    break;
+                }
+                continue;
+            }
             Ok(Frame::TooLong) => {
                 // The oversized frame was drained; the connection keeps
                 // working, the incident is counted and reported (SRV008).

@@ -50,6 +50,8 @@ use corun_core::{best_solo_run, Clock, CoRunModel, HcsConfig, JobId, OnlinePolic
 use corun_verify::{Code, Diagnostic, Report, Severity, SpecLine};
 use perf_model::{CharacterizeConfig, ProfileMethod, StagedPredictor};
 use runtime::IncrementalModel;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
@@ -301,6 +303,19 @@ struct Inner {
     /// `Journal::seq` right after the last snapshot append, so
     /// `maybe_snapshot` is idempotent at quiescent points.
     last_snapshot_seq: u64,
+    /// Fencing epoch of this incarnation: 1 for a fresh journal, bumped
+    /// by every journal recovery (1 + the count of `Recovered` records).
+    /// Echoed in every protocol response so a fleet coordinator can
+    /// detect that it reconnected to a different incarnation.
+    epoch: u64,
+    /// Boot nonce distinguishing incarnations that share an epoch (a
+    /// daemon restarted *without* `--recover` starts at epoch 1 again).
+    /// Pure identity — never journaled, never a decision input.
+    boot: u64,
+    /// Keyed-submission index: fleet submit key -> the job id it already
+    /// admitted, so retried RPCs are idempotent. Rebuilt from job names
+    /// on recovery (keys double as job names in `Record::Accept`).
+    names: HashMap<String, JobId>,
 }
 
 struct Shared {
@@ -362,6 +377,9 @@ impl Service {
             last_power_w: 0.0,
             snapshot_every: cfg.snapshot_every,
             last_snapshot_seq: 0,
+            epoch: 1,
+            boot: boot_nonce(),
+            names: HashMap::new(),
         };
         open_journal(&cfg, &mut inner);
         let shared = Arc::new(Shared {
@@ -462,15 +480,55 @@ impl Service {
             }
         }
         debug_assert_eq!(origin.len(), jobs.len());
-        self.admit(jobs, origin)
+        self.admit(jobs, origin, None)
+    }
+
+    /// Idempotent keyed submit: a single-job spec fragment tagged with a
+    /// caller-chosen key (a fleet coordinator's job identity). The first
+    /// call admits the job under that key as its name; any repeat —
+    /// including an RPC retry after a lost reply, or a retry against a
+    /// journal-recovered incarnation — returns the already-admitted id
+    /// instead of dispatching a second copy.
+    pub fn submit_spec_keyed(&self, text: &str, key: &str) -> Result<Vec<JobId>, SubmitError> {
+        let (lines, report) = corun_verify::lint_spec_full(text);
+        if report.has_errors() {
+            return Err(SubmitError::Lint(report));
+        }
+        let mut jobs = corun_verify::build_jobs(&self.shared.cfg.machine, &lines)
+            .map_err(|_| SubmitError::Lint(report))?;
+        if jobs.len() != 1 {
+            let mut report = Report::new();
+            report.push(Diagnostic::new(
+                Code::Srv001,
+                "keyed submit",
+                format!(
+                    "a keyed submission must expand to exactly one job, got {}",
+                    jobs.len()
+                ),
+            ));
+            return Err(SubmitError::Lint(report));
+        }
+        let mut job = jobs.pop().expect("length checked above");
+        job.name = key.to_string();
+        let origin = vec![(lines[0].name.clone(), lines[0].scale)];
+        self.admit(vec![job], origin, Some(key))
     }
 
     fn admit(
         &self,
         jobs: Vec<JobSpec>,
         origin: Vec<(String, f64)>,
+        dedup_key: Option<&str>,
     ) -> Result<Vec<JobId>, SubmitError> {
         let mut inner = self.lock();
+        // Keyed dedup must win over every other refusal: a retried RPC
+        // whose first attempt landed must get the same answer back even
+        // if the queue has since filled or shutdown began.
+        if let Some(key) = dedup_key {
+            if let Some(&id) = inner.names.get(key) {
+                return Ok(vec![id]);
+            }
+        }
         if inner.st.shutdown {
             return Err(SubmitError::ShuttingDown);
         }
@@ -520,6 +578,10 @@ impl Service {
                 inner.journal_append(&rec);
             }
             return Err(SubmitError::Infeasible { names: infeasible });
+        }
+        if let Some(key) = dedup_key {
+            debug_assert_eq!(ids.len(), 1, "keyed submissions are single-job");
+            inner.names.insert(key.to_string(), ids[0]);
         }
         inner.push_metrics_point();
         inner.maybe_snapshot(false);
@@ -705,6 +767,18 @@ impl Service {
         self.lock().ring.since(cursor)
     }
 
+    /// This incarnation's fencing epoch: 1 fresh, +1 per journal
+    /// recovery. Echoed in every protocol response.
+    pub fn epoch(&self) -> u64 {
+        self.lock().epoch
+    }
+
+    /// This incarnation's boot nonce (see [`Service::epoch`]): tells two
+    /// incarnations apart even when their epochs collide.
+    pub fn boot(&self) -> u64 {
+        self.lock().boot
+    }
+
     fn lock(&self) -> MutexGuard<'_, Inner> {
         self.shared.state.lock().expect("service lock")
     }
@@ -714,6 +788,18 @@ impl Drop for Service {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// A per-incarnation identity nonce: process id mixed through the
+/// splitmix64 finalizer with a process-local counter. Not entropy (two
+/// services in one test process still differ via the counter) and not
+/// time (the deterministic-decision-path lint `SRV011` stays clean) —
+/// pure identity, never journaled, never a decision input. Masked to
+/// 53 bits so it round-trips exactly through JSON numbers.
+fn boot_nonce() -> u64 {
+    static SEQ: AtomicU64 = AtomicU64::new(1);
+    let raw = (u64::from(std::process::id()) << 32) ^ SEQ.fetch_add(1, Ordering::Relaxed);
+    corun_core::DetRng::new(raw).next_u64() >> 11
 }
 
 /// Set up the journal on `inner` per the config: recover-and-append when
@@ -785,6 +871,14 @@ fn open_journal(cfg: &ServiceConfig, inner: &mut Inner) {
         }
         if ok {
             restore(inner, &recovered, specs, cfg.machines);
+            // The fencing epoch counts incarnations of this journal: 1
+            // fresh, +1 per recovery (this one included).
+            let past_recoveries = scan
+                .records
+                .iter()
+                .filter(|r| matches!(r, Record::Recovered { .. }))
+                .count() as u64;
+            inner.epoch = 2 + past_recoveries;
             match Journal::open_append(path, scan.records.len() as u64) {
                 Ok(j) => {
                     inner.journal = Some(j);
@@ -834,6 +928,17 @@ fn restore(inner: &mut Inner, recovered: &Recovered, specs: Vec<JobSpec>, machin
     }
     inner.st = ServiceState::restore_from(recovered, machines);
     inner.gates = vec![None; inner.st.jobs.len()];
+    // Keyed submissions use the job name as their idempotency key, so
+    // the dedup index survives kill -9 by rebuilding from names. Plain
+    // submissions can repeat generated names (`srad@0` per batch) —
+    // harmless, those names are never looked up as keys.
+    inner.names = inner
+        .st
+        .jobs
+        .iter()
+        .enumerate()
+        .map(|(id, j)| (j.name.clone(), id))
+        .collect();
     for job in &inner.st.jobs {
         // Busy-time and makespan accounting only transfers when the
         // machine still exists in this incarnation.

@@ -1,0 +1,126 @@
+//! Property tests for the line-JSON frame codec: whatever bytes arrive
+//! — clean frames, a stream truncated mid-frame, duplicated segments,
+//! or pure garbage — [`read_frame`] must never panic, never return a
+//! line longer than its byte bound, never lose a complete frame that
+//! was fully delivered, and always resynchronize at the next newline.
+//! These are the exact guarantees the fleet transport leans on when a
+//! fault plan truncates or duplicates replies (`corun-fleet::net`).
+
+use corun_serve::{read_frame, Frame, Json};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+/// Small bound so the bound-enforcement path is actually exercised.
+const BOUND: usize = 64;
+
+/// Drain a byte stream through the codec until EOF.
+fn read_all(bytes: &[u8], max: usize) -> Vec<Frame> {
+    let mut reader = Cursor::new(bytes.to_vec());
+    let mut frames = Vec::new();
+    loop {
+        match read_frame(&mut reader, max).expect("in-memory reads cannot fail") {
+            Frame::Eof => return frames,
+            f => frames.push(f),
+        }
+    }
+}
+
+/// Newline-free printable payload lines, all within `BOUND`.
+fn lines() -> impl Strategy<Value = Vec<String>> {
+    collection::vec("[ -~]{0,40}", 0..10)
+}
+
+fn encode(lines: &[String]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for l in lines {
+        bytes.extend_from_slice(l.as_bytes());
+        bytes.push(b'\n');
+    }
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// A clean stream decodes to exactly the frames that were encoded.
+    #[test]
+    fn round_trip(lines in lines()) {
+        let frames = read_all(&encode(&lines), BOUND);
+        prop_assert_eq!(frames.len(), lines.len());
+        for (frame, line) in frames.iter().zip(&lines) {
+            prop_assert_eq!(frame, &Frame::Line(line.clone()));
+        }
+    }
+
+    /// Truncation loses at most the torn tail: every frame whose
+    /// newline made it through is decoded intact, and the dangling
+    /// fragment (if any) is a prefix of the cut line — never a
+    /// fabricated or merged frame.
+    #[test]
+    fn truncation_keeps_every_complete_frame(lines in lines(), cut in any::<usize>()) {
+        let bytes = encode(&lines);
+        let cut = cut % (bytes.len() + 1);
+        let complete = bytes[..cut].iter().filter(|&&b| b == b'\n').count();
+        let frames = read_all(&bytes[..cut], BOUND);
+
+        prop_assert!(frames.len() >= complete, "lost a fully delivered frame");
+        prop_assert!(frames.len() <= complete + 1, "fabricated a frame");
+        for (frame, line) in frames.iter().take(complete).zip(&lines) {
+            prop_assert_eq!(frame, &Frame::Line(line.clone()));
+        }
+        if frames.len() == complete + 1 {
+            match &frames[complete] {
+                Frame::Line(tail) => prop_assert!(
+                    lines[complete].starts_with(tail.as_str()),
+                    "torn tail {tail:?} is not a prefix of {:?}", lines[complete]
+                ),
+                other => prop_assert!(false, "unexpected tail frame {other:?}"),
+            }
+        }
+    }
+
+    /// A duplicated stream (replayed segment, duplicated replies)
+    /// decodes to the duplicated frames — duplication never desyncs the
+    /// framing; the dedup decision belongs to the layer above.
+    #[test]
+    fn duplication_never_desyncs(lines in lines()) {
+        let once = encode(&lines);
+        let mut twice = once.clone();
+        twice.extend_from_slice(&once);
+        let frames = read_all(&twice, BOUND);
+        prop_assert_eq!(frames.len(), 2 * lines.len());
+        for (frame, line) in frames.iter().zip(lines.iter().chain(&lines)) {
+            prop_assert_eq!(frame, &Frame::Line(line.clone()));
+        }
+    }
+
+    /// Garbage bytes never produce an over-bound line, never panic the
+    /// codec (including invalid UTF-8), and never poison the stream: a
+    /// well-formed frame after the garbage is still decoded.
+    #[test]
+    fn garbage_is_bounded_and_resyncs(garbage in collection::vec(any::<u8>(), 0..256)) {
+        let mut bytes = garbage;
+        bytes.push(b'\n');
+        bytes.extend_from_slice(b"{\"op\":\"ping\"}\n");
+        let frames = read_all(&bytes, BOUND);
+
+        for frame in &frames {
+            if let Frame::Line(l) = frame {
+                prop_assert!(l.len() <= BOUND * 4, "line escaped the byte bound: {} bytes", l.len());
+            }
+        }
+        prop_assert_eq!(
+            frames.last(),
+            Some(&Frame::Line("{\"op\":\"ping\"}".into())),
+            "codec failed to resync after garbage"
+        );
+    }
+
+    /// The JSON layer above the codec also survives arbitrary bytes:
+    /// parsing garbage returns an error, it never panics.
+    #[test]
+    fn json_parse_never_panics(garbage in collection::vec(any::<u8>(), 0..128)) {
+        let text = String::from_utf8_lossy(&garbage).into_owned();
+        let _ = Json::parse(&text);
+    }
+}

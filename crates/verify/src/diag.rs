@@ -162,6 +162,20 @@ pub enum Code {
     /// The sum of live shard caps exceeds the cluster cap — the fleet
     /// budget invariant is broken.
     Flt004,
+    /// Malformed `@netchaos` network-fault-plan directive.
+    Flt005,
+    /// Transport or circuit-breaker parameters are outside workable
+    /// bounds (e.g. a dead threshold below the suspect threshold).
+    Flt006,
+    /// A shard's circuit breaker opened: consecutive transport failures
+    /// crossed the dead threshold and the coordinator stopped routing
+    /// to it.
+    Flt007,
+    /// A reply carrying a stale fencing epoch was rejected — an old
+    /// shard incarnation answered after a newer one was observed.
+    Flt008,
+    /// The fleet coordinator journal is unreadable, torn, or corrupt.
+    Flt009,
     /// Replay reached a journal snapshot whose recorded fingerprint
     /// disagrees with the fingerprint of the re-executed state.
     Rpl001,
@@ -178,7 +192,7 @@ pub enum Code {
 
 impl Code {
     /// Every code, in catalog order.
-    pub const ALL: [Code; 53] = [
+    pub const ALL: [Code; 58] = [
         Code::Sch001,
         Code::Sch002,
         Code::Sch003,
@@ -228,6 +242,11 @@ impl Code {
         Code::Flt002,
         Code::Flt003,
         Code::Flt004,
+        Code::Flt005,
+        Code::Flt006,
+        Code::Flt007,
+        Code::Flt008,
+        Code::Flt009,
         Code::Rpl001,
         Code::Rpl002,
         Code::Rpl003,
@@ -286,6 +305,11 @@ impl Code {
             Code::Flt002 => "FLT002",
             Code::Flt003 => "FLT003",
             Code::Flt004 => "FLT004",
+            Code::Flt005 => "FLT005",
+            Code::Flt006 => "FLT006",
+            Code::Flt007 => "FLT007",
+            Code::Flt008 => "FLT008",
+            Code::Flt009 => "FLT009",
             Code::Rpl001 => "RPL001",
             Code::Rpl002 => "RPL002",
             Code::Rpl003 => "RPL003",
@@ -317,6 +341,9 @@ impl Code {
             // Sluggish steal/rebalance tuning degrades throughput but
             // breaks no invariant.
             Code::Flt003 => Severity::Warning,
+            // Circuit opens and fenced stale replies are the partition
+            // machinery *working*: observable events, not failures.
+            Code::Flt007 | Code::Flt008 => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -382,6 +409,11 @@ impl Code {
             Code::Flt002 => "the fleet has at least one shard and one machine per shard",
             Code::Flt003 => "steal and rebalance parameters keep the fleet responsive",
             Code::Flt004 => "shard power caps never sum past the cluster cap",
+            Code::Flt005 => "`@netchaos` directives follow the documented key=value grammar",
+            Code::Flt006 => "transport and circuit-breaker parameters are workable",
+            Code::Flt007 => "circuit-breaker opens are visible in the diagnostics stream",
+            Code::Flt008 => "replies from stale shard incarnations are fenced, never folded",
+            Code::Flt009 => "the fleet journal parses under its declared format version",
             Code::Srv011 => {
                 "scheduling decisions read time and randomness only through injected sources"
             }

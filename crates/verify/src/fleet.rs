@@ -130,6 +130,76 @@ pub fn lint_fleet(p: &FleetParams) -> Report {
     report
 }
 
+/// Transport and circuit-breaker parameters of a fleet coordinator, as
+/// `FLT006` validates them.
+#[derive(Debug, Clone, Copy)]
+pub struct NetParams {
+    /// Consecutive transport failures before a shard reads `Suspect`.
+    pub suspect_after: u32,
+    /// Consecutive transport failures before the circuit opens.
+    pub dead_after: u32,
+    /// Rounds between probes of an open-circuit shard.
+    pub probe_every_rounds: u64,
+}
+
+/// Validate circuit-breaker thresholds: the breaker must be able to
+/// open (`dead_after >= 1`), must not open before it suspects
+/// (`dead_after >= suspect_after`), and an open circuit must still be
+/// probed on a finite cadence.
+pub fn lint_net_config(p: &NetParams) -> Report {
+    let mut report = Report::new();
+    if p.dead_after == 0 || p.suspect_after == 0 {
+        report.push(
+            Diagnostic::new(
+                Code::Flt006,
+                "fleet.net",
+                format!(
+                    "breaker thresholds must be at least 1 failure \
+                     (suspect_after={}, dead_after={})",
+                    p.suspect_after, p.dead_after
+                ),
+            )
+            .with_help("a zero threshold would open the circuit on a healthy shard"),
+        );
+    }
+    if p.dead_after < p.suspect_after {
+        report.push(
+            Diagnostic::new(
+                Code::Flt006,
+                "fleet.net",
+                format!(
+                    "dead threshold {} is below the suspect threshold {}",
+                    p.dead_after, p.suspect_after
+                ),
+            )
+            .with_help("a circuit must pass through suspect before it opens"),
+        );
+    }
+    if p.probe_every_rounds == 0 {
+        report.push(
+            Diagnostic::new(
+                Code::Flt006,
+                "fleet.net",
+                "probe cadence 0 would hammer a dead shard every round",
+            )
+            .with_help("probe an open circuit every few rounds so timeouts stay amortized"),
+        );
+    } else if p.probe_every_rounds > 1_000_000 {
+        report.push(
+            Diagnostic::new(
+                Code::Flt006,
+                "fleet.net",
+                format!(
+                    "probe cadence {} rounds means a healed shard is never noticed",
+                    p.probe_every_rounds
+                ),
+            )
+            .with_help("pick a cadence comparable to the recover backoff"),
+        );
+    }
+    report
+}
+
 /// Re-check the fleet budget invariant on a live cap vector: every cap
 /// finite and non-negative, and the sum within the cluster cap (up to
 /// rounding). Returns an empty report when the invariant holds.

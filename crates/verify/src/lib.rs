@@ -51,7 +51,7 @@ pub mod spec;
 pub use cert::{check_certificate, check_certificate_text, check_parsed};
 pub use config::{apply_overrides, diagnostic_from_issue, lint_loo, lint_machine};
 pub use diag::{Code, Diagnostic, Report, Severity};
-pub use fleet::{lint_fleet, lint_shard_caps, FleetParams};
+pub use fleet::{lint_fleet, lint_net_config, lint_shard_caps, FleetParams, NetParams};
 pub use pass::{LintContext, LintPass, Linter};
 pub use schedfile::{parse_schedule_file, ScheduleFile};
 pub use source::{lint_wall_clock, ALLOW_MARKER};
